@@ -1,0 +1,30 @@
+//! §4 of the paper: evaluating a subset of n-ary linearly recursive
+//! queries by transformation to binary-chain programs.
+//!
+//! * [`mod@adornment`] — adorned programs (sideways information passing,
+//!   conditions (1)–(5)) and the chain condition of Lemma 6;
+//! * [`mod@transform`] — the `bin-p^a` / `base-r` / `in-r` / `out-r`
+//!   construction producing a binary-chain equation system over tuple
+//!   constants;
+//! * [`mod@source`] — demand-driven retrieval of the virtual relations by
+//!   joining the original database with the query bindings instantiated;
+//! * [`mod@api`] — the end-to-end query entry points.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adornment;
+pub mod api;
+pub mod source;
+pub mod transform;
+
+pub use adornment::{
+    adorn, chain_violations, condition3_violations, display_adorned, AdornError, AdornedBody,
+    AdornedPred, AdornedProgram, AdornedRule, Adornment,
+};
+pub use api::{
+    answer_query, answer_query_unchecked, bottom_up_counters, oracle_rows, QueryAnswer,
+    QueryError,
+};
+pub use source::VirtualSource;
+pub use transform::{transform, BinaryProgram, VirtualKind, VirtualRel};

@@ -1,0 +1,331 @@
+//! Demand-driven access to the §4 virtual relations.
+//!
+//! "Tuples in base-r, in-r, and out-r will only be retrieved 'by demand',
+//! that is, when the graph-traversal algorithm has entered a node
+//! belonging to the domain of one of these relations.  Only then will the
+//! original base relations be consulted and tuples retrieved and joined."
+//!
+//! A successor probe `rel(t(c̄), ?)` decodes the tuple constant, binds the
+//! input terms, runs the defining join against the original database
+//! (reusing the Datalog backtracking-join machinery, with built-ins
+//! deferred until bound), and interns the resulting output tuples.
+
+use crate::transform::{BinaryProgram, VirtualRel};
+use rq_common::{Const, ConstInterner, ConstValue, Counters, FxHashMap, Pred, Var};
+use rq_datalog::{fire_rule, Atom, Database, Literal, Program, Rule, Term, WholeDb};
+use rq_engine::TupleSource;
+use std::cell::RefCell;
+
+/// A [`TupleSource`] computing virtual relations on demand.
+pub struct VirtualSource<'a> {
+    program: &'a Program,
+    /// The original EDB, possibly extended with a `__domain` unary
+    /// relation when some virtual relation has unbound output variables
+    /// (only in the unchecked/non-chain mode).
+    db: Database,
+    virtuals: &'a FxHashMap<Pred, VirtualRel>,
+    /// Interner for tuple constants; a clone of the program's interner so
+    /// component ids stay compatible.
+    consts: RefCell<ConstInterner>,
+    /// The `__domain` predicate, if materialized.
+    domain_pred: Option<Pred>,
+    /// Memo of completed probes: `(relation, key, forward?) → outputs`.
+    /// The traversal can reach the same virtual tuple from different
+    /// automaton states; re-running the join would re-consult the same
+    /// base facts.
+    memo: RefCell<FxHashMap<(Pred, Const, bool), Vec<Const>>>,
+}
+
+impl<'a> VirtualSource<'a> {
+    /// Build a source for a transformed program.
+    pub fn new(program: &'a Program, db: &Database, bin: &'a BinaryProgram) -> Self {
+        let needs_domain = bin
+            .virtuals
+            .values()
+            .any(|v| !v.unbound_out_vars.is_empty());
+        let mut db = db.clone();
+        let mut domain_pred = None;
+        if needs_domain {
+            // Materialize the active domain as a unary relation so
+            // unbound output variables can range over it (reproducing
+            // the overapproximation the paper warns about for non-chain
+            // programs).
+            let max_virtual = bin.names.keys().map(|p| p.0).max().unwrap_or(0);
+            let dp = Pred(max_virtual + 1);
+            db.ensure_pred(dp, 1);
+            let mut constants: Vec<Const> = Vec::new();
+            for pi in 0..program.preds.len() {
+                let rel = db.relation(Pred::from_index(pi));
+                for t in rel.iter() {
+                    constants.extend_from_slice(t);
+                }
+            }
+            for c in constants {
+                db.insert(dp, &[c]);
+            }
+            domain_pred = Some(dp);
+        }
+        Self {
+            program,
+            db,
+            virtuals: &bin.virtuals,
+            consts: RefCell::new(program.consts.clone()),
+            domain_pred,
+            memo: RefCell::new(FxHashMap::default()),
+        }
+    }
+
+    /// Intern a tuple constant.
+    pub fn intern_tuple(&self, components: Vec<Const>) -> Const {
+        self.consts.borrow_mut().intern_tuple(components)
+    }
+
+    /// Decode a tuple constant into its components.
+    pub fn decode_tuple(&self, c: Const) -> Vec<Const> {
+        match self.consts.borrow().value(c) {
+            ConstValue::Tuple(parts) => parts.clone(),
+            _ => panic!("expected a tuple constant"),
+        }
+    }
+
+    /// Render a tuple constant (for tests and examples).
+    pub fn display_const(&self, c: Const) -> String {
+        self.consts.borrow().display(c)
+    }
+
+    /// Evaluate one direction of a virtual relation: bind `bind_terms`
+    /// to `key`'s components, join `rel`'s literals, and emit the
+    /// instantiation of `emit_terms` for every match.
+    fn probe(
+        &self,
+        rel: &VirtualRel,
+        bind_terms: &[Term],
+        emit_terms: &[Term],
+        key: Const,
+        out: &mut Vec<Const>,
+        counters: &mut Counters,
+    ) {
+        let components = self.decode_tuple(key);
+        if components.len() != bind_terms.len() {
+            return;
+        }
+        let rule = &self.program.rules[rel.rule_idx];
+        // Substitution: input variables become constants; an input
+        // constant that disagrees with the key kills the probe.
+        let mut subst: FxHashMap<Var, Const> = FxHashMap::default();
+        for (t, &c) in bind_terms.iter().zip(&components) {
+            match t {
+                Term::Var(v) => {
+                    if let Some(&prev) = subst.get(v) {
+                        if prev != c {
+                            return;
+                        }
+                    }
+                    subst.insert(*v, c);
+                }
+                Term::Const(k) => {
+                    if *k != c {
+                        return;
+                    }
+                }
+            }
+        }
+        let apply = |t: &Term| -> Term {
+            match t {
+                Term::Var(v) => subst.get(v).map(|&c| Term::Const(c)).unwrap_or(*t),
+                Term::Const(_) => *t,
+            }
+        };
+        let mut body: Vec<Literal> = rel
+            .literals
+            .iter()
+            .map(|&li| match &rule.body[li] {
+                Literal::Atom(a) => Literal::Atom(Atom::new(
+                    a.pred,
+                    a.args.iter().map(apply).collect(),
+                )),
+                Literal::Cmp { op, lhs, rhs } => Literal::Cmp {
+                    op: *op,
+                    lhs: apply(lhs),
+                    rhs: apply(rhs),
+                },
+            })
+            .collect();
+        // Unbound output variables (non-chain mode) range over the
+        // active domain.
+        if !rel.unbound_out_vars.is_empty() {
+            let dp = self
+                .domain_pred
+                .expect("domain relation materialized for non-chain programs");
+            for &v in &rel.unbound_out_vars {
+                if bind_terms.iter().any(|t| t.as_var() == Some(v)) {
+                    continue; // bound from this side after all
+                }
+                body.push(Literal::Atom(Atom::new(dp, vec![Term::Var(v)])));
+            }
+        }
+        let head_args: Vec<Term> = emit_terms.iter().map(apply).collect();
+        let synthetic = Rule {
+            head: Atom::new(rule.head.pred, head_args),
+            body,
+            var_names: rule.var_names.clone(),
+        };
+        let mut results: Vec<Vec<Const>> = Vec::new();
+        fire_rule(
+            self.program,
+            &synthetic,
+            &WholeDb(&self.db),
+            counters,
+            &mut |t| results.push(t.to_vec()),
+        )
+        .expect("virtual-relation joins bind all built-ins");
+        let mut interner = self.consts.borrow_mut();
+        for tuple in results {
+            counters.tuples_retrieved += 1;
+            out.push(interner.intern_tuple(tuple));
+        }
+    }
+}
+
+impl TupleSource for VirtualSource<'_> {
+    fn successors(&self, r: Pred, u: Const, out: &mut Vec<Const>, counters: &mut Counters) {
+        counters.index_probes += 1;
+        if let Some(cached) = self.memo.borrow().get(&(r, u, true)) {
+            out.extend_from_slice(cached);
+            return;
+        }
+        let rel = &self.virtuals[&r];
+        let start = out.len();
+        self.probe(rel, &rel.in_terms, &rel.out_terms, u, out, counters);
+        self.memo
+            .borrow_mut()
+            .insert((r, u, true), out[start..].to_vec());
+    }
+
+    fn predecessors(&self, r: Pred, v: Const, out: &mut Vec<Const>, counters: &mut Counters) {
+        counters.index_probes += 1;
+        if let Some(cached) = self.memo.borrow().get(&(r, v, false)) {
+            out.extend_from_slice(cached);
+            return;
+        }
+        let rel = &self.virtuals[&r];
+        let start = out.len();
+        self.probe(rel, &rel.out_terms, &rel.in_terms, v, out, counters);
+        self.memo
+            .borrow_mut()
+            .insert((r, v, false), out[start..].to_vec());
+    }
+
+    /// Virtual relations cannot be enumerated without bindings; all-pairs
+    /// queries over the transformed program always anchor at the query's
+    /// bound tuple (possibly the empty tuple `t()`), so this is unused.
+    fn first_column(&self, _r: Pred, _out: &mut Vec<Const>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adornment::adorn;
+    use crate::transform::transform;
+    use rq_datalog::{parse_program, Query};
+
+    #[test]
+    fn probe_in_relation_of_flight_program() {
+        let mut program = parse_program(
+            "cnx(S,DT,D,AT) :- flight(S,DT,D,AT).\n\
+             cnx(S,DT,D,AT) :- flight(S,DT,D1,AT1), AT1 < DT1, is_deptime(DT1), cnx(D1,DT1,D,AT).\n\
+             flight(hel,900,ams,1130).\n\
+             flight(ams,1200,cdg,1330).\n\
+             flight(ams,1100,cdg,1230).\n\
+             is_deptime(900). is_deptime(1200). is_deptime(1100).",
+        )
+        .unwrap();
+        let q = Query::parse(&mut program, "cnx(hel, 900, D, AT)").unwrap();
+        let adorned = adorn(&program, &q).unwrap();
+        let bin = transform(&program, &adorned);
+        let db = Database::from_program(&program);
+        let src = VirtualSource::new(&program, &db, &bin);
+
+        let in_pred = *bin
+            .names
+            .iter()
+            .find(|(_, n)| n.as_str() == "in-r1")
+            .map(|(p, _)| p)
+            .unwrap();
+        let hel = program.consts.get(&ConstValue::Str("hel".into())).unwrap();
+        let t900 = program.consts.get(&ConstValue::Int(900)).unwrap();
+        let anchor = src.intern_tuple(vec![hel, t900]);
+        let mut out = Vec::new();
+        let mut counters = Counters::new();
+        src.successors(in_pred, anchor, &mut out, &mut counters);
+        // From (hel, 900): flight(hel,900,ams,1130), connections with
+        // AT1=1130 < DT1 ∈ {1200}: → t(ams, 1200).  (1100 < 1130 fails.)
+        let rendered: Vec<String> = out.iter().map(|&c| src.display_const(c)).collect();
+        assert_eq!(rendered, vec!["t(ams,1200)"]);
+        assert!(counters.tuples_retrieved > 0);
+    }
+
+    #[test]
+    fn repeated_probe_hits_memo() {
+        let mut program = parse_program(
+            "p(X,Y) :- b0(X,Y).\n\
+             p(X,Y) :- b1(X,Z), p(Y,Z).\n\
+             b0(a,b). b0(a,c). b1(a,c).",
+        )
+        .unwrap();
+        let q = Query::parse(&mut program, "p(a, Y)").unwrap();
+        let adorned = adorn(&program, &q).unwrap();
+        let bin = transform(&program, &adorned);
+        let db = Database::from_program(&program);
+        let src = VirtualSource::new(&program, &db, &bin);
+        let base = *bin
+            .names
+            .iter()
+            .find(|(_, n)| n.as_str() == "base-r0")
+            .map(|(p, _)| p)
+            .unwrap();
+        let a = program.consts.get(&ConstValue::Str("a".into())).unwrap();
+        let anchor = src.intern_tuple(vec![a]);
+        let mut out = Vec::new();
+        let mut c1 = Counters::new();
+        src.successors(base, anchor, &mut out, &mut c1);
+        let first = out.clone();
+        out.clear();
+        let mut c2 = Counters::new();
+        src.successors(base, anchor, &mut out, &mut c2);
+        assert_eq!(out, first);
+        // Second probe answers from the memo: no base tuples touched.
+        assert_eq!(c2.tuples_retrieved, 0);
+        assert!(c1.tuples_retrieved > 0);
+    }
+
+    #[test]
+    fn probe_respects_input_constants_mismatch() {
+        let mut program = parse_program(
+            "p(X,Y) :- b0(X,Y).\n\
+             p(X,Y) :- b1(X,Z), p(Y,Z).\n\
+             b0(a,b). b1(a,c).",
+        )
+        .unwrap();
+        let q = Query::parse(&mut program, "p(a, Y)").unwrap();
+        let adorned = adorn(&program, &q).unwrap();
+        let bin = transform(&program, &adorned);
+        let db = Database::from_program(&program);
+        let src = VirtualSource::new(&program, &db, &bin);
+        // Probe base-r0 (for bin-p^bf) with a key of wrong arity: no
+        // results, no panic.
+        let base = *bin
+            .names
+            .iter()
+            .find(|(_, n)| n.as_str() == "base-r0")
+            .map(|(p, _)| p)
+            .unwrap();
+        let a = program.consts.get(&ConstValue::Str("a".into())).unwrap();
+        let b = program.consts.get(&ConstValue::Str("b".into())).unwrap();
+        let bad = src.intern_tuple(vec![a, b]);
+        let mut out = Vec::new();
+        let mut counters = Counters::new();
+        src.successors(base, bad, &mut out, &mut counters);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,389 @@
+//! The §4 transformation: an adorned linear program becomes a
+//! binary-chain equation system over virtual binary predicates.
+//!
+//! For each adorned predicate `p^a` a binary predicate `bin-p^a` is
+//! defined whose tuples are pairs `(t(X^b), t(X^f))` — the bound and free
+//! projections of `p`'s tuples.  Each adorned rule `r` contributes:
+//!
+//! * `base-r` (no derived literal): `base-r(t(X^b), t(X^f)) :- body`,
+//!   giving the alternative `bin-p^a ⊇ base-r`;
+//! * otherwise `in-r(t(X^b), t(Z^b)) :- before-literals` and
+//!   `out-r(t(Z^f), t(X^f)) :- after-literals`, giving
+//!   `bin-p^a ⊇ in-r · bin-q^d · out-r`, where `in-r`/`out-r` are omitted
+//!   when their body is empty and their head is an identity.
+//!
+//! The virtual relations are never materialized: `rq_engine` pulls their
+//! tuples on demand through [`crate::source::VirtualSource`], which joins
+//! the original database with the bound side already instantiated — this
+//! is how the query bindings restrict the facts consulted.
+
+use crate::adornment::{AdornedBody, AdornedPred, AdornedProgram};
+use rq_common::{FxHashMap, FxHashSet, Pred, Var};
+use rq_datalog::{Program, Term};
+use rq_relalg::{EqSystem, Expr};
+
+/// What a virtual relation computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VirtualKind {
+    /// `base-r`: the whole rule body.
+    Base,
+    /// `in-r`: the before-literals.
+    In,
+    /// `out-r`: the after-literals.
+    Out,
+}
+
+/// A virtual binary relation over tuple constants, defined by a join of
+/// (a subset of) one rule's body against the original database.
+#[derive(Debug, Clone)]
+pub struct VirtualRel {
+    /// Role of the relation.
+    pub kind: VirtualKind,
+    /// The underlying rule.
+    pub rule_idx: usize,
+    /// Terms whose instantiation forms the first (input) tuple.
+    pub in_terms: Vec<Term>,
+    /// Terms whose instantiation forms the second (output) tuple.
+    pub out_terms: Vec<Term>,
+    /// Indices of the body literals making up the defining join.
+    pub literals: Vec<usize>,
+    /// Output variables not bound by the input tuple or the join
+    /// literals.  Empty for chain programs; non-empty only in the
+    /// unchecked mode that reproduces the paper's §4 counterexample,
+    /// where such variables range over the active domain.
+    pub unbound_out_vars: Vec<Var>,
+}
+
+/// The result of the transformation.
+#[derive(Debug, Clone)]
+pub struct BinaryProgram {
+    /// Equations for the `bin-p^a` predicates.
+    pub system: EqSystem,
+    /// The binary predicate answering the query.
+    pub query_bin: Pred,
+    /// Definitions of the virtual base relations.
+    pub virtuals: FxHashMap<Pred, VirtualRel>,
+    /// Display names for all fresh predicates.
+    pub names: FxHashMap<Pred, String>,
+    /// The query's bound argument positions (into the original predicate).
+    pub bound_positions: Vec<usize>,
+    /// The query's free argument positions.
+    pub free_positions: Vec<usize>,
+}
+
+impl BinaryProgram {
+    /// Resolve a predicate name (virtual predicates included).
+    pub fn name(&self, program: &Program, p: Pred) -> String {
+        self.names
+            .get(&p)
+            .cloned()
+            .unwrap_or_else(|| program.pred_name(p).to_string())
+    }
+
+    /// Render the equation system with virtual-predicate names.
+    pub fn display_system(&self, program: &Program) -> String {
+        let name = |p: Pred| self.name(program, p);
+        let mut out = String::new();
+        for &p in &self.system.lhs {
+            out.push_str(&format!(
+                "{} = {}\n",
+                name(p),
+                self.system.rhs[&p].display(&name)
+            ));
+        }
+        out
+    }
+}
+
+/// Run the transformation on an adorned program.
+pub fn transform(program: &Program, adorned: &AdornedProgram) -> BinaryProgram {
+    let mut next_pred = program.preds.len() as u32;
+    let mut fresh = |name: String, names: &mut FxHashMap<Pred, String>| -> Pred {
+        let p = Pred(next_pred);
+        next_pred += 1;
+        names.insert(p, name);
+        p
+    };
+
+    let mut names: FxHashMap<Pred, String> = FxHashMap::default();
+    let mut bin_preds: FxHashMap<AdornedPred, Pred> = FxHashMap::default();
+    let mut bin_order: Vec<AdornedPred> = Vec::new();
+    for rule in &adorned.rules {
+        for ap in [Some(rule.head), rule.body_child()].into_iter().flatten() {
+            if let std::collections::hash_map::Entry::Vacant(e) = bin_preds.entry(ap) {
+                let name = format!(
+                    "bin-{}^{}",
+                    program.pred_name(ap.pred),
+                    ap.adornment
+                );
+                e.insert(fresh(name, &mut names));
+                bin_order.push(ap);
+            }
+        }
+    }
+
+    let mut virtuals: FxHashMap<Pred, VirtualRel> = FxHashMap::default();
+    let mut alternatives: FxHashMap<Pred, Vec<Expr>> = FxHashMap::default();
+    for ap in &bin_order {
+        alternatives.insert(bin_preds[ap], Vec::new());
+    }
+
+    for (ari, ar) in adorned.rules.iter().enumerate() {
+        let rule = &program.rules[ar.rule_idx];
+        let head_bin = bin_preds[&ar.head];
+        let head_bound_terms: Vec<Term> = ar
+            .head
+            .adornment
+            .bound_positions()
+            .into_iter()
+            .map(|i| rule.head.args[i])
+            .collect();
+        let head_free_terms: Vec<Term> = ar
+            .head
+            .adornment
+            .free_positions()
+            .into_iter()
+            .map(|i| rule.head.args[i])
+            .collect();
+        match &ar.body {
+            AdornedBody::Base => {
+                let literals: Vec<usize> = (0..rule.body.len()).collect();
+                let rel = VirtualRel {
+                    kind: VirtualKind::Base,
+                    rule_idx: ar.rule_idx,
+                    in_terms: head_bound_terms,
+                    out_terms: head_free_terms,
+                    literals,
+                    unbound_out_vars: Vec::new(),
+                };
+                let p = fresh(format!("base-r{ari}"), &mut names);
+                virtuals.insert(p, finish_rel(rule, rel));
+                alternatives
+                    .get_mut(&head_bin)
+                    .expect("bin pred registered")
+                    .push(Expr::Sym(p));
+            }
+            AdornedBody::Recursive {
+                derived_idx,
+                child,
+                before,
+                after,
+            } => {
+                let atom = rule.body[*derived_idx].as_atom().expect("derived atom");
+                let child_bound_terms: Vec<Term> = child
+                    .adornment
+                    .bound_positions()
+                    .into_iter()
+                    .map(|i| atom.args[i])
+                    .collect();
+                let child_free_terms: Vec<Term> = child
+                    .adornment
+                    .free_positions()
+                    .into_iter()
+                    .map(|i| atom.args[i])
+                    .collect();
+                let mut factors: Vec<Expr> = Vec::with_capacity(3);
+                // in-r, unless it is the identity.
+                if !(before.is_empty() && head_bound_terms == child_bound_terms) {
+                    let rel = VirtualRel {
+                        kind: VirtualKind::In,
+                        rule_idx: ar.rule_idx,
+                        in_terms: head_bound_terms.clone(),
+                        out_terms: child_bound_terms,
+                        literals: before.clone(),
+                        unbound_out_vars: Vec::new(),
+                    };
+                    let p = fresh(format!("in-r{ari}"), &mut names);
+                    virtuals.insert(p, finish_rel(rule, rel));
+                    factors.push(Expr::Sym(p));
+                }
+                factors.push(Expr::Sym(bin_preds[child]));
+                // out-r, unless it is the identity.
+                if !(after.is_empty() && child_free_terms == head_free_terms) {
+                    let rel = VirtualRel {
+                        kind: VirtualKind::Out,
+                        rule_idx: ar.rule_idx,
+                        in_terms: child_free_terms,
+                        out_terms: head_free_terms,
+                        literals: after.clone(),
+                        unbound_out_vars: Vec::new(),
+                    };
+                    let p = fresh(format!("out-r{ari}"), &mut names);
+                    virtuals.insert(p, finish_rel(rule, rel));
+                    factors.push(Expr::Sym(p));
+                }
+                alternatives
+                    .get_mut(&head_bin)
+                    .expect("bin pred registered")
+                    .push(Expr::cat(factors));
+            }
+        }
+    }
+
+    let system = EqSystem::new(bin_order.iter().map(|ap| {
+        let p = bin_preds[ap];
+        let alts = alternatives.remove(&p).expect("registered");
+        (p, Expr::union(alts))
+    }));
+
+    BinaryProgram {
+        system,
+        query_bin: bin_preds[&adorned.query],
+        virtuals,
+        names,
+        bound_positions: adorned.query.adornment.bound_positions(),
+        free_positions: adorned.query.adornment.free_positions(),
+    }
+}
+
+/// Compute the unbound output variables of a virtual relation: output
+/// variables bound neither by the input tuple nor by the join literals.
+fn finish_rel(rule: &rq_datalog::Rule, mut rel: VirtualRel) -> VirtualRel {
+    let mut bound: FxHashSet<Var> = rel.in_terms.iter().filter_map(|t| t.as_var()).collect();
+    for &li in &rel.literals {
+        if let rq_datalog::Literal::Atom(a) = &rule.body[li] {
+            bound.extend(a.vars());
+        }
+    }
+    rel.unbound_out_vars = rel
+        .out_terms
+        .iter()
+        .filter_map(|t| t.as_var())
+        .filter(|v| !bound.contains(v))
+        .collect::<FxHashSet<_>>()
+        .into_iter()
+        .collect();
+    rel
+}
+
+impl crate::adornment::AdornedRule {
+    /// The child adorned predicate of a recursive rule.
+    pub fn body_child(&self) -> Option<AdornedPred> {
+        match &self.body {
+            AdornedBody::Base => None,
+            AdornedBody::Recursive { child, .. } => Some(*child),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adornment::adorn;
+    use rq_datalog::{parse_program, Query};
+
+    fn build(src: &str, query: &str) -> (Program, BinaryProgram) {
+        let mut program = parse_program(src).unwrap();
+        let q = Query::parse(&mut program, query).unwrap();
+        let adorned = adorn(&program, &q).unwrap();
+        let bin = transform(&program, &adorned);
+        (program, bin)
+    }
+
+    #[test]
+    fn flight_program_transform_matches_paper() {
+        // The paper derives: bin-cnx^bbff = base-r1 ∪ in-r2 · bin-cnx^bbff
+        // (out-r2 omitted as identity).
+        let (program, bin) = build(
+            "cnx(S,DT,D,AT) :- flight(S,DT,D,AT).\n\
+             cnx(S,DT,D,AT) :- flight(S,DT,D1,AT1), AT1 < DT1, is_deptime(DT1), cnx(D1,DT1,D,AT).\n\
+             flight(hel,900,ams,1130). is_deptime(900).",
+            "cnx(hel, 900, D, AT)",
+        );
+        let text = bin.display_system(&program);
+        assert_eq!(text, "bin-cnx^bbff = base-r0 U in-r1.bin-cnx^bbff\n");
+        // Two virtual relations, no out-r.
+        assert_eq!(bin.virtuals.len(), 2);
+        let kinds: Vec<VirtualKind> = bin.virtuals.values().map(|v| v.kind).collect();
+        assert!(kinds.contains(&VirtualKind::Base));
+        assert!(kinds.contains(&VirtualKind::In));
+        assert!(bin
+            .virtuals
+            .values()
+            .all(|v| v.unbound_out_vars.is_empty()));
+    }
+
+    #[test]
+    fn naughton_transform_matches_paper() {
+        // bin-p^bf = base-r1 ∪ in-r2 · bin-p^fb
+        // bin-p^fb = base-r3 ∪ bin-p^bf · out-r4
+        let (program, bin) = build(
+            "p(X,Y) :- b0(X,Y).\n\
+             p(X,Y) :- b1(X,Z), p(Y,Z).\n\
+             b0(a,b). b1(a,c).",
+            "p(a, Y)",
+        );
+        let text = bin.display_system(&program);
+        assert!(text.contains("bin-p^bf = base-r0 U in-r1.bin-p^fb"), "{text}");
+        assert!(text.contains("bin-p^fb = base-r2 U bin-p^bf.out-r3"), "{text}");
+        // in-r for the bf rule reads b1; out-r for the fb rule reads b1.
+        assert_eq!(bin.virtuals.len(), 4);
+    }
+
+    #[test]
+    fn base_r_for_fb_swaps_tuple_sides() {
+        // For p^fb the base rule is base-r(t(Y), t(X)) :- b0(X,Y): the
+        // bound side is the *second* head argument.
+        let (program, bin) = build(
+            "p(X,Y) :- b0(X,Y).\n\
+             p(X,Y) :- b1(X,Z), p(Y,Z).\n\
+             b0(a,b). b1(a,c).",
+            "p(a, Y)",
+        );
+        // Find the base-r0 serving bin-p^fb: its in_terms must be the
+        // head's second variable.
+        let fb_bin = bin
+            .names
+            .iter()
+            .find(|(_, n)| n.as_str() == "bin-p^fb")
+            .map(|(&p, _)| p)
+            .unwrap();
+        let base_preds: Vec<Pred> = bin.system.rhs[&fb_bin]
+            .alternatives()
+            .iter()
+            .filter_map(|e| match e {
+                Expr::Sym(p) if bin.virtuals.contains_key(p) => Some(*p),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(base_preds.len(), 1);
+        let rel = &bin.virtuals[&base_preds[0]];
+        let rule = &program.rules[rel.rule_idx];
+        // in = [Y], out = [X] (positions 1 and 0 of the head).
+        assert_eq!(rel.in_terms, vec![rule.head.args[1]]);
+        assert_eq!(rel.out_terms, vec![rule.head.args[0]]);
+    }
+
+    #[test]
+    fn non_chain_rule_has_unbound_out_vars() {
+        // §4's counterexample: out-r's output Y is bound by nothing on
+        // the after side.
+        let (_, bin) = build(
+            "p(X,Y) :- b0(X,Y).\n\
+             p(X,Y) :- b1(X,Y), p(Y,Z).\n\
+             b1(a,b). b0(b,c).",
+            "p(a, Y)",
+        );
+        let out_rel = bin
+            .virtuals
+            .values()
+            .find(|v| v.kind == VirtualKind::Out)
+            .expect("out-r exists");
+        assert_eq!(out_rel.unbound_out_vars.len(), 1);
+    }
+
+    #[test]
+    fn same_generation_binary_chain() {
+        let (program, bin) = build(
+            "sg(X,Y) :- flat(X,Y).\n\
+             sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n\
+             up(a,b). flat(b,c). down(c,d).",
+            "sg(a, Y)",
+        );
+        let text = bin.display_system(&program);
+        assert_eq!(
+            text,
+            "bin-sg^bf = base-r0 U in-r1.bin-sg^bf.out-r1\n"
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! ε-NFAs over predicate alphabets (§3, Figures 1, 2, 6 of the paper):
+//! the Thompson construction `M(e)` of an equation's right-hand side and
+//! the explicit expansion hierarchy `EM(p, i)` in which derived-predicate
+//! transitions are spliced with fresh copies of their machines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compact;
+pub mod expand;
+pub mod nfa;
+
+pub use compact::{compact, CompactionStats};
+pub use expand::{invert_nfa, MachineSet};
+pub use nfa::{expr_words_up_to, thompson, Label, Nfa};

@@ -1,0 +1,423 @@
+//! The first, *simple* transformation of §4: reduce a linear program to
+//! the transitive closure of a binary relation `bin` over whole
+//! instantiated literals.
+//!
+//! For every rule `p(X̄) :- b1(Ȳ1), …, bn(Ȳn), q(Z̄)` the relation `bin`
+//! contains `bin(q(z̄), p(x̄))` for every instantiation of the base
+//! literals; non-recursive rules contribute `bin(∅, p(x̄))`.  A literal
+//! `p(c̄)` is true iff `bin⁺(∅, p(c̄))` (the paper's Jagadish-et-al-style
+//! reduction \[9, 15\]).
+//!
+//! The paper introduces this construction only to reject it: "the
+//! traversal of the graph bin, starting from ∅, simulates the naive
+//! bottom-up evaluation.  Hence it also shares with the bottom-up method
+//! the problem that the evaluation of queries containing bound arguments
+//! is inefficient" — the *whole* relation `bin` is computed before the
+//! query bindings select anything.  We implement it faithfully as the
+//! ablation baseline for the §4 binding-propagating transformation:
+//! experiment E16 measures the facts consulted by each as the database
+//! grows away from the query constant.
+//!
+//! The construction needs every variable of a rule (in particular the
+//! arguments of the derived body literal) to be grounded by the base
+//! literals, otherwise `bin` is infinite; [`bin_reach`] rejects programs
+//! that violate this with [`BinReachError::NotGroundable`].  The paper
+//! makes the same assumption implicitly (its `sg` example satisfies it;
+//! plain transitive closure does not).
+
+use rq_common::{Const, Counters, FxHashMap, FxHashSet, Pred};
+use rq_datalog::{fire_rule, Atom, Database, Literal, Program, Query, Rule, Term, WholeDb};
+use std::fmt;
+
+/// Errors from [`bin_reach`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BinReachError {
+    /// Some rule has more than one derived body literal, so the program
+    /// is not linear in the sense §4 requires.
+    NotLinear {
+        /// Index of the offending rule in `program.rules`.
+        rule: usize,
+    },
+    /// Some rule has a variable (in the head or in the derived body
+    /// literal) that no base body literal grounds, so the `bin`
+    /// relation would be infinite.
+    NotGroundable {
+        /// Index of the offending rule in `program.rules`.
+        rule: usize,
+    },
+    /// A built-in literal could not be evaluated (unsafe rule).
+    UnsafeBuiltin,
+}
+
+impl fmt::Display for BinReachError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BinReachError::NotLinear { rule } => {
+                write!(f, "rule #{rule} has more than one derived body literal")
+            }
+            BinReachError::NotGroundable { rule } => write!(
+                f,
+                "rule #{rule} has a variable no base literal grounds; \
+                 the bin relation would be infinite"
+            ),
+            BinReachError::UnsafeBuiltin => write!(f, "unsafe built-in literal"),
+        }
+    }
+}
+
+impl std::error::Error for BinReachError {}
+
+/// Outcome of the simple bin-transformation evaluation.
+#[derive(Debug, Clone)]
+pub struct BinReachOutcome {
+    /// Answer rows over the query's free positions, sorted and deduped.
+    pub answers: Vec<Vec<Const>>,
+    /// Unit-cost instrumentation (bin construction + traversal +
+    /// final selection).
+    pub counters: Counters,
+    /// Literal nodes of the `bin` graph (∅ excluded).
+    pub bin_nodes: usize,
+    /// Arcs of the `bin` graph.
+    pub bin_edges: usize,
+    /// Literal nodes reachable from ∅ (i.e. true literals).
+    pub reachable: usize,
+}
+
+/// One instantiated literal, interned.
+type NodeId = u32;
+
+struct BinGraph {
+    /// Node 0 is ∅.
+    ids: FxHashMap<(Pred, Vec<Const>), NodeId>,
+    literals: Vec<(Pred, Vec<Const>)>,
+    succ: Vec<Vec<NodeId>>,
+    edge_seen: FxHashSet<(NodeId, NodeId)>,
+    edges: usize,
+}
+
+impl BinGraph {
+    fn new() -> Self {
+        Self {
+            ids: FxHashMap::default(),
+            // literals[0] is a dummy slot for ∅.
+            literals: vec![(Pred(u32::MAX), Vec::new())],
+            succ: vec![Vec::new()],
+            edge_seen: FxHashSet::default(),
+            edges: 0,
+        }
+    }
+
+    fn intern(&mut self, pred: Pred, tuple: Vec<Const>, counters: &mut Counters) -> NodeId {
+        match self.ids.entry((pred, tuple)) {
+            std::collections::hash_map::Entry::Occupied(o) => *o.get(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                counters.nodes_inserted += 1;
+                let id = self.literals.len() as NodeId;
+                self.literals.push(v.key().clone());
+                self.succ.push(Vec::new());
+                v.insert(id);
+                id
+            }
+        }
+    }
+
+    fn add_edge(&mut self, from: NodeId, to: NodeId) {
+        if self.edge_seen.insert((from, to)) {
+            self.succ[from as usize].push(to);
+            self.edges += 1;
+        }
+    }
+}
+
+/// Split a rule body into its base atoms (plus built-ins) and its single
+/// derived atom, if any.
+fn split_rule<'r>(
+    program: &Program,
+    rule: &'r Rule,
+    index: usize,
+) -> Result<(Vec<Literal>, Option<&'r Atom>), BinReachError> {
+    let mut derived: Option<&Atom> = None;
+    let mut rest: Vec<Literal> = Vec::new();
+    for lit in &rule.body {
+        match lit {
+            Literal::Atom(a) if program.is_derived(a.pred) => {
+                if derived.replace(a).is_some() {
+                    return Err(BinReachError::NotLinear { rule: index });
+                }
+            }
+            other => rest.push(other.clone()),
+        }
+    }
+    Ok((rest, derived))
+}
+
+/// Evaluate `query` with the simple §4 bin transformation: materialize
+/// the whole `bin` relation with bottom-up joins, traverse it from ∅,
+/// and only then select the tuples matching the query bindings.
+pub fn bin_reach(
+    program: &Program,
+    db: &Database,
+    query: &Query,
+) -> Result<BinReachOutcome, BinReachError> {
+    let mut counters = Counters::new();
+    let mut graph = BinGraph::new();
+
+    for (index, rule) in program.rules.iter().enumerate() {
+        let (base_body, derived) = split_rule(program, rule, index)?;
+
+        // Every variable of the head and of the derived literal must be
+        // grounded by the base literals.
+        let mut grounded: FxHashSet<u32> = FxHashSet::default();
+        for lit in &base_body {
+            if let Literal::Atom(a) = lit {
+                grounded.extend(a.vars().map(|v| v.0));
+            }
+        }
+        let mut need: Vec<Term> = rule.head.args.clone();
+        if let Some(d) = derived {
+            need.extend(d.args.iter().copied());
+        }
+        if need
+            .iter()
+            .any(|t| t.as_var().is_some_and(|v| !grounded.contains(&v.0)))
+        {
+            return Err(BinReachError::NotGroundable { rule: index });
+        }
+
+        // Synthesize `pack(Z̄, X̄) :- base body` and fire it; each head
+        // tuple splits into the bin edge source and target.
+        let n_derived_args = derived.map_or(0, |d| d.args.len());
+        let mut packed_args: Vec<Term> = Vec::new();
+        if let Some(d) = derived {
+            packed_args.extend(d.args.iter().copied());
+        }
+        packed_args.extend(rule.head.args.iter().copied());
+        let packed = Rule {
+            head: Atom::new(rule.head.pred, packed_args),
+            body: base_body,
+            var_names: rule.var_names.clone(),
+        };
+        let head_pred = rule.head.pred;
+        let derived_pred = derived.map(|d| d.pred);
+        let mut raw_edges: Vec<(Vec<Const>, Vec<Const>)> = Vec::new();
+        fire_rule(program, &packed, &WholeDb(db), &mut counters, &mut |tuple| {
+            let (src_tuple, dst_tuple) = tuple.split_at(n_derived_args);
+            raw_edges.push((src_tuple.to_vec(), dst_tuple.to_vec()));
+        })
+        .map_err(|_| BinReachError::UnsafeBuiltin)?;
+        for (src_tuple, dst_tuple) in raw_edges {
+            let src = match derived_pred {
+                Some(q) => graph.intern(q, src_tuple, &mut counters),
+                None => 0,
+            };
+            let dst = graph.intern(head_pred, dst_tuple, &mut counters);
+            graph.add_edge(src, dst);
+        }
+    }
+
+    // Traverse bin from ∅; reachable literal nodes are the true facts.
+    let mut reachable: FxHashSet<NodeId> = FxHashSet::default();
+    let mut stack: Vec<NodeId> = vec![0];
+    while let Some(n) = stack.pop() {
+        if !reachable.insert(n) {
+            continue;
+        }
+        for &m in &graph.succ[n as usize] {
+            counters.rule_firings += 1;
+            stack.push(m);
+        }
+    }
+
+    // Only now apply the query bindings (the inefficiency the paper
+    // calls out).
+    let full: Vec<Vec<Const>> = reachable
+        .iter()
+        .filter(|&&n| n != 0 && graph.literals[n as usize].0 == query.pred)
+        .map(|&n| graph.literals[n as usize].1.clone())
+        .collect();
+    let mut answers = query.answer_from_relation(&full);
+    answers.sort();
+    answers.dedup();
+
+    Ok(BinReachOutcome {
+        answers,
+        counters,
+        bin_nodes: graph.literals.len() - 1,
+        bin_edges: graph.edges,
+        reachable: reachable.len().saturating_sub(1),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_datalog::{parse_program, seminaive_eval};
+
+    const SG: &str = "sg(X,Y) :- flat(X,Y).\n\
+                      sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n";
+
+    fn sg_program() -> Program {
+        parse_program(&format!(
+            "{SG}\
+             up(a,a1). up(a1,a2). up(c,a1).\n\
+             flat(a2,b2). flat(a1,b1). flat(a,z).\n\
+             down(b2,b1x). down(b1x,b0). down(b1,b0)."
+        ))
+        .unwrap()
+    }
+
+    fn answers_for(program: &mut Program, qtext: &str) -> (Vec<Vec<Const>>, BinReachOutcome) {
+        let db = Database::from_program(program);
+        let query = Query::parse(program, qtext).unwrap();
+        let oracle = seminaive_eval(program).unwrap();
+        let full = oracle.tuples(query.pred);
+        let mut expected = query.answer_from_relation(&full);
+        expected.sort();
+        expected.dedup();
+        let out = bin_reach(program, &db, &query).unwrap();
+        (expected, out)
+    }
+
+    #[test]
+    fn sg_matches_oracle_on_all_query_forms() {
+        let mut program = sg_program();
+        for q in ["sg(a, Y)", "sg(X, b0)", "sg(a, z)", "sg(X, Y)", "sg(nobody, Y)"] {
+            let (expected, out) = answers_for(&mut program, q);
+            assert_eq!(out.answers, expected, "query {q}");
+        }
+    }
+
+    #[test]
+    fn bin_graph_shape_on_paper_example() {
+        // The paper: bin(sg(X1,Y1), sg(X,Y)) :- up(X,X1), down(Y1,Y);
+        // bin(∅, sg(X,Y)) :- flat(X,Y).  Every flat fact is an edge from
+        // ∅; every up×down combination is an internal edge.
+        let mut program = parse_program(&format!(
+            "{SG}up(a,b). flat(b,c). down(c,d). flat(x,y)."
+        ))
+        .unwrap();
+        let db = Database::from_program(&program);
+        let query = Query::parse(&mut program, "sg(a, Y)").unwrap();
+        let out = bin_reach(&program, &db, &query).unwrap();
+        // Nodes: sg(b,c), sg(x,y) from flat; sg(a,d) from the recursive
+        // rule (source sg(b,c)).
+        assert_eq!(out.bin_nodes, 3);
+        // Edges: ∅→sg(b,c), ∅→sg(x,y), sg(b,c)→sg(a,d).
+        assert_eq!(out.bin_edges, 3);
+        assert_eq!(out.reachable, 3);
+        assert_eq!(out.answers.len(), 1); // sg(a,d)
+    }
+
+    #[test]
+    fn rejects_plain_transitive_closure() {
+        // In `tc(X,Z) :- e(X,Y), tc(Y,Z)` the head variable Z is only
+        // grounded by the derived literal, so bin would be infinite.
+        let program = parse_program(
+            "tc(X,Y) :- e(X,Y).\n\
+             tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+             e(a,b).",
+        )
+        .unwrap();
+        let mut p2 = program.clone();
+        let db = Database::from_program(&program);
+        let query = Query::parse(&mut p2, "tc(a, Y)").unwrap();
+        assert_eq!(
+            bin_reach(&program, &db, &query).unwrap_err(),
+            BinReachError::NotGroundable { rule: 1 }
+        );
+    }
+
+    #[test]
+    fn rejects_flight_program() {
+        // D and AT are grounded only through the recursive literal: the
+        // §4 *binding-propagating* transformation handles this program,
+        // the simple one cannot.
+        let program = parse_program(
+            "cnx(S,DT,D,AT) :- flight(S,DT,D,AT).\n\
+             cnx(S,DT,D,AT) :- flight(S,DT,D1,AT1), AT1 < DT1, is_deptime(DT1), cnx(D1,DT1,D,AT).\n\
+             flight(hel,540,ams,690). is_deptime(540).",
+        )
+        .unwrap();
+        let mut p2 = program.clone();
+        let db = Database::from_program(&program);
+        let query = Query::parse(&mut p2, "cnx(hel, 540, D, AT)").unwrap();
+        assert_eq!(
+            bin_reach(&program, &db, &query).unwrap_err(),
+            BinReachError::NotGroundable { rule: 1 }
+        );
+    }
+
+    #[test]
+    fn rejects_nonlinear_rules() {
+        let program = parse_program(
+            "p(X,Y) :- e(X,Y).\n\
+             p(X,Z) :- p(X,Y), p(Y,Z).\n\
+             e(a,b).",
+        )
+        .unwrap();
+        let mut p2 = program.clone();
+        let db = Database::from_program(&program);
+        let query = Query::parse(&mut p2, "p(a, Y)").unwrap();
+        assert_eq!(
+            bin_reach(&program, &db, &query).unwrap_err(),
+            BinReachError::NotLinear { rule: 1 }
+        );
+    }
+
+    #[test]
+    fn computes_whole_bin_regardless_of_binding() {
+        // An irrelevant same-generation component far from the query
+        // constant still gets joined into bin — the paper's criticism.
+        let mut facts = String::from("up(a,a1). flat(a1,b1). down(b1,b).\n");
+        for i in 0..50 {
+            facts.push_str(&format!(
+                "up(u{i},v{i}). flat(v{i},w{i}). down(w{i},x{i}).\n"
+            ));
+        }
+        let mut program = parse_program(&format!("{SG}{facts}")).unwrap();
+        let db = Database::from_program(&program);
+        let query = Query::parse(&mut program, "sg(a, Y)").unwrap();
+        let out = bin_reach(&program, &db, &query).unwrap();
+        // Every flat fact becomes a bin node even though only one is
+        // relevant to sg(a, Y).
+        assert!(out.bin_nodes >= 51, "bin_nodes = {}", out.bin_nodes);
+        assert_eq!(out.answers.len(), 1);
+
+        // The §3/§4 pipeline consults only the reachable neighborhood.
+        let solution = recursive_queries_probe(&mut program, "sg(a, Y)");
+        assert!(
+            solution < out.counters.total_work() / 4,
+            "engine work {solution} vs binreach {}",
+            out.counters.total_work()
+        );
+    }
+
+    /// Engine total work for a query (helper kept free of dev-dependency
+    /// cycles: rq-engine is a normal dependency of this crate).
+    fn recursive_queries_probe(program: &mut Program, qtext: &str) -> u64 {
+        use rq_engine::{EdbSource, EvalOptions, Evaluator};
+        use rq_relalg::{lemma1, Lemma1Options};
+        let db = Database::from_program(program);
+        let query = Query::parse(program, qtext).unwrap();
+        let system = lemma1(program, &Lemma1Options::default()).unwrap().system;
+        let source = EdbSource::new(&db);
+        let ev = Evaluator::new(&system, &source);
+        let rq_datalog::QueryArg::Bound(a) = query.args[0] else {
+            panic!("probe expects a bound first argument")
+        };
+        ev.evaluate(query.pred, a, &EvalOptions::default())
+            .counters
+            .total_work()
+    }
+
+    #[test]
+    fn empty_database_yields_empty_answers() {
+        let mut program = parse_program(SG).unwrap();
+        let db = Database::from_program(&program);
+        let query = Query::parse(&mut program, "sg(a, Y)").unwrap();
+        let out = bin_reach(&program, &db, &query).unwrap();
+        assert!(out.answers.is_empty());
+        assert_eq!(out.bin_nodes, 0);
+        assert_eq!(out.bin_edges, 0);
+    }
+}

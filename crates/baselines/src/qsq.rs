@@ -1,0 +1,385 @@
+//! The query/subquery method (Vieille \[24\]): top-down, set-at-a-time
+//! evaluation with memoized subqueries.
+//!
+//! A *subquery* is an adorned predicate plus a tuple of values for its
+//! bound positions.  Starting from the user query, rules are expanded
+//! left to right: the before-join generates child subqueries for the
+//! derived literal, child answers feed the after-join, and everything is
+//! memoized, iterating to a global fixpoint.  Unlike Prolog (see
+//! [`crate::sld::sld`]) QSQ never repeats a subquery — it "remembers previous
+//! firings", the paper's factor (1).
+
+use rq_adorn::{adorn, AdornedBody, AdornedPred, AdornedProgram};
+use rq_common::{Const, Counters, FxHashMap, FxHashSet};
+use rq_datalog::{fire_rule, Atom, Database, Literal, Program, Query, Rule, Term, WholeDb};
+
+/// Result of a QSQ evaluation.
+#[derive(Clone, Debug)]
+pub struct QsqOutcome {
+    /// Answer rows: values of the query's free positions, sorted.
+    pub rows: Vec<Vec<Const>>,
+    /// Instrumentation.
+    pub counters: Counters,
+    /// Number of distinct subqueries asked.
+    pub subqueries: usize,
+}
+
+type BoundTuple = Vec<Const>;
+type FreeTuple = Vec<Const>;
+
+/// Evaluate an n-ary query with the query/subquery strategy.
+pub fn qsq(program: &Program, query: &Query) -> Result<QsqOutcome, rq_adorn::AdornError> {
+    let adorned = adorn(program, query)?;
+    let db = Database::from_program(program);
+    let mut counters = Counters::new();
+
+    // answers[(pred, bound values)] = set of free-position tuples.
+    let mut answers: FxHashMap<(AdornedPred, BoundTuple), FxHashSet<FreeTuple>> =
+        FxHashMap::default();
+    let root_bound: BoundTuple = query
+        .args
+        .iter()
+        .filter_map(|a| match a {
+            rq_datalog::QueryArg::Bound(c) => Some(*c),
+            rq_datalog::QueryArg::Free => None,
+        })
+        .collect();
+    let root = (adorned.query, root_bound);
+    answers.entry(root.clone()).or_default();
+
+    // Iterate to fixpoint: each pass expands every known subquery with
+    // every rule; new subqueries and new answers trigger another pass.
+    loop {
+        counters.iterations += 1;
+        let mut changed = false;
+        let pending: Vec<(AdornedPred, BoundTuple)> = answers.keys().cloned().collect();
+        for (ap, bound) in pending {
+            for ar in adorned.rules.iter().filter(|r| r.head == ap) {
+                changed |= expand_rule(
+                    program,
+                    &db,
+                    &adorned,
+                    ar,
+                    &bound,
+                    &mut answers,
+                    &mut counters,
+                );
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut rows: Vec<FreeTuple> = answers[&root].iter().cloned().collect();
+    rows.sort();
+    let subqueries = answers.len();
+    Ok(QsqOutcome {
+        rows,
+        counters,
+        subqueries,
+    })
+}
+
+/// Expand one rule for one subquery.  Returns whether anything new was
+/// learned (a new subquery or a new answer).
+fn expand_rule(
+    program: &Program,
+    db: &Database,
+    _adorned: &AdornedProgram,
+    ar: &rq_adorn::AdornedRule,
+    bound: &BoundTuple,
+    answers: &mut FxHashMap<(AdornedPred, BoundTuple), FxHashSet<FreeTuple>>,
+    counters: &mut Counters,
+) -> bool {
+    let rule = &program.rules[ar.rule_idx];
+    let bound_positions = ar.head.adornment.bound_positions();
+    if bound.len() != bound_positions.len() {
+        return false;
+    }
+    // Substitute the subquery's bound values into the rule.
+    let mut subst: FxHashMap<rq_common::Var, Const> = FxHashMap::default();
+    for (&pos, &val) in bound_positions.iter().zip(bound) {
+        let Some(v) = rule.head.args[pos].as_var() else {
+            return false;
+        };
+        if let Some(&prev) = subst.get(&v) {
+            if prev != val {
+                return false;
+            }
+        }
+        subst.insert(v, val);
+    }
+    let apply = |t: &Term, subst: &FxHashMap<rq_common::Var, Const>| -> Term {
+        match t {
+            Term::Var(v) => subst.get(v).map(|&c| Term::Const(c)).unwrap_or(*t),
+            Term::Const(_) => *t,
+        }
+    };
+    let free_head_terms: Vec<Term> = ar
+        .head
+        .adornment
+        .free_positions()
+        .into_iter()
+        .map(|i| apply(&rule.head.args[i], &subst))
+        .collect();
+
+    let key = (ar.head, bound.clone());
+    match &ar.body {
+        AdornedBody::Base => {
+            // One flat join over the whole body.
+            let body: Vec<Literal> = rule
+                .body
+                .iter()
+                .map(|l| substitute_literal(l, &subst, &apply))
+                .collect();
+            let synthetic = Rule {
+                head: Atom::new(rule.head.pred, free_head_terms),
+                body,
+                var_names: rule.var_names.clone(),
+            };
+            let mut new = Vec::new();
+            fire_rule(program, &synthetic, &WholeDb(db), counters, &mut |t| {
+                new.push(t.to_vec());
+            })
+            .expect("safe");
+            let set = answers.get_mut(&key).expect("subquery registered");
+            let before = set.len();
+            set.extend(new);
+            set.len() != before
+        }
+        AdornedBody::Recursive {
+            derived_idx,
+            child,
+            before,
+            after,
+        } => {
+            let atom = rule.body[*derived_idx].as_atom().expect("derived");
+            // Phase 1: join the before-literals to produce child bound
+            // tuples.
+            let child_bound_terms: Vec<Term> = child
+                .adornment
+                .bound_positions()
+                .into_iter()
+                .map(|i| apply(&atom.args[i], &subst))
+                .collect();
+            let before_body: Vec<Literal> = before
+                .iter()
+                .map(|&li| substitute_literal(&rule.body[li], &subst, &apply))
+                .collect();
+            let in_rule = Rule {
+                head: Atom::new(rule.head.pred, child_bound_terms.clone()),
+                body: before_body.clone(),
+                var_names: rule.var_names.clone(),
+            };
+            let mut child_bounds: Vec<BoundTuple> = Vec::new();
+            fire_rule(program, &in_rule, &WholeDb(db), counters, &mut |t| {
+                child_bounds.push(t.to_vec());
+            })
+            .expect("safe");
+            child_bounds.sort();
+            child_bounds.dedup();
+
+            let mut changed = false;
+            for cb in child_bounds {
+                let child_key = (*child, cb.clone());
+                if !answers.contains_key(&child_key) {
+                    answers.entry(child_key.clone()).or_default();
+                    changed = true;
+                }
+                // Phase 2: for each child answer, join the after side.
+                let child_answers: Vec<FreeTuple> =
+                    answers[&child_key].iter().cloned().collect();
+                for ca in child_answers {
+                    // Bind the child's free positions to the answer.
+                    let mut subst2 = subst.clone();
+                    let mut consistent = true;
+                    for (&pos, &val) in child
+                        .adornment
+                        .free_positions()
+                        .iter()
+                        .zip(ca.iter())
+                    {
+                        match atom.args[pos] {
+                            Term::Var(v) => {
+                                if let Some(&prev) = subst2.get(&v) {
+                                    if prev != val {
+                                        consistent = false;
+                                        break;
+                                    }
+                                }
+                                subst2.insert(v, val);
+                            }
+                            Term::Const(c) => {
+                                if c != val {
+                                    consistent = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    // Also re-check the child's *bound* side against cb
+                    // (it was produced by the before-join, so it is
+                    // consistent by construction).
+                    if !consistent {
+                        continue;
+                    }
+                    let apply2 = |t: &Term, s: &FxHashMap<rq_common::Var, Const>| -> Term {
+                        match t {
+                            Term::Var(v) => s.get(v).map(|&c| Term::Const(c)).unwrap_or(*t),
+                            Term::Const(_) => *t,
+                        }
+                    };
+                    // The before-literals may bind variables used in the
+                    // head's free side only through the child bound
+                    // tuple; bind those too.
+                    for (&pos, &val) in child
+                        .adornment
+                        .bound_positions()
+                        .iter()
+                        .zip(cb.iter())
+                    {
+                        if let Term::Var(v) = atom.args[pos] {
+                            subst2.entry(v).or_insert(val);
+                        }
+                    }
+                    let after_body: Vec<Literal> = after
+                        .iter()
+                        .map(|&li| substitute_literal(&rule.body[li], &subst2, &apply2))
+                        .collect();
+                    let head_terms: Vec<Term> = ar
+                        .head
+                        .adornment
+                        .free_positions()
+                        .into_iter()
+                        .map(|i| apply2(&rule.head.args[i], &subst2))
+                        .collect();
+                    let out_rule = Rule {
+                        head: Atom::new(rule.head.pred, head_terms),
+                        // Re-run the before body so head-free variables
+                        // bound only by before-literals (non-chain-ish
+                        // shapes) stay consistent with cb; cheap because
+                        // everything relevant is already substituted.
+                        body: before_body
+                            .iter()
+                            .map(|l| substitute_literal(l, &subst2, &apply2))
+                            .chain(after_body)
+                            .collect(),
+                        var_names: rule.var_names.clone(),
+                    };
+                    let mut new = Vec::new();
+                    fire_rule(program, &out_rule, &WholeDb(db), counters, &mut |t| {
+                        new.push(t.to_vec());
+                    })
+                    .expect("safe");
+                    let set = answers.get_mut(&key).expect("subquery registered");
+                    let before_len = set.len();
+                    set.extend(new);
+                    changed |= set.len() != before_len;
+                }
+            }
+            changed
+        }
+    }
+}
+
+fn substitute_literal(
+    lit: &Literal,
+    subst: &FxHashMap<rq_common::Var, Const>,
+    apply: &impl Fn(&Term, &FxHashMap<rq_common::Var, Const>) -> Term,
+) -> Literal {
+    match lit {
+        Literal::Atom(a) => Literal::Atom(Atom::new(
+            a.pred,
+            a.args.iter().map(|t| apply(t, subst)).collect(),
+        )),
+        Literal::Cmp { op, lhs, rhs } => Literal::Cmp {
+            op: *op,
+            lhs: apply(lhs, subst),
+            rhs: apply(rhs, subst),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_adorn::oracle_rows;
+    use rq_datalog::parse_program;
+
+    fn check(src: &str, query: &str) {
+        let mut program = parse_program(src).unwrap();
+        let q = Query::parse(&mut program, query).unwrap();
+        let out = qsq(&program, &q).unwrap();
+        let oracle = oracle_rows(&program, &q);
+        assert_eq!(out.rows, oracle, "query {query} on\n{src}");
+    }
+
+    #[test]
+    fn qsq_transitive_closure() {
+        check(
+            "tc(X,Y) :- e(X,Y).\n\
+             tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+             e(a,b). e(b,c). e(c,d). e(x,y).",
+            "tc(a, Y)",
+        );
+    }
+
+    #[test]
+    fn qsq_same_generation() {
+        check(
+            "sg(X,Y) :- flat(X,Y).\n\
+             sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n\
+             up(a,a1). up(a1,a2). flat(a2,b2). flat(a,z).\n\
+             down(b2,b1). down(b1,b).",
+            "sg(a, Y)",
+        );
+    }
+
+    #[test]
+    fn qsq_cyclic_terminates() {
+        check(
+            "tc(X,Y) :- e(X,Y).\n\
+             tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+             e(a,b). e(b,a). e(b,c).",
+            "tc(a, Y)",
+        );
+    }
+
+    #[test]
+    fn qsq_flight_program() {
+        check(
+            "cnx(S,DT,D,AT) :- flight(S,DT,D,AT).\n\
+             cnx(S,DT,D,AT) :- flight(S,DT,D1,AT1), AT1 < DT1, is_deptime(DT1), cnx(D1,DT1,D,AT).\n\
+             flight(hel,540,ams,690). flight(ams,720,cdg,810). flight(cdg,840,nce,930).\n\
+             is_deptime(540). is_deptime(720). is_deptime(840).",
+            "cnx(hel, 540, D, AT)",
+        );
+    }
+
+    #[test]
+    fn qsq_naughton_two_adornments() {
+        check(
+            "p(X,Y) :- b0(X,Y).\n\
+             p(X,Y) :- b1(X,Z), p(Y,Z).\n\
+             b0(m1,n1). b0(m2,n2). b1(a,n2). b1(m2,n1). b1(m1,n2).",
+            "p(a, Y)",
+        );
+    }
+
+    #[test]
+    fn qsq_memoizes_subqueries() {
+        // A diamond: both branches ask the same subquery; QSQ asks once.
+        let mut program = parse_program(
+            "tc(X,Y) :- e(X,Y).\n\
+             tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+             e(s,l). e(s,r). e(l,m). e(r,m). e(m,t).",
+        )
+        .unwrap();
+        let q = Query::parse(&mut program, "tc(s, Y)").unwrap();
+        let out = qsq(&program, &q).unwrap();
+        // Subqueries: tc(s,·), tc(l,·), tc(r,·), tc(m,·), tc(t,·) — 5,
+        // not 6 (m is reached from both l and r but asked once).
+        assert_eq!(out.subqueries, 5);
+    }
+}

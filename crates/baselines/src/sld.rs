@@ -1,0 +1,369 @@
+//! Prolog-style SLD resolution: top-down, depth-first, tuple-at-a-time,
+//! **without memoization**.
+//!
+//! This is the paper's exemplar of strategies that "duplicate data"
+//! (factor (1) of the Bancilhon–Ramakrishnan analysis): the same
+//! subgoal is re-proved every time it is reached, so on a DAG with
+//! sharing the number of rule firings can be exponential in the depth
+//! while the traversal engine stays linear.  Left-recursive or cyclic
+//! programs diverge, as in Prolog; a step budget makes runs total.
+
+use rq_common::{Const, Counters, FxHashSet};
+use rq_datalog::{mask_of, Database, Literal, Program, Query, Term};
+
+/// Result of an SLD evaluation.
+#[derive(Clone, Debug)]
+pub struct SldOutcome {
+    /// Answer rows over the query's free positions, sorted.
+    pub rows: Vec<Vec<Const>>,
+    /// Instrumentation (`rule_firings` counts goal reductions — the
+    /// duplication measure).
+    pub counters: Counters,
+    /// Whether the search space was exhausted within the step budget.
+    pub complete: bool,
+}
+
+/// A goal: a predicate with each argument bound or free (free slots get
+/// filled by unification as the proof proceeds).
+type Goal = (rq_common::Pred, Vec<Option<Const>>);
+
+/// Evaluate `query` by SLD resolution with at most `max_steps` goal
+/// reductions.
+pub fn sld(program: &Program, query: &Query, max_steps: u64) -> SldOutcome {
+    let db = Database::from_program(program);
+    let mut counters = Counters::new();
+    let goal: Goal = (
+        query.pred,
+        query
+            .args
+            .iter()
+            .map(|a| match a {
+                rq_datalog::QueryArg::Bound(c) => Some(*c),
+                rq_datalog::QueryArg::Free => None,
+            })
+            .collect(),
+    );
+    let mut answers: FxHashSet<Vec<Const>> = FxHashSet::default();
+    let mut steps = 0u64;
+    let complete = prove(
+        program,
+        &db,
+        &goal,
+        &mut counters,
+        &mut steps,
+        max_steps,
+        0,
+        &mut |tuple| {
+            answers.insert(
+                query
+                    .free_positions()
+                    .iter()
+                    .map(|&i| tuple[i])
+                    .collect(),
+            );
+        },
+    );
+    let mut rows: Vec<Vec<Const>> = answers.into_iter().collect();
+    rows.sort();
+    SldOutcome {
+        rows,
+        counters,
+        complete,
+    }
+}
+
+/// Depth guard: even acyclic data can generate deep proofs; SLD in
+/// Prolog would blow the stack — we cap well below Rust's stack limit.
+const MAX_DEPTH: usize = 300;
+
+/// Prove `goal`, calling `emit` with every fully instantiated tuple.
+/// Returns false if the step budget or depth limit was hit.
+#[allow(clippy::too_many_arguments)]
+fn prove(
+    program: &Program,
+    db: &Database,
+    goal: &Goal,
+    counters: &mut Counters,
+    steps: &mut u64,
+    max_steps: u64,
+    depth: usize,
+    emit: &mut dyn FnMut(&[Const]),
+) -> bool {
+    if *steps >= max_steps || depth >= MAX_DEPTH {
+        return false;
+    }
+    *steps += 1;
+    let (pred, pattern) = goal;
+    let mut complete = true;
+
+    // Facts: index lookup on the bound positions.
+    if !program.is_derived(*pred) {
+        let rel = db.relation(*pred);
+        let mut key: Vec<Const> = Vec::new();
+        let mask = mask_of(pattern.iter().enumerate().filter_map(|(i, b)| {
+            b.map(|c| {
+                key.push(c);
+                i
+            })
+        }));
+        let mut ords = Vec::new();
+        counters.index_probes += 1;
+        rel.lookup(mask, &key, &mut ords);
+        for o in ords {
+            counters.tuples_retrieved += 1;
+            emit(rel.tuple(o));
+        }
+        return true;
+    }
+
+    // Rules: try each, depth-first.
+    for rule in program.rules_for(*pred) {
+        counters.rule_firings += 1;
+        // Unify the head with the goal pattern.
+        let mut env: Vec<Option<Const>> = vec![None; rule.num_vars()];
+        let mut ok = true;
+        for (i, t) in rule.head.args.iter().enumerate() {
+            match (t, pattern[i]) {
+                (Term::Var(v), Some(c)) => match env[v.0 as usize] {
+                    Some(prev) if prev != c => {
+                        ok = false;
+                        break;
+                    }
+                    _ => env[v.0 as usize] = Some(c),
+                },
+                (Term::Const(k), Some(c)) if *k != c => {
+                    ok = false;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        if !ok {
+            continue;
+        }
+        complete &= solve_body(
+            program, db, rule, 0, &mut env, counters, steps, max_steps, depth, emit,
+        );
+    }
+    complete
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve_body(
+    program: &Program,
+    db: &Database,
+    rule: &rq_datalog::Rule,
+    idx: usize,
+    env: &mut Vec<Option<Const>>,
+    counters: &mut Counters,
+    steps: &mut u64,
+    max_steps: u64,
+    depth: usize,
+    emit: &mut dyn FnMut(&[Const]),
+) -> bool {
+    if *steps >= max_steps {
+        return false;
+    }
+    if idx == rule.body.len() {
+        let tuple: Vec<Const> = rule
+            .head
+            .args
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => *c,
+                Term::Var(v) => env[v.0 as usize].expect("safe rule"),
+            })
+            .collect();
+        emit(&tuple);
+        return true;
+    }
+    match &rule.body[idx] {
+        Literal::Cmp { op, lhs, rhs } => {
+            let resolve = |t: &Term| match t {
+                Term::Const(c) => Some(*c),
+                Term::Var(v) => env[v.0 as usize],
+            };
+            match (resolve(lhs), resolve(rhs)) {
+                (Some(a), Some(b)) => {
+                    let ord = program.consts.value(a).builtin_cmp(program.consts.value(b));
+                    if op.eval(ord) {
+                        solve_body(
+                            program, db, rule, idx + 1, env, counters, steps, max_steps,
+                            depth, emit,
+                        )
+                    } else {
+                        true
+                    }
+                }
+                // Prolog would raise an instantiation error; the paper's
+                // safety condition prevents this for our programs, but a
+                // left-placed comparison simply floats right.
+                _ => solve_body(
+                    program, db, rule, idx + 1, env, counters, steps, max_steps, depth, emit,
+                ),
+            }
+        }
+        Literal::Atom(atom) => {
+            let pattern: Vec<Option<Const>> = atom
+                .args
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => Some(*c),
+                    Term::Var(v) => env[v.0 as usize],
+                })
+                .collect();
+            let subgoal: Goal = (atom.pred, pattern);
+            let mut complete = true;
+            // Collect sub-answers, then continue the body for each
+            // (tuple-at-a-time, no memo: the recursion below re-proves
+            // subgoals freely).
+            let mut sub_answers: Vec<Vec<Const>> = Vec::new();
+            complete &= prove(
+                program,
+                db,
+                &subgoal,
+                counters,
+                steps,
+                max_steps,
+                depth + 1,
+                &mut |t| sub_answers.push(t.to_vec()),
+            );
+            for t in sub_answers {
+                let mut bound_here: Vec<u32> = Vec::new();
+                let mut ok = true;
+                for (i, term) in atom.args.iter().enumerate() {
+                    if let Term::Var(v) = term {
+                        match env[v.0 as usize] {
+                            Some(prev) => {
+                                if prev != t[i] {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            None => {
+                                env[v.0 as usize] = Some(t[i]);
+                                bound_here.push(v.0);
+                            }
+                        }
+                    }
+                }
+                if ok {
+                    complete &= solve_body(
+                        program, db, rule, idx + 1, env, counters, steps, max_steps, depth,
+                        emit,
+                    );
+                }
+                for v in bound_here {
+                    env[v as usize] = None;
+                }
+            }
+            complete
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_adorn::oracle_rows;
+    use rq_datalog::parse_program;
+
+    fn check(src: &str, query: &str) {
+        let mut program = parse_program(src).unwrap();
+        let q = Query::parse(&mut program, query).unwrap();
+        let out = sld(&program, &q, 1_000_000);
+        assert!(out.complete);
+        let oracle = oracle_rows(&program, &q);
+        assert_eq!(out.rows, oracle, "query {query}");
+    }
+
+    #[test]
+    fn sld_transitive_closure_acyclic() {
+        check(
+            "tc(X,Y) :- e(X,Y).\n\
+             tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+             e(a,b). e(b,c). e(c,d).",
+            "tc(a, Y)",
+        );
+    }
+
+    #[test]
+    fn sld_same_generation() {
+        check(
+            "sg(X,Y) :- flat(X,Y).\n\
+             sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n\
+             up(a,a1). up(a1,a2). flat(a2,b2). flat(a,z).\n\
+             down(b2,b1). down(b1,b).",
+            "sg(a, Y)",
+        );
+    }
+
+    #[test]
+    fn sld_cycle_hits_budget() {
+        let mut program = parse_program(
+            "tc(X,Y) :- e(X,Y).\n\
+             tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+             e(a,b). e(b,a).",
+        )
+        .unwrap();
+        let q = Query::parse(&mut program, "tc(a, Y)").unwrap();
+        let out = sld(&program, &q, 10_000);
+        // Diverges — the budget cuts it off, but the answers found up to
+        // that point are sound.
+        assert!(!out.complete);
+        let oracle: FxHashSet<Vec<Const>> =
+            oracle_rows(&program, &q).into_iter().collect();
+        assert!(out.rows.iter().all(|r| oracle.contains(r)));
+    }
+
+    #[test]
+    fn sld_duplicates_work_on_shared_dags() {
+        // A ladder of diamonds: 2^k proof paths through k diamonds.  SLD
+        // re-proves each shared node per path; the engine visits each
+        // node once.
+        let k = 11;
+        let mut src = String::from("tc(X,Y) :- e(X,Y).\ntc(X,Z) :- e(X,Y), tc(Y,Z).\n");
+        for i in 0..k {
+            src.push_str(&format!(
+                "e(n{i}, l{i}). e(n{i}, r{i}). e(l{i}, n{n}). e(r{i}, n{n}).\n",
+                n = i + 1
+            ));
+        }
+        let mut program = parse_program(&src).unwrap();
+        let q = Query::parse(&mut program, "tc(n0, Y)").unwrap();
+        let out = sld(&program, &q, 10_000_000);
+        assert!(out.complete);
+        assert_eq!(out.rows.len(), 3 * k);
+        // Exponential duplication: the diamond fan-out doubles the goal
+        // count per level.
+        assert!(
+            out.counters.rule_firings > 1 << k,
+            "expected exponential firings, got {}",
+            out.counters.rule_firings
+        );
+
+        // The engine answers the same query with linear work.
+        let db = Database::from_program(&program);
+        let system = rq_relalg::lemma1(&program, &rq_relalg::Lemma1Options::default())
+            .unwrap()
+            .system;
+        let tc = program.pred_by_name("tc").unwrap();
+        let a = program
+            .consts
+            .get(&rq_common::ConstValue::Str("n0".into()))
+            .unwrap();
+        let source = rq_engine::EdbSource::new(&db);
+        let engine = rq_engine::Evaluator::new(&system, &source).evaluate(
+            tc,
+            a,
+            &rq_engine::EvalOptions::default(),
+        );
+        assert_eq!(engine.answers.len(), out.rows.len());
+        assert!(
+            engine.counters.total_work() * 5 < out.counters.rule_firings,
+            "engine {} should be far below SLD {}",
+            engine.counters.total_work(),
+            out.counters.rule_firings
+        );
+    }
+}

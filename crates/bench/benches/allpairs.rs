@@ -1,0 +1,47 @@
+//! E13: all-pairs queries `p(X,Y)` — per-source evaluation vs Tarjan
+//! strong-component sharing, on cycles (worst case for per-source).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rq_datalog::Database;
+use rq_engine::{all_pairs_per_source, all_pairs_scc, EdbSource, EvalOptions, Evaluator};
+use rq_relalg::{lemma1, Lemma1Options};
+
+fn cycle_program(n: usize) -> rq_datalog::Program {
+    let mut src = String::from("tc(X,Y) :- e(X,Y).\ntc(X,Z) :- e(X,Y), tc(Y,Z).\n");
+    for i in 0..n {
+        src.push_str(&format!("e(v{}, v{}).\n", i, (i + 1) % n));
+    }
+    rq_datalog::parse_program(&src).unwrap()
+}
+
+fn bench_allpairs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allpairs");
+    group.sample_size(10);
+    for n in [16usize, 32, 64] {
+        let program = cycle_program(n);
+        let db = Database::from_program(&program);
+        let system = lemma1(&program, &Lemma1Options::default()).unwrap().system;
+        let tc = program.pred_by_name("tc").unwrap();
+        group.bench_with_input(BenchmarkId::new("per_source", n), &n, |b, _| {
+            b.iter(|| {
+                let source = EdbSource::new(&db);
+                let ev = Evaluator::new(&system, &source);
+                all_pairs_per_source(&ev, &source, tc, &EvalOptions::default())
+                    .pairs
+                    .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("scc_shared", n), &n, |b, _| {
+            b.iter(|| {
+                let source = EdbSource::new(&db);
+                all_pairs_scc(&system, &source, tc, &EvalOptions::default())
+                    .pairs
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allpairs);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! E16: the simple §4 bin transformation (whole-tuple nodes, no binding
+//! propagation) vs the full pipeline, on a same-generation database that
+//! grows away from the query constant.  The simple transformation
+//! "simulates the naive bottom-up evaluation" and must pay for every
+//! fact; the binding-propagating pipeline pays only for the reachable
+//! neighborhood.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rq_baselines::bin_reach;
+use rq_datalog::{Database, Query};
+use rq_engine::EvalOptions;
+
+fn sg_with_irrelevant_components(n: usize) -> rq_datalog::Program {
+    let mut src = String::from(
+        "sg(X,Y) :- flat(X,Y).\n\
+         sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n\
+         up(a,a1). flat(a1,b1). down(b1,b).\n",
+    );
+    for i in 0..n {
+        src.push_str(&format!(
+            "up(u{i},v{i}). flat(v{i},w{i}). down(w{i},x{i}).\n"
+        ));
+    }
+    rq_datalog::parse_program(&src).unwrap()
+}
+
+fn bench_binreach(c: &mut Criterion) {
+    let mut group = c.benchmark_group("binreach_vs_pipeline");
+    group.sample_size(10);
+    for n in [50usize, 100, 200, 400] {
+        let program = sg_with_irrelevant_components(n);
+        group.bench_with_input(BenchmarkId::new("simple_bin", n), &n, |b, _| {
+            let mut p = program.clone();
+            let db = Database::from_program(&p);
+            let query = Query::parse(&mut p, "sg(a, Y)").unwrap();
+            b.iter(|| bin_reach(&p, &db, &query).unwrap().answers.len())
+        });
+        group.bench_with_input(BenchmarkId::new("pipeline", n), &n, |b, _| {
+            let mut p = program.clone();
+            b.iter(|| {
+                recursive_queries::solve_with(&mut p, "sg(a, Y)", &EvalOptions::default())
+                    .unwrap()
+                    .answers
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_binreach);
+criterion_main!(benches);

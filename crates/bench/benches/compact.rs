@@ -1,0 +1,53 @@
+//! Ablation: ε-compacted machines vs plain Thompson machines.
+//!
+//! DESIGN.md calls out that every `id` transition of `M(e_p)` costs one
+//! graph node per constant that flows through it.  This bench measures
+//! the end-to-end effect of [`rq_automata::compact`] on a union-heavy
+//! regular program and on the linear same-generation program.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rq_common::ConstValue;
+use rq_datalog::Database;
+use rq_engine::{EdbSource, EvalOptions, Evaluator};
+use rq_relalg::{lemma1, Lemma1Options};
+
+fn union_heavy_program(n: usize) -> rq_datalog::Program {
+    let mut src = String::from(
+        "r(X,Y) :- a(X,Y).\n\
+         r(X,Y) :- b(X,Y).\n\
+         r(X,Y) :- c(X,Y).\n\
+         r(X,Z) :- a(X,Y), r(Y,Z).\n",
+    );
+    for i in 0..n {
+        src.push_str(&format!("a(v{}, v{}).\n", i, i + 1));
+        src.push_str(&format!("b(v{i}, w{i}).\n"));
+        src.push_str(&format!("c(w{i}, v{i}).\n"));
+    }
+    rq_datalog::parse_program(&src).unwrap()
+}
+
+fn bench_compact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compaction_ablation");
+    group.sample_size(20);
+    for n in [100usize, 400, 1600] {
+        let program = union_heavy_program(n);
+        let db = Database::from_program(&program);
+        let system = lemma1(&program, &Lemma1Options::default()).unwrap().system;
+        let r = program.pred_by_name("r").unwrap();
+        let v0 = program.consts.get(&ConstValue::Str("v0".into())).unwrap();
+        group.bench_with_input(BenchmarkId::new("plain_thompson", n), &n, |b, _| {
+            let source = EdbSource::new(&db);
+            let ev = Evaluator::new(&system, &source);
+            b.iter(|| ev.evaluate(r, v0, &EvalOptions::default()).answers.len())
+        });
+        group.bench_with_input(BenchmarkId::new("compacted", n), &n, |b, _| {
+            let source = EdbSource::new(&db);
+            let ev = Evaluator::new_compacted(&system, &source);
+            b.iter(|| ev.evaluate(r, v0, &EvalOptions::default()).answers.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compact);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! E14: demand-driven traversal vs the Hunt et al. preconstructed graph
+//! on a database dominated by facts irrelevant to the query.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rq_baselines::HuntGraph;
+use rq_common::{ConstValue, Counters};
+use rq_datalog::Database;
+use rq_engine::{EdbSource, EvalOptions, Evaluator};
+use rq_relalg::{lemma1, Lemma1Options};
+
+fn program_with_irrelevant_tail(n: usize) -> rq_datalog::Program {
+    let mut src = String::from("tc(X,Y) :- e(X,Y).\ntc(X,Z) :- e(X,Y), tc(Y,Z).\ne(a,b).\n");
+    for i in 0..n {
+        src.push_str(&format!("e(u{}, u{}).\n", i, i + 1));
+    }
+    rq_datalog::parse_program(&src).unwrap()
+}
+
+fn bench_demand(c: &mut Criterion) {
+    let mut group = c.benchmark_group("demand_vs_preconstruction");
+    group.sample_size(10);
+    for n in [100usize, 400, 1600] {
+        let program = program_with_irrelevant_tail(n);
+        let db = Database::from_program(&program);
+        let system = lemma1(&program, &Lemma1Options::default()).unwrap().system;
+        let tc = program.pred_by_name("tc").unwrap();
+        let a = program.consts.get(&ConstValue::Str("a".into())).unwrap();
+        group.bench_with_input(BenchmarkId::new("ours_demand", n), &n, |b, _| {
+            b.iter(|| {
+                let source = EdbSource::new(&db);
+                Evaluator::new(&system, &source)
+                    .evaluate(tc, a, &EvalOptions::default())
+                    .answers
+                    .len()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hunt_preconstruct", n), &n, |b, _| {
+            b.iter(|| {
+                let graph = HuntGraph::build(&db, &system.rhs[&tc]);
+                let mut counters = Counters::new();
+                graph.query(a, &mut counters).len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_demand);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! E3: Figure 8 — cyclic same generation with the m·n guard, sweeping
+//! the cycle lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rq_bench::prepare;
+use rq_engine::{evaluate_with_cyclic_guard, EvalOptions};
+use rq_workloads::fig8;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    for (m, n) in [(3, 5), (5, 7), (7, 9), (9, 11)] {
+        let prepared = prepare(&fig8::cyclic(m, n));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("m{m}_n{n}")),
+            &(m, n),
+            |b, _| {
+                b.iter(|| {
+                    evaluate_with_cyclic_guard(
+                        &prepared.system,
+                        &prepared.db,
+                        prepared.pred,
+                        prepared.source_const,
+                        &EvalOptions::default(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

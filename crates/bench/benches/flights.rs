@@ -1,0 +1,38 @@
+//! E10: the §4 flight-connection query — the full adorn + transform +
+//! traverse pipeline against plain seminaive bottom-up.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rq_datalog::{Database, Query};
+use rq_engine::EvalOptions;
+use rq_workloads::flights;
+
+fn bench_flights(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flights_section4");
+    group.sample_size(10);
+    for airports in [20usize, 40, 80] {
+        let mut w = flights::network(airports, 4, 7);
+        let query = Query::parse(&mut w.program, &w.query).unwrap();
+        let db = Database::from_program(&w.program);
+        group.bench_with_input(
+            BenchmarkId::new("ours_demand_driven", airports),
+            &airports,
+            |b, _| {
+                b.iter(|| {
+                    rq_adorn::answer_query(&w.program, &db, &query, &EvalOptions::default())
+                        .unwrap()
+                        .rows
+                        .len()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("seminaive_bottom_up", airports),
+            &airports,
+            |b, _| b.iter(|| rq_datalog::seminaive_eval(&w.program).unwrap().db.total_tuples()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_flights);
+criterion_main!(benches);

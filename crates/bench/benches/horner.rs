@@ -1,0 +1,30 @@
+//! E6: constructing the Horner-style unrolling `sg_i` (linear size) vs
+//! the flattened `sg'_i` (quadratic size).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rq_relalg::{flattened_linear, initial_system, linear_decomposition, unroll};
+
+fn bench_horner(c: &mut Criterion) {
+    let program = rq_datalog::parse_program(
+        "sg(X,Y) :- flat(X,Y).\nsg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\nflat(a,b).",
+    )
+    .unwrap();
+    let system = initial_system(&program).unwrap();
+    let sg = program.pred_by_name("sg").unwrap();
+    let (e0, e1, e2) = linear_decomposition(sg, &system.rhs[&sg]).unwrap();
+
+    let mut group = c.benchmark_group("horner_unrolling");
+    group.sample_size(10);
+    for i in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::new("horner_sg_i", i), &i, |b, &i| {
+            b.iter(|| unroll(&system, sg, i).occurrence_count())
+        });
+        group.bench_with_input(BenchmarkId::new("flattened_sg_i", i), &i, |b, &i| {
+            b.iter(|| flattened_linear(&e0, &e1, &e2, i - 1).occurrence_count())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_horner);
+criterion_main!(benches);

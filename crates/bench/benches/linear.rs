@@ -1,0 +1,37 @@
+//! E9: Theorem 4 — the linear case runs in O(h·n·t); sweep the number
+//! of iterations h (ladder height) and the per-level size n (bundle
+//! width) independently.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rq_bench::{prepare, run_strategy, StrategyKind};
+use rq_workloads::{fig7, graphs};
+
+fn bench_linear(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem4_linear");
+    group.sample_size(10);
+    // h sweep: fig7(c) ladder, h = n, total work O(n).
+    for n in [128usize, 512, 2048] {
+        let prepared = prepare(&fig7::sample_c(n));
+        group.bench_with_input(BenchmarkId::new("sweep_h_ladder", n), &n, |b, _| {
+            b.iter(|| run_strategy(&prepared, StrategyKind::Ours, None))
+        });
+    }
+    // n sweep: fig7(a) bundle, h = 2 fixed.
+    for n in [128usize, 512, 2048] {
+        let prepared = prepare(&fig7::sample_a(n));
+        group.bench_with_input(BenchmarkId::new("sweep_n_bundle", n), &n, |b, _| {
+            b.iter(|| run_strategy(&prepared, StrategyKind::Ours, None))
+        });
+    }
+    // Balanced same-generation trees: h = depth, n = 2^depth.
+    for depth in [4usize, 6, 8] {
+        let prepared = prepare(&graphs::sg_tree(depth));
+        group.bench_with_input(BenchmarkId::new("sg_tree", depth), &depth, |b, _| {
+            b.iter(|| run_strategy(&prepared, StrategyKind::Ours, None))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_linear);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! E8: Theorem 3 — the regular case runs in O(n t); wall-clock scaling
+//! on chains, trees, grids, and random DAGs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rq_bench::{prepare, run_strategy, StrategyKind};
+use rq_workloads::graphs;
+
+fn bench_regular(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem3_regular");
+    group.sample_size(10);
+    for n in [256usize, 1024, 4096] {
+        let prepared = prepare(&graphs::chain(n));
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("chain", n), &n, |b, _| {
+            b.iter(|| run_strategy(&prepared, StrategyKind::Ours, None))
+        });
+    }
+    for depth in [6usize, 8, 10] {
+        let prepared = prepare(&graphs::binary_tree(depth));
+        group.bench_with_input(BenchmarkId::new("btree", depth), &depth, |b, _| {
+            b.iter(|| run_strategy(&prepared, StrategyKind::Ours, None))
+        });
+    }
+    for w in [8usize, 16, 32] {
+        let prepared = prepare(&graphs::grid(w, w));
+        group.bench_with_input(BenchmarkId::new("grid", w), &w, |b, _| {
+            b.iter(|| run_strategy(&prepared, StrategyKind::Ours, None))
+        });
+    }
+    for layers in [8usize, 16, 32] {
+        let prepared = prepare(&graphs::layered_dag(layers, 8, 0.3, 42));
+        group.bench_with_input(BenchmarkId::new("dag", layers), &layers, |b, _| {
+            b.iter(|| run_strategy(&prepared, StrategyKind::Ours, None))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_regular);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E1: wall-clock version of the §3 comparison table — all five
+//! strategies on the three Figure 7 samples.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rq_bench::{prepare, run_strategy, StrategyKind};
+use rq_workloads::{fig7, Workload};
+
+fn bench_table1(c: &mut Criterion) {
+    for (sample, generator) in [
+        ("fig7a", fig7::sample_a as fn(usize) -> Workload),
+        ("fig7b", fig7::sample_b as fn(usize) -> Workload),
+        ("fig7c", fig7::sample_c as fn(usize) -> Workload),
+    ] {
+        let mut group = c.benchmark_group(format!("table1/{sample}"));
+        group.sample_size(10);
+        for n in [64usize, 128, 256] {
+            let prepared = prepare(&generator(n));
+            for strategy in StrategyKind::TABLE1 {
+                group.bench_with_input(
+                    BenchmarkId::new(strategy.label(), n),
+                    &n,
+                    |b, _| b.iter(|| run_strategy(&prepared, strategy, None)),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

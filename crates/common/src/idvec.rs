@@ -1,0 +1,185 @@
+//! Dense vectors indexed by interned ids.
+//!
+//! Interners hand out dense `u32` ids, so per-id tables are best stored as
+//! plain vectors rather than hash maps.  `IdVec` wraps that pattern with the
+//! id newtype as the index type, preventing accidental cross-indexing (e.g.
+//! indexing a per-predicate table with a constant id).
+
+use std::marker::PhantomData;
+use std::ops::{Index, IndexMut};
+
+/// Types usable as an [`IdVec`] index.
+pub trait IdLike: Copy {
+    /// The raw index.
+    fn index(self) -> usize;
+    /// Build from a raw index.
+    fn from_index(i: usize) -> Self;
+}
+
+macro_rules! impl_idlike {
+    ($($t:ty),*) => {
+        $(impl IdLike for $t {
+            #[inline]
+            fn index(self) -> usize { self.index() }
+            #[inline]
+            fn from_index(i: usize) -> Self { <$t>::from_index(i) }
+        })*
+    };
+}
+
+impl_idlike!(crate::intern::Const, crate::intern::Pred, crate::intern::Var);
+
+impl IdLike for usize {
+    #[inline]
+    fn index(self) -> usize {
+        self
+    }
+    #[inline]
+    fn from_index(i: usize) -> Self {
+        i
+    }
+}
+
+/// A `Vec<T>` that can only be indexed by `I`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IdVec<I: IdLike, T> {
+    raw: Vec<T>,
+    _marker: PhantomData<fn(I)>,
+}
+
+impl<I: IdLike, T> Default for IdVec<I, T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<I: IdLike, T> IdVec<I, T> {
+    /// New, empty table.
+    pub fn new() -> Self {
+        Self {
+            raw: Vec::new(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// New table with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            raw: Vec::with_capacity(cap),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Append a value, returning the id it was stored under.
+    pub fn push(&mut self, value: T) -> I {
+        let id = I::from_index(self.raw.len());
+        self.raw.push(value);
+        id
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.raw.is_empty()
+    }
+
+    /// Iterate over `(id, &value)` pairs.
+    pub fn iter_enumerated(&self) -> impl Iterator<Item = (I, &T)> {
+        self.raw
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (I::from_index(i), v))
+    }
+
+    /// Iterate over values.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.raw.iter()
+    }
+
+    /// Iterate over values mutably.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.raw.iter_mut()
+    }
+
+    /// Iterate over the ids only.
+    pub fn ids(&self) -> impl Iterator<Item = I> + '_ {
+        (0..self.raw.len()).map(I::from_index)
+    }
+
+    /// Get without panicking.
+    pub fn get(&self, id: I) -> Option<&T> {
+        self.raw.get(id.index())
+    }
+
+    /// Grow the table to hold `id`, filling gaps with `fill()`.
+    pub fn ensure(&mut self, id: I, mut fill: impl FnMut() -> T) {
+        while self.raw.len() <= id.index() {
+            self.raw.push(fill());
+        }
+    }
+
+    /// Borrow the backing slice.
+    pub fn raw(&self) -> &[T] {
+        &self.raw
+    }
+}
+
+impl<I: IdLike, T> Index<I> for IdVec<I, T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, id: I) -> &T {
+        &self.raw[id.index()]
+    }
+}
+
+impl<I: IdLike, T> IndexMut<I> for IdVec<I, T> {
+    #[inline]
+    fn index_mut(&mut self, id: I) -> &mut T {
+        &mut self.raw[id.index()]
+    }
+}
+
+impl<I: IdLike, T> FromIterator<T> for IdVec<I, T> {
+    fn from_iter<It: IntoIterator<Item = T>>(iter: It) -> Self {
+        Self {
+            raw: iter.into_iter().collect(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intern::Pred;
+
+    #[test]
+    fn push_returns_sequential_ids() {
+        let mut v: IdVec<Pred, &str> = IdVec::new();
+        let a = v.push("up");
+        let b = v.push("down");
+        assert_eq!(a, Pred(0));
+        assert_eq!(b, Pred(1));
+        assert_eq!(v[a], "up");
+        assert_eq!(v[b], "down");
+    }
+
+    #[test]
+    fn ensure_fills_gaps() {
+        let mut v: IdVec<Pred, u32> = IdVec::new();
+        v.ensure(Pred(3), || 7);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[Pred(2)], 7);
+    }
+
+    #[test]
+    fn iter_enumerated_pairs_ids() {
+        let v: IdVec<usize, char> = "abc".chars().collect();
+        let pairs: Vec<(usize, char)> = v.iter_enumerated().map(|(i, &c)| (i, c)).collect();
+        assert_eq!(pairs, vec![(0, 'a'), (1, 'b'), (2, 'c')]);
+    }
+}

@@ -1,0 +1,22 @@
+//! Shared substrate for the `recursive-queries` workspace.
+//!
+//! This crate holds the cross-cutting pieces every other crate builds on:
+//!
+//! * [`hash`] — an FxHash-style fast hasher and map/set aliases;
+//! * [`intern`] — interned constants, predicates, and variables;
+//! * [`idvec`] — dense tables indexed by interned ids;
+//! * [`counters`] — the unit-cost instrumentation counters that the
+//!   benchmark harness uses to reproduce the paper's complexity table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod hash;
+pub mod idvec;
+pub mod intern;
+
+pub use counters::Counters;
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use idvec::{IdLike, IdVec};
+pub use intern::{Const, ConstInterner, ConstValue, NameInterner, Pred, Var};

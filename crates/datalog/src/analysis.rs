@@ -1,0 +1,614 @@
+//! Program analysis: dependency graph, strongly connected components, and
+//! the paper's recursion taxonomy (§2).
+//!
+//! * predicates `p`, `q` are *mutually recursive* iff they lie on a common
+//!   cycle of the predicate dependency graph (same nontrivial SCC);
+//! * `p` is *recursive* iff it is mutually recursive with itself;
+//! * a rule is *linear* if at most one body literal's predicate is mutually
+//!   recursive with the head;
+//! * a binary-chain rule `p(X1,Xn+1) :- p1(X1,X2), ..., pn(Xn,Xn+1)` is
+//!   *right-linear* if none of `p1..pn-1` is mutually recursive to `p`,
+//!   *left-linear* if none of `p2..pn` is;
+//! * a derived predicate is *regular* if all rules of all predicates
+//!   mutually recursive to it are right-linear, or all are left-linear;
+//! * a *binary-chain program* has only binary predicates and only
+//!   binary-chain rules in its IDB; it is *regular* if all its derived
+//!   predicates are regular.
+
+use crate::ast::{Literal, Program, Rule, Term};
+use rq_common::{FxHashMap, FxHashSet, IdVec, Pred};
+
+/// Tarjan's strongly-connected-components algorithm over a dense graph.
+///
+/// `succ[v]` lists the successors of node `v`.  Returns `(comp, ncomps)`
+/// where `comp[v]` is the component id of `v`; component ids are assigned
+/// in **reverse topological order** (a component's successors always have
+/// lower ids), which is the order bottom-up stratified evaluation wants.
+pub fn tarjan_scc(succ: &[Vec<usize>]) -> (Vec<usize>, usize) {
+    let n = succ.len();
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp = vec![usize::MAX; n];
+    let mut next_index = 0usize;
+    let mut ncomps = 0usize;
+
+    // Explicit DFS to avoid recursion-depth limits on deep programs.
+    enum Frame {
+        Enter(usize),
+        Resume(usize, usize),
+    }
+    let mut work: Vec<Frame> = Vec::new();
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        work.push(Frame::Enter(root));
+        while let Some(frame) = work.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    work.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, mut i) => {
+                    let mut descended = false;
+                    while i < succ[v].len() {
+                        let w = succ[v][i];
+                        i += 1;
+                        if index[w] == usize::MAX {
+                            work.push(Frame::Resume(v, i));
+                            work.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if on_stack[w] {
+                            low[v] = low[v].min(index[w]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    if low[v] == index[v] {
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            comp[w] = ncomps;
+                            if w == v {
+                                break;
+                            }
+                        }
+                        ncomps += 1;
+                    }
+                    // Propagate lowlink to the parent frame, if any.
+                    if let Some(Frame::Resume(parent, _)) = work.last() {
+                        let parent = *parent;
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                }
+            }
+        }
+    }
+    (comp, ncomps)
+}
+
+/// Result of analysing a program.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// SCC id per predicate (reverse topological order).
+    pub comp: IdVec<Pred, usize>,
+    /// Number of SCCs.
+    pub ncomps: usize,
+    /// Whether each predicate is recursive (on a cycle).
+    pub recursive: IdVec<Pred, bool>,
+    /// Members of each SCC.
+    pub comp_members: Vec<Vec<Pred>>,
+}
+
+impl Analysis {
+    /// Analyse a program's predicate dependency graph.
+    pub fn of(program: &Program) -> Self {
+        let n = program.preds.len();
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut self_loop = vec![false; n];
+        let mut seen: FxHashSet<(usize, usize)> = FxHashSet::default();
+        for rule in &program.rules {
+            let h = rule.head.pred.index();
+            for atom in rule.body_atoms() {
+                let b = atom.pred.index();
+                if b == h {
+                    self_loop[h] = true;
+                }
+                if seen.insert((h, b)) {
+                    succ[h].push(b);
+                }
+            }
+        }
+        let (comp_raw, ncomps) = tarjan_scc(&succ);
+        let mut comp_members: Vec<Vec<Pred>> = vec![Vec::new(); ncomps];
+        for (i, &c) in comp_raw.iter().enumerate() {
+            comp_members[c].push(Pred::from_index(i));
+        }
+        let recursive: IdVec<Pred, bool> = (0..n)
+            .map(|i| comp_members[comp_raw[i]].len() > 1 || self_loop[i])
+            .collect();
+        Self {
+            comp: comp_raw.into_iter().collect(),
+            ncomps,
+            recursive,
+            comp_members,
+        }
+    }
+
+    /// Whether `p` and `q` are mutually recursive.  Per the paper's
+    /// definition this requires a cycle through both, so `p` is mutually
+    /// recursive to itself only if it is recursive.
+    pub fn mutually_recursive(&self, p: Pred, q: Pred) -> bool {
+        if p == q {
+            return self.recursive[p];
+        }
+        self.comp[p] == self.comp[q]
+    }
+
+    /// Whether the rule is linear: at most one body literal whose predicate
+    /// is mutually recursive to the head.
+    pub fn rule_is_linear(&self, rule: &Rule) -> bool {
+        self.count_recursive_body_literals(rule) <= 1
+    }
+
+    /// Number of body literals mutually recursive to the head.
+    pub fn count_recursive_body_literals(&self, rule: &Rule) -> usize {
+        rule.body_atoms()
+            .filter(|a| self.mutually_recursive(rule.head.pred, a.pred))
+            .count()
+    }
+
+    /// Whether the rule is a recursive rule (head mutually recursive to
+    /// some body predicate).
+    pub fn rule_is_recursive(&self, rule: &Rule) -> bool {
+        self.count_recursive_body_literals(rule) > 0
+    }
+
+    /// Whether the whole program is linear (every rule linear).
+    pub fn program_is_linear(&self, program: &Program) -> bool {
+        program.rules.iter().all(|r| self.rule_is_linear(r))
+    }
+
+    /// Whether the program is recursive at all.
+    pub fn program_is_recursive(&self, program: &Program) -> bool {
+        program.rules.iter().any(|r| self.rule_is_recursive(r))
+    }
+}
+
+/// Why a program fails to be a binary-chain program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChainViolation {
+    /// A predicate is not binary.
+    NonBinaryPred(Pred),
+    /// A rule contains a built-in literal.
+    BuiltinInRule(usize),
+    /// The body of rule `rule` is not a chain `p1(X1,X2)...pn(Xn,Xn+1)`
+    /// with head `(X1, Xn+1)` and all variables distinct.
+    NotAChain(usize),
+}
+
+/// Check the binary-chain condition (§2).  Returns the violations found
+/// (empty means the program is a binary-chain program).
+pub fn binary_chain_violations(program: &Program) -> Vec<ChainViolation> {
+    let mut out = Vec::new();
+    for (p, info) in program.preds.iter_enumerated() {
+        if info.arity != 2 {
+            out.push(ChainViolation::NonBinaryPred(p));
+        }
+    }
+    for (ri, rule) in program.rules.iter().enumerate() {
+        if rule.body.iter().any(|l| !matches!(l, Literal::Atom(_))) {
+            out.push(ChainViolation::BuiltinInRule(ri));
+            continue;
+        }
+        if !rule_is_chain(rule) {
+            out.push(ChainViolation::NotAChain(ri));
+        }
+    }
+    out
+}
+
+/// Whether a single rule has the binary-chain shape.  The head variables
+/// must be the first variable of the first body literal and the second of
+/// the last; adjacent literals share exactly their junction variable; all
+/// chain variables are distinct.  A rule with an empty body qualifies only
+/// as `p(X,X) :-` (the reflexive rule used to define `*`).
+pub fn rule_is_chain(rule: &Rule) -> bool {
+    // All args must be variables.
+    let head_vars: Vec<_> = rule.head.args.iter().map(|t| t.as_var()).collect();
+    if rule.head.args.len() != 2 {
+        return false;
+    }
+    let (Some(h0), Some(h1)) = (head_vars[0], head_vars[1]) else {
+        return false;
+    };
+    if rule.body.is_empty() {
+        // p*(X,X) :- .
+        return h0 == h1;
+    }
+    let mut chain_vars: Vec<_> = Vec::with_capacity(rule.body.len() + 1);
+    for (i, lit) in rule.body.iter().enumerate() {
+        let Some(atom) = lit.as_atom() else {
+            return false;
+        };
+        if atom.args.len() != 2 {
+            return false;
+        }
+        let (Some(a), Some(b)) = (atom.args[0].as_var(), atom.args[1].as_var()) else {
+            return false;
+        };
+        if i == 0 {
+            chain_vars.push(a);
+        } else if *chain_vars.last().expect("nonempty") != a {
+            return false;
+        }
+        chain_vars.push(b);
+    }
+    if chain_vars[0] != h0 || *chain_vars.last().expect("nonempty") != h1 {
+        return false;
+    }
+    // X1 ... Xn+1 all distinct.
+    let mut seen = FxHashSet::default();
+    chain_vars.iter().all(|v| seen.insert(*v))
+}
+
+/// Regularity classification of a binary-chain rule w.r.t. an [`Analysis`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleLinearity {
+    /// None of `p1..pn-1` mutually recursive to the head (recursion, if
+    /// any, only in the last position).
+    pub right_linear: bool,
+    /// None of `p2..pn` mutually recursive to the head.
+    pub left_linear: bool,
+}
+
+/// Classify one binary-chain rule.
+pub fn rule_linearity(analysis: &Analysis, rule: &Rule) -> RuleLinearity {
+    let head = rule.head.pred;
+    let atoms: Vec<_> = rule.body_atoms().collect();
+    let n = atoms.len();
+    let mr: Vec<bool> = atoms
+        .iter()
+        .map(|a| analysis.mutually_recursive(head, a.pred))
+        .collect();
+    RuleLinearity {
+        right_linear: (0..n.saturating_sub(1)).all(|i| !mr[i]),
+        left_linear: (1..n).all(|i| !mr[i]),
+    }
+}
+
+/// Regularity of a derived predicate: right-linear if all rules of all
+/// predicates mutually recursive to it are right-linear, etc.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Regularity {
+    /// All rules in the recursion clique are right-linear.
+    RightLinear,
+    /// All rules in the recursion clique are left-linear.
+    LeftLinear,
+    /// Both at once (no recursion, or recursion confined to unit rules).
+    Both,
+    /// Neither: the predicate is nonregular.
+    Nonregular,
+}
+
+impl Regularity {
+    /// Regular means right- or left-linear.
+    pub fn is_regular(self) -> bool {
+        !matches!(self, Regularity::Nonregular)
+    }
+}
+
+/// Classify a derived predicate's regularity.
+pub fn pred_regularity(program: &Program, analysis: &Analysis, p: Pred) -> Regularity {
+    let clique: Vec<Pred> = if analysis.recursive[p] {
+        analysis.comp_members[analysis.comp[p]].clone()
+    } else {
+        vec![p]
+    };
+    let mut right = true;
+    let mut left = true;
+    for rule in &program.rules {
+        if !clique.contains(&rule.head.pred) {
+            continue;
+        }
+        // Only predicates mutually recursive *to p* matter; within an SCC
+        // that is the same clique.
+        if !analysis.mutually_recursive(rule.head.pred, p) && rule.head.pred != p {
+            continue;
+        }
+        let lin = rule_linearity(analysis, rule);
+        right &= lin.right_linear;
+        left &= lin.left_linear;
+    }
+    match (right, left) {
+        (true, true) => Regularity::Both,
+        (true, false) => Regularity::RightLinear,
+        (false, true) => Regularity::LeftLinear,
+        (false, false) => Regularity::Nonregular,
+    }
+}
+
+/// Whether the binary-chain program is regular (all derived predicates
+/// regular).
+pub fn program_is_regular(program: &Program, analysis: &Analysis) -> bool {
+    program
+        .derived_preds()
+        .all(|p| pred_regularity(program, analysis, p).is_regular())
+}
+
+/// Safety check: every head variable occurs in an ordinary body literal,
+/// and every variable of a built-in literal occurs in an ordinary body
+/// literal of the same rule (the paper's restriction on built-ins).
+/// Returns the indexes of unsafe rules.
+pub fn unsafe_rules(program: &Program) -> Vec<usize> {
+    let mut out = Vec::new();
+    for (ri, rule) in program.rules.iter().enumerate() {
+        let mut bound: FxHashSet<_> = FxHashSet::default();
+        for atom in rule.body_atoms() {
+            bound.extend(atom.vars());
+        }
+        let head_safe = rule.head.vars().all(|v| bound.contains(&v));
+        let builtins_safe = rule.body.iter().all(|l| match l {
+            Literal::Atom(_) => true,
+            Literal::Cmp { lhs, rhs, .. } => [lhs, rhs]
+                .into_iter()
+                .filter_map(|t| t.as_var())
+                .all(|v| bound.contains(&v)),
+        });
+        if !head_safe || !builtins_safe {
+            out.push(ri);
+        }
+    }
+    out
+}
+
+/// Group derived predicates into evaluation strata: SCCs of the dependency
+/// graph in dependency order (every predicate a stratum depends on lives
+/// in an earlier stratum).
+pub fn strata(program: &Program, analysis: &Analysis) -> Vec<Vec<Pred>> {
+    // Component ids are already reverse-topological: successors (callees)
+    // have smaller ids, so ascending id order is dependency order.
+    let mut grouped: FxHashMap<usize, Vec<Pred>> = FxHashMap::default();
+    for p in program.derived_preds() {
+        grouped.entry(analysis.comp[p]).or_default().push(p);
+    }
+    let mut keys: Vec<usize> = grouped.keys().copied().collect();
+    keys.sort_unstable();
+    keys.into_iter()
+        .map(|k| grouped.remove(&k).expect("key present"))
+        .collect()
+}
+
+/// Term helper: whether every argument of every atom in the rule is a
+/// variable (required by the binary-chain form).
+pub fn rule_all_vars(rule: &Rule) -> bool {
+    rule.head.args.iter().all(|t| matches!(t, Term::Var(_)))
+        && rule
+            .body_atoms()
+            .all(|a| a.args.iter().all(|t| matches!(t, Term::Var(_))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn prog(src: &str) -> Program {
+        parse_program(src).unwrap()
+    }
+
+    #[test]
+    fn tarjan_simple_cycle() {
+        // 0 -> 1 -> 2 -> 0, 3 -> 0
+        let succ = vec![vec![1], vec![2], vec![0], vec![0]];
+        let (comp, n) = tarjan_scc(&succ);
+        assert_eq!(n, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_ne!(comp[3], comp[0]);
+        // Reverse topological: callee component (the cycle) has smaller id.
+        assert!(comp[0] < comp[3]);
+    }
+
+    #[test]
+    fn tarjan_deep_chain_no_overflow() {
+        let n = 200_000;
+        let succ: Vec<Vec<usize>> = (0..n).map(|i| if i + 1 < n { vec![i + 1] } else { vec![] }).collect();
+        let (comp, ncomps) = tarjan_scc(&succ);
+        assert_eq!(ncomps, n);
+        // Chain: comp ids strictly increase towards the head.
+        assert!(comp[0] > comp[n - 1]);
+    }
+
+    #[test]
+    fn tarjan_lowlink_through_nested_descent() {
+        // 0 -> 1 -> 2 -> 3 -> 1 (cycle 1-2-3), 0 not in it.
+        let succ = vec![vec![1], vec![2], vec![3], vec![1]];
+        let (comp, n) = tarjan_scc(&succ);
+        assert_eq!(n, 2);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[1]);
+    }
+
+    #[test]
+    fn same_generation_classification() {
+        let p = prog(
+            "sg(X,Y) :- flat(X,Y).\n\
+             sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n\
+             up(a,b).",
+        );
+        let a = Analysis::of(&p);
+        let sg = p.pred_by_name("sg").unwrap();
+        let up = p.pred_by_name("up").unwrap();
+        assert!(a.recursive[sg]);
+        assert!(!a.recursive[up]);
+        assert!(a.mutually_recursive(sg, sg));
+        assert!(!a.mutually_recursive(sg, up));
+        assert!(a.program_is_linear(&p));
+        assert!(a.program_is_recursive(&p));
+        assert!(binary_chain_violations(&p).is_empty());
+        // sg is neither right- nor left-linear (recursion in the middle),
+        // hence nonregular.
+        assert_eq!(pred_regularity(&p, &a, sg), Regularity::Nonregular);
+        assert!(!program_is_regular(&p, &a));
+    }
+
+    #[test]
+    fn transitive_closure_is_right_linear() {
+        let p = prog(
+            "tc(X,Y) :- e(X,Y).\n\
+             tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+             e(a,b).",
+        );
+        let a = Analysis::of(&p);
+        let tc = p.pred_by_name("tc").unwrap();
+        assert_eq!(pred_regularity(&p, &a, tc), Regularity::RightLinear);
+        assert!(program_is_regular(&p, &a));
+    }
+
+    #[test]
+    fn left_linear_closure() {
+        let p = prog(
+            "tc(X,Y) :- e(X,Y).\n\
+             tc(X,Z) :- tc(X,Y), e(Y,Z).\n\
+             e(a,b).",
+        );
+        let a = Analysis::of(&p);
+        let tc = p.pred_by_name("tc").unwrap();
+        assert_eq!(pred_regularity(&p, &a, tc), Regularity::LeftLinear);
+    }
+
+    #[test]
+    fn nonlinear_rule_detected() {
+        let p = prog(
+            "tc(X,Y) :- e(X,Y).\n\
+             tc(X,Z) :- tc(X,Y), tc(Y,Z).\n\
+             e(a,b).",
+        );
+        let a = Analysis::of(&p);
+        assert!(!a.program_is_linear(&p));
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        // The paper's §3 example: p1, p2, p3 mutually recursive; q1, q2;
+        // r1, r2.
+        let p = prog(
+            "p1(X,Z) :- b(X,Y), p2(Y,Z).\n\
+             p1(X,Z) :- q1(X,Y), p3(Y,Z).\n\
+             p2(X,Z) :- c(X,Y), p1(Y,Z).\n\
+             p2(X,Z) :- d(X,Y), p3(Y,Z).\n\
+             p3(X,Y) :- a(X,Y).\n\
+             p3(X,Z) :- e(X,Y), p2(Y,Z).\n\
+             q1(X,Z) :- a(X,Y), q2(Y,Z).\n\
+             q2(X,Y) :- r2(X,Y).\n\
+             q2(X,Z) :- q1(X,Y), r1(Y,Z).\n\
+             r1(X,Y) :- b(X,Y).\n\
+             r1(X,Y) :- r2(X,Y).\n\
+             r2(X,Z) :- r1(X,Y), c(Y,Z).\n\
+             a(x,y).",
+        );
+        let a = Analysis::of(&p);
+        let by = |n: &str| p.pred_by_name(n).unwrap();
+        assert!(a.mutually_recursive(by("p1"), by("p2")));
+        assert!(a.mutually_recursive(by("p1"), by("p3")));
+        assert!(a.mutually_recursive(by("q1"), by("q2")));
+        assert!(a.mutually_recursive(by("r1"), by("r2")));
+        assert!(!a.mutually_recursive(by("p1"), by("q1")));
+        assert!(!a.mutually_recursive(by("q1"), by("r1")));
+        // Paper: p1,p2,p3 are right-linear; r1,r2 left-linear; q1,q2
+        // linear but nonregular.
+        for n in ["p1", "p2", "p3"] {
+            assert_eq!(pred_regularity(&p, &a, by(n)), Regularity::RightLinear, "{n}");
+        }
+        for n in ["r1", "r2"] {
+            assert_eq!(pred_regularity(&p, &a, by(n)), Regularity::LeftLinear, "{n}");
+        }
+        for n in ["q1", "q2"] {
+            assert_eq!(pred_regularity(&p, &a, by(n)), Regularity::Nonregular, "{n}");
+        }
+        assert!(a.program_is_linear(&p));
+        assert!(binary_chain_violations(&p).is_empty());
+    }
+
+    #[test]
+    fn chain_rule_shape_checks() {
+        let p = prog("p(X,Z) :- a(X,Y), b(Y,Z).\na(x,y).");
+        assert!(rule_is_chain(&p.rules[0]));
+        // Head vars reversed: not a chain.
+        let p = prog("p(Z,X) :- a(X,Y), b(Y,Z).\na(x,y).");
+        assert!(!rule_is_chain(&p.rules[0]));
+        // Repeated variable: not a chain.
+        let p = prog("p(X,X) :- a(X,Y), b(Y,X).\na(x,y).");
+        assert!(!rule_is_chain(&p.rules[0]));
+        // Disconnected body: not a chain.
+        let p = prog("p(X,Z) :- a(X,Y), b(W,Z).\na(x,y).");
+        assert!(!rule_is_chain(&p.rules[0]));
+        // Constant in body: not a chain.
+        let p = prog("p(X,Z) :- a(X,k), b(k,Z).\na(x,y).");
+        assert!(!rule_is_chain(&p.rules[0]));
+    }
+
+    #[test]
+    fn chain_violations_reported() {
+        let p = prog("t(X,Y,Z) :- e(X,Y), f(Y,Z).\ne(a,b).");
+        let v = binary_chain_violations(&p);
+        assert!(v.iter().any(|x| matches!(x, ChainViolation::NonBinaryPred(_))));
+        let p = prog("t(X,Y) :- e(X,Y), X < Y.\ne(1,2).");
+        let v = binary_chain_violations(&p);
+        assert!(v.iter().any(|x| matches!(x, ChainViolation::BuiltinInRule(0))));
+    }
+
+    #[test]
+    fn unsafe_rules_detected() {
+        // Head var Z not in body.
+        let p = prog("p(X,Z) :- a(X,Y).\na(x,y).");
+        assert_eq!(unsafe_rules(&p), vec![0]);
+        // Builtin var W unbound.
+        let p = prog("p(X,Y) :- a(X,Y), W < Y.\na(1,2).");
+        assert_eq!(unsafe_rules(&p), vec![0]);
+        // Safe rule.
+        let p = prog("p(X,Y) :- a(X,Y), X < Y.\na(1,2).");
+        assert!(unsafe_rules(&p).is_empty());
+    }
+
+    #[test]
+    fn strata_respect_dependencies() {
+        let p = prog(
+            "a(X,Y) :- e(X,Y).\n\
+             b(X,Y) :- a(X,Y).\n\
+             c(X,Y) :- b(X,Y), c(X,Y).\n\
+             e(u,v).",
+        );
+        let an = Analysis::of(&p);
+        let s = strata(&p, &an);
+        let pos = |name: &str| {
+            let pr = p.pred_by_name(name).unwrap();
+            s.iter().position(|grp| grp.contains(&pr)).unwrap()
+        };
+        assert!(pos("a") < pos("b"));
+        assert!(pos("b") < pos("c"));
+    }
+
+    #[test]
+    fn reflexive_empty_body_chain() {
+        // p*(X,X) :- .  The parser requires a body, so build it manually.
+        let mut p = Program::new();
+        let star = p.pred("star", 2);
+        p.add_rule(Rule {
+            head: crate::ast::Atom::new(star, vec![Term::Var(rq_common::Var(0)), Term::Var(rq_common::Var(0))]),
+            body: vec![],
+            var_names: vec!["X".into()],
+        });
+        assert!(rule_is_chain(&p.rules[0]));
+    }
+}

@@ -1,0 +1,323 @@
+//! Extensional/derived relation storage with on-demand column indexes.
+//!
+//! The paper's cost model assumes "any tuple in a base relation can be
+//! retrieved in constant time".  We realize that model with flat, arity-
+//! strided tuple storage plus hash indexes keyed by the bound-column subset,
+//! built lazily the first time a lookup with that binding pattern happens
+//! and maintained incrementally as tuples are inserted.
+
+use rq_common::{Const, FxHashMap, IdVec, Pred};
+use std::cell::RefCell;
+
+/// A bitmask of bound columns; bit `i` set means column `i` is bound.
+pub type ColMask = u32;
+
+/// Build a mask from an iterator of bound column positions.
+pub fn mask_of(cols: impl IntoIterator<Item = usize>) -> ColMask {
+    let mut m = 0;
+    for c in cols {
+        debug_assert!(c < 32);
+        m |= 1 << c;
+    }
+    m
+}
+
+/// Columns set in a mask, in ascending order.
+pub fn mask_cols(mask: ColMask) -> impl Iterator<Item = usize> {
+    (0..32).filter(move |c| mask & (1 << c) != 0)
+}
+
+type Index = FxHashMap<Box<[Const]>, Vec<u32>>;
+
+/// A stored relation: a set of tuples of a fixed arity.
+#[derive(Debug, Default)]
+pub struct Relation {
+    arity: usize,
+    /// Tuples, stored back to back (`arity` constants each).
+    flat: Vec<Const>,
+    /// Tuple → ordinal, for deduplication and membership tests.
+    dedup: FxHashMap<Box<[Const]>, u32>,
+    /// Lazily built indexes, one per bound-column mask.
+    indexes: RefCell<FxHashMap<ColMask, Index>>,
+}
+
+impl Relation {
+    /// New, empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Self {
+            arity,
+            flat: Vec::new(),
+            dedup: FxHashMap::default(),
+            indexes: RefCell::new(FxHashMap::default()),
+        }
+    }
+
+    /// The relation's arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.dedup.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.dedup.is_empty()
+    }
+
+    /// The tuple with the given ordinal.
+    #[inline]
+    pub fn tuple(&self, ord: u32) -> &[Const] {
+        let start = ord as usize * self.arity;
+        &self.flat[start..start + self.arity]
+    }
+
+    /// Iterate all tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &[Const]> {
+        self.flat.chunks_exact(self.arity.max(1)).take(self.len())
+    }
+
+    /// Membership test.
+    pub fn contains(&self, tuple: &[Const]) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity);
+        self.dedup.contains_key(tuple)
+    }
+
+    /// Insert a tuple; returns `true` if it was new.  Existing indexes are
+    /// maintained incrementally so lookups stay correct as derived
+    /// relations grow during bottom-up evaluation.
+    pub fn insert(&mut self, tuple: &[Const]) -> bool {
+        debug_assert_eq!(tuple.len(), self.arity);
+        if self.dedup.contains_key(tuple) {
+            return false;
+        }
+        let ord = self.len() as u32;
+        self.dedup.insert(tuple.into(), ord);
+        self.flat.extend_from_slice(tuple);
+        let mut indexes = self.indexes.borrow_mut();
+        for (&mask, index) in indexes.iter_mut() {
+            let key = Self::key_for(tuple, mask);
+            index.entry(key).or_default().push(ord);
+        }
+        true
+    }
+
+    fn key_for(tuple: &[Const], mask: ColMask) -> Box<[Const]> {
+        mask_cols(mask)
+            .filter(|&c| c < tuple.len())
+            .map(|c| tuple[c])
+            .collect()
+    }
+
+    /// Append to `out` the ordinals of all tuples whose columns in `mask`
+    /// equal `key` (the bound values, in ascending column order).  Builds
+    /// the index for `mask` on first use.
+    pub fn lookup(&self, mask: ColMask, key: &[Const], out: &mut Vec<u32>) {
+        if mask == 0 {
+            out.extend(0..self.len() as u32);
+            return;
+        }
+        let mut indexes = self.indexes.borrow_mut();
+        let index = indexes.entry(mask).or_insert_with(|| {
+            let mut idx: Index = FxHashMap::default();
+            for ord in 0..self.len() as u32 {
+                let key = Self::key_for(self.tuple(ord), mask);
+                idx.entry(key).or_default().push(ord);
+            }
+            idx
+        });
+        if let Some(ords) = index.get(key) {
+            out.extend_from_slice(ords);
+        }
+    }
+
+    /// Count of tuples matching the binding pattern, without materializing.
+    pub fn count_matching(&self, mask: ColMask, key: &[Const]) -> usize {
+        let mut tmp = Vec::new();
+        self.lookup(mask, key, &mut tmp);
+        tmp.len()
+    }
+}
+
+impl Clone for Relation {
+    fn clone(&self) -> Self {
+        Self {
+            arity: self.arity,
+            flat: self.flat.clone(),
+            dedup: self.dedup.clone(),
+            // Indexes are a cache; let the clone rebuild them on demand.
+            indexes: RefCell::new(FxHashMap::default()),
+        }
+    }
+}
+
+/// A database: one [`Relation`] per predicate.
+#[derive(Debug, Default, Clone)]
+pub struct Database {
+    relations: IdVec<Pred, Relation>,
+}
+
+impl Database {
+    /// Empty database able to hold relations for `preds` predicates with
+    /// the given arities.
+    pub fn with_preds(arities: impl IntoIterator<Item = usize>) -> Self {
+        Self {
+            relations: arities.into_iter().map(Relation::new).collect(),
+        }
+    }
+
+    /// Build a database holding the facts of a program (the EDB).
+    pub fn from_program(program: &crate::ast::Program) -> Self {
+        let mut db = Self::with_preds(program.preds.iter().map(|i| i.arity));
+        for (pred, tuple) in &program.facts {
+            db.insert(*pred, tuple);
+        }
+        db
+    }
+
+    /// Ensure a relation exists for `pred` (growing the table if needed).
+    pub fn ensure_pred(&mut self, pred: Pred, arity: usize) {
+        self.relations.ensure(pred, || Relation::new(0));
+        if self.relations[pred].arity() != arity && self.relations[pred].is_empty() {
+            self.relations[pred] = Relation::new(arity);
+        }
+    }
+
+    /// The relation for a predicate.
+    pub fn relation(&self, pred: Pred) -> &Relation {
+        &self.relations[pred]
+    }
+
+    /// Insert a tuple; returns `true` if new.
+    pub fn insert(&mut self, pred: Pred, tuple: &[Const]) -> bool {
+        self.relations[pred].insert(tuple)
+    }
+
+    /// Membership test.
+    pub fn contains(&self, pred: Pred, tuple: &[Const]) -> bool {
+        self.relations
+            .get(pred)
+            .is_some_and(|r| r.contains(tuple))
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// Number of predicates with storage.
+    pub fn num_preds(&self) -> usize {
+        self.relations.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(i: u32) -> Const {
+        Const(i)
+    }
+
+    #[test]
+    fn insert_and_dedup() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(&[c(1), c(2)]));
+        assert!(!r.insert(&[c(1), c(2)]));
+        assert!(r.insert(&[c(2), c(1)]));
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&[c(1), c(2)]));
+        assert!(!r.contains(&[c(3), c(3)]));
+    }
+
+    #[test]
+    fn lookup_by_first_column() {
+        let mut r = Relation::new(2);
+        r.insert(&[c(1), c(10)]);
+        r.insert(&[c(1), c(11)]);
+        r.insert(&[c(2), c(12)]);
+        let mut out = Vec::new();
+        r.lookup(mask_of([0]), &[c(1)], &mut out);
+        let mut seconds: Vec<Const> = out.iter().map(|&o| r.tuple(o)[1]).collect();
+        seconds.sort();
+        assert_eq!(seconds, vec![c(10), c(11)]);
+    }
+
+    #[test]
+    fn index_maintained_after_insert() {
+        let mut r = Relation::new(2);
+        r.insert(&[c(1), c(10)]);
+        // Force index construction.
+        let mut out = Vec::new();
+        r.lookup(mask_of([0]), &[c(1)], &mut out);
+        assert_eq!(out.len(), 1);
+        // Insert after the index exists; lookup must see the new tuple.
+        r.insert(&[c(1), c(20)]);
+        out.clear();
+        r.lookup(mask_of([0]), &[c(1)], &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn lookup_full_scan_with_empty_mask() {
+        let mut r = Relation::new(2);
+        r.insert(&[c(1), c(2)]);
+        r.insert(&[c(3), c(4)]);
+        let mut out = Vec::new();
+        r.lookup(0, &[], &mut out);
+        assert_eq!(out, vec![0, 1]);
+    }
+
+    #[test]
+    fn lookup_by_both_columns() {
+        let mut r = Relation::new(3);
+        r.insert(&[c(1), c(2), c(3)]);
+        r.insert(&[c(1), c(5), c(3)]);
+        let mut out = Vec::new();
+        r.lookup(mask_of([0, 2]), &[c(1), c(3)], &mut out);
+        assert_eq!(out.len(), 2);
+        out.clear();
+        r.lookup(mask_of([0, 1]), &[c(1), c(5)], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(r.tuple(out[0]), &[c(1), c(5), c(3)]);
+    }
+
+    #[test]
+    fn mask_helpers() {
+        let m = mask_of([0, 2]);
+        assert_eq!(m, 0b101);
+        assert_eq!(mask_cols(m).collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn database_from_program() {
+        let p = crate::parser::parse_program("up(a,b). up(b,c). flat(a,a).").unwrap();
+        let db = Database::from_program(&p);
+        let up = p.pred_by_name("up").unwrap();
+        assert_eq!(db.relation(up).len(), 2);
+        assert_eq!(db.total_tuples(), 3);
+    }
+
+    #[test]
+    fn zero_arity_relation() {
+        let mut r = Relation::new(0);
+        assert!(r.insert(&[]));
+        assert!(!r.insert(&[]));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&[]));
+    }
+
+    #[test]
+    fn clone_drops_index_cache_but_keeps_data() {
+        let mut r = Relation::new(2);
+        r.insert(&[c(1), c(2)]);
+        let mut out = Vec::new();
+        r.lookup(mask_of([0]), &[c(1)], &mut out);
+        let r2 = r.clone();
+        out.clear();
+        r2.lookup(mask_of([0]), &[c(1)], &mut out);
+        assert_eq!(out.len(), 1);
+    }
+}

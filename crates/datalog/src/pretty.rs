@@ -1,0 +1,101 @@
+//! Pretty-printing of programs, rules, and literals back to concrete syntax.
+//!
+//! Printing needs the program's interners, so the API is `display_*`
+//! functions returning `String`s rather than `Display` impls on the AST.
+
+use crate::ast::{Atom, Literal, Program, Rule, Term};
+
+/// Render a term.
+pub fn display_term(program: &Program, rule: &Rule, t: Term) -> String {
+    match t {
+        Term::Var(v) => rule.var_names[v.0 as usize].clone(),
+        Term::Const(c) => program.consts.display(c),
+    }
+}
+
+/// Render an atom.
+pub fn display_atom(program: &Program, rule: &Rule, atom: &Atom) -> String {
+    let args: Vec<String> = atom
+        .args
+        .iter()
+        .map(|&t| display_term(program, rule, t))
+        .collect();
+    format!("{}({})", program.pred_name(atom.pred), args.join(","))
+}
+
+/// Render a body literal.
+pub fn display_literal(program: &Program, rule: &Rule, lit: &Literal) -> String {
+    match lit {
+        Literal::Atom(a) => display_atom(program, rule, a),
+        Literal::Cmp { op, lhs, rhs } => format!(
+            "{} {} {}",
+            display_term(program, rule, *lhs),
+            op.symbol(),
+            display_term(program, rule, *rhs)
+        ),
+    }
+}
+
+/// Render a rule, e.g. `sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).`
+pub fn display_rule(program: &Program, rule: &Rule) -> String {
+    let head = display_atom(program, rule, &rule.head);
+    if rule.body.is_empty() {
+        return format!("{head}.");
+    }
+    let body: Vec<String> = rule
+        .body
+        .iter()
+        .map(|l| display_literal(program, rule, l))
+        .collect();
+    format!("{head} :- {}.", body.join(", "))
+}
+
+/// Render a whole program: rules first, then facts.
+pub fn display_program(program: &Program) -> String {
+    let mut out = String::new();
+    for rule in &program.rules {
+        out.push_str(&display_rule(program, rule));
+        out.push('\n');
+    }
+    for (pred, tuple) in &program.facts {
+        let args: Vec<String> = tuple.iter().map(|&c| program.consts.display(c)).collect();
+        out.push_str(&format!(
+            "{}({}).\n",
+            program.pred_name(*pred),
+            args.join(",")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    #[test]
+    fn roundtrip_same_generation() {
+        let src = "sg(X,Y) :- flat(X,Y).\n\
+                   sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n\
+                   up(a,b).\n";
+        let p = parse_program(src).unwrap();
+        let printed = display_program(&p);
+        assert_eq!(printed, src);
+        // Printing must be a fixpoint: parse(print(p)) prints identically.
+        let p2 = parse_program(&printed).unwrap();
+        assert_eq!(display_program(&p2), printed);
+    }
+
+    #[test]
+    fn roundtrip_builtins() {
+        let src = "ok(X,Y) :- e(X,Y), X < Y, Y != 3.\ne(1,2).\n";
+        let p = parse_program(src).unwrap();
+        assert_eq!(display_program(&p), src);
+    }
+
+    #[test]
+    fn displays_integer_constants() {
+        let p = parse_program("flight(hel,900,ams,1130).").unwrap();
+        assert_eq!(display_program(&p), "flight(hel,900,ams,1130).\n");
+    }
+}

@@ -1,0 +1,227 @@
+//! Seminaive bottom-up evaluation [2 in the paper's bibliography].
+//!
+//! The classic differential fixpoint: at each iteration every recursive
+//! rule is fired once per occurrence of a recursive body predicate, with
+//! that occurrence reading only the Δ (facts new in the previous
+//! iteration).  Non-recursive rules fire once, in stratum order.
+//!
+//! Seminaive avoids naive evaluation's re-derivation of old facts and is
+//! the standard baseline the paper's "duplication of work" discussion
+//! refers to.
+
+use crate::analysis::{strata, Analysis};
+use crate::ast::Program;
+use crate::db::{Database, Relation};
+use crate::eval::{fire_rule, DeltaView, UnsafeBuiltin, WholeDb};
+use crate::naive::EvalResult;
+use rq_common::{Const, Counters, FxHashMap, Pred};
+
+/// Evaluate the program with the seminaive strategy.
+pub fn seminaive_eval(program: &Program) -> Result<EvalResult, UnsafeBuiltin> {
+    let analysis = Analysis::of(program);
+    let mut db = Database::from_program(program);
+    let mut counters = Counters::new();
+
+    for stratum in strata(program, &analysis) {
+        eval_stratum(program, &stratum, &mut db, &mut counters)?;
+    }
+    Ok(EvalResult { db, counters })
+}
+
+fn eval_stratum(
+    program: &Program,
+    stratum: &[Pred],
+    db: &mut Database,
+    counters: &mut Counters,
+) -> Result<(), UnsafeBuiltin> {
+    let in_stratum = |p: Pred| stratum.contains(&p);
+
+    // Rules with heads in this stratum, split by whether they read a
+    // predicate of the same stratum (recursive here) or not (exit rules).
+    let rules: Vec<usize> = program
+        .rules
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| in_stratum(r.head.pred))
+        .map(|(i, _)| i)
+        .collect();
+
+    // Δ per predicate of the stratum.
+    let mut delta: FxHashMap<Pred, Relation> = FxHashMap::default();
+    for &p in stratum {
+        delta.insert(p, Relation::new(program.arity(p)));
+    }
+
+    // Round 0: fire every rule on the current database; everything new
+    // seeds Δ.  (Exit rules never need to fire again: their bodies read
+    // only lower strata, which no longer change.)
+    let mut seed: Vec<(Pred, Vec<Const>)> = Vec::new();
+    for &ri in &rules {
+        let rule = &program.rules[ri];
+        let head = rule.head.pred;
+        fire_rule(program, rule, &WholeDb(db), counters, &mut |t| {
+            seed.push((head, t.to_vec()));
+        })?;
+    }
+    for (pred, tuple) in seed {
+        if db.insert(pred, &tuple) {
+            counters.nodes_inserted += 1;
+            delta.get_mut(&pred).expect("stratum pred").insert(&tuple);
+        }
+    }
+    counters.iterations += 1;
+
+    // Differential rounds.
+    loop {
+        let mut new_facts: Vec<(Pred, Vec<Const>)> = Vec::new();
+        for &ri in &rules {
+            let rule = &program.rules[ri];
+            let head = rule.head.pred;
+            // One firing per occurrence of a same-stratum predicate,
+            // reading Δ at that occurrence and the full db elsewhere.
+            for (occ, lit) in rule.body.iter().enumerate() {
+                let Some(atom) = lit.as_atom() else { continue };
+                if !in_stratum(atom.pred) {
+                    continue;
+                }
+                let d = &delta[&atom.pred];
+                if d.is_empty() {
+                    continue;
+                }
+                let view = DeltaView {
+                    full: db,
+                    target: atom.pred,
+                    target_occurrence: occ,
+                    delta: d,
+                };
+                fire_rule(program, rule, &view, counters, &mut |t| {
+                    new_facts.push((head, t.to_vec()));
+                })?;
+            }
+        }
+        let mut next_delta: FxHashMap<Pred, Relation> = FxHashMap::default();
+        for &p in stratum {
+            next_delta.insert(p, Relation::new(program.arity(p)));
+        }
+        let mut changed = false;
+        for (pred, tuple) in new_facts {
+            if db.insert(pred, &tuple) {
+                counters.nodes_inserted += 1;
+                next_delta.get_mut(&pred).expect("stratum pred").insert(&tuple);
+                changed = true;
+            }
+        }
+        counters.iterations += 1;
+        if !changed {
+            break;
+        }
+        delta = next_delta;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_eval;
+    use crate::parser::parse_program;
+
+    fn agree_with_naive(src: &str) {
+        let p = parse_program(src).unwrap();
+        let n = naive_eval(&p).unwrap();
+        let s = seminaive_eval(&p).unwrap();
+        for pred in p.derived_preds() {
+            assert_eq!(
+                n.tuples(pred),
+                s.tuples(pred),
+                "disagreement on {}",
+                p.pred_name(pred)
+            );
+        }
+    }
+
+    #[test]
+    fn chain_closure_matches_naive() {
+        agree_with_naive(
+            "tc(X,Y) :- e(X,Y).\n\
+             tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+             e(a,b). e(b,c). e(c,d). e(d,e). e(e,f).",
+        );
+    }
+
+    #[test]
+    fn cyclic_closure_matches_naive() {
+        agree_with_naive(
+            "tc(X,Y) :- e(X,Y).\n\
+             tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+             e(a,b). e(b,c). e(c,a). e(c,d).",
+        );
+    }
+
+    #[test]
+    fn same_generation_matches_naive() {
+        agree_with_naive(
+            "sg(X,Y) :- flat(X,Y).\n\
+             sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n\
+             up(a,a1). up(a1,a2). up(b,b1). up(b1,b2).\n\
+             flat(a2,b2). flat(a1,b1).\n\
+             down(b2,b1). down(b1,b).",
+        );
+    }
+
+    #[test]
+    fn mutual_recursion_matches_naive() {
+        agree_with_naive(
+            "even(X,Y) :- z(X,Y).\n\
+             even(X,Z) :- s(X,Y), odd(Y,Z).\n\
+             odd(X,Z) :- s(X,Y), even(Y,Z).\n\
+             z(n0,n0). s(n1,n0). s(n2,n1). s(n3,n2).",
+        );
+    }
+
+    #[test]
+    fn nonlinear_matches_naive() {
+        agree_with_naive(
+            "tc(X,Y) :- e(X,Y).\n\
+             tc(X,Z) :- tc(X,Y), tc(Y,Z).\n\
+             e(a,b). e(b,c). e(c,d). e(b,a).",
+        );
+    }
+
+    #[test]
+    fn multi_stratum_program() {
+        agree_with_naive(
+            "a(X,Y) :- e(X,Y).\n\
+             a(X,Z) :- e(X,Y), a(Y,Z).\n\
+             b(X,Y) :- a(X,Y), f(Y,Y).\n\
+             b(X,Z) :- b(X,Y), a(Y,Z).\n\
+             e(u,v). e(v,w). f(v,v). f(w,w).",
+        );
+    }
+
+    #[test]
+    fn seminaive_fires_less_than_naive() {
+        let src = "tc(X,Y) :- e(X,Y).\n\
+             tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+             e(n0,n1). e(n1,n2). e(n2,n3). e(n3,n4). e(n4,n5).\n\
+             e(n5,n6). e(n6,n7). e(n7,n8). e(n8,n9).";
+        let p = parse_program(src).unwrap();
+        let n = naive_eval(&p).unwrap();
+        let s = seminaive_eval(&p).unwrap();
+        assert!(
+            s.counters.rule_firings < n.counters.rule_firings,
+            "seminaive {} !< naive {}",
+            s.counters.rule_firings,
+            n.counters.rule_firings
+        );
+    }
+
+    #[test]
+    fn builtins_in_recursive_rule() {
+        agree_with_naive(
+            "r(X,Y) :- e(X,Y), X < Y.\n\
+             r(X,Z) :- e(X,Y), r(Y,Z), X < Z.\n\
+             e(1,2). e(2,3). e(3,1). e(1,4).",
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Property tests for the Datalog parser, pretty printer, and the
+//! indexed relation storage.
+//!
+//! * printing a parsed program and re-parsing it is a fixpoint
+//!   (`display_program` is the canonical form);
+//! * arbitrary input never panics the parser — it answers `Ok` or a
+//!   positioned `Err`;
+//! * `Relation::lookup` over any column mask agrees with a full scan.
+
+use proptest::prelude::*;
+use rq_common::Const;
+use rq_datalog::{display_program, mask_cols, mask_of, parse_program, Relation};
+
+// ---------------------------------------------------------------------
+// Random-program construction (as text, so the parser is the system
+// under test from the first byte).
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}".prop_map(|s| s)
+}
+
+fn variable() -> impl Strategy<Value = String> {
+    "[A-Z][A-Za-z0-9]{0,3}".prop_map(|s| s)
+}
+
+fn term() -> impl Strategy<Value = String> {
+    prop_oneof![
+        ident(),
+        variable(),
+        (-999i64..999).prop_map(|i| i.to_string()),
+    ]
+}
+
+fn atom(pred_pool: Vec<String>) -> impl Strategy<Value = String> {
+    let pool = pred_pool.clone();
+    (0..pool.len(), prop::collection::vec(term(), 1..4)).prop_map(move |(pi, args)| {
+        format!("{}({})", pool[pi], args.join(","))
+    })
+}
+
+/// A random syntactically valid program: facts plus rules whose head
+/// variables all occur in the body (safety).
+fn program_text() -> impl Strategy<Value = String> {
+    let preds: Vec<String> = (0..4).map(|i| format!("r{i}")).collect();
+    let fact = {
+        let preds = preds.clone();
+        (0..preds.len(), prop::collection::vec(prop_oneof![ident(), (-99i64..99).prop_map(|i| i.to_string())], 1..4))
+            .prop_map(move |(pi, args)| format!("{}({}).", preds[pi], args.join(",")))
+    };
+    let rule = {
+        let preds = preds.clone();
+        (
+            0..preds.len(),
+            prop::collection::vec(variable(), 1..3),
+            prop::collection::vec(atom(preds.clone()), 1..4),
+        )
+            .prop_map(move |(pi, head_vars, body)| {
+                // Safety: reuse the head variables inside one extra body
+                // atom so every head variable is grounded.
+                let anchor = format!("r0({})", head_vars.join(","));
+                format!(
+                    "{}({}) :- {}, {}.",
+                    preds[pi],
+                    head_vars.join(","),
+                    anchor,
+                    body.join(", ")
+                )
+            })
+    };
+    // Derived heads must not collide with base predicates: facts use
+    // predicates f0..f3 instead.
+    let base_fact = (0..4usize, prop::collection::vec(prop_oneof![ident(), (-99i64..99).prop_map(|i| i.to_string())], 1..4))
+        .prop_map(|(pi, args)| format!("f{pi}({}).", args.join(",")));
+    let _ = fact;
+    (
+        prop::collection::vec(base_fact, 1..8),
+        prop::collection::vec(rule, 0..5),
+    )
+        .prop_map(|(facts, rules)| {
+            let mut text = String::new();
+            // The rule anchor predicate r0 needs at least one ground
+            // rule so it is derived, not base... simpler: give r0 a
+            // ground fact-shaped rule via a base predicate.
+            text.push_str("r0(anchor_c) :- f0(anchor_c).\nf0(anchor_c).\n");
+            for f in facts {
+                text.push_str(&f);
+                text.push('\n');
+            }
+            for r in rules {
+                text.push_str(&r);
+                text.push('\n');
+            }
+            text
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// display ∘ parse is a fixpoint on valid programs.
+    #[test]
+    fn display_parse_is_a_fixpoint(src in program_text()) {
+        let Ok(program) = parse_program(&src) else {
+            // Some generated rules are unsafe (head variable not in a
+            // base-groundable position) or ill-arity; rejection is fine,
+            // panics are not.
+            return Ok(());
+        };
+        let shown = display_program(&program);
+        let reparsed = parse_program(&shown)
+            .unwrap_or_else(|e| panic!("canonical form must re-parse: {e}\n{shown}"));
+        prop_assert_eq!(
+            display_program(&reparsed),
+            shown,
+            "display ∘ parse not a fixpoint"
+        );
+    }
+
+    /// The parser never panics, whatever the input bytes.
+    #[test]
+    fn parser_never_panics(src in "\\PC*") {
+        let _ = parse_program(&src);
+    }
+
+    /// Near-miss corruption of valid programs never panics either and
+    /// errors carry a position.
+    #[test]
+    fn corrupted_programs_fail_cleanly(
+        src in program_text(),
+        cut in 0usize..200,
+        junk in "[(),.:XxZz%-]{0,3}",
+    ) {
+        let mut s = src;
+        let cut = cut.min(s.len());
+        if !s.is_char_boundary(cut) {
+            // pure-ASCII generator, but stay defensive
+            return Ok(());
+        }
+        s.insert_str(cut, &junk);
+        let _ = parse_program(&s);
+    }
+
+    /// Relation::lookup agrees with a filtering scan for every mask.
+    #[test]
+    fn lookup_matches_scan(
+        tuples in prop::collection::vec(prop::collection::vec(0u32..6, 3), 0..40),
+        mask_bits in 0usize..8,
+        key in prop::collection::vec(0u32..6, 3),
+    ) {
+        let mut rel = Relation::new(3);
+        for t in &tuples {
+            let t: Vec<Const> = t.iter().map(|&c| Const(c)).collect();
+            rel.insert(&t);
+        }
+        let cols: Vec<usize> = (0..3).filter(|i| mask_bits & (1 << i) != 0).collect();
+        let mask = mask_of(cols.iter().copied());
+        let key: Vec<Const> = cols.iter().map(|&i| Const(key[i])).collect();
+        let mut ords = Vec::new();
+        rel.lookup(mask, &key, &mut ords);
+        let got: Vec<Vec<Const>> = ords.iter().map(|&o| rel.tuple(o).to_vec()).collect();
+        let expected: Vec<Vec<Const>> = rel
+            .iter()
+            .filter(|t| {
+                mask_cols(mask)
+                    .zip(key.iter())
+                    .all(|(c, &k)| t[c] == k)
+            })
+            .map(|t| t.to_vec())
+            .collect();
+        let mut got_sorted = got.clone();
+        got_sorted.sort();
+        let mut expected_sorted = expected.clone();
+        expected_sorted.sort();
+        prop_assert_eq!(got_sorted, expected_sorted);
+        // And no duplicate ordinals.
+        let mut o2 = ords.clone();
+        o2.sort_unstable();
+        o2.dedup();
+        prop_assert_eq!(o2.len(), ords.len());
+    }
+
+    /// Insert is idempotent and `contains`/`len` stay consistent.
+    #[test]
+    fn insert_dedupes(tuples in prop::collection::vec(prop::collection::vec(0u32..4, 2), 0..30)) {
+        let mut rel = Relation::new(2);
+        let mut reference: std::collections::BTreeSet<Vec<u32>> = Default::default();
+        for t in &tuples {
+            let tc: Vec<Const> = t.iter().map(|&c| Const(c)).collect();
+            let fresh = rel.insert(&tc);
+            prop_assert_eq!(fresh, reference.insert(t.clone()));
+            prop_assert!(rel.contains(&tc));
+        }
+        prop_assert_eq!(rel.len(), reference.len());
+    }
+}

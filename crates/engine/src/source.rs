@@ -1,0 +1,106 @@
+//! The tuple-retrieval interface between the traversal engine and the
+//! extensional database.
+//!
+//! The paper's algorithm consults base relations in exactly two ways:
+//! "for any transition q --r--> q' and any term v such that r(u,v) is
+//! true" (successors of `u`), and the symmetric direction for inverted
+//! expressions.  Keeping this behind a trait lets the same engine run
+//! over raw EDB relations *and* over §4's virtual `base-r`/`in-r`/`out-r`
+//! relations, whose tuples are computed on demand by joining the original
+//! database — the paper's "tuples will only be retrieved by demand".
+
+use rq_common::{Const, Counters, Pred};
+use rq_datalog::{mask_of, Database};
+
+/// Demand-driven access to binary relations.
+pub trait TupleSource {
+    /// Append to `out` every `v` with `r(u, v)`.
+    fn successors(&self, r: Pred, u: Const, out: &mut Vec<Const>, counters: &mut Counters);
+
+    /// Append to `out` every `u` with `r(u, v)`.
+    fn predecessors(&self, r: Pred, v: Const, out: &mut Vec<Const>, counters: &mut Counters);
+
+    /// Append every constant in the first column of `r` (deduplicated).
+    /// Used to seed all-pairs (`p(X,Y)`) queries.
+    fn first_column(&self, r: Pred, out: &mut Vec<Const>);
+}
+
+/// A [`TupleSource`] reading binary relations straight from a [`Database`].
+pub struct EdbSource<'a> {
+    db: &'a Database,
+}
+
+impl<'a> EdbSource<'a> {
+    /// Wrap a database.
+    pub fn new(db: &'a Database) -> Self {
+        Self { db }
+    }
+
+    /// The wrapped database.
+    pub fn db(&self) -> &Database {
+        self.db
+    }
+}
+
+impl TupleSource for EdbSource<'_> {
+    fn successors(&self, r: Pred, u: Const, out: &mut Vec<Const>, counters: &mut Counters) {
+        let rel = self.db.relation(r);
+        debug_assert_eq!(rel.arity(), 2, "engine relations are binary");
+        counters.index_probes += 1;
+        let mut ords = Vec::new();
+        rel.lookup(mask_of([0]), &[u], &mut ords);
+        for o in ords {
+            counters.tuples_retrieved += 1;
+            out.push(rel.tuple(o)[1]);
+        }
+    }
+
+    fn predecessors(&self, r: Pred, v: Const, out: &mut Vec<Const>, counters: &mut Counters) {
+        let rel = self.db.relation(r);
+        counters.index_probes += 1;
+        let mut ords = Vec::new();
+        rel.lookup(mask_of([1]), &[v], &mut ords);
+        for o in ords {
+            counters.tuples_retrieved += 1;
+            out.push(rel.tuple(o)[0]);
+        }
+    }
+
+    fn first_column(&self, r: Pred, out: &mut Vec<Const>) {
+        let rel = self.db.relation(r);
+        let mut seen = rq_common::FxHashSet::default();
+        for t in rel.iter() {
+            if seen.insert(t[0]) {
+                out.push(t[0]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_datalog::parse_program;
+
+    #[test]
+    fn edb_source_directions() {
+        let p = parse_program("e(a,b). e(a,c). e(d,b).").unwrap();
+        let db = Database::from_program(&p);
+        let e = p.pred_by_name("e").unwrap();
+        let a = p.consts.get(&rq_common::ConstValue::Str("a".into())).unwrap();
+        let b = p.consts.get(&rq_common::ConstValue::Str("b".into())).unwrap();
+        let src = EdbSource::new(&db);
+        let mut counters = Counters::new();
+        let mut out = Vec::new();
+        src.successors(e, a, &mut out, &mut counters);
+        assert_eq!(out.len(), 2);
+        out.clear();
+        src.predecessors(e, b, &mut out, &mut counters);
+        assert_eq!(out.len(), 2);
+        assert_eq!(counters.index_probes, 2);
+        assert_eq!(counters.tuples_retrieved, 4);
+        out.clear();
+        src.first_column(e, &mut out);
+        assert_eq!(out.len(), 2); // {a, d}
+    }
+}

@@ -1,0 +1,359 @@
+//! Direct set-based evaluation of binary-relational expressions as
+//! *images* of node sets: `image(e, S) = { v | ∃u ∈ S. (u,v) ∈ e }`.
+//!
+//! This is the semantics that matters for query answering — the answer
+//! to `p(a, Y)` is `image(e_p, {a})` — and it is the oracle the traversal
+//! engine is tested against.  Derived predicates are resolved through an
+//! equation system by naive fixpoint iteration of images, so this module
+//! is deliberately simple and slow; it exists for correctness checks, not
+//! performance.
+
+use crate::expr::Expr;
+use crate::system::EqSystem;
+use rq_common::{Const, FxHashMap, FxHashSet, Pred};
+use rq_datalog::{mask_of, Database};
+
+/// Evaluator for images over a database, resolving derived predicates
+/// through an equation system.
+pub struct ImageEval<'a> {
+    db: &'a Database,
+    system: Option<&'a EqSystem>,
+    /// Memo of fully evaluated derived relations.
+    derived_cache: FxHashMap<Pred, FxHashSet<(Const, Const)>>,
+}
+
+impl<'a> ImageEval<'a> {
+    /// Evaluator over base relations only.
+    pub fn base_only(db: &'a Database) -> Self {
+        Self {
+            db,
+            system: None,
+            derived_cache: FxHashMap::default(),
+        }
+    }
+
+    /// Evaluator that resolves derived predicates through `system`.
+    pub fn with_system(db: &'a Database, system: &'a EqSystem) -> Self {
+        Self {
+            db,
+            system: Some(system),
+            derived_cache: FxHashMap::default(),
+        }
+    }
+
+    /// The image of `set` under `e`.
+    pub fn image(&mut self, e: &Expr, set: &FxHashSet<Const>) -> FxHashSet<Const> {
+        match e {
+            Expr::Empty => FxHashSet::default(),
+            Expr::Id => set.clone(),
+            Expr::Sym(p) => self.pred_image(*p, set, false),
+            Expr::Inv(p) => self.pred_image(*p, set, true),
+            Expr::Union(parts) => {
+                let mut out = FxHashSet::default();
+                for part in parts {
+                    out.extend(self.image(part, set));
+                }
+                out
+            }
+            Expr::Cat(parts) => {
+                let mut cur = set.clone();
+                for part in parts {
+                    cur = self.image(part, &cur);
+                    if cur.is_empty() {
+                        break;
+                    }
+                }
+                cur
+            }
+            Expr::Star(inner) => {
+                // BFS closure: S ∪ image(inner, S) ∪ image(inner², S) ∪ …
+                let mut seen = set.clone();
+                let mut frontier = set.clone();
+                while !frontier.is_empty() {
+                    let next = self.image(inner, &frontier);
+                    frontier = next.difference(&seen).copied().collect();
+                    seen.extend(frontier.iter().copied());
+                }
+                seen
+            }
+        }
+    }
+
+    /// Image of a single node.
+    pub fn image_of(&mut self, e: &Expr, a: Const) -> FxHashSet<Const> {
+        let mut s = FxHashSet::default();
+        s.insert(a);
+        self.image(e, &s)
+    }
+
+    fn pred_image(&mut self, p: Pred, set: &FxHashSet<Const>, inverse: bool) -> FxHashSet<Const> {
+        if let Some(sys) = self.system {
+            if sys.rhs.contains_key(&p) {
+                let pairs = self.derived_pairs(p).clone();
+                let mut out = FxHashSet::default();
+                for (u, v) in pairs {
+                    let (from, to) = if inverse { (v, u) } else { (u, v) };
+                    if set.contains(&from) {
+                        out.insert(to);
+                    }
+                }
+                return out;
+            }
+        }
+        let rel = self.db.relation(p);
+        let col = usize::from(!inverse);
+        let keycol = usize::from(inverse);
+        let mut out = FxHashSet::default();
+        let mut ords = Vec::new();
+        for &u in set {
+            ords.clear();
+            rel.lookup(mask_of([keycol]), &[u], &mut ords);
+            for &o in &ords {
+                out.insert(rel.tuple(o)[col]);
+            }
+        }
+        out
+    }
+
+    /// The full extension of a derived predicate, by naive fixpoint over
+    /// the equation system.  Memoized.
+    pub fn derived_pairs(&mut self, p: Pred) -> &FxHashSet<(Const, Const)> {
+        if !self.derived_cache.contains_key(&p) {
+            let sys = self.system.expect("derived pred needs a system");
+            // Naive simultaneous fixpoint of all equations reachable
+            // from p, with id interpreted over the active domain.
+            let slice = sys.reachable_from(p);
+            let domain = self.active_domain();
+            let mut vals: FxHashMap<Pred, FxHashSet<(Const, Const)>> = slice
+                .lhs
+                .iter()
+                .map(|&q| (q, FxHashSet::default()))
+                .collect();
+            loop {
+                let mut changed = false;
+                for &q in &slice.lhs {
+                    let e = slice.rhs[&q].clone();
+                    let next = self.eval_pairs(&e, &vals, &domain);
+                    let cur = vals.get_mut(&q).expect("initialized");
+                    let before = cur.len();
+                    cur.extend(next);
+                    changed |= cur.len() != before;
+                }
+                if !changed {
+                    break;
+                }
+            }
+            for (q, set) in vals {
+                self.derived_cache.insert(q, set);
+            }
+        }
+        &self.derived_cache[&p]
+    }
+
+    /// Every constant occurring in any base relation.
+    pub fn active_domain(&self) -> FxHashSet<Const> {
+        let mut out = FxHashSet::default();
+        for pi in 0..self.db.num_preds() {
+            let rel = self.db.relation(Pred::from_index(pi));
+            for t in rel.iter() {
+                out.extend(t.iter().copied());
+            }
+        }
+        out
+    }
+
+    /// Full-relation evaluation used by the fixpoint: `id` ranges over
+    /// the active domain.
+    fn eval_pairs(
+        &mut self,
+        e: &Expr,
+        vals: &FxHashMap<Pred, FxHashSet<(Const, Const)>>,
+        domain: &FxHashSet<Const>,
+    ) -> FxHashSet<(Const, Const)> {
+        match e {
+            Expr::Empty => FxHashSet::default(),
+            Expr::Id => domain.iter().map(|&c| (c, c)).collect(),
+            Expr::Sym(p) => {
+                if let Some(v) = vals.get(p) {
+                    v.clone()
+                } else {
+                    self.db
+                        .relation(*p)
+                        .iter()
+                        .map(|t| (t[0], t[1]))
+                        .collect()
+                }
+            }
+            Expr::Inv(p) => {
+                let base: FxHashSet<(Const, Const)> = if let Some(v) = vals.get(p) {
+                    v.clone()
+                } else {
+                    self.db
+                        .relation(*p)
+                        .iter()
+                        .map(|t| (t[0], t[1]))
+                        .collect()
+                };
+                base.into_iter().map(|(u, v)| (v, u)).collect()
+            }
+            Expr::Union(parts) => {
+                let mut out = FxHashSet::default();
+                for part in parts {
+                    out.extend(self.eval_pairs(part, vals, domain));
+                }
+                out
+            }
+            Expr::Cat(parts) => {
+                let mut cur: Option<FxHashSet<(Const, Const)>> = None;
+                for part in parts {
+                    let next = self.eval_pairs(part, vals, domain);
+                    cur = Some(match cur {
+                        None => next,
+                        Some(prev) => compose(&prev, &next),
+                    });
+                }
+                cur.unwrap_or_else(|| domain.iter().map(|&c| (c, c)).collect())
+            }
+            Expr::Star(inner) => {
+                let base = self.eval_pairs(inner, vals, domain);
+                // Reflexive over the active domain plus transitive closure.
+                let mut out: FxHashSet<(Const, Const)> =
+                    domain.iter().map(|&c| (c, c)).collect();
+                let mut frontier: FxHashSet<(Const, Const)> = out.clone();
+                while !frontier.is_empty() {
+                    let step = compose(&frontier, &base);
+                    frontier = step.difference(&out).copied().collect();
+                    out.extend(frontier.iter().copied());
+                }
+                out
+            }
+        }
+    }
+}
+
+fn compose(
+    a: &FxHashSet<(Const, Const)>,
+    b: &FxHashSet<(Const, Const)>,
+) -> FxHashSet<(Const, Const)> {
+    let mut by_first: FxHashMap<Const, Vec<Const>> = FxHashMap::default();
+    for &(u, v) in b {
+        by_first.entry(u).or_default().push(v);
+    }
+    let mut out = FxHashSet::default();
+    for &(u, v) in a {
+        if let Some(ws) = by_first.get(&v) {
+            for &w in ws {
+                out.insert((u, w));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_datalog::parse_program;
+
+    fn setup(src: &str) -> (rq_datalog::Program, Database) {
+        let p = parse_program(src).unwrap();
+        let db = Database::from_program(&p);
+        (p, db)
+    }
+
+    #[test]
+    fn image_of_composition() {
+        let (p, db) = setup("a(x,y). a(x,z). b(y,w). b(z,w). b(q,r).");
+        let a = p.pred_by_name("a").unwrap();
+        let b = p.pred_by_name("b").unwrap();
+        let mut ev = ImageEval::base_only(&db);
+        let e = Expr::cat([Expr::Sym(a), Expr::Sym(b)]);
+        let x = p.consts.get(&rq_common::ConstValue::Str("x".into())).unwrap();
+        let img = ev.image_of(&e, x);
+        assert_eq!(img.len(), 1); // {w}
+    }
+
+    #[test]
+    fn image_of_star_includes_source() {
+        let (p, db) = setup("e(a,b). e(b,c).");
+        let e = p.pred_by_name("e").unwrap();
+        let mut ev = ImageEval::base_only(&db);
+        let a = p.consts.get(&rq_common::ConstValue::Str("a".into())).unwrap();
+        let img = ev.image_of(&Expr::star(Expr::Sym(e)), a);
+        assert_eq!(img.len(), 3); // {a, b, c}
+    }
+
+    #[test]
+    fn image_of_star_on_cycle_terminates() {
+        let (p, db) = setup("e(a,b). e(b,c). e(c,a).");
+        let e = p.pred_by_name("e").unwrap();
+        let mut ev = ImageEval::base_only(&db);
+        let a = p.consts.get(&rq_common::ConstValue::Str("a".into())).unwrap();
+        let img = ev.image_of(&Expr::star(Expr::Sym(e)), a);
+        assert_eq!(img.len(), 3);
+    }
+
+    #[test]
+    fn inverse_image() {
+        let (p, db) = setup("e(a,b). e(c,b).");
+        let e = p.pred_by_name("e").unwrap();
+        let mut ev = ImageEval::base_only(&db);
+        let b = p.consts.get(&rq_common::ConstValue::Str("b".into())).unwrap();
+        let img = ev.image_of(&Expr::Inv(e), b);
+        assert_eq!(img.len(), 2); // {a, c}
+    }
+
+    #[test]
+    fn union_image() {
+        let (p, db) = setup("e(a,b). f(a,c).");
+        let e = p.pred_by_name("e").unwrap();
+        let f = p.pred_by_name("f").unwrap();
+        let mut ev = ImageEval::base_only(&db);
+        let a = p.consts.get(&rq_common::ConstValue::Str("a".into())).unwrap();
+        let img = ev.image_of(&Expr::union([Expr::Sym(e), Expr::Sym(f)]), a);
+        assert_eq!(img.len(), 2);
+    }
+
+    #[test]
+    fn derived_through_system_matches_datalog() {
+        // sg via the equation system vs naive Datalog evaluation.
+        let src = "sg(X,Y) :- flat(X,Y).\n\
+                   sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n\
+                   up(a,a1). up(a1,a2). up(b,b1). up(b1,b2).\n\
+                   flat(a2,b2). flat(a1,b1).\n\
+                   down(b2,b1). down(b1,b).";
+        let p = parse_program(src).unwrap();
+        let db = Database::from_program(&p);
+        let sys = crate::lemma1::lemma1(&p, &crate::lemma1::Lemma1Options::default())
+            .unwrap()
+            .system;
+        let sg = p.pred_by_name("sg").unwrap();
+        let mut ev = ImageEval::with_system(&db, &sys);
+        let pairs = ev.derived_pairs(sg).clone();
+        let naive = rq_datalog::naive_eval(&p).unwrap();
+        let expected: FxHashSet<(Const, Const)> = naive
+            .tuples(sg)
+            .into_iter()
+            .map(|t| (t[0], t[1]))
+            .collect();
+        assert_eq!(pairs, expected);
+    }
+
+    #[test]
+    fn image_query_through_derived_pred() {
+        let src = "sg(X,Y) :- flat(X,Y).\n\
+                   sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n\
+                   up(a,a1). flat(a1,b1). down(b1,b). flat(a,z).";
+        let p = parse_program(src).unwrap();
+        let db = Database::from_program(&p);
+        let sys = crate::lemma1::lemma1(&p, &crate::lemma1::Lemma1Options::default())
+            .unwrap()
+            .system;
+        let sg = p.pred_by_name("sg").unwrap();
+        let mut ev = ImageEval::with_system(&db, &sys);
+        let a = p.consts.get(&rq_common::ConstValue::Str("a".into())).unwrap();
+        let img = ev.image_of(&Expr::Sym(sg), a);
+        // sg(a, z) via flat; sg(a, b) via up·sg·down.
+        assert_eq!(img.len(), 2);
+    }
+}

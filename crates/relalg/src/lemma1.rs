@@ -1,0 +1,608 @@
+//! The Lemma 1 transformation: a linear binary-chain program becomes a
+//! system of equations `p = e_p` over ∪, ·, * such that
+//!
+//! 1. there is exactly one equation per derived predicate;
+//! 3. no right-hand side mentions a *regular* derived predicate;
+//! 4. if `p` is regular, `e_p` mentions nothing mutually recursive to `p`;
+//! 5. for a regular program every right-hand side is base-only;
+//! 6. under the one-recursive-rule-per-nonregular-predicate condition,
+//!    each `e_p` has at most one occurrence mutually recursive to `p`;
+//! 7. the least solution equals the program's semantics.
+//!
+//! The algorithm is the paper's steps 1–9: build the initial system from
+//! the rule bodies, then repeatedly (3) group direct recursion, (4)
+//! eliminate it with Arden's rule (`p = e0 ∪ p·e1  ⇒  p = e0·e1*`),
+//! (5) substitute equations free of their own initial recursion clique,
+//! (6) recompute the mutually recursive sets, (7) eliminate one
+//! predicate per recursive clique by substitution, and (8) distribute
+//! composition over union where recursion hides inside parentheses —
+//! until a full pass changes nothing.
+
+use crate::expr::Expr;
+use crate::system::EqSystem;
+use rq_common::{FxHashMap, FxHashSet, Pred};
+use rq_datalog::{binary_chain_violations, Analysis, ChainViolation, Program};
+
+/// Errors from the transformation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lemma1Error {
+    /// The program is not a binary-chain program.
+    NotBinaryChain(Vec<ChainViolation>),
+    /// The rewriting loop exceeded the safety cap (should be impossible
+    /// for well-formed inputs; the paper proves termination).
+    DidNotTerminate,
+}
+
+impl std::fmt::Display for Lemma1Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Lemma1Error::NotBinaryChain(v) => {
+                write!(f, "not a binary-chain program ({} violations)", v.len())
+            }
+            Lemma1Error::DidNotTerminate => write!(f, "equation rewriting did not terminate"),
+        }
+    }
+}
+
+impl std::error::Error for Lemma1Error {}
+
+/// Step 7 needs to pick which predicate of a mutually recursive clique to
+/// eliminate; the paper notes "any choice will work" and suggests
+/// preferring the equation with the fewest derived occurrences.
+pub type Step7Choice<'a> = dyn Fn(&EqSystem, &[Pred]) -> Pred + 'a;
+
+/// Options controlling the transformation.
+#[derive(Default)]
+pub struct Lemma1Options<'a> {
+    /// Elimination choice for step 7; `None` uses the paper's heuristic
+    /// (fewest occurrences of derived predicates, ties by lhs order).
+    pub choose: Option<&'a Step7Choice<'a>>,
+    /// Record a snapshot of the system after every step that changed it
+    /// (used by tests that replay the paper's worked example).
+    pub record_trace: bool,
+}
+
+/// Output of the transformation.
+pub struct Lemma1Output {
+    /// The final equation system (one equation per derived predicate).
+    pub system: EqSystem,
+    /// Snapshots `(step label, system)` if tracing was requested.
+    pub trace: Vec<(String, EqSystem)>,
+    /// Number of full passes of steps 3–8.
+    pub passes: usize,
+}
+
+/// Step 1: the initial equation system.  Each rule `p :- p1, ..., pn`
+/// contributes the alternative `p1·p2·…·pn` (the concatenation of the
+/// body predicate symbols); an empty body contributes `id`.
+pub fn initial_system(program: &Program) -> Result<EqSystem, Lemma1Error> {
+    let violations = binary_chain_violations(program);
+    if !violations.is_empty() {
+        return Err(Lemma1Error::NotBinaryChain(violations));
+    }
+    let mut order: Vec<Pred> = Vec::new();
+    let mut alts: FxHashMap<Pred, Vec<Expr>> = FxHashMap::default();
+    for rule in &program.rules {
+        let p = rule.head.pred;
+        let entry = alts.entry(p).or_insert_with(|| {
+            order.push(p);
+            Vec::new()
+        });
+        entry.push(Expr::cat(rule.body_atoms().map(|a| Expr::Sym(a.pred))));
+    }
+    Ok(EqSystem::new(order.into_iter().map(|p| {
+        let e = Expr::union(alts.remove(&p).expect("inserted"));
+        (p, e)
+    })))
+}
+
+/// Run the full Lemma 1 transformation.
+pub fn lemma1(program: &Program, options: &Lemma1Options) -> Result<Lemma1Output, Lemma1Error> {
+    let sys = initial_system(program)?;
+    lemma1_from_system(sys, options)
+}
+
+/// Run the rewriting loop on an existing initial system (used by the §4
+/// transformation, which builds its binary-chain equations directly).
+pub fn lemma1_from_system(
+    mut sys: EqSystem,
+    options: &Lemma1Options,
+) -> Result<Lemma1Output, Lemma1Error> {
+    let mut trace: Vec<(String, EqSystem)> = Vec::new();
+    let snap = |label: &str, sys: &EqSystem, on: bool, t: &mut Vec<(String, EqSystem)>| {
+        if on {
+            t.push((label.to_string(), sys.clone()));
+        }
+    };
+    snap("step1", &sys, options.record_trace, &mut trace);
+
+    // Step 2: mutual recursion in the *initial* system; step 5's side
+    // condition refers to these sets throughout.
+    let initial_info = sys.recursion_info();
+
+    let default_choice = |sys: &EqSystem, candidates: &[Pred]| -> Pred {
+        let derived = sys.derived();
+        *candidates
+            .iter()
+            .min_by_key(|&&p| {
+                let mut count = 0usize;
+                let mut syms = FxHashSet::default();
+                sys.rhs[&p].symbols(&mut syms);
+                for q in &syms {
+                    if derived.contains(q) {
+                        count += sys.rhs[&p].count_occurrences(*q);
+                    }
+                }
+                // Stable tiebreak by lhs position.
+                let pos = sys.lhs.iter().position(|&q| q == p).unwrap_or(usize::MAX);
+                count * sys.lhs.len() + pos
+            })
+            .expect("nonempty candidates")
+    };
+
+    const MAX_PASSES: usize = 1000;
+    let mut passes = 0;
+    loop {
+        passes += 1;
+        if passes > MAX_PASSES {
+            return Err(Lemma1Error::DidNotTerminate);
+        }
+        let mut changed = false;
+
+        // Steps 3+4: group direct left/right recursion and eliminate it
+        // with Arden's rule.
+        if arden_pass(&mut sys) {
+            changed = true;
+            snap("step4", &sys, options.record_trace, &mut trace);
+        }
+
+        // Step 5: substitute equations free of their own *initial*
+        // recursion clique into all other equations.
+        if step5(&mut sys, &initial_info) {
+            changed = true;
+            snap("step5", &sys, options.record_trace, &mut trace);
+        }
+
+        // Step 6: recompute mutually recursive sets; step 7: eliminate
+        // one predicate per clique.
+        let info = sys.recursion_info();
+        if step7(&mut sys, &info, options.choose.unwrap_or(&default_choice)) {
+            changed = true;
+            snap("step7", &sys, options.record_trace, &mut trace);
+        }
+
+        // Step 8: distribute · over ∪ where recursion hides inside.
+        let info = sys.recursion_info();
+        if step8(&mut sys, &info) {
+            changed = true;
+            snap("step8", &sys, options.record_trace, &mut trace);
+        }
+
+        if !changed {
+            break;
+        }
+    }
+    Ok(Lemma1Output {
+        system: sys,
+        trace,
+        passes,
+    })
+}
+
+/// How one equation splits around its own predicate.
+enum Split {
+    /// No occurrence of the lhs.
+    NoRecursion,
+    /// `p = e0 ∪ p·t1 ∪ … ∪ p·tk` (left recursion).
+    Left { e0: Vec<Expr>, tails: Vec<Expr> },
+    /// `p = e0 ∪ h1·p ∪ … ∪ hk·p` (right recursion).
+    Right { e0: Vec<Expr>, heads: Vec<Expr> },
+    /// Occurrences of `p` that Arden's rule cannot reach (in the middle
+    /// of a chain, under a star, several per alternative, or mixed
+    /// left/right).  The equation stays recursive.
+    Stuck,
+}
+
+fn split_equation(p: Pred, e: &Expr) -> (Split, bool) {
+    let mut e0 = Vec::new();
+    let mut tails = Vec::new();
+    let mut heads = Vec::new();
+    let mut dropped_tautology = false;
+    let mut stuck = false;
+    for alt in e.alternatives() {
+        if !alt.contains(p) {
+            e0.push(alt);
+            continue;
+        }
+        if alt == Expr::Sym(p) {
+            // `p = p ∪ …` contributes nothing to the least solution.
+            dropped_tautology = true;
+            continue;
+        }
+        if alt.count_occurrences(p) != 1 {
+            stuck = true;
+            continue;
+        }
+        let fs = alt.factors();
+        if fs.first() == Some(&Expr::Sym(p)) {
+            tails.push(Expr::cat(fs[1..].iter().cloned()));
+        } else if fs.last() == Some(&Expr::Sym(p)) {
+            heads.push(Expr::cat(fs[..fs.len() - 1].iter().cloned()));
+        } else {
+            stuck = true;
+        }
+    }
+    let split = if stuck || (!tails.is_empty() && !heads.is_empty()) {
+        Split::Stuck
+    } else if !tails.is_empty() {
+        Split::Left { e0, tails }
+    } else if !heads.is_empty() {
+        Split::Right { e0, heads }
+    } else if dropped_tautology {
+        // Only tautologies were recursive: rewrite to the e0 part.
+        Split::Left {
+            e0,
+            tails: Vec::new(),
+        }
+    } else {
+        Split::NoRecursion
+    };
+    (split, dropped_tautology)
+}
+
+/// Steps 3+4 over every equation.  Returns whether anything changed.
+fn arden_pass(sys: &mut EqSystem) -> bool {
+    let mut changed = false;
+    let lhs = sys.lhs.clone();
+    for p in lhs {
+        let e = sys.rhs[&p].clone();
+        let (split, dropped) = split_equation(p, &e);
+        let new = match split {
+            Split::NoRecursion | Split::Stuck => {
+                if dropped {
+                    // Rebuild without the tautological alternatives.
+                    Expr::union(e.alternatives().into_iter().filter(|a| *a != Expr::Sym(p)))
+                } else {
+                    continue;
+                }
+            }
+            Split::Left { e0, tails } => {
+                // p = e0 ∪ p·(t1 ∪ …)  ⇒  p = e0·(t1 ∪ …)*.
+                Expr::cat([Expr::union(e0), Expr::star(Expr::union(tails))])
+            }
+            Split::Right { e0, heads } => {
+                // p = e0 ∪ (h1 ∪ …)·p  ⇒  p = (h1 ∪ …)*·e0.
+                Expr::cat([Expr::star(Expr::union(heads)), Expr::union(e0)])
+            }
+        };
+        if new != e {
+            sys.set(p, new);
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Step 5.  `initial_info` carries the step-2 mutual recursion sets.
+fn step5(sys: &mut EqSystem, initial_info: &crate::system::RecursionInfo) -> bool {
+    let mut changed = false;
+    let lhs = sys.lhs.clone();
+    for p in lhs.iter().copied() {
+        let clique: FxHashSet<Pred> = initial_info.clique(p).into_iter().collect();
+        let e = sys.rhs[&p].clone();
+        if e.contains_any(&clique) || e.contains(p) {
+            continue;
+        }
+        for q in lhs.iter().copied() {
+            if q == p {
+                continue;
+            }
+            if sys.rhs[&q].contains(p) {
+                let new = sys.rhs[&q].substitute(p, &e);
+                sys.set(q, new);
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Step 7: within each maximal mutually recursive set of the current
+/// system, pick one member whose equation does not mention itself and
+/// substitute it into the equations of the other members.
+fn step7(
+    sys: &mut EqSystem,
+    info: &crate::system::RecursionInfo,
+    choose: &Step7Choice,
+) -> bool {
+    let mut changed = false;
+    for members in &info.members {
+        if members.len() < 2 {
+            continue;
+        }
+        let candidates: Vec<Pred> = members
+            .iter()
+            .copied()
+            .filter(|&p| !sys.rhs[&p].contains(p))
+            .collect();
+        if candidates.is_empty() {
+            continue;
+        }
+        let p = choose(sys, &candidates);
+        let e = sys.rhs[&p].clone();
+        for &q in members {
+            if q == p {
+                continue;
+            }
+            if sys.rhs[&q].contains(p) {
+                let new = sys.rhs[&q].substitute(p, &e);
+                sys.set(q, new);
+                changed = true;
+            }
+        }
+    }
+    changed
+}
+
+/// Step 8: in the equation for `p`, distribute composition over any union
+/// factor containing a predicate of `p`'s current recursion clique (or
+/// `p` itself), so the recursion surfaces as a leading or trailing factor
+/// for the next Arden pass.
+fn step8(sys: &mut EqSystem, info: &crate::system::RecursionInfo) -> bool {
+    let mut changed = false;
+    let lhs = sys.lhs.clone();
+    for p in lhs {
+        let mut targets: FxHashSet<Pred> = info.clique(p).into_iter().collect();
+        targets.insert(p);
+        let e = sys.rhs[&p].clone();
+        let new = distribute(&e, &targets);
+        if new != e {
+            sys.set(p, new);
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Distribute `·` over `∪` wherever a union factor contains one of the
+/// target predicates.  Factors without targets are left intact, so the
+/// expansion stays as small as possible.
+fn distribute(e: &Expr, targets: &FxHashSet<Pred>) -> Expr {
+    match e {
+        Expr::Union(parts) => Expr::union(parts.iter().map(|q| distribute(q, targets))),
+        Expr::Star(inner) => Expr::star(distribute(inner, targets)),
+        Expr::Cat(parts) => {
+            let parts: Vec<Expr> = parts.iter().map(|f| distribute(f, targets)).collect();
+            let needs_expansion = parts
+                .iter()
+                .any(|f| matches!(f, Expr::Union(_)) && f.contains_any(targets));
+            if !needs_expansion {
+                return Expr::cat(parts);
+            }
+            // Cartesian expansion over the union factors that contain a
+            // target; other factors stay atomic.
+            let mut alts: Vec<Vec<Expr>> = vec![Vec::new()];
+            for f in parts {
+                match f {
+                    Expr::Union(opts) if opts.iter().any(|o| o.contains_any(targets)) => {
+                        let mut next = Vec::with_capacity(alts.len() * opts.len());
+                        for prefix in &alts {
+                            for o in &opts {
+                                let mut row = prefix.clone();
+                                row.push(o.clone());
+                                next.push(row);
+                            }
+                        }
+                        alts = next;
+                    }
+                    other => {
+                        for row in &mut alts {
+                            row.push(other.clone());
+                        }
+                    }
+                }
+            }
+            Expr::union(alts.into_iter().map(Expr::cat))
+        }
+        leaf => leaf.clone(),
+    }
+}
+
+/// Verify the lemma's statements (3) and (4) against the original program:
+/// no right-hand side mentions a regular derived predicate, and a regular
+/// predicate's right-hand side mentions nothing mutually recursive to it.
+/// Returns the offending `(lhs, occurring pred)` pairs.
+pub fn check_statements_3_4(
+    program: &Program,
+    analysis: &Analysis,
+    sys: &EqSystem,
+) -> Vec<(Pred, Pred)> {
+    let mut bad = Vec::new();
+    for &p in &sys.lhs {
+        let mut syms = FxHashSet::default();
+        sys.rhs[&p].symbols(&mut syms);
+        for q in syms {
+            if program.is_derived(q)
+                && rq_datalog::pred_regularity(program, analysis, q).is_regular()
+            {
+                bad.push((p, q));
+            }
+            if rq_datalog::pred_regularity(program, analysis, p).is_regular()
+                && analysis.mutually_recursive(p, q)
+            {
+                bad.push((p, q));
+            }
+        }
+    }
+    bad
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_datalog::parse_program;
+
+    fn name_of(program: &Program) -> impl Fn(Pred) -> String + '_ {
+        |p| program.pred_name(p).to_string()
+    }
+
+    #[test]
+    fn initial_system_of_same_generation() {
+        let p = parse_program(
+            "sg(X,Y) :- flat(X,Y).\n\
+             sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n\
+             flat(a,b).",
+        )
+        .unwrap();
+        let sys = initial_system(&p).unwrap();
+        assert_eq!(sys.display(&p), "sg = flat U up.sg.down\n");
+    }
+
+    #[test]
+    fn sg_equation_survives_unchanged() {
+        // Middle recursion: nothing to eliminate, final system identical.
+        let p = parse_program(
+            "sg(X,Y) :- flat(X,Y).\n\
+             sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n\
+             flat(a,b).",
+        )
+        .unwrap();
+        let out = lemma1(&p, &Lemma1Options::default()).unwrap();
+        assert_eq!(out.system.display(&p), "sg = flat U up.sg.down\n");
+    }
+
+    #[test]
+    fn right_linear_closure_becomes_star() {
+        let p = parse_program(
+            "tc(X,Y) :- e(X,Y).\n\
+             tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+             e(a,b).",
+        )
+        .unwrap();
+        let out = lemma1(&p, &Lemma1Options::default()).unwrap();
+        // tc = e ∪ e·tc  ⇒  tc = e*·e.
+        assert_eq!(out.system.display(&p), "tc = e*.e\n");
+        assert!(!out.system.has_derived_occurrences());
+    }
+
+    #[test]
+    fn left_linear_closure_becomes_star() {
+        let p = parse_program(
+            "tc(X,Y) :- e(X,Y).\n\
+             tc(X,Z) :- tc(X,Y), e(Y,Z).\n\
+             e(a,b).",
+        )
+        .unwrap();
+        let out = lemma1(&p, &Lemma1Options::default()).unwrap();
+        // tc = e ∪ tc·e  ⇒  tc = e·e*.
+        assert_eq!(out.system.display(&p), "tc = e.e*\n");
+    }
+
+    #[test]
+    fn reflexive_transitive_closure_program() {
+        // The paper's definition of * as a program:
+        //   star(X,X) :- .      star(X,Y) :- star(X,Z), p(Z,Y).
+        // The parser cannot express the empty body, so build it by hand.
+        use rq_common::Var;
+        use rq_datalog::{Atom, Rule, Term};
+        let mut p = parse_program("q(X,Y) :- p(X,Y).\np(a,b).").unwrap();
+        let star = p.pred("star", 2);
+        let base = p.pred_by_name("p").unwrap();
+        p.add_rule(Rule {
+            head: Atom::new(star, vec![Term::Var(Var(0)), Term::Var(Var(0))]),
+            body: vec![],
+            var_names: vec!["X".into()],
+        });
+        p.add_rule(Rule {
+            head: Atom::new(star, vec![Term::Var(Var(0)), Term::Var(Var(1))]),
+            body: vec![
+                rq_datalog::Literal::Atom(Atom::new(
+                    star,
+                    vec![Term::Var(Var(0)), Term::Var(Var(2))],
+                )),
+                rq_datalog::Literal::Atom(Atom::new(base, vec![Term::Var(Var(2)), Term::Var(Var(1))])),
+            ],
+            var_names: vec!["X".into(), "Y".into(), "Z".into()],
+        });
+        let out = lemma1(&p, &Lemma1Options::default()).unwrap();
+        // star = id ∪ star·p  ⇒  star = id·p* = p*.
+        assert_eq!(out.system.rhs[&star], Expr::star(Expr::Sym(base)));
+    }
+
+    #[test]
+    fn tautology_dropped() {
+        let p = parse_program(
+            "q(X,Y) :- q(X,Y).\n\
+             q(X,Y) :- e(X,Y).\n\
+             e(a,b).",
+        )
+        .unwrap();
+        let out = lemma1(&p, &Lemma1Options::default()).unwrap();
+        assert_eq!(out.system.display(&p), "q = e\n");
+    }
+
+    #[test]
+    fn pure_left_recursion_is_empty() {
+        // q = q·e has least solution ∅ (the paper's "degenerate" case).
+        let p = parse_program(
+            "q(X,Z) :- q(X,Y), e(Y,Z).\n\
+             e(a,b).",
+        )
+        .unwrap();
+        let out = lemma1(&p, &Lemma1Options::default()).unwrap();
+        assert_eq!(out.system.rhs[&p.pred_by_name("q").unwrap()], Expr::Empty);
+    }
+
+    #[test]
+    fn nonregular_two_pred_clique_keeps_one_recursion() {
+        // The paper's q1/q2 fragment: q1 = a·q2, q2 = r2 ∪ q1·r1 with r1,
+        // r2 base here.  Eliminating q1 leaves q2 = r2 ∪ a·q2·r1, which
+        // is middle recursion and must remain.
+        let p = parse_program(
+            "q1(X,Z) :- a(X,Y), q2(Y,Z).\n\
+             q2(X,Y) :- r2(X,Y).\n\
+             q2(X,Z) :- q1(X,Y), r1(Y,Z).\n\
+             a(x,y). r1(x,y). r2(x,y).",
+        )
+        .unwrap();
+        let out = lemma1(&p, &Lemma1Options::default()).unwrap();
+        let q1 = p.pred_by_name("q1").unwrap();
+        let q2 = p.pred_by_name("q2").unwrap();
+        let nm = name_of(&p);
+        assert_eq!(out.system.rhs[&q2].display(&nm), "r2 U a.q2.r1");
+        // q1's equation references q2 (statement 6: one recursive
+        // occurrence each).
+        assert_eq!(out.system.rhs[&q1].display(&nm), "a.q2");
+    }
+
+    #[test]
+    fn rejects_non_binary_chain() {
+        let p = parse_program("t(X,Y,Z) :- e(X,Y), f(Y,Z).\ne(a,b).").unwrap();
+        assert!(matches!(
+            lemma1(&p, &Lemma1Options::default()),
+            Err(Lemma1Error::NotBinaryChain(_))
+        ));
+    }
+
+    #[test]
+    fn distribute_expands_only_target_unions() {
+        use rq_common::Pred;
+        let a = Expr::Sym(Pred(1));
+        let b = Expr::Sym(Pred(2));
+        let p = Expr::Sym(Pred(0));
+        // a·(b ∪ p)·(a ∪ b): only the first union contains the target.
+        let e = Expr::cat([
+            a.clone(),
+            Expr::union([b.clone(), p.clone()]),
+            Expr::union([a.clone(), b.clone()]),
+        ]);
+        let targets: FxHashSet<Pred> = [Pred(0)].into_iter().collect();
+        let d = distribute(&e, &targets);
+        let nm = |q: Pred| match q.0 {
+            0 => "p".to_string(),
+            1 => "a".to_string(),
+            _ => "b".to_string(),
+        };
+        assert_eq!(d.display(&nm), "a.b.(a U b) U a.p.(a U b)");
+    }
+}

@@ -1,0 +1,34 @@
+//! Binary-relational expressions and equation systems — §3 of the paper
+//! up to (but not including) the automaton construction.
+//!
+//! * [`mod@expr`] — expressions over ∪ (union), · (composition), * (reflexive
+//!   transitive closure), and inverse;
+//! * [`mod@system`] — equation systems `p = e_p` with recursion analysis;
+//! * [`mod@lemma1`] — the Lemma 1 transformation from a linear binary-chain
+//!   program to such a system (Arden elimination, substitution,
+//!   distribution);
+//! * [`mod@unroll`] — the `p_i` unrolling of Lemma 2 and the Horner-vs-flat
+//!   size comparison;
+//! * [`mod@image`] — slow set-based image evaluation used as an oracle;
+//! * [`mod@parse`] — a parser for the textual expression form (the
+//!   inverse of display).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expr;
+pub mod image;
+pub mod lemma1;
+pub mod parse;
+pub mod system;
+pub mod unroll;
+
+pub use expr::Expr;
+pub use image::ImageEval;
+pub use lemma1::{
+    check_statements_3_4, initial_system, lemma1, lemma1_from_system, Lemma1Error, Lemma1Options,
+    Lemma1Output,
+};
+pub use parse::{parse_expr, ExprParseError};
+pub use system::{EqSystem, RecursionInfo};
+pub use unroll::{flattened_linear, linear_decomposition, unroll, unroll_level};

@@ -1,0 +1,276 @@
+//! A parser for the textual form of binary-relational expressions, the
+//! inverse of [`Expr::display`]:
+//!
+//! ```text
+//! expr   ::= term ("U" term)*            union, loosest
+//! term   ::= factor ("." factor)*        composition
+//! factor ::= primary ("*" | "^-1")*      postfix star / inverse
+//! primary::= "0" | "id" | NAME | "(" expr ")"
+//! ```
+//!
+//! Predicate names resolve through a caller-supplied function, so parsed
+//! expressions share ids with an existing program.
+
+use crate::expr::Expr;
+use rq_common::Pred;
+use std::fmt;
+
+/// Parse errors with byte positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExprParseError {
+    /// Byte offset in the input.
+    pub pos: usize,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl fmt::Display for ExprParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "expression parse error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ExprParseError {}
+
+struct Parser<'a, F> {
+    src: &'a [u8],
+    pos: usize,
+    resolve: F,
+}
+
+impl<'a, F: FnMut(&str) -> Pred> Parser<'a, F> {
+    fn error(&self, msg: impl Into<String>) -> ExprParseError {
+        ExprParseError {
+            pos: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.src.get(self.pos).is_some_and(u8::is_ascii_whitespace) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// `U` separates alternatives only when it stands alone (so that a
+    /// predicate named `Up` or `U2` is not cut in half).
+    fn eat_union(&mut self) -> bool {
+        self.skip_ws();
+        if self.src.get(self.pos) == Some(&b'U') {
+            let next = self.src.get(self.pos + 1);
+            let standalone = match next {
+                None => true,
+                Some(c) => !(c.is_ascii_alphanumeric() || *c == b'_'),
+            };
+            if standalone {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expr(&mut self) -> Result<Expr, ExprParseError> {
+        let mut parts = vec![self.term()?];
+        while self.eat_union() {
+            parts.push(self.term()?);
+        }
+        Ok(Expr::union(parts))
+    }
+
+    fn term(&mut self) -> Result<Expr, ExprParseError> {
+        let mut parts = vec![self.factor()?];
+        while self.eat(b'.') {
+            parts.push(self.factor()?);
+        }
+        Ok(Expr::cat(parts))
+    }
+
+    fn factor(&mut self) -> Result<Expr, ExprParseError> {
+        let mut e = self.primary()?;
+        loop {
+            if self.eat(b'*') {
+                e = Expr::star(e);
+            } else if self.peek() == Some(b'^') {
+                let rest = &self.src[self.pos..];
+                if rest.starts_with(b"^-1") {
+                    self.pos += 3;
+                    e = e.inverse();
+                } else {
+                    return Err(self.error("expected `^-1`"));
+                }
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ExprParseError> {
+        match self.peek() {
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.expr()?;
+                if !self.eat(b')') {
+                    return Err(self.error("expected `)`"));
+                }
+                Ok(e)
+            }
+            Some(b'0') => {
+                self.pos += 1;
+                Ok(Expr::Empty)
+            }
+            Some(c) if c.is_ascii_alphabetic() || c == b'_' => {
+                let start = self.pos;
+                while self
+                    .src
+                    .get(self.pos)
+                    .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_' || *c == b'-')
+                {
+                    self.pos += 1;
+                }
+                let name = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("ascii checked");
+                if name == "id" {
+                    Ok(Expr::Id)
+                } else {
+                    Ok(Expr::Sym((self.resolve)(name)))
+                }
+            }
+            Some(other) => Err(self.error(format!("unexpected `{}`", other as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+}
+
+/// Parse an expression, resolving predicate names through `resolve`.
+pub fn parse_expr(
+    src: &str,
+    resolve: impl FnMut(&str) -> Pred,
+) -> Result<Expr, ExprParseError> {
+    let mut p = Parser {
+        src: src.as_bytes(),
+        pos: 0,
+        resolve,
+    };
+    let e = p.expr()?;
+    p.skip_ws();
+    if p.pos != src.len() {
+        return Err(p.error("trailing input"));
+    }
+    Ok(e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_common::{FxHashMap, NameInterner};
+
+    fn parse(src: &str) -> (Expr, NameInterner) {
+        let mut names = NameInterner::new();
+        let mut ids: FxHashMap<String, Pred> = FxHashMap::default();
+        let e = parse_expr(src, |name| {
+            let idx = names.intern(name);
+            *ids.entry(name.to_string()).or_insert(Pred(idx))
+        })
+        .unwrap();
+        (e, names)
+    }
+
+    fn roundtrip(src: &str) {
+        let (e, names) = parse(src);
+        let shown = e.display(&|p: Pred| names.name(p.0).to_string());
+        assert_eq!(shown, src, "display(parse({src}))");
+        // And parsing the display is a fixpoint.
+        let (e2, names2) = parse(&shown);
+        assert_eq!(
+            e2.display(&|p: Pred| names2.name(p.0).to_string()),
+            shown
+        );
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip("flat U up.sg.down");
+        roundtrip("(b3.b4* U b2.p).b1");
+        roundtrip("e*.e");
+        roundtrip("(d.e)*.(c.p1 U d.a)");
+        roundtrip("b.c*.c U a.q2.b.c*");
+        roundtrip("id");
+        roundtrip("0");
+        roundtrip("up^-1");
+        // `(a.b)^-1` normalizes at construction, so the fixpoint is the
+        // distributed form.
+        roundtrip("b^-1.a^-1.c");
+        let (e, names) = parse("(a.b)^-1.c");
+        assert_eq!(
+            e.display(&|p: Pred| names.name(p.0).to_string()),
+            "b^-1.a^-1.c"
+        );
+    }
+
+    #[test]
+    fn inverse_applies_to_factor() {
+        let (e, names) = parse("(a.b)^-1");
+        let shown = e.display(&|p: Pred| names.name(p.0).to_string());
+        // The inverse distributes at construction time.
+        assert_eq!(shown, "b^-1.a^-1");
+    }
+
+    #[test]
+    fn union_token_does_not_split_names() {
+        let (e, names) = parse("Up U U2");
+        let shown = e.display(&|p: Pred| names.name(p.0).to_string());
+        assert_eq!(shown, "Up U U2");
+        assert_eq!(e.alternatives().len(), 2);
+    }
+
+    #[test]
+    fn star_of_parenthesized_union() {
+        let (e, _) = parse("(a U b)*");
+        assert!(matches!(e, Expr::Star(_)));
+    }
+
+    #[test]
+    fn empty_annihilates() {
+        let (e, _) = parse("a.0.b");
+        assert_eq!(e, Expr::Empty);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let err = parse_expr("a U ", |_| Pred(0)).unwrap_err();
+        assert!(err.pos >= 3);
+        assert!(parse_expr("a )", |_| Pred(0)).is_err());
+        assert!(parse_expr("(a", |_| Pred(0)).is_err());
+        assert!(parse_expr("a ^- b", |_| Pred(0)).is_err());
+    }
+
+    #[test]
+    fn parses_against_program_ids() {
+        let program = rq_datalog::parse_program(
+            "sg(X,Y) :- flat(X,Y).\nsg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\nflat(a,b).",
+        )
+        .unwrap();
+        let e = parse_expr("flat U up.sg.down", |name| {
+            program.pred_by_name(name).expect("known predicate")
+        })
+        .unwrap();
+        let sys = crate::lemma1::initial_system(&program).unwrap();
+        let sg = program.pred_by_name("sg").unwrap();
+        assert_eq!(&e, sys.get(sg));
+    }
+}

@@ -1,0 +1,230 @@
+//! Systems of equations `p = e_p` over binary-relational expressions —
+//! the intermediate form Lemma 1 produces from a linear binary-chain
+//! program and the form the traversal engine consumes.
+
+use crate::expr::Expr;
+use rq_common::{FxHashMap, FxHashSet, Pred};
+use rq_datalog::{tarjan_scc, Program};
+
+/// An equation system: one right-hand side per derived predicate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EqSystem {
+    /// Left-hand sides, in a stable order (the program's rule order).
+    pub lhs: Vec<Pred>,
+    /// Right-hand side per left-hand side.
+    pub rhs: FxHashMap<Pred, Expr>,
+}
+
+impl EqSystem {
+    /// Build from `(p, e)` pairs.
+    pub fn new(equations: impl IntoIterator<Item = (Pred, Expr)>) -> Self {
+        let mut lhs = Vec::new();
+        let mut rhs = FxHashMap::default();
+        for (p, e) in equations {
+            if rhs.insert(p, e).is_none() {
+                lhs.push(p);
+            }
+        }
+        Self { lhs, rhs }
+    }
+
+    /// The set of derived predicates (the left-hand sides).
+    pub fn derived(&self) -> FxHashSet<Pred> {
+        self.lhs.iter().copied().collect()
+    }
+
+    /// The right-hand side for `p`.
+    pub fn get(&self, p: Pred) -> &Expr {
+        &self.rhs[&p]
+    }
+
+    /// Replace the right-hand side for `p`.
+    pub fn set(&mut self, p: Pred, e: Expr) {
+        debug_assert!(self.rhs.contains_key(&p));
+        self.rhs.insert(p, e);
+    }
+
+    /// Whether any right-hand side still mentions a derived predicate.
+    pub fn has_derived_occurrences(&self) -> bool {
+        let derived = self.derived();
+        self.lhs
+            .iter()
+            .any(|p| self.rhs[p].contains_any(&derived))
+    }
+
+    /// The sets of mutually recursive predicates in the *current* system
+    /// (steps 2 and 6 of Lemma 1): SCCs of the graph with an arc `p → q`
+    /// whenever `e_p` mentions derived `q`.  Returns `(component id per
+    /// lhs, members per component, recursive flags)`; a predicate is
+    /// recursive iff its component has ≥ 2 members or its equation
+    /// mentions itself.
+    pub fn recursion_info(&self) -> RecursionInfo {
+        let derived = self.derived();
+        let index: FxHashMap<Pred, usize> = self
+            .lhs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (p, i))
+            .collect();
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); self.lhs.len()];
+        for (i, &p) in self.lhs.iter().enumerate() {
+            let mut syms = FxHashSet::default();
+            self.rhs[&p].symbols(&mut syms);
+            for q in syms {
+                if derived.contains(&q) {
+                    succ[i].push(index[&q]);
+                }
+            }
+        }
+        let (comp, ncomps) = tarjan_scc(&succ);
+        let mut members: Vec<Vec<Pred>> = vec![Vec::new(); ncomps];
+        for (i, &c) in comp.iter().enumerate() {
+            members[c].push(self.lhs[i]);
+        }
+        let recursive: FxHashSet<Pred> = self
+            .lhs
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| members[comp[*i]].len() > 1 || self.rhs[p].contains(**p))
+            .map(|(_, &p)| p)
+            .collect();
+        RecursionInfo {
+            comp: self
+                .lhs
+                .iter()
+                .enumerate()
+                .map(|(i, &p)| (p, comp[i]))
+                .collect(),
+            members,
+            recursive,
+        }
+    }
+
+    /// Restrict the system to the equations reachable from `root` through
+    /// derived-predicate occurrences.  The engine evaluates only this
+    /// slice.
+    pub fn reachable_from(&self, root: Pred) -> EqSystem {
+        let derived = self.derived();
+        let mut keep: FxHashSet<Pred> = FxHashSet::default();
+        let mut stack = vec![root];
+        while let Some(p) = stack.pop() {
+            if !derived.contains(&p) || !keep.insert(p) {
+                continue;
+            }
+            let mut syms = FxHashSet::default();
+            self.rhs[&p].symbols(&mut syms);
+            for q in syms {
+                if derived.contains(&q) {
+                    stack.push(q);
+                }
+            }
+        }
+        EqSystem::new(
+            self.lhs
+                .iter()
+                .filter(|p| keep.contains(p))
+                .map(|&p| (p, self.rhs[&p].clone())),
+        )
+    }
+
+    /// Render the system, one `p = e` line per equation, in lhs order.
+    pub fn display(&self, program: &Program) -> String {
+        let name = |p: Pred| program.pred_name(p).to_string();
+        let mut out = String::new();
+        for &p in &self.lhs {
+            out.push_str(&format!("{} = {}\n", name(p), self.rhs[&p].display(&name)));
+        }
+        out
+    }
+}
+
+/// Mutual-recursion structure of an equation system.
+#[derive(Clone, Debug)]
+pub struct RecursionInfo {
+    /// Component id per predicate.
+    pub comp: FxHashMap<Pred, usize>,
+    /// Members per component.
+    pub members: Vec<Vec<Pred>>,
+    /// Predicates on a cycle.
+    pub recursive: FxHashSet<Pred>,
+}
+
+impl RecursionInfo {
+    /// Whether `p` and `q` are mutually recursive in this system.
+    pub fn mutually_recursive(&self, p: Pred, q: Pred) -> bool {
+        if p == q {
+            return self.recursive.contains(&p);
+        }
+        match (self.comp.get(&p), self.comp.get(&q)) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+
+    /// The maximal mutually-recursive set containing `p` (singletons only
+    /// if `p` is self-recursive).
+    pub fn clique(&self, p: Pred) -> Vec<Pred> {
+        match self.comp.get(&p) {
+            Some(&c) if self.members[c].len() > 1 || self.recursive.contains(&p) => {
+                self.members[c].clone()
+            }
+            _ => vec![],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(i: u32) -> Expr {
+        Expr::Sym(Pred(i))
+    }
+
+    #[test]
+    fn recursion_info_detects_cycles() {
+        // p0 = b ∪ p1·b ; p1 = p0·b ; p2 = b  (b = Pred(10), base)
+        let sys = EqSystem::new([
+            (Pred(0), Expr::union([s(10), Expr::cat([s(1), s(10)])])),
+            (Pred(1), Expr::cat([s(0), s(10)])),
+            (Pred(2), s(10)),
+        ]);
+        let info = sys.recursion_info();
+        assert!(info.mutually_recursive(Pred(0), Pred(1)));
+        assert!(info.recursive.contains(&Pred(0)));
+        assert!(!info.recursive.contains(&Pred(2)));
+        assert!(!info.mutually_recursive(Pred(0), Pred(2)));
+        assert_eq!(info.clique(Pred(0)).len(), 2);
+        assert!(info.clique(Pred(2)).is_empty());
+    }
+
+    #[test]
+    fn self_recursion_via_own_equation() {
+        let sys = EqSystem::new([(Pred(0), Expr::cat([s(5), s(0)]))]);
+        let info = sys.recursion_info();
+        assert!(info.recursive.contains(&Pred(0)));
+        assert!(info.mutually_recursive(Pred(0), Pred(0)));
+    }
+
+    #[test]
+    fn reachable_slice() {
+        let sys = EqSystem::new([
+            (Pred(0), Expr::cat([s(10), s(1)])),
+            (Pred(1), s(11)),
+            (Pred(2), s(12)),
+        ]);
+        let slice = sys.reachable_from(Pred(0));
+        assert_eq!(slice.lhs.len(), 2);
+        assert!(slice.rhs.contains_key(&Pred(0)));
+        assert!(slice.rhs.contains_key(&Pred(1)));
+        assert!(!slice.rhs.contains_key(&Pred(2)));
+    }
+
+    #[test]
+    fn has_derived_occurrences() {
+        let sys = EqSystem::new([(Pred(0), s(10)), (Pred(1), Expr::cat([s(10), s(0)]))]);
+        assert!(sys.has_derived_occurrences());
+        let sys2 = EqSystem::new([(Pred(0), s(10))]);
+        assert!(!sys2.has_derived_occurrences());
+    }
+}

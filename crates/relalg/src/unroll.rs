@@ -1,0 +1,182 @@
+//! The paper's unrolling expressions `p_i` (§3, Lemma 2) and the
+//! comparison with the flattened form `p'_i`.
+//!
+//! For a derived predicate `p` with equation `p = e_p`:
+//!
+//! * `p_0 = ∅`, and `p_i` is `e_p` with every derived `r` replaced by
+//!   `r_{i-1}` — Horner's rule applied to relational polynomials;
+//! * for the same-generation equation `sg = flat ∪ up·sg·down`, the
+//!   equivalent flattened expression is
+//!   `sg'_i = flat ∪ up·flat·down ∪ up²·flat·down² ∪ … ∪ upⁱ·flat·downⁱ`,
+//!   which the paper notes is larger than `sg_i` by a factor of `i`
+//!   (experiment E6 measures exactly that ratio).
+
+use crate::expr::Expr;
+use crate::system::EqSystem;
+use rq_common::FxHashMap;
+use rq_common::Pred;
+
+/// Compute `p_i` for every derived predicate, returning the map for
+/// level `i`.  Level 0 maps everything to `∅`.
+pub fn unroll_level(system: &EqSystem, i: usize) -> FxHashMap<Pred, Expr> {
+    let mut cur: FxHashMap<Pred, Expr> = system
+        .lhs
+        .iter()
+        .map(|&p| (p, Expr::Empty))
+        .collect();
+    for _ in 0..i {
+        let mut next = FxHashMap::default();
+        for &p in &system.lhs {
+            let mut e = system.rhs[&p].clone();
+            for &r in &system.lhs {
+                if e.contains(r) {
+                    e = e.substitute(r, &cur[&r]);
+                }
+            }
+            next.insert(p, e);
+        }
+        cur = next;
+    }
+    cur
+}
+
+/// `p_i` for a single predicate.
+pub fn unroll(system: &EqSystem, p: Pred, i: usize) -> Expr {
+    unroll_level(system, i)
+        .remove(&p)
+        .expect("p is a derived predicate of the system")
+}
+
+/// The flattened same-generation expression
+/// `e0 ∪ e1·e0·e2 ∪ e1²·e0·e2² ∪ … ∪ e1ⁱ·e0·e2ⁱ` for an equation of the
+/// shape `p = e0 ∪ e1·p·e2` (what the paper calls `sg'_i`).
+pub fn flattened_linear(e0: &Expr, e1: &Expr, e2: &Expr, i: usize) -> Expr {
+    let mut alts = Vec::with_capacity(i + 1);
+    for k in 0..=i {
+        let mut factors = Vec::with_capacity(2 * k + 1);
+        for _ in 0..k {
+            factors.push(e1.clone());
+        }
+        factors.push(e0.clone());
+        for _ in 0..k {
+            factors.push(e2.clone());
+        }
+        alts.push(Expr::cat(factors));
+    }
+    Expr::union(alts)
+}
+
+/// Decompose an equation right-hand side of the shape `e0 ∪ e1·p·e2`
+/// (the linear case of Theorem 4).  Returns `(e0, e1, e2)` if the shape
+/// matches with `e0`, `e1`, `e2` free of `p`; `e1`/`e2` may be `id`.
+pub fn linear_decomposition(p: Pred, e: &Expr) -> Option<(Expr, Expr, Expr)> {
+    let mut e0s = Vec::new();
+    let mut rec: Option<(Expr, Expr)> = None;
+    for alt in e.alternatives() {
+        if !alt.contains(p) {
+            e0s.push(alt);
+            continue;
+        }
+        if rec.is_some() || alt.count_occurrences(p) != 1 {
+            return None;
+        }
+        let fs = alt.factors();
+        let pos = fs.iter().position(|f| *f == Expr::Sym(p))?;
+        let e1 = Expr::cat(fs[..pos].iter().cloned());
+        let e2 = Expr::cat(fs[pos + 1..].iter().cloned());
+        if e1.contains(p) || e2.contains(p) {
+            return None;
+        }
+        rec = Some((e1, e2));
+    }
+    let (e1, e2) = rec?;
+    Some((Expr::union(e0s), e1, e2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_datalog::parse_program;
+
+    fn sg_system() -> (rq_datalog::Program, EqSystem, Pred) {
+        let p = parse_program(
+            "sg(X,Y) :- flat(X,Y).\n\
+             sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n\
+             flat(a,b).",
+        )
+        .unwrap();
+        let sys = crate::lemma1::initial_system(&p).unwrap();
+        let sg = p.pred_by_name("sg").unwrap();
+        (p, sys, sg)
+    }
+
+    #[test]
+    fn sg_unroll_matches_paper() {
+        let (p, sys, sg) = sg_system();
+        let nm = |q: Pred| p.pred_name(q).to_string();
+        // sg_1 = flat (up·∅·down collapses).
+        assert_eq!(unroll(&sys, sg, 1).display(&nm), "flat");
+        // sg_2 = flat ∪ up·flat·down.
+        assert_eq!(unroll(&sys, sg, 2).display(&nm), "flat U up.flat.down");
+        // sg_3 = flat ∪ up·(flat ∪ up·flat·down)·down — the paper's
+        // Horner form (our union dedup keeps it verbatim).
+        assert_eq!(
+            unroll(&sys, sg, 3).display(&nm),
+            "flat U up.(flat U up.flat.down).down"
+        );
+    }
+
+    #[test]
+    fn unroll_level_zero_is_empty() {
+        let (_, sys, sg) = sg_system();
+        assert_eq!(unroll(&sys, sg, 0), Expr::Empty);
+    }
+
+    #[test]
+    fn horner_size_is_linear_flattened_quadratic() {
+        let (p, sys, sg) = sg_system();
+        let (e0, e1, e2) = linear_decomposition(sg, &sys.rhs[&sg]).unwrap();
+        let nm = |q: Pred| p.pred_name(q).to_string();
+        assert_eq!(e0.display(&nm), "flat");
+        assert_eq!(e1.display(&nm), "up");
+        assert_eq!(e2.display(&nm), "down");
+        for i in [4usize, 8, 16] {
+            let horner = unroll(&sys, sg, i).occurrence_count();
+            let flat = flattened_linear(&e0, &e1, &e2, i - 1).occurrence_count();
+            // Horner: 3 symbols per level → 3i-2 occurrences (last level
+            // contributes only flat).  Flattened: Σ(2k+1) = i².
+            assert_eq!(horner, 3 * i - 2);
+            assert_eq!(flat, i * i);
+        }
+    }
+
+    #[test]
+    fn linear_decomposition_rejects_nonlinear() {
+        let (_, _, _) = sg_system();
+        let p0 = Pred(0);
+        // p = p·p has two occurrences.
+        let e = Expr::cat([Expr::Sym(p0), Expr::Sym(p0)]);
+        assert!(linear_decomposition(p0, &e).is_none());
+        // Two recursive alternatives.
+        let e = Expr::union([
+            Expr::cat([Expr::Sym(Pred(1)), Expr::Sym(p0)]),
+            Expr::cat([Expr::Sym(p0), Expr::Sym(Pred(2))]),
+        ]);
+        assert!(linear_decomposition(p0, &e).is_none());
+    }
+
+    #[test]
+    fn linear_decomposition_right_linear() {
+        // tc = e ∪ e·tc: e1 = e, e2 = id.
+        let tc = Pred(0);
+        let e = Pred(1);
+        let rhs = Expr::union([
+            Expr::Sym(e),
+            Expr::cat([Expr::Sym(e), Expr::Sym(tc)]),
+        ]);
+        let (e0, e1, e2) = linear_decomposition(tc, &rhs).unwrap();
+        assert_eq!(e0, Expr::Sym(e));
+        assert_eq!(e1, Expr::Sym(e));
+        assert_eq!(e2, Expr::Id);
+    }
+}

@@ -1,0 +1,54 @@
+//! Property test: `parse(display(e)) == e` (after smart-constructor
+//! normalization) for randomly generated expressions.
+
+use proptest::prelude::*;
+use rq_common::Pred;
+use rq_relalg::{parse_expr, Expr};
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        Just(Expr::Empty),
+        Just(Expr::Id),
+        (0..6u32).prop_map(|i| Expr::Sym(Pred(i))),
+        (0..6u32).prop_map(|i| Expr::Inv(Pred(i))),
+    ];
+    leaf.prop_recursive(4, 48, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::union),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(Expr::cat),
+            inner.prop_map(Expr::star),
+        ]
+    })
+}
+
+fn name(p: Pred) -> String {
+    format!("b{}", p.0)
+}
+
+fn resolve(s: &str) -> Pred {
+    Pred(s[1..].parse().expect("names are b<i>"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_parse_roundtrip(e in expr_strategy()) {
+        let shown = e.display(&name);
+        let parsed = parse_expr(&shown, resolve).expect("display output parses");
+        prop_assert_eq!(&parsed, &e, "display was `{}`", shown);
+    }
+
+    #[test]
+    fn inverse_is_involution(e in expr_strategy()) {
+        prop_assert_eq!(e.inverse().inverse(), e.clone());
+    }
+
+    #[test]
+    fn substitution_of_self_is_identity(e in expr_strategy()) {
+        // Substituting p for itself changes nothing (up to smart
+        // constructors, which display identically).
+        let sub = e.substitute(Pred(0), &Expr::Sym(Pred(0)));
+        prop_assert_eq!(sub.display(&name), e.display(&name));
+    }
+}

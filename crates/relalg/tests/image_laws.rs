@@ -1,0 +1,202 @@
+//! Algebraic laws of image evaluation, property-tested over random
+//! expressions and random databases.
+//!
+//! `ImageEval` is the semantic oracle the rest of the system leans on
+//! (the traversal engine, the cyclic bound, candidate-source
+//! estimation), so its own algebra deserves direct scrutiny:
+//!
+//! * `image(e1 ∪ e2, S) = image(e1, S) ∪ image(e2, S)`
+//! * `image(e1·e2, S)  = image(e2, image(e1, S))`
+//! * `S ⊆ image(e*, S)` and `image(e*, S)` is closed under `e`
+//! * `image(e, ∅) = ∅`
+//! * `y ∈ image(e, {x})  ⇔  x ∈ image(e⁻¹, {y})`
+//! * smart constructors (`union`, `cat`, `star`) preserve semantics
+//!   under flattening/normalization
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rq_common::{Const, ConstValue, FxHashSet, Pred};
+use rq_datalog::{parse_program, Database, Program};
+use rq_relalg::{Expr, ImageEval};
+
+/// A small random database over `npreds` binary relations and `dom`
+/// constants (cycles allowed — star must still terminate).
+fn random_db(seed: u64, npreds: u32, dom: u32, facts: usize) -> (Program, Database) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut src = String::new();
+    for _ in 0..facts {
+        let p = rng.gen_range(0..npreds);
+        let i = rng.gen_range(0..dom);
+        let j = rng.gen_range(0..dom);
+        src.push_str(&format!("b{p}(n{i},n{j}).\n"));
+    }
+    // Every predicate must exist even if it drew no facts.
+    for p in 0..npreds {
+        src.push_str(&format!("b{p}(seed_only,seed_only).\n"));
+    }
+    let program = parse_program(&src).unwrap();
+    let db = Database::from_program(&program);
+    (program, db)
+}
+
+fn pred(program: &Program, i: u32) -> Pred {
+    program.pred_by_name(&format!("b{i}")).unwrap()
+}
+
+fn consts(program: &Program, dom: u32) -> Vec<Const> {
+    (0..dom)
+        .filter_map(|i| program.consts.get(&ConstValue::Str(format!("n{i}"))))
+        .collect()
+}
+
+fn arb_expr(npreds: u32) -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        1 => Just(Expr::Empty),
+        1 => Just(Expr::Id),
+        4 => (0..npreds).prop_map(|i| Expr::Sym(Pred(i))),
+        2 => (0..npreds).prop_map(|i| Expr::Inv(Pred(i))),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Expr::union),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Expr::cat),
+            inner.prop_map(Expr::star),
+        ]
+    })
+}
+
+/// Remap the `Pred(i)` placeholders of a generated expression onto the
+/// program's actual predicate ids.
+fn bind(e: &Expr, program: &Program) -> Expr {
+    match e {
+        Expr::Empty => Expr::Empty,
+        Expr::Id => Expr::Id,
+        Expr::Sym(p) => Expr::Sym(pred(program, p.0)),
+        Expr::Inv(p) => Expr::Inv(pred(program, p.0)),
+        Expr::Union(parts) => Expr::union(parts.iter().map(|p| bind(p, program))),
+        Expr::Cat(parts) => Expr::cat(parts.iter().map(|p| bind(p, program))),
+        Expr::Star(inner) => Expr::star(bind(inner, program)),
+    }
+}
+
+const NPREDS: u32 = 3;
+const DOM: u32 = 8;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn union_distributes_over_image(
+        e1 in arb_expr(NPREDS),
+        e2 in arb_expr(NPREDS),
+        seed in 0u64..500,
+    ) {
+        let (program, db) = random_db(seed, NPREDS, DOM, 24);
+        let (e1, e2) = (bind(&e1, &program), bind(&e2, &program));
+        let mut ev = ImageEval::base_only(&db);
+        let s: FxHashSet<Const> = consts(&program, 3).into_iter().collect();
+        let both = ev.image(&Expr::union([e1.clone(), e2.clone()]), &s);
+        let mut split = ev.image(&e1, &s);
+        split.extend(ev.image(&e2, &s));
+        prop_assert_eq!(both, split);
+    }
+
+    #[test]
+    fn composition_chains_images(
+        e1 in arb_expr(NPREDS),
+        e2 in arb_expr(NPREDS),
+        seed in 0u64..500,
+    ) {
+        let (program, db) = random_db(seed, NPREDS, DOM, 24);
+        let (e1, e2) = (bind(&e1, &program), bind(&e2, &program));
+        let mut ev = ImageEval::base_only(&db);
+        let s: FxHashSet<Const> = consts(&program, 3).into_iter().collect();
+        let cat = ev.image(&Expr::cat([e1.clone(), e2.clone()]), &s);
+        let mid = ev.image(&e1, &s);
+        let chained = ev.image(&e2, &mid);
+        prop_assert_eq!(cat, chained);
+    }
+
+    #[test]
+    fn star_is_a_closure(e in arb_expr(NPREDS), seed in 0u64..500) {
+        let (program, db) = random_db(seed, NPREDS, DOM, 24);
+        let e = bind(&e, &program);
+        let mut ev = ImageEval::base_only(&db);
+        let s: FxHashSet<Const> = consts(&program, 2).into_iter().collect();
+        let closed = ev.image(&Expr::star(e.clone()), &s);
+        // Reflexive: contains the sources.
+        prop_assert!(s.is_subset(&closed));
+        // Closed: one more step adds nothing.
+        let step = ev.image(&e, &closed);
+        prop_assert!(step.is_subset(&closed), "star not closed under e");
+        // Idempotent: (e*)* = e* on this source set.
+        let twice = ev.image(&Expr::star(Expr::star(e)), &s);
+        prop_assert_eq!(closed, twice);
+    }
+
+    #[test]
+    fn empty_set_has_empty_image(e in arb_expr(NPREDS), seed in 0u64..500) {
+        let (program, db) = random_db(seed, NPREDS, DOM, 24);
+        let e = bind(&e, &program);
+        let mut ev = ImageEval::base_only(&db);
+        prop_assert!(ev.image(&e, &FxHashSet::default()).is_empty());
+    }
+
+    #[test]
+    fn inverse_flips_membership(e in arb_expr(NPREDS), seed in 0u64..500) {
+        let (program, db) = random_db(seed, NPREDS, DOM, 20);
+        let e = bind(&e, &program);
+        let mut ev = ImageEval::base_only(&db);
+        let all = consts(&program, DOM);
+        for &x in all.iter().take(4) {
+            let fwd = ev.image_of(&e, x);
+            for &y in &fwd {
+                let back = ev.image_of(&e.inverse(), y);
+                prop_assert!(
+                    back.contains(&x),
+                    "y ∈ image(e, x) but x ∉ image(e⁻¹, y)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_expression_annihilates(e in arb_expr(NPREDS), seed in 0u64..500) {
+        let (program, db) = random_db(seed, NPREDS, DOM, 20);
+        let e = bind(&e, &program);
+        let mut ev = ImageEval::base_only(&db);
+        let s: FxHashSet<Const> = consts(&program, 3).into_iter().collect();
+        // e·∅ = ∅·e = ∅ by construction of the smart constructor.
+        prop_assert_eq!(Expr::cat([e.clone(), Expr::Empty]), Expr::Empty);
+        prop_assert_eq!(Expr::cat([Expr::Empty, e.clone()]), Expr::Empty);
+        // id is a unit for composition.
+        let with_id = ev.image(&Expr::cat([Expr::Id, e.clone(), Expr::Id]), &s);
+        let plain = ev.image(&e, &s);
+        prop_assert_eq!(with_id, plain);
+    }
+}
+
+/// Deterministic spot-checks complementing the properties above.
+#[test]
+fn star_on_a_cycle_reaches_the_whole_cycle() {
+    let program = parse_program("b0(n0,n1). b0(n1,n2). b0(n2,n0).").unwrap();
+    let db = Database::from_program(&program);
+    let b0 = program.pred_by_name("b0").unwrap();
+    let n0 = program.consts.get(&ConstValue::Str("n0".into())).unwrap();
+    let mut ev = ImageEval::base_only(&db);
+    assert_eq!(ev.image_of(&Expr::star(Expr::Sym(b0)), n0).len(), 3);
+}
+
+#[test]
+fn inverse_of_star_is_star_of_inverse() {
+    let program = parse_program("b0(n0,n1). b0(n1,n2). b0(n3,n1).").unwrap();
+    let db = Database::from_program(&program);
+    let b0 = program.pred_by_name("b0").unwrap();
+    let n2 = program.consts.get(&ConstValue::Str("n2".into())).unwrap();
+    let mut ev = ImageEval::base_only(&db);
+    let a = ev.image_of(&Expr::star(Expr::Sym(b0)).inverse(), n2);
+    let b = ev.image_of(&Expr::star(Expr::Inv(b0)), n2);
+    assert_eq!(a, b);
+    assert_eq!(a.len(), 4); // n2, n1, n0, n3
+}

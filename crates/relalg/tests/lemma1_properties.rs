@@ -1,0 +1,118 @@
+//! Property tests for the Lemma 1 transformation: on randomly generated
+//! linear binary-chain programs, the final equation system must (7)
+//! preserve the program's semantics, and the structural statements of
+//! the lemma must hold.
+
+use proptest::prelude::*;
+use rq_common::{Const, FxHashSet, Pred};
+use rq_datalog::{naive_eval, parse_program, Analysis, Database, Program};
+use rq_relalg::{check_statements_3_4, lemma1, ImageEval, Lemma1Options};
+
+/// A random linear binary-chain program over derived predicates
+/// d0..d{nd-1} and base predicates b0..b3, plus random facts.
+#[derive(Debug, Clone)]
+struct ChainProgram {
+    src: String,
+}
+
+fn rule_strategy(nd: usize) -> impl Strategy<Value = String> {
+    // head: one derived pred.  Body: a chain of 1..4 literals with at
+    // most one derived (linearity), encoded as positions.
+    let head = 0..nd;
+    let body_len = 1..4usize;
+    let derived_pos = proptest::option::of(0..3usize);
+    let base_choices = proptest::collection::vec(0..4u8, 3);
+    let derived_choice = 0..nd;
+    (head, body_len, derived_pos, base_choices, derived_choice).prop_map(
+        |(h, len, dpos, bases, dchoice)| {
+            let vars = ["X", "Y", "Z", "W", "V"];
+            let mut lits = Vec::new();
+            for i in 0..len {
+                let (a, b) = (vars[i], vars[i + 1]);
+                match dpos {
+                    Some(p) if p == i => lits.push(format!("d{dchoice}({a},{b})")),
+                    _ => lits.push(format!("b{}({a},{b})", bases[i % bases.len()])),
+                }
+            }
+            format!("d{h}(X,{}) :- {}.", vars[len], lits.join(", "))
+        },
+    )
+}
+
+fn program_strategy() -> impl Strategy<Value = ChainProgram> {
+    let nd = 1..4usize;
+    nd.prop_flat_map(|nd| {
+        let rules = proptest::collection::vec(rule_strategy(nd), nd..nd + 5);
+        let facts = proptest::collection::vec((0..4u8, 0..6u8, 0..6u8), 3..20);
+        (Just(nd), rules, facts).prop_map(|(nd, mut rules, facts)| {
+            // Ensure every derived predicate has at least one rule
+            // (otherwise it's an empty relation, which is fine too, but
+            // head coverage exercises more of the transformation).
+            for d in 0..nd {
+                rules.push(format!("d{d}(X,Y) :- b0(X,Y)."));
+            }
+            let mut src = rules.join("\n");
+            src.push('\n');
+            for (b, x, y) in facts {
+                src.push_str(&format!("b{b}(c{x},c{y}).\n"));
+            }
+            // Make sure all base predicates exist.
+            for b in 0..4 {
+                src.push_str(&format!("b{b}(c0,c0).\n"));
+            }
+            ChainProgram { src }
+        })
+    })
+}
+
+fn oracle(program: &Program, p: Pred) -> FxHashSet<(Const, Const)> {
+    naive_eval(program)
+        .unwrap()
+        .tuples(p)
+        .into_iter()
+        .map(|t| (t[0], t[1]))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Statement (7): the least solution of the final system equals the
+    /// program's semantics, for every derived predicate.
+    #[test]
+    fn lemma1_preserves_semantics(w in program_strategy()) {
+        let program = parse_program(&w.src).expect("generated program parses");
+        let db = Database::from_program(&program);
+        let out = lemma1(&program, &Lemma1Options::default()).expect("chain program");
+        let mut ev = ImageEval::with_system(&db, &out.system);
+        for p in program.derived_preds() {
+            let via_system = ev.derived_pairs(p).clone();
+            let via_naive = oracle(&program, p);
+            prop_assert_eq!(
+                &via_system, &via_naive,
+                "disagreement on {} in\n{}\nfinal system:\n{}",
+                program.pred_name(p), w.src, out.system.display(&program)
+            );
+        }
+    }
+
+    /// Statements (3)+(4): regular derived predicates never survive in
+    /// right-hand sides.
+    #[test]
+    fn lemma1_statements_hold(w in program_strategy()) {
+        let program = parse_program(&w.src).expect("generated program parses");
+        let analysis = Analysis::of(&program);
+        let out = lemma1(&program, &Lemma1Options::default()).expect("chain program");
+        let bad = check_statements_3_4(&program, &analysis, &out.system);
+        prop_assert!(bad.is_empty(), "violations {:?} in\n{}", bad, w.src);
+    }
+
+    /// The transformation is deterministic: same input, same output.
+    #[test]
+    fn lemma1_is_deterministic(w in program_strategy()) {
+        let program = parse_program(&w.src).expect("generated program parses");
+        let a = lemma1(&program, &Lemma1Options::default()).unwrap();
+        let b = lemma1(&program, &Lemma1Options::default()).unwrap();
+        prop_assert_eq!(a.system.display(&program), b.system.display(&program));
+    }
+}

@@ -1,0 +1,151 @@
+//! Lemma 1's stated guarantees, checked on random linear binary-chain
+//! programs (not just the paper's worked example):
+//!
+//! 1. exactly one equation per derived predicate;
+//! 3. right-hand sides contain no regular derived predicate;
+//! 4. a regular predicate's equation contains nothing mutually
+//!    recursive to it;
+//! 5. a regular *program* yields derived-free right-hand sides;
+//! 7. the solution equals the program's semantics (checked by solving
+//!    the final system with the naive image fixpoint and comparing to
+//!    the seminaive Datalog oracle).
+
+use rq_common::{Const, FxHashSet};
+use rq_datalog::{pred_regularity, program_is_regular, seminaive_eval, Analysis, Database};
+use rq_relalg::{lemma1, ImageEval, Lemma1Options};
+use rq_workloads::randprog::{random_program, seeded, RandProgConfig, RecursionStyle};
+
+#[test]
+fn one_equation_per_derived_predicate() {
+    for seed in 0..40 {
+        let rp = seeded(seed, RecursionStyle::Mixed);
+        let sys = lemma1(&rp.program, &Lemma1Options::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", rp.text))
+            .system;
+        let derived: FxHashSet<_> = rp.program.derived_preds().collect();
+        assert_eq!(sys.lhs.len(), derived.len(), "seed {seed}\n{}", rp.text);
+        for p in derived {
+            assert!(sys.rhs.contains_key(&p), "seed {seed}: missing equation");
+        }
+    }
+}
+
+#[test]
+fn regular_predicates_do_not_occur_in_right_hand_sides() {
+    for seed in 0..40 {
+        let rp = seeded(seed, RecursionStyle::Mixed);
+        let analysis = Analysis::of(&rp.program);
+        let sys = lemma1(&rp.program, &Lemma1Options::default()).unwrap().system;
+        let regular: FxHashSet<_> = rp
+            .program
+            .derived_preds()
+            .filter(|&p| pred_regularity(&rp.program, &analysis, p).is_regular())
+            .collect();
+        for &p in &sys.lhs {
+            assert!(
+                !sys.rhs[&p].contains_any(&regular),
+                "seed {seed}: equation for {} mentions a regular predicate\n{}",
+                rp.program.pred_name(p),
+                rp.text
+            );
+        }
+    }
+}
+
+#[test]
+fn regular_equations_never_self_reference() {
+    for seed in 0..40 {
+        let rp = seeded(seed, RecursionStyle::Mixed);
+        let analysis = Analysis::of(&rp.program);
+        let sys = lemma1(&rp.program, &Lemma1Options::default()).unwrap().system;
+        for &p in &sys.lhs {
+            if !pred_regularity(&rp.program, &analysis, p).is_regular() {
+                continue;
+            }
+            // Statement 4: nothing mutually recursive to p — in
+            // particular not p itself.
+            let clique: FxHashSet<_> = rp
+                .program
+                .derived_preds()
+                .filter(|&q| analysis.mutually_recursive(p, q))
+                .collect();
+            assert!(
+                !sys.rhs[&p].contains_any(&clique),
+                "seed {seed}: regular {} still recursive\n{}",
+                rp.program.pred_name(p),
+                rp.text
+            );
+        }
+    }
+}
+
+#[test]
+fn regular_programs_get_derived_free_systems() {
+    for seed in 0..40 {
+        let rp = seeded(seed, RecursionStyle::Regular);
+        let analysis = Analysis::of(&rp.program);
+        assert!(program_is_regular(&rp.program, &analysis));
+        let sys = lemma1(&rp.program, &Lemma1Options::default()).unwrap().system;
+        assert!(
+            !sys.has_derived_occurrences(),
+            "seed {seed}: regular program kept derived occurrences\n{}\n{}",
+            rp.text,
+            sys.display(&rp.program)
+        );
+    }
+}
+
+#[test]
+fn solving_the_system_matches_the_datalog_oracle() {
+    for seed in 0..25 {
+        let rp = random_program(&RandProgConfig {
+            seed,
+            style: RecursionStyle::Mixed,
+            domain: 8,
+            facts_per_base: 12,
+            ..RandProgConfig::default()
+        });
+        let db = Database::from_program(&rp.program);
+        let sys = lemma1(&rp.program, &Lemma1Options::default()).unwrap().system;
+        let oracle = seminaive_eval(&rp.program).unwrap();
+        let mut ev = ImageEval::with_system(&db, &sys);
+        for name in &rp.derived {
+            let p = rp.program.pred_by_name(name).unwrap();
+            let got = ev.derived_pairs(p).clone();
+            let expected: FxHashSet<(Const, Const)> = oracle
+                .tuples(p)
+                .into_iter()
+                .map(|t| (t[0], t[1]))
+                .collect();
+            assert_eq!(
+                got, expected,
+                "seed {seed}: {name} disagrees with the oracle\n{}",
+                rp.text
+            );
+        }
+    }
+}
+
+#[test]
+fn elimination_terminates_on_wide_programs() {
+    // Stress the step-7 choice and step-8 distribution with more groups
+    // and heavier mutual recursion than the defaults.
+    for seed in 0..10 {
+        let rp = random_program(&RandProgConfig {
+            seed,
+            groups: 4,
+            mutual_prob: 0.8,
+            style: RecursionStyle::Mixed,
+            base_preds: 4,
+            rules_per_pred: 3,
+            max_body: 4,
+            lower_ref_prob: 0.3,
+            domain: 6,
+            facts_per_base: 8,
+            cyclic: false,
+        });
+        let out = lemma1(&rp.program, &Lemma1Options::default())
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", rp.text));
+        assert!(out.passes < 64, "seed {seed}: {} passes", out.passes);
+    }
+}

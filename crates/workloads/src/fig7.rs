@@ -1,0 +1,143 @@
+//! The three acyclic same-generation samples of Figure 7.
+//!
+//! The scanned figure is not legible, so the shapes are reconstructed
+//! from the paper's prose analysis of "our algorithm":
+//!
+//! * sample (a): two iterations; the terms `b1..bn` appear at the first
+//!   iteration in nodes sharing one state component; the second
+//!   iteration adds a single node with term `c` — total O(n);
+//! * sample (b): n iterations; terms are encountered at `i-1` distinct
+//!   levels, so the graph has O(n²) nodes;
+//! * sample (c): n iterations; every `a_i` and every `b_i` gives rise to
+//!   a single node — total O(n); this sample separates the algorithm
+//!   from Henschen–Naqvi (which re-walks the down chain every level,
+//!   O(n²)).
+
+use crate::{sg_program, Workload};
+use std::fmt::Write;
+
+/// Sample (a): a bundle.  `up(a, b_i)` for i = 1..n, `flat(b_i, d_i)`,
+/// `down(d_i, c)`.  Query `sg(a, Y)`; answer `{c}`.
+pub fn sample_a(n: usize) -> Workload {
+    let mut facts = String::new();
+    for i in 1..=n {
+        writeln!(facts, "up(a, b{i}).").unwrap();
+        writeln!(facts, "flat(b{i}, d{i}).").unwrap();
+        writeln!(facts, "down(d{i}, c).").unwrap();
+    }
+    Workload {
+        name: format!("fig7a(n={n})"),
+        program: sg_program(&facts),
+        query: "sg(a, Y)".to_string(),
+        expected_answers: Some(1),
+    }
+}
+
+/// Sample (b): a ladder with the down chain pointing *away* from the
+/// start.  `up(a_i, a_{i+1})`, `flat(a_i, b_i)`, `down(b_i, b_{i+1})`.
+/// Query `sg(a0, Y)`: the k-th recursion level answers `b_{2k}`, and the
+/// descent from level k walks k fresh nodes — O(n²) total for our
+/// algorithm and for counting.
+pub fn sample_b(n: usize) -> Workload {
+    assert!(n >= 1);
+    let mut facts = String::new();
+    for i in 0..n - 1 {
+        writeln!(facts, "up(a{}, a{}).", i, i + 1).unwrap();
+    }
+    for i in 0..n {
+        writeln!(facts, "flat(a{i}, b{i}).").unwrap();
+    }
+    for i in 0..n - 1 {
+        writeln!(facts, "down(b{}, b{}).", i, i + 1).unwrap();
+    }
+    // Answers: b_{2k} for 0 ≤ 2k ≤ n-1 (level k uses k ups and k downs).
+    let expected = n.div_ceil(2);
+    Workload {
+        name: format!("fig7b(n={n})"),
+        program: sg_program(&facts),
+        query: "sg(a0, Y)".to_string(),
+        expected_answers: Some(expected),
+    }
+}
+
+/// Sample (c): a ladder with the down chain pointing *back* towards the
+/// start.  `up(a_i, a_{i+1})`, `flat(a_i, b_i)`, `down(b_i, b_{i-1})`.
+/// Query `sg(a0, Y)`; answer `{b0}`.  Our algorithm's memoized descent
+/// makes this O(n); Henschen–Naqvi re-walks the chain, O(n²).
+pub fn sample_c(n: usize) -> Workload {
+    assert!(n >= 1);
+    let mut facts = String::new();
+    for i in 0..n - 1 {
+        writeln!(facts, "up(a{}, a{}).", i, i + 1).unwrap();
+    }
+    for i in 0..n {
+        writeln!(facts, "flat(a{i}, b{i}).").unwrap();
+    }
+    for i in 1..n {
+        writeln!(facts, "down(b{}, b{}).", i, i - 1).unwrap();
+    }
+    Workload {
+        name: format!("fig7c(n={n})"),
+        program: sg_program(&facts),
+        query: "sg(a0, Y)".to_string(),
+        expected_answers: Some(1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_common::ConstValue;
+    use rq_datalog::naive_eval;
+
+    fn answers(w: &Workload, from: &str) -> usize {
+        let program = &w.program;
+        let sg = program.pred_by_name("sg").unwrap();
+        let a = program
+            .consts
+            .get(&ConstValue::Str(from.into()))
+            .unwrap();
+        naive_eval(program)
+            .unwrap()
+            .tuples(sg)
+            .into_iter()
+            .filter(|t| t[0] == a)
+            .count()
+    }
+
+    #[test]
+    fn sample_a_answer_is_c() {
+        for n in [1, 5, 20] {
+            let w = sample_a(n);
+            assert_eq!(answers(&w, "a"), 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn sample_b_answer_count() {
+        for n in [1, 2, 5, 8, 9] {
+            let w = sample_b(n);
+            assert_eq!(
+                answers(&w, "a0"),
+                w.expected_answers.unwrap(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_c_answer_is_b0() {
+        for n in [1, 5, 20] {
+            let w = sample_c(n);
+            assert_eq!(answers(&w, "a0"), 1, "n={n}");
+        }
+    }
+
+    #[test]
+    fn sizes_are_linear_in_n() {
+        let w = sample_b(50);
+        assert_eq!(w.program.facts.len(), 49 + 50 + 49);
+        let w = sample_a(50);
+        assert_eq!(w.program.facts.len(), 150);
+    }
+}

@@ -1,0 +1,97 @@
+//! The cyclic same-generation data of Figure 8: an up-cycle of length m
+//! and a down-cycle of length n with a single flat arc between the
+//! anchors.  When m and n have no common divisor the tuple
+//! `(a_0, b_0)` needs exactly m·n recursion levels — the case that
+//! defeats the natural termination condition and motivates the
+//! Marchetti-Spaccamela bound.
+
+use crate::{sg_program, Workload};
+use std::fmt::Write;
+
+/// Figure 8 with up-cycle length `m` and down-cycle length `n`.  Query
+/// `sg(a0, Y)`.
+pub fn cyclic(m: usize, n: usize) -> Workload {
+    assert!(m >= 1 && n >= 1);
+    let mut facts = String::new();
+    for i in 0..m {
+        writeln!(facts, "up(a{}, a{}).", i, (i + 1) % m).unwrap();
+    }
+    writeln!(facts, "flat(a0, b0).").unwrap();
+    for i in 0..n {
+        writeln!(facts, "down(b{}, b{}).", i, (i + 1) % n).unwrap();
+    }
+    // Answers: down^k(b0) over levels k ≡ 0 (mod m) — i.e. the residues
+    // {k mod n : m | k} = multiples of gcd(m, n) in Z_n.
+    let g = gcd(m, n);
+    Workload {
+        name: format!("fig8(m={m},n={n})"),
+        program: sg_program(&facts),
+        query: "sg(a0, Y)".to_string(),
+        expected_answers: Some(n / g),
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+/// The number of recursion levels needed to produce the *last* answer:
+/// the largest k ≤ lcm(m,n) of the form k = m·j hitting a new residue —
+/// for coprime m, n this is m·(n-1) + ... the paper's bound m·n always
+/// suffices.
+pub fn sufficient_levels(m: usize, n: usize) -> u64 {
+    (m * n) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_common::ConstValue;
+    use rq_datalog::naive_eval;
+
+    #[test]
+    fn coprime_cycles_reach_all_down_nodes() {
+        for (m, n) in [(2, 3), (3, 4), (5, 3)] {
+            let w = cyclic(m, n);
+            let program = &w.program;
+            let sg = program.pred_by_name("sg").unwrap();
+            let a0 = program.consts.get(&ConstValue::Str("a0".into())).unwrap();
+            let count = naive_eval(program)
+                .unwrap()
+                .tuples(sg)
+                .into_iter()
+                .filter(|t| t[0] == a0)
+                .count();
+            assert_eq!(count, n, "m={m} n={n}");
+            assert_eq!(w.expected_answers, Some(n));
+        }
+    }
+
+    #[test]
+    fn non_coprime_cycles_reach_fewer() {
+        let w = cyclic(2, 4);
+        let program = &w.program;
+        let sg = program.pred_by_name("sg").unwrap();
+        let a0 = program.consts.get(&ConstValue::Str("a0".into())).unwrap();
+        let count = naive_eval(program)
+            .unwrap()
+            .tuples(sg)
+            .into_iter()
+            .filter(|t| t[0] == a0)
+            .count();
+        // gcd(2,4)=2: only even residues mod 4 → 2 answers.
+        assert_eq!(count, 2);
+        assert_eq!(w.expected_answers, Some(2));
+    }
+
+    #[test]
+    fn degenerate_cycles() {
+        let w = cyclic(1, 1);
+        assert_eq!(w.expected_answers, Some(1));
+        assert_eq!(sufficient_levels(2, 3), 6);
+    }
+}

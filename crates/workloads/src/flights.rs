@@ -1,0 +1,98 @@
+//! §4's airline-connection database, scaled: `airports` airports with
+//! `flights_per_airport` departures each, departing on a time grid so
+//! that multi-leg connections exist.  The query asks for all connections
+//! from one airport at one departure time.
+
+use crate::Workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write;
+
+/// The connection rules of §4.
+pub const CNX_RULES: &str = "\
+cnx(S,DT,D,AT) :- flight(S,DT,D,AT).\n\
+cnx(S,DT,D,AT) :- flight(S,DT,D1,AT1), AT1 < DT1, is_deptime(DT1), cnx(D1,DT1,D,AT).\n";
+
+/// Generate a flight network.  Flights leave airport `p_i` on the hour;
+/// each flight lands 90 minutes later at a random airport.  All times
+/// are minutes since midnight, so `<` compares correctly.
+pub fn network(airports: usize, flights_per_airport: usize, seed: u64) -> Workload {
+    assert!(airports >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut facts = String::new();
+    let mut deptimes: Vec<i64> = Vec::new();
+    for a in 0..airports {
+        for f in 0..flights_per_airport {
+            let dep = 6 * 60 + (f as i64) * 60; // 06:00, 07:00, ...
+            let arr = dep + 90;
+            let mut dest = rng.gen_range(0..airports - 1);
+            if dest >= a {
+                dest += 1; // no self-loops
+            }
+            writeln!(facts, "flight(p{a}, {dep}, p{dest}, {arr}).").unwrap();
+            deptimes.push(dep);
+        }
+    }
+    deptimes.sort_unstable();
+    deptimes.dedup();
+    for dt in deptimes {
+        writeln!(facts, "is_deptime({dt}).").unwrap();
+    }
+    Workload {
+        name: format!("flights(a={airports},f={flights_per_airport},seed={seed})"),
+        program: rq_datalog::parse_program(&format!("{CNX_RULES}{facts}"))
+            .expect("generated flight program parses"),
+        query: "cnx(p0, 360, D, AT)".to_string(),
+        expected_answers: None,
+    }
+}
+
+/// The exact example database of §4's discussion, for tests.
+pub fn paper_example() -> Workload {
+    let src = format!(
+        "{CNX_RULES}\
+         flight(hel,540,ams,690).\n\
+         flight(ams,720,cdg,810).\n\
+         flight(ams,660,cdg,750).\n\
+         flight(cdg,840,nce,930).\n\
+         is_deptime(540). is_deptime(720). is_deptime(660). is_deptime(840).\n"
+    );
+    Workload {
+        name: "flights(paper)".to_string(),
+        program: rq_datalog::parse_program(&src).expect("parses"),
+        query: "cnx(hel, 540, D, AT)".to_string(),
+        expected_answers: Some(3),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_datalog::{naive_eval, Query};
+
+    #[test]
+    fn paper_example_has_three_connections() {
+        let mut w = paper_example();
+        let q = Query::parse(&mut w.program, &w.query).unwrap();
+        let cnx = w.program.pred_by_name("cnx").unwrap();
+        let res = naive_eval(&w.program).unwrap();
+        let tuples = res.tuples(cnx);
+        let rows = q.answer_from_relation(&tuples);
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn network_is_deterministic_and_wellformed() {
+        let a = network(5, 3, 9);
+        let b = network(5, 3, 9);
+        assert_eq!(a.program.facts.len(), b.program.facts.len());
+        // 15 flights + 3 distinct departure times.
+        assert_eq!(a.program.facts.len(), 18);
+        // Query evaluates without error.
+        let mut w = network(4, 2, 1);
+        let q = Query::parse(&mut w.program, &w.query).unwrap();
+        let res = naive_eval(&w.program).unwrap();
+        let cnx = w.program.pred_by_name("cnx").unwrap();
+        let _ = q.answer_from_relation(&res.tuples(cnx));
+    }
+}

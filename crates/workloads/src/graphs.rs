@@ -1,0 +1,227 @@
+//! Graph generators for transitive-closure scaling experiments
+//! (Theorems 3–4): chains, complete binary trees, grids, and random
+//! layered DAGs, plus balanced same-generation trees.
+
+use crate::{sg_program, tc_program, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write;
+
+/// A chain `v0 → v1 → … → vn`.  Query `tc(v0, Y)`; n answers.
+pub fn chain(n: usize) -> Workload {
+    let mut facts = String::new();
+    for i in 0..n {
+        writeln!(facts, "e(v{}, v{}).", i, i + 1).unwrap();
+    }
+    Workload {
+        name: format!("chain(n={n})"),
+        program: tc_program(&facts),
+        query: "tc(v0, Y)".to_string(),
+        expected_answers: Some(n),
+    }
+}
+
+/// A complete binary tree of the given depth, edges parent → child.
+/// Query `tc(v1, Y)`; answers = all 2^{depth+1} − 2 proper descendants.
+pub fn binary_tree(depth: usize) -> Workload {
+    let mut facts = String::new();
+    let nodes = (1usize << (depth + 1)) - 1;
+    for i in 1..=nodes {
+        for c in [2 * i, 2 * i + 1] {
+            if c <= nodes {
+                writeln!(facts, "e(v{i}, v{c}).").unwrap();
+            }
+        }
+    }
+    Workload {
+        name: format!("btree(depth={depth})"),
+        program: tc_program(&facts),
+        query: "tc(v1, Y)".to_string(),
+        expected_answers: Some(nodes - 1),
+    }
+}
+
+/// A w×h grid with right and down edges.  Query `tc(g0_0, Y)`; answers =
+/// all other cells.
+pub fn grid(w: usize, h: usize) -> Workload {
+    let mut facts = String::new();
+    for x in 0..w {
+        for y in 0..h {
+            if x + 1 < w {
+                writeln!(facts, "e(g{x}_{y}, g{}_{y}).", x + 1).unwrap();
+            }
+            if y + 1 < h {
+                writeln!(facts, "e(g{x}_{y}, g{x}_{}).", y + 1).unwrap();
+            }
+        }
+    }
+    Workload {
+        name: format!("grid({w}x{h})"),
+        program: tc_program(&facts),
+        query: "tc(g0_0, Y)".to_string(),
+        expected_answers: Some(w * h - 1),
+    }
+}
+
+/// A random layered DAG: `layers` layers of `width` nodes; each node has
+/// edges to the next layer with probability `p`.  Deterministic per seed.
+pub fn layered_dag(layers: usize, width: usize, p: f64, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut facts = String::new();
+    let mut edges = 0usize;
+    for l in 0..layers.saturating_sub(1) {
+        for i in 0..width {
+            for j in 0..width {
+                if rng.gen_bool(p) {
+                    writeln!(facts, "e(l{l}_{i}, l{}_{j}).", l + 1).unwrap();
+                    edges += 1;
+                }
+            }
+        }
+    }
+    if edges == 0 {
+        // Keep the base relation nonempty so the program parses with `e`.
+        writeln!(facts, "e(l0_0, l1_0).").unwrap();
+    }
+    Workload {
+        name: format!("dag(l={layers},w={width},p={p},seed={seed})"),
+        program: tc_program(&facts),
+        query: "tc(l0_0, Y)".to_string(),
+        expected_answers: None,
+    }
+}
+
+/// A balanced same-generation tree: a complete binary "up" tree of the
+/// given depth from the query node's ancestor line... more precisely the
+/// standard sg benchmark: up edges child → parent in a complete binary
+/// tree, `flat` the identity-ish sibling links at the root layer, and
+/// down edges parent → child (the inverse tree).  Query `sg(leaf0, Y)`:
+/// all leaves at the same depth.
+pub fn sg_tree(depth: usize) -> Workload {
+    let mut facts = String::new();
+    let nodes = (1usize << (depth + 1)) - 1;
+    for i in 2..=nodes {
+        // child i has parent i/2.
+        writeln!(facts, "up(v{i}, v{}).", i / 2).unwrap();
+        writeln!(facts, "down(v{}, v{i}).", i / 2).unwrap();
+    }
+    writeln!(facts, "flat(v1, v1).").unwrap();
+    let first_leaf = 1usize << depth;
+    Workload {
+        name: format!("sgtree(depth={depth})"),
+        program: sg_program(&facts),
+        query: format!("sg(v{first_leaf}, Y)"),
+        // Every leaf is the same generation as leaf0 (including itself).
+        expected_answers: Some(1 << depth),
+    }
+}
+
+/// A random same-generation forest: `n` nodes per side, random up/down
+/// edges between consecutive levels of `levels` levels, flat links at
+/// the top.  Used by property tests to stress the engine against the
+/// oracles on irregular data.
+pub fn sg_random(levels: usize, width: usize, p: f64, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut facts = String::new();
+    let mut any = false;
+    for l in 0..levels.saturating_sub(1) {
+        for i in 0..width {
+            for j in 0..width {
+                if rng.gen_bool(p) {
+                    writeln!(facts, "up(u{l}_{i}, u{}_{j}).", l + 1).unwrap();
+                    any = true;
+                }
+                if rng.gen_bool(p) {
+                    writeln!(facts, "down(d{}_{j}, d{l}_{i}).", l + 1).unwrap();
+                }
+            }
+        }
+    }
+    for i in 0..width {
+        for j in 0..width {
+            if rng.gen_bool(p) {
+                writeln!(facts, "flat(u{}_{i}, d{}_{j}).", levels - 1, levels - 1).unwrap();
+            }
+        }
+    }
+    if !any {
+        writeln!(facts, "up(u0_0, u1_0). flat(u1_0, d1_0). down(d1_0, d0_0).").unwrap();
+    }
+    Workload {
+        name: format!("sgrand(l={levels},w={width},p={p},seed={seed})"),
+        program: sg_program(&facts),
+        query: "sg(u0_0, Y)".to_string(),
+        expected_answers: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_common::ConstValue;
+    use rq_datalog::naive_eval;
+
+    fn count_answers(w: &Workload, from: &str, pred: &str) -> usize {
+        let program = &w.program;
+        let p = program.pred_by_name(pred).unwrap();
+        let Some(a) = program.consts.get(&ConstValue::Str(from.into())) else {
+            return 0;
+        };
+        naive_eval(program)
+            .unwrap()
+            .tuples(p)
+            .into_iter()
+            .filter(|t| t[0] == a)
+            .count()
+    }
+
+    #[test]
+    fn chain_reaches_everything() {
+        let w = chain(12);
+        assert_eq!(count_answers(&w, "v0", "tc"), 12);
+    }
+
+    #[test]
+    fn btree_counts_descendants() {
+        let w = binary_tree(3);
+        assert_eq!(count_answers(&w, "v1", "tc"), w.expected_answers.unwrap());
+    }
+
+    #[test]
+    fn grid_reaches_all_cells() {
+        let w = grid(4, 5);
+        assert_eq!(count_answers(&w, "g0_0", "tc"), 19);
+    }
+
+    #[test]
+    fn sg_tree_finds_all_leaves() {
+        let w = sg_tree(3);
+        assert_eq!(count_answers(&w, "v8", "sg"), 8);
+    }
+
+    #[test]
+    fn layered_dag_is_deterministic() {
+        let a = layered_dag(4, 5, 0.3, 42);
+        let b = layered_dag(4, 5, 0.3, 42);
+        assert_eq!(a.program.facts.len(), b.program.facts.len());
+        let c = layered_dag(4, 5, 0.3, 43);
+        // Different seed, almost surely different edge count.
+        assert_ne!(a.program.facts.len(), 0);
+        let _ = c;
+    }
+
+    #[test]
+    fn generators_produce_parseable_programs() {
+        for w in [
+            chain(3),
+            binary_tree(2),
+            grid(2, 2),
+            layered_dag(3, 3, 0.5, 1),
+            sg_tree(2),
+            sg_random(3, 3, 0.4, 7),
+        ] {
+            assert!(w.program.rules.len() >= 2, "{}", w.name);
+            assert!(!w.program.facts.is_empty(), "{}", w.name);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Workload generators for the paper's evaluation section.
+//!
+//! * [`fig7`] — the three acyclic same-generation samples of Figure 7,
+//!   reconstructed from the paper's prose (the scanned figure is
+//!   ambiguous; see each constructor's docs for the shape and the prose
+//!   it satisfies);
+//! * [`fig8`] — the cyclic same-generation data of Figure 8 (up-cycle of
+//!   length m, down-cycle of length n);
+//! * [`graphs`] — chains, trees, grids, and random layered DAGs for
+//!   transitive-closure scaling (Theorems 3–4);
+//! * [`flights`] — §4's airline-connection database.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig7;
+pub mod fig8;
+pub mod flights;
+pub mod graphs;
+pub mod randprog;
+
+use rq_datalog::{parse_program, Program};
+
+/// A generated workload: a program (rules + facts) plus the query to ask.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Short name for reports.
+    pub name: String,
+    /// The program, facts included.
+    pub program: Program,
+    /// Query text, e.g. `sg(a0, Y)`.
+    pub query: String,
+    /// The number of answers, when analytically known.
+    pub expected_answers: Option<usize>,
+}
+
+/// The same-generation rules used by the Figure 7/8 workloads.
+pub const SG_RULES: &str = "sg(X,Y) :- flat(X,Y).\n\
+                            sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n";
+
+/// The right-linear transitive-closure rules.
+pub const TC_RULES: &str = "tc(X,Y) :- e(X,Y).\n\
+                            tc(X,Z) :- e(X,Y), tc(Y,Z).\n";
+
+pub(crate) fn sg_program(facts: &str) -> Program {
+    parse_program(&format!("{SG_RULES}{facts}")).expect("generated program parses")
+}
+
+pub(crate) fn tc_program(facts: &str) -> Program {
+    parse_program(&format!("{TC_RULES}{facts}")).expect("generated program parses")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sg_and_tc_templates_parse() {
+        let p = sg_program("up(a,b). flat(b,c). down(c,d).");
+        assert!(p.pred_by_name("sg").is_some());
+        let p = tc_program("e(a,b).");
+        assert!(p.pred_by_name("tc").is_some());
+    }
+}

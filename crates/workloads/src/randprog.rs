@@ -1,0 +1,379 @@
+//! Random linear binary-chain programs for differential testing.
+//!
+//! The generators here produce *programs*, not just data: random
+//! recursion structures (self-recursive predicates, mutually recursive
+//! pairs, non-recursive helpers), random chain bodies, and random
+//! layered extensional databases.  Differential tests run the whole
+//! Lemma 1 → automata → traversal pipeline against the seminaive
+//! bottom-up oracle on thousands of seeds (`tests/differential.rs`).
+//!
+//! Two construction invariants make the generated programs suitable:
+//!
+//! 1. **Shape** — every rule is a binary-chain rule with at most one
+//!    body literal mutually recursive to the head, so the program is a
+//!    linear binary-chain program and Lemma 1 applies.
+//! 2. **Termination** — in non-regular mode every recursive body
+//!    literal sits strictly between two other literals, and every base
+//!    fact generated is strictly increasing (`n_i → n_j` only for
+//!    `i < j`).  Each nesting level of the traversal then consumes at
+//!    least one strictly increasing arc, so the iteration count is
+//!    bounded by the domain size plus the non-recursive reference
+//!    depth, and the main loop's natural `C = ∅` condition fires.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rq_datalog::{parse_program, Program};
+use std::fmt::Write;
+
+/// Which recursion shapes a generated program may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecursionStyle {
+    /// All recursive rules are right-linear (recursive literal last) or
+    /// left-linear (first), chosen per recursion group.  The generated
+    /// program is a *regular* binary-chain program: Lemma 1 eliminates
+    /// every derived predicate and the traversal needs one iteration.
+    Regular,
+    /// Recursive literals sit strictly in the middle of the body
+    /// (non-empty prefix and suffix), the `sg` shape.  The program is
+    /// linear but in general not regular.
+    MiddleLinear,
+    /// Each group flips a coin between the two shapes above.
+    Mixed,
+}
+
+/// Configuration for [`random_program`].
+#[derive(Debug, Clone)]
+pub struct RandProgConfig {
+    /// RNG seed; equal seeds give equal programs.
+    pub seed: u64,
+    /// Number of recursion groups (a group is one self-recursive
+    /// predicate or a mutually recursive pair).
+    pub groups: usize,
+    /// Probability that a group is a mutually recursive pair.
+    pub mutual_prob: f64,
+    /// Recursion shape policy.
+    pub style: RecursionStyle,
+    /// Number of base predicates to draw body literals from.
+    pub base_preds: usize,
+    /// Rules per derived predicate (the first is always non-recursive).
+    pub rules_per_pred: usize,
+    /// Maximum number of literals in a rule body.
+    pub max_body: usize,
+    /// Probability that a non-recursive body slot references a derived
+    /// predicate from an earlier group instead of a base predicate.
+    pub lower_ref_prob: f64,
+    /// Number of constants `n0 … n{domain-1}`.
+    pub domain: usize,
+    /// Facts per base relation (strictly increasing pairs).
+    pub facts_per_base: usize,
+    /// Allow arbitrary (possibly decreasing or reflexive) base facts.
+    /// The generated data can then be cyclic, so the traversal's
+    /// natural termination is *not* guaranteed — callers must bound the
+    /// evaluation (`max_iterations` / `node_budget`) and can only rely
+    /// on soundness (Lemma 2 statement 1), plus completeness when the
+    /// run converges.
+    pub cyclic: bool,
+}
+
+impl Default for RandProgConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            groups: 2,
+            mutual_prob: 0.4,
+            style: RecursionStyle::Mixed,
+            base_preds: 3,
+            rules_per_pred: 3,
+            max_body: 4,
+            lower_ref_prob: 0.25,
+            domain: 12,
+            facts_per_base: 18,
+            cyclic: false,
+        }
+    }
+}
+
+/// A generated program together with its source text (for debugging
+/// failed seeds) and the names of its derived predicates in group
+/// order.
+#[derive(Debug, Clone)]
+pub struct RandProgram {
+    /// The program source, facts included.
+    pub text: String,
+    /// The parsed program.
+    pub program: Program,
+    /// Derived predicate names, outermost group last.
+    pub derived: Vec<String>,
+    /// An iteration bound that certainly suffices for convergence on
+    /// the generated (strictly increasing) data.
+    pub iteration_bound: u64,
+}
+
+struct Gen {
+    rng: StdRng,
+    cfg: RandProgConfig,
+    /// Derived predicate names of *earlier* groups, available as
+    /// non-recursive references.
+    lower: Vec<String>,
+    rules: String,
+}
+
+impl Gen {
+    fn base_name(&mut self) -> String {
+        let i = self.rng.gen_range(0..self.cfg.base_preds);
+        format!("b{i}")
+    }
+
+    /// A body literal that is not mutually recursive to the current
+    /// group: a base predicate, or (sometimes) a derived predicate from
+    /// an earlier group.
+    fn free_slot(&mut self) -> String {
+        if !self.lower.is_empty() && self.rng.gen_bool(self.cfg.lower_ref_prob) {
+            let i = self.rng.gen_range(0..self.lower.len());
+            self.lower[i].clone()
+        } else {
+            self.base_name()
+        }
+    }
+
+    /// Emit `head(X0,Xn) :- l1(X0,X1), …, ln(X{n-1},Xn).` for the given
+    /// chain of predicate names.
+    fn emit_chain(&mut self, head: &str, body: &[String]) {
+        let mut line = format!("{head}(X0,X{}) :- ", body.len());
+        for (i, l) in body.iter().enumerate() {
+            if i > 0 {
+                line.push_str(", ");
+            }
+            write!(line, "{l}(X{},X{})", i, i + 1).unwrap();
+        }
+        line.push('.');
+        writeln!(self.rules, "{line}").unwrap();
+    }
+
+    fn non_recursive_rule(&mut self, head: &str) {
+        let len = self.rng.gen_range(1..=self.cfg.max_body);
+        let body: Vec<String> = (0..len).map(|_| self.free_slot()).collect();
+        self.emit_chain(head, &body);
+    }
+
+    /// A recursive rule whose recursive literal is `callee` (a member of
+    /// the current group).  `side` is `Some(true)` for right-linear,
+    /// `Some(false)` for left-linear, `None` for strictly-middle.
+    fn recursive_rule(&mut self, head: &str, callee: &str, side: Option<bool>) {
+        match side {
+            Some(right) => {
+                let extra = self.rng.gen_range(1..self.cfg.max_body.max(2));
+                let mut body: Vec<String> = (0..extra).map(|_| self.free_slot()).collect();
+                if right {
+                    body.push(callee.to_string());
+                } else {
+                    body.insert(0, callee.to_string());
+                }
+                self.emit_chain(head, &body);
+            }
+            None => {
+                let before = self.rng.gen_range(1..=(self.cfg.max_body - 2).max(1));
+                let after = self.rng.gen_range(1..=(self.cfg.max_body - 2).max(1));
+                let mut body: Vec<String> = (0..before).map(|_| self.free_slot()).collect();
+                body.push(callee.to_string());
+                for _ in 0..after {
+                    let slot = self.free_slot();
+                    body.push(slot);
+                }
+                self.emit_chain(head, &body);
+            }
+        }
+    }
+}
+
+/// Generate a random linear binary-chain program with layered data.
+pub fn random_program(cfg: &RandProgConfig) -> RandProgram {
+    assert!(cfg.groups >= 1 && cfg.base_preds >= 1 && cfg.domain >= 2);
+    assert!(cfg.max_body >= 3, "middle placement needs room for prefix and suffix");
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(cfg.seed),
+        cfg: cfg.clone(),
+        lower: Vec::new(),
+        rules: String::new(),
+    };
+
+    let mut derived = Vec::new();
+    for group in 0..cfg.groups {
+        let pair = g.rng.gen_bool(cfg.mutual_prob);
+        let members: Vec<String> = if pair {
+            vec![format!("p{group}a"), format!("p{group}b")]
+        } else {
+            vec![format!("p{group}")]
+        };
+        // One shape per group keeps mutually recursive pairs regular
+        // when the style asks for it.
+        let side = match cfg.style {
+            RecursionStyle::Regular => Some(g.rng.gen_bool(0.5)),
+            RecursionStyle::MiddleLinear => None,
+            RecursionStyle::Mixed => {
+                if g.rng.gen_bool(0.5) {
+                    Some(g.rng.gen_bool(0.5))
+                } else {
+                    None
+                }
+            }
+        };
+        for (mi, head) in members.iter().enumerate() {
+            g.non_recursive_rule(head);
+            let mut recursive_rules = 0usize;
+            if members.len() == 2 {
+                // Each member of a pair references the other, so the
+                // pair really is mutually recursive.
+                let callee = members[1 - mi].clone();
+                g.recursive_rule(head, &callee, side);
+                recursive_rules += 1;
+            }
+            for _ in 1 + recursive_rules..cfg.rules_per_pred {
+                // Lean towards recursion but cap it so the equation
+                // systems stay readable and elimination cheap.
+                if recursive_rules < 2 && g.rng.gen_bool(0.7) {
+                    let i = g.rng.gen_range(0..members.len());
+                    let callee = members[i].clone();
+                    g.recursive_rule(head, &callee, side);
+                    recursive_rules += 1;
+                } else {
+                    g.non_recursive_rule(head);
+                }
+            }
+        }
+        g.lower.extend(members.iter().cloned());
+        derived.extend(members);
+    }
+
+    // Layered facts: only strictly increasing edges, so every base
+    // relation (and hence every derivation chain) is acyclic — unless
+    // `cyclic` lifts the restriction.
+    let mut facts = String::new();
+    for b in 0..cfg.base_preds {
+        for _ in 0..cfg.facts_per_base {
+            let (i, j) = if cfg.cyclic {
+                (
+                    g.rng.gen_range(0..cfg.domain),
+                    g.rng.gen_range(0..cfg.domain),
+                )
+            } else {
+                let i = g.rng.gen_range(0..cfg.domain - 1);
+                (i, g.rng.gen_range(i + 1..cfg.domain))
+            };
+            writeln!(facts, "b{b}(n{i},n{j}).").unwrap();
+        }
+    }
+
+    let text = format!("{}{}", g.rules, facts);
+    let program = parse_program(&text).unwrap_or_else(|e| {
+        panic!("generated program must parse: {e}\n{text}");
+    });
+    RandProgram {
+        program,
+        derived,
+        // Each iteration past the first consumes at least one strictly
+        // increasing arc or unfolds one non-recursive reference level.
+        iteration_bound: (cfg.domain + 2 * cfg.groups + 4) as u64,
+        text,
+    }
+}
+
+/// Convenience: the default configuration at a given seed and style.
+pub fn seeded(seed: u64, style: RecursionStyle) -> RandProgram {
+    random_program(&RandProgConfig {
+        seed,
+        style,
+        ..RandProgConfig::default()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_datalog::{binary_chain_violations, program_is_regular, Analysis};
+
+    #[test]
+    fn generated_programs_are_linear_binary_chain() {
+        for seed in 0..40 {
+            let rp = seeded(seed, RecursionStyle::Mixed);
+            assert!(
+                binary_chain_violations(&rp.program).is_empty(),
+                "seed {seed} not binary-chain:\n{}",
+                rp.text
+            );
+            let analysis = Analysis::of(&rp.program);
+            assert!(
+                analysis.program_is_linear(&rp.program),
+                "seed {seed} not linear:\n{}",
+                rp.text
+            );
+        }
+    }
+
+    #[test]
+    fn regular_style_is_regular() {
+        for seed in 0..40 {
+            let rp = seeded(seed, RecursionStyle::Regular);
+            let analysis = Analysis::of(&rp.program);
+            assert!(
+                program_is_regular(&rp.program, &analysis),
+                "seed {seed} not regular:\n{}",
+                rp.text
+            );
+        }
+    }
+
+    #[test]
+    fn same_seed_same_program() {
+        let a = seeded(7, RecursionStyle::Mixed);
+        let b = seeded(7, RecursionStyle::Mixed);
+        assert_eq!(a.text, b.text);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = seeded(1, RecursionStyle::Mixed);
+        let b = seeded(2, RecursionStyle::Mixed);
+        assert_ne!(a.text, b.text);
+    }
+
+    #[test]
+    fn facts_are_strictly_increasing() {
+        let rp = seeded(3, RecursionStyle::Mixed);
+        for line in rp.text.lines() {
+            if let Some(rest) = line.strip_prefix('b') {
+                if let Some((_, args)) = rest.split_once('(') {
+                    if !args.contains(":-") && args.contains(",n") {
+                        let args = args.trim_end_matches(").");
+                        let mut parts = args.split(',');
+                        let i: usize =
+                            parts.next().unwrap().trim_start_matches('n').parse().unwrap();
+                        let j: usize =
+                            parts.next().unwrap().trim_start_matches('n').parse().unwrap();
+                        assert!(i < j, "fact not increasing: {line}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mutual_pairs_are_mutually_recursive() {
+        // Find a seed with a pair and check the analysis agrees.
+        for seed in 0..60 {
+            let rp = random_program(&RandProgConfig {
+                seed,
+                mutual_prob: 1.0,
+                ..RandProgConfig::default()
+            });
+            let a = rp.program.pred_by_name("p0a").unwrap();
+            let b = rp.program.pred_by_name("p0b").unwrap();
+            let analysis = Analysis::of(&rp.program);
+            assert!(
+                analysis.mutually_recursive(a, b),
+                "seed {seed}: p0a/p0b not mutually recursive:\n{}",
+                rp.text
+            );
+        }
+    }
+}

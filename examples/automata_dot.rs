@@ -1,0 +1,51 @@
+//! Reproduce Figures 1 and 2: the automaton `M(e_p)` for
+//! `e_p = (b3·b4* ∪ b2·p)·b1` and its one-step expansion `EM(p, 2)`,
+//! printed as GraphViz DOT.
+//!
+//! Run with `cargo run --example automata_dot [i]` (default i = 2);
+//! pipe through `dot -Tsvg` to render.
+
+use rq_automata::MachineSet;
+use rq_common::Pred;
+use rq_relalg::{EqSystem, Expr};
+
+fn main() {
+    let i: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+
+    // Predicate ids: p = 0, b1..b4 = 1..4.
+    let p = Pred(0);
+    let b = |k: u32| Expr::Sym(Pred(k));
+    let e_p = Expr::cat([
+        Expr::union([
+            Expr::cat([b(3), Expr::star(b(4))]),
+            Expr::cat([b(2), Expr::Sym(p)]),
+        ]),
+        b(1),
+    ]);
+    let name = |q: Pred| {
+        if q == p {
+            "p".to_string()
+        } else {
+            format!("b{}", q.0)
+        }
+    };
+    println!("// e_p = {}", e_p.display(&name));
+
+    let system = EqSystem::new([(p, e_p)]);
+    let machines = MachineSet::of(&system);
+
+    println!("// M(e_p)  — Figure 1");
+    println!("{}", machines.em(p, 1).to_dot(&name));
+
+    println!("// EM(p,{i})  — Figure 2 for i = 2");
+    let em = machines.em(p, i);
+    println!("{}", em.to_dot(&name));
+    eprintln!(
+        "EM(p,{i}): {} states, {} transitions",
+        em.num_states(),
+        em.num_transitions()
+    );
+}

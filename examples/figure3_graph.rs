@@ -1,0 +1,72 @@
+//! Reproduce the *kind* of artifact shown in Figure 3: the interpretation
+//! graph `G(p, u, 2)` built while evaluating the query `p(u, Y)` for
+//! `e_p = (b3·b4* ∪ b2·p)·b1` over a small extensional database, printed
+//! as GraphViz DOT.  (The journal scan's exact fact list is illegible;
+//! the database here exercises the same paths: a b3·b4*·b1 branch and a
+//! b2·p·b1 branch that recurses once.)
+//!
+//! Run with `cargo run --example figure3_graph | dot -Tsvg > g.svg`.
+
+use rq_datalog::{parse_program, Database};
+use rq_engine::{EdbSource, EvalOptions, Evaluator};
+use rq_relalg::{lemma1, Lemma1Options};
+
+fn main() {
+    // p = (b3 ∪ b3·b4s ∪ b2·p)·b1 with b4s the transitive closure of
+    // b4; after Lemma 1 this is p's equation with b4*'s within it, the
+    // shape of Figure 1's e_p.
+    let src = "\
+p(X,Z) :- b3(X,Y), b1(Y,Z).
+p(X,Z) :- b3(X,W), b4s(W,Y), b1(Y,Z).
+p(X,Z) :- b2(X,Y), p(Y,W), b1(W,Z).
+b4s(X,Y) :- b4(X,Y).
+b4s(X,Z) :- b4(X,Y), b4s(Y,Z).
+b2(u, u1).
+b3(u, u5). b3(u1, u2). b3(u1, u3).
+b4(u2, u3). b4(u5, u5).
+b1(u3, u4). b1(u4, v). b1(u5, u4).
+";
+    let program = parse_program(src).expect("parses");
+    let db = Database::from_program(&program);
+    let system = lemma1(&program, &Lemma1Options::default()).expect("chain program");
+    eprintln!("equation system:\n{}", system.system.display(&program));
+
+    let p = program.pred_by_name("p").unwrap();
+    let u = program
+        .consts
+        .get(&rq_common::ConstValue::Str("u".into()))
+        .unwrap();
+    let source = EdbSource::new(&db);
+    let ev = Evaluator::new(&system.system, &source);
+    let out = ev.evaluate(
+        p,
+        u,
+        &EvalOptions {
+            record_graph: true,
+            ..EvalOptions::default()
+        },
+    );
+    let dump = out.graph.expect("recorded");
+    eprintln!(
+        "G(p,u,{}): {} nodes, {} arcs, answers {:?}",
+        out.counters.iterations,
+        dump.node_count(),
+        dump.arcs.len(),
+        {
+            let mut v: Vec<String> = out
+                .answers
+                .iter()
+                .map(|&c| program.consts.display(c))
+                .collect();
+            v.sort();
+            v
+        }
+    );
+    println!(
+        "{}",
+        dump.to_dot(
+            &|c| program.consts.display(c),
+            &|q| program.pred_name(q).to_string()
+        )
+    );
+}

@@ -1,0 +1,171 @@
+//! `rqc` — run recursive queries from the command line.
+//!
+//! ```text
+//! rqc <program.dl> <query> [--stats] [--plan] [--max-iterations N]
+//! rqc repl [program.dl]        interactive session (see :help)
+//! rqc --demo
+//! ```
+//!
+//! The program file holds Datalog rules and facts in the syntax of
+//! `rq_datalog::parse_program`; the query is a literal like `sg(john, Y)`
+//! with uppercase variables free.  `--plan` prints the pipeline chosen,
+//! the equation system, and (for §4) the adorned program; `--stats`
+//! prints the unit-cost counters.  All behavior lives in
+//! `recursive_queries::cli`; this binary is argument handling plus a
+//! stdin loop.
+
+use recursive_queries::cli::{parse_command, Command, Session};
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+const DEMO: &str = "\
+sg(X,Y) :- flat(X,Y).
+sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).
+up(john, mary). up(erik, lisa).
+flat(mary, lisa).
+down(lisa, erik). down(mary, john).
+";
+
+fn usage() {
+    eprintln!("usage: rqc <program.dl> <query> [--stats] [--plan] [--max-iterations N]");
+    eprintln!("       rqc repl [program.dl]");
+    eprintln!("       rqc --demo");
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") || args.is_empty() {
+        usage();
+        return if args.is_empty() {
+            ExitCode::from(2)
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    if args[0] == "repl" {
+        return repl(args.get(1).map(String::as_str));
+    }
+
+    let stats = args.iter().any(|a| a == "--stats");
+    let plan = args.iter().any(|a| a == "--plan");
+    let max_iterations = args
+        .iter()
+        .position(|a| a == "--max-iterations")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u64>().ok());
+
+    let (src, query_text) = if args[0] == "--demo" {
+        (DEMO.to_string(), "sg(john, Y)".to_string())
+    } else {
+        let positional: Vec<&String> = {
+            let mut skip_next = false;
+            args.iter()
+                .filter(|a| {
+                    if skip_next {
+                        skip_next = false;
+                        return false;
+                    }
+                    if *a == "--max-iterations" {
+                        skip_next = true;
+                        return false;
+                    }
+                    !a.starts_with("--")
+                })
+                .collect()
+        };
+        if positional.len() != 2 {
+            eprintln!("expected a program file and a query");
+            return ExitCode::from(2);
+        }
+        match std::fs::read_to_string(positional[0]) {
+            Ok(s) => (s, positional[1].clone()),
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", positional[0]);
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    let mut session = match Session::with_source(&src) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut commands: Vec<Command> = Vec::new();
+    if max_iterations.is_some() {
+        commands.push(Command::MaxIterations(max_iterations));
+    }
+    if stats {
+        commands.push(Command::Stats(true));
+    }
+    if plan {
+        commands.push(Command::Plan(&query_text));
+    }
+    commands.push(Command::Query(&query_text));
+
+    for cmd in &commands {
+        match session.execute(cmd) {
+            Ok(out) => {
+                // Plans and settings go to stderr; answers to stdout.
+                if matches!(cmd, Command::Query(_)) {
+                    println!("{}", out.text);
+                } else if !out.text.is_empty() {
+                    eprintln!("{}", out.text);
+                }
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn repl(initial: Option<&str>) -> ExitCode {
+    let mut session = Session::new();
+    if let Some(path) = initial {
+        match session.execute(&Command::Load(path)) {
+            Ok(out) => eprintln!("{}", out.text),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    eprintln!("rqc repl — :help for commands, :quit to leave");
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        eprint!("rq> ");
+        let _ = std::io::stderr().flush();
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => return ExitCode::SUCCESS, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        match parse_command(&line) {
+            Ok(None) => {}
+            Ok(Some(cmd)) => match session.execute(&cmd) {
+                Ok(out) => {
+                    if !out.text.is_empty() {
+                        println!("{}", out.text);
+                    }
+                    if out.quit {
+                        return ExitCode::SUCCESS;
+                    }
+                }
+                Err(e) => eprintln!("error: {e}"),
+            },
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,560 @@
+//! The interactive session behind the `rqc` binary.
+//!
+//! Everything the REPL can do lives here, behind [`Session`] and
+//! [`Command`], so the command grammar and all behaviors are unit
+//! tested without a terminal; `rqc` itself is a thin stdin loop.
+//!
+//! ```text
+//! rq> :load family.dl
+//! rq> sg(john, Y)
+//! rq> :plan sg(john, Y)
+//! rq> :add up(mary, sue).
+//! rq> :oracle sg(john, Y)
+//! rq> :quit
+//! ```
+
+use crate::{solve_with, Strategy};
+use rq_datalog::{
+    binary_chain_violations, display_program, parse_program, program_is_regular, Analysis,
+    Program, Query,
+};
+use rq_engine::EvalOptions;
+
+/// One REPL command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command<'a> {
+    /// `:help`
+    Help,
+    /// `:quit` / `:q`
+    Quit,
+    /// `:show` — print the current program.
+    Show,
+    /// `:stats on|off`
+    Stats(bool),
+    /// `:max-iterations N` / `:max-iterations off`
+    MaxIterations(Option<u64>),
+    /// `:load <path>` — replace the program with a file's contents.
+    Load(&'a str),
+    /// `:add <clause>` — append one rule or fact.
+    Add(&'a str),
+    /// `:plan <query>` — explain how the query would be evaluated.
+    Plan(&'a str),
+    /// `:dot <query>` — DOT rendering of the query predicate's machine.
+    Dot(&'a str),
+    /// `:oracle <query>` — answer via seminaive bottom-up instead.
+    Oracle(&'a str),
+    /// Anything else: evaluate as a query.
+    Query(&'a str),
+}
+
+/// Parse one REPL line.  Empty lines and `#` comments yield `None`.
+pub fn parse_command(line: &str) -> Result<Option<Command<'_>>, String> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let Some(rest) = line.strip_prefix(':') else {
+        return Ok(Some(Command::Query(line)));
+    };
+    let (word, arg) = match rest.split_once(char::is_whitespace) {
+        Some((w, a)) => (w, a.trim()),
+        None => (rest, ""),
+    };
+    let need = |what: &str| -> Result<(), String> {
+        if arg.is_empty() {
+            Err(format!("`:{word}` needs {what}"))
+        } else {
+            Ok(())
+        }
+    };
+    let cmd = match word {
+        "help" | "h" => Command::Help,
+        "quit" | "q" | "exit" => Command::Quit,
+        "show" => Command::Show,
+        "stats" => match arg {
+            "on" => Command::Stats(true),
+            "off" => Command::Stats(false),
+            other => return Err(format!("`:stats` takes on|off, not `{other}`")),
+        },
+        "max-iterations" => {
+            if arg == "off" {
+                Command::MaxIterations(None)
+            } else {
+                let n: u64 = arg
+                    .parse()
+                    .map_err(|_| format!("`:max-iterations` takes a number or off, not `{arg}`"))?;
+                Command::MaxIterations(Some(n))
+            }
+        }
+        "load" => {
+            need("a file path")?;
+            Command::Load(arg)
+        }
+        "add" => {
+            need("a rule or fact")?;
+            Command::Add(arg)
+        }
+        "plan" => {
+            need("a query")?;
+            Command::Plan(arg)
+        }
+        "dot" => {
+            need("a query")?;
+            Command::Dot(arg)
+        }
+        "oracle" => {
+            need("a query")?;
+            Command::Oracle(arg)
+        }
+        other => return Err(format!("unknown command `:{other}` (try :help)")),
+    };
+    Ok(Some(cmd))
+}
+
+/// What a command produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommandOutput {
+    /// Text to print (may be empty).
+    pub text: String,
+    /// Whether the session should end.
+    pub quit: bool,
+}
+
+impl CommandOutput {
+    fn text(text: impl Into<String>) -> Self {
+        Self {
+            text: text.into(),
+            quit: false,
+        }
+    }
+}
+
+const HELP: &str = "\
+commands:
+  <query>               evaluate, e.g. sg(john, Y)
+  :load <path>          replace the program with a file
+  :add <clause>         append a rule or fact
+  :show                 print the current program
+  :plan <query>         explain the evaluation pipeline
+  :dot <query>          DOT rendering of the query's machine
+  :oracle <query>       answer via seminaive bottom-up
+  :stats on|off         print counters after each query
+  :max-iterations N|off cap the traversal's main loop
+  :help  :quit";
+
+/// An interactive evaluation session: a program (kept as re-parseable
+/// source text) plus evaluation settings.
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    source: String,
+    stats: bool,
+    max_iterations: Option<u64>,
+}
+
+impl Session {
+    /// An empty session.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Session preloaded with program text.
+    pub fn with_source(source: &str) -> Result<Self, String> {
+        let mut s = Self::new();
+        s.replace_source(source)?;
+        Ok(s)
+    }
+
+    /// The current program source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    fn replace_source(&mut self, text: &str) -> Result<Program, String> {
+        let program = parse_program(text).map_err(|e| e.to_string())?;
+        self.source = text.to_string();
+        Ok(program)
+    }
+
+    fn program(&self) -> Result<Program, String> {
+        parse_program(&self.source).map_err(|e| e.to_string())
+    }
+
+    fn options(&self) -> EvalOptions {
+        EvalOptions {
+            max_iterations: self.max_iterations,
+            ..EvalOptions::default()
+        }
+    }
+
+    /// Run one command.  I/O-free except for `:load`, which reads the
+    /// named file.
+    pub fn execute(&mut self, cmd: &Command<'_>) -> Result<CommandOutput, String> {
+        match cmd {
+            Command::Help => Ok(CommandOutput::text(HELP)),
+            Command::Quit => Ok(CommandOutput {
+                text: String::new(),
+                quit: true,
+            }),
+            Command::Show => {
+                let program = self.program()?;
+                Ok(CommandOutput::text(display_program(&program)))
+            }
+            Command::Stats(on) => {
+                self.stats = *on;
+                Ok(CommandOutput::text(format!(
+                    "stats {}",
+                    if *on { "on" } else { "off" }
+                )))
+            }
+            Command::MaxIterations(n) => {
+                self.max_iterations = *n;
+                Ok(CommandOutput::text(match n {
+                    Some(n) => format!("max iterations = {n}"),
+                    None => "max iterations off".to_string(),
+                }))
+            }
+            Command::Load(path) => {
+                let text =
+                    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+                let program = self.replace_source(&text)?;
+                Ok(CommandOutput::text(format!(
+                    "loaded {path}: {} rules, {} facts",
+                    program.rules.len(),
+                    program.facts.len()
+                )))
+            }
+            Command::Add(clause) => {
+                let mut text = self.source.clone();
+                if !text.is_empty() && !text.ends_with('\n') {
+                    text.push('\n');
+                }
+                text.push_str(clause);
+                if !clause.trim_end().ends_with('.') {
+                    text.push('.');
+                }
+                text.push('\n');
+                let program = self.replace_source(&text)?;
+                Ok(CommandOutput::text(format!(
+                    "ok: {} rules, {} facts",
+                    program.rules.len(),
+                    program.facts.len()
+                )))
+            }
+            Command::Plan(q) => self.plan(q).map(CommandOutput::text),
+            Command::Dot(q) => self.dot(q).map(CommandOutput::text),
+            Command::Oracle(q) => {
+                let mut program = self.program()?;
+                let query = Query::parse(&mut program, q).map_err(|e| e.to_string())?;
+                let result = rq_datalog::seminaive_eval(&program).map_err(|e| e.to_string())?;
+                let mut rows = query.answer_from_relation(&result.tuples(query.pred));
+                rows.sort();
+                rows.dedup();
+                Ok(CommandOutput::text(render_rows(&program, &rows)))
+            }
+            Command::Query(q) => {
+                let mut program = self.program()?;
+                let options = self.options();
+                let solution = solve_with(&mut program, q, &options).map_err(|e| e.to_string())?;
+                let mut out = render_rows(&program, &solution.answers);
+                if !solution.converged {
+                    out.push_str("\nwarning: iteration bound hit; answers may be incomplete");
+                }
+                if self.stats {
+                    out.push_str(&format!(
+                        "\npipeline: {}\n{}",
+                        pipeline_name(solution.strategy),
+                        solution.counters
+                    ));
+                }
+                Ok(CommandOutput::text(out))
+            }
+        }
+    }
+
+    /// `:plan` — describe the pipeline, classification, equation system
+    /// or adorned program, and machine sizes for a query.
+    fn plan(&self, q: &str) -> Result<String, String> {
+        let mut program = self.program()?;
+        let mut out = String::new();
+        let analysis = Analysis::of(&program);
+        let chain = binary_chain_violations(&program).is_empty();
+        out.push_str(&format!(
+            "program: {} rules, {} facts\nlinear: {}; binary-chain: {}; regular: {}\n",
+            program.rules.len(),
+            program.facts.len(),
+            analysis.program_is_linear(&program),
+            chain,
+            program_is_regular(&program, &analysis),
+        ));
+        let query = Query::parse(&mut program, q).map_err(|e| e.to_string())?;
+        if chain && program.is_derived(query.pred) {
+            out.push_str("pipeline: §3 binary-chain traversal\n");
+            let lemma =
+                rq_relalg::lemma1(&program, &rq_relalg::Lemma1Options::default())
+                    .map_err(|e| e.to_string())?;
+            out.push_str(&format!(
+                "equation system ({} passes):\n{}",
+                lemma.passes,
+                lemma.system.display(&program)
+            ));
+            let e = lemma.system.get(query.pred);
+            let machine = rq_automata::thompson(e);
+            let (_, stats) = rq_automata::compact(&machine);
+            out.push_str(&format!(
+                "machine M(e_{}): {} states, {} transitions ({} id); compacted: {} states, {} transitions ({} id)\n",
+                program.pred_name(query.pred),
+                stats.states_before,
+                stats.trans_before,
+                stats.id_before,
+                stats.states_after,
+                stats.trans_after,
+                stats.id_after,
+            ));
+        } else {
+            out.push_str("pipeline: §4 adorned transformation\n");
+            let adorned = rq_adorn::adorn(&program, &query).map_err(|e| e.to_string())?;
+            out.push_str(&format!(
+                "adorned program:\n{}",
+                rq_adorn::display_adorned(&program, &adorned)
+            ));
+            let violations = rq_adorn::chain_violations(&program, &adorned);
+            if violations.is_empty() {
+                out.push_str("chain condition: satisfied\n");
+            } else {
+                out.push_str(&format!(
+                    "chain condition: VIOLATED ({} rule(s)) — transformation would overapproximate\n",
+                    violations.len()
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    /// `:dot` — DOT source of `M(e_p)` for the query predicate.
+    fn dot(&self, q: &str) -> Result<String, String> {
+        let mut program = self.program()?;
+        let query = Query::parse(&mut program, q).map_err(|e| e.to_string())?;
+        if !program.is_derived(query.pred) {
+            return Err(format!(
+                "`{}` is a base predicate; nothing to plan",
+                program.pred_name(query.pred)
+            ));
+        }
+        let lemma = rq_relalg::lemma1(&program, &rq_relalg::Lemma1Options::default())
+            .map_err(|e| e.to_string())?;
+        let machine = rq_automata::thompson(lemma.system.get(query.pred));
+        Ok(machine.to_dot(&|p| program.pred_name(p).to_string()))
+    }
+}
+
+fn pipeline_name(strategy: Strategy) -> &'static str {
+    match strategy {
+        Strategy::BinaryChain => "§3 binary-chain traversal",
+        Strategy::Section4 => "§4 adorned transformation",
+    }
+}
+
+fn render_rows(program: &Program, rows: &[Vec<rq_common::Const>]) -> String {
+    if rows.is_empty() {
+        return "no".to_string();
+    }
+    if rows.len() == 1 && rows[0].is_empty() {
+        return "yes".to_string();
+    }
+    rows.iter()
+        .map(|row| {
+            row.iter()
+                .map(|&c| program.consts.display(c))
+                .collect::<Vec<_>>()
+                .join(",")
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SG: &str = "sg(X,Y) :- flat(X,Y).\n\
+                      sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n\
+                      up(john, mary). flat(mary, lisa). down(lisa, erik).\n";
+
+    fn run(session: &mut Session, line: &str) -> Result<CommandOutput, String> {
+        let cmd = parse_command(line)?.expect("not a blank line");
+        session.execute(&cmd)
+    }
+
+    #[test]
+    fn command_grammar() {
+        assert_eq!(parse_command("").unwrap(), None);
+        assert_eq!(parse_command("  # comment").unwrap(), None);
+        assert_eq!(parse_command(":help").unwrap(), Some(Command::Help));
+        assert_eq!(parse_command(":q").unwrap(), Some(Command::Quit));
+        assert_eq!(
+            parse_command(":stats on").unwrap(),
+            Some(Command::Stats(true))
+        );
+        assert_eq!(
+            parse_command(":max-iterations 12").unwrap(),
+            Some(Command::MaxIterations(Some(12)))
+        );
+        assert_eq!(
+            parse_command(":max-iterations off").unwrap(),
+            Some(Command::MaxIterations(None))
+        );
+        assert_eq!(
+            parse_command(":plan sg(john, Y)").unwrap(),
+            Some(Command::Plan("sg(john, Y)"))
+        );
+        assert_eq!(
+            parse_command("sg(john, Y)").unwrap(),
+            Some(Command::Query("sg(john, Y)"))
+        );
+    }
+
+    #[test]
+    fn command_grammar_errors() {
+        assert!(parse_command(":stats maybe").is_err());
+        assert!(parse_command(":max-iterations lots").is_err());
+        assert!(parse_command(":load").is_err());
+        assert!(parse_command(":nonsense").is_err());
+    }
+
+    #[test]
+    fn query_and_stats_flow() {
+        let mut s = Session::with_source(SG).unwrap();
+        let out = run(&mut s, "sg(john, Y)").unwrap();
+        assert_eq!(out.text, "erik");
+        run(&mut s, ":stats on").unwrap();
+        let out = run(&mut s, "sg(john, Y)").unwrap();
+        assert!(out.text.contains("erik"));
+        assert!(out.text.contains("pipeline"));
+        assert!(out.text.contains("work="));
+    }
+
+    #[test]
+    fn add_extends_the_program() {
+        let mut s = Session::with_source(SG).unwrap();
+        // A second flat fact one level up gives john a same-generation
+        // partner directly.
+        let out = run(&mut s, ":add flat(john, paul)").unwrap();
+        assert!(out.text.starts_with("ok:"), "{}", out.text);
+        let out = run(&mut s, "sg(john, Y)").unwrap();
+        assert_eq!(out.text, "erik\npaul");
+    }
+
+    #[test]
+    fn add_rejects_garbage_and_preserves_program() {
+        let mut s = Session::with_source(SG).unwrap();
+        let before = s.source().to_string();
+        assert!(run(&mut s, ":add flat(john,").is_err());
+        assert_eq!(s.source(), before);
+        assert_eq!(run(&mut s, "sg(john, Y)").unwrap().text, "erik");
+    }
+
+    #[test]
+    fn bb_queries_answer_yes_no() {
+        let mut s = Session::with_source(SG).unwrap();
+        assert_eq!(run(&mut s, "sg(john, erik)").unwrap().text, "yes");
+        assert_eq!(run(&mut s, "sg(john, mary)").unwrap().text, "no");
+    }
+
+    #[test]
+    fn plan_describes_binary_chain_pipeline() {
+        let mut s = Session::with_source(SG).unwrap();
+        let out = run(&mut s, ":plan sg(john, Y)").unwrap();
+        assert!(out.text.contains("§3"), "{}", out.text);
+        assert!(out.text.contains("equation system"));
+        assert!(out.text.contains("machine M(e_sg)"));
+        assert!(out.text.contains("compacted"));
+    }
+
+    #[test]
+    fn plan_describes_section4_pipeline() {
+        let mut s = Session::with_source(
+            "cnx(S,DT,D,AT) :- flight(S,DT,D,AT).\n\
+             cnx(S,DT,D,AT) :- flight(S,DT,D1,AT1), AT1 < DT1, is_deptime(DT1), cnx(D1,DT1,D,AT).\n\
+             flight(hel,540,ams,690). is_deptime(540).",
+        )
+        .unwrap();
+        let out = run(&mut s, ":plan cnx(hel, 540, D, AT)").unwrap();
+        assert!(out.text.contains("§4"), "{}", out.text);
+        assert!(out.text.contains("adorned program"));
+        assert!(out.text.contains("chain condition: satisfied"));
+    }
+
+    #[test]
+    fn plan_flags_chain_violation() {
+        let mut s = Session::with_source(
+            "p(X,Y) :- b0(X,Y).\n\
+             p(X,Y) :- b1(X,Y), p(Y,Z).\n\
+             b1(a,b). b0(b,c). b2(a,b).\n\
+             q(X,Y,Z) :- b2(X,Y), p(Y,Z).",
+        )
+        .unwrap();
+        let out = run(&mut s, ":plan q(a, Y, Z)").unwrap();
+        assert!(
+            out.text.contains("VIOLATED"),
+            "expected a chain violation report:\n{}",
+            out.text
+        );
+    }
+
+    #[test]
+    fn dot_renders_the_machine() {
+        let mut s = Session::with_source(SG).unwrap();
+        let out = run(&mut s, ":dot sg(john, Y)").unwrap();
+        assert!(out.text.starts_with("digraph"));
+        assert!(out.text.contains("flat"));
+    }
+
+    #[test]
+    fn oracle_agrees_with_engine() {
+        let mut s = Session::with_source(SG).unwrap();
+        let engine = run(&mut s, "sg(john, Y)").unwrap().text;
+        let oracle = run(&mut s, ":oracle sg(john, Y)").unwrap().text;
+        assert_eq!(engine, oracle);
+    }
+
+    #[test]
+    fn max_iterations_caps_and_warns() {
+        // Cyclic data: with a tiny cap the answer set is incomplete and
+        // the session says so.
+        let mut s = Session::with_source(
+            "sg(X,Y) :- flat(X,Y).\n\
+             sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n\
+             up(a1,a2). up(a2,a1). flat(a1,b1).\n\
+             down(b1,b2). down(b2,b3). down(b3,b1).",
+        )
+        .unwrap();
+        run(&mut s, ":max-iterations 1").unwrap();
+        let capped = run(&mut s, "sg(a1, Y)").unwrap();
+        assert!(capped.text.contains("warning"), "{}", capped.text);
+        run(&mut s, ":max-iterations off").unwrap();
+        let full = run(&mut s, "sg(a1, Y)").unwrap();
+        assert_eq!(full.text, "b1\nb2\nb3");
+    }
+
+    #[test]
+    fn show_round_trips_the_program() {
+        let mut s = Session::with_source(SG).unwrap();
+        let out = run(&mut s, ":show").unwrap();
+        assert!(out.text.contains("sg(X,Y) :- flat(X,Y)."));
+        assert!(out.text.contains("up(john,mary)."));
+    }
+
+    #[test]
+    fn quit_sets_the_flag() {
+        let mut s = Session::new();
+        let out = run(&mut s, ":quit").unwrap();
+        assert!(out.quit);
+    }
+
+    #[test]
+    fn load_reports_missing_file() {
+        let mut s = Session::new();
+        let err = run(&mut s, ":load /nonexistent/path.dl").unwrap_err();
+        assert!(err.contains("cannot read"));
+    }
+}

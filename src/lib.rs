@@ -1,0 +1,352 @@
+//! # recursive-queries
+//!
+//! A Rust implementation of Grahne, Sippu & Soisalon-Soininen,
+//! *Efficient Evaluation for a Subset of Recursive Queries*
+//! (PODS 1987; JLP 1991, 10:301–332): graph-traversal evaluation of
+//! regularly and linearly recursive binary-chain Datalog programs, and
+//! the transformation that reduces a subset of n-ary linear queries to
+//! binary-chain queries while propagating the query bindings.
+//!
+//! The crates compose as a pipeline:
+//!
+//! ```text
+//! rq-datalog  →  rq-relalg (Lemma 1)  →  rq-automata (M(e), EM(p,i))
+//!            →  rq-engine (Figures 4–5)   ← rq-adorn (§4, n-ary queries)
+//! ```
+//!
+//! with `rq-baselines` (naive/seminaive live in `rq-datalog`;
+//! Henschen–Naqvi, magic sets, counting, reverse counting, Hunt et al.
+//! here) and `rq-workloads` supporting the benchmark harness.
+//!
+//! The simplest entry point is [`solve`]:
+//!
+//! ```
+//! use recursive_queries::solve;
+//!
+//! let mut program = rq_datalog::parse_program(
+//!     "sg(X,Y) :- flat(X,Y).\n\
+//!      sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n\
+//!      up(a,a1). flat(a1,b1). down(b1,b). flat(a,z).",
+//! ).unwrap();
+//! let solution = solve(&mut program, "sg(a, Y)").unwrap();
+//! assert_eq!(solution.rows(&program), vec!["b", "z"]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+
+pub use rq_adorn;
+pub use rq_automata;
+pub use rq_baselines;
+pub use rq_common;
+pub use rq_datalog;
+pub use rq_engine;
+pub use rq_relalg;
+pub use rq_workloads;
+
+use rq_common::{Const, Counters};
+use rq_datalog::{binary_chain_violations, Database, Program, Query, QueryArg};
+use rq_engine::{EdbSource, EvalOptions, Evaluator};
+use rq_relalg::{lemma1, Lemma1Options};
+use std::fmt;
+
+/// Which pipeline answered the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// §3 directly: the program is a binary-chain program and the query
+    /// binds the first argument (or none, or is answered by the inverse
+    /// machine).
+    BinaryChain,
+    /// §4: adornment + transformation to a binary-chain program over
+    /// tuple constants.
+    Section4,
+}
+
+/// A solved query.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Answer rows over the query's free positions, sorted.
+    pub answers: Vec<Vec<Const>>,
+    /// Unit-cost instrumentation.
+    pub counters: Counters,
+    /// Whether evaluation converged naturally (`false` means an
+    /// iteration bound cut it off).
+    pub converged: bool,
+    /// Which pipeline ran.
+    pub strategy: Strategy,
+}
+
+impl Solution {
+    /// Answer rows rendered with the program's constant names.
+    pub fn rows(&self, program: &Program) -> Vec<String> {
+        self.answers
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .map(|&c| program.consts.display(c))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            })
+            .collect()
+    }
+}
+
+/// Errors from [`solve`].
+#[derive(Debug)]
+pub enum SolveError {
+    /// The query text did not parse against the program.
+    Query(rq_datalog::ParseError),
+    /// The §4 pipeline rejected the program/query combination.
+    Section4(rq_adorn::QueryError),
+    /// The binary-chain pipeline failed in Lemma 1.
+    Lemma1(rq_relalg::Lemma1Error),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Query(e) => write!(f, "{e}"),
+            SolveError::Section4(e) => write!(f, "{e}"),
+            SolveError::Lemma1(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Answer a query with the default options.
+pub fn solve(program: &mut Program, query_text: &str) -> Result<Solution, SolveError> {
+    solve_with(program, query_text, &EvalOptions::default())
+}
+
+/// Answer a query, choosing the §3 binary-chain pipeline when it
+/// applies and falling back to the §4 transformation otherwise.
+pub fn solve_with(
+    program: &mut Program,
+    query_text: &str,
+    options: &EvalOptions,
+) -> Result<Solution, SolveError> {
+    let query = Query::parse(program, query_text).map_err(SolveError::Query)?;
+    let db = Database::from_program(program);
+
+    let is_chain = binary_chain_violations(program).is_empty();
+    if is_chain && program.is_derived(query.pred) {
+        return solve_binary_chain(program, &db, &query, options);
+    }
+    let answer = rq_adorn::answer_query(program, &db, &query, options)
+        .map_err(SolveError::Section4)?;
+    Ok(Solution {
+        answers: query.restrict_free_rows(answer.rows),
+        counters: answer.outcome.counters,
+        converged: answer.outcome.converged,
+        strategy: Strategy::Section4,
+    })
+}
+
+fn solve_binary_chain(
+    program: &Program,
+    db: &Database,
+    query: &Query,
+    options: &EvalOptions,
+) -> Result<Solution, SolveError> {
+    let system = lemma1(program, &Lemma1Options::default())
+        .map_err(SolveError::Lemma1)?
+        .system;
+    let source = EdbSource::new(db);
+    let evaluator = Evaluator::new(&system, &source);
+    let p = query.pred;
+    let (answers, counters, converged) = match (query.args[0], query.args[1]) {
+        (QueryArg::Bound(a), QueryArg::Free) => {
+            let out = if options.max_iterations.is_none() {
+                rq_engine::evaluate_with_cyclic_guard(&system, db, p, a, options)
+            } else {
+                evaluator.evaluate(p, a, options)
+            };
+            let mut rows: Vec<Vec<Const>> = out.answers.into_iter().map(|v| vec![v]).collect();
+            rows.sort();
+            (rows, out.counters, out.converged)
+        }
+        (QueryArg::Free, QueryArg::Bound(b)) => {
+            let out = evaluator.evaluate_inverse(p, b, options);
+            let mut rows: Vec<Vec<Const>> = out.answers.into_iter().map(|v| vec![v]).collect();
+            rows.sort();
+            (rows, out.counters, out.converged)
+        }
+        (QueryArg::Bound(a), QueryArg::Bound(b)) => {
+            let (holds, out) = rq_engine::query_bb(&evaluator, p, a, b, options);
+            let rows = if holds { vec![Vec::new()] } else { Vec::new() };
+            (rows, out.counters, out.converged)
+        }
+        (QueryArg::Free, QueryArg::Free) => {
+            // Regular equations qualify for the condensation evaluator,
+            // run from the cheaper side; otherwise fall back to
+            // per-source traversal.
+            let derived = system.derived();
+            let out = if system.rhs[&p].contains_any(&derived) {
+                rq_engine::all_pairs_per_source(&evaluator, &source, p, options)
+            } else {
+                rq_engine::all_pairs_min_side(&system, &source, p, options).0
+            };
+            let rows: Vec<Vec<Const>> =
+                out.pairs.into_iter().map(|(x, y)| vec![x, y]).collect();
+            // `p(X, X)` and friends: repeated variables select the
+            // diagonal and collapse to one column.
+            let mut rows = query.restrict_free_rows(rows);
+            rows.sort();
+            (rows, out.counters, out.converged)
+        }
+    };
+    Ok(Solution {
+        answers,
+        counters,
+        converged,
+        strategy: Strategy::BinaryChain,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_datalog::parse_program;
+
+    #[test]
+    fn solve_picks_binary_chain_for_sg() {
+        let mut p = parse_program(
+            "sg(X,Y) :- flat(X,Y).\n\
+             sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n\
+             up(a,a1). flat(a1,b1). down(b1,b).",
+        )
+        .unwrap();
+        let s = solve(&mut p, "sg(a, Y)").unwrap();
+        assert_eq!(s.strategy, Strategy::BinaryChain);
+        assert_eq!(s.rows(&p), vec!["b"]);
+    }
+
+    #[test]
+    fn solve_picks_section4_for_nary() {
+        let mut p = parse_program(
+            "cnx(S,DT,D,AT) :- flight(S,DT,D,AT).\n\
+             cnx(S,DT,D,AT) :- flight(S,DT,D1,AT1), AT1 < DT1, is_deptime(DT1), cnx(D1,DT1,D,AT).\n\
+             flight(hel,540,ams,690). flight(ams,720,cdg,810). is_deptime(540). is_deptime(720).",
+        )
+        .unwrap();
+        let s = solve(&mut p, "cnx(hel, 540, D, AT)").unwrap();
+        assert_eq!(s.strategy, Strategy::Section4);
+        assert_eq!(s.rows(&p), vec!["ams,690", "cdg,810"]);
+    }
+
+    #[test]
+    fn solve_all_query_forms() {
+        let src = "tc(X,Y) :- e(X,Y).\n\
+                   tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+                   e(a,b). e(b,c).";
+        let mut p = parse_program(src).unwrap();
+        assert_eq!(solve(&mut p, "tc(a, Y)").unwrap().rows(&p), vec!["b", "c"]);
+        assert_eq!(solve(&mut p, "tc(X, c)").unwrap().rows(&p), vec!["a", "b"]);
+        assert_eq!(solve(&mut p, "tc(a, c)").unwrap().rows(&p), vec![""]);
+        assert!(solve(&mut p, "tc(c, a)").unwrap().rows(&p).is_empty());
+        assert_eq!(solve(&mut p, "tc(X, Y)").unwrap().answers.len(), 3);
+    }
+
+    #[test]
+    fn solve_diagonal_query() {
+        // tc(X, X) is the diagonal — the members of cycles — with one
+        // answer column, not all pairs.
+        let mut p = parse_program(
+            "tc(X,Y) :- e(X,Y).\n\
+             tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+             e(a,b). e(b,a). e(b,c).",
+        )
+        .unwrap();
+        let s = solve(&mut p, "tc(X, X)").unwrap();
+        assert_eq!(s.rows(&p), vec!["a", "b"]);
+        // Distinct variables still mean all pairs.
+        assert_eq!(solve(&mut p, "tc(X, Y)").unwrap().answers.len(), 6);
+        // The anonymous variable never constrains.
+        assert_eq!(solve(&mut p, "tc(_, _)").unwrap().answers.len(), 6);
+    }
+
+    #[test]
+    fn solve_repeated_vars_through_section4() {
+        // A 3-ary program queried with a repeated variable: walk(X, X, T)
+        // asks for round trips.  The edge relation is cyclic (that is
+        // what makes round trips exist), so the §4 traversal needs an
+        // iteration bound — the paper's noted cyclic-data limitation.
+        // The tick chain ends at t3, so depth 8 covers every answer.
+        let mut p = parse_program(
+            "walk(A,B,T) :- edge(A,B), t0(T).\n\
+             walk(A,B,T) :- edge(A,C), walk(C,B,T1), tick(T1,T).\n\
+             edge(a,b). edge(b,a). edge(b,c).\n\
+             t0(t0). tick(t0,t1). tick(t1,t2). tick(t2,t3).",
+        )
+        .unwrap();
+        let options = EvalOptions {
+            max_iterations: Some(8),
+            ..EvalOptions::default()
+        };
+        let s = solve_with(&mut p, "walk(a, a, T)", &options).unwrap();
+        // Bound-bound round trip from a: a→b→a at t1 (and longer at t3).
+        assert_eq!(s.rows(&p), vec!["t1", "t3"]);
+        // Repeated free variable: all round trips, projected to one
+        // endpoint column plus the tick.
+        let s = solve_with(&mut p, "walk(X, X, T)", &options).unwrap();
+        let oracle = rq_datalog::seminaive_eval(&p).unwrap();
+        let walk = p.pred_by_name("walk").unwrap();
+        let mut expected: Vec<Vec<Const>> = oracle
+            .tuples(walk)
+            .into_iter()
+            .filter(|t| t[0] == t[1])
+            .map(|t| vec![t[0], t[2]])
+            .collect();
+        expected.sort();
+        expected.dedup();
+        assert_eq!(s.answers, expected);
+        assert!(!s.answers.is_empty());
+    }
+
+    #[test]
+    fn node_budget_stops_divergent_section4_queries() {
+        // Without a bound this query diverges (cyclic edge data through
+        // §4 — the paper's noted limitation); the node budget turns the
+        // divergence into a clean incomplete result.
+        let mut p = parse_program(
+            "walk(A,B,T) :- edge(A,B), t0(T).\n\
+             walk(A,B,T) :- edge(A,C), walk(C,B,T1), tick(T1,T).\n\
+             edge(a,b). edge(b,a).\n\
+             t0(t0). tick(t0,t1).",
+        )
+        .unwrap();
+        let options = EvalOptions {
+            node_budget: Some(10_000),
+            ..EvalOptions::default()
+        };
+        let s = solve_with(&mut p, "walk(a, a, T)", &options).unwrap();
+        assert!(!s.converged, "budget stop must report non-convergence");
+        // The answers found within the budget are sound: a→b→a at t1.
+        assert!(s.rows(&p).contains(&"t1".to_string()));
+    }
+
+    #[test]
+    fn solve_cyclic_terminates() {
+        let mut p = parse_program(
+            "sg(X,Y) :- flat(X,Y).\n\
+             sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n\
+             up(a0,a1). up(a1,a0). flat(a0,b0).\n\
+             down(b0,b1). down(b1,b2). down(b2,b0).",
+        )
+        .unwrap();
+        let s = solve(&mut p, "sg(a0, Y)").unwrap();
+        assert_eq!(s.rows(&p).len(), 3);
+    }
+
+    #[test]
+    fn solve_reports_query_errors() {
+        let mut p = parse_program("e(a,b).").unwrap();
+        assert!(matches!(
+            solve(&mut p, "nosuch(a, Y)"),
+            Err(SolveError::Query(_))
+        ));
+    }
+}

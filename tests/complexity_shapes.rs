@@ -1,0 +1,222 @@
+//! Deterministic complexity-shape checks for the paper's claims, using
+//! unit-cost operation counts and log-log slope fitting across a size
+//! sweep.  These are the assertions behind EXPERIMENTS.md; the Criterion
+//! benches measure the same quantities in wall-clock.
+
+use rq_baselines::{counting, henschen_naqvi};
+use rq_common::{Const, ConstValue};
+use rq_datalog::Database;
+use rq_engine::{EdbSource, EvalOptions, Evaluator};
+use rq_relalg::{lemma1, EqSystem, Lemma1Options};
+use rq_workloads::{fig7, graphs, Workload};
+
+fn setup(w: &Workload) -> (rq_datalog::Program, Database, EqSystem, Const) {
+    let program = w.program.clone();
+    let db = Database::from_program(&program);
+    let system = lemma1(&program, &Lemma1Options::default()).unwrap().system;
+    let src_name = w.query.split('(').nth(1).unwrap().split(',').next().unwrap();
+    let a = program
+        .consts
+        .get(&ConstValue::Str(src_name.into()))
+        .unwrap();
+    (program, db, system, a)
+}
+
+fn engine_work(w: &Workload) -> f64 {
+    let (program, db, system, a) = setup(w);
+    let sg = program
+        .pred_by_name("sg")
+        .or_else(|| program.pred_by_name("tc"))
+        .unwrap();
+    let source = EdbSource::new(&db);
+    let out = Evaluator::new(&system, &source).evaluate(sg, a, &EvalOptions::default());
+    out.counters.total_work() as f64
+}
+
+/// Least-squares slope of log(work) against log(n).
+fn loglog_slope(points: &[(usize, f64)]) -> f64 {
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        let lx = (x as f64).ln();
+        let ly = y.max(1.0).ln();
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+const SIZES: [usize; 4] = [64, 128, 256, 512];
+
+#[test]
+fn theorem3_regular_case_is_linear() {
+    // Theorem 3: the regular case runs in O(n t).  Chains: answers are
+    // n, work must scale ~n (slope ≈ 1).
+    let points: Vec<(usize, f64)> = SIZES
+        .iter()
+        .map(|&n| (n, engine_work(&graphs::chain(n))))
+        .collect();
+    let slope = loglog_slope(&points);
+    assert!(
+        (0.85..1.25).contains(&slope),
+        "chain slope {slope} out of linear range; points {points:?}"
+    );
+}
+
+#[test]
+fn fig7a_ours_linear() {
+    let points: Vec<(usize, f64)> = SIZES
+        .iter()
+        .map(|&n| (n, engine_work(&fig7::sample_a(n))))
+        .collect();
+    let slope = loglog_slope(&points);
+    assert!(
+        (0.85..1.25).contains(&slope),
+        "fig7(a) slope {slope}; points {points:?}"
+    );
+}
+
+#[test]
+fn fig7b_ours_quadratic() {
+    let points: Vec<(usize, f64)> = SIZES
+        .iter()
+        .map(|&n| (n, engine_work(&fig7::sample_b(n))))
+        .collect();
+    let slope = loglog_slope(&points);
+    assert!(
+        (1.75..2.25).contains(&slope),
+        "fig7(b) slope {slope}; points {points:?}"
+    );
+}
+
+#[test]
+fn fig7c_ours_linear_hn_quadratic() {
+    let ours: Vec<(usize, f64)> = SIZES
+        .iter()
+        .map(|&n| (n, engine_work(&fig7::sample_c(n))))
+        .collect();
+    let slope = loglog_slope(&ours);
+    assert!(
+        (0.85..1.25).contains(&slope),
+        "fig7(c) ours slope {slope}; points {ours:?}"
+    );
+
+    let hn: Vec<(usize, f64)> = SIZES
+        .iter()
+        .map(|&n| {
+            let w = fig7::sample_c(n);
+            let (program, db, system, a) = setup(&w);
+            let sg = program.pred_by_name("sg").unwrap();
+            let out = henschen_naqvi(&system, &db, sg, a, None);
+            (n, out.counters.total_work() as f64)
+        })
+        .collect();
+    let slope = loglog_slope(&hn);
+    assert!(
+        (1.75..2.25).contains(&slope),
+        "fig7(c) HN slope {slope}; points {hn:?}"
+    );
+}
+
+#[test]
+fn counting_tracks_ours_on_all_samples() {
+    // "The time bounds for our method are identical to those of the
+    // counting method": slopes must match within tolerance on every
+    // sample.
+    for (label, gen) in [
+        ("a", fig7::sample_a as fn(usize) -> Workload),
+        ("b", fig7::sample_b as fn(usize) -> Workload),
+        ("c", fig7::sample_c as fn(usize) -> Workload),
+    ] {
+        let ours: Vec<(usize, f64)> = SIZES
+            .iter()
+            .map(|&n| (n, engine_work(&gen(n))))
+            .collect();
+        let cnt: Vec<(usize, f64)> = SIZES
+            .iter()
+            .map(|&n| {
+                let w = gen(n);
+                let (program, db, system, a) = setup(&w);
+                let sg = program.pred_by_name("sg").unwrap();
+                let out = counting(&system, &db, sg, a, None);
+                (n, out.counters.total_work() as f64)
+            })
+            .collect();
+        let ds = (loglog_slope(&ours) - loglog_slope(&cnt)).abs();
+        assert!(
+            ds < 0.3,
+            "sample ({label}): ours slope {} vs counting slope {}",
+            loglog_slope(&ours),
+            loglog_slope(&cnt)
+        );
+    }
+}
+
+#[test]
+fn fig8_needs_mn_iterations() {
+    // Coprime cycles: the engine (with the m·n guard) finds the last
+    // answer only after about m·n iterations; the iteration trace shows
+    // m-length quiet periods ("the algorithm performs periodically m
+    // successive iterations during which nothing new is added").
+    for (m, n) in [(2, 3), (3, 4), (3, 5)] {
+        let w = rq_workloads::fig8::cyclic(m, n);
+        let (program, db, system, a0) = setup(&w);
+        let sg = program.pred_by_name("sg").unwrap();
+        let out = rq_engine::evaluate_with_cyclic_guard(
+            &system,
+            &db,
+            sg,
+            a0,
+            &EvalOptions {
+                record_iterations: true,
+                ..EvalOptions::default() },
+        );
+        assert_eq!(out.answers.len(), n);
+        // Last productive iteration: > m·(n-1), ≤ m·n + 1.
+        let mut last = 0usize;
+        let mut prev = 0u64;
+        for (i, s) in out.iteration_stats.iter().enumerate() {
+            if s.answers_so_far > prev {
+                last = i + 1;
+                prev = s.answers_so_far;
+            }
+        }
+        assert!(
+            last as u64 > (m * (n - 1)) as u64 && last as u64 <= (m * n + 1) as u64,
+            "m={m} n={n}: last productive iteration {last}"
+        );
+    }
+}
+
+#[test]
+fn demand_vs_preconstruction_gap_grows() {
+    // E14: Hunt et al. preconstruction cost grows with the database; the
+    // demand-driven engine's cost stays constant when the reachable
+    // region does.
+    let mut gaps = Vec::new();
+    for &n in &[100usize, 200, 400] {
+        let mut src = String::from(
+            "tc(X,Y) :- e(X,Y).\ntc(X,Z) :- e(X,Y), tc(Y,Z).\ne(a,b).\n",
+        );
+        for i in 0..n {
+            src.push_str(&format!("e(u{}, u{}).\n", i, i + 1));
+        }
+        let program = rq_datalog::parse_program(&src).unwrap();
+        let db = Database::from_program(&program);
+        let system = lemma1(&program, &Lemma1Options::default()).unwrap().system;
+        let tc = program.pred_by_name("tc").unwrap();
+        let hunt = rq_baselines::HuntGraph::build(&db, &system.rhs[&tc]);
+        let a = program.consts.get(&ConstValue::Str("a".into())).unwrap();
+        let source = EdbSource::new(&db);
+        let engine = Evaluator::new(&system, &source).evaluate(tc, a, &EvalOptions::default());
+        let gap = hunt.build_counters.total_work() as f64
+            / engine.counters.total_work().max(1) as f64;
+        gaps.push(gap);
+    }
+    assert!(
+        gaps.windows(2).all(|w| w[1] > w[0] * 1.5),
+        "gap must grow with database size: {gaps:?}"
+    );
+}

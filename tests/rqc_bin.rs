@@ -1,0 +1,152 @@
+//! End-to-end tests of the `rqc` binary: one-shot mode, plan/stats
+//! flags, the REPL over a piped stdin, and error exits.  Cargo exposes
+//! the built binary path via `CARGO_BIN_EXE_rqc`.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const RQC: &str = env!("CARGO_BIN_EXE_rqc");
+
+const SG: &str = "sg(X,Y) :- flat(X,Y).\n\
+                  sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n\
+                  up(john, mary). flat(mary, lisa). down(lisa, erik).\n";
+
+fn write_program(dir: &std::path::Path) -> std::path::PathBuf {
+    let path = dir.join("family.dl");
+    std::fs::write(&path, SG).unwrap();
+    path
+}
+
+fn tempdir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rqc-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn one_shot_query_prints_answers_on_stdout() {
+    let dir = tempdir();
+    let program = write_program(&dir);
+    let out = Command::new(RQC)
+        .arg(&program)
+        .arg("sg(john, Y)")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "erik");
+}
+
+#[test]
+fn plan_and_stats_go_to_stderr() {
+    let dir = tempdir();
+    let program = write_program(&dir);
+    let out = Command::new(RQC)
+        .arg(&program)
+        .arg("sg(john, Y)")
+        .arg("--plan")
+        .arg("--stats")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(stdout.trim(), "erik", "answers only on stdout");
+    assert!(stderr.contains("equation system"), "{stderr}");
+    assert!(stderr.contains("work="), "{stderr}");
+}
+
+#[test]
+fn demo_mode_runs() {
+    let out = Command::new(RQC).arg("--demo").output().unwrap();
+    assert!(out.status.success());
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "erik");
+}
+
+#[test]
+fn missing_file_exits_nonzero() {
+    let out = Command::new(RQC)
+        .arg("/nonexistent/prog.dl")
+        .arg("sg(john, Y)")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn bad_query_exits_nonzero() {
+    let dir = tempdir();
+    let program = write_program(&dir);
+    let out = Command::new(RQC)
+        .arg(&program)
+        .arg("nosuch(a, Y)")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown predicate"));
+}
+
+#[test]
+fn repl_session_over_stdin() {
+    let dir = tempdir();
+    let program = write_program(&dir);
+    let mut child = Command::new(RQC)
+        .arg("repl")
+        .arg(&program)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"sg(john, Y)\n:add flat(john, zoe)\nsg(john, Y)\n:oracle sg(john, Y)\n:quit\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines[0], "erik");
+    assert!(lines[1].starts_with("ok:"));
+    assert_eq!(&lines[2..4], &["erik", "zoe"]);
+    // The oracle agrees with the engine.
+    assert_eq!(&lines[4..6], &["erik", "zoe"]);
+}
+
+#[test]
+fn repl_eof_terminates_cleanly() {
+    let mut child = Command::new(RQC)
+        .arg("repl")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    drop(child.stdin.take()); // immediate EOF
+    let status = child.wait().unwrap();
+    assert!(status.success());
+}
+
+#[test]
+fn repl_survives_errors() {
+    let mut child = Command::new(RQC)
+        .arg("repl")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b":nonsense\n:add sg(X,Y) :- broken(\n:help\n:quit\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error"), "{stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("commands:"), "help still works after errors");
+}
