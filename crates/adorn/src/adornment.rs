@@ -151,7 +151,10 @@ impl fmt::Display for AdornError {
             AdornError::NotLinear(r) => write!(f, "rule {r} has several derived body literals"),
             AdornError::ConstantInHead(r) => write!(f, "rule {r} has a constant in its head"),
             AdornError::StrandedBuiltin(r) => {
-                write!(f, "rule {r}: built-in belongs to neither side of the recursion")
+                write!(
+                    f,
+                    "rule {r}: built-in belongs to neither side of the recursion"
+                )
             }
             AdornError::NoRulesForQuery => write!(f, "query predicate has no rules"),
         }
@@ -219,10 +222,7 @@ fn adorn_rule(
         .body
         .iter()
         .enumerate()
-        .filter(|(_, l)| {
-            l.as_atom()
-                .is_some_and(|a| program.is_derived(a.pred))
-        })
+        .filter(|(_, l)| l.as_atom().is_some_and(|a| program.is_derived(a.pred)))
         .map(|(i, _)| i)
         .collect();
     if derived.len() > 1 {
@@ -262,9 +262,7 @@ fn adorn_rule(
     // part in the connectivity analysis.  In the paper's flight example
     // the comparison `AT1 < DT1` is what links `flight(S,DT,D1,AT1)` to
     // `is_deptime(DT1)`, pulling both onto the before side.
-    let body_lits: Vec<usize> = (0..rule.body.len())
-        .filter(|&i| i != derived_idx)
-        .collect();
+    let body_lits: Vec<usize> = (0..rule.body.len()).filter(|&i| i != derived_idx).collect();
 
     // Connected components of the literals under shared variables.
     let comp = literal_components(rule, &body_lits);
@@ -420,9 +418,7 @@ pub fn condition3_violations(program: &Program, adorned: &AdornedProgram) -> Vec
             continue;
         }
         let rule = &program.rules[ar.rule_idx];
-        let body_lits: Vec<usize> = (0..rule.body.len())
-            .filter(|i| i != derived_idx)
-            .collect();
+        let body_lits: Vec<usize> = (0..rule.body.len()).filter(|i| i != derived_idx).collect();
         let comp = literal_components(rule, &body_lits);
         let distinct: FxHashSet<usize> = before.iter().map(|li| comp[li]).collect();
         if distinct.len() > 1 {
@@ -559,7 +555,10 @@ mod tests {
             "cnx(hel, 900, D, AT)",
         );
         let text = display_adorned(&program, &adorned);
-        assert!(text.contains("cnx^bbff(S,DT,D,AT) :- flight(S,DT,D,AT)."), "{text}");
+        assert!(
+            text.contains("cnx^bbff(S,DT,D,AT) :- flight(S,DT,D,AT)."),
+            "{text}"
+        );
         // The recursive rule: before = {flight, is_deptime, AT1 < DT1},
         // the derived literal adorned bbff, empty after set.
         assert!(
@@ -596,7 +595,10 @@ mod tests {
         let text = display_adorned(&program, &adorned);
         // With nothing bound, both body parts are unbound: before = ∅ and
         // the child is ff as well.
-        assert!(text.contains("sg^ff(X,Y) :- sg^ff(X1,Y1), up(X,X1), down(Y1,Y)."), "{text}");
+        assert!(
+            text.contains("sg^ff(X,Y) :- sg^ff(X1,Y1), up(X,X1), down(Y1,Y)."),
+            "{text}"
+        );
     }
 
     #[test]
@@ -620,7 +622,10 @@ mod tests {
         )
         .unwrap();
         let q = Query::parse(&mut program, "p(a, Y)").unwrap();
-        assert_eq!(adorn(&program, &q).unwrap_err(), AdornError::ConstantInHead(0));
+        assert_eq!(
+            adorn(&program, &q).unwrap_err(),
+            AdornError::ConstantInHead(0)
+        );
     }
 
     #[test]
@@ -669,6 +674,9 @@ mod tests {
     fn query_with_no_rules_rejected() {
         let mut program = parse_program("e(a,b).").unwrap();
         let q = Query::parse(&mut program, "e(a, Y)").unwrap();
-        assert_eq!(adorn(&program, &q).unwrap_err(), AdornError::NoRulesForQuery);
+        assert_eq!(
+            adorn(&program, &q).unwrap_err(),
+            AdornError::NoRulesForQuery
+        );
     }
 }

@@ -69,8 +69,7 @@ impl QueryAnswer {
         self.rows
             .iter()
             .map(|row| {
-                let parts: Vec<String> =
-                    row.iter().map(|&c| program.consts.display(c)).collect();
+                let parts: Vec<String> = row.iter().map(|&c| program.consts.display(c)).collect();
                 parts.join(",")
             })
             .collect()
@@ -306,8 +305,7 @@ is_deptime(900). is_deptime(1200). is_deptime(1100). is_deptime(1400). is_deptim
         let err = answer_query(&program, &db, &q, &EvalOptions::default()).unwrap_err();
         assert!(matches!(err, QueryError::NotChain(_)));
 
-        let forced =
-            answer_query_unchecked(&program, &db, &q, &EvalOptions::default()).unwrap();
+        let forced = answer_query_unchecked(&program, &db, &q, &EvalOptions::default()).unwrap();
         let oracle = oracle_rows(&program, &q);
         // Correct answer: {b}.
         assert_eq!(oracle.len(), 1);

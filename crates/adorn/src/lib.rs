@@ -23,8 +23,7 @@ pub use adornment::{
     AdornedPred, AdornedProgram, AdornedRule, Adornment,
 };
 pub use api::{
-    answer_query, answer_query_unchecked, bottom_up_counters, oracle_rows, QueryAnswer,
-    QueryError,
+    answer_query, answer_query_unchecked, bottom_up_counters, oracle_rows, QueryAnswer, QueryError,
 };
 pub use source::VirtualSource;
 pub use transform::{transform, BinaryProgram, VirtualKind, VirtualRel};

@@ -140,10 +140,9 @@ impl<'a> VirtualSource<'a> {
             .literals
             .iter()
             .map(|&li| match &rule.body[li] {
-                Literal::Atom(a) => Literal::Atom(Atom::new(
-                    a.pred,
-                    a.args.iter().map(apply).collect(),
-                )),
+                Literal::Atom(a) => {
+                    Literal::Atom(Atom::new(a.pred, a.args.iter().map(apply).collect()))
+                }
                 Literal::Cmp { op, lhs, rhs } => Literal::Cmp {
                     op: *op,
                     lhs: apply(lhs),

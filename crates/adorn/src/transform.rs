@@ -111,11 +111,7 @@ pub fn transform(program: &Program, adorned: &AdornedProgram) -> BinaryProgram {
     for rule in &adorned.rules {
         for ap in [Some(rule.head), rule.body_child()].into_iter().flatten() {
             if let std::collections::hash_map::Entry::Vacant(e) = bin_preds.entry(ap) {
-                let name = format!(
-                    "bin-{}^{}",
-                    program.pred_name(ap.pred),
-                    ap.adornment
-                );
+                let name = format!("bin-{}^{}", program.pred_name(ap.pred), ap.adornment);
                 e.insert(fresh(name, &mut names));
                 bin_order.push(ap);
             }
@@ -297,10 +293,7 @@ mod tests {
         let kinds: Vec<VirtualKind> = bin.virtuals.values().map(|v| v.kind).collect();
         assert!(kinds.contains(&VirtualKind::Base));
         assert!(kinds.contains(&VirtualKind::In));
-        assert!(bin
-            .virtuals
-            .values()
-            .all(|v| v.unbound_out_vars.is_empty()));
+        assert!(bin.virtuals.values().all(|v| v.unbound_out_vars.is_empty()));
     }
 
     #[test]
@@ -314,8 +307,14 @@ mod tests {
             "p(a, Y)",
         );
         let text = bin.display_system(&program);
-        assert!(text.contains("bin-p^bf = base-r0 U in-r1.bin-p^fb"), "{text}");
-        assert!(text.contains("bin-p^fb = base-r2 U bin-p^bf.out-r3"), "{text}");
+        assert!(
+            text.contains("bin-p^bf = base-r0 U in-r1.bin-p^fb"),
+            "{text}"
+        );
+        assert!(
+            text.contains("bin-p^fb = base-r2 U bin-p^bf.out-r3"),
+            "{text}"
+        );
         // in-r for the bf rule reads b1; out-r for the fb rule reads b1.
         assert_eq!(bin.virtuals.len(), 4);
     }
@@ -381,9 +380,6 @@ mod tests {
             "sg(a, Y)",
         );
         let text = bin.display_system(&program);
-        assert_eq!(
-            text,
-            "bin-sg^bf = base-r0 U in-r1.bin-sg^bf.out-r1\n"
-        );
+        assert_eq!(text, "bin-sg^bf = base-r0 U in-r1.bin-sg^bf.out-r1\n");
     }
 }

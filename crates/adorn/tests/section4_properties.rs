@@ -47,9 +47,12 @@ fn check_query(src: &str, query: &str) -> Result<(), TestCaseError> {
         Ok(ans) => {
             let oracle = oracle_rows(&program, &q);
             prop_assert_eq!(
-                &ans.rows, &oracle,
+                &ans.rows,
+                &oracle,
                 "query {} on\n{}\nsystem:\n{}",
-                query, src, ans.binary.display_system(&program)
+                query,
+                src,
+                ans.binary.display_system(&program)
             );
         }
         Err(QueryError::NotChain(_)) => {

@@ -235,18 +235,12 @@ mod tests {
         // Figure 1's e_p with p-as-letter.
         assert_compaction_preserves(
             &Expr::cat([
-                Expr::union([
-                    Expr::cat([p(3), Expr::star(p(4))]),
-                    Expr::cat([p(2), p(5)]),
-                ]),
+                Expr::union([Expr::cat([p(3), Expr::star(p(4))]), Expr::cat([p(2), p(5)])]),
                 p(1),
             ]),
             5,
         );
-        assert_compaction_preserves(
-            &Expr::star(Expr::union([p(1), Expr::cat([p(2), p(3)])])),
-            5,
-        );
+        assert_compaction_preserves(&Expr::star(Expr::union([p(1), Expr::cat([p(2), p(3)])])), 5);
         // Nested stars generate ε-chains and ε-self-loop opportunities.
         assert_compaction_preserves(&Expr::star(Expr::star(p(1))), 4);
         assert_compaction_preserves(&Expr::star(Expr::Id), 3);

@@ -337,10 +337,7 @@ mod tests {
         assert_language_eq(&Expr::star(p(1)), 5);
         assert_language_eq(
             &Expr::cat([
-                Expr::union([
-                    Expr::cat([p(3), Expr::star(p(4))]),
-                    Expr::cat([p(2), p(5)]),
-                ]),
+                Expr::union([Expr::cat([p(3), Expr::star(p(4))]), Expr::cat([p(2), p(5)])]),
                 p(1),
             ]),
             5,
@@ -364,7 +361,8 @@ mod tests {
         ]);
         let nfa = thompson(&e);
         let words = nfa.words_up_to(4);
-        let s = |v: Vec<u32>| -> Vec<Label> { v.into_iter().map(|i| Label::Sym(Pred(i))).collect() };
+        let s =
+            |v: Vec<u32>| -> Vec<Label> { v.into_iter().map(|i| Label::Sym(Pred(i))).collect() };
         let expected: FxHashSet<Vec<Label>> = [
             s(vec![3, 1]),
             s(vec![3, 4, 1]),

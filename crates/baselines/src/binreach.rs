@@ -200,10 +200,16 @@ pub fn bin_reach(
         let head_pred = rule.head.pred;
         let derived_pred = derived.map(|d| d.pred);
         let mut raw_edges: Vec<(Vec<Const>, Vec<Const>)> = Vec::new();
-        fire_rule(program, &packed, &WholeDb(db), &mut counters, &mut |tuple| {
-            let (src_tuple, dst_tuple) = tuple.split_at(n_derived_args);
-            raw_edges.push((src_tuple.to_vec(), dst_tuple.to_vec()));
-        })
+        fire_rule(
+            program,
+            &packed,
+            &WholeDb(db),
+            &mut counters,
+            &mut |tuple| {
+                let (src_tuple, dst_tuple) = tuple.split_at(n_derived_args);
+                raw_edges.push((src_tuple.to_vec(), dst_tuple.to_vec()));
+            },
+        )
         .map_err(|_| BinReachError::UnsafeBuiltin)?;
         for (src_tuple, dst_tuple) in raw_edges {
             let src = match derived_pred {
@@ -281,7 +287,13 @@ mod tests {
     #[test]
     fn sg_matches_oracle_on_all_query_forms() {
         let mut program = sg_program();
-        for q in ["sg(a, Y)", "sg(X, b0)", "sg(a, z)", "sg(X, Y)", "sg(nobody, Y)"] {
+        for q in [
+            "sg(a, Y)",
+            "sg(X, b0)",
+            "sg(a, z)",
+            "sg(X, Y)",
+            "sg(nobody, Y)",
+        ] {
             let (expected, out) = answers_for(&mut program, q);
             assert_eq!(out.answers, expected, "query {q}");
         }
@@ -292,10 +304,8 @@ mod tests {
         // The paper: bin(sg(X1,Y1), sg(X,Y)) :- up(X,X1), down(Y1,Y);
         // bin(∅, sg(X,Y)) :- flat(X,Y).  Every flat fact is an edge from
         // ∅; every up×down combination is an internal edge.
-        let mut program = parse_program(&format!(
-            "{SG}up(a,b). flat(b,c). down(c,d). flat(x,y)."
-        ))
-        .unwrap();
+        let mut program =
+            parse_program(&format!("{SG}up(a,b). flat(b,c). down(c,d). flat(x,y).")).unwrap();
         let db = Database::from_program(&program);
         let query = Query::parse(&mut program, "sg(a, Y)").unwrap();
         let out = bin_reach(&program, &db, &query).unwrap();

@@ -152,9 +152,7 @@ pub fn reverse_counting(
     let mut answers: FxHashSet<Const> = FxHashSet::default();
     for &w in &candidates {
         let mut frontier: FxHashSet<Const> = [w].into_iter().collect();
-        let mut hit = fringe
-            .first()
-            .is_some_and(|f0| f0.contains(&w));
+        let mut hit = fringe.first().is_some_and(|f0| f0.contains(&w));
         let mut steps: u64 = 0;
         while !hit && !frontier.is_empty() && steps < max_k {
             frontier = image(db, &e2_inv, &frontier, &mut counters);

@@ -124,8 +124,11 @@ mod tests {
         let a1 = program.consts.get(&ConstValue::Str("a1".into())).unwrap();
         let out = henschen_naqvi(&sys, &db, sg, a1, Some(7));
         assert!(!out.converged);
-        let mut names: Vec<String> =
-            out.answers.iter().map(|&c| program.consts.display(c)).collect();
+        let mut names: Vec<String> = out
+            .answers
+            .iter()
+            .map(|&c| program.consts.display(c))
+            .collect();
         names.sort();
         assert_eq!(names, vec!["b1", "b2", "b3"]);
     }

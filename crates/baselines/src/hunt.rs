@@ -41,10 +41,10 @@ impl HuntGraph {
         let mut nodes: Vec<(u32, Const)> = Vec::new();
         let mut succ: Vec<Vec<u32>> = Vec::new();
         let intern = |n: (u32, Const),
-                          nodes: &mut Vec<(u32, Const)>,
-                          succ: &mut Vec<Vec<u32>>,
-                          node_id: &mut FxHashMap<(u32, Const), u32>,
-                          counters: &mut Counters| {
+                      nodes: &mut Vec<(u32, Const)>,
+                      succ: &mut Vec<Vec<u32>>,
+                      node_id: &mut FxHashMap<(u32, Const), u32>,
+                      counters: &mut Counters| {
             *node_id.entry(n).or_insert_with(|| {
                 counters.nodes_inserted += 1;
                 nodes.push(n);
@@ -64,8 +64,20 @@ impl HuntGraph {
                 match label {
                     Label::Id => {
                         for &c in &domain {
-                            let a = intern((q as u32, c), &mut nodes, &mut succ, &mut node_id, &mut counters);
-                            let b = intern((to as u32, c), &mut nodes, &mut succ, &mut node_id, &mut counters);
+                            let a = intern(
+                                (q as u32, c),
+                                &mut nodes,
+                                &mut succ,
+                                &mut node_id,
+                                &mut counters,
+                            );
+                            let b = intern(
+                                (to as u32, c),
+                                &mut nodes,
+                                &mut succ,
+                                &mut node_id,
+                                &mut counters,
+                            );
                             succ[a as usize].push(b);
                             counters.rule_firings += 1;
                         }
@@ -73,8 +85,20 @@ impl HuntGraph {
                     Label::Sym(r) => {
                         for t in db.relation(r).iter() {
                             counters.tuples_retrieved += 1;
-                            let a = intern((q as u32, t[0]), &mut nodes, &mut succ, &mut node_id, &mut counters);
-                            let b = intern((to as u32, t[1]), &mut nodes, &mut succ, &mut node_id, &mut counters);
+                            let a = intern(
+                                (q as u32, t[0]),
+                                &mut nodes,
+                                &mut succ,
+                                &mut node_id,
+                                &mut counters,
+                            );
+                            let b = intern(
+                                (to as u32, t[1]),
+                                &mut nodes,
+                                &mut succ,
+                                &mut node_id,
+                                &mut counters,
+                            );
                             succ[a as usize].push(b);
                             counters.rule_firings += 1;
                         }
@@ -82,8 +106,20 @@ impl HuntGraph {
                     Label::Inv(r) => {
                         for t in db.relation(r).iter() {
                             counters.tuples_retrieved += 1;
-                            let a = intern((q as u32, t[1]), &mut nodes, &mut succ, &mut node_id, &mut counters);
-                            let b = intern((to as u32, t[0]), &mut nodes, &mut succ, &mut node_id, &mut counters);
+                            let a = intern(
+                                (q as u32, t[1]),
+                                &mut nodes,
+                                &mut succ,
+                                &mut node_id,
+                                &mut counters,
+                            );
+                            let b = intern(
+                                (to as u32, t[0]),
+                                &mut nodes,
+                                &mut succ,
+                                &mut node_id,
+                                &mut counters,
+                            );
                             succ[a as usize].push(b);
                             counters.rule_firings += 1;
                         }

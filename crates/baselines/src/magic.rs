@@ -79,9 +79,7 @@ fn rewrite(program: &Program, query: &Query, adorned: &AdornedProgram) -> Progra
     let adorned_preds: FxHashSet<AdornedPred> = adorned
         .rules
         .iter()
-        .flat_map(|r| {
-            [Some(r.head), r.body_child()].into_iter().flatten()
-        })
+        .flat_map(|r| [Some(r.head), r.body_child()].into_iter().flatten())
         .collect();
     let mut ap_pred: FxHashMap<AdornedPred, Pred> = FxHashMap::default();
     let mut magic_pred: FxHashMap<AdornedPred, Pred> = FxHashMap::default();

@@ -188,18 +188,12 @@ fn expand_rule(
                     changed = true;
                 }
                 // Phase 2: for each child answer, join the after side.
-                let child_answers: Vec<FreeTuple> =
-                    answers[&child_key].iter().cloned().collect();
+                let child_answers: Vec<FreeTuple> = answers[&child_key].iter().cloned().collect();
                 for ca in child_answers {
                     // Bind the child's free positions to the answer.
                     let mut subst2 = subst.clone();
                     let mut consistent = true;
-                    for (&pos, &val) in child
-                        .adornment
-                        .free_positions()
-                        .iter()
-                        .zip(ca.iter())
-                    {
+                    for (&pos, &val) in child.adornment.free_positions().iter().zip(ca.iter()) {
                         match atom.args[pos] {
                             Term::Var(v) => {
                                 if let Some(&prev) = subst2.get(&v) {
@@ -233,12 +227,7 @@ fn expand_rule(
                     // The before-literals may bind variables used in the
                     // head's free side only through the child bound
                     // tuple; bind those too.
-                    for (&pos, &val) in child
-                        .adornment
-                        .bound_positions()
-                        .iter()
-                        .zip(cb.iter())
-                    {
+                    for (&pos, &val) in child.adornment.bound_positions().iter().zip(cb.iter()) {
                         if let Term::Var(v) = atom.args[pos] {
                             subst2.entry(v).or_insert(val);
                         }

@@ -54,13 +54,7 @@ pub fn sld(program: &Program, query: &Query, max_steps: u64) -> SldOutcome {
         max_steps,
         0,
         &mut |tuple| {
-            answers.insert(
-                query
-                    .free_positions()
-                    .iter()
-                    .map(|&i| tuple[i])
-                    .collect(),
-            );
+            answers.insert(query.free_positions().iter().map(|&i| tuple[i]).collect());
         },
     );
     let mut rows: Vec<Vec<Const>> = answers.into_iter().collect();
@@ -188,8 +182,16 @@ fn solve_body(
                     let ord = program.consts.value(a).builtin_cmp(program.consts.value(b));
                     if op.eval(ord) {
                         solve_body(
-                            program, db, rule, idx + 1, env, counters, steps, max_steps,
-                            depth, emit,
+                            program,
+                            db,
+                            rule,
+                            idx + 1,
+                            env,
+                            counters,
+                            steps,
+                            max_steps,
+                            depth,
+                            emit,
                         )
                     } else {
                         true
@@ -199,7 +201,16 @@ fn solve_body(
                 // safety condition prevents this for our programs, but a
                 // left-placed comparison simply floats right.
                 _ => solve_body(
-                    program, db, rule, idx + 1, env, counters, steps, max_steps, depth, emit,
+                    program,
+                    db,
+                    rule,
+                    idx + 1,
+                    env,
+                    counters,
+                    steps,
+                    max_steps,
+                    depth,
+                    emit,
                 ),
             }
         }
@@ -249,7 +260,15 @@ fn solve_body(
                 }
                 if ok {
                     complete &= solve_body(
-                        program, db, rule, idx + 1, env, counters, steps, max_steps, depth,
+                        program,
+                        db,
+                        rule,
+                        idx + 1,
+                        env,
+                        counters,
+                        steps,
+                        max_steps,
+                        depth,
                         emit,
                     );
                 }
@@ -311,8 +330,7 @@ mod tests {
         // Diverges — the budget cuts it off, but the answers found up to
         // that point are sound.
         assert!(!out.complete);
-        let oracle: FxHashSet<Vec<Const>> =
-            oracle_rows(&program, &q).into_iter().collect();
+        let oracle: FxHashSet<Vec<Const>> = oracle_rows(&program, &q).into_iter().collect();
         assert!(out.rows.iter().all(|r| oracle.contains(r)));
     }
 

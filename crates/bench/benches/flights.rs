@@ -28,7 +28,14 @@ fn bench_flights(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("seminaive_bottom_up", airports),
             &airports,
-            |b, _| b.iter(|| rq_datalog::seminaive_eval(&w.program).unwrap().db.total_tuples()),
+            |b, _| {
+                b.iter(|| {
+                    rq_datalog::seminaive_eval(&w.program)
+                        .unwrap()
+                        .db
+                        .total_tuples()
+                })
+            },
         );
     }
     group.finish();

@@ -1,0 +1,93 @@
+//! Service throughput: a batch of point queries answered by
+//! `rq-service` with growing worker counts, against the single-threaded
+//! `Evaluator` loop, on the Figure 8 cyclic workload and a layered-DAG
+//! binary-reachability workload.
+//!
+//! `batch/N` runs with result memoization off, so it measures raw
+//! parallel traversal over one shared snapshot; `batch_memoized`
+//! measures the steady state where the result cache serves repeats.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rq_common::Const;
+use rq_engine::{cyclic_iteration_bound, EdbSource, EvalOptions, Evaluator};
+use rq_service::{Adornment, PointQuery, QueryService, ServiceConfig};
+use rq_workloads::{fig8, graphs, Workload};
+
+/// Bound-free point queries from every constant of the workload.
+fn point_queries(workload: &Workload) -> Vec<PointQuery> {
+    let pred_name = workload.query.split('(').next().unwrap().trim();
+    let pred = workload.program.pred_by_name(pred_name).unwrap();
+    (0..workload.program.consts.len())
+        .map(|i| PointQuery {
+            pred,
+            adornment: Adornment::BoundFree,
+            constant: Const::from_index(i),
+        })
+        .collect()
+}
+
+fn bench_service(c: &mut Criterion) {
+    for workload in [fig8::cyclic(7, 9), graphs::layered_dag(6, 30, 0.35, 42)] {
+        let queries = point_queries(&workload);
+        let mut group = c.benchmark_group(format!("service_{}", workload.name));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(queries.len() as u64));
+
+        // Baseline: one plan, one thread, plain Evaluator loop with the
+        // same cyclic guard the service applies.
+        let prepared = rq_bench::prepare(&workload);
+        group.bench_function("single_thread_loop", |b| {
+            let source = EdbSource::new(&prepared.db);
+            let evaluator = Evaluator::new(&prepared.system, &source);
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in &queries {
+                    let options = EvalOptions {
+                        max_iterations: cyclic_iteration_bound(
+                            &prepared.system,
+                            &prepared.db,
+                            q.pred,
+                            q.constant,
+                        )
+                        .map(|b| b + 1),
+                        ..EvalOptions::default()
+                    };
+                    total += evaluator
+                        .evaluate(q.pred, q.constant, &options)
+                        .answers
+                        .len();
+                }
+                total
+            })
+        });
+
+        for threads in [1usize, 2, 4, 8] {
+            let service = QueryService::with_config(
+                workload.program.clone(),
+                ServiceConfig {
+                    threads,
+                    memoize_results: false,
+                    ..ServiceConfig::default()
+                },
+            );
+            group.bench_with_input(BenchmarkId::new("batch", threads), &threads, |b, _| {
+                b.iter(|| service.query_batch(&queries))
+            });
+        }
+
+        let memoized = QueryService::with_config(
+            workload.program.clone(),
+            ServiceConfig {
+                threads: 4,
+                ..ServiceConfig::default()
+            },
+        );
+        group.bench_function("batch_memoized", |b| {
+            b.iter(|| memoized.query_batch(&queries))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

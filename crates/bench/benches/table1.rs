@@ -16,11 +16,9 @@ fn bench_table1(c: &mut Criterion) {
         for n in [64usize, 128, 256] {
             let prepared = prepare(&generator(n));
             for strategy in StrategyKind::TABLE1 {
-                group.bench_with_input(
-                    BenchmarkId::new(strategy.label(), n),
-                    &n,
-                    |b, _| b.iter(|| run_strategy(&prepared, strategy, None)),
-                );
+                group.bench_with_input(BenchmarkId::new(strategy.label(), n), &n, |b, _| {
+                    b.iter(|| run_strategy(&prepared, strategy, None))
+                });
             }
         }
         group.finish();

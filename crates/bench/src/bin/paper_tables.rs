@@ -11,13 +11,57 @@ use rq_datalog::Database;
 use rq_engine::{EdbSource, EvalOptions, Evaluator};
 use rq_relalg::{lemma1, linear_decomposition, unroll, Lemma1Options};
 use rq_workloads::{fig7, fig8, flights, graphs, Workload};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct TableRow {
     table: String,
     label: String,
     values: Vec<(String, f64)>,
+}
+
+impl TableRow {
+    /// Hand-rolled JSON (shape matches what `serde_json` used to emit
+    /// for the derived `Serialize`); tuples serialize as two-element
+    /// arrays.  No third-party JSON crate is available offline.
+    fn to_json(&self) -> String {
+        let values: Vec<String> = self
+            .values
+            .iter()
+            .map(|(k, v)| format!("[{}, {}]", json_string(k), json_f64(*v)))
+            .collect();
+        format!(
+            "{{\"table\": {}, \"label\": {}, \"values\": [{}]}}",
+            json_string(&self.table),
+            json_string(&self.label),
+            values.join(", ")
+        )
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        // JSON has no NaN/Infinity; mirror serde_json's lossy `null`.
+        "null".to_string()
+    }
 }
 
 struct Report {
@@ -34,10 +78,7 @@ impl Report {
 
     fn row(&mut self, table: &str, label: &str, values: Vec<(String, f64)>) {
         if !self.json {
-            let cells: Vec<String> = values
-                .iter()
-                .map(|(k, v)| format!("{k}={v:.2}"))
-                .collect();
+            let cells: Vec<String> = values.iter().map(|(k, v)| format!("{k}={v:.2}")).collect();
             println!("{label:<24} {}", cells.join("  "));
         }
         self.rows.push(TableRow {
@@ -49,7 +90,12 @@ impl Report {
 
     fn finish(self) {
         if self.json {
-            println!("{}", serde_json::to_string_pretty(&self.rows).unwrap());
+            let rows: Vec<String> = self
+                .rows
+                .iter()
+                .map(|r| format!("  {}", r.to_json()))
+                .collect();
+            println!("[\n{}\n]", rows.join(",\n"));
         }
     }
 }
@@ -97,7 +143,9 @@ fn fig8_table(r: &mut Report) {
             p.source_const,
             &EvalOptions {
                 max_iterations: None,
-                record_iterations: true, ..EvalOptions::default() },
+                record_iterations: true,
+                ..EvalOptions::default()
+            },
         );
         let mut last = 0u64;
         let mut prev = 0u64;
@@ -149,8 +197,7 @@ fn horner(r: &mut Report) {
 fn demand(r: &mut Report) {
     r.section("Demand-driven vs preconstructed graph (Hunt et al.) — total work");
     for &n in &[100usize, 200, 400, 800] {
-        let mut src =
-            String::from("tc(X,Y) :- e(X,Y).\ntc(X,Z) :- e(X,Y), tc(Y,Z).\ne(a,b).\n");
+        let mut src = String::from("tc(X,Y) :- e(X,Y).\ntc(X,Z) :- e(X,Y), tc(Y,Z).\ne(a,b).\n");
         for i in 0..n {
             src.push_str(&format!("e(u{}, u{}).\n", i, i + 1));
         }
@@ -161,8 +208,7 @@ fn demand(r: &mut Report) {
         let hunt = rq_baselines::HuntGraph::build(&db, &system.rhs[&tc]);
         let a = program.consts.get(&ConstValue::Str("a".into())).unwrap();
         let source = EdbSource::new(&db);
-        let engine =
-            Evaluator::new(&system, &source).evaluate(tc, a, &EvalOptions::default());
+        let engine = Evaluator::new(&system, &source).evaluate(tc, a, &EvalOptions::default());
         r.row(
             "demand",
             &format!("n={n}"),
@@ -181,18 +227,17 @@ fn flights_table(r: &mut Report) {
         let mut w = flights::network(airports, 4, 7);
         let q = rq_datalog::Query::parse(&mut w.program, &w.query).unwrap();
         let db = Database::from_program(&w.program);
-        let ans =
-            rq_adorn::answer_query(&w.program, &db, &q, &EvalOptions::default()).unwrap();
+        let ans = rq_adorn::answer_query(&w.program, &db, &q, &EvalOptions::default()).unwrap();
         let bottom_up = rq_adorn::bottom_up_counters(&w.program);
         r.row(
             "flights",
             &format!("airports={airports}"),
             vec![
-                ("ours_tuples".into(), ans.outcome.counters.tuples_retrieved as f64),
                 (
-                    "seminaive_tuples".into(),
-                    bottom_up.tuples_retrieved as f64,
+                    "ours_tuples".into(),
+                    ans.outcome.counters.tuples_retrieved as f64,
                 ),
+                ("seminaive_tuples".into(), bottom_up.tuples_retrieved as f64),
                 ("answers".into(), ans.rows.len() as f64),
             ],
         );
@@ -203,17 +248,20 @@ fn flights_table(r: &mut Report) {
 fn theorem3(r: &mut Report) {
     r.section("Theorem 3 (regular case): growth exponent of work in database size");
     let families: Vec<(&str, Vec<Workload>)> = vec![
-        (
-            "chain",
-            SIZES.iter().map(|&n| graphs::chain(n)).collect(),
-        ),
+        ("chain", SIZES.iter().map(|&n| graphs::chain(n)).collect()),
         (
             "binary tree",
-            [4usize, 5, 6, 7].iter().map(|&d| graphs::binary_tree(d)).collect(),
+            [4usize, 5, 6, 7]
+                .iter()
+                .map(|&d| graphs::binary_tree(d))
+                .collect(),
         ),
         (
             "grid",
-            [8usize, 11, 16, 23].iter().map(|&w| graphs::grid(w, w)).collect(),
+            [8usize, 11, 16, 23]
+                .iter()
+                .map(|&w| graphs::grid(w, w))
+                .collect(),
         ),
     ];
     for (label, ws) in families {
@@ -290,7 +338,10 @@ fn allpairs(r: &mut Report) {
             "allpairs",
             &format!("cycle n={n}"),
             vec![
-                ("per_source_nodes".into(), per.counters.nodes_inserted as f64),
+                (
+                    "per_source_nodes".into(),
+                    per.counters.nodes_inserted as f64,
+                ),
                 ("scc_nodes".into(), scc.counters.nodes_inserted as f64),
             ],
         );
@@ -363,7 +414,10 @@ fn binreach(r: &mut Report) {
             "binreach",
             &format!("irrelevant n={n}"),
             vec![
-                ("simple_bin_tuples".into(), simple.counters.tuples_retrieved as f64),
+                (
+                    "simple_bin_tuples".into(),
+                    simple.counters.tuples_retrieved as f64,
+                ),
                 ("simple_bin_nodes".into(), simple.bin_nodes as f64),
                 ("ours_tuples".into(), ours.counters.tuples_retrieved as f64),
             ],

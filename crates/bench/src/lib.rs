@@ -124,7 +124,8 @@ pub fn run_strategy(
                 p.source_const,
                 &EvalOptions {
                     max_iterations: max_levels,
-                    ..EvalOptions::default() },
+                    ..EvalOptions::default()
+                },
             );
             (out.answers.len(), out.counters)
         }

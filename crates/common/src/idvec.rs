@@ -27,7 +27,11 @@ macro_rules! impl_idlike {
     };
 }
 
-impl_idlike!(crate::intern::Const, crate::intern::Pred, crate::intern::Var);
+impl_idlike!(
+    crate::intern::Const,
+    crate::intern::Pred,
+    crate::intern::Var
+);
 
 impl IdLike for usize {
     #[inline]

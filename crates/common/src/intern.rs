@@ -206,6 +206,19 @@ mod tests {
     use super::*;
 
     #[test]
+    fn interners_are_shareable_across_threads() {
+        // The serving layer shares `Arc<Program>` snapshots (which embed
+        // these interners) across query worker threads; keep them free of
+        // `Rc`/`Cell` state.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Const>();
+        assert_send_sync::<Pred>();
+        assert_send_sync::<ConstValue>();
+        assert_send_sync::<ConstInterner>();
+        assert_send_sync::<NameInterner>();
+    }
+
+    #[test]
     fn const_interning_is_stable() {
         let mut i = ConstInterner::new();
         let a = i.intern_str("john");

@@ -421,7 +421,9 @@ mod tests {
     #[test]
     fn tarjan_deep_chain_no_overflow() {
         let n = 200_000;
-        let succ: Vec<Vec<usize>> = (0..n).map(|i| if i + 1 < n { vec![i + 1] } else { vec![] }).collect();
+        let succ: Vec<Vec<usize>> = (0..n)
+            .map(|i| if i + 1 < n { vec![i + 1] } else { vec![] })
+            .collect();
         let (comp, ncomps) = tarjan_scc(&succ);
         assert_eq!(ncomps, n);
         // Chain: comp ids strictly increase towards the head.
@@ -528,13 +530,25 @@ mod tests {
         // Paper: p1,p2,p3 are right-linear; r1,r2 left-linear; q1,q2
         // linear but nonregular.
         for n in ["p1", "p2", "p3"] {
-            assert_eq!(pred_regularity(&p, &a, by(n)), Regularity::RightLinear, "{n}");
+            assert_eq!(
+                pred_regularity(&p, &a, by(n)),
+                Regularity::RightLinear,
+                "{n}"
+            );
         }
         for n in ["r1", "r2"] {
-            assert_eq!(pred_regularity(&p, &a, by(n)), Regularity::LeftLinear, "{n}");
+            assert_eq!(
+                pred_regularity(&p, &a, by(n)),
+                Regularity::LeftLinear,
+                "{n}"
+            );
         }
         for n in ["q1", "q2"] {
-            assert_eq!(pred_regularity(&p, &a, by(n)), Regularity::Nonregular, "{n}");
+            assert_eq!(
+                pred_regularity(&p, &a, by(n)),
+                Regularity::Nonregular,
+                "{n}"
+            );
         }
         assert!(a.program_is_linear(&p));
         assert!(binary_chain_violations(&p).is_empty());
@@ -562,10 +576,14 @@ mod tests {
     fn chain_violations_reported() {
         let p = prog("t(X,Y,Z) :- e(X,Y), f(Y,Z).\ne(a,b).");
         let v = binary_chain_violations(&p);
-        assert!(v.iter().any(|x| matches!(x, ChainViolation::NonBinaryPred(_))));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, ChainViolation::NonBinaryPred(_))));
         let p = prog("t(X,Y) :- e(X,Y), X < Y.\ne(1,2).");
         let v = binary_chain_violations(&p);
-        assert!(v.iter().any(|x| matches!(x, ChainViolation::BuiltinInRule(0))));
+        assert!(v
+            .iter()
+            .any(|x| matches!(x, ChainViolation::BuiltinInRule(0))));
     }
 
     #[test]
@@ -605,7 +623,10 @@ mod tests {
         let mut p = Program::new();
         let star = p.pred("star", 2);
         p.add_rule(Rule {
-            head: crate::ast::Atom::new(star, vec![Term::Var(rq_common::Var(0)), Term::Var(rq_common::Var(0))]),
+            head: crate::ast::Atom::new(
+                star,
+                vec![Term::Var(rq_common::Var(0)), Term::Var(rq_common::Var(0))],
+            ),
             body: vec![],
             var_names: vec!["X".into()],
         });

@@ -139,9 +139,7 @@ impl Literal {
     pub fn vars(&self) -> Vec<Var> {
         match self {
             Literal::Atom(a) => a.vars().collect(),
-            Literal::Cmp { lhs, rhs, .. } => {
-                lhs.as_var().into_iter().chain(rhs.as_var()).collect()
-            }
+            Literal::Cmp { lhs, rhs, .. } => lhs.as_var().into_iter().chain(rhs.as_var()).collect(),
         }
     }
 }

@@ -5,9 +5,16 @@
 //! strided tuple storage plus hash indexes keyed by the bound-column subset,
 //! built lazily the first time a lookup with that binding pattern happens
 //! and maintained incrementally as tuples are inserted.
+//!
+//! The index cache sits behind an [`RwLock`] so a fully built relation is
+//! `Sync`: the serving layer (`rq-service`) shares immutable [`Database`]
+//! snapshots across query worker threads.  Single-threaded evaluation pays
+//! one uncontended lock acquisition per probe; snapshot publication calls
+//! [`Relation::build_index`] / [`Database::prewarm_binary_indexes`] up
+//! front so concurrent readers take the read path only.
 
 use rq_common::{Const, FxHashMap, IdVec, Pred};
-use std::cell::RefCell;
+use std::sync::RwLock;
 
 /// A bitmask of bound columns; bit `i` set means column `i` is bound.
 pub type ColMask = u32;
@@ -38,7 +45,7 @@ pub struct Relation {
     /// Tuple → ordinal, for deduplication and membership tests.
     dedup: FxHashMap<Box<[Const]>, u32>,
     /// Lazily built indexes, one per bound-column mask.
-    indexes: RefCell<FxHashMap<ColMask, Index>>,
+    indexes: RwLock<FxHashMap<ColMask, Index>>,
 }
 
 impl Relation {
@@ -48,7 +55,7 @@ impl Relation {
             arity,
             flat: Vec::new(),
             dedup: FxHashMap::default(),
-            indexes: RefCell::new(FxHashMap::default()),
+            indexes: RwLock::new(FxHashMap::default()),
         }
     }
 
@@ -74,9 +81,11 @@ impl Relation {
         &self.flat[start..start + self.arity]
     }
 
-    /// Iterate all tuples.
+    /// Iterate all tuples.  Correct for every arity, including 0: a
+    /// nullary relation holds at most the empty tuple, which
+    /// `chunks_exact` over the (empty) flat storage would never yield.
     pub fn iter(&self) -> impl Iterator<Item = &[Const]> {
-        self.flat.chunks_exact(self.arity.max(1)).take(self.len())
+        (0..self.len()).map(move |ord| self.tuple(ord as u32))
     }
 
     /// Membership test.
@@ -96,7 +105,10 @@ impl Relation {
         let ord = self.len() as u32;
         self.dedup.insert(tuple.into(), ord);
         self.flat.extend_from_slice(tuple);
-        let mut indexes = self.indexes.borrow_mut();
+        let indexes = self
+            .indexes
+            .get_mut()
+            .expect("relation index lock poisoned");
         for (&mask, index) in indexes.iter_mut() {
             let key = Self::key_for(tuple, mask);
             index.entry(key).or_default().push(ord);
@@ -119,8 +131,31 @@ impl Relation {
             out.extend(0..self.len() as u32);
             return;
         }
-        let mut indexes = self.indexes.borrow_mut();
-        let index = indexes.entry(mask).or_insert_with(|| {
+        {
+            let indexes = self.indexes.read().expect("relation index lock poisoned");
+            if let Some(index) = indexes.get(&mask) {
+                if let Some(ords) = index.get(key) {
+                    out.extend_from_slice(ords);
+                }
+                return;
+            }
+        }
+        self.build_index(mask);
+        let indexes = self.indexes.read().expect("relation index lock poisoned");
+        if let Some(ords) = indexes[&mask].get(key) {
+            out.extend_from_slice(ords);
+        }
+    }
+
+    /// Build (if absent) the index for `mask`, so later [`Self::lookup`]s
+    /// with that binding pattern take the shared read path only.  Called
+    /// by the serving layer when an immutable snapshot is published.
+    pub fn build_index(&self, mask: ColMask) {
+        if mask == 0 {
+            return;
+        }
+        let mut indexes = self.indexes.write().expect("relation index lock poisoned");
+        indexes.entry(mask).or_insert_with(|| {
             let mut idx: Index = FxHashMap::default();
             for ord in 0..self.len() as u32 {
                 let key = Self::key_for(self.tuple(ord), mask);
@@ -128,9 +163,6 @@ impl Relation {
             }
             idx
         });
-        if let Some(ords) = index.get(key) {
-            out.extend_from_slice(ords);
-        }
     }
 
     /// Count of tuples matching the binding pattern, without materializing.
@@ -148,7 +180,7 @@ impl Clone for Relation {
             flat: self.flat.clone(),
             dedup: self.dedup.clone(),
             // Indexes are a cache; let the clone rebuild them on demand.
-            indexes: RefCell::new(FxHashMap::default()),
+            indexes: RwLock::new(FxHashMap::default()),
         }
     }
 }
@@ -197,14 +229,25 @@ impl Database {
 
     /// Membership test.
     pub fn contains(&self, pred: Pred, tuple: &[Const]) -> bool {
-        self.relations
-            .get(pred)
-            .is_some_and(|r| r.contains(tuple))
+        self.relations.get(pred).is_some_and(|r| r.contains(tuple))
     }
 
     /// Total number of tuples across all relations.
     pub fn total_tuples(&self) -> usize {
         self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// Build the first-column and second-column indexes of every binary
+    /// relation — the two probes the traversal engine makes.  The serving
+    /// layer calls this once when publishing an immutable snapshot so
+    /// concurrent readers never contend on index construction.
+    pub fn prewarm_binary_indexes(&self) {
+        for rel in self.relations.iter() {
+            if rel.arity() == 2 {
+                rel.build_index(mask_of([0]));
+                rel.build_index(mask_of([1]));
+            }
+        }
     }
 
     /// Number of predicates with storage.
@@ -307,6 +350,70 @@ mod tests {
         assert!(!r.insert(&[]));
         assert_eq!(r.len(), 1);
         assert!(r.contains(&[]));
+    }
+
+    #[test]
+    fn zero_arity_iter_yields_the_empty_tuple() {
+        // Regression: `chunks_exact(arity.max(1))` over the empty flat
+        // storage yielded nothing, making nullary relations invisible to
+        // scans even when they held the empty tuple.
+        let mut r = Relation::new(0);
+        assert_eq!(r.iter().count(), 0);
+        r.insert(&[]);
+        let tuples: Vec<&[Const]> = r.iter().collect();
+        assert_eq!(tuples, vec![&[] as &[Const]]);
+    }
+
+    #[test]
+    fn iter_matches_len_and_tuple_for_all_arities() {
+        for arity in 0..4usize {
+            let mut r = Relation::new(arity);
+            let tuple: Vec<Const> = (0..arity as u32).map(c).collect();
+            r.insert(&tuple);
+            assert_eq!(r.iter().count(), r.len());
+            for (ord, t) in r.iter().enumerate() {
+                assert_eq!(t, r.tuple(ord as u32));
+                assert_eq!(t.len(), arity);
+            }
+        }
+    }
+
+    #[test]
+    fn relations_are_shareable_across_threads() {
+        // The serving layer requires `Sync` storage; hold the line here
+        // so a future `Cell`-flavored cache cannot sneak back in.
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<Relation>();
+        assert_sync::<Database>();
+
+        let mut r = Relation::new(2);
+        r.insert(&[c(1), c(2)]);
+        r.insert(&[c(1), c(3)]);
+        r.build_index(mask_of([0]));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    // Mix a pre-built index probe with a lazily built one.
+                    r.lookup(mask_of([0]), &[c(1)], &mut out);
+                    assert_eq!(out.len(), 2);
+                    out.clear();
+                    r.lookup(mask_of([1]), &[c(3)], &mut out);
+                    assert_eq!(out.len(), 1);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn prewarm_builds_binary_indexes() {
+        let p = crate::parser::parse_program("e(a,b). e(b,c). t(a,a,a).").unwrap();
+        let db = Database::from_program(&p);
+        db.prewarm_binary_indexes();
+        let e = p.pred_by_name("e").unwrap();
+        let mut out = Vec::new();
+        db.relation(e).lookup(mask_of([1]), &[Const(1)], &mut out);
+        assert_eq!(out.len(), 1);
     }
 
     #[test]

@@ -94,7 +94,16 @@ pub fn fire_rule<V: RelView>(
         .collect();
     let mut scratch: Vec<u32> = Vec::new();
     join_rec(
-        program, rule, view, &atoms, &builtins, 0, &mut env, &mut scratch, counters, emit,
+        program,
+        rule,
+        view,
+        &atoms,
+        &builtins,
+        0,
+        &mut env,
+        &mut scratch,
+        counters,
+        emit,
     )
 }
 
@@ -117,10 +126,7 @@ fn builtins_hold(program: &Program, builtins: &[&Literal], env: &Env) -> bool {
     for lit in builtins {
         if let Literal::Cmp { op, lhs, rhs } = lit {
             if let (Some(a), Some(b)) = (resolve(env, *lhs), resolve(env, *rhs)) {
-                let ord = program
-                    .consts
-                    .value(a)
-                    .builtin_cmp(program.consts.value(b));
+                let ord = program.consts.value(a).builtin_cmp(program.consts.value(b));
                 if !op.eval(ord) {
                     return false;
                 }

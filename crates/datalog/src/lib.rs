@@ -191,7 +191,10 @@ impl Query {
     /// tuples matching the bound arguments and repeated-variable
     /// constraints, projecting onto the distinct free positions.  Used
     /// to turn an oracle's full relation into the answer to this query.
-    pub fn answer_from_relation(&self, tuples: &[Vec<rq_common::Const>]) -> Vec<Vec<rq_common::Const>> {
+    pub fn answer_from_relation(
+        &self,
+        tuples: &[Vec<rq_common::Const>],
+    ) -> Vec<Vec<rq_common::Const>> {
         let free = self.distinct_free_positions();
         let repeats = self.repeat_constraints();
         let mut out: Vec<Vec<rq_common::Const>> = tuples

@@ -466,13 +466,7 @@ mod tests {
         .unwrap();
         assert_eq!(p.rules.len(), 2);
         let rule = &p.rules[1];
-        assert!(matches!(
-            rule.body[1],
-            Literal::Cmp {
-                op: CmpOp::Lt,
-                ..
-            }
-        ));
+        assert!(matches!(rule.body[1], Literal::Cmp { op: CmpOp::Lt, .. }));
         let (_, tuple) = &p.facts[0];
         assert_eq!(p.consts.value(tuple[1]), &ConstValue::Int(900));
     }
@@ -537,7 +531,14 @@ mod tests {
             .collect();
         assert_eq!(
             ops,
-            vec![CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge, CmpOp::Eq, CmpOp::Ne]
+            vec![
+                CmpOp::Lt,
+                CmpOp::Le,
+                CmpOp::Gt,
+                CmpOp::Ge,
+                CmpOp::Eq,
+                CmpOp::Ne
+            ]
         );
     }
 }

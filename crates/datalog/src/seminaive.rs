@@ -107,7 +107,10 @@ fn eval_stratum(
         for (pred, tuple) in new_facts {
             if db.insert(pred, &tuple) {
                 counters.nodes_inserted += 1;
-                next_delta.get_mut(&pred).expect("stratum pred").insert(&tuple);
+                next_delta
+                    .get_mut(&pred)
+                    .expect("stratum pred")
+                    .insert(&tuple);
                 changed = true;
             }
         }

@@ -33,9 +33,8 @@ fn term() -> impl Strategy<Value = String> {
 
 fn atom(pred_pool: Vec<String>) -> impl Strategy<Value = String> {
     let pool = pred_pool.clone();
-    (0..pool.len(), prop::collection::vec(term(), 1..4)).prop_map(move |(pi, args)| {
-        format!("{}({})", pool[pi], args.join(","))
-    })
+    (0..pool.len(), prop::collection::vec(term(), 1..4))
+        .prop_map(move |(pi, args)| format!("{}({})", pool[pi], args.join(",")))
 }
 
 /// A random syntactically valid program: facts plus rules whose head
@@ -44,7 +43,13 @@ fn program_text() -> impl Strategy<Value = String> {
     let preds: Vec<String> = (0..4).map(|i| format!("r{i}")).collect();
     let fact = {
         let preds = preds.clone();
-        (0..preds.len(), prop::collection::vec(prop_oneof![ident(), (-99i64..99).prop_map(|i| i.to_string())], 1..4))
+        (
+            0..preds.len(),
+            prop::collection::vec(
+                prop_oneof![ident(), (-99i64..99).prop_map(|i| i.to_string())],
+                1..4,
+            ),
+        )
             .prop_map(move |(pi, args)| format!("{}({}).", preds[pi], args.join(",")))
     };
     let rule = {
@@ -69,7 +74,13 @@ fn program_text() -> impl Strategy<Value = String> {
     };
     // Derived heads must not collide with base predicates: facts use
     // predicates f0..f3 instead.
-    let base_fact = (0..4usize, prop::collection::vec(prop_oneof![ident(), (-99i64..99).prop_map(|i| i.to_string())], 1..4))
+    let base_fact = (
+        0..4usize,
+        prop::collection::vec(
+            prop_oneof![ident(), (-99i64..99).prop_map(|i| i.to_string())],
+            1..4,
+        ),
+    )
         .prop_map(|(pi, args)| format!("f{pi}({}).", args.join(",")));
     let _ = fact;
     (

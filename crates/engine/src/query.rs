@@ -21,11 +21,7 @@ use rq_relalg::{linear_decomposition, EqSystem, Expr, ImageEval};
 /// Candidate source constants for an all-pairs query: every constant with
 /// an outgoing transition from the start state's ε-closure — a superset
 /// of the domain of `p` that the machine can actually leave the start on.
-pub fn candidate_sources<S: TupleSource>(
-    system: &EqSystem,
-    source: &S,
-    p: Pred,
-) -> Vec<Const> {
+pub fn candidate_sources<S: TupleSource>(system: &EqSystem, source: &S, p: Pred) -> Vec<Const> {
     // Collect the base predicates (forward or inverse) reachable as *first
     // letters* of e_p, unfolding derived predicates.
     let derived = system.derived();
@@ -154,9 +150,9 @@ pub fn all_pairs_scc<S: TupleSource>(
     let mut nodes: Vec<(u32, Const)> = Vec::new();
     let mut succ: Vec<Vec<usize>> = Vec::new();
     let intern = |node: (u32, Const),
-                      nodes: &mut Vec<(u32, Const)>,
-                      succ: &mut Vec<Vec<usize>>,
-                      node_id: &mut FxHashMap<(u32, Const), usize>|
+                  nodes: &mut Vec<(u32, Const)>,
+                  succ: &mut Vec<Vec<usize>>,
+                  node_id: &mut FxHashMap<(u32, Const), usize>|
      -> (usize, bool) {
         if let Some(&id) = node_id.get(&node) {
             return (id, false);
@@ -190,8 +186,7 @@ pub fn all_pairs_scc<S: TupleSource>(
                 Label::Inv(r) => source.predecessors(r, term, &mut buf, &mut counters),
             }
             for &v in buf.iter() {
-                let (nid, fresh) =
-                    intern((to as u32, v), &mut nodes, &mut succ, &mut node_id);
+                let (nid, fresh) = intern((to as u32, v), &mut nodes, &mut succ, &mut node_id);
                 succ[id].push(nid);
                 if fresh {
                     counters.nodes_inserted += 1;
@@ -274,12 +269,7 @@ pub fn all_pairs_min_side<S: TupleSource>(
     p: Pred,
     options: &EvalOptions,
 ) -> (AllPairsOutcome, EvalSide) {
-    let inverted = EqSystem::new(
-        system
-            .lhs
-            .iter()
-            .map(|&q| (q, system.rhs[&q].inverse())),
-    );
+    let inverted = EqSystem::new(system.lhs.iter().map(|&q| (q, system.rhs[&q].inverse())));
     // The candidate sources of the *inverse* machine are (a superset of)
     // the range of E; the candidate sources of E itself are (a superset
     // of) its domain.
@@ -291,10 +281,7 @@ pub fn all_pairs_min_side<S: TupleSource>(
         out.pairs = out.pairs.iter().map(|&(y, x)| (x, y)).collect();
         (out, EvalSide::Reverse)
     } else {
-        (
-            all_pairs_scc(system, source, p, options),
-            EvalSide::Forward,
-        )
+        (all_pairs_scc(system, source, p, options), EvalSide::Forward)
     }
 }
 
@@ -352,7 +339,39 @@ pub fn cyclic_iteration_bound(
     // e2* from the flat-images of D1.
     let mid = ev.image(&e0, &d1);
     let d2 = ev.image(&Expr::star(e2), &mid);
-    Some((d1.len() as u64).saturating_mul(d2.len().max(1) as u64).max(1))
+    Some(
+        (d1.len() as u64)
+            .saturating_mul(d2.len().max(1) as u64)
+            .max(1),
+    )
+}
+
+/// The iteration bound for the *inverse* query `p(X, b)` on cyclic
+/// data.  Traversing the inverse machine from `b` walks `e2⁻¹` per
+/// level on the way in and `e1⁻¹` on the way out, so the two side
+/// counts swap roles: `m` is the number of nodes accessible from `b`
+/// through `e2⁻¹`, `n` the number accessible on the `e1⁻¹` side.
+/// Returns `None` if the equation does not have the linear shape.
+pub fn inverse_cyclic_iteration_bound(
+    system: &EqSystem,
+    db: &rq_datalog::Database,
+    p: Pred,
+    b: Const,
+) -> Option<u64> {
+    let (e0, e1, e2) = linear_decomposition(p, &system.rhs[&p])?;
+    let derived = system.derived();
+    if e0.contains_any(&derived) || e1.contains_any(&derived) || e2.contains_any(&derived) {
+        return None;
+    }
+    let mut ev = ImageEval::base_only(db);
+    let d1 = ev.image_of(&Expr::star(e2.inverse()), b);
+    let mid = ev.image(&e0.inverse(), &d1);
+    let d2 = ev.image(&Expr::star(e1.inverse()), &mid);
+    Some(
+        (d1.len() as u64)
+            .saturating_mul(d2.len().max(1) as u64)
+            .max(1),
+    )
 }
 
 /// Convenience: evaluate `p(a, Y)` on a database with the cyclic bound
@@ -398,9 +417,7 @@ mod tests {
     }
 
     fn konst(p: &rq_datalog::Program, s: &str) -> Const {
-        p.consts
-            .get(&rq_common::ConstValue::Str(s.into()))
-            .unwrap()
+        p.consts.get(&rq_common::ConstValue::Str(s.into())).unwrap()
     }
 
     const TC: &str = "tc(X,Y) :- e(X,Y).\n\
@@ -415,11 +432,8 @@ mod tests {
         let ev = Evaluator::new(&sys, &source);
         let got = all_pairs_per_source(&ev, &source, tc, &EvalOptions::default());
         let naive = rq_datalog::naive_eval(&program).unwrap();
-        let expected: FxHashSet<(Const, Const)> = naive
-            .tuples(tc)
-            .into_iter()
-            .map(|t| (t[0], t[1]))
-            .collect();
+        let expected: FxHashSet<(Const, Const)> =
+            naive.tuples(tc).into_iter().map(|t| (t[0], t[1])).collect();
         assert_eq!(got.pairs, expected);
         assert!(got.converged);
     }
@@ -520,6 +534,49 @@ mod tests {
             .collect();
         names.sort();
         assert_eq!(names, vec!["b1", "b2", "b3"]);
+    }
+
+    #[test]
+    fn inverse_cyclic_bound_makes_inverse_queries_complete() {
+        let src = "sg(X,Y) :- flat(X,Y).\n\
+                   sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n\
+                   up(a1,a2). up(a2,a1).\n\
+                   flat(a1,b1).\n\
+                   down(b1,b2). down(b2,b3). down(b3,b1).";
+        let (program, db, sys) = setup(src);
+        let sg = program.pred_by_name("sg").unwrap();
+        let b1 = konst(&program, "b1");
+        // Sides swap for the inverse direction: m=3 down nodes from b1,
+        // n=2 up nodes.
+        let bound = inverse_cyclic_iteration_bound(&sys, &db, sg, b1).unwrap();
+        assert_eq!(bound, 6);
+        let source = EdbSource::new(&db);
+        let ev = Evaluator::new(&sys, &source);
+        let out = ev.evaluate_inverse(
+            sg,
+            b1,
+            &EvalOptions {
+                max_iterations: Some(bound + 1),
+                ..EvalOptions::default()
+            },
+        );
+        let mut names: Vec<String> = out
+            .answers
+            .iter()
+            .map(|&c| program.consts.display(c))
+            .collect();
+        names.sort();
+        // Oracle: all X with sg(X, b1).
+        let naive = rq_datalog::naive_eval(&program).unwrap();
+        let mut expected: Vec<String> = naive
+            .tuples(sg)
+            .into_iter()
+            .filter(|t| t[1] == b1)
+            .map(|t| program.consts.display(t[0]))
+            .collect();
+        expected.sort();
+        expected.dedup();
+        assert_eq!(names, expected);
     }
 
     #[test]

@@ -87,8 +87,14 @@ mod tests {
         let p = parse_program("e(a,b). e(a,c). e(d,b).").unwrap();
         let db = Database::from_program(&p);
         let e = p.pred_by_name("e").unwrap();
-        let a = p.consts.get(&rq_common::ConstValue::Str("a".into())).unwrap();
-        let b = p.consts.get(&rq_common::ConstValue::Str("b".into())).unwrap();
+        let a = p
+            .consts
+            .get(&rq_common::ConstValue::Str("a".into()))
+            .unwrap();
+        let b = p
+            .consts
+            .get(&rq_common::ConstValue::Str("b".into()))
+            .unwrap();
         let src = EdbSource::new(&db);
         let mut counters = Counters::new();
         let mut out = Vec::new();

@@ -39,7 +39,7 @@ struct MachineKey {
 /// One spliced copy of a machine.
 #[derive(Clone, Copy, Debug)]
 struct Instance {
-    /// Index into [`Evaluator::machines`].
+    /// Index into [`CompiledPlan::machines`].
     machine: u32,
     /// Where the copy's final state continues: `(instance, state)` of the
     /// parent, or `None` for the root instance (whose final state emits
@@ -120,7 +120,11 @@ pub struct GraphDump {
 
 impl GraphDump {
     /// Render as GraphViz DOT; `show` renders a term.
-    pub fn to_dot(&self, show: &impl Fn(Const) -> String, pred_name: &impl Fn(Pred) -> String) -> String {
+    pub fn to_dot(
+        &self,
+        show: &impl Fn(Const) -> String,
+        pred_name: &impl Fn(Pred) -> String,
+    ) -> String {
         let mut out = String::from("digraph g {\n  rankdir=LR;\n");
         let node_id = |n: &(u32, u32, Const)| format!("\"i{}q{}_{}\"", n.0, n.1, show(n.2));
         out.push_str(&format!("  {} [style=bold];\n", node_id(&self.start)));
@@ -178,32 +182,34 @@ pub struct EvalOutcome {
     pub graph: Option<GraphDump>,
 }
 
-/// The evaluator for one equation system over one tuple source.
-pub struct Evaluator<'a, S: TupleSource> {
-    system: &'a EqSystem,
-    source: &'a S,
+/// The compiled half of an evaluator: Thompson machines for every
+/// derived predicate of an equation system, in both orientations, plus
+/// the lookup tables the traversal needs.
+///
+/// Compiling a plan runs the `thompson` (and optionally `compact`)
+/// constructions once; the plan is immutable afterwards and `Sync`, so
+/// a serving layer can compile once per program and share the plan
+/// across concurrent query threads ([`Evaluator::with_plan`]).
+pub struct CompiledPlan {
     machines: Vec<Nfa>,
     machine_index: FxHashMap<MachineKey, u32>,
     derived: FxHashSet<Pred>,
 }
 
-impl<'a, S: TupleSource> Evaluator<'a, S> {
-    /// Build an evaluator.  Machines for every derived predicate of the
-    /// system are compiled eagerly in both orientations (they are tiny —
-    /// proportional to the equation sizes).
-    pub fn new(system: &'a EqSystem, source: &'a S) -> Self {
-        Self::build(system, source, false)
+impl CompiledPlan {
+    /// Compile plain Thompson machines for `system`.
+    pub fn compile(system: &EqSystem) -> Self {
+        Self::build(system, false)
     }
 
-    /// Build an evaluator whose machines are ε-compacted
-    /// ([`rq_automata::compact`]).  Same answers; fewer `id` transitions
-    /// means fewer glue nodes in `G(p, a, i)` (measured by the
-    /// `compact` ablation bench).
-    pub fn new_compacted(system: &'a EqSystem, source: &'a S) -> Self {
-        Self::build(system, source, true)
+    /// Compile ε-compacted machines ([`rq_automata::compact`]): same
+    /// answers, fewer `id` transitions and so fewer glue nodes in
+    /// `G(p, a, i)`.
+    pub fn compile_compacted(system: &EqSystem) -> Self {
+        Self::build(system, true)
     }
 
-    fn build(system: &'a EqSystem, source: &'a S, compact_machines: bool) -> Self {
+    fn build(system: &EqSystem, compact_machines: bool) -> Self {
         let derived = system.derived();
         let mut machines = Vec::with_capacity(system.lhs.len() * 2);
         let mut machine_index = FxHashMap::default();
@@ -230,11 +236,80 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
             machines.push(invert_nfa(&m));
         }
         Self {
-            system,
-            source,
             machines,
             machine_index,
             derived,
+        }
+    }
+
+    /// Number of compiled machines (two per derived predicate).
+    pub fn machine_count(&self) -> usize {
+        self.machines.len()
+    }
+
+    /// Total states across all compiled machines.
+    pub fn total_states(&self) -> usize {
+        self.machines.iter().map(|m| m.trans.len()).sum()
+    }
+}
+
+/// How an evaluator holds its plan: built for this evaluator, or
+/// borrowed from a cache.
+enum PlanRef<'a> {
+    Owned(Box<CompiledPlan>),
+    Shared(&'a CompiledPlan),
+}
+
+impl PlanRef<'_> {
+    #[inline]
+    fn get(&self) -> &CompiledPlan {
+        match self {
+            PlanRef::Owned(p) => p,
+            PlanRef::Shared(p) => p,
+        }
+    }
+}
+
+/// The evaluator for one equation system over one tuple source.
+pub struct Evaluator<'a, S: TupleSource> {
+    system: &'a EqSystem,
+    source: &'a S,
+    plan: PlanRef<'a>,
+}
+
+impl<'a, S: TupleSource> Evaluator<'a, S> {
+    /// Build an evaluator.  Machines for every derived predicate of the
+    /// system are compiled eagerly in both orientations (they are tiny —
+    /// proportional to the equation sizes).
+    pub fn new(system: &'a EqSystem, source: &'a S) -> Self {
+        Self {
+            system,
+            source,
+            plan: PlanRef::Owned(Box::new(CompiledPlan::compile(system))),
+        }
+    }
+
+    /// Build an evaluator whose machines are ε-compacted
+    /// ([`rq_automata::compact`]).  Same answers; fewer `id` transitions
+    /// means fewer glue nodes in `G(p, a, i)` (measured by the
+    /// `compact` ablation bench).
+    pub fn new_compacted(system: &'a EqSystem, source: &'a S) -> Self {
+        Self {
+            system,
+            source,
+            plan: PlanRef::Owned(Box::new(CompiledPlan::compile_compacted(system))),
+        }
+    }
+
+    /// Build an evaluator around an already compiled plan (which must
+    /// have been compiled from `system`).  This skips all machine
+    /// construction, so a cached plan turns evaluator setup into a few
+    /// pointer copies.
+    pub fn with_plan(system: &'a EqSystem, plan: &'a CompiledPlan, source: &'a S) -> Self {
+        Self {
+            system,
+            source,
+            plan: PlanRef::Shared(plan),
         }
     }
 
@@ -255,7 +330,7 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
     }
 
     fn machine_id(&self, pred: Pred, inverted: bool) -> u32 {
-        self.machine_index[&MachineKey { pred, inverted }]
+        self.plan.get().machine_index[&MachineKey { pred, inverted }]
     }
 
     fn evaluate_inner(
@@ -269,6 +344,7 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
             self.system.rhs.contains_key(&p),
             "query predicate must be derived"
         );
+        let plan = self.plan.get();
         let mut counters = Counters::new();
         let mut iteration_stats = Vec::new();
 
@@ -286,7 +362,7 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
         let mut answers: FxHashSet<Const> = FxHashSet::default();
 
         // S: starting points of the current iteration.
-        let root_start: Node = (0, self.machines[root_machine as usize].start as u32, a);
+        let root_start: Node = (0, plan.machines[root_machine as usize].start as u32, a);
         let mut starts: Vec<Node> = vec![root_start];
         let mut arcs: Vec<(Node, ArcKind, Node)> = Vec::new();
         // Arcs from the expansion phase (enter edges), keyed by target
@@ -308,7 +384,7 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
             let mut succ_buf: Vec<Const> = Vec::new();
             while let Some((inst, state, term)) = stack.pop() {
                 let instance = instances[inst as usize];
-                let machine = &self.machines[instance.machine as usize];
+                let machine = &plan.machines[instance.machine as usize];
                 // Final state: exit to the parent (an implicit id arc) or
                 // emit an answer at the root.
                 if state as usize == machine.finish {
@@ -342,50 +418,37 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
                             }
                         }
                         Label::Sym(r) | Label::Inv(r) => {
-                            let derived = self.derived.contains(&r);
+                            let derived = plan.derived.contains(&r);
                             if derived {
                                 // Already expanded? Route straight into
                                 // the child copy; otherwise queue in C.
-                                if let Some(&child) =
-                                    expansions.get(&(inst, state, t_idx as u32))
-                                {
+                                if let Some(&child) = expansions.get(&(inst, state, t_idx as u32)) {
                                     let child_start =
-                                        self.machines[instances[child as usize].machine as usize]
+                                        plan.machines[instances[child as usize].machine as usize]
                                             .start as u32;
                                     let node = (child, child_start, term);
                                     if options.record_graph {
-                                        arcs.push((
-                                            (inst, state, term),
-                                            ArcKind::Enter(r),
-                                            node,
-                                        ));
+                                        arcs.push(((inst, state, term), ArcKind::Enter(r), node));
                                     }
                                     if graph.insert(node) {
                                         counters.nodes_inserted += 1;
                                         stack.push(node);
                                     }
                                 } else {
-                                    continuations
-                                        .entry((inst, state))
-                                        .or_default()
-                                        .insert(term);
+                                    continuations.entry((inst, state)).or_default().insert(term);
                                 }
                                 continue;
                             }
                             succ_buf.clear();
                             match label {
-                                Label::Sym(_) => self.source.successors(
-                                    r,
-                                    term,
-                                    &mut succ_buf,
-                                    &mut counters,
-                                ),
-                                Label::Inv(_) => self.source.predecessors(
-                                    r,
-                                    term,
-                                    &mut succ_buf,
-                                    &mut counters,
-                                ),
+                                Label::Sym(_) => {
+                                    self.source
+                                        .successors(r, term, &mut succ_buf, &mut counters)
+                                }
+                                Label::Inv(_) => {
+                                    self.source
+                                        .predecessors(r, term, &mut succ_buf, &mut counters)
+                                }
                                 Label::Id => unreachable!(),
                             }
                             for &v in succ_buf.iter() {
@@ -433,11 +496,10 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
             // Expansion phase: for every pending (instance, state) and
             // every derived transition out of that state, splice a fresh
             // copy and seed S with its start nodes.
-            let pending: Vec<((u32, u32), FxHashSet<Const>)> =
-                continuations.drain().collect();
+            let pending: Vec<((u32, u32), FxHashSet<Const>)> = continuations.drain().collect();
             for ((inst, state), terms) in pending {
                 let machine_id = instances[inst as usize].machine;
-                let trans: Vec<(u32, Label, usize)> = self.machines[machine_id as usize].trans
+                let trans: Vec<(u32, Label, usize)> = plan.machines[machine_id as usize].trans
                     [state as usize]
                     .iter()
                     .enumerate()
@@ -445,8 +507,8 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
                     .collect();
                 for (t_idx, label, to) in trans {
                     let (r, child_inverted) = match label {
-                        Label::Sym(r) if self.derived.contains(&r) => (r, false),
-                        Label::Inv(r) if self.derived.contains(&r) => (r, true),
+                        Label::Sym(r) if plan.derived.contains(&r) => (r, false),
+                        Label::Inv(r) if plan.derived.contains(&r) => (r, true),
                         _ => continue,
                     };
                     let child = *expansions.entry((inst, state, t_idx)).or_insert_with(|| {
@@ -458,7 +520,7 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
                         id
                     });
                     let child_start =
-                        self.machines[instances[child as usize].machine as usize].start as u32;
+                        plan.machines[instances[child as usize].machine as usize].start as u32;
                     for &u in &terms {
                         let node = (child, child_start, u);
                         if options.record_graph {
@@ -476,7 +538,7 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
                 .iter()
                 .copied()
                 .filter(|&(i, q, _)| {
-                    i == 0 && q as usize == self.machines[root_machine as usize].finish
+                    i == 0 && q as usize == plan.machines[root_machine as usize].finish
                 })
                 .collect();
             GraphDump {
@@ -523,6 +585,43 @@ mod tests {
         let mut v: Vec<String> = set.iter().map(|&c| program.consts.display(c)).collect();
         v.sort();
         v
+    }
+
+    #[test]
+    fn shared_plan_matches_owned_plan_and_is_sync() {
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<CompiledPlan>();
+        // An evaluator over a Sync source is itself shareable across
+        // scoped threads — the property the batch service relies on.
+        assert_sync::<Evaluator<'_, EdbSource<'_>>>();
+
+        let src = "sg(X,Y) :- flat(X,Y).\n\
+                   sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n\
+                   up(a,a1). up(a1,a2). flat(a2,b2). flat(a,z).\n\
+                   down(b2,b1). down(b1,b).";
+        let program = parse_program(src).unwrap();
+        let db = Database::from_program(&program);
+        let sys = lemma1(&program, &Lemma1Options::default()).unwrap().system;
+        let sg = program.pred_by_name("sg").unwrap();
+        let a = program
+            .consts
+            .get(&rq_common::ConstValue::Str("a".into()))
+            .unwrap();
+        let source = EdbSource::new(&db);
+        let plan = CompiledPlan::compile(&sys);
+        assert_eq!(plan.machine_count(), 2); // sg forward + inverse
+        let owned = Evaluator::new(&sys, &source).evaluate(sg, a, &EvalOptions::default());
+        // One plan, several evaluators, concurrent queries.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let shared = Evaluator::with_plan(&sys, &plan, &source);
+                    let out = shared.evaluate(sg, a, &EvalOptions::default());
+                    assert_eq!(out.answers, owned.answers);
+                    assert_eq!(out.graph_nodes, owned.graph_nodes);
+                });
+            }
+        });
     }
 
     #[test]
@@ -581,8 +680,7 @@ mod tests {
             Evaluator::new_compacted(&sys, &source).evaluate(sg, a, &EvalOptions::default());
         assert_eq!(plain.answers, compacted.answers);
         assert_eq!(
-            plain.counters.iterations,
-            compacted.counters.iterations,
+            plain.counters.iterations, compacted.counters.iterations,
             "compaction must not change the iteration structure"
         );
     }
@@ -678,7 +776,9 @@ mod tests {
             a1,
             &EvalOptions {
                 max_iterations: Some(7),
-                record_iterations: true, ..EvalOptions::default() },
+                record_iterations: true,
+                ..EvalOptions::default()
+            },
         );
         assert!(!out.converged);
         assert_eq!(names(&program, &out.answers), vec!["b1", "b2", "b3"]);
@@ -777,10 +877,9 @@ mod tests {
         assert_eq!(dump.node_count() as u64, out.graph_nodes);
         // Answers appear as final-state nodes of the root instance.
         assert_eq!(dump.answer_nodes.len(), out.answers.len());
-        let dot = dump.to_dot(
-            &|c| program.consts.display(c),
-            &|q| program.pred_name(q).to_string(),
-        );
+        let dot = dump.to_dot(&|c| program.consts.display(c), &|q| {
+            program.pred_name(q).to_string()
+        });
         assert!(dot.contains("digraph"));
         assert!(dot.contains("up"));
         assert!(dot.contains("doublecircle"));
@@ -808,12 +907,18 @@ mod tests {
             a,
             &EvalOptions {
                 max_iterations: None,
-                record_iterations: true, ..EvalOptions::default() },
+                record_iterations: true,
+                ..EvalOptions::default()
+            },
         );
         assert!(out.converged);
         // Lemma 2(1): the partial answer set grows monotonically and each
         // level contributes sg_i's new answers.
-        let answers: Vec<u64> = out.iteration_stats.iter().map(|s| s.answers_so_far).collect();
+        let answers: Vec<u64> = out
+            .iteration_stats
+            .iter()
+            .map(|s| s.answers_so_far)
+            .collect();
         assert!(answers.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(*answers.last().unwrap() as usize, out.answers.len());
         assert_eq!(names(&program, &out.answers), vec!["b0", "c1", "c2", "c3"]);

@@ -151,9 +151,7 @@ impl Expr {
         match self {
             Expr::Empty | Expr::Id => 0,
             Expr::Sym(_) | Expr::Inv(_) => 1,
-            Expr::Union(parts) | Expr::Cat(parts) => {
-                parts.iter().map(Expr::occurrence_count).sum()
-            }
+            Expr::Union(parts) | Expr::Cat(parts) => parts.iter().map(Expr::occurrence_count).sum(),
             Expr::Star(inner) => inner.occurrence_count(),
         }
     }
@@ -193,9 +191,7 @@ impl Expr {
                     Expr::Inv(*q)
                 }
             }
-            Expr::Union(parts) => {
-                Expr::union(parts.iter().map(|e| e.substitute(p, replacement)))
-            }
+            Expr::Union(parts) => Expr::union(parts.iter().map(|e| e.substitute(p, replacement))),
             Expr::Cat(parts) => Expr::cat(parts.iter().map(|e| e.substitute(p, replacement))),
             Expr::Star(inner) => Expr::star(inner.substitute(p, replacement)),
         }
@@ -248,8 +244,7 @@ impl Expr {
             Expr::Sym(p) => name(*p),
             Expr::Inv(p) => format!("{}^-1", name(*p)),
             Expr::Union(parts) => {
-                let inner: Vec<String> =
-                    parts.iter().map(|e| e.display_prec(name, 1)).collect();
+                let inner: Vec<String> = parts.iter().map(|e| e.display_prec(name, 1)).collect();
                 let s = inner.join(" U ");
                 if prec > 0 {
                     format!("({s})")
@@ -258,8 +253,7 @@ impl Expr {
                 }
             }
             Expr::Cat(parts) => {
-                let inner: Vec<String> =
-                    parts.iter().map(|e| e.display_prec(name, 2)).collect();
+                let inner: Vec<String> = parts.iter().map(|e| e.display_prec(name, 2)).collect();
                 let s = inner.join(".");
                 if prec > 1 {
                     format!("({s})")
@@ -305,7 +299,10 @@ mod tests {
 
     #[test]
     fn cat_unit_and_zero_laws() {
-        assert_eq!(Expr::cat([p(1), Expr::Id, p(2)]), Expr::Cat(vec![p(1), p(2)]));
+        assert_eq!(
+            Expr::cat([p(1), Expr::Id, p(2)]),
+            Expr::Cat(vec![p(1), p(2)])
+        );
         assert_eq!(Expr::cat([p(1), Expr::Empty, p(2)]), Expr::Empty);
         assert_eq!(Expr::cat([Expr::Id, Expr::Id]), Expr::Id);
         assert_eq!(
@@ -335,7 +332,10 @@ mod tests {
     fn substitution_through_inverse() {
         let e = Expr::Inv(Pred(1));
         let r = Expr::cat([p(2), p(3)]);
-        assert_eq!(e.substitute(Pred(1), &r), Expr::Cat(vec![Expr::Inv(Pred(3)), Expr::Inv(Pred(2))]));
+        assert_eq!(
+            e.substitute(Pred(1), &r),
+            Expr::Cat(vec![Expr::Inv(Pred(3)), Expr::Inv(Pred(2))])
+        );
     }
 
     #[test]
@@ -358,10 +358,7 @@ mod tests {
     fn display_precedence() {
         // (b3·b4* ∪ b2·b5)·b1 — the shape of the paper's Figure 1 example.
         let e = Expr::cat([
-            Expr::union([
-                Expr::cat([p(3), Expr::star(p(4))]),
-                Expr::cat([p(2), p(5)]),
-            ]),
+            Expr::union([Expr::cat([p(3), Expr::star(p(4))]), Expr::cat([p(2), p(5)])]),
             p(1),
         ]);
         assert_eq!(e.display(&names), "(b3.b4* U b2.b5).b1");

@@ -177,22 +177,14 @@ impl<'a> ImageEval<'a> {
                 if let Some(v) = vals.get(p) {
                     v.clone()
                 } else {
-                    self.db
-                        .relation(*p)
-                        .iter()
-                        .map(|t| (t[0], t[1]))
-                        .collect()
+                    self.db.relation(*p).iter().map(|t| (t[0], t[1])).collect()
                 }
             }
             Expr::Inv(p) => {
                 let base: FxHashSet<(Const, Const)> = if let Some(v) = vals.get(p) {
                     v.clone()
                 } else {
-                    self.db
-                        .relation(*p)
-                        .iter()
-                        .map(|t| (t[0], t[1]))
-                        .collect()
+                    self.db.relation(*p).iter().map(|t| (t[0], t[1])).collect()
                 };
                 base.into_iter().map(|(u, v)| (v, u)).collect()
             }
@@ -217,8 +209,7 @@ impl<'a> ImageEval<'a> {
             Expr::Star(inner) => {
                 let base = self.eval_pairs(inner, vals, domain);
                 // Reflexive over the active domain plus transitive closure.
-                let mut out: FxHashSet<(Const, Const)> =
-                    domain.iter().map(|&c| (c, c)).collect();
+                let mut out: FxHashSet<(Const, Const)> = domain.iter().map(|&c| (c, c)).collect();
                 let mut frontier: FxHashSet<(Const, Const)> = out.clone();
                 while !frontier.is_empty() {
                     let step = compose(&frontier, &base);
@@ -268,7 +259,10 @@ mod tests {
         let b = p.pred_by_name("b").unwrap();
         let mut ev = ImageEval::base_only(&db);
         let e = Expr::cat([Expr::Sym(a), Expr::Sym(b)]);
-        let x = p.consts.get(&rq_common::ConstValue::Str("x".into())).unwrap();
+        let x = p
+            .consts
+            .get(&rq_common::ConstValue::Str("x".into()))
+            .unwrap();
         let img = ev.image_of(&e, x);
         assert_eq!(img.len(), 1); // {w}
     }
@@ -278,7 +272,10 @@ mod tests {
         let (p, db) = setup("e(a,b). e(b,c).");
         let e = p.pred_by_name("e").unwrap();
         let mut ev = ImageEval::base_only(&db);
-        let a = p.consts.get(&rq_common::ConstValue::Str("a".into())).unwrap();
+        let a = p
+            .consts
+            .get(&rq_common::ConstValue::Str("a".into()))
+            .unwrap();
         let img = ev.image_of(&Expr::star(Expr::Sym(e)), a);
         assert_eq!(img.len(), 3); // {a, b, c}
     }
@@ -288,7 +285,10 @@ mod tests {
         let (p, db) = setup("e(a,b). e(b,c). e(c,a).");
         let e = p.pred_by_name("e").unwrap();
         let mut ev = ImageEval::base_only(&db);
-        let a = p.consts.get(&rq_common::ConstValue::Str("a".into())).unwrap();
+        let a = p
+            .consts
+            .get(&rq_common::ConstValue::Str("a".into()))
+            .unwrap();
         let img = ev.image_of(&Expr::star(Expr::Sym(e)), a);
         assert_eq!(img.len(), 3);
     }
@@ -298,7 +298,10 @@ mod tests {
         let (p, db) = setup("e(a,b). e(c,b).");
         let e = p.pred_by_name("e").unwrap();
         let mut ev = ImageEval::base_only(&db);
-        let b = p.consts.get(&rq_common::ConstValue::Str("b".into())).unwrap();
+        let b = p
+            .consts
+            .get(&rq_common::ConstValue::Str("b".into()))
+            .unwrap();
         let img = ev.image_of(&Expr::Inv(e), b);
         assert_eq!(img.len(), 2); // {a, c}
     }
@@ -309,7 +312,10 @@ mod tests {
         let e = p.pred_by_name("e").unwrap();
         let f = p.pred_by_name("f").unwrap();
         let mut ev = ImageEval::base_only(&db);
-        let a = p.consts.get(&rq_common::ConstValue::Str("a".into())).unwrap();
+        let a = p
+            .consts
+            .get(&rq_common::ConstValue::Str("a".into()))
+            .unwrap();
         let img = ev.image_of(&Expr::union([Expr::Sym(e), Expr::Sym(f)]), a);
         assert_eq!(img.len(), 2);
     }
@@ -331,11 +337,8 @@ mod tests {
         let mut ev = ImageEval::with_system(&db, &sys);
         let pairs = ev.derived_pairs(sg).clone();
         let naive = rq_datalog::naive_eval(&p).unwrap();
-        let expected: FxHashSet<(Const, Const)> = naive
-            .tuples(sg)
-            .into_iter()
-            .map(|t| (t[0], t[1]))
-            .collect();
+        let expected: FxHashSet<(Const, Const)> =
+            naive.tuples(sg).into_iter().map(|t| (t[0], t[1])).collect();
         assert_eq!(pairs, expected);
     }
 
@@ -351,7 +354,10 @@ mod tests {
             .system;
         let sg = p.pred_by_name("sg").unwrap();
         let mut ev = ImageEval::with_system(&db, &sys);
-        let a = p.consts.get(&rq_common::ConstValue::Str("a".into())).unwrap();
+        let a = p
+            .consts
+            .get(&rq_common::ConstValue::Str("a".into()))
+            .unwrap();
         let img = ev.image_of(&Expr::Sym(sg), a);
         // sg(a, z) via flat; sg(a, b) via up·sg·down.
         assert_eq!(img.len(), 2);

@@ -310,11 +310,7 @@ fn step5(sys: &mut EqSystem, initial_info: &crate::system::RecursionInfo) -> boo
 /// Step 7: within each maximal mutually recursive set of the current
 /// system, pick one member whose equation does not mention itself and
 /// substitute it into the equations of the other members.
-fn step7(
-    sys: &mut EqSystem,
-    info: &crate::system::RecursionInfo,
-    choose: &Step7Choice,
-) -> bool {
+fn step7(sys: &mut EqSystem, info: &crate::system::RecursionInfo, choose: &Step7Choice) -> bool {
     let mut changed = false;
     for members in &info.members {
         if members.len() < 2 {
@@ -520,7 +516,10 @@ mod tests {
                     star,
                     vec![Term::Var(Var(0)), Term::Var(Var(2))],
                 )),
-                rq_datalog::Literal::Atom(Atom::new(base, vec![Term::Var(Var(2)), Term::Var(Var(1))])),
+                rq_datalog::Literal::Atom(Atom::new(
+                    base,
+                    vec![Term::Var(Var(2)), Term::Var(Var(1))],
+                )),
             ],
             var_names: vec!["X".into(), "Y".into(), "Z".into()],
         });

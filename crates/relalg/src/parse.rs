@@ -26,7 +26,11 @@ pub struct ExprParseError {
 
 impl fmt::Display for ExprParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "expression parse error at byte {}: {}", self.pos, self.msg)
+        write!(
+            f,
+            "expression parse error at byte {}: {}",
+            self.pos, self.msg
+        )
     }
 }
 
@@ -142,8 +146,7 @@ impl<'a, F: FnMut(&str) -> Pred> Parser<'a, F> {
                 {
                     self.pos += 1;
                 }
-                let name = std::str::from_utf8(&self.src[start..self.pos])
-                    .expect("ascii checked");
+                let name = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii checked");
                 if name == "id" {
                     Ok(Expr::Id)
                 } else {
@@ -157,10 +160,7 @@ impl<'a, F: FnMut(&str) -> Pred> Parser<'a, F> {
 }
 
 /// Parse an expression, resolving predicate names through `resolve`.
-pub fn parse_expr(
-    src: &str,
-    resolve: impl FnMut(&str) -> Pred,
-) -> Result<Expr, ExprParseError> {
+pub fn parse_expr(src: &str, resolve: impl FnMut(&str) -> Pred) -> Result<Expr, ExprParseError> {
     let mut p = Parser {
         src: src.as_bytes(),
         pos: 0,
@@ -196,10 +196,7 @@ mod tests {
         assert_eq!(shown, src, "display(parse({src}))");
         // And parsing the display is a fixpoint.
         let (e2, names2) = parse(&shown);
-        assert_eq!(
-            e2.display(&|p: Pred| names2.name(p.0).to_string()),
-            shown
-        );
+        assert_eq!(e2.display(&|p: Pred| names2.name(p.0).to_string()), shown);
     }
 
     #[test]

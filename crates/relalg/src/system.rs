@@ -47,9 +47,7 @@ impl EqSystem {
     /// Whether any right-hand side still mentions a derived predicate.
     pub fn has_derived_occurrences(&self) -> bool {
         let derived = self.derived();
-        self.lhs
-            .iter()
-            .any(|p| self.rhs[p].contains_any(&derived))
+        self.lhs.iter().any(|p| self.rhs[p].contains_any(&derived))
     }
 
     /// The sets of mutually recursive predicates in the *current* system
@@ -60,12 +58,8 @@ impl EqSystem {
     /// mentions itself.
     pub fn recursion_info(&self) -> RecursionInfo {
         let derived = self.derived();
-        let index: FxHashMap<Pred, usize> = self
-            .lhs
-            .iter()
-            .enumerate()
-            .map(|(i, &p)| (p, i))
-            .collect();
+        let index: FxHashMap<Pred, usize> =
+            self.lhs.iter().enumerate().map(|(i, &p)| (p, i)).collect();
         let mut succ: Vec<Vec<usize>> = vec![Vec::new(); self.lhs.len()];
         for (i, &p) in self.lhs.iter().enumerate() {
             let mut syms = FxHashSet::default();

@@ -19,11 +19,7 @@ use rq_common::Pred;
 /// Compute `p_i` for every derived predicate, returning the map for
 /// level `i`.  Level 0 maps everything to `∅`.
 pub fn unroll_level(system: &EqSystem, i: usize) -> FxHashMap<Pred, Expr> {
-    let mut cur: FxHashMap<Pred, Expr> = system
-        .lhs
-        .iter()
-        .map(|&p| (p, Expr::Empty))
-        .collect();
+    let mut cur: FxHashMap<Pred, Expr> = system.lhs.iter().map(|&p| (p, Expr::Empty)).collect();
     for _ in 0..i {
         let mut next = FxHashMap::default();
         for &p in &system.lhs {
@@ -170,10 +166,7 @@ mod tests {
         // tc = e ∪ e·tc: e1 = e, e2 = id.
         let tc = Pred(0);
         let e = Pred(1);
-        let rhs = Expr::union([
-            Expr::Sym(e),
-            Expr::cat([Expr::Sym(e), Expr::Sym(tc)]),
-        ]);
+        let rhs = Expr::union([Expr::Sym(e), Expr::cat([Expr::Sym(e), Expr::Sym(tc)])]);
         let (e0, e1, e2) = linear_decomposition(tc, &rhs).unwrap();
         assert_eq!(e0, Expr::Sym(e));
         assert_eq!(e1, Expr::Sym(e));

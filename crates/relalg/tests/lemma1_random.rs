@@ -35,7 +35,9 @@ fn regular_predicates_do_not_occur_in_right_hand_sides() {
     for seed in 0..40 {
         let rp = seeded(seed, RecursionStyle::Mixed);
         let analysis = Analysis::of(&rp.program);
-        let sys = lemma1(&rp.program, &Lemma1Options::default()).unwrap().system;
+        let sys = lemma1(&rp.program, &Lemma1Options::default())
+            .unwrap()
+            .system;
         let regular: FxHashSet<_> = rp
             .program
             .derived_preds()
@@ -57,7 +59,9 @@ fn regular_equations_never_self_reference() {
     for seed in 0..40 {
         let rp = seeded(seed, RecursionStyle::Mixed);
         let analysis = Analysis::of(&rp.program);
-        let sys = lemma1(&rp.program, &Lemma1Options::default()).unwrap().system;
+        let sys = lemma1(&rp.program, &Lemma1Options::default())
+            .unwrap()
+            .system;
         for &p in &sys.lhs {
             if !pred_regularity(&rp.program, &analysis, p).is_regular() {
                 continue;
@@ -85,7 +89,9 @@ fn regular_programs_get_derived_free_systems() {
         let rp = seeded(seed, RecursionStyle::Regular);
         let analysis = Analysis::of(&rp.program);
         assert!(program_is_regular(&rp.program, &analysis));
-        let sys = lemma1(&rp.program, &Lemma1Options::default()).unwrap().system;
+        let sys = lemma1(&rp.program, &Lemma1Options::default())
+            .unwrap()
+            .system;
         assert!(
             !sys.has_derived_occurrences(),
             "seed {seed}: regular program kept derived occurrences\n{}\n{}",
@@ -106,17 +112,16 @@ fn solving_the_system_matches_the_datalog_oracle() {
             ..RandProgConfig::default()
         });
         let db = Database::from_program(&rp.program);
-        let sys = lemma1(&rp.program, &Lemma1Options::default()).unwrap().system;
+        let sys = lemma1(&rp.program, &Lemma1Options::default())
+            .unwrap()
+            .system;
         let oracle = seminaive_eval(&rp.program).unwrap();
         let mut ev = ImageEval::with_system(&db, &sys);
         for name in &rp.derived {
             let p = rp.program.pred_by_name(name).unwrap();
             let got = ev.derived_pairs(p).clone();
-            let expected: FxHashSet<(Const, Const)> = oracle
-                .tuples(p)
-                .into_iter()
-                .map(|t| (t[0], t[1]))
-                .collect();
+            let expected: FxHashSet<(Const, Const)> =
+                oracle.tuples(p).into_iter().map(|t| (t[0], t[1])).collect();
             assert_eq!(
                 got, expected,
                 "seed {seed}: {name} disagrees with the oracle\n{}",

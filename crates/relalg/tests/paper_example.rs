@@ -221,11 +221,8 @@ fn final_system_semantics_preserved() {
     for name in ["p1", "p2", "p3", "q1", "q2", "r1", "r2"] {
         let p = program.pred_by_name(name).unwrap();
         let via_system = ev.derived_pairs(p).clone();
-        let via_naive: rq_common::FxHashSet<(rq_common::Const, rq_common::Const)> = naive
-            .tuples(p)
-            .into_iter()
-            .map(|t| (t[0], t[1]))
-            .collect();
+        let via_naive: rq_common::FxHashSet<(rq_common::Const, rq_common::Const)> =
+            naive.tuples(p).into_iter().map(|t| (t[0], t[1])).collect();
         assert_eq!(via_system, via_naive, "disagreement on {name}");
     }
 }

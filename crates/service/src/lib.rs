@@ -1,0 +1,42 @@
+//! `rq-service` — a thread-safe query-serving layer over the paper's
+//! demand-driven evaluator.
+//!
+//! The paper's graph-traversal algorithm (§3, Figures 4–5) explores only
+//! the fragment of the interpretation graph a query `p(a, Y)` demands.
+//! That makes per-query results small and cacheable — the right shape
+//! for serving many concurrent point queries.  This crate adds the
+//! serving machinery around the engine:
+//!
+//! * [`SnapshotStore`] — epoch-versioned, immutable, `Arc`-shared
+//!   [`Snapshot`]s of the program + database, with copy-on-write fact
+//!   ingestion: readers never block writers, writers never invalidate
+//!   in-flight readers.
+//! * [`PlanCache`] — the `lemma1 → automata` compilation memoized per
+//!   `(rules fingerprint, predicate, adornment)`; compiles once per
+//!   program instead of once per query, and survives fact ingestion.
+//! * [`ResultCache`] — `(epoch, predicate, adornment, constant) →
+//!   answers` memoization in the salsa mold: keys embed the revision,
+//!   so an epoch bump invalidates by construction.
+//! * [`QueryService`] — the front end: single queries, fact ingestion,
+//!   and [`QueryService::query_batch`], which fans a batch of point
+//!   queries out across worker threads over one shared snapshot.
+//!
+//! Correctness is anchored by differential tests: every answer the
+//! service produces is compared against the single-threaded
+//! [`rq_engine::Evaluator`] oracle, including under concurrent
+//! ingestion (`tests/oracle_parity.rs`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod plan;
+pub mod results;
+pub mod service;
+pub mod snapshot;
+
+pub use plan::{rules_fingerprint, Adornment, CacheStats, PlanCache, PlanKey, ProgramPlan};
+pub use results::{CachedResult, ResultCache, ResultKey};
+pub use service::{
+    parse_point_query, PointQuery, QueryService, ServiceAnswer, ServiceConfig, ServiceError,
+};
+pub use snapshot::{IngestError, Snapshot, SnapshotStore};

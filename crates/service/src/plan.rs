@@ -1,0 +1,308 @@
+//! The plan cache: memoized `lemma1 → automata` compilation.
+//!
+//! Compiling a program (Arden elimination + Thompson construction) is
+//! work proportional to the rule set, not to the data — exactly the
+//! kind of work that should happen once per program, not once per
+//! query.  The cache is keyed by `(rules fingerprint, predicate,
+//! adornment)` as the service's unit of reuse; entries for one program
+//! share a single [`ProgramPlan`], since Lemma 1 compiles the whole
+//! equation system at once and the [`CompiledPlan`] holds both machine
+//! orientations.
+//!
+//! The fingerprint covers the rules *and* their predicate-id binding
+//! (compiled expressions speak in `Pred` ids), but not the facts — so
+//! fact ingestion never invalidates a plan.
+
+use rq_common::{FxHashMap, FxHasher, Pred};
+use rq_datalog::{display_rule, Program};
+use rq_engine::CompiledPlan;
+use rq_relalg::{lemma1, EqSystem, Lemma1Error, Lemma1Options};
+use std::hash::Hasher;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::snapshot::Snapshot;
+
+/// Which argument of the point query is bound — the binary-chain
+/// analogue of §4's adornments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Adornment {
+    /// `p(a, Y)`: first argument bound, forward machine.
+    BoundFree,
+    /// `p(X, a)`: second argument bound, inverse machine.
+    FreeBound,
+}
+
+impl Adornment {
+    /// The conventional two-letter rendering (`bf` / `fb`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Adornment::BoundFree => "bf",
+            Adornment::FreeBound => "fb",
+        }
+    }
+}
+
+/// Cache key: one compiled unit of reuse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// [`Snapshot::rules_fingerprint`] of the program.
+    pub program: u64,
+    /// The queried predicate.
+    pub pred: Pred,
+    /// Which argument the query binds.
+    pub adornment: Adornment,
+}
+
+/// Everything compiled from one program: the Lemma 1 equation system
+/// and the Thompson machines (both orientations).
+pub struct ProgramPlan {
+    /// The final equation system of Lemma 1.
+    pub system: EqSystem,
+    /// Compiled machines for every derived predicate, both orientations.
+    pub compiled: CompiledPlan,
+}
+
+/// Hash the rule set and its predicate-id binding.  Facts are excluded
+/// on purpose: plans survive ingestion.  Predicate ids are included
+/// because compiled expressions refer to predicates by id, so the same
+/// rule *text* under a different id assignment is a different plan.
+pub fn rules_fingerprint(program: &Program) -> u64 {
+    let mut h = FxHasher::default();
+    for rule in &program.rules {
+        h.write(display_rule(program, rule).as_bytes());
+        h.write_u32(rule.head.pred.0);
+        for atom in rule.body_atoms() {
+            h.write_u32(atom.pred.0);
+        }
+    }
+    h.finish()
+}
+
+/// Hit/miss counts of one cache.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits as a fraction of all lookups (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Thread-safe memoization of [`ProgramPlan`]s.  Failures are cached
+/// too: the rule set is fixed for a service's lifetime, so a program
+/// that fails Lemma 1 fails deterministically and must not re-run the
+/// whole elimination on every query.
+pub struct PlanCache {
+    by_key: RwLock<FxHashMap<PlanKey, Arc<ProgramPlan>>>,
+    by_program: RwLock<FxHashMap<u64, Result<Arc<ProgramPlan>, Lemma1Error>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlanCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self {
+            by_key: RwLock::new(FxHashMap::default()),
+            by_program: RwLock::new(FxHashMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan for querying `pred` with `adornment` on `snapshot`'s
+    /// program, compiling at most once per program fingerprint.
+    pub fn plan_for(
+        &self,
+        snapshot: &Snapshot,
+        pred: Pred,
+        adornment: Adornment,
+    ) -> Result<Arc<ProgramPlan>, Lemma1Error> {
+        let key = PlanKey {
+            program: snapshot.rules_fingerprint(),
+            pred,
+            adornment,
+        };
+        if let Some(plan) = self
+            .by_key
+            .read()
+            .expect("plan cache lock poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(plan));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = self.program_plan(key.program, snapshot.program())?;
+        self.by_key
+            .write()
+            .expect("plan cache lock poisoned")
+            .insert(key, Arc::clone(&plan));
+        Ok(plan)
+    }
+
+    /// The per-program compilation (or its cached failure), shared by
+    /// every `(pred, adornment)` key of one program.
+    fn program_plan(
+        &self,
+        fingerprint: u64,
+        program: &Program,
+    ) -> Result<Arc<ProgramPlan>, Lemma1Error> {
+        if let Some(outcome) = self
+            .by_program
+            .read()
+            .expect("plan cache lock poisoned")
+            .get(&fingerprint)
+        {
+            return outcome.clone();
+        }
+        // Compile outside any lock: lemma1 can be slow and must not
+        // stall readers.  A racing thread may compile the same program;
+        // first publication wins and the duplicate is dropped.
+        let outcome = lemma1(program, &Lemma1Options::default()).map(|out| {
+            let compiled = CompiledPlan::compile(&out.system);
+            Arc::new(ProgramPlan {
+                system: out.system,
+                compiled,
+            })
+        });
+        let mut by_program = self.by_program.write().expect("plan cache lock poisoned");
+        by_program.entry(fingerprint).or_insert(outcome).clone()
+    }
+
+    /// Number of `(program, pred, adornment)` entries.
+    pub fn len(&self) -> usize {
+        self.by_key.read().expect("plan cache lock poisoned").len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of distinct programs compiled (successfully).
+    pub fn programs(&self) -> usize {
+        self.by_program
+            .read()
+            .expect("plan cache lock poisoned")
+            .values()
+            .filter(|o| o.is_ok())
+            .count()
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::SnapshotStore;
+    use rq_datalog::parse_program;
+
+    const SG: &str = "sg(X,Y) :- flat(X,Y).\n\
+                      sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n\
+                      up(a,a1). flat(a1,b1). down(b1,b).";
+
+    #[test]
+    fn one_compile_serves_both_adornments() {
+        let store = SnapshotStore::new(parse_program(SG).unwrap());
+        let snap = store.snapshot();
+        let sg = snap.program().pred_by_name("sg").unwrap();
+        let cache = PlanCache::new();
+        let bf = cache.plan_for(&snap, sg, Adornment::BoundFree).unwrap();
+        let fb = cache.plan_for(&snap, sg, Adornment::FreeBound).unwrap();
+        assert!(
+            Arc::ptr_eq(&bf, &fb),
+            "both adornments share the program plan"
+        );
+        assert_eq!(cache.programs(), 1);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        let again = cache.plan_for(&snap, sg, Adornment::BoundFree).unwrap();
+        assert!(Arc::ptr_eq(&bf, &again));
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn plans_survive_fact_ingest() {
+        let store = SnapshotStore::new(parse_program(SG).unwrap());
+        let cache = PlanCache::new();
+        let snap0 = store.snapshot();
+        let sg = snap0.program().pred_by_name("sg").unwrap();
+        let p0 = cache.plan_for(&snap0, sg, Adornment::BoundFree).unwrap();
+        let snap1 = store.ingest("up(x,y). flat(y,z).").unwrap();
+        let p1 = cache.plan_for(&snap1, sg, Adornment::BoundFree).unwrap();
+        assert!(Arc::ptr_eq(&p0, &p1), "ingest must not recompile");
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.programs(), 1);
+    }
+
+    #[test]
+    fn different_programs_get_different_plans() {
+        let a = SnapshotStore::new(parse_program(SG).unwrap());
+        let b = SnapshotStore::new(
+            parse_program("tc(X,Y) :- e(X,Y).\ntc(X,Z) :- e(X,Y), tc(Y,Z).\ne(a,b).").unwrap(),
+        );
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        assert_ne!(sa.rules_fingerprint(), sb.rules_fingerprint());
+        let cache = PlanCache::new();
+        let pa = cache
+            .plan_for(
+                &sa,
+                sa.program().pred_by_name("sg").unwrap(),
+                Adornment::BoundFree,
+            )
+            .unwrap();
+        let pb = cache
+            .plan_for(
+                &sb,
+                sb.program().pred_by_name("tc").unwrap(),
+                Adornment::BoundFree,
+            )
+            .unwrap();
+        assert!(!Arc::ptr_eq(&pa, &pb));
+        assert_eq!(cache.programs(), 2);
+    }
+
+    #[test]
+    fn lemma1_errors_propagate_and_are_memoized() {
+        // A non-binary-chain program: ternary head.
+        let src = "t(X,Y,Z) :- a(X,Y), b(Y,Z).\na(x,y). b(y,z).";
+        let store = SnapshotStore::new(parse_program(src).unwrap());
+        let snap = store.snapshot();
+        let t = snap.program().pred_by_name("t").unwrap();
+        let cache = PlanCache::new();
+        let first = cache.plan_for(&snap, t, Adornment::BoundFree);
+        assert!(first.is_err());
+        // The failure is cached per program; repeat queries must not
+        // re-run the elimination (and must not count as a compiled
+        // program).
+        let again = cache.plan_for(&snap, t, Adornment::FreeBound);
+        assert_eq!(again.err(), first.err());
+        assert_eq!(cache.programs(), 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! The memoized result cache: `(epoch, predicate, adornment, constant)
+//! → sorted answers`, in the salsa mold.
+//!
+//! The demand-driven traversal makes per-query results small (only the
+//! reachable fragment of the interpretation graph contributes), which
+//! is what makes memoizing them worthwhile.  Keys embed the snapshot
+//! epoch, so a published revision implicitly invalidates every older
+//! entry — a stale answer can never be returned because its key can no
+//! longer be constructed.  [`ResultCache::invalidate_stale`] is the
+//! matching garbage collector, run on every epoch bump.
+
+use crate::plan::{Adornment, CacheStats};
+use rq_common::{Const, FxHashMap, Pred};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Cache key: one memoized point query on one database version.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ResultKey {
+    /// Snapshot epoch the answer was computed on.
+    pub epoch: u64,
+    /// The queried predicate.
+    pub pred: Pred,
+    /// Which argument was bound.
+    pub adornment: Adornment,
+    /// The bound constant.
+    pub constant: Const,
+}
+
+/// A memoized answer set.
+#[derive(Clone, Debug)]
+pub struct CachedResult {
+    /// Sorted, deduplicated answers (`Arc`-shared with every consumer).
+    pub answers: Arc<Vec<Const>>,
+    /// Whether the evaluation converged (`false` = truncated by an
+    /// explicit iteration bound, answers sound but possibly partial).
+    pub converged: bool,
+}
+
+/// Thread-safe memoization of query results.
+pub struct ResultCache {
+    inner: RwLock<FxHashMap<ResultKey, CachedResult>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// Empty cache.
+    pub fn new() -> Self {
+        Self {
+            inner: RwLock::new(FxHashMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a memoized answer.
+    pub fn get(&self, key: &ResultKey) -> Option<CachedResult> {
+        let hit = self
+            .inner
+            .read()
+            .expect("result cache lock poisoned")
+            .get(key)
+            .cloned();
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Memoize an answer.  Last write wins; concurrent writers compute
+    /// identical values for identical keys (epochs are immutable).
+    pub fn insert(&self, key: ResultKey, value: CachedResult) {
+        self.inner
+            .write()
+            .expect("result cache lock poisoned")
+            .insert(key, value);
+    }
+
+    /// Drop every entry from epochs before `current` — the garbage
+    /// half of epoch-key invalidation.  Keeping `>= current` (rather
+    /// than `== current`) makes concurrent callers safe: a straggler
+    /// invoking this with a superseded epoch can never evict entries
+    /// of a newer one.
+    pub fn invalidate_stale(&self, current: u64) {
+        self.inner
+            .write()
+            .expect("result cache lock poisoned")
+            .retain(|k, _| k.epoch >= current);
+    }
+
+    /// Number of memoized answers.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("result cache lock poisoned").len()
+    }
+
+    /// Whether nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for ResultCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(epoch: u64, c: u32) -> ResultKey {
+        ResultKey {
+            epoch,
+            pred: Pred(0),
+            adornment: Adornment::BoundFree,
+            constant: Const(c),
+        }
+    }
+
+    fn value(cs: &[u32]) -> CachedResult {
+        CachedResult {
+            answers: Arc::new(cs.iter().map(|&c| Const(c)).collect()),
+            converged: true,
+        }
+    }
+
+    #[test]
+    fn get_insert_roundtrip_and_stats() {
+        let cache = ResultCache::new();
+        assert!(cache.get(&key(0, 1)).is_none());
+        cache.insert(key(0, 1), value(&[7, 9]));
+        let hit = cache.get(&key(0, 1)).unwrap();
+        assert_eq!(*hit.answers, vec![Const(7), Const(9)]);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn epoch_bump_invalidates_old_entries() {
+        let cache = ResultCache::new();
+        cache.insert(key(0, 1), value(&[1]));
+        cache.insert(key(0, 2), value(&[2]));
+        cache.insert(key(1, 1), value(&[1, 3]));
+        cache.invalidate_stale(1);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key(0, 1)).is_none());
+        assert!(cache.get(&key(1, 1)).is_some());
+    }
+
+    #[test]
+    fn stale_invalidation_call_cannot_evict_newer_epochs() {
+        // Two racing ingests can run their GC out of order; the late
+        // call with the older epoch must be a no-op for newer entries.
+        let cache = ResultCache::new();
+        cache.insert(key(2, 1), value(&[5]));
+        cache.invalidate_stale(1);
+        assert!(cache.get(&key(2, 1)).is_some());
+    }
+
+    #[test]
+    fn distinct_adornments_do_not_collide() {
+        let cache = ResultCache::new();
+        cache.insert(key(0, 1), value(&[1]));
+        let fb = ResultKey {
+            adornment: Adornment::FreeBound,
+            ..key(0, 1)
+        };
+        assert!(cache.get(&fb).is_none());
+        cache.insert(fb, value(&[4]));
+        assert_eq!(*cache.get(&fb).unwrap().answers, vec![Const(4)]);
+        assert_eq!(*cache.get(&key(0, 1)).unwrap().answers, vec![Const(1)]);
+    }
+}

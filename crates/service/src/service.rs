@@ -1,0 +1,568 @@
+//! The query service: snapshots + plan cache + result cache + a
+//! parallel batch front end.
+
+use crate::plan::{Adornment, PlanCache, ProgramPlan};
+use crate::results::{CachedResult, ResultCache, ResultKey};
+use crate::snapshot::{IngestError, Snapshot, SnapshotStore};
+use rq_common::{Const, ConstValue, Pred};
+use rq_datalog::Program;
+use rq_engine::{
+    cyclic_iteration_bound, inverse_cyclic_iteration_bound, EdbSource, EvalOptions, Evaluator,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Service-level settings.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads for [`QueryService::query_batch`].  `1` means the
+    /// batch runs inline on the caller's thread.
+    pub threads: usize,
+    /// Base evaluation options applied to every query.
+    pub options: EvalOptions,
+    /// When `options.max_iterations` is `None`, bound each traversal by
+    /// the Marchetti-Spaccamela `m·n` bound (§3, Figure 8) so cyclic
+    /// data cannot hang the service.  The bound is sufficient, so
+    /// guarded runs still report `converged`.
+    pub cyclic_guard: bool,
+    /// Safety valve for equations where no `m·n` bound is computable
+    /// (non-linear shapes — e.g. surviving mutual recursion): when the
+    /// cyclic guard is requested but yields no bound and no explicit
+    /// `node_budget` is set, cap the traversal at this many graph
+    /// nodes.  A capped run honestly reports `converged = false`.
+    /// `None` disables the valve (a divergent query then hangs its
+    /// worker).
+    pub fallback_node_budget: Option<u64>,
+    /// Memoize answers in the result cache.  Off is useful for
+    /// benchmarking raw traversal throughput.
+    pub memoize_results: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            options: EvalOptions::default(),
+            cyclic_guard: true,
+            fallback_node_budget: Some(2_000_000),
+            memoize_results: true,
+        }
+    }
+}
+
+/// One point query: exactly one bound argument of a derived binary
+/// predicate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PointQuery {
+    /// The queried (derived) predicate.
+    pub pred: Pred,
+    /// Which argument is bound.
+    pub adornment: Adornment,
+    /// The bound constant.
+    pub constant: Const,
+}
+
+/// A served answer.
+#[derive(Clone, Debug)]
+pub struct ServiceAnswer {
+    /// The snapshot epoch the answer was computed on.
+    pub epoch: u64,
+    /// Sorted, deduplicated answer constants.
+    pub answers: Arc<Vec<Const>>,
+    /// Whether the evaluation converged (guarded cyclic runs converge
+    /// by the sufficiency of the `m·n` bound).
+    pub converged: bool,
+    /// Whether the answer came from the result cache.
+    pub from_cache: bool,
+}
+
+/// Errors surfaced by the service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// The query text was not `pred(arg, arg)`.
+    Malformed(String),
+    /// The queried predicate does not exist.
+    UnknownPredicate(String),
+    /// The queried predicate is a base relation (nothing to derive).
+    NotDerived(String),
+    /// The predicate is not binary.
+    NotBinary(String),
+    /// Exactly one argument must be bound.
+    NotPointQuery(String),
+    /// The bound constant never occurs in the program or its data.
+    UnknownConstant(String),
+    /// The rule set is outside the binary-chain class.
+    Plan(String),
+    /// Fact ingestion failed.
+    Ingest(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Malformed(t) => write!(f, "malformed query `{t}`"),
+            ServiceError::UnknownPredicate(p) => write!(f, "unknown predicate `{p}`"),
+            ServiceError::NotDerived(p) => write!(f, "`{p}` is a base predicate"),
+            ServiceError::NotBinary(p) => write!(f, "`{p}` is not binary"),
+            ServiceError::NotPointQuery(t) => {
+                write!(f, "`{t}` must bind exactly one argument")
+            }
+            ServiceError::UnknownConstant(c) => write!(f, "unknown constant `{c}`"),
+            ServiceError::Plan(e) => write!(f, "cannot compile program: {e}"),
+            ServiceError::Ingest(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<IngestError> for ServiceError {
+    fn from(e: IngestError) -> Self {
+        ServiceError::Ingest(e.to_string())
+    }
+}
+
+/// A thread-safe query-serving layer over one Datalog program.
+///
+/// ```
+/// use rq_service::QueryService;
+///
+/// let service = QueryService::from_source(
+///     "tc(X,Y) :- e(X,Y).\n\
+///      tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+///      e(a,b). e(b,c).",
+/// ).unwrap();
+/// let q = service.parse_query("tc(a, Y)").unwrap();
+/// let batch = service.query_batch(&[q, q]);
+/// let answer = batch[0].as_ref().unwrap();
+/// assert_eq!(answer.answers.len(), 2); // {b, c}
+/// service.ingest("e(c,d).").unwrap();
+/// let fresh = service.query(&q).unwrap();
+/// assert_eq!(fresh.answers.len(), 3); // {b, c, d}
+/// assert_eq!(fresh.epoch, 1);
+/// ```
+pub struct QueryService {
+    store: SnapshotStore,
+    plans: PlanCache,
+    results: ResultCache,
+    config: ServiceConfig,
+}
+
+impl QueryService {
+    /// Serve `program` with default settings.
+    pub fn new(program: Program) -> Self {
+        Self::with_config(program, ServiceConfig::default())
+    }
+
+    /// Serve `program` with explicit settings.
+    pub fn with_config(program: Program, config: ServiceConfig) -> Self {
+        Self {
+            store: SnapshotStore::new(program),
+            plans: PlanCache::new(),
+            results: ResultCache::new(),
+            config,
+        }
+    }
+
+    /// Parse `source` and serve it.
+    pub fn from_source(source: &str) -> Result<Self, ServiceError> {
+        let program =
+            rq_datalog::parse_program(source).map_err(|e| ServiceError::Ingest(e.to_string()))?;
+        Ok(Self::new(program))
+    }
+
+    /// The service settings.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// The plan cache (for stats and tests).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.plans
+    }
+
+    /// The result cache (for stats and tests).
+    pub fn result_cache(&self) -> &ResultCache {
+        &self.results
+    }
+
+    /// The current snapshot.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.store.snapshot()
+    }
+
+    /// Ingest fact clauses copy-on-write and publish the next epoch.
+    /// In-flight readers keep their snapshot; the result cache drops
+    /// entries of superseded epochs.
+    pub fn ingest(&self, facts_text: &str) -> Result<Arc<Snapshot>, ServiceError> {
+        let snap = self.store.ingest(facts_text)?;
+        self.results.invalidate_stale(snap.epoch());
+        Ok(snap)
+    }
+
+    /// Parse a point query (`p(a, Y)` or `p(X, a)`) against the current
+    /// snapshot's program.
+    pub fn parse_query(&self, text: &str) -> Result<PointQuery, ServiceError> {
+        parse_point_query(self.snapshot().program(), text)
+    }
+
+    /// Answer one query on the current snapshot.
+    pub fn query(&self, query: &PointQuery) -> Result<ServiceAnswer, ServiceError> {
+        self.query_on(&self.snapshot(), query)
+    }
+
+    /// Answer one query on a caller-held snapshot (all queries of a
+    /// batch see one epoch).
+    pub fn query_on(
+        &self,
+        snapshot: &Snapshot,
+        query: &PointQuery,
+    ) -> Result<ServiceAnswer, ServiceError> {
+        let key = ResultKey {
+            epoch: snapshot.epoch(),
+            pred: query.pred,
+            adornment: query.adornment,
+            constant: query.constant,
+        };
+        if self.config.memoize_results {
+            if let Some(hit) = self.results.get(&key) {
+                return Ok(ServiceAnswer {
+                    epoch: snapshot.epoch(),
+                    answers: hit.answers,
+                    converged: hit.converged,
+                    from_cache: true,
+                });
+            }
+        }
+        let plan = self
+            .plans
+            .plan_for(snapshot, query.pred, query.adornment)
+            .map_err(|e| ServiceError::Plan(e.to_string()))?;
+        let (answers, converged) = self.evaluate(snapshot, &plan, query);
+        let answers = Arc::new(answers);
+        if self.config.memoize_results {
+            self.results.insert(
+                key,
+                CachedResult {
+                    answers: Arc::clone(&answers),
+                    converged,
+                },
+            );
+        }
+        Ok(ServiceAnswer {
+            epoch: snapshot.epoch(),
+            answers,
+            converged,
+            from_cache: false,
+        })
+    }
+
+    /// Fan a batch of point queries out across the configured worker
+    /// threads.  The whole batch is answered on **one** snapshot (the
+    /// current epoch at entry), so results are mutually consistent even
+    /// while ingestion runs concurrently.  Output order matches input
+    /// order.
+    pub fn query_batch(&self, queries: &[PointQuery]) -> Vec<Result<ServiceAnswer, ServiceError>> {
+        let snapshot = self.snapshot();
+        let workers = self.config.threads.clamp(1, queries.len().max(1));
+        if workers <= 1 {
+            return queries
+                .iter()
+                .map(|q| self.query_on(&snapshot, q))
+                .collect();
+        }
+        let slots: Vec<OnceLock<Result<ServiceAnswer, ServiceError>>> =
+            (0..queries.len()).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(query) = queries.get(i) else { break };
+                    let answer = self.query_on(&snapshot, query);
+                    slots[i].set(answer).expect("slot claimed twice");
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("worker left a slot empty"))
+            .collect()
+    }
+
+    /// The traversal itself, with the cyclic guard applied when asked.
+    fn evaluate(
+        &self,
+        snapshot: &Snapshot,
+        plan: &ProgramPlan,
+        query: &PointQuery,
+    ) -> (Vec<Const>, bool) {
+        let mut options = self.config.options.clone();
+        let mut guarded = false;
+        if options.max_iterations.is_none() && self.config.cyclic_guard {
+            // +1 as in `evaluate_with_cyclic_guard`: iteration i explores
+            // recursion depth i-1.
+            let bound = match query.adornment {
+                Adornment::BoundFree => {
+                    cyclic_iteration_bound(&plan.system, snapshot.db(), query.pred, query.constant)
+                }
+                Adornment::FreeBound => inverse_cyclic_iteration_bound(
+                    &plan.system,
+                    snapshot.db(),
+                    query.pred,
+                    query.constant,
+                ),
+            };
+            options.max_iterations = bound.map(|b| b + 1);
+            guarded = options.max_iterations.is_some();
+            if !guarded && options.node_budget.is_none() {
+                // No m·n bound exists for this equation shape; fall
+                // back to a node budget so a divergent traversal cannot
+                // hang the worker.  Hitting it reports non-convergence.
+                options.node_budget = self.config.fallback_node_budget;
+            }
+        }
+        let source = EdbSource::new(snapshot.db());
+        let evaluator = Evaluator::with_plan(&plan.system, &plan.compiled, &source);
+        let outcome = match query.adornment {
+            Adornment::BoundFree => evaluator.evaluate(query.pred, query.constant, &options),
+            Adornment::FreeBound => {
+                evaluator.evaluate_inverse(query.pred, query.constant, &options)
+            }
+        };
+        let mut answers: Vec<Const> = outcome.answers.into_iter().collect();
+        answers.sort_unstable();
+        // The m·n bound is sufficient, so hitting it is completion.
+        (answers, outcome.converged || guarded)
+    }
+}
+
+/// Parse `pred(arg, arg)` with exactly one bound argument against
+/// `program`.  Lowercase/integer arguments are constants; uppercase or
+/// `_`-led arguments are free variables.
+pub fn parse_point_query(program: &Program, text: &str) -> Result<PointQuery, ServiceError> {
+    let trimmed = text.trim();
+    let malformed = || ServiceError::Malformed(trimmed.to_string());
+    let open = trimmed.find('(').ok_or_else(malformed)?;
+    let close = trimmed.rfind(')').ok_or_else(malformed)?;
+    if close != trimmed.len() - 1 || open == 0 {
+        return Err(malformed());
+    }
+    let name = trimmed[..open].trim();
+    let args: Vec<&str> = trimmed[open + 1..close].split(',').map(str::trim).collect();
+    let pred = program
+        .pred_by_name(name)
+        .ok_or_else(|| ServiceError::UnknownPredicate(name.to_string()))?;
+    if !program.is_derived(pred) {
+        return Err(ServiceError::NotDerived(name.to_string()));
+    }
+    if program.arity(pred) != 2 {
+        return Err(ServiceError::NotBinary(name.to_string()));
+    }
+    if args.len() != 2 {
+        return Err(malformed());
+    }
+    let classify = |arg: &str| -> Result<Option<ConstValue>, ServiceError> {
+        if arg.is_empty() {
+            return Err(malformed());
+        }
+        let first = arg.chars().next().expect("non-empty");
+        if first.is_ascii_uppercase() || first == '_' {
+            return Ok(None); // a variable
+        }
+        if let Ok(i) = arg.parse::<i64>() {
+            return Ok(Some(ConstValue::Int(i)));
+        }
+        Ok(Some(ConstValue::Str(arg.to_string())))
+    };
+    let (first, second) = (classify(args[0])?, classify(args[1])?);
+    let (adornment, value) = match (first, second) {
+        (Some(v), None) => (Adornment::BoundFree, v),
+        (None, Some(v)) => (Adornment::FreeBound, v),
+        _ => return Err(ServiceError::NotPointQuery(trimmed.to_string())),
+    };
+    let constant = program.consts.get(&value).ok_or_else(|| {
+        ServiceError::UnknownConstant(match value {
+            ConstValue::Int(i) => i.to_string(),
+            ConstValue::Str(ref s) => s.clone(),
+            ConstValue::Tuple(_) => unreachable!("parser never yields tuples"),
+        })
+    })?;
+    Ok(PointQuery {
+        pred,
+        adornment,
+        constant,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TC: &str = "tc(X,Y) :- e(X,Y).\n\
+                      tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+                      e(a,b). e(b,c). e(c,d).";
+
+    fn names(service: &QueryService, answer: &ServiceAnswer) -> Vec<String> {
+        let snap = service.snapshot();
+        answer
+            .answers
+            .iter()
+            .map(|&c| snap.program().consts.display(c))
+            .collect()
+    }
+
+    #[test]
+    fn single_query_both_adornments() {
+        let service = QueryService::from_source(TC).unwrap();
+        let bf = service.parse_query("tc(b, Y)").unwrap();
+        let out = service.query(&bf).unwrap();
+        assert_eq!(names(&service, &out), vec!["c", "d"]);
+        assert!(out.converged);
+        let fb = service.parse_query("tc(X, c)").unwrap();
+        let out = service.query(&fb).unwrap();
+        assert_eq!(names(&service, &out), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn results_memoize_and_invalidate_on_ingest() {
+        let service = QueryService::from_source(TC).unwrap();
+        let q = service.parse_query("tc(a, Y)").unwrap();
+        let first = service.query(&q).unwrap();
+        assert!(!first.from_cache);
+        let second = service.query(&q).unwrap();
+        assert!(second.from_cache);
+        assert!(Arc::ptr_eq(&first.answers, &second.answers));
+        service.ingest("e(d,z).").unwrap();
+        let third = service.query(&q).unwrap();
+        assert!(!third.from_cache, "epoch bump must invalidate");
+        assert_eq!(third.epoch, 1);
+        assert_eq!(names(&service, &third), vec!["b", "c", "d", "z"]);
+        // Plans survived the ingest: one program compiled, reused after.
+        assert_eq!(service.plan_cache().programs(), 1);
+    }
+
+    #[test]
+    fn batch_is_ordered_and_consistent() {
+        let service = QueryService::from_source(TC).unwrap();
+        let queries: Vec<PointQuery> = ["tc(a, Y)", "tc(b, Y)", "tc(c, Y)", "tc(X, d)"]
+            .iter()
+            .map(|t| service.parse_query(t).unwrap())
+            .collect();
+        let batch = service.query_batch(&queries);
+        assert_eq!(batch.len(), 4);
+        let sizes: Vec<usize> = batch
+            .iter()
+            .map(|r| r.as_ref().unwrap().answers.len())
+            .collect();
+        assert_eq!(sizes, vec![3, 2, 1, 3]);
+        assert!(batch.iter().all(|r| r.as_ref().unwrap().epoch == 0));
+    }
+
+    #[test]
+    fn cyclic_data_terminates_under_guard() {
+        let service = QueryService::from_source(
+            "sg(X,Y) :- flat(X,Y).\n\
+             sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n\
+             up(a1,a2). up(a2,a1). flat(a1,b1).\n\
+             down(b1,b2). down(b2,b3). down(b3,b1).",
+        )
+        .unwrap();
+        let q = service.parse_query("sg(a1, Y)").unwrap();
+        let out = service.query(&q).unwrap();
+        assert!(out.converged, "the m·n guard is sufficient");
+        assert_eq!(names(&service, &out), vec!["b1", "b2", "b3"]);
+        // The inverse direction is guarded through the inverted system.
+        let q = service.parse_query("sg(X, b1)").unwrap();
+        let out = service.query(&q).unwrap();
+        assert!(out.converged);
+        assert_eq!(names(&service, &out), vec!["a1", "a2"]);
+    }
+
+    #[test]
+    fn nonlinear_cyclic_query_stops_at_fallback_budget() {
+        // Mutual recursion that Lemma 1 does not flatten to the linear
+        // shape, so no m·n bound exists; cyclic data then diverges.
+        // The fallback budget must stop it and report non-convergence.
+        let service = QueryService::with_config(
+            rq_datalog::parse_program(
+                "q1(X,Z) :- a(X,Y), q2(Y,Z).\n\
+                 q2(X,Y) :- r2(X,Y).\n\
+                 q2(X,Z) :- q1(X,Y), r1(Y,Z).\n\
+                 a(s,t). a(t,s). r2(s,t). r2(t,s). r1(t,s). r1(s,t).",
+            )
+            .unwrap(),
+            ServiceConfig {
+                threads: 1,
+                fallback_node_budget: Some(5_000),
+                ..ServiceConfig::default()
+            },
+        );
+        let q = service.parse_query("q1(s, Y)").unwrap();
+        let out = service.query(&q).unwrap();
+        // Sound answers, honest flag: possibly incomplete.
+        let oracle = rq_datalog::seminaive_eval(service.snapshot().program()).unwrap();
+        let q1 = service.snapshot().program().pred_by_name("q1").unwrap();
+        let full: Vec<_> = oracle.tuples(q1);
+        for &c in out.answers.iter() {
+            assert!(full.iter().any(|t| t[0] == q.constant && t[1] == c));
+        }
+        assert!(
+            !out.converged,
+            "a divergent traversal stopped by the budget must say so"
+        );
+    }
+
+    #[test]
+    fn parse_errors_are_specific() {
+        let service = QueryService::from_source(TC).unwrap();
+        assert!(matches!(
+            service.parse_query("tc(a Y)"),
+            Err(ServiceError::Malformed(_))
+        ));
+        assert!(matches!(
+            service.parse_query("zzz(a, Y)"),
+            Err(ServiceError::UnknownPredicate(_))
+        ));
+        assert!(matches!(
+            service.parse_query("e(a, Y)"),
+            Err(ServiceError::NotDerived(_))
+        ));
+        assert!(matches!(
+            service.parse_query("tc(X, Y)"),
+            Err(ServiceError::NotPointQuery(_))
+        ));
+        assert!(matches!(
+            service.parse_query("tc(a, b)"),
+            Err(ServiceError::NotPointQuery(_))
+        ));
+        assert!(matches!(
+            service.parse_query("tc(nosuch, Y)"),
+            Err(ServiceError::UnknownConstant(_))
+        ));
+        assert!(matches!(
+            service.parse_query("tc"),
+            Err(ServiceError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn service_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QueryService>();
+        assert_send_sync::<ServiceAnswer>();
+
+        let service = QueryService::from_source(TC).unwrap();
+        let q = service.parse_query("tc(a, Y)").unwrap();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    let out = service.query(&q).unwrap();
+                    assert_eq!(out.answers.len(), 3);
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,266 @@
+//! Epoch-versioned, immutable database snapshots.
+//!
+//! The store keeps the current [`Snapshot`] behind an `Arc`: readers
+//! grab the pointer and traverse it for as long as they like without
+//! ever blocking a writer.  Ingestion is copy-on-write — a writer
+//! clones the program and database, applies the new facts, pre-builds
+//! the engine's probe indexes, and atomically publishes the result as
+//! the next epoch.  Old snapshots stay alive until their last reader
+//! drops them, so long-running batch queries are never invalidated
+//! mid-flight; they simply answer against the epoch they started on.
+
+use rq_datalog::{parse_program, Database, Program};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// One immutable version of the served database.
+#[derive(Debug)]
+pub struct Snapshot {
+    epoch: u64,
+    rules_fingerprint: u64,
+    program: Program,
+    db: Database,
+}
+
+impl Snapshot {
+    fn new(epoch: u64, program: Program, db: Database) -> Self {
+        db.prewarm_binary_indexes();
+        let rules_fingerprint = crate::plan::rules_fingerprint(&program);
+        Self {
+            epoch,
+            rules_fingerprint,
+            program,
+            db,
+        }
+    }
+
+    /// The snapshot's version number; epoch `n + 1` supersedes `n`.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Hash of the rules and their predicate-id binding (not the facts),
+    /// computed once at publication — the plan-cache key component.
+    pub fn rules_fingerprint(&self) -> u64 {
+        self.rules_fingerprint
+    }
+
+    /// The program (rules + interners) of this version.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The extensional database of this version.
+    pub fn db(&self) -> &Database {
+        &self.db
+    }
+}
+
+/// Errors from [`SnapshotStore::ingest`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// The fact text did not parse.
+    Parse(String),
+    /// The text contained rules; the rule set is fixed at service start.
+    RulesNotAllowed,
+    /// A fact targets a derived predicate.
+    DerivedPredicate(String),
+    /// A fact uses an existing predicate at a different arity.
+    ArityMismatch {
+        /// The predicate name.
+        pred: String,
+        /// Arity already registered.
+        expected: usize,
+        /// Arity in the ingested fact.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for IngestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IngestError::Parse(e) => write!(f, "cannot parse facts: {e}"),
+            IngestError::RulesNotAllowed => {
+                write!(
+                    f,
+                    "ingest accepts facts only; rules are fixed at service start"
+                )
+            }
+            IngestError::DerivedPredicate(p) => {
+                write!(f, "cannot ingest facts for derived predicate `{p}`")
+            }
+            IngestError::ArityMismatch {
+                pred,
+                expected,
+                got,
+            } => write!(
+                f,
+                "fact for `{pred}` has arity {got}, but `{pred}` has arity {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+/// The store: the current snapshot plus a writer lock.
+///
+/// Readers call [`SnapshotStore::snapshot`] (a lock-free-in-spirit
+/// `Arc` clone under a read lock held for nanoseconds).  Writers
+/// serialize on a separate mutex so two concurrent ingests cannot both
+/// base their copy on the same parent and lose one of the updates.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    current: RwLock<Arc<Snapshot>>,
+    writer: Mutex<()>,
+}
+
+impl SnapshotStore {
+    /// Open a store at epoch 0 with the program's facts as the EDB.
+    pub fn new(program: Program) -> Self {
+        let db = Database::from_program(&program);
+        Self {
+            current: RwLock::new(Arc::new(Snapshot::new(0, program, db))),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// The current snapshot.  Cheap; never blocks on writers for longer
+    /// than the pointer swap.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.current.read().expect("snapshot lock poisoned").clone()
+    }
+
+    /// Copy-on-write ingestion: parse `facts_text` (fact clauses only,
+    /// e.g. `e(a,b). e(b,c).`), apply them to a clone of the current
+    /// version, and publish the clone as the next epoch.  Returns the
+    /// new snapshot.  Concurrent readers keep whatever snapshot they
+    /// already hold.
+    pub fn ingest(&self, facts_text: &str) -> Result<Arc<Snapshot>, IngestError> {
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let base = self.snapshot();
+        let mut program = base.program.clone();
+        let mut db = base.db.clone();
+        apply_facts(&mut program, &mut db, facts_text)?;
+        let next = Arc::new(Snapshot::new(base.epoch + 1, program, db));
+        *self.current.write().expect("snapshot lock poisoned") = Arc::clone(&next);
+        Ok(next)
+    }
+}
+
+/// Parse `text` with the ordinary Datalog parser and merge its facts
+/// into `program`/`db`, translating interned ids across programs.
+fn apply_facts(program: &mut Program, db: &mut Database, text: &str) -> Result<(), IngestError> {
+    let parsed = parse_program(text).map_err(|e| IngestError::Parse(e.to_string()))?;
+    if !parsed.rules.is_empty() {
+        return Err(IngestError::RulesNotAllowed);
+    }
+    for (pred, tuple) in &parsed.facts {
+        let name = parsed.pred_name(*pred);
+        let arity = parsed.arity(*pred);
+        if let Some(existing) = program.pred_by_name(name) {
+            if program.is_derived(existing) {
+                return Err(IngestError::DerivedPredicate(name.to_string()));
+            }
+            if program.arity(existing) != arity {
+                return Err(IngestError::ArityMismatch {
+                    pred: name.to_string(),
+                    expected: program.arity(existing),
+                    got: arity,
+                });
+            }
+        }
+        let target = program.pred(name, arity);
+        let mapped: Vec<_> = tuple
+            .iter()
+            .map(|&c| program.consts.intern(parsed.consts.value(c).clone()))
+            .collect();
+        db.ensure_pred(target, arity);
+        db.insert(target, &mapped);
+        program.add_fact(target, mapped);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_common::ConstValue;
+
+    const TC: &str = "tc(X,Y) :- e(X,Y).\n\
+                      tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+                      e(a,b). e(b,c).";
+
+    fn store() -> SnapshotStore {
+        SnapshotStore::new(parse_program(TC).unwrap())
+    }
+
+    #[test]
+    fn ingest_bumps_epoch_and_preserves_old_snapshots() {
+        let store = store();
+        let before = store.snapshot();
+        assert_eq!(before.epoch(), 0);
+        let after = store.ingest("e(c,d).").unwrap();
+        assert_eq!(after.epoch(), 1);
+        // The old snapshot is untouched.
+        let e = before.program().pred_by_name("e").unwrap();
+        assert_eq!(before.db().relation(e).len(), 2);
+        assert_eq!(after.db().relation(e).len(), 3);
+        assert_eq!(store.snapshot().epoch(), 1);
+    }
+
+    #[test]
+    fn interned_ids_are_stable_across_epochs() {
+        let store = store();
+        let before = store.snapshot();
+        let after = store.ingest("e(d,a). e(a,z9).").unwrap();
+        let a_before = before.program().consts.get(&ConstValue::Str("a".into()));
+        let a_after = after.program().consts.get(&ConstValue::Str("a".into()));
+        assert_eq!(a_before, a_after);
+        assert!(after
+            .program()
+            .consts
+            .get(&ConstValue::Str("z9".into()))
+            .is_some());
+        assert_eq!(
+            before.program().pred_by_name("e"),
+            after.program().pred_by_name("e")
+        );
+    }
+
+    #[test]
+    fn ingest_new_predicate_and_integers() {
+        let store = store();
+        let snap = store.ingest("weight(a, 10). weight(b, 20).").unwrap();
+        let w = snap.program().pred_by_name("weight").unwrap();
+        assert_eq!(snap.db().relation(w).len(), 2);
+        assert!(snap.program().consts.get(&ConstValue::Int(10)).is_some());
+    }
+
+    #[test]
+    fn ingest_rejects_rules_derived_heads_and_arity_conflicts() {
+        let store = store();
+        assert_eq!(
+            store.ingest("p(X,Y) :- e(X,Y).").err(),
+            Some(IngestError::RulesNotAllowed)
+        );
+        assert_eq!(
+            store.ingest("tc(a,b).").err(),
+            Some(IngestError::DerivedPredicate("tc".into()))
+        );
+        assert!(matches!(
+            store.ingest("e(a,b,c)."),
+            Err(IngestError::ArityMismatch { .. })
+        ));
+        assert!(matches!(store.ingest("e(a,"), Err(IngestError::Parse(_))));
+        // Failed ingests publish nothing.
+        assert_eq!(store.snapshot().epoch(), 0);
+    }
+
+    #[test]
+    fn rules_fingerprint_survives_fact_ingest() {
+        let store = store();
+        let before = store.snapshot();
+        let after = store.ingest("e(c,d). extra(a,b).").unwrap();
+        assert_eq!(before.rules_fingerprint(), after.rules_fingerprint());
+    }
+}

@@ -93,10 +93,7 @@ mod tests {
     fn answers(w: &Workload, from: &str) -> usize {
         let program = &w.program;
         let sg = program.pred_by_name("sg").unwrap();
-        let a = program
-            .consts
-            .get(&ConstValue::Str(from.into()))
-            .unwrap();
+        let a = program.consts.get(&ConstValue::Str(from.into())).unwrap();
         naive_eval(program)
             .unwrap()
             .tuples(sg)
@@ -117,11 +114,7 @@ mod tests {
     fn sample_b_answer_count() {
         for n in [1, 2, 5, 8, 9] {
             let w = sample_b(n);
-            assert_eq!(
-                answers(&w, "a0"),
-                w.expected_answers.unwrap(),
-                "n={n}"
-            );
+            assert_eq!(answers(&w, "a0"), w.expected_answers.unwrap(), "n={n}");
         }
     }
 

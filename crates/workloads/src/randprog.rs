@@ -189,7 +189,10 @@ impl Gen {
 /// Generate a random linear binary-chain program with layered data.
 pub fn random_program(cfg: &RandProgConfig) -> RandProgram {
     assert!(cfg.groups >= 1 && cfg.base_preds >= 1 && cfg.domain >= 2);
-    assert!(cfg.max_body >= 3, "middle placement needs room for prefix and suffix");
+    assert!(
+        cfg.max_body >= 3,
+        "middle placement needs room for prefix and suffix"
+    );
     let mut g = Gen {
         rng: StdRng::seed_from_u64(cfg.seed),
         cfg: cfg.clone(),
@@ -346,10 +349,18 @@ mod tests {
                     if !args.contains(":-") && args.contains(",n") {
                         let args = args.trim_end_matches(").");
                         let mut parts = args.split(',');
-                        let i: usize =
-                            parts.next().unwrap().trim_start_matches('n').parse().unwrap();
-                        let j: usize =
-                            parts.next().unwrap().trim_start_matches('n').parse().unwrap();
+                        let i: usize = parts
+                            .next()
+                            .unwrap()
+                            .trim_start_matches('n')
+                            .parse()
+                            .unwrap();
+                        let j: usize = parts
+                            .next()
+                            .unwrap()
+                            .trim_start_matches('n')
+                            .parse()
+                            .unwrap();
                         assert!(i < j, "fact not increasing: {line}");
                     }
                 }

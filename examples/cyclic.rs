@@ -50,7 +50,11 @@ fn main() {
     names.sort();
     println!("answers ({}): {:?}", names.len(), names);
     if let Some(expected) = w.expected_answers {
-        assert_eq!(names.len(), expected, "answer count must match gcd analysis");
+        assert_eq!(
+            names.len(),
+            expected,
+            "answer count must match gcd analysis"
+        );
     }
 
     // Show the per-iteration progress: answers arrive only at levels

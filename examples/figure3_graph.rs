@@ -64,9 +64,8 @@ b1(u3, u4). b1(u4, v). b1(u5, u4).
     );
     println!(
         "{}",
-        dump.to_dot(
-            &|c| program.consts.display(c),
-            &|q| program.pred_name(q).to_string()
-        )
+        dump.to_dot(&|c| program.consts.display(c), &|q| program
+            .pred_name(q)
+            .to_string())
     );
 }

@@ -19,7 +19,10 @@ fn main() {
     let mut w = flights::paper_example();
     let q = Query::parse(&mut w.program, &w.query).unwrap();
     let adorned = adorn(&w.program, &q).unwrap();
-    println!("adorned program:\n{}", display_adorned(&w.program, &adorned));
+    println!(
+        "adorned program:\n{}",
+        display_adorned(&w.program, &adorned)
+    );
     let db = Database::from_program(&w.program);
     let ans = answer_query(&w.program, &db, &q, &EvalOptions::default()).unwrap();
     println!(

@@ -7,8 +7,8 @@
 
 use rq_datalog::{parse_program, Database};
 use rq_engine::{
-    all_pairs_min_side, all_pairs_per_source, all_pairs_scc, query_bb, query_diagonal,
-    EdbSource, EvalOptions, Evaluator,
+    all_pairs_min_side, all_pairs_per_source, all_pairs_scc, query_bb, query_diagonal, EdbSource,
+    EvalOptions, Evaluator,
 };
 use rq_relalg::{lemma1, Lemma1Options};
 

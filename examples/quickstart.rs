@@ -25,7 +25,10 @@ down(ann, mary).  down(mary, john).
 
     // 1. Classification (§2): sg is linearly recursive, binary-chain.
     let analysis = Analysis::of(&program);
-    println!("linear program:      {}", analysis.program_is_linear(&program));
+    println!(
+        "linear program:      {}",
+        analysis.program_is_linear(&program)
+    );
     println!(
         "binary-chain:        {}",
         rq_datalog::binary_chain_violations(&program).is_empty()

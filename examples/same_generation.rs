@@ -31,7 +31,14 @@ fn main() {
         let db = Database::from_program(&program);
         let system = lemma1(&program, &Lemma1Options::default()).unwrap().system;
         let sg = program.pred_by_name("sg").unwrap();
-        let source_name = w.query.split('(').nth(1).unwrap().split(',').next().unwrap();
+        let source_name = w
+            .query
+            .split('(')
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap();
         let a: Const = program
             .consts
             .get(&ConstValue::Str(source_name.into()))

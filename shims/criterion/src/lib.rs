@@ -1,0 +1,287 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace
+//! vendors the slice of criterion's API its benches use: `Criterion`,
+//! `benchmark_group` with `sample_size` / `throughput` /
+//! `bench_with_input` / `bench_function` / `finish`, `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, `black_box`, and the `criterion_group!`
+//! / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: one warm-up/calibration run,
+//! then `sample_size` timed samples of a batch sized to ~10ms, with
+//! median / min / max reported on stdout.  No plots, no statistics
+//! beyond that — enough to compare configurations of this workspace on
+//! one machine.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark registry and settings.
+pub struct Criterion {
+    default_sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` passes user args after the binary
+        // name; accept the first non-flag token as a substring filter.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "--bench");
+        Self {
+            default_sample_size: 20,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// A group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Declare per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        if self.skipped(&id) {
+            return self;
+        }
+        let mut bencher = Bencher::new(self.effective_sample_size());
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Run an input-free benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        if self.skipped(&id) {
+            return self;
+        }
+        let mut bencher = Bencher::new(self.effective_sample_size());
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// End the group (nothing extra to do; kept for API parity).
+    pub fn finish(self) {}
+
+    fn effective_sample_size(&self) -> usize {
+        self.sample_size
+            .unwrap_or(self.criterion.default_sample_size)
+            .max(2)
+    }
+
+    fn skipped(&self, id: &BenchmarkId) -> bool {
+        let full = format!("{}/{}", self.name, id.id);
+        match &self.criterion.filter {
+            Some(f) => !full.contains(f.as_str()),
+            None => false,
+        }
+    }
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let Some(stats) = &bencher.stats else {
+            println!("{}/{}: no measurements", self.name, id.id);
+            return;
+        };
+        let rate = self.throughput.map(|t| match t {
+            Throughput::Elements(n) => {
+                format!("  {:>12.0} elem/s", n as f64 / stats.median.as_secs_f64())
+            }
+            Throughput::Bytes(n) => {
+                format!("  {:>12.0} B/s", n as f64 / stats.median.as_secs_f64())
+            }
+        });
+        println!(
+            "{}/{}: median {:?} (min {:?}, max {:?}, {} samples){}",
+            self.name,
+            id.id,
+            stats.median,
+            stats.min,
+            stats.max,
+            stats.samples,
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+/// Summary of one benchmark's samples (per-iteration durations).
+struct Stats {
+    median: Duration,
+    min: Duration,
+    max: Duration,
+    samples: usize,
+}
+
+/// Runs and times the measured routine.
+pub struct Bencher {
+    sample_size: usize,
+    stats: Option<Stats>,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Self {
+            sample_size,
+            stats: None,
+        }
+    }
+
+    /// Measure the routine: warm up once, calibrate a batch aiming at
+    /// ~10ms per sample, then record `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let batch =
+            (Duration::from_millis(10).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u32;
+        let mut per_iter: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            per_iter.push(start.elapsed() / batch);
+        }
+        per_iter.sort_unstable();
+        self.stats = Some(Stats {
+            median: per_iter[per_iter.len() / 2],
+            min: per_iter[0],
+            max: *per_iter.last().expect("sample_size >= 2"),
+            samples: per_iter.len(),
+        });
+    }
+}
+
+/// Collect benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &n| {
+            b.iter(|| n * n)
+        });
+        group.bench_function(BenchmarkId::from_parameter("noop"), |b| b.iter(|| ()));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

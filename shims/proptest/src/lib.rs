@@ -1,0 +1,122 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the slice of proptest's API its test suites use: the [`Strategy`]
+//! trait with `prop_map` / `prop_flat_map` / `prop_recursive` / `boxed`,
+//! range and tuple and `&str`-regex strategies, `prop::collection::vec`,
+//! `prop::option::of`, `Just`, the `proptest!` / `prop_oneof!` /
+//! `prop_assert!` / `prop_assert_eq!` macros, and `ProptestConfig`.
+//!
+//! Semantics differ from real proptest in one deliberate way: failing
+//! cases are **not shrunk** — the failing input is reported as
+//! generated.  Generation is deterministic per test (seeded by case
+//! index), so failures reproduce across runs.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Everything a test file needs, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of `proptest::prelude::prop`: module aliases.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = crate::test_runner::TestRng::new(1);
+        for _ in 0..200 {
+            let (a, b) = (0..5u8, 10..20usize).new_value(&mut rng);
+            assert!(a < 5);
+            assert!((10..20).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_respects_size_range() {
+        let mut rng = crate::test_runner::TestRng::new(2);
+        let strat = crate::collection::vec(0..3u32, 2..5);
+        for _ in 0..100 {
+            let v = strat.new_value(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 3));
+        }
+    }
+
+    #[test]
+    fn regex_classes_generate_matching_strings() {
+        let mut rng = crate::test_runner::TestRng::new(3);
+        for _ in 0..100 {
+            let s = "[a-z][a-z0-9_]{0,6}".new_value(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "{s:?}");
+            let mut chars = s.chars();
+            assert!(chars.next().unwrap().is_ascii_lowercase());
+            assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn oneof_weights_pick_all_arms() {
+        let mut rng = crate::test_runner::TestRng::new(4);
+        let strat = prop_oneof![1 => Just(0u8), 3 => Just(1u8)];
+        let mut seen = [0usize; 2];
+        for _ in 0..400 {
+            seen[strat.new_value(&mut rng) as usize] += 1;
+        }
+        assert!(seen[0] > 0 && seen[1] > seen[0]);
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        enum Tree {
+            Leaf(#[allow(dead_code)] u8),
+            Node(Vec<Tree>),
+        }
+        fn depth(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(kids) => 1 + kids.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let strat = (0..10u8)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 32, 4, |inner| {
+                crate::collection::vec(inner, 1..4).prop_map(Tree::Node)
+            });
+        let mut rng = crate::test_runner::TestRng::new(5);
+        for _ in 0..200 {
+            // Depth is bounded by the recursion depth plus the leaf.
+            assert!(depth(&strat.new_value(&mut rng)) <= 6);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The proptest! macro wires args, config, and assertions.
+        #[test]
+        fn macro_end_to_end(x in 0..100u32, v in crate::collection::vec(0..10u8, 0..4)) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(v.len(), v.len());
+            if v.len() > 100 {
+                return Ok(()); // exercise early return
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! String generation from the tiny regex subset the workspace's tests
+//! use: character classes `[...]` (with ranges and a trailing literal
+//! `-`), the Unicode-category escape `\PC` (any non-control character,
+//! approximated by printable ASCII), literal characters, and the
+//! quantifiers `*`, `+`, `?`, `{n}`, `{n,m}`.
+
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+enum CharSet {
+    /// Explicit characters.
+    Choices(Vec<char>),
+    /// `\PC`: any non-control character.
+    Printable,
+}
+
+impl CharSet {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharSet::Choices(cs) => cs[rng.below(cs.len() as u64) as usize],
+            // Printable ASCII, space through tilde.
+            CharSet::Printable => char::from(0x20 + rng.below(0x5f) as u8),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Repeat {
+    min: u32,
+    max: u32,
+}
+
+/// Generate one string matching `pattern`.  Panics on syntax this
+/// subset does not understand — a loud failure beats quietly generating
+/// non-matching data.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let items = parse(pattern);
+    let mut out = String::new();
+    for (set, rep) in &items {
+        let n = rep.min + rng.below(u64::from(rep.max - rep.min) + 1) as u32;
+        for _ in 0..n {
+            out.push(set.sample(rng));
+        }
+    }
+    out
+}
+
+fn parse(pattern: &str) -> Vec<(CharSet, Repeat)> {
+    let mut chars = pattern.chars().peekable();
+    let mut items = Vec::new();
+    while let Some(c) = chars.next() {
+        let set = match c {
+            '[' => {
+                let mut choices = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                    match c {
+                        ']' => break,
+                        '-' => match (prev, chars.peek()) {
+                            // A range like a-z (only when between chars).
+                            (Some(lo), Some(&hi)) if hi != ']' => {
+                                chars.next();
+                                assert!(lo <= hi, "bad range in {pattern:?}");
+                                choices.extend((lo..=hi).filter(|c| *c != lo));
+                                prev = Some(hi);
+                            }
+                            // Leading or trailing '-' is a literal.
+                            _ => {
+                                choices.push('-');
+                                prev = Some('-');
+                            }
+                        },
+                        '\\' => {
+                            let esc = chars
+                                .next()
+                                .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                            choices.push(esc);
+                            prev = Some(esc);
+                        }
+                        c => {
+                            choices.push(c);
+                            prev = Some(c);
+                        }
+                    }
+                }
+                assert!(!choices.is_empty(), "empty class in {pattern:?}");
+                CharSet::Choices(choices)
+            }
+            '\\' => match chars.next() {
+                Some('P') => {
+                    let cat = chars.next();
+                    assert_eq!(cat, Some('C'), "only \\PC is supported, in {pattern:?}");
+                    CharSet::Printable
+                }
+                Some('d') => CharSet::Choices(('0'..='9').collect()),
+                Some(other) => CharSet::Choices(vec![other]),
+                None => panic!("dangling escape in {pattern:?}"),
+            },
+            '.' => CharSet::Printable,
+            c => CharSet::Choices(vec![c]),
+        };
+        let rep = parse_quantifier(&mut chars, pattern);
+        items.push((set, rep));
+    }
+    items
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Repeat {
+    match chars.peek() {
+        Some('*') => {
+            chars.next();
+            Repeat { min: 0, max: 12 }
+        }
+        Some('+') => {
+            chars.next();
+            Repeat { min: 1, max: 12 }
+        }
+        Some('?') => {
+            chars.next();
+            Repeat { min: 0, max: 1 }
+        }
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            let (min, max) = match spec.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.parse()
+                        .unwrap_or_else(|_| panic!("bad {{}} in {pattern:?}")),
+                    hi.parse()
+                        .unwrap_or_else(|_| panic!("bad {{}} in {pattern:?}")),
+                ),
+                None => {
+                    let n = spec
+                        .parse()
+                        .unwrap_or_else(|_| panic!("bad {{}} in {pattern:?}"));
+                    (n, n)
+                }
+            };
+            assert!(min <= max, "bad {{}} bounds in {pattern:?}");
+            Repeat { min, max }
+        }
+        _ => Repeat { min: 1, max: 1 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_trailing_literal_minus() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = generate_matching("[(),.:XxZz%-]{0,3}", &mut rng);
+            assert!(s.len() <= 3);
+            assert!(s.chars().all(|c| "(),.:XxZz%-".contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn printable_star() {
+        let mut rng = TestRng::new(2);
+        for _ in 0..200 {
+            let s = generate_matching("\\PC*", &mut rng);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_repeat() {
+        let mut rng = TestRng::new(3);
+        let s = generate_matching("[ab]{4}", &mut rng);
+        assert_eq!(s.len(), 4);
+    }
+}

@@ -3,6 +3,7 @@
 //! ```text
 //! rqc <program.dl> <query> [--stats] [--plan] [--max-iterations N]
 //! rqc repl [program.dl]        interactive session (see :help)
+//! rqc serve <program.dl> [--threads N]   concurrent serving session
 //! rqc --demo
 //! ```
 //!
@@ -14,7 +15,7 @@
 //! `recursive_queries::cli`; this binary is argument handling plus a
 //! stdin loop.
 
-use recursive_queries::cli::{parse_command, Command, Session};
+use recursive_queries::cli::{parse_command, Command, ServeSession, Session};
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
 
@@ -29,6 +30,7 @@ down(lisa, erik). down(mary, john).
 fn usage() {
     eprintln!("usage: rqc <program.dl> <query> [--stats] [--plan] [--max-iterations N]");
     eprintln!("       rqc repl [program.dl]");
+    eprintln!("       rqc serve <program.dl> [--threads N]");
     eprintln!("       rqc --demo");
 }
 
@@ -45,6 +47,20 @@ fn main() -> ExitCode {
 
     if args[0] == "repl" {
         return repl(args.get(1).map(String::as_str));
+    }
+
+    if args[0] == "serve" {
+        let threads = args
+            .iter()
+            .position(|a| a == "--threads")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+            eprintln!("`rqc serve` needs a program file");
+            return ExitCode::from(2);
+        };
+        return serve(path, threads);
     }
 
     let stats = args.iter().any(|a| a == "--stats");
@@ -110,11 +126,15 @@ fn main() -> ExitCode {
     for cmd in &commands {
         match session.execute(cmd) {
             Ok(out) => {
-                // Plans and settings go to stderr; answers to stdout.
+                // Plans, settings, and diagnostics go to stderr;
+                // answers to stdout.
                 if matches!(cmd, Command::Query(_)) {
                     println!("{}", out.text);
                 } else if !out.text.is_empty() {
                     eprintln!("{}", out.text);
+                }
+                if !out.notes.is_empty() {
+                    eprintln!("{}", out.notes);
                 }
             }
             Err(e) => {
@@ -124,6 +144,54 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+fn serve(path: &str, threads: usize) -> ExitCode {
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut session = match ServeSession::new(&source, threads) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "rqc serve — {} worker thread(s), epoch {} — :help for commands",
+        session.service().config().threads,
+        session.service().snapshot().epoch()
+    );
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    loop {
+        eprint!("rq-serve> ");
+        let _ = std::io::stderr().flush();
+        line.clear();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => return ExitCode::SUCCESS, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        match session.execute_line(&line) {
+            Ok(out) => {
+                if !out.text.is_empty() {
+                    println!("{}", out.text);
+                }
+                if out.quit {
+                    return ExitCode::SUCCESS;
+                }
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
 }
 
 fn repl(initial: Option<&str>) -> ExitCode {
@@ -158,6 +226,9 @@ fn repl(initial: Option<&str>) -> ExitCode {
                 Ok(out) => {
                     if !out.text.is_empty() {
                         println!("{}", out.text);
+                    }
+                    if !out.notes.is_empty() {
+                        eprintln!("{}", out.notes);
                     }
                     if out.quit {
                         return ExitCode::SUCCESS;

@@ -15,8 +15,8 @@
 
 use crate::{solve_with, Strategy};
 use rq_datalog::{
-    binary_chain_violations, display_program, parse_program, program_is_regular, Analysis,
-    Program, Query,
+    binary_chain_violations, display_program, parse_program, program_is_regular, Analysis, Program,
+    Query,
 };
 use rq_engine::EvalOptions;
 
@@ -114,8 +114,11 @@ pub fn parse_command(line: &str) -> Result<Option<Command<'_>>, String> {
 /// What a command produced.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommandOutput {
-    /// Text to print (may be empty).
+    /// Answer text (may be empty).  Goes to stdout in the binary.
     pub text: String,
+    /// Diagnostics — truncation warnings, counters.  Goes to stderr in
+    /// the binary so answers stay machine-consumable.
+    pub notes: String,
     /// Whether the session should end.
     pub quit: bool,
 }
@@ -124,6 +127,7 @@ impl CommandOutput {
     fn text(text: impl Into<String>) -> Self {
         Self {
             text: text.into(),
+            notes: String::new(),
             quit: false,
         }
     }
@@ -193,6 +197,7 @@ impl Session {
             Command::Help => Ok(CommandOutput::text(HELP)),
             Command::Quit => Ok(CommandOutput {
                 text: String::new(),
+                notes: String::new(),
                 quit: true,
             }),
             Command::Show => {
@@ -214,8 +219,8 @@ impl Session {
                 }))
             }
             Command::Load(path) => {
-                let text =
-                    std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
                 let program = self.replace_source(&text)?;
                 Ok(CommandOutput::text(format!(
                     "loaded {path}: {} rules, {} facts",
@@ -255,18 +260,26 @@ impl Session {
                 let mut program = self.program()?;
                 let options = self.options();
                 let solution = solve_with(&mut program, q, &options).map_err(|e| e.to_string())?;
-                let mut out = render_rows(&program, &solution.answers);
+                let out = render_rows(&program, &solution.answers);
+                let mut notes = String::new();
                 if !solution.converged {
-                    out.push_str("\nwarning: iteration bound hit; answers may be incomplete");
+                    notes.push_str("warning: iteration bound hit; answers may be incomplete");
                 }
                 if self.stats {
-                    out.push_str(&format!(
-                        "\npipeline: {}\n{}",
+                    if !notes.is_empty() {
+                        notes.push('\n');
+                    }
+                    notes.push_str(&format!(
+                        "pipeline: {}\n{}",
                         pipeline_name(solution.strategy),
                         solution.counters
                     ));
                 }
-                Ok(CommandOutput::text(out))
+                Ok(CommandOutput {
+                    text: out,
+                    notes,
+                    quit: false,
+                })
             }
         }
     }
@@ -289,9 +302,8 @@ impl Session {
         let query = Query::parse(&mut program, q).map_err(|e| e.to_string())?;
         if chain && program.is_derived(query.pred) {
             out.push_str("pipeline: §3 binary-chain traversal\n");
-            let lemma =
-                rq_relalg::lemma1(&program, &rq_relalg::Lemma1Options::default())
-                    .map_err(|e| e.to_string())?;
+            let lemma = rq_relalg::lemma1(&program, &rq_relalg::Lemma1Options::default())
+                .map_err(|e| e.to_string())?;
             out.push_str(&format!(
                 "equation system ({} passes):\n{}",
                 lemma.passes,
@@ -344,6 +356,161 @@ impl Session {
             .map_err(|e| e.to_string())?;
         let machine = rq_automata::thompson(lemma.system.get(query.pred));
         Ok(machine.to_dot(&|p| program.pred_name(p).to_string()))
+    }
+}
+
+/// A serving session behind `rqc serve`: a [`rq_service::QueryService`]
+/// answering batches of point queries, with `:add` feeding the
+/// copy-on-write snapshot store.  Like [`Session`], it is I/O-free so
+/// the grammar and behaviors are unit tested without a terminal.
+///
+/// ```text
+/// rq-serve> tc(a, Y); tc(X, c)
+/// tc(a, Y): b c
+/// tc(X, c): a b
+/// rq-serve> :add e(c,d).
+/// epoch 1 (2 epochs seen, result cache cleared)
+/// ```
+pub struct ServeSession {
+    service: rq_service::QueryService,
+}
+
+const SERVE_HELP: &str = "\
+serve commands:
+  <query>[; <query>...]  answer a batch of point queries, e.g. tc(a, Y); tc(X, b)
+  :add <facts>           ingest facts copy-on-write (publishes a new epoch)
+  :epoch                 print the current snapshot epoch
+  :stats                 plan/result cache hit rates and sizes
+  :help  :quit";
+
+impl ServeSession {
+    /// Start serving `source` with `threads` batch workers (0 = the
+    /// machine's parallelism).
+    pub fn new(source: &str, threads: usize) -> Result<Self, String> {
+        let program = parse_program(source).map_err(|e| e.to_string())?;
+        let mut config = rq_service::ServiceConfig::default();
+        if threads > 0 {
+            config.threads = threads;
+        }
+        Ok(Self {
+            service: rq_service::QueryService::with_config(program, config),
+        })
+    }
+
+    /// The underlying service (for tests and the binary's banner).
+    pub fn service(&self) -> &rq_service::QueryService {
+        &self.service
+    }
+
+    /// Execute one input line.  Queries are separated by `;` and
+    /// answered as one batch on one snapshot.
+    pub fn execute_line(&mut self, line: &str) -> Result<CommandOutput, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(CommandOutput::text(""));
+        }
+        if let Some(rest) = line.strip_prefix(':') {
+            let (word, arg) = match rest.split_once(char::is_whitespace) {
+                Some((w, a)) => (w, a.trim()),
+                None => (rest, ""),
+            };
+            return match word {
+                "help" | "h" => Ok(CommandOutput::text(SERVE_HELP)),
+                "quit" | "q" | "exit" => Ok(CommandOutput {
+                    text: String::new(),
+                    notes: String::new(),
+                    quit: true,
+                }),
+                "epoch" => Ok(CommandOutput::text(format!(
+                    "epoch {}",
+                    self.service.snapshot().epoch()
+                ))),
+                "stats" => {
+                    let plans = self.service.plan_cache().stats();
+                    let results = self.service.result_cache().stats();
+                    Ok(CommandOutput::text(format!(
+                        "epoch {}\nplan cache:   {} hits / {} misses ({} compiled program(s))\nresult cache: {} hits / {} misses ({} entr(ies))",
+                        self.service.snapshot().epoch(),
+                        plans.hits,
+                        plans.misses,
+                        self.service.plan_cache().programs(),
+                        results.hits,
+                        results.misses,
+                        self.service.result_cache().len(),
+                    )))
+                }
+                "add" => {
+                    if arg.is_empty() {
+                        return Err("`:add` needs one or more facts".to_string());
+                    }
+                    let mut text = arg.to_string();
+                    if !text.trim_end().ends_with('.') {
+                        text.push('.');
+                    }
+                    let snap = self.service.ingest(&text).map_err(|e| e.to_string())?;
+                    Ok(CommandOutput::text(format!(
+                        "epoch {} ({} tuples)",
+                        snap.epoch(),
+                        snap.db().total_tuples()
+                    )))
+                }
+                other => Err(format!("unknown serve command `:{other}` (try :help)")),
+            };
+        }
+        self.answer_batch(line)
+    }
+
+    fn answer_batch(&self, line: &str) -> Result<CommandOutput, String> {
+        let texts: Vec<&str> = line
+            .split(';')
+            .map(str::trim)
+            .filter(|t| !t.is_empty())
+            .collect();
+        if texts.is_empty() {
+            return Ok(CommandOutput::text(""));
+        }
+        let snapshot = self.service.snapshot();
+        // Parse everything first so one batch sees one epoch; a query
+        // over an unknown constant has a trivially empty answer.
+        let mut parsed: Vec<Result<Option<rq_service::PointQuery>, String>> = Vec::new();
+        for text in &texts {
+            parsed.push(
+                match rq_service::parse_point_query(snapshot.program(), text) {
+                    Ok(q) => Ok(Some(q)),
+                    Err(rq_service::ServiceError::UnknownConstant(_)) => Ok(None),
+                    Err(e) => Err(e.to_string()),
+                },
+            );
+        }
+        let queries: Vec<rq_service::PointQuery> = parsed
+            .iter()
+            .filter_map(|p| p.as_ref().ok().copied().flatten())
+            .collect();
+        let mut answers = self.service.query_batch(&queries).into_iter();
+        let mut out = Vec::new();
+        for (text, slot) in texts.iter().zip(&parsed) {
+            let rendered = match slot {
+                Err(e) => format!("error: {e}"),
+                Ok(None) => "(none)".to_string(),
+                Ok(Some(_)) => match answers.next().expect("one answer per parsed query") {
+                    Err(e) => format!("error: {e}"),
+                    Ok(answer) => {
+                        if answer.answers.is_empty() {
+                            "(none)".to_string()
+                        } else {
+                            answer
+                                .answers
+                                .iter()
+                                .map(|&c| snapshot.program().consts.display(c))
+                                .collect::<Vec<_>>()
+                                .join(" ")
+                        }
+                    }
+                },
+            };
+            out.push(format!("{text}: {rendered}"));
+        }
+        Ok(CommandOutput::text(out.join("\n")))
     }
 }
 
@@ -429,8 +596,8 @@ mod tests {
         run(&mut s, ":stats on").unwrap();
         let out = run(&mut s, "sg(john, Y)").unwrap();
         assert!(out.text.contains("erik"));
-        assert!(out.text.contains("pipeline"));
-        assert!(out.text.contains("work="));
+        assert!(out.notes.contains("pipeline"));
+        assert!(out.notes.contains("work="));
     }
 
     #[test]
@@ -530,7 +697,7 @@ mod tests {
         .unwrap();
         run(&mut s, ":max-iterations 1").unwrap();
         let capped = run(&mut s, "sg(a1, Y)").unwrap();
-        assert!(capped.text.contains("warning"), "{}", capped.text);
+        assert!(capped.notes.contains("warning"), "{}", capped.notes);
         run(&mut s, ":max-iterations off").unwrap();
         let full = run(&mut s, "sg(a1, Y)").unwrap();
         assert_eq!(full.text, "b1\nb2\nb3");
@@ -556,5 +723,64 @@ mod tests {
         let mut s = Session::new();
         let err = run(&mut s, ":load /nonexistent/path.dl").unwrap_err();
         assert!(err.contains("cannot read"));
+    }
+
+    const TC: &str = "tc(X,Y) :- e(X,Y).\n\
+                      tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+                      e(a,b). e(b,c).\n";
+
+    #[test]
+    fn serve_batches_queries_on_one_line() {
+        let mut s = ServeSession::new(TC, 2).unwrap();
+        let out = s.execute_line("tc(a, Y); tc(X, c); tc(c, Y)").unwrap();
+        assert_eq!(out.text, "tc(a, Y): b c\ntc(X, c): a b\ntc(c, Y): (none)");
+    }
+
+    #[test]
+    fn serve_add_publishes_epochs_and_refreshes_answers() {
+        let mut s = ServeSession::new(TC, 1).unwrap();
+        assert_eq!(s.execute_line(":epoch").unwrap().text, "epoch 0");
+        assert_eq!(s.execute_line("tc(a, Y)").unwrap().text, "tc(a, Y): b c");
+        let out = s.execute_line(":add e(c,d)").unwrap();
+        assert!(out.text.starts_with("epoch 1"), "{}", out.text);
+        assert_eq!(s.execute_line("tc(a, Y)").unwrap().text, "tc(a, Y): b c d");
+        // A brand-new constant is queryable after ingest.
+        assert_eq!(s.execute_line("tc(X, d)").unwrap().text, "tc(X, d): a b c");
+    }
+
+    #[test]
+    fn serve_reports_per_query_errors_inline() {
+        let mut s = ServeSession::new(TC, 1).unwrap();
+        let out = s
+            .execute_line("tc(a, Y); zzz(a, Y); tc(unseen, Y)")
+            .unwrap();
+        let lines: Vec<&str> = out.text.lines().collect();
+        assert_eq!(lines[0], "tc(a, Y): b c");
+        assert!(
+            lines[1].contains("error") && lines[1].contains("zzz"),
+            "{}",
+            lines[1]
+        );
+        // Unknown constants are semantically empty, not errors.
+        assert_eq!(lines[2], "tc(unseen, Y): (none)");
+    }
+
+    #[test]
+    fn serve_stats_and_memoization() {
+        let mut s = ServeSession::new(TC, 1).unwrap();
+        s.execute_line("tc(a, Y)").unwrap();
+        s.execute_line("tc(a, Y)").unwrap();
+        let stats = s.execute_line(":stats").unwrap().text;
+        assert!(stats.contains("plan cache:"), "{stats}");
+        assert!(stats.contains("result cache: 1 hits"), "{stats}");
+    }
+
+    #[test]
+    fn serve_rejects_rules_in_add_and_unknown_commands() {
+        let mut s = ServeSession::new(TC, 1).unwrap();
+        assert!(s.execute_line(":add p(X,Y) :- e(X,Y)").is_err());
+        assert!(s.execute_line(":nonsense").is_err());
+        assert!(s.execute_line(":add").is_err());
+        assert!(s.execute_line(":quit").unwrap().quit);
     }
 }

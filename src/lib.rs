@@ -44,6 +44,7 @@ pub use rq_common;
 pub use rq_datalog;
 pub use rq_engine;
 pub use rq_relalg;
+pub use rq_service;
 pub use rq_workloads;
 
 use rq_common::{Const, Counters};
@@ -135,8 +136,8 @@ pub fn solve_with(
     if is_chain && program.is_derived(query.pred) {
         return solve_binary_chain(program, &db, &query, options);
     }
-    let answer = rq_adorn::answer_query(program, &db, &query, options)
-        .map_err(SolveError::Section4)?;
+    let answer =
+        rq_adorn::answer_query(program, &db, &query, options).map_err(SolveError::Section4)?;
     Ok(Solution {
         answers: query.restrict_free_rows(answer.rows),
         counters: answer.outcome.counters,
@@ -189,8 +190,7 @@ fn solve_binary_chain(
             } else {
                 rq_engine::all_pairs_min_side(&system, &source, p, options).0
             };
-            let rows: Vec<Vec<Const>> =
-                out.pairs.into_iter().map(|(x, y)| vec![x, y]).collect();
+            let rows: Vec<Vec<Const>> = out.pairs.into_iter().map(|(x, y)| vec![x, y]).collect();
             // `p(X, X)` and friends: repeated variables select the
             // diagonal and collapse to one column.
             let mut rows = query.restrict_free_rows(rows);

@@ -14,7 +14,14 @@ fn setup(w: &Workload) -> (rq_datalog::Program, Database, EqSystem, Const) {
     let program = w.program.clone();
     let db = Database::from_program(&program);
     let system = lemma1(&program, &Lemma1Options::default()).unwrap().system;
-    let src_name = w.query.split('(').nth(1).unwrap().split(',').next().unwrap();
+    let src_name = w
+        .query
+        .split('(')
+        .nth(1)
+        .unwrap()
+        .split(',')
+        .next()
+        .unwrap();
     let a = program
         .consts
         .get(&ConstValue::Str(src_name.into()))
@@ -130,10 +137,7 @@ fn counting_tracks_ours_on_all_samples() {
         ("b", fig7::sample_b as fn(usize) -> Workload),
         ("c", fig7::sample_c as fn(usize) -> Workload),
     ] {
-        let ours: Vec<(usize, f64)> = SIZES
-            .iter()
-            .map(|&n| (n, engine_work(&gen(n))))
-            .collect();
+        let ours: Vec<(usize, f64)> = SIZES.iter().map(|&n| (n, engine_work(&gen(n)))).collect();
         let cnt: Vec<(usize, f64)> = SIZES
             .iter()
             .map(|&n| {
@@ -171,7 +175,8 @@ fn fig8_needs_mn_iterations() {
             a0,
             &EvalOptions {
                 record_iterations: true,
-                ..EvalOptions::default() },
+                ..EvalOptions::default()
+            },
         );
         assert_eq!(out.answers.len(), n);
         // Last productive iteration: > m·(n-1), ≤ m·n + 1.
@@ -197,9 +202,7 @@ fn demand_vs_preconstruction_gap_grows() {
     // region does.
     let mut gaps = Vec::new();
     for &n in &[100usize, 200, 400] {
-        let mut src = String::from(
-            "tc(X,Y) :- e(X,Y).\ntc(X,Z) :- e(X,Y), tc(Y,Z).\ne(a,b).\n",
-        );
+        let mut src = String::from("tc(X,Y) :- e(X,Y).\ntc(X,Z) :- e(X,Y), tc(Y,Z).\ne(a,b).\n");
         for i in 0..n {
             src.push_str(&format!("e(u{}, u{}).\n", i, i + 1));
         }
@@ -211,8 +214,8 @@ fn demand_vs_preconstruction_gap_grows() {
         let a = program.consts.get(&ConstValue::Str("a".into())).unwrap();
         let source = EdbSource::new(&db);
         let engine = Evaluator::new(&system, &source).evaluate(tc, a, &EvalOptions::default());
-        let gap = hunt.build_counters.total_work() as f64
-            / engine.counters.total_work().max(1) as f64;
+        let gap =
+            hunt.build_counters.total_work() as f64 / engine.counters.total_work().max(1) as f64;
         gaps.push(gap);
     }
     assert!(

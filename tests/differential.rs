@@ -23,7 +23,9 @@ fn check_program(rp: &rq_workloads::randprog::RandProgram, label: &str) {
     };
 
     for (pi, name) in rp.derived.iter().enumerate() {
-        let pred = program.pred_by_name(name).expect("derived predicate exists");
+        let pred = program
+            .pred_by_name(name)
+            .expect("derived predicate exists");
         let full = oracle.tuples(pred);
 
         // Query constants: an early one, a middle one, one occurring in
@@ -165,8 +167,7 @@ fn compacted_machines_match_plain_on_random_programs() {
         for name in &rp.derived {
             let pred = program.pred_by_name(name).unwrap();
             for a in ["n0", "n3", "n9"] {
-                let q = rq_datalog::Query::parse(&mut program, &format!("{name}({a}, Y)"))
-                    .unwrap();
+                let q = rq_datalog::Query::parse(&mut program, &format!("{name}({a}, Y)")).unwrap();
                 let rq_datalog::QueryArg::Bound(c) = q.args[0] else {
                     unreachable!()
                 };
@@ -294,11 +295,8 @@ fn linear_shape_baselines_match_oracle_on_random_programs() {
             let rq_datalog::QueryArg::Bound(c) = q.args[0] else {
                 unreachable!()
             };
-            let mut expected: Vec<rq_common::Const> = full
-                .iter()
-                .filter(|t| t[0] == c)
-                .map(|t| t[1])
-                .collect();
+            let mut expected: Vec<rq_common::Const> =
+                full.iter().filter(|t| t[0] == c).map(|t| t[1]).collect();
             expected.sort();
             expected.dedup();
             let sort = |s: &rq_common::FxHashSet<rq_common::Const>| {
@@ -308,9 +306,19 @@ fn linear_shape_baselines_match_oracle_on_random_programs() {
             };
             let hn = rq_baselines::henschen_naqvi(&system, &db, pred, c, None);
             assert!(hn.converged, "hn seed {seed}\n{}", rp.text);
-            assert_eq!(sort(&hn.answers), expected, "hn seed {seed} {a}\n{}", rp.text);
+            assert_eq!(
+                sort(&hn.answers),
+                expected,
+                "hn seed {seed} {a}\n{}",
+                rp.text
+            );
             let cnt = rq_baselines::counting(&system, &db, pred, c, None);
-            assert_eq!(sort(&cnt.answers), expected, "counting seed {seed} {a}\n{}", rp.text);
+            assert_eq!(
+                sort(&cnt.answers),
+                expected,
+                "counting seed {seed} {a}\n{}",
+                rp.text
+            );
             let rev = rq_baselines::reverse_counting(&system, &db, pred, c, None);
             assert_eq!(
                 sort(&rev.answers),
@@ -357,7 +365,11 @@ fn generic_baselines_match_oracle_on_random_programs() {
             let mut magic_rows = magic.rows.clone();
             magic_rows.sort();
             magic_rows.dedup();
-            assert_eq!(magic_rows, expected, "magic {qtext} seed {seed}\n{}", rp.text);
+            assert_eq!(
+                magic_rows, expected,
+                "magic {qtext} seed {seed}\n{}",
+                rp.text
+            );
 
             let qsq = rq_baselines::qsq(&program, &query)
                 .unwrap_or_else(|e| panic!("qsq({qtext}) seed {seed}: {e}\n{}", rp.text));

@@ -14,12 +14,7 @@ fn oracle_answers(w: &Workload) -> Vec<String> {
     let mut program = w.program.clone();
     let q = Query::parse(&mut program, &w.query).unwrap();
     let res = naive_eval(&program).unwrap();
-    let tuples: Vec<Vec<Const>> = res
-        .db
-        .relation(q.pred)
-        .iter()
-        .map(|t| t.to_vec())
-        .collect();
+    let tuples: Vec<Vec<Const>> = res.db.relation(q.pred).iter().map(|t| t.to_vec()).collect();
     q.answer_from_relation(&tuples)
         .into_iter()
         .map(|row| {
@@ -84,7 +79,14 @@ fn all_strategies_agree_on_fig7() {
         let db = Database::from_program(&program);
         let system = lemma1(&program, &Lemma1Options::default()).unwrap().system;
         let sg = program.pred_by_name("sg").unwrap();
-        let src_name = w.query.split('(').nth(1).unwrap().split(',').next().unwrap();
+        let src_name = w
+            .query
+            .split('(')
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap();
         let a = program
             .consts
             .get(&ConstValue::Str(src_name.into()))
@@ -123,14 +125,9 @@ fn all_strategies_agree_on_cyclic_fig8() {
         let a0 = program.consts.get(&ConstValue::Str("a0".into())).unwrap();
         let bound = fig8::sufficient_levels(m, n) + 1;
 
-        let engine = rq_engine::evaluate_with_cyclic_guard(
-            &system,
-            &db,
-            sg,
-            a0,
-            &EvalOptions::default(),
-        )
-        .answers;
+        let engine =
+            rq_engine::evaluate_with_cyclic_guard(&system, &db, sg, a0, &EvalOptions::default())
+                .answers;
         let hn = henschen_naqvi(&system, &db, sg, a0, Some(bound)).answers;
         let cnt = counting(&system, &db, sg, a0, Some(bound)).answers;
         assert_eq!(hn, engine, "HN on {}", w.name);
@@ -141,13 +138,24 @@ fn all_strategies_agree_on_cyclic_fig8() {
 
 #[test]
 fn hunt_agrees_with_engine_on_regular_workloads() {
-    for w in [graphs::chain(20), graphs::binary_tree(4), graphs::grid(4, 4)] {
+    for w in [
+        graphs::chain(20),
+        graphs::binary_tree(4),
+        graphs::grid(4, 4),
+    ] {
         let program = w.program.clone();
         let db = Database::from_program(&program);
         let system = lemma1(&program, &Lemma1Options::default()).unwrap().system;
         let tc = program.pred_by_name("tc").unwrap();
         let graph = HuntGraph::build(&db, &system.rhs[&tc]);
-        let src_name = w.query.split('(').nth(1).unwrap().split(',').next().unwrap();
+        let src_name = w
+            .query
+            .split('(')
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap();
         let a = program
             .consts
             .get(&ConstValue::Str(src_name.into()))
@@ -183,7 +191,8 @@ fn extra_iterations_are_harmless() {
         a0,
         &EvalOptions {
             max_iterations: Some(natural.counters.iterations + 50),
-            ..EvalOptions::default() },
+            ..EvalOptions::default()
+        },
     );
     assert_eq!(looser.answers, natural.answers);
     assert_eq!(looser.counters.iterations, natural.counters.iterations);
@@ -202,17 +211,20 @@ fn section3_and_section4_agree_on_binary_queries() {
         let s4 = rq_adorn::answer_query(&program, &db, &q, &EvalOptions::default()).unwrap();
         // §3 path.
         let system = lemma1(&program, &Lemma1Options::default()).unwrap().system;
-        let src_name = w.query.split('(').nth(1).unwrap().split(',').next().unwrap();
+        let src_name = w
+            .query
+            .split('(')
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .next()
+            .unwrap();
         let a = program
             .consts
             .get(&ConstValue::Str(src_name.into()))
             .unwrap();
         let source = EdbSource::new(&db);
-        let s3 = Evaluator::new(&system, &source).evaluate(
-            q.pred,
-            a,
-            &EvalOptions::default(),
-        );
+        let s3 = Evaluator::new(&system, &source).evaluate(q.pred, a, &EvalOptions::default());
         let s4_set: FxHashSet<Const> = s4.rows.iter().map(|row| row[0]).collect();
         assert_eq!(s4_set, s3.answers, "{}", w.name);
     }

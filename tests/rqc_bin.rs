@@ -115,6 +115,37 @@ fn repl_session_over_stdin() {
 }
 
 #[test]
+fn serve_session_over_stdin() {
+    let dir = tempdir();
+    let program = write_program(&dir);
+    let mut child = Command::new(RQC)
+        .arg("serve")
+        .arg(&program)
+        .arg("--threads")
+        .arg("2")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    child
+        .stdin
+        .as_mut()
+        .unwrap()
+        .write_all(b"sg(john, Y); sg(X, erik)\n:add flat(john, paul)\nsg(john, Y)\n:epoch\n:quit\n")
+        .unwrap();
+    let out = child.wait_with_output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines[0], "sg(john, Y): erik");
+    assert_eq!(lines[1], "sg(X, erik): john");
+    assert!(lines[2].starts_with("epoch 1"), "{}", lines[2]);
+    assert_eq!(lines[3], "sg(john, Y): erik paul");
+    assert_eq!(lines[4], "epoch 1");
+}
+
+#[test]
 fn repl_eof_terminates_cleanly() {
     let mut child = Command::new(RQC)
         .arg("repl")
@@ -148,5 +179,8 @@ fn repl_survives_errors() {
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("error"), "{stderr}");
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("commands:"), "help still works after errors");
+    assert!(
+        stdout.contains("commands:"),
+        "help still works after errors"
+    );
 }
