@@ -10,7 +10,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rq_common::Const;
 use rq_engine::{cyclic_iteration_bound, EdbSource, EvalOptions, Evaluator};
-use rq_service::{Adornment, PointQuery, QueryService, ServiceConfig};
+use rq_service::{Adornment, PointQuery, QueryService, ServeQuery, ServiceConfig};
 use rq_workloads::{fig8, graphs, Workload};
 
 /// Bound-free point queries from every constant of the workload.
@@ -61,6 +61,7 @@ fn bench_service(c: &mut Criterion) {
             })
         });
 
+        let serve_queries: Vec<ServeQuery> = queries.iter().map(|&q| q.into()).collect();
         for threads in [1usize, 2, 4, 8] {
             let service = QueryService::with_config(
                 workload.program.clone(),
@@ -71,7 +72,7 @@ fn bench_service(c: &mut Criterion) {
                 },
             );
             group.bench_with_input(BenchmarkId::new("batch", threads), &threads, |b, _| {
-                b.iter(|| service.query_batch(&queries))
+                b.iter(|| service.query_batch(&serve_queries))
             });
         }
 
@@ -83,7 +84,7 @@ fn bench_service(c: &mut Criterion) {
             },
         );
         group.bench_function("batch_memoized", |b| {
-            b.iter(|| memoized.query_batch(&queries))
+            b.iter(|| memoized.query_batch(&serve_queries))
         });
         group.finish();
     }

@@ -6,6 +6,7 @@
 //! tuple storage compact (the perf guide's "smaller integers" advice).
 
 use crate::hash::FxHashMap;
+use crate::pshare::{PMap, PVec};
 use std::fmt;
 
 /// Declares a `u32` newtype id with the plumbing an interner needs.
@@ -82,10 +83,15 @@ impl ConstValue {
 }
 
 /// Interner for constants, mapping [`ConstValue`]s to dense [`Const`] ids.
+///
+/// Backed by persistent storage ([`PVec`] / [`PMap`]) so the serving
+/// layer's snapshot publication can clone a whole program in O(pointer
+/// bumps): an ingest that interns three new constants shares all prior
+/// interner structure with the parent epoch.
 #[derive(Default, Clone)]
 pub struct ConstInterner {
-    values: Vec<ConstValue>,
-    lookup: FxHashMap<ConstValue, Const>,
+    values: PVec<ConstValue>,
+    lookup: PMap<ConstValue, Const>,
 }
 
 impl ConstInterner {
@@ -125,7 +131,7 @@ impl ConstInterner {
 
     /// The value behind an id.
     pub fn value(&self, id: Const) -> &ConstValue {
-        &self.values[id.index()]
+        self.values.get(id.index()).expect("unknown constant id")
     }
 
     /// Look up an already-interned value without inserting.

@@ -6,7 +6,10 @@
 //! * [`intern`] — interned constants, predicates, and variables;
 //! * [`idvec`] — dense tables indexed by interned ids;
 //! * [`counters`] — the unit-cost instrumentation counters that the
-//!   benchmark harness uses to reproduce the paper's complexity table.
+//!   benchmark harness uses to reproduce the paper's complexity table;
+//! * [`pshare`] — persistent (structurally shared) chunked vectors and
+//!   hash tries, the storage substrate that makes snapshot epochs cost
+//!   O(delta) instead of O(database).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -15,8 +18,10 @@ pub mod counters;
 pub mod hash;
 pub mod idvec;
 pub mod intern;
+pub mod pshare;
 
 pub use counters::Counters;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use idvec::{IdLike, IdVec};
 pub use intern::{Const, ConstInterner, ConstValue, NameInterner, Pred, Var};
+pub use pshare::{PMap, PVec};

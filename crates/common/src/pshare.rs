@@ -1,0 +1,610 @@
+//! Persistent (structurally shared) collections for O(delta) snapshots.
+//!
+//! The serving layer publishes immutable database epochs by cloning the
+//! current version and applying a small delta.  With ordinary `Vec` /
+//! `HashMap` storage that clone costs O(whole database); the two
+//! structures here make it cost O(pointer bumps) instead, in the mold
+//! of the `im` crate (swap these for `im::Vector` / `im::HashMap` when
+//! registry access is available — the API surface below is the subset
+//! the workspace uses):
+//!
+//! * [`PVec`] — a chunked persistent vector.  Elements live in fixed-
+//!   capacity chunks behind `Arc`s; cloning bumps one refcount per
+//!   chunk, and pushing into a shared vector copies **only the tail
+//!   chunk** (copy-on-write), leaving every full chunk shared with the
+//!   parent.
+//! * [`PMap`] — a hash-array-mapped trie (32-way branching on 5-bit
+//!   hash slices).  Cloning bumps the root refcount; inserting into a
+//!   shared map path-copies the O(log₃₂ n) nodes from the root to the
+//!   touched leaf and shares everything else.
+//!
+//! Both structures detect unique ownership (`Arc::make_mut`), so the
+//! common single-owner case — bottom-up evaluation filling a fresh
+//! database — mutates in place with no copying at all.
+
+use crate::hash::FxHasher;
+use std::borrow::Borrow;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// Default chunk capacity for [`PVec`] (elements per chunk).
+pub const DEFAULT_CHUNK: usize = 256;
+
+/// A chunked persistent vector with tail-chunk copy-on-write.
+#[derive(Debug)]
+pub struct PVec<T> {
+    chunk_cap: usize,
+    len: usize,
+    chunks: Vec<Arc<Vec<T>>>,
+}
+
+impl<T> Clone for PVec<T> {
+    fn clone(&self) -> Self {
+        Self {
+            chunk_cap: self.chunk_cap,
+            len: self.len,
+            chunks: self.chunks.clone(), // Arc bumps only.
+        }
+    }
+}
+
+impl<T> Default for PVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PVec<T> {
+    /// Empty vector with the default chunk capacity.
+    pub fn new() -> Self {
+        Self::with_chunk_capacity(DEFAULT_CHUNK)
+    }
+
+    /// Empty vector with an explicit chunk capacity.  Callers storing
+    /// fixed-stride records (e.g. `arity` constants per tuple) pick a
+    /// capacity that is a multiple of the stride so no record ever
+    /// straddles a chunk boundary.
+    pub fn with_chunk_capacity(chunk_cap: usize) -> Self {
+        assert!(chunk_cap > 0, "chunk capacity must be positive");
+        Self {
+            chunk_cap,
+            len: 0,
+            chunks: Vec::new(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The element at `i`.
+    pub fn get(&self, i: usize) -> Option<&T> {
+        if i >= self.len {
+            return None;
+        }
+        self.chunks[i / self.chunk_cap].get(i % self.chunk_cap)
+    }
+
+    /// A contiguous run of `len` elements starting at `start`.  The run
+    /// must not straddle a chunk boundary — guaranteed by construction
+    /// when the chunk capacity is a multiple of the record stride.
+    pub fn get_slice(&self, start: usize, len: usize) -> &[T] {
+        debug_assert!(start + len <= self.len);
+        let chunk = start / self.chunk_cap;
+        let off = start % self.chunk_cap;
+        debug_assert!(
+            off + len <= self.chunk_cap,
+            "record straddles a chunk boundary (stride does not divide chunk capacity)"
+        );
+        &self.chunks[chunk][off..off + len]
+    }
+
+    /// Iterate all elements in order.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.chunks.iter().flat_map(|c| c.iter())
+    }
+
+    /// Number of chunks currently allocated (for sharing diagnostics).
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// How many chunks `self` physically shares with `other` (same
+    /// position, same `Arc`) — the structural-sharing test hook.
+    pub fn shared_chunks_with(&self, other: &Self) -> usize {
+        self.chunks
+            .iter()
+            .zip(other.chunks.iter())
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+}
+
+impl<T: Clone> PVec<T> {
+    /// Append one element.  If the tail chunk is shared with another
+    /// version, only that chunk is copied (O(chunk), not O(len)).
+    pub fn push(&mut self, value: T) {
+        self.push_slice_inner(std::slice::from_ref(&value));
+    }
+
+    /// Append a contiguous record.  `record.len()` must divide the
+    /// chunk capacity so records never straddle chunk boundaries —
+    /// enforced unconditionally, because a straddling record would
+    /// make [`Self::get_slice`] return elements of the wrong record
+    /// with no panic.
+    pub fn push_slice(&mut self, record: &[T]) {
+        if record.is_empty() {
+            return;
+        }
+        assert_eq!(
+            self.chunk_cap % record.len(),
+            0,
+            "record stride must divide chunk capacity"
+        );
+        self.push_slice_inner(record);
+    }
+
+    fn push_slice_inner(&mut self, record: &[T]) {
+        let used = self.len % self.chunk_cap;
+        if used == 0 && self.len == self.chunk_cap * self.chunks.len() {
+            // Tail chunk full (or no chunks yet): start a fresh one.
+            let mut chunk = Vec::with_capacity(self.chunk_cap);
+            chunk.extend_from_slice(record);
+            self.chunks.push(Arc::new(chunk));
+        } else {
+            let tail = self.chunks.last_mut().expect("tail chunk exists");
+            // COW: clones the tail chunk only if another version holds it.
+            Arc::make_mut(tail).extend_from_slice(record);
+        }
+        self.len += record.len();
+    }
+}
+
+impl<T> std::ops::Index<usize> for PVec<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        self.get(i).expect("PVec index out of bounds")
+    }
+}
+
+impl<'a, T> IntoIterator for &'a PVec<T> {
+    type Item = &'a T;
+    type IntoIter = std::iter::FlatMap<
+        std::slice::Iter<'a, Arc<Vec<T>>>,
+        std::slice::Iter<'a, T>,
+        fn(&'a Arc<Vec<T>>) -> std::slice::Iter<'a, T>,
+    >;
+    fn into_iter(self) -> Self::IntoIter {
+        self.chunks.iter().flat_map(|c| c.iter())
+    }
+}
+
+impl<T: Clone> FromIterator<T> for PVec<T> {
+    fn from_iter<It: IntoIterator<Item = T>>(iter: It) -> Self {
+        let mut v = Self::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+impl<T: Clone> Extend<T> for PVec<T> {
+    fn extend<It: IntoIterator<Item = T>>(&mut self, iter: It) {
+        for item in iter {
+            self.push(item);
+        }
+    }
+}
+
+impl<T: PartialEq> PartialEq for PVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl<T: Eq> Eq for PVec<T> {}
+
+const BITS: u32 = 5;
+const LEVEL_MASK: u64 = 0x1f;
+/// Deepest shift at which branches split; two distinct 64-bit hashes
+/// always differ in some 5-bit group at or before this shift.
+const MAX_SHIFT: u32 = 60;
+
+#[derive(Clone, Debug)]
+enum Node<K, V> {
+    /// Interior node: `bitmap` bit `i` set means a child exists for
+    /// 5-bit hash slice `i`; children are stored compressed, in
+    /// ascending slice order.
+    Branch {
+        bitmap: u32,
+        children: Vec<Arc<Node<K, V>>>,
+    },
+    /// All entries whose full 64-bit hash is `hash` (true collisions
+    /// share one leaf).
+    Leaf { hash: u64, entries: Vec<(K, V)> },
+}
+
+/// A persistent hash map (hash-array-mapped trie).
+#[derive(Debug)]
+pub struct PMap<K, V> {
+    root: Option<Arc<Node<K, V>>>,
+    len: usize,
+}
+
+impl<K, V> Clone for PMap<K, V> {
+    fn clone(&self) -> Self {
+        Self {
+            root: self.root.clone(), // one Arc bump.
+            len: self.len,
+        }
+    }
+}
+
+impl<K, V> Default for PMap<K, V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn hash_of<Q: Hash + ?Sized>(key: &Q) -> u64 {
+    let mut h = FxHasher::default();
+    key.hash(&mut h);
+    h.finish()
+}
+
+impl<K, V> PMap<K, V> {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self { root: None, len: 0 }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether two maps share their root node (total structural
+    /// sharing) — the sharing test hook.
+    pub fn ptr_eq(&self, other: &Self) -> bool {
+        match (&self.root, &other.root) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            (None, None) => true,
+            _ => false,
+        }
+    }
+
+    /// Iterate all entries in unspecified order.
+    pub fn iter(&self) -> PMapIter<'_, K, V> {
+        PMapIter {
+            stack: self.root.as_deref().into_iter().collect(),
+            leaf: None,
+        }
+    }
+}
+
+impl<K: Hash + Eq, V> PMap<K, V> {
+    /// Look up `key`.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let h = hash_of(key);
+        let mut node = self.root.as_deref()?;
+        let mut shift = 0u32;
+        loop {
+            match node {
+                Node::Leaf { hash, entries } => {
+                    return if *hash == h {
+                        entries
+                            .iter()
+                            .find(|(k, _)| k.borrow() == key)
+                            .map(|(_, v)| v)
+                    } else {
+                        None
+                    };
+                }
+                Node::Branch { bitmap, children } => {
+                    let bit = 1u32 << ((h >> shift) & LEVEL_MASK);
+                    if bitmap & bit == 0 {
+                        return None;
+                    }
+                    node = &children[(bitmap & (bit - 1)).count_ones() as usize];
+                    shift += BITS;
+                }
+            }
+        }
+    }
+
+    /// Whether `key` is present.
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        self.get(key).is_some()
+    }
+}
+
+impl<K: Hash + Eq + Clone, V: Clone> PMap<K, V> {
+    /// Mutable access to the entry for `key`, inserting
+    /// `default()` first if absent.  Path-copies only the nodes between
+    /// the root and the touched leaf that are shared with other
+    /// versions; uniquely owned nodes are mutated in place.
+    pub fn entry_mut(&mut self, key: K, default: impl FnOnce() -> V) -> &mut V {
+        let h = hash_of(&key);
+        let root = self.root.get_or_insert_with(|| {
+            Arc::new(Node::Branch {
+                bitmap: 0,
+                children: Vec::new(),
+            })
+        });
+        let (inserted, slot) = Self::entry_in(root, h, key, default);
+        if inserted {
+            self.len += 1;
+        }
+        slot
+    }
+
+    fn entry_in(
+        mut node_arc: &mut Arc<Node<K, V>>,
+        h: u64,
+        key: K,
+        default: impl FnOnce() -> V,
+    ) -> (bool, &mut V) {
+        let mut shift = 0u32;
+        let mut default = Some(default);
+        loop {
+            // Normalize: a leaf whose hash differs from `h` becomes a
+            // one-child branch so the walk below can descend past it.
+            {
+                let node = Arc::make_mut(node_arc);
+                if let Node::Leaf { hash, .. } = node {
+                    if *hash != h {
+                        debug_assert!(shift <= MAX_SHIFT);
+                        let old_bit = 1u32 << ((*hash >> shift) & LEVEL_MASK);
+                        let old = std::mem::replace(
+                            node,
+                            Node::Branch {
+                                bitmap: old_bit,
+                                children: Vec::new(),
+                            },
+                        );
+                        if let Node::Branch { children, .. } = node {
+                            children.push(Arc::new(old));
+                        }
+                    }
+                }
+            }
+            let node = Arc::make_mut(node_arc);
+            match node {
+                Node::Leaf { entries, .. } => {
+                    if let Some(i) = entries.iter().position(|(k, _)| *k == key) {
+                        return (false, &mut entries[i].1);
+                    }
+                    let value = default.take().expect("default consumed once")();
+                    entries.push((key, value));
+                    let last = entries.len() - 1;
+                    return (true, &mut entries[last].1);
+                }
+                Node::Branch { bitmap, children } => {
+                    let bit = 1u32 << ((h >> shift) & LEVEL_MASK);
+                    let pos = (*bitmap & (bit - 1)).count_ones() as usize;
+                    if *bitmap & bit == 0 {
+                        *bitmap |= bit;
+                        children.insert(
+                            pos,
+                            Arc::new(Node::Leaf {
+                                hash: h,
+                                entries: Vec::new(),
+                            }),
+                        );
+                    }
+                    node_arc = &mut children[pos];
+                    shift += BITS;
+                }
+            }
+        }
+    }
+
+    /// Insert, returning the previous value if the key was present.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        let mut pending = Some(value);
+        let slot = self.entry_mut(key, || pending.take().expect("fresh insert"));
+        match pending.take() {
+            // `default` was not called: the key existed; replace.
+            Some(v) => Some(std::mem::replace(slot, v)),
+            None => None,
+        }
+    }
+}
+
+/// Iterator over [`PMap`] entries.
+pub struct PMapIter<'a, K, V> {
+    stack: Vec<&'a Node<K, V>>,
+    leaf: Option<std::slice::Iter<'a, (K, V)>>,
+}
+
+impl<'a, K, V> Iterator for PMapIter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(leaf) = &mut self.leaf {
+                if let Some((k, v)) = leaf.next() {
+                    return Some((k, v));
+                }
+                self.leaf = None;
+            }
+            match self.stack.pop()? {
+                Node::Leaf { entries, .. } => self.leaf = Some(entries.iter()),
+                Node::Branch { children, .. } => {
+                    self.stack.extend(children.iter().map(|c| c.as_ref()));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pvec_push_get_iter() {
+        let mut v: PVec<u32> = PVec::with_chunk_capacity(4);
+        for i in 0..10 {
+            v.push(i);
+        }
+        assert_eq!(v.len(), 10);
+        assert_eq!(v[7], 7);
+        assert_eq!(v.get(10), None);
+        let all: Vec<u32> = v.iter().copied().collect();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        assert_eq!(v.chunk_count(), 3);
+    }
+
+    #[test]
+    fn pvec_clone_shares_chunks_and_cow_touches_only_the_tail() {
+        let mut v: PVec<u32> = PVec::with_chunk_capacity(4);
+        for i in 0..9 {
+            v.push(i);
+        }
+        let snapshot = v.clone();
+        assert_eq!(snapshot.shared_chunks_with(&v), 3);
+        v.push(9);
+        // Full chunks still shared; only the tail chunk was copied.
+        assert_eq!(snapshot.shared_chunks_with(&v), 2);
+        // The snapshot is unchanged.
+        assert_eq!(snapshot.len(), 9);
+        assert_eq!(v.len(), 10);
+        assert_eq!(snapshot.get(9), None);
+        assert_eq!(v[9], 9);
+    }
+
+    #[test]
+    fn pvec_records_never_straddle_chunks() {
+        let mut v: PVec<u32> = PVec::with_chunk_capacity(6);
+        for t in 0..7u32 {
+            v.push_slice(&[t, t + 100]);
+        }
+        for t in 0..7 {
+            assert_eq!(v.get_slice(t as usize * 2, 2), &[t, t + 100]);
+        }
+    }
+
+    #[test]
+    fn pvec_from_iter_and_index() {
+        let v: PVec<char> = "abc".chars().collect();
+        assert_eq!(v[1], 'b');
+        let doubled: String = (&v).into_iter().collect();
+        assert_eq!(doubled, "abc");
+    }
+
+    #[test]
+    fn pmap_insert_get_len() {
+        let mut m: PMap<String, u32> = PMap::new();
+        assert!(m.is_empty());
+        for i in 0..100u32 {
+            assert_eq!(m.insert(format!("k{i}"), i), None);
+        }
+        assert_eq!(m.len(), 100);
+        for i in 0..100u32 {
+            assert_eq!(m.get(&format!("k{i}")), Some(&i));
+        }
+        assert_eq!(m.get("missing"), None);
+        assert_eq!(m.insert("k7".into(), 700), Some(7));
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get("k7"), Some(&700));
+    }
+
+    #[test]
+    fn pmap_borrowed_key_lookup() {
+        let mut m: PMap<Box<[u32]>, u32> = PMap::new();
+        m.insert(vec![1, 2].into_boxed_slice(), 12);
+        // Probe with the unsized borrow, as Relation::contains does.
+        let probe: &[u32] = &[1, 2];
+        assert_eq!(m.get(probe), Some(&12));
+        assert!(!m.contains_key::<[u32]>(&[2, 1]));
+    }
+
+    #[test]
+    fn pmap_clone_is_persistent() {
+        let mut m: PMap<u64, u64> = PMap::new();
+        for i in 0..500 {
+            m.insert(i, i * 2);
+        }
+        let snapshot = m.clone();
+        assert!(snapshot.ptr_eq(&m));
+        m.insert(1000, 2000);
+        *m.entry_mut(3, || 0) = 99;
+        assert!(!snapshot.ptr_eq(&m));
+        // The snapshot still sees the old world.
+        assert_eq!(snapshot.len(), 500);
+        assert_eq!(snapshot.get(&1000), None);
+        assert_eq!(snapshot.get(&3), Some(&6));
+        assert_eq!(m.get(&3), Some(&99));
+        assert_eq!(m.len(), 501);
+    }
+
+    #[test]
+    fn pmap_entry_mut_inserts_default_once() {
+        let mut m: PMap<u32, Vec<u32>> = PMap::new();
+        m.entry_mut(5, Vec::new).push(1);
+        m.entry_mut(5, || panic!("entry exists")).push(2);
+        assert_eq!(m.get(&5), Some(&vec![1, 2]));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn pmap_iter_sees_every_entry() {
+        let mut m: PMap<u32, u32> = PMap::new();
+        for i in 0..321 {
+            m.insert(i, i + 1);
+        }
+        let mut seen: Vec<u32> = m.iter().map(|(&k, _)| k).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..321).collect::<Vec<_>>());
+        assert!(m.iter().all(|(&k, &v)| v == k + 1));
+    }
+
+    #[test]
+    fn pmap_survives_many_inserts_interleaved_with_clones() {
+        // Chains of clone+insert exercise path copying at every depth.
+        let mut versions: Vec<PMap<u64, u64>> = Vec::new();
+        let mut m: PMap<u64, u64> = PMap::new();
+        for i in 0..2_000u64 {
+            // A multiplicative hash-unfriendly key pattern.
+            m.insert(i.wrapping_mul(0x9e37_79b9_7f4a_7c15), i);
+            if i % 250 == 0 {
+                versions.push(m.clone());
+            }
+        }
+        assert_eq!(m.len(), 2_000);
+        for (vi, v) in versions.iter().enumerate() {
+            assert_eq!(v.len(), vi * 250 + 1);
+        }
+        for i in 0..2_000u64 {
+            assert_eq!(m.get(&i.wrapping_mul(0x9e37_79b9_7f4a_7c15)), Some(&i));
+        }
+    }
+
+    #[test]
+    fn structures_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PVec<u32>>();
+        assert_send_sync::<PMap<u32, u32>>();
+    }
+}

@@ -6,7 +6,7 @@
 //! intensional database (IDB).  Base predicates (appearing only in facts)
 //! and derived predicates (appearing in rule heads) are disjoint.
 
-use rq_common::{Const, ConstInterner, IdVec, NameInterner, Pred, Var};
+use rq_common::{Const, ConstInterner, IdVec, NameInterner, PVec, Pred, Var};
 use std::fmt;
 
 /// A term: a variable or a constant.
@@ -191,8 +191,11 @@ pub struct Program {
     pub preds: IdVec<Pred, PredInfo>,
     /// The intensional database.
     pub rules: Vec<Rule>,
-    /// The extensional database, as listed in the source.
-    pub facts: Vec<(Pred, Vec<Const>)>,
+    /// The extensional database, as listed in the source.  Persistent
+    /// (chunk-shared) storage: cloning a program for the next snapshot
+    /// epoch shares all prior facts with the parent, so ingest-time
+    /// program clones cost O(delta), not O(all facts ever ingested).
+    pub facts: PVec<(Pred, Vec<Const>)>,
     /// Name-index → predicate id, for O(1) lookup.
     by_name: Vec<Option<Pred>>,
 }

@@ -1,23 +1,42 @@
-//! Extensional/derived relation storage with on-demand column indexes.
+//! Extensional/derived relation storage: predicate-sharded, persistent,
+//! with on-demand column indexes.
 //!
 //! The paper's cost model assumes "any tuple in a base relation can be
 //! retrieved in constant time".  We realize that model with flat, arity-
-//! strided tuple storage plus hash indexes keyed by the bound-column subset,
-//! built lazily the first time a lookup with that binding pattern happens
-//! and maintained incrementally as tuples are inserted.
+//! strided tuple storage plus hash indexes keyed by the bound-column
+//! subset, built lazily the first time a lookup with that binding pattern
+//! happens and maintained incrementally as tuples are inserted.
 //!
-//! The index cache sits behind an [`RwLock`] so a fully built relation is
-//! `Sync`: the serving layer (`rq-service`) shares immutable [`Database`]
-//! snapshots across query worker threads.  Single-threaded evaluation pays
-//! one uncontended lock acquisition per probe; snapshot publication calls
-//! [`Relation::build_index`] / [`Database::prewarm_binary_indexes`] up
-//! front so concurrent readers take the read path only.
+//! **Sharding and persistence.**  A [`Database`] holds one `Arc`-shared
+//! [`Relation`] *shard* per predicate.  Cloning a database bumps one
+//! refcount per shard; mutating a shard first detaches it copy-on-write
+//! (`Arc::make_mut`).  Inside a shard, storage is persistent too: tuples
+//! live in a chunked [`PVec`] (appends copy only the tail chunk), and
+//! the dedup table and every built index are [`PMap`] hash tries (path
+//! copying).  The net effect is that publishing a new snapshot epoch
+//! after ingesting a handful of facts costs O(delta), not O(database):
+//! untouched shards are shared wholesale (`Arc::ptr_eq` with the parent
+//! epoch), and the touched shard shares all of its full chunks and all
+//! untouched index regions with its predecessor.
+//!
+//! **Index warmth.**  The index cache lives *inside* the shard, behind
+//! an [`RwLock`] so a fully built relation is `Sync`: the serving layer
+//! (`rq-service`) shares immutable [`Database`] snapshots across query
+//! worker threads.  Because untouched shards are shared by pointer,
+//! their warm indexes survive epoch publication for free; a touched
+//! shard clones its index *maps* cheaply (persistent tries) and then
+//! maintains them incrementally for the delta, so even the dirty shard
+//! never rebuilds an index from scratch.
 
-use rq_common::{Const, FxHashMap, IdVec, Pred};
-use std::sync::RwLock;
+use rq_common::{Const, FxHashMap, IdVec, PMap, PVec, Pred};
+use std::sync::{Arc, RwLock};
 
 /// A bitmask of bound columns; bit `i` set means column `i` is bound.
 pub type ColMask = u32;
+
+/// Tuples per storage chunk; the chunk byte-capacity scales with arity
+/// so a tuple never straddles a chunk boundary.
+const TUPLES_PER_CHUNK: usize = 256;
 
 /// Build a mask from an iterator of bound column positions.
 pub fn mask_of(cols: impl IntoIterator<Item = usize>) -> ColMask {
@@ -34,18 +53,28 @@ pub fn mask_cols(mask: ColMask) -> impl Iterator<Item = usize> {
     (0..32).filter(move |c| mask & (1 << c) != 0)
 }
 
-type Index = FxHashMap<Box<[Const]>, Vec<u32>>;
+type Index = PMap<Box<[Const]>, Vec<u32>>;
 
-/// A stored relation: a set of tuples of a fixed arity.
-#[derive(Debug, Default)]
+/// A stored relation: a set of tuples of a fixed arity, persistent in
+/// every part (see the module docs for the sharing story).
+#[derive(Debug)]
 pub struct Relation {
     arity: usize,
-    /// Tuples, stored back to back (`arity` constants each).
-    flat: Vec<Const>,
+    /// Tuples, stored back to back (`arity` constants each) in shared
+    /// chunks.
+    flat: PVec<Const>,
     /// Tuple → ordinal, for deduplication and membership tests.
-    dedup: FxHashMap<Box<[Const]>, u32>,
-    /// Lazily built indexes, one per bound-column mask.
+    dedup: PMap<Box<[Const]>, u32>,
+    /// Lazily built indexes, one per bound-column mask.  Persistent
+    /// values, so cloning the cache is cheap and clones keep their
+    /// warmth.
     indexes: RwLock<FxHashMap<ColMask, Index>>,
+}
+
+impl Default for Relation {
+    fn default() -> Self {
+        Self::new(0)
+    }
 }
 
 impl Relation {
@@ -53,8 +82,8 @@ impl Relation {
     pub fn new(arity: usize) -> Self {
         Self {
             arity,
-            flat: Vec::new(),
-            dedup: FxHashMap::default(),
+            flat: PVec::with_chunk_capacity(arity.max(1) * TUPLES_PER_CHUNK),
+            dedup: PMap::new(),
             indexes: RwLock::new(FxHashMap::default()),
         }
     }
@@ -77,13 +106,16 @@ impl Relation {
     /// The tuple with the given ordinal.
     #[inline]
     pub fn tuple(&self, ord: u32) -> &[Const] {
-        let start = ord as usize * self.arity;
-        &self.flat[start..start + self.arity]
+        if self.arity == 0 {
+            debug_assert!((ord as usize) < self.len());
+            return &[];
+        }
+        self.flat.get_slice(ord as usize * self.arity, self.arity)
     }
 
     /// Iterate all tuples.  Correct for every arity, including 0: a
-    /// nullary relation holds at most the empty tuple, which
-    /// `chunks_exact` over the (empty) flat storage would never yield.
+    /// nullary relation holds at most the empty tuple, which iteration
+    /// over the (empty) flat storage would never yield.
     pub fn iter(&self) -> impl Iterator<Item = &[Const]> {
         (0..self.len()).map(move |ord| self.tuple(ord as u32))
     }
@@ -94,24 +126,26 @@ impl Relation {
         self.dedup.contains_key(tuple)
     }
 
-    /// Insert a tuple; returns `true` if it was new.  Existing indexes are
-    /// maintained incrementally so lookups stay correct as derived
-    /// relations grow during bottom-up evaluation.
+    /// Insert a tuple; returns `true` if it was new.  Existing indexes
+    /// are maintained incrementally so lookups stay correct as derived
+    /// relations grow during bottom-up evaluation, and so a shard
+    /// detached from a shared snapshot keeps its warm indexes instead
+    /// of rebuilding them.
     pub fn insert(&mut self, tuple: &[Const]) -> bool {
         debug_assert_eq!(tuple.len(), self.arity);
         if self.dedup.contains_key(tuple) {
             return false;
         }
         let ord = self.len() as u32;
-        self.dedup.insert(tuple.into(), ord);
-        self.flat.extend_from_slice(tuple);
+        self.dedup.entry_mut(tuple.into(), || ord);
+        self.flat.push_slice(tuple);
         let indexes = self
             .indexes
             .get_mut()
             .expect("relation index lock poisoned");
         for (&mask, index) in indexes.iter_mut() {
             let key = Self::key_for(tuple, mask);
-            index.entry(key).or_default().push(ord);
+            index.entry_mut(key, Vec::new).push(ord);
         }
         true
     }
@@ -149,20 +183,31 @@ impl Relation {
 
     /// Build (if absent) the index for `mask`, so later [`Self::lookup`]s
     /// with that binding pattern take the shared read path only.  Called
-    /// by the serving layer when an immutable snapshot is published.
+    /// by the serving layer when an immutable snapshot is published; a
+    /// no-op for shards that already carry the index (e.g. every shard
+    /// shared with, or detached from, a previous epoch).
     pub fn build_index(&self, mask: ColMask) {
         if mask == 0 {
             return;
         }
         let mut indexes = self.indexes.write().expect("relation index lock poisoned");
         indexes.entry(mask).or_insert_with(|| {
-            let mut idx: Index = FxHashMap::default();
+            let mut idx: Index = PMap::new();
             for ord in 0..self.len() as u32 {
                 let key = Self::key_for(self.tuple(ord), mask);
-                idx.entry(key).or_default().push(ord);
+                idx.entry_mut(key, Vec::new).push(ord);
             }
             idx
         });
+    }
+
+    /// Whether the index for `mask` has been built — the warmth probe
+    /// used by tests and the serving layer's publish path.
+    pub fn has_index(&self, mask: ColMask) -> bool {
+        self.indexes
+            .read()
+            .expect("relation index lock poisoned")
+            .contains_key(&mask)
     }
 
     /// Count of tuples matching the binding pattern, without materializing.
@@ -171,24 +216,43 @@ impl Relation {
         self.lookup(mask, key, &mut tmp);
         tmp.len()
     }
+
+    /// How many tuple-storage chunks this relation physically shares
+    /// with `other` — the structural-sharing test hook.
+    pub fn shared_chunks_with(&self, other: &Self) -> usize {
+        self.flat.shared_chunks_with(&other.flat)
+    }
 }
 
 impl Clone for Relation {
     fn clone(&self) -> Self {
         Self {
             arity: self.arity,
-            flat: self.flat.clone(),
-            dedup: self.dedup.clone(),
-            // Indexes are a cache; let the clone rebuild them on demand.
-            indexes: RwLock::new(FxHashMap::default()),
+            flat: self.flat.clone(),   // chunk refcount bumps
+            dedup: self.dedup.clone(), // root refcount bump
+            // Indexes are persistent tries too: carry the warm cache
+            // over at the cost of one refcount bump per built mask.
+            indexes: RwLock::new(
+                self.indexes
+                    .read()
+                    .expect("relation index lock poisoned")
+                    .clone(),
+            ),
         }
     }
 }
 
-/// A database: one [`Relation`] per predicate.
+/// A database: one `Arc`-shared [`Relation`] shard per predicate.
+///
+/// `clone` is O(#predicates) refcount bumps; the first mutation of a
+/// shard after a clone detaches that shard only (copy-on-write via
+/// [`Arc::make_mut`]), and the detached copy still shares its chunked
+/// tuple storage and indexes with the original.  In the common
+/// single-owner case (bottom-up evaluation filling a fresh database)
+/// `Arc::make_mut` sees a unique shard and mutates in place.
 #[derive(Debug, Default, Clone)]
 pub struct Database {
-    relations: IdVec<Pred, Relation>,
+    relations: IdVec<Pred, Arc<Relation>>,
 }
 
 impl Database {
@@ -196,7 +260,10 @@ impl Database {
     /// the given arities.
     pub fn with_preds(arities: impl IntoIterator<Item = usize>) -> Self {
         Self {
-            relations: arities.into_iter().map(Relation::new).collect(),
+            relations: arities
+                .into_iter()
+                .map(|a| Arc::new(Relation::new(a)))
+                .collect(),
         }
     }
 
@@ -211,9 +278,9 @@ impl Database {
 
     /// Ensure a relation exists for `pred` (growing the table if needed).
     pub fn ensure_pred(&mut self, pred: Pred, arity: usize) {
-        self.relations.ensure(pred, || Relation::new(0));
+        self.relations.ensure(pred, || Arc::new(Relation::new(0)));
         if self.relations[pred].arity() != arity && self.relations[pred].is_empty() {
-            self.relations[pred] = Relation::new(arity);
+            self.relations[pred] = Arc::new(Relation::new(arity));
         }
     }
 
@@ -222,9 +289,17 @@ impl Database {
         &self.relations[pred]
     }
 
-    /// Insert a tuple; returns `true` if new.
+    /// The `Arc`-shared shard behind a predicate — the serving layer's
+    /// view type.  Two epochs that did not touch `pred` return
+    /// [`Arc::ptr_eq`]-identical shards.
+    pub fn shard(&self, pred: Pred) -> Option<&Arc<Relation>> {
+        self.relations.get(pred)
+    }
+
+    /// Insert a tuple; returns `true` if new.  Detaches the shard
+    /// copy-on-write if it is shared with another database version.
     pub fn insert(&mut self, pred: Pred, tuple: &[Const]) -> bool {
-        self.relations[pred].insert(tuple)
+        Arc::make_mut(&mut self.relations[pred]).insert(tuple)
     }
 
     /// Membership test.
@@ -234,13 +309,15 @@ impl Database {
 
     /// Total number of tuples across all relations.
     pub fn total_tuples(&self) -> usize {
-        self.relations.iter().map(Relation::len).sum()
+        self.relations.iter().map(|r| r.len()).sum()
     }
 
     /// Build the first-column and second-column indexes of every binary
     /// relation — the two probes the traversal engine makes.  The serving
     /// layer calls this once when publishing an immutable snapshot so
-    /// concurrent readers never contend on index construction.
+    /// concurrent readers never contend on index construction.  Shards
+    /// carried over from a previous epoch already have both indexes, so
+    /// for them this is O(1) per shard.
     pub fn prewarm_binary_indexes(&self) {
         for rel in self.relations.iter() {
             if rel.arity() == 2 {
@@ -354,9 +431,9 @@ mod tests {
 
     #[test]
     fn zero_arity_iter_yields_the_empty_tuple() {
-        // Regression: `chunks_exact(arity.max(1))` over the empty flat
-        // storage yielded nothing, making nullary relations invisible to
-        // scans even when they held the empty tuple.
+        // Regression: iteration driven by flat storage alone yielded
+        // nothing for nullary relations even when they held the empty
+        // tuple.
         let mut r = Relation::new(0);
         assert_eq!(r.iter().count(), 0);
         r.insert(&[]);
@@ -411,20 +488,63 @@ mod tests {
         let db = Database::from_program(&p);
         db.prewarm_binary_indexes();
         let e = p.pred_by_name("e").unwrap();
+        assert!(db.relation(e).has_index(mask_of([0])));
+        assert!(db.relation(e).has_index(mask_of([1])));
         let mut out = Vec::new();
         db.relation(e).lookup(mask_of([1]), &[Const(1)], &mut out);
         assert_eq!(out.len(), 1);
     }
 
     #[test]
-    fn clone_drops_index_cache_but_keeps_data() {
+    fn clone_keeps_warm_indexes_and_data() {
         let mut r = Relation::new(2);
         r.insert(&[c(1), c(2)]);
         let mut out = Vec::new();
         r.lookup(mask_of([0]), &[c(1)], &mut out);
         let r2 = r.clone();
+        // The clone carried the built index over instead of rebuilding.
+        assert!(r2.has_index(mask_of([0])));
         out.clear();
         r2.lookup(mask_of([0]), &[c(1)], &mut out);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn cloned_relation_diverges_without_disturbing_the_original() {
+        let mut r = Relation::new(2);
+        for i in 0..600u32 {
+            r.insert(&[c(i), c(i + 1)]);
+        }
+        r.build_index(mask_of([0]));
+        let snapshot = r.clone();
+        // Full chunks are physically shared between the versions.
+        assert!(snapshot.shared_chunks_with(&r) >= 2);
+        r.insert(&[c(9000), c(9001)]);
+        assert_eq!(snapshot.len(), 600);
+        assert_eq!(r.len(), 601);
+        assert!(!snapshot.contains(&[c(9000), c(9001)]));
+        // Both versions answer indexed lookups correctly.
+        let mut out = Vec::new();
+        snapshot.lookup(mask_of([0]), &[c(9000)], &mut out);
+        assert!(out.is_empty());
+        r.lookup(mask_of([0]), &[c(9000)], &mut out);
+        assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn database_clone_shares_untouched_shards() {
+        let p = crate::parser::parse_program("e(a,b). f(b,c). g(c,d).").unwrap();
+        let db = Database::from_program(&p);
+        let mut next = db.clone();
+        let e = p.pred_by_name("e").unwrap();
+        let f = p.pred_by_name("f").unwrap();
+        let g = p.pred_by_name("g").unwrap();
+        next.insert(e, &[c(50), c(51)]);
+        // The touched shard detached; the other two are pointer-shared.
+        assert!(!Arc::ptr_eq(db.shard(e).unwrap(), next.shard(e).unwrap()));
+        assert!(Arc::ptr_eq(db.shard(f).unwrap(), next.shard(f).unwrap()));
+        assert!(Arc::ptr_eq(db.shard(g).unwrap(), next.shard(g).unwrap()));
+        assert_eq!(db.relation(e).len(), 1);
+        assert_eq!(next.relation(e).len(), 2);
     }
 }

@@ -10,7 +10,7 @@
 //! database — the paper's "tuples will only be retrieved by demand".
 
 use rq_common::{Const, Counters, Pred};
-use rq_datalog::{mask_of, Database};
+use rq_datalog::{mask_of, Database, Relation};
 
 /// Demand-driven access to binary relations.
 pub trait TupleSource {
@@ -26,6 +26,13 @@ pub trait TupleSource {
 }
 
 /// A [`TupleSource`] reading binary relations straight from a [`Database`].
+///
+/// All reads go through *shard views* ([`EdbSource::shard`]): the
+/// database hands out per-predicate `Arc`-shared [`Relation`] shards,
+/// so a source over an epoch snapshot reads exactly the shard versions
+/// that epoch published — including their warm indexes, which persist
+/// across epochs for every untouched shard.  The traversal itself is
+/// oblivious to the sharding; behavior matches a monolithic database.
 pub struct EdbSource<'a> {
     db: &'a Database,
 }
@@ -40,11 +47,18 @@ impl<'a> EdbSource<'a> {
     pub fn db(&self) -> &Database {
         self.db
     }
+
+    /// The shard view for `r` — the relation version this source's
+    /// snapshot pinned.
+    #[inline]
+    fn shard(&self, r: Pred) -> &Relation {
+        self.db.relation(r)
+    }
 }
 
 impl TupleSource for EdbSource<'_> {
     fn successors(&self, r: Pred, u: Const, out: &mut Vec<Const>, counters: &mut Counters) {
-        let rel = self.db.relation(r);
+        let rel = self.shard(r);
         debug_assert_eq!(rel.arity(), 2, "engine relations are binary");
         counters.index_probes += 1;
         let mut ords = Vec::new();
@@ -56,7 +70,7 @@ impl TupleSource for EdbSource<'_> {
     }
 
     fn predecessors(&self, r: Pred, v: Const, out: &mut Vec<Const>, counters: &mut Counters) {
-        let rel = self.db.relation(r);
+        let rel = self.shard(r);
         counters.index_probes += 1;
         let mut ords = Vec::new();
         rel.lookup(mask_of([1]), &[v], &mut ords);
@@ -67,7 +81,7 @@ impl TupleSource for EdbSource<'_> {
     }
 
     fn first_column(&self, r: Pred, out: &mut Vec<Const>) {
-        let rel = self.db.relation(r);
+        let rel = self.shard(r);
         let mut seen = rq_common::FxHashSet::default();
         for t in rel.iter() {
             if seen.insert(t[0]) {
@@ -108,5 +122,33 @@ mod tests {
         out.clear();
         src.first_column(e, &mut out);
         assert_eq!(out.len(), 2); // {a, d}
+    }
+
+    #[test]
+    fn sources_over_shared_snapshots_answer_independently() {
+        // Two database versions sharing every untouched shard: sources
+        // over each must answer from their own pinned shard views.
+        let p = parse_program("e(a,b). f(a,c).").unwrap();
+        let db = Database::from_program(&p);
+        let e = p.pred_by_name("e").unwrap();
+        let f = p.pred_by_name("f").unwrap();
+        let a = p
+            .consts
+            .get(&rq_common::ConstValue::Str("a".into()))
+            .unwrap();
+        let mut next = db.clone();
+        next.insert(e, &[a, a]);
+        // `f` is untouched: both versions read the *same* shard.
+        assert!(std::sync::Arc::ptr_eq(
+            db.shard(f).unwrap(),
+            next.shard(f).unwrap()
+        ));
+        let mut counters = Counters::new();
+        let mut out = Vec::new();
+        EdbSource::new(&db).successors(e, a, &mut out, &mut counters);
+        assert_eq!(out.len(), 1, "old snapshot sees the old shard");
+        out.clear();
+        EdbSource::new(&next).successors(e, a, &mut out, &mut counters);
+        assert_eq!(out.len(), 2, "new snapshot sees the delta");
     }
 }

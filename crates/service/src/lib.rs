@@ -8,18 +8,24 @@
 //! serving machinery around the engine:
 //!
 //! * [`SnapshotStore`] — epoch-versioned, immutable, `Arc`-shared
-//!   [`Snapshot`]s of the program + database, with copy-on-write fact
-//!   ingestion: readers never block writers, writers never invalidate
-//!   in-flight readers.
+//!   [`Snapshot`]s of the program + database.  Storage is predicate-
+//!   sharded and persistent (`rq_common::pshare`), so publishing an
+//!   epoch costs O(delta): untouched shards are pointer-shared with
+//!   the parent epoch and each snapshot records exactly which shards
+//!   its ingest dirtied.
 //! * [`PlanCache`] — the `lemma1 → automata` compilation memoized per
 //!   `(rules fingerprint, predicate, adornment)`; compiles once per
 //!   program instead of once per query, and survives fact ingestion.
-//! * [`ResultCache`] — `(epoch, predicate, adornment, constant) →
-//!   answers` memoization in the salsa mold: keys embed the revision,
-//!   so an epoch bump invalidates by construction.
-//! * [`QueryService`] — the front end: single queries, fact ingestion,
-//!   and [`QueryService::query_batch`], which fans a batch of point
-//!   queries out across worker threads over one shared snapshot.
+//! * [`ResultCache`] — `(epoch, predicate, query kind) → answers`
+//!   memoization in the salsa mold: keys embed the revision, so an
+//!   epoch bump invalidates by construction — except that entries
+//!   whose plan reads only *clean* predicates are re-keyed and survive
+//!   the publish.  The cache is bounded (LRU) with hit/miss/evict
+//!   counters.
+//! * [`QueryService`] — the front end: single queries ([`ServeQuery`]:
+//!   point, all-pairs `p(X,Y)`, and diagonal `p(X,X)` forms), fact
+//!   ingestion, and [`QueryService::query_batch`], which fans a batch
+//!   out across worker threads over one shared snapshot.
 //!
 //! Correctness is anchored by differential tests: every answer the
 //! service produces is compared against the single-threaded
@@ -35,8 +41,9 @@ pub mod service;
 pub mod snapshot;
 
 pub use plan::{rules_fingerprint, Adornment, CacheStats, PlanCache, PlanKey, ProgramPlan};
-pub use results::{CachedResult, ResultCache, ResultKey};
+pub use results::{CachedResult, QueryKind, ResultCache, ResultKey};
 pub use service::{
-    parse_point_query, PointQuery, QueryService, ServiceAnswer, ServiceConfig, ServiceError,
+    parse_point_query, parse_serve_query, PointQuery, QueryService, ServeQuery, ServiceAnswer,
+    ServiceConfig, ServiceError,
 };
 pub use snapshot::{IngestError, Snapshot, SnapshotStore};

@@ -63,6 +63,36 @@ pub struct ProgramPlan {
     pub compiled: CompiledPlan,
 }
 
+impl ProgramPlan {
+    /// Every predicate a query rooted at `pred` can read: the symbols
+    /// of all equations reachable from `pred` through derived
+    /// occurrences.  This is the cache-invalidation footprint — a
+    /// published epoch whose dirty shards are disjoint from this set
+    /// cannot change any answer of a `pred` query.
+    pub fn read_set(&self, pred: Pred) -> rq_common::FxHashSet<Pred> {
+        let derived = self.system.derived();
+        let mut all = rq_common::FxHashSet::default();
+        let mut seen = rq_common::FxHashSet::default();
+        let mut stack = vec![pred];
+        while let Some(p) = stack.pop() {
+            if !seen.insert(p) {
+                continue;
+            }
+            if let Some(e) = self.system.rhs.get(&p) {
+                let mut syms = rq_common::FxHashSet::default();
+                e.symbols(&mut syms);
+                for q in syms {
+                    if derived.contains(&q) {
+                        stack.push(q);
+                    }
+                    all.insert(q);
+                }
+            }
+        }
+        all
+    }
+}
+
 /// Hash the rule set and its predicate-id binding.  Facts are excluded
 /// on purpose: plans survive ingestion.  Predicate ids are included
 /// because compiled expressions refer to predicates by id, so the same
@@ -79,13 +109,15 @@ pub fn rules_fingerprint(program: &Program) -> u64 {
     h.finish()
 }
 
-/// Hit/miss counts of one cache.
+/// Hit/miss/eviction counts of one cache.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
     pub hits: u64,
     /// Lookups that had to compute.
     pub misses: u64,
+    /// Entries dropped by capacity pressure or epoch invalidation.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -182,6 +214,18 @@ impl PlanCache {
         by_program.entry(fingerprint).or_insert(outcome).clone()
     }
 
+    /// The already-compiled plan for `fingerprint`, if one is cached —
+    /// never triggers compilation.  The ingest path uses this to
+    /// compute invalidation read-sets without paying a compile under
+    /// the writer lock.
+    pub fn peek_program(&self, fingerprint: u64) -> Option<Arc<ProgramPlan>> {
+        self.by_program
+            .read()
+            .expect("plan cache lock poisoned")
+            .get(&fingerprint)
+            .and_then(|o| o.clone().ok())
+    }
+
     /// Number of `(program, pred, adornment)` entries.
     pub fn len(&self) -> usize {
         self.by_key.read().expect("plan cache lock poisoned").len()
@@ -202,11 +246,13 @@ impl PlanCache {
             .count()
     }
 
-    /// Hit/miss counters.
+    /// Hit/miss counters.  Plans are never evicted (the rule set is
+    /// fixed for a service's lifetime), so `evictions` is always 0.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: 0,
         }
     }
 }
@@ -241,7 +287,14 @@ mod tests {
         );
         assert_eq!(cache.programs(), 1);
         assert_eq!(cache.len(), 2);
-        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 2 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 0,
+                misses: 2,
+                evictions: 0
+            }
+        );
         let again = cache.plan_for(&snap, sg, Adornment::BoundFree).unwrap();
         assert!(Arc::ptr_eq(&bf, &again));
         assert_eq!(cache.stats().hits, 1);

@@ -1,67 +1,122 @@
-//! The memoized result cache: `(epoch, predicate, adornment, constant)
-//! → sorted answers`, in the salsa mold.
+//! The memoized result cache: `(epoch, predicate, query kind) → sorted
+//! answers`, in the salsa mold, bounded and epoch-carrying.
 //!
 //! The demand-driven traversal makes per-query results small (only the
 //! reachable fragment of the interpretation graph contributes), which
 //! is what makes memoizing them worthwhile.  Keys embed the snapshot
 //! epoch, so a published revision implicitly invalidates every older
 //! entry — a stale answer can never be returned because its key can no
-//! longer be constructed.  [`ResultCache::invalidate_stale`] is the
-//! matching garbage collector, run on every epoch bump.
+//! longer be constructed.
+//!
+//! Two refinements over a plain epoch-keyed map:
+//!
+//! * **Per-predicate survival.**  [`ResultCache::carry_forward`] runs on
+//!   every epoch bump with a predicate-level "is this entry still
+//!   valid?" predicate supplied by the service (its plan read-set vs.
+//!   the snapshot's dirty shards).  Surviving entries are re-keyed to
+//!   the new epoch instead of being dropped, so an ingest into `e`
+//!   leaves every memoized answer over disjoint predicates hot.
+//! * **A bounded footprint.**  The cache optionally caps its entry
+//!   count; overflow evicts least-recently-used entries (approximate
+//!   LRU via a monotone use tick) and counts them in
+//!   [`CacheStats::evictions`].
 
 use crate::plan::{Adornment, CacheStats};
 use rq_common::{Const, FxHashMap, Pred};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-/// Cache key: one memoized point query on one database version.
+/// Which shape of query a cache entry memoizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// A point query `p(a, Y)` / `p(X, a)`.
+    Point {
+        /// Which argument was bound.
+        adornment: Adornment,
+        /// The bound constant.
+        constant: Const,
+    },
+    /// The all-pairs query `p(X, Y)`.
+    AllPairs,
+    /// The diagonal query `p(X, X)`.
+    Diagonal,
+}
+
+/// Cache key: one memoized query on one database version.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ResultKey {
     /// Snapshot epoch the answer was computed on.
     pub epoch: u64,
     /// The queried predicate.
     pub pred: Pred,
-    /// Which argument was bound.
-    pub adornment: Adornment,
-    /// The bound constant.
-    pub constant: Const,
+    /// The query shape (and its bindings, for point queries).
+    pub kind: QueryKind,
 }
 
 /// A memoized answer set.
 #[derive(Clone, Debug)]
 pub struct CachedResult {
-    /// Sorted, deduplicated answers (`Arc`-shared with every consumer).
+    /// Sorted, deduplicated answer constants (`Arc`-shared with every
+    /// consumer).  Empty for all-pairs entries, whose payload is
+    /// `pairs`.
     pub answers: Arc<Vec<Const>>,
+    /// Sorted, deduplicated `(x, y)` rows for all-pairs entries; empty
+    /// for point and diagonal entries.
+    pub pairs: Arc<Vec<(Const, Const)>>,
     /// Whether the evaluation converged (`false` = truncated by an
     /// explicit iteration bound, answers sound but possibly partial).
     pub converged: bool,
 }
 
-/// Thread-safe memoization of query results.
+struct Entry {
+    result: CachedResult,
+    last_used: AtomicU64,
+}
+
+/// Thread-safe memoization of query results, optionally bounded.
 pub struct ResultCache {
-    inner: RwLock<FxHashMap<ResultKey, CachedResult>>,
+    inner: RwLock<FxHashMap<ResultKey, Entry>>,
+    /// Entry cap; `None` = unbounded.
+    capacity: Option<usize>,
+    tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl ResultCache {
-    /// Empty cache.
+    /// Empty, unbounded cache.
     pub fn new() -> Self {
+        Self::with_capacity(None)
+    }
+
+    /// Empty cache holding at most `capacity` entries (`None` =
+    /// unbounded).  A zero capacity disables memoization entirely.
+    pub fn with_capacity(capacity: Option<usize>) -> Self {
         Self {
             inner: RwLock::new(FxHashMap::default()),
+            capacity,
+            tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
-    /// Look up a memoized answer.
+    /// The configured entry cap.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Look up a memoized answer, refreshing its recency.
     pub fn get(&self, key: &ResultKey) -> Option<CachedResult> {
-        let hit = self
-            .inner
-            .read()
-            .expect("result cache lock poisoned")
-            .get(key)
-            .cloned();
+        let map = self.inner.read().expect("result cache lock poisoned");
+        let hit = map.get(key).map(|e| {
+            e.last_used
+                .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
+            e.result.clone()
+        });
+        drop(map);
         match &hit {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -71,23 +126,83 @@ impl ResultCache {
 
     /// Memoize an answer.  Last write wins; concurrent writers compute
     /// identical values for identical keys (epochs are immutable).
+    /// Overflow beyond the capacity evicts least-recently-used entries.
     pub fn insert(&self, key: ResultKey, value: CachedResult) {
-        self.inner
-            .write()
-            .expect("result cache lock poisoned")
-            .insert(key, value);
+        if self.capacity == Some(0) {
+            return;
+        }
+        let mut map = self.inner.write().expect("result cache lock poisoned");
+        map.insert(
+            key,
+            Entry {
+                result: value,
+                last_used: AtomicU64::new(self.tick.fetch_add(1, Ordering::Relaxed)),
+            },
+        );
+        if let Some(cap) = self.capacity {
+            if map.len() > cap {
+                // Evict to 7/8 of the cap so overflow work is amortized
+                // instead of running the selection on every insert at
+                // cap.  An O(n) partition (not a sort) keeps the write
+                // lock's critical section short — readers are stalled
+                // for the duration.
+                let target = cap - cap / 8;
+                let n_evict = map.len().saturating_sub(target);
+                let mut ticks: Vec<(u64, ResultKey)> = map
+                    .iter()
+                    .map(|(k, e)| (e.last_used.load(Ordering::Relaxed), *k))
+                    .collect();
+                if n_evict > 0 && n_evict < ticks.len() {
+                    ticks.select_nth_unstable_by_key(n_evict - 1, |&(t, _)| t);
+                }
+                let mut evicted = 0u64;
+                for &(_, k) in ticks.iter().take(n_evict) {
+                    map.remove(&k);
+                    evicted += 1;
+                }
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            }
+        }
     }
 
-    /// Drop every entry from epochs before `current` — the garbage
-    /// half of epoch-key invalidation.  Keeping `>= current` (rather
-    /// than `== current`) makes concurrent callers safe: a straggler
-    /// invoking this with a superseded epoch can never evict entries
-    /// of a newer one.
+    /// Epoch-bump garbage collection with per-predicate survival.
+    /// Entries of epoch `new_epoch - 1` for which `survives` returns
+    /// `true` are **re-keyed** to `new_epoch` (their answers are still
+    /// valid: the publish touched none of the predicates their plan
+    /// reads).  All other entries older than `new_epoch` are dropped
+    /// and counted as evictions.  Entries at `new_epoch` or later are
+    /// kept untouched, so a straggler invoking this with a superseded
+    /// epoch can never evict entries of a newer one.
+    pub fn carry_forward(&self, new_epoch: u64, mut survives: impl FnMut(&ResultKey) -> bool) {
+        let mut map = self.inner.write().expect("result cache lock poisoned");
+        let old: Vec<ResultKey> = map
+            .keys()
+            .filter(|k| k.epoch < new_epoch)
+            .copied()
+            .collect();
+        let mut evicted = 0u64;
+        for key in old {
+            let entry = map.remove(&key).expect("key just listed");
+            if key.epoch + 1 == new_epoch && survives(&key) {
+                map.insert(
+                    ResultKey {
+                        epoch: new_epoch,
+                        ..key
+                    },
+                    entry,
+                );
+            } else {
+                evicted += 1;
+            }
+        }
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+    }
+
+    /// Drop every entry from epochs before `current`, with no survivors
+    /// — the blunt invalidation used when no dirty-predicate
+    /// information is available.
     pub fn invalidate_stale(&self, current: u64) {
-        self.inner
-            .write()
-            .expect("result cache lock poisoned")
-            .retain(|k, _| k.epoch >= current);
+        self.carry_forward(current, |_| false);
     }
 
     /// Number of memoized answers.
@@ -100,11 +215,12 @@ impl ResultCache {
         self.len() == 0
     }
 
-    /// Hit/miss counters.
+    /// Hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -123,14 +239,17 @@ mod tests {
         ResultKey {
             epoch,
             pred: Pred(0),
-            adornment: Adornment::BoundFree,
-            constant: Const(c),
+            kind: QueryKind::Point {
+                adornment: Adornment::BoundFree,
+                constant: Const(c),
+            },
         }
     }
 
     fn value(cs: &[u32]) -> CachedResult {
         CachedResult {
             answers: Arc::new(cs.iter().map(|&c| Const(c)).collect()),
+            pairs: Arc::new(Vec::new()),
             converged: true,
         }
     }
@@ -142,7 +261,14 @@ mod tests {
         cache.insert(key(0, 1), value(&[7, 9]));
         let hit = cache.get(&key(0, 1)).unwrap();
         assert_eq!(*hit.answers, vec![Const(7), Const(9)]);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0
+            }
+        );
     }
 
     #[test]
@@ -155,6 +281,34 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert!(cache.get(&key(0, 1)).is_none());
         assert!(cache.get(&key(1, 1)).is_some());
+        assert_eq!(cache.stats().evictions, 2);
+    }
+
+    #[test]
+    fn carry_forward_rekeys_survivors() {
+        let cache = ResultCache::new();
+        cache.insert(key(0, 1), value(&[1]));
+        cache.insert(key(0, 2), value(&[2]));
+        // Entry for constant 1 survives the bump; entry 2 does not.
+        cache.carry_forward(
+            1,
+            |k| matches!(k.kind, QueryKind::Point { constant, .. } if constant == Const(1)),
+        );
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&key(0, 1)).is_none(), "old key is gone");
+        assert_eq!(*cache.get(&key(1, 1)).unwrap().answers, vec![Const(1)]);
+        assert!(cache.get(&key(1, 2)).is_none());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn carry_forward_skips_entries_more_than_one_epoch_behind() {
+        // A survivor predicate only vouches for the *immediately*
+        // preceding epoch; anything older was already judged stale.
+        let cache = ResultCache::new();
+        cache.insert(key(0, 1), value(&[1]));
+        cache.carry_forward(2, |_| true);
+        assert!(cache.is_empty());
     }
 
     #[test]
@@ -168,16 +322,56 @@ mod tests {
     }
 
     #[test]
-    fn distinct_adornments_do_not_collide() {
+    fn distinct_kinds_do_not_collide() {
         let cache = ResultCache::new();
         cache.insert(key(0, 1), value(&[1]));
         let fb = ResultKey {
-            adornment: Adornment::FreeBound,
+            kind: QueryKind::Point {
+                adornment: Adornment::FreeBound,
+                constant: Const(1),
+            },
+            ..key(0, 1)
+        };
+        let ap = ResultKey {
+            kind: QueryKind::AllPairs,
             ..key(0, 1)
         };
         assert!(cache.get(&fb).is_none());
+        assert!(cache.get(&ap).is_none());
         cache.insert(fb, value(&[4]));
+        cache.insert(ap, value(&[8]));
         assert_eq!(*cache.get(&fb).unwrap().answers, vec![Const(4)]);
+        assert_eq!(*cache.get(&ap).unwrap().answers, vec![Const(8)]);
         assert_eq!(*cache.get(&key(0, 1)).unwrap().answers, vec![Const(1)]);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        let cache = ResultCache::with_capacity(Some(8));
+        for i in 0..8 {
+            cache.insert(key(0, i), value(&[i]));
+        }
+        assert_eq!(cache.len(), 8);
+        // Touch the first entries so they are the most recently used.
+        for i in 0..4 {
+            assert!(cache.get(&key(0, i)).is_some());
+        }
+        cache.insert(key(0, 100), value(&[100]));
+        let stats = cache.stats();
+        assert!(stats.evictions >= 1, "overflow must evict");
+        assert!(cache.len() <= 8);
+        // The recently touched entries survived the eviction pass.
+        for i in 0..4 {
+            assert!(cache.get(&key(0, i)).is_some(), "entry {i} was hot");
+        }
+        assert!(cache.get(&key(0, 100)).is_some(), "new entry is present");
+    }
+
+    #[test]
+    fn zero_capacity_disables_memoization() {
+        let cache = ResultCache::with_capacity(Some(0));
+        cache.insert(key(0, 1), value(&[1]));
+        assert!(cache.is_empty());
+        assert!(cache.get(&key(0, 1)).is_none());
     }
 }

@@ -2,12 +2,13 @@
 //! parallel batch front end.
 
 use crate::plan::{Adornment, PlanCache, ProgramPlan};
-use crate::results::{CachedResult, ResultCache, ResultKey};
+use crate::results::{CachedResult, QueryKind, ResultCache, ResultKey};
 use crate::snapshot::{IngestError, Snapshot, SnapshotStore};
-use rq_common::{Const, ConstValue, Pred};
+use rq_common::{Const, ConstValue, FxHashMap, Pred};
 use rq_datalog::Program;
 use rq_engine::{
-    cyclic_iteration_bound, inverse_cyclic_iteration_bound, EdbSource, EvalOptions, Evaluator,
+    candidate_sources, cyclic_iteration_bound, inverse_cyclic_iteration_bound, EdbSource,
+    EvalOptions, Evaluator,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -36,6 +37,10 @@ pub struct ServiceConfig {
     /// Memoize answers in the result cache.  Off is useful for
     /// benchmarking raw traversal throughput.
     pub memoize_results: bool,
+    /// Entry cap for the result cache (`None` = unbounded).  Overflow
+    /// evicts least-recently-used entries; see
+    /// [`crate::ResultCache::stats`] for the eviction counter.
+    pub result_cache_capacity: Option<usize>,
 }
 
 impl Default for ServiceConfig {
@@ -48,6 +53,7 @@ impl Default for ServiceConfig {
             cyclic_guard: true,
             fallback_node_budget: Some(2_000_000),
             memoize_results: true,
+            result_cache_capacity: Some(1 << 16),
         }
     }
 }
@@ -64,13 +70,51 @@ pub struct PointQuery {
     pub constant: Const,
 }
 
+/// Any query shape the service answers (§3's query forms over a derived
+/// binary predicate).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ServeQuery {
+    /// `p(a, Y)` / `p(X, a)` — one bound argument.
+    Point(PointQuery),
+    /// `p(X, Y)` — every pair, computed per candidate source.
+    AllPairs {
+        /// The queried (derived) predicate.
+        pred: Pred,
+    },
+    /// `p(X, X)` — the diagonal of the all-pairs answer.
+    Diagonal {
+        /// The queried (derived) predicate.
+        pred: Pred,
+    },
+}
+
+impl ServeQuery {
+    /// The queried predicate, regardless of shape.
+    pub fn pred(&self) -> Pred {
+        match self {
+            ServeQuery::Point(q) => q.pred,
+            ServeQuery::AllPairs { pred } | ServeQuery::Diagonal { pred } => *pred,
+        }
+    }
+}
+
+impl From<PointQuery> for ServeQuery {
+    fn from(q: PointQuery) -> Self {
+        ServeQuery::Point(q)
+    }
+}
+
 /// A served answer.
 #[derive(Clone, Debug)]
 pub struct ServiceAnswer {
     /// The snapshot epoch the answer was computed on.
     pub epoch: u64,
-    /// Sorted, deduplicated answer constants.
+    /// Sorted, deduplicated answer constants (point and diagonal
+    /// queries; empty for all-pairs).
     pub answers: Arc<Vec<Const>>,
+    /// Sorted, deduplicated `(x, y)` rows (all-pairs queries; empty
+    /// otherwise).
+    pub pairs: Arc<Vec<(Const, Const)>>,
     /// Whether the evaluation converged (guarded cyclic runs converge
     /// by the sufficiency of the `m·n` bound).
     pub converged: bool,
@@ -89,7 +133,7 @@ pub enum ServiceError {
     NotDerived(String),
     /// The predicate is not binary.
     NotBinary(String),
-    /// Exactly one argument must be bound.
+    /// Both arguments were bound (`p(a, b)` needs the §4 transformation).
     NotPointQuery(String),
     /// The bound constant never occurs in the program or its data.
     UnknownConstant(String),
@@ -107,7 +151,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::NotDerived(p) => write!(f, "`{p}` is a base predicate"),
             ServiceError::NotBinary(p) => write!(f, "`{p}` is not binary"),
             ServiceError::NotPointQuery(t) => {
-                write!(f, "`{t}` must bind exactly one argument")
+                write!(f, "`{t}` binds both arguments; bind at most one")
             }
             ServiceError::UnknownConstant(c) => write!(f, "unknown constant `{c}`"),
             ServiceError::Plan(e) => write!(f, "cannot compile program: {e}"),
@@ -142,12 +186,19 @@ impl From<IngestError> for ServiceError {
 /// let fresh = service.query(&q).unwrap();
 /// assert_eq!(fresh.answers.len(), 3); // {b, c, d}
 /// assert_eq!(fresh.epoch, 1);
+/// // All-pairs and diagonal forms are served too.
+/// let all = service.query(&service.parse_query("tc(X, Y)").unwrap()).unwrap();
+/// assert_eq!(all.pairs.len(), 6);
 /// ```
 pub struct QueryService {
     store: SnapshotStore,
     plans: PlanCache,
     results: ResultCache,
     config: ServiceConfig,
+    /// Serializes publish + cache carry-forward as one unit, so two
+    /// concurrent ingests cannot run their epoch GC out of order (a
+    /// later epoch's GC would drop the earlier epoch's survivors).
+    ingest_gc: std::sync::Mutex<()>,
 }
 
 impl QueryService {
@@ -161,8 +212,9 @@ impl QueryService {
         Self {
             store: SnapshotStore::new(program),
             plans: PlanCache::new(),
-            results: ResultCache::new(),
+            results: ResultCache::with_capacity(config.result_cache_capacity),
             config,
+            ingest_gc: std::sync::Mutex::new(()),
         }
     }
 
@@ -194,22 +246,39 @@ impl QueryService {
     }
 
     /// Ingest fact clauses copy-on-write and publish the next epoch.
-    /// In-flight readers keep their snapshot; the result cache drops
-    /// entries of superseded epochs.
+    /// In-flight readers keep their snapshot.  Result-cache entries are
+    /// invalidated **per predicate**: an entry survives (re-keyed to
+    /// the new epoch) when its plan reads none of the shards the
+    /// publish dirtied, so an ingest into `e` leaves answers over
+    /// disjoint predicates hot.
     pub fn ingest(&self, facts_text: &str) -> Result<Arc<Snapshot>, ServiceError> {
+        // Publish and carry-forward must happen atomically with respect
+        // to other ingests: epoch N's GC only vouches for N-1 entries,
+        // so running two GCs out of order would flush survivors.
+        let _gc = self.ingest_gc.lock().expect("ingest lock poisoned");
         let snap = self.store.ingest(facts_text)?;
-        self.results.invalidate_stale(snap.epoch());
+        let dirty = snap.dirty_preds();
+        let plan = self.plans.peek_program(snap.rules_fingerprint());
+        // One read-set walk per distinct predicate in the cache, not per
+        // entry.
+        let mut survives_by_pred: FxHashMap<Pred, bool> = FxHashMap::default();
+        self.results.carry_forward(snap.epoch(), |key| {
+            *survives_by_pred.entry(key.pred).or_insert_with(|| {
+                plan.as_ref()
+                    .is_some_and(|p| p.read_set(key.pred).is_disjoint(dirty))
+            })
+        });
         Ok(snap)
     }
 
-    /// Parse a point query (`p(a, Y)` or `p(X, a)`) against the current
-    /// snapshot's program.
-    pub fn parse_query(&self, text: &str) -> Result<PointQuery, ServiceError> {
-        parse_point_query(self.snapshot().program(), text)
+    /// Parse a query (`p(a, Y)`, `p(X, a)`, `p(X, Y)`, or `p(X, X)`)
+    /// against the current snapshot's program.
+    pub fn parse_query(&self, text: &str) -> Result<ServeQuery, ServiceError> {
+        parse_serve_query(self.snapshot().program(), text)
     }
 
     /// Answer one query on the current snapshot.
-    pub fn query(&self, query: &PointQuery) -> Result<ServiceAnswer, ServiceError> {
+    pub fn query(&self, query: &ServeQuery) -> Result<ServiceAnswer, ServiceError> {
         self.query_on(&self.snapshot(), query)
     }
 
@@ -218,19 +287,34 @@ impl QueryService {
     pub fn query_on(
         &self,
         snapshot: &Snapshot,
+        query: &ServeQuery,
+    ) -> Result<ServiceAnswer, ServiceError> {
+        match query {
+            ServeQuery::Point(q) => self.point_on(snapshot, q),
+            ServeQuery::AllPairs { pred } => self.all_pairs_on(snapshot, *pred),
+            ServeQuery::Diagonal { pred } => self.diagonal_on(snapshot, *pred),
+        }
+    }
+
+    fn point_on(
+        &self,
+        snapshot: &Snapshot,
         query: &PointQuery,
     ) -> Result<ServiceAnswer, ServiceError> {
         let key = ResultKey {
             epoch: snapshot.epoch(),
             pred: query.pred,
-            adornment: query.adornment,
-            constant: query.constant,
+            kind: QueryKind::Point {
+                adornment: query.adornment,
+                constant: query.constant,
+            },
         };
         if self.config.memoize_results {
             if let Some(hit) = self.results.get(&key) {
                 return Ok(ServiceAnswer {
                     epoch: snapshot.epoch(),
                     answers: hit.answers,
+                    pairs: hit.pairs,
                     converged: hit.converged,
                     from_cache: true,
                 });
@@ -242,11 +326,13 @@ impl QueryService {
             .map_err(|e| ServiceError::Plan(e.to_string()))?;
         let (answers, converged) = self.evaluate(snapshot, &plan, query);
         let answers = Arc::new(answers);
+        let pairs = Arc::new(Vec::new());
         if self.config.memoize_results {
             self.results.insert(
                 key,
                 CachedResult {
                     answers: Arc::clone(&answers),
+                    pairs: Arc::clone(&pairs),
                     converged,
                 },
             );
@@ -254,17 +340,131 @@ impl QueryService {
         Ok(ServiceAnswer {
             epoch: snapshot.epoch(),
             answers,
+            pairs,
             converged,
             from_cache: false,
         })
     }
 
-    /// Fan a batch of point queries out across the configured worker
+    /// `p(X, Y)`: one guarded traversal per candidate source, answers
+    /// merged into sorted `(x, y)` rows.
+    fn all_pairs_on(&self, snapshot: &Snapshot, pred: Pred) -> Result<ServiceAnswer, ServiceError> {
+        let key = ResultKey {
+            epoch: snapshot.epoch(),
+            pred,
+            kind: QueryKind::AllPairs,
+        };
+        if self.config.memoize_results {
+            if let Some(hit) = self.results.get(&key) {
+                return Ok(ServiceAnswer {
+                    epoch: snapshot.epoch(),
+                    answers: hit.answers,
+                    pairs: hit.pairs,
+                    converged: hit.converged,
+                    from_cache: true,
+                });
+            }
+        }
+        let plan = self
+            .plans
+            .plan_for(snapshot, pred, Adornment::BoundFree)
+            .map_err(|e| ServiceError::Plan(e.to_string()))?;
+        let sources = {
+            let source = EdbSource::new(snapshot.db());
+            candidate_sources(&plan.system, &source, pred)
+        };
+        let mut pairs: Vec<(Const, Const)> = Vec::new();
+        let mut converged = true;
+        for a in sources {
+            let q = PointQuery {
+                pred,
+                adornment: Adornment::BoundFree,
+                constant: a,
+            };
+            // Each per-source traversal goes through the point-query
+            // path, so it reuses already-memoized point answers and
+            // leaves its own behind for later point queries.
+            let answer = self.point_on(snapshot, &q)?;
+            converged &= answer.converged;
+            pairs.extend(answer.answers.iter().map(|&y| (a, y)));
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        let answers = Arc::new(Vec::new());
+        let pairs = Arc::new(pairs);
+        if self.config.memoize_results {
+            self.results.insert(
+                key,
+                CachedResult {
+                    answers: Arc::clone(&answers),
+                    pairs: Arc::clone(&pairs),
+                    converged,
+                },
+            );
+        }
+        Ok(ServiceAnswer {
+            epoch: snapshot.epoch(),
+            answers,
+            pairs,
+            converged,
+            from_cache: false,
+        })
+    }
+
+    /// `p(X, X)`: the diagonal of the all-pairs answer (which this
+    /// computes through, and therefore warms, the all-pairs cache
+    /// entry).
+    fn diagonal_on(&self, snapshot: &Snapshot, pred: Pred) -> Result<ServiceAnswer, ServiceError> {
+        let key = ResultKey {
+            epoch: snapshot.epoch(),
+            pred,
+            kind: QueryKind::Diagonal,
+        };
+        if self.config.memoize_results {
+            if let Some(hit) = self.results.get(&key) {
+                return Ok(ServiceAnswer {
+                    epoch: snapshot.epoch(),
+                    answers: hit.answers,
+                    pairs: hit.pairs,
+                    converged: hit.converged,
+                    from_cache: true,
+                });
+            }
+        }
+        let all = self.all_pairs_on(snapshot, pred)?;
+        let answers: Vec<Const> = all
+            .pairs
+            .iter()
+            .filter(|(x, y)| x == y)
+            .map(|&(x, _)| x)
+            .collect();
+        let answers = Arc::new(answers);
+        let pairs = Arc::new(Vec::new());
+        if self.config.memoize_results {
+            self.results.insert(
+                key,
+                CachedResult {
+                    answers: Arc::clone(&answers),
+                    pairs: Arc::clone(&pairs),
+                    converged: all.converged,
+                },
+            );
+        }
+        Ok(ServiceAnswer {
+            epoch: snapshot.epoch(),
+            answers,
+            pairs,
+            converged: all.converged,
+            from_cache: false,
+        })
+    }
+
+    /// Fan a batch of queries out across the configured worker
     /// threads.  The whole batch is answered on **one** snapshot (the
     /// current epoch at entry), so results are mutually consistent even
     /// while ingestion runs concurrently.  Output order matches input
     /// order.
-    pub fn query_batch(&self, queries: &[PointQuery]) -> Vec<Result<ServiceAnswer, ServiceError>> {
+    pub fn query_batch(&self, queries: &[ServeQuery]) -> Vec<Result<ServiceAnswer, ServiceError>> {
         let snapshot = self.snapshot();
         let workers = self.config.threads.clamp(1, queries.len().max(1));
         if workers <= 1 {
@@ -343,6 +543,24 @@ impl QueryService {
 /// `program`.  Lowercase/integer arguments are constants; uppercase or
 /// `_`-led arguments are free variables.
 pub fn parse_point_query(program: &Program, text: &str) -> Result<PointQuery, ServiceError> {
+    match parse_serve_query(program, text)? {
+        ServeQuery::Point(q) => Ok(q),
+        _ => Err(ServiceError::Malformed(format!(
+            "{} (expected a point query)",
+            text.trim()
+        ))),
+    }
+}
+
+/// Parse any served query form against `program`:
+///
+/// * `p(a, Y)` / `p(X, a)` — a [`PointQuery`];
+/// * `p(X, Y)` (distinct variables, `_` counts as distinct) — all pairs;
+/// * `p(X, X)` (the same named variable twice) — the diagonal.
+///
+/// Lowercase/integer arguments are constants; uppercase or `_`-led
+/// arguments are free variables.
+pub fn parse_serve_query(program: &Program, text: &str) -> Result<ServeQuery, ServiceError> {
     let trimmed = text.trim();
     let malformed = || ServiceError::Malformed(trimmed.to_string());
     let open = trimmed.find('(').ok_or_else(malformed)?;
@@ -364,37 +582,54 @@ pub fn parse_point_query(program: &Program, text: &str) -> Result<PointQuery, Se
     if args.len() != 2 {
         return Err(malformed());
     }
-    let classify = |arg: &str| -> Result<Option<ConstValue>, ServiceError> {
+    enum Arg<'t> {
+        Var(&'t str),
+        Bound(ConstValue),
+    }
+    fn classify<'t>(arg: &'t str, whole: &str) -> Result<Arg<'t>, ServiceError> {
         if arg.is_empty() {
-            return Err(malformed());
+            return Err(ServiceError::Malformed(whole.to_string()));
         }
         let first = arg.chars().next().expect("non-empty");
         if first.is_ascii_uppercase() || first == '_' {
-            return Ok(None); // a variable
+            return Ok(Arg::Var(arg));
         }
         if let Ok(i) = arg.parse::<i64>() {
-            return Ok(Some(ConstValue::Int(i)));
+            return Ok(Arg::Bound(ConstValue::Int(i)));
         }
-        Ok(Some(ConstValue::Str(arg.to_string())))
-    };
-    let (first, second) = (classify(args[0])?, classify(args[1])?);
-    let (adornment, value) = match (first, second) {
-        (Some(v), None) => (Adornment::BoundFree, v),
-        (None, Some(v)) => (Adornment::FreeBound, v),
-        _ => return Err(ServiceError::NotPointQuery(trimmed.to_string())),
-    };
-    let constant = program.consts.get(&value).ok_or_else(|| {
-        ServiceError::UnknownConstant(match value {
-            ConstValue::Int(i) => i.to_string(),
-            ConstValue::Str(ref s) => s.clone(),
-            ConstValue::Tuple(_) => unreachable!("parser never yields tuples"),
+        Ok(Arg::Bound(ConstValue::Str(arg.to_string())))
+    }
+    let lookup_const = |value: ConstValue| -> Result<Const, ServiceError> {
+        program.consts.get(&value).ok_or_else(|| {
+            ServiceError::UnknownConstant(match value {
+                ConstValue::Int(i) => i.to_string(),
+                ConstValue::Str(ref s) => s.clone(),
+                ConstValue::Tuple(_) => unreachable!("parser never yields tuples"),
+            })
         })
-    })?;
-    Ok(PointQuery {
-        pred,
-        adornment,
-        constant,
-    })
+    };
+    match (classify(args[0], trimmed)?, classify(args[1], trimmed)?) {
+        (Arg::Bound(v), Arg::Var(_)) => Ok(ServeQuery::Point(PointQuery {
+            pred,
+            adornment: Adornment::BoundFree,
+            constant: lookup_const(v)?,
+        })),
+        (Arg::Var(_), Arg::Bound(v)) => Ok(ServeQuery::Point(PointQuery {
+            pred,
+            adornment: Adornment::FreeBound,
+            constant: lookup_const(v)?,
+        })),
+        (Arg::Var(x), Arg::Var(y)) => {
+            // `p(X, X)` is the diagonal; `_` is anonymous, so `p(_, _)`
+            // stays all-pairs.
+            if x == y && x != "_" {
+                Ok(ServeQuery::Diagonal { pred })
+            } else {
+                Ok(ServeQuery::AllPairs { pred })
+            }
+        }
+        (Arg::Bound(_), Arg::Bound(_)) => Err(ServiceError::NotPointQuery(trimmed.to_string())),
+    }
 }
 
 #[cfg(test)]
@@ -414,6 +649,20 @@ mod tests {
             .collect()
     }
 
+    fn pair_names(service: &QueryService, answer: &ServiceAnswer) -> Vec<(String, String)> {
+        let snap = service.snapshot();
+        answer
+            .pairs
+            .iter()
+            .map(|&(x, y)| {
+                (
+                    snap.program().consts.display(x),
+                    snap.program().consts.display(y),
+                )
+            })
+            .collect()
+    }
+
     #[test]
     fn single_query_both_adornments() {
         let service = QueryService::from_source(TC).unwrap();
@@ -427,6 +676,51 @@ mod tests {
     }
 
     #[test]
+    fn all_pairs_query_form() {
+        let service = QueryService::from_source(TC).unwrap();
+        let q = service.parse_query("tc(X, Y)").unwrap();
+        assert!(matches!(q, ServeQuery::AllPairs { .. }));
+        let out = service.query(&q).unwrap();
+        assert!(out.answers.is_empty());
+        // tc over the chain a→b→c→d: 3+2+1 pairs.
+        assert_eq!(out.pairs.len(), 6);
+        let pairs = pair_names(&service, &out);
+        assert!(pairs.contains(&("a".into(), "d".into())));
+        // Oracle: the seminaive fixpoint.
+        let oracle = rq_datalog::seminaive_eval(service.snapshot().program()).unwrap();
+        let tc = service.snapshot().program().pred_by_name("tc").unwrap();
+        assert_eq!(out.pairs.len(), oracle.tuples(tc).len());
+        // Memoized on repeat.
+        let again = service.query(&q).unwrap();
+        assert!(again.from_cache);
+        assert!(Arc::ptr_eq(&out.pairs, &again.pairs));
+    }
+
+    #[test]
+    fn diagonal_query_form() {
+        let service = QueryService::from_source(
+            "tc(X,Y) :- e(X,Y).\n\
+             tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+             e(a,b). e(b,a). e(b,c).",
+        )
+        .unwrap();
+        let q = service.parse_query("tc(X, X)").unwrap();
+        assert!(matches!(q, ServeQuery::Diagonal { .. }));
+        let out = service.query(&q).unwrap();
+        // The a↔b cycle puts exactly a and b on the diagonal.
+        assert_eq!(names(&service, &out), vec!["a", "b"]);
+        assert!(out.pairs.is_empty());
+        // Underscores are anonymous: `tc(_, _)` is all-pairs.
+        let anon = service.parse_query("tc(_, _)").unwrap();
+        assert!(matches!(anon, ServeQuery::AllPairs { .. }));
+        // The diagonal warmed the all-pairs entry as a byproduct.
+        let all = service
+            .query(&service.parse_query("tc(X, Y)").unwrap())
+            .unwrap();
+        assert!(all.from_cache);
+    }
+
+    #[test]
     fn results_memoize_and_invalidate_on_ingest() {
         let service = QueryService::from_source(TC).unwrap();
         let q = service.parse_query("tc(a, Y)").unwrap();
@@ -437,7 +731,7 @@ mod tests {
         assert!(Arc::ptr_eq(&first.answers, &second.answers));
         service.ingest("e(d,z).").unwrap();
         let third = service.query(&q).unwrap();
-        assert!(!third.from_cache, "epoch bump must invalidate");
+        assert!(!third.from_cache, "dirty-predicate entries must refresh");
         assert_eq!(third.epoch, 1);
         assert_eq!(names(&service, &third), vec!["b", "c", "d", "z"]);
         // Plans survived the ingest: one program compiled, reused after.
@@ -445,9 +739,61 @@ mod tests {
     }
 
     #[test]
+    fn clean_predicate_entries_survive_ingest() {
+        // Two derived predicates over disjoint base relations: an
+        // ingest into one must not evict memoized answers of the other.
+        let service = QueryService::from_source(
+            "tc(X,Y) :- e(X,Y).\n\
+             tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+             rc(X,Y) :- f(X,Y).\n\
+             rc(X,Z) :- f(X,Y), rc(Y,Z).\n\
+             e(a,b). e(b,c). f(m,n). f(n,o).",
+        )
+        .unwrap();
+        let tc_q = service.parse_query("tc(a, Y)").unwrap();
+        let rc_q = service.parse_query("rc(m, Y)").unwrap();
+        let tc_before = service.query(&tc_q).unwrap();
+        let rc_before = service.query(&rc_q).unwrap();
+        assert!(!tc_before.from_cache && !rc_before.from_cache);
+
+        let snap = service.ingest("e(c,d).").unwrap();
+        assert_eq!(snap.epoch(), 1);
+
+        // rc reads only `f`, which the publish left clean: served from
+        // cache, same Arc, new epoch.
+        let rc_after = service.query(&rc_q).unwrap();
+        assert!(rc_after.from_cache, "clean-predicate entry must survive");
+        assert_eq!(rc_after.epoch, 1);
+        assert!(Arc::ptr_eq(&rc_before.answers, &rc_after.answers));
+
+        // tc reads `e`, which was dirtied: recomputed.
+        let tc_after = service.query(&tc_q).unwrap();
+        assert!(!tc_after.from_cache, "dirty-predicate entry must refresh");
+        assert_eq!(names(&service, &tc_after), vec!["b", "c", "d"]);
+    }
+
+    #[test]
+    fn bounded_cache_reports_evictions() {
+        let service = QueryService::with_config(
+            rq_datalog::parse_program(TC).unwrap(),
+            ServiceConfig {
+                threads: 1,
+                result_cache_capacity: Some(2),
+                ..ServiceConfig::default()
+            },
+        );
+        for text in ["tc(a, Y)", "tc(b, Y)", "tc(c, Y)", "tc(X, b)", "tc(X, c)"] {
+            let q = service.parse_query(text).unwrap();
+            service.query(&q).unwrap();
+        }
+        assert!(service.result_cache().len() <= 2);
+        assert!(service.result_cache().stats().evictions >= 3);
+    }
+
+    #[test]
     fn batch_is_ordered_and_consistent() {
         let service = QueryService::from_source(TC).unwrap();
-        let queries: Vec<PointQuery> = ["tc(a, Y)", "tc(b, Y)", "tc(c, Y)", "tc(X, d)"]
+        let queries: Vec<ServeQuery> = ["tc(a, Y)", "tc(b, Y)", "tc(c, Y)", "tc(X, d)"]
             .iter()
             .map(|t| service.parse_query(t).unwrap())
             .collect();
@@ -459,6 +805,19 @@ mod tests {
             .collect();
         assert_eq!(sizes, vec![3, 2, 1, 3]);
         assert!(batch.iter().all(|r| r.as_ref().unwrap().epoch == 0));
+    }
+
+    #[test]
+    fn batch_mixes_point_and_all_pairs_forms() {
+        let service = QueryService::from_source(TC).unwrap();
+        let queries: Vec<ServeQuery> = ["tc(a, Y)", "tc(X, Y)", "tc(X, X)"]
+            .iter()
+            .map(|t| service.parse_query(t).unwrap())
+            .collect();
+        let batch = service.query_batch(&queries);
+        assert_eq!(batch[0].as_ref().unwrap().answers.len(), 3);
+        assert_eq!(batch[1].as_ref().unwrap().pairs.len(), 6);
+        assert!(batch[2].as_ref().unwrap().answers.is_empty()); // acyclic chain
     }
 
     #[test]
@@ -501,13 +860,16 @@ mod tests {
             },
         );
         let q = service.parse_query("q1(s, Y)").unwrap();
+        let ServeQuery::Point(pq) = q else {
+            panic!("point query expected")
+        };
         let out = service.query(&q).unwrap();
         // Sound answers, honest flag: possibly incomplete.
         let oracle = rq_datalog::seminaive_eval(service.snapshot().program()).unwrap();
         let q1 = service.snapshot().program().pred_by_name("q1").unwrap();
         let full: Vec<_> = oracle.tuples(q1);
         for &c in out.answers.iter() {
-            assert!(full.iter().any(|t| t[0] == q.constant && t[1] == c));
+            assert!(full.iter().any(|t| t[0] == pq.constant && t[1] == c));
         }
         assert!(
             !out.converged,
@@ -531,10 +893,6 @@ mod tests {
             Err(ServiceError::NotDerived(_))
         ));
         assert!(matches!(
-            service.parse_query("tc(X, Y)"),
-            Err(ServiceError::NotPointQuery(_))
-        ));
-        assert!(matches!(
             service.parse_query("tc(a, b)"),
             Err(ServiceError::NotPointQuery(_))
         ));
@@ -544,6 +902,20 @@ mod tests {
         ));
         assert!(matches!(
             service.parse_query("tc"),
+            Err(ServiceError::Malformed(_))
+        ));
+        // The free forms parse rather than erroring now.
+        assert!(matches!(
+            service.parse_query("tc(X, Y)"),
+            Ok(ServeQuery::AllPairs { .. })
+        ));
+        assert!(matches!(
+            service.parse_query("tc(Z, Z)"),
+            Ok(ServeQuery::Diagonal { .. })
+        ));
+        // `parse_point_query` still insists on a point shape.
+        assert!(matches!(
+            parse_point_query(service.snapshot().program(), "tc(X, Y)"),
             Err(ServiceError::Malformed(_))
         ));
     }

@@ -1,14 +1,25 @@
-//! Epoch-versioned, immutable database snapshots.
+//! Epoch-versioned, immutable database snapshots with O(delta) publishes.
 //!
 //! The store keeps the current [`Snapshot`] behind an `Arc`: readers
 //! grab the pointer and traverse it for as long as they like without
-//! ever blocking a writer.  Ingestion is copy-on-write — a writer
-//! clones the program and database, applies the new facts, pre-builds
-//! the engine's probe indexes, and atomically publishes the result as
-//! the next epoch.  Old snapshots stay alive until their last reader
-//! drops them, so long-running batch queries are never invalidated
-//! mid-flight; they simply answer against the epoch they started on.
+//! ever blocking a writer.  Ingestion is copy-on-write over the
+//! predicate-sharded persistent storage (`rq_datalog::Database` holds
+//! one `Arc`-shared shard per predicate): a writer validates the new
+//! facts *first*, then clones the program and database — refcount
+//! bumps, not deep copies — applies the delta (which detaches only the
+//! shards it touches), and atomically publishes the result as the next
+//! epoch.  Untouched shards are [`std::sync::Arc::ptr_eq`]-identical
+//! across epochs, so publishing one fact into one relation costs
+//! O(delta), no matter how large the rest of the database is.
+//!
+//! Each snapshot records which predicates its publish **dirtied**; the
+//! service layer uses that to keep result-cache entries alive when the
+//! predicates their plan reads were untouched.  Old snapshots stay
+//! alive until their last reader drops them, so long-running batch
+//! queries are never invalidated mid-flight; they simply answer against
+//! the epoch they started on.
 
+use rq_common::{FxHashSet, Pred};
 use rq_datalog::{parse_program, Database, Program};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -19,10 +30,13 @@ pub struct Snapshot {
     rules_fingerprint: u64,
     program: Program,
     db: Database,
+    /// Predicates whose shard this epoch replaced (relative to its
+    /// parent).  Epoch 0 reports every predicate dirty.
+    dirty: FxHashSet<Pred>,
 }
 
 impl Snapshot {
-    fn new(epoch: u64, program: Program, db: Database) -> Self {
+    fn new(epoch: u64, program: Program, db: Database, dirty: FxHashSet<Pred>) -> Self {
         db.prewarm_binary_indexes();
         let rules_fingerprint = crate::plan::rules_fingerprint(&program);
         Self {
@@ -30,6 +44,7 @@ impl Snapshot {
             rules_fingerprint,
             program,
             db,
+            dirty,
         }
     }
 
@@ -52,6 +67,13 @@ impl Snapshot {
     /// The extensional database of this version.
     pub fn db(&self) -> &Database {
         &self.db
+    }
+
+    /// Predicates whose shard changed between the parent epoch and this
+    /// one — the unit of per-predicate cache invalidation.  A result
+    /// whose plan reads none of these survives the publish.
+    pub fn dirty_preds(&self) -> &FxHashSet<Pred> {
+        &self.dirty
     }
 }
 
@@ -118,8 +140,9 @@ impl SnapshotStore {
     /// Open a store at epoch 0 with the program's facts as the EDB.
     pub fn new(program: Program) -> Self {
         let db = Database::from_program(&program);
+        let dirty = program.preds.ids().collect();
         Self {
-            current: RwLock::new(Arc::new(Snapshot::new(0, program, db))),
+            current: RwLock::new(Arc::new(Snapshot::new(0, program, db, dirty))),
             writer: Mutex::new(()),
         }
     }
@@ -131,30 +154,37 @@ impl SnapshotStore {
     }
 
     /// Copy-on-write ingestion: parse `facts_text` (fact clauses only,
-    /// e.g. `e(a,b). e(b,c).`), apply them to a clone of the current
-    /// version, and publish the clone as the next epoch.  Returns the
-    /// new snapshot.  Concurrent readers keep whatever snapshot they
-    /// already hold.
+    /// e.g. `e(a,b). e(b,c).`), apply them to a persistent clone of the
+    /// current version, and publish the clone as the next epoch.
+    /// Returns the new snapshot.  Concurrent readers keep whatever
+    /// snapshot they already hold.
+    ///
+    /// Validation runs **before** anything is cloned: a batch that
+    /// fails to parse, smuggles rules, or conflicts with the schema is
+    /// rejected without paying any copy at all.
     pub fn ingest(&self, facts_text: &str) -> Result<Arc<Snapshot>, IngestError> {
         let _writer = self.writer.lock().expect("writer lock poisoned");
         let base = self.snapshot();
+        let parsed = validate_facts(&base.program, facts_text)?;
+        // Persistent clones: per-shard/per-chunk refcount bumps.
         let mut program = base.program.clone();
         let mut db = base.db.clone();
-        apply_facts(&mut program, &mut db, facts_text)?;
-        let next = Arc::new(Snapshot::new(base.epoch + 1, program, db));
+        let dirty = apply_validated(&mut program, &mut db, &parsed);
+        let next = Arc::new(Snapshot::new(base.epoch + 1, program, db, dirty));
         *self.current.write().expect("snapshot lock poisoned") = Arc::clone(&next);
         Ok(next)
     }
 }
 
-/// Parse `text` with the ordinary Datalog parser and merge its facts
-/// into `program`/`db`, translating interned ids across programs.
-fn apply_facts(program: &mut Program, db: &mut Database, text: &str) -> Result<(), IngestError> {
+/// Parse `text` with the ordinary Datalog parser and check every fact
+/// against `program`'s schema, **without mutating or cloning anything**.
+/// Returns the parsed batch for [`apply_validated`].
+fn validate_facts(program: &Program, text: &str) -> Result<Program, IngestError> {
     let parsed = parse_program(text).map_err(|e| IngestError::Parse(e.to_string()))?;
     if !parsed.rules.is_empty() {
         return Err(IngestError::RulesNotAllowed);
     }
-    for (pred, tuple) in &parsed.facts {
+    for (pred, _) in &parsed.facts {
         let name = parsed.pred_name(*pred);
         let arity = parsed.arity(*pred);
         if let Some(existing) = program.pred_by_name(name) {
@@ -169,22 +199,44 @@ fn apply_facts(program: &mut Program, db: &mut Database, text: &str) -> Result<(
                 });
             }
         }
+    }
+    Ok(parsed)
+}
+
+/// Merge a validated fact batch into `program`/`db`, translating
+/// interned ids across programs.  Returns the set of predicates whose
+/// shard was actually touched: duplicate facts are skipped *before*
+/// reaching the database so they cannot detach an otherwise-clean
+/// shard from its parent epoch.
+fn apply_validated(program: &mut Program, db: &mut Database, parsed: &Program) -> FxHashSet<Pred> {
+    let mut dirty = FxHashSet::default();
+    for (pred, tuple) in &parsed.facts {
+        let name = parsed.pred_name(*pred);
+        let arity = parsed.arity(*pred);
+        let fresh_pred = program.pred_by_name(name).is_none();
         let target = program.pred(name, arity);
         let mapped: Vec<_> = tuple
             .iter()
             .map(|&c| program.consts.intern(parsed.consts.value(c).clone()))
             .collect();
-        db.ensure_pred(target, arity);
-        db.insert(target, &mapped);
-        program.add_fact(target, mapped);
+        if fresh_pred {
+            db.ensure_pred(target, arity);
+            dirty.insert(target);
+        }
+        if !db.contains(target, &mapped) {
+            db.insert(target, &mapped);
+            program.add_fact(target, mapped);
+            dirty.insert(target);
+        }
     }
-    Ok(())
+    dirty
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rq_common::ConstValue;
+    use std::sync::Arc;
 
     const TC: &str = "tc(X,Y) :- e(X,Y).\n\
                       tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
@@ -206,6 +258,81 @@ mod tests {
         assert_eq!(before.db().relation(e).len(), 2);
         assert_eq!(after.db().relation(e).len(), 3);
         assert_eq!(store.snapshot().epoch(), 1);
+    }
+
+    #[test]
+    fn ingest_shares_untouched_shards_with_the_parent_epoch() {
+        let store = SnapshotStore::new(
+            parse_program(
+                "tc(X,Y) :- e(X,Y).\n\
+                 tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+                 e(a,b). f(a,b). g(a,b). h(a,b).",
+            )
+            .unwrap(),
+        );
+        let before = store.snapshot();
+        let after = store.ingest("e(b,c).").unwrap();
+        let pred = |n: &str| before.program().pred_by_name(n).unwrap();
+        // The dirty shard was replaced...
+        assert!(!Arc::ptr_eq(
+            before.db().shard(pred("e")).unwrap(),
+            after.db().shard(pred("e")).unwrap()
+        ));
+        // ...every other shard is pointer-identical across the epochs.
+        for name in ["f", "g", "h", "tc"] {
+            assert!(
+                Arc::ptr_eq(
+                    before.db().shard(pred(name)).unwrap(),
+                    after.db().shard(pred(name)).unwrap()
+                ),
+                "shard `{name}` must be shared across epochs"
+            );
+        }
+        assert_eq!(
+            after.dirty_preds().iter().copied().collect::<Vec<_>>(),
+            vec![pred("e")]
+        );
+    }
+
+    #[test]
+    fn duplicate_only_ingest_leaves_every_shard_shared() {
+        let store = store();
+        let before = store.snapshot();
+        let after = store.ingest("e(a,b).").unwrap();
+        let e = before.program().pred_by_name("e").unwrap();
+        // The fact already existed: even the target shard stays shared
+        // and nothing is marked dirty.
+        assert!(Arc::ptr_eq(
+            before.db().shard(e).unwrap(),
+            after.db().shard(e).unwrap()
+        ));
+        assert!(after.dirty_preds().is_empty());
+        assert_eq!(after.epoch(), 1);
+    }
+
+    #[test]
+    fn warm_indexes_survive_epoch_publication() {
+        let store = store();
+        let before = store.snapshot();
+        let e = before.program().pred_by_name("e").unwrap();
+        // Publication prewarms both binary indexes.
+        assert!(before.db().relation(e).has_index(rq_datalog::mask_of([0])));
+        let after = store.ingest("e(c,d). x(p,q).").unwrap();
+        // The dirty shard detached but kept its warm indexes (persistent
+        // index maps travel with the clone).
+        assert!(after.db().relation(e).has_index(rq_datalog::mask_of([0])));
+        assert!(after.db().relation(e).has_index(rq_datalog::mask_of([1])));
+        let mut out = Vec::new();
+        let c = after
+            .program()
+            .consts
+            .get(&ConstValue::Str("c".into()))
+            .unwrap();
+        after
+            .db()
+            .relation(e)
+            .lookup(rq_datalog::mask_of([0]), &[c], &mut out);
+        assert_eq!(out.len(), 1);
     }
 
     #[test]
@@ -234,6 +361,7 @@ mod tests {
         let w = snap.program().pred_by_name("weight").unwrap();
         assert_eq!(snap.db().relation(w).len(), 2);
         assert!(snap.program().consts.get(&ConstValue::Int(10)).is_some());
+        assert!(snap.dirty_preds().contains(&w));
     }
 
     #[test]
@@ -254,6 +382,22 @@ mod tests {
         assert!(matches!(store.ingest("e(a,"), Err(IngestError::Parse(_))));
         // Failed ingests publish nothing.
         assert_eq!(store.snapshot().epoch(), 0);
+    }
+
+    #[test]
+    fn rejected_batches_are_atomic_even_mid_batch() {
+        // The bad clause arrives after a good one; validation runs over
+        // the whole batch before anything is applied, so the good fact
+        // must not leak into a published epoch.
+        let store = store();
+        assert!(store.ingest("e(y1,y2). tc(a,b).").is_err());
+        assert_eq!(store.snapshot().epoch(), 0);
+        assert!(store
+            .snapshot()
+            .program()
+            .consts
+            .get(&ConstValue::Str("y1".into()))
+            .is_none());
     }
 
     #[test]

@@ -12,7 +12,10 @@ use rq_engine::{
     cyclic_iteration_bound, inverse_cyclic_iteration_bound, EdbSource, EvalOptions, Evaluator,
 };
 use rq_relalg::{lemma1, Lemma1Options};
-use rq_service::{Adornment, PointQuery, QueryService, ServiceConfig, Snapshot};
+use rq_service::{
+    Adornment, PointQuery, QueryService, ServeQuery, ServiceAnswer, ServiceConfig, ServiceError,
+    Snapshot,
+};
 use rq_workloads::randprog::{seeded, RecursionStyle};
 use rq_workloads::{fig7, fig8, graphs, Workload};
 use std::sync::Arc;
@@ -22,6 +25,16 @@ fn all_constants(snapshot: &Snapshot) -> Vec<Const> {
     (0..snapshot.program().consts.len())
         .map(Const::from_index)
         .collect()
+}
+
+/// Fan a batch of point queries through the service's general batch
+/// front end.
+fn point_batch(
+    service: &QueryService,
+    queries: &[PointQuery],
+) -> Vec<Result<ServiceAnswer, ServiceError>> {
+    let wrapped: Vec<ServeQuery> = queries.iter().map(|&q| q.into()).collect();
+    service.query_batch(&wrapped)
 }
 
 /// A fresh Lemma 1 compile, independent of the service's plan cache.
@@ -105,7 +118,7 @@ fn check_workload(workload: &Workload) {
             })
         })
         .collect();
-    let batch = service.query_batch(&queries);
+    let batch = point_batch(&service, &queries);
     assert_eq!(batch.len(), queries.len());
     let system = oracle_system(&snapshot);
     for (query, result) in queries.iter().zip(&batch) {
@@ -193,7 +206,7 @@ fn random_programs_match_oracles() {
                         })
                     })
                     .collect();
-                for (query, result) in queries.iter().zip(service.query_batch(&queries)) {
+                for (query, result) in queries.iter().zip(point_batch(&service, &queries)) {
                     let answer = result.unwrap();
                     assert_eq!(
                         *answer.answers,
@@ -271,7 +284,7 @@ fn mixed_ingest_and_query_workload_matches_oracle_per_epoch() {
                                 })
                             })
                             .collect();
-                        for (query, result) in queries.iter().zip(service.query_batch(&queries)) {
+                        for (query, result) in queries.iter().zip(point_batch(&service, &queries)) {
                             seen.push((*query, result.unwrap()));
                         }
                         if (round + reader) % 2 == 0 {

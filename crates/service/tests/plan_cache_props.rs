@@ -66,14 +66,14 @@ fn check_cached_equals_fresh(workload: &Workload, pred_name: &str) {
                 constant,
             };
             let fresh = fresh_answers(workload, &query);
-            let first = service.query(&query).unwrap();
+            let first = service.query(&query.into()).unwrap();
             assert!(!first.from_cache);
             assert_eq!(
                 *first.answers, fresh,
                 "{}: first {:?}",
                 workload.name, query
             );
-            let memoized = service.query(&query).unwrap();
+            let memoized = service.query(&query.into()).unwrap();
             assert!(memoized.from_cache, "second ask must memoize");
             assert_eq!(
                 *memoized.answers, fresh,

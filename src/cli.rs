@@ -360,9 +360,10 @@ impl Session {
 }
 
 /// A serving session behind `rqc serve`: a [`rq_service::QueryService`]
-/// answering batches of point queries, with `:add` feeding the
-/// copy-on-write snapshot store.  Like [`Session`], it is I/O-free so
-/// the grammar and behaviors are unit tested without a terminal.
+/// answering batches of point, all-pairs (`p(X,Y)`), and diagonal
+/// (`p(X,X)`) queries, with `:add` feeding the copy-on-write snapshot
+/// store.  Like [`Session`], it is I/O-free so the grammar and
+/// behaviors are unit tested without a terminal.
 ///
 /// ```text
 /// rq-serve> tc(a, Y); tc(X, c)
@@ -377,10 +378,13 @@ pub struct ServeSession {
 
 const SERVE_HELP: &str = "\
 serve commands:
-  <query>[; <query>...]  answer a batch of point queries, e.g. tc(a, Y); tc(X, b)
+  <query>[; <query>...]  answer a batch of queries on one snapshot, e.g.
+                         tc(a, Y); tc(X, b)   point queries
+                         tc(X, Y)             all pairs
+                         tc(X, X)             the diagonal (cycle members)
   :add <facts>           ingest facts copy-on-write (publishes a new epoch)
   :epoch                 print the current snapshot epoch
-  :stats                 plan/result cache hit rates and sizes
+  :stats                 plan/result cache hit rates, sizes, and evictions
   :help  :quit";
 
 impl ServeSession {
@@ -429,13 +433,14 @@ impl ServeSession {
                     let plans = self.service.plan_cache().stats();
                     let results = self.service.result_cache().stats();
                     Ok(CommandOutput::text(format!(
-                        "epoch {}\nplan cache:   {} hits / {} misses ({} compiled program(s))\nresult cache: {} hits / {} misses ({} entr(ies))",
+                        "epoch {}\nplan cache:   {} hits / {} misses ({} compiled program(s))\nresult cache: {} hits / {} misses / {} evictions ({} entr(ies))",
                         self.service.snapshot().epoch(),
                         plans.hits,
                         plans.misses,
                         self.service.plan_cache().programs(),
                         results.hits,
                         results.misses,
+                        results.evictions,
                         self.service.result_cache().len(),
                     )))
                 }
@@ -472,17 +477,17 @@ impl ServeSession {
         let snapshot = self.service.snapshot();
         // Parse everything first so one batch sees one epoch; a query
         // over an unknown constant has a trivially empty answer.
-        let mut parsed: Vec<Result<Option<rq_service::PointQuery>, String>> = Vec::new();
+        let mut parsed: Vec<Result<Option<rq_service::ServeQuery>, String>> = Vec::new();
         for text in &texts {
             parsed.push(
-                match rq_service::parse_point_query(snapshot.program(), text) {
+                match rq_service::parse_serve_query(snapshot.program(), text) {
                     Ok(q) => Ok(Some(q)),
                     Err(rq_service::ServiceError::UnknownConstant(_)) => Ok(None),
                     Err(e) => Err(e.to_string()),
                 },
             );
         }
-        let queries: Vec<rq_service::PointQuery> = parsed
+        let queries: Vec<rq_service::ServeQuery> = parsed
             .iter()
             .filter_map(|p| p.as_ref().ok().copied().flatten())
             .collect();
@@ -495,13 +500,22 @@ impl ServeSession {
                 Ok(Some(_)) => match answers.next().expect("one answer per parsed query") {
                     Err(e) => format!("error: {e}"),
                     Ok(answer) => {
-                        if answer.answers.is_empty() {
+                        let display = |c| snapshot.program().consts.display(c);
+                        if !answer.pairs.is_empty() {
+                            // All-pairs rows render as (x,y) tuples.
+                            answer
+                                .pairs
+                                .iter()
+                                .map(|&(x, y)| format!("({},{})", display(x), display(y)))
+                                .collect::<Vec<_>>()
+                                .join(" ")
+                        } else if answer.answers.is_empty() {
                             "(none)".to_string()
                         } else {
                             answer
                                 .answers
                                 .iter()
-                                .map(|&c| snapshot.program().consts.display(c))
+                                .map(|&c| display(c))
                                 .collect::<Vec<_>>()
                                 .join(" ")
                         }
@@ -746,6 +760,25 @@ mod tests {
         assert_eq!(s.execute_line("tc(a, Y)").unwrap().text, "tc(a, Y): b c d");
         // A brand-new constant is queryable after ingest.
         assert_eq!(s.execute_line("tc(X, d)").unwrap().text, "tc(X, d): a b c");
+    }
+
+    #[test]
+    fn serve_answers_all_pairs_and_diagonal_forms() {
+        let mut s = ServeSession::new(
+            "tc(X,Y) :- e(X,Y).\n\
+             tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+             e(a,b). e(b,a).\n",
+            1,
+        )
+        .unwrap();
+        let out = s.execute_line("tc(X, Y)").unwrap();
+        // Rows of the full relation: the a↔b cycle closure.
+        assert_eq!(out.text, "tc(X, Y): (a,a) (a,b) (b,a) (b,b)");
+        let out = s.execute_line("tc(X, X)").unwrap();
+        assert_eq!(out.text, "tc(X, X): a b");
+        // Mixed batches answer on one snapshot.
+        let out = s.execute_line("tc(a, Y); tc(X, X)").unwrap();
+        assert_eq!(out.text, "tc(a, Y): a b\ntc(X, X): a b");
     }
 
     #[test]
