@@ -166,11 +166,20 @@ impl std::error::Error for AdornError {}
 /// Construct the adorned program for `program` and the query's binding
 /// pattern, following the §4 generation process.
 pub fn adorn(program: &Program, query: &Query) -> Result<AdornedProgram, AdornError> {
-    let root = AdornedPred {
-        pred: query.pred,
-        adornment: Adornment::of_query(query),
-    };
-    if program.rules_for(query.pred).next().is_none() {
+    adorn_for(program, query.pred, Adornment::of_query(query))
+}
+
+/// [`adorn`] from a bare `(predicate, adornment)` pair — the planning
+/// form: the generation process depends only on which positions are
+/// bound, never on the bound values, so one adorned program serves
+/// every query with the same binding pattern.
+pub fn adorn_for(
+    program: &Program,
+    pred: Pred,
+    adornment: Adornment,
+) -> Result<AdornedProgram, AdornError> {
+    let root = AdornedPred { pred, adornment };
+    if program.rules_for(pred).next().is_none() {
         return Err(AdornError::NoRulesForQuery);
     }
     let mut rules: Vec<AdornedRule> = Vec::new();

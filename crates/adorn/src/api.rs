@@ -1,13 +1,22 @@
 //! End-to-end evaluation of n-ary queries through the §4 pipeline:
 //! adorn → chain check → binary-chain transformation → Lemma 1 →
 //! graph-traversal evaluation over the virtual relations.
+//!
+//! The pipeline is split at the planning boundary: [`plan_nary_query`]
+//! runs everything that depends only on the rules and the query's
+//! *binding pattern* (adornment, transformation, equation rewriting,
+//! machine compilation) and returns a reusable [`NaryPlan`];
+//! [`evaluate_nary`] runs one plan against one database and one bound
+//! tuple.  Serving layers cache plans per `(rules, predicate,
+//! adornment)` and pay only the traversal per query; [`answer_query`]
+//! composes the two for one-shot callers.
 
-use crate::adornment::{adorn, chain_violations, AdornError};
+use crate::adornment::{adorn_for, chain_violations, AdornError, Adornment};
 use crate::source::VirtualSource;
 use crate::transform::{transform, BinaryProgram};
-use rq_common::Const;
+use rq_common::{Const, FxHashSet, Pred};
 use rq_datalog::{Database, Program, Query};
-use rq_engine::{EvalOptions, EvalOutcome, Evaluator};
+use rq_engine::{CompiledPlan, EvalOptions, EvalOutcome, Evaluator};
 use rq_relalg::{lemma1_from_system, Lemma1Error, Lemma1Options};
 use std::fmt;
 
@@ -49,6 +58,110 @@ impl From<Lemma1Error> for QueryError {
     fn from(e: Lemma1Error) -> Self {
         QueryError::Lemma1(e)
     }
+}
+
+/// A compiled §4 query plan: everything derivable from the rules and
+/// the binding pattern alone, reusable across databases and bound
+/// values.
+pub struct NaryPlan {
+    /// The queried predicate.
+    pub pred: Pred,
+    /// The binding pattern the plan was compiled for.
+    pub adornment: Adornment,
+    /// The transformed binary program (after Lemma 1 rewriting).
+    pub binary: BinaryProgram,
+    /// Thompson machines for the transformed equation system, both
+    /// orientations — immutable and `Sync`, so one compile serves
+    /// concurrent query threads.
+    pub compiled: CompiledPlan,
+}
+
+impl NaryPlan {
+    /// Every real predicate a query under this plan can consult — the
+    /// invalidation footprint (virtual predicates resolved back to the
+    /// base relations their joins read).
+    pub fn read_set(&self, program: &Program) -> FxHashSet<Pred> {
+        self.binary.base_read_set(program)
+    }
+}
+
+/// Compile the §4 pipeline for `(pred, adornment)`, rejecting programs
+/// that fail the chain condition.
+pub fn plan_nary_query(
+    program: &Program,
+    pred: Pred,
+    adornment: Adornment,
+) -> Result<NaryPlan, QueryError> {
+    plan_nary_inner(program, pred, adornment, true)
+}
+
+/// Like [`plan_nary_query`] but skipping the chain check (Lemma 5's
+/// overapproximating mode; see [`answer_query_unchecked`]).
+pub fn plan_nary_query_unchecked(
+    program: &Program,
+    pred: Pred,
+    adornment: Adornment,
+) -> Result<NaryPlan, QueryError> {
+    plan_nary_inner(program, pred, adornment, false)
+}
+
+fn plan_nary_inner(
+    program: &Program,
+    pred: Pred,
+    adornment: Adornment,
+    check_chain: bool,
+) -> Result<NaryPlan, QueryError> {
+    let adorned = adorn_for(program, pred, adornment)?;
+    if check_chain {
+        let violations = chain_violations(program, &adorned);
+        if !violations.is_empty() {
+            return Err(QueryError::NotChain(violations));
+        }
+    }
+    let mut binary = transform(program, &adorned);
+    // Lemma 1 over the bin equations (e.g. the flight program's
+    // bin-cnx = base ∪ in·bin-cnx becomes the regular in*·base).
+    let simplified = lemma1_from_system(binary.system.clone(), &Lemma1Options::default())?;
+    binary.system = simplified.system;
+    let compiled = CompiledPlan::compile(&binary.system);
+    Ok(NaryPlan {
+        pred,
+        adornment,
+        binary,
+        compiled,
+    })
+}
+
+/// Run one compiled plan against one database: anchor the traversal at
+/// the tuple of bound constants (ascending position order; `t()` when
+/// nothing is bound), run the transformed machine, and decode the
+/// answer tuple constants back to rows over the free positions.
+pub fn evaluate_nary(
+    program: &Program,
+    db: &Database,
+    plan: &NaryPlan,
+    bound: &[Const],
+    options: &EvalOptions,
+) -> (Vec<Vec<Const>>, EvalOutcome) {
+    debug_assert_eq!(bound.len(), plan.adornment.bound_positions().len());
+    let source = VirtualSource::new(program, db, &plan.binary);
+    let evaluator = Evaluator::with_plan(&plan.binary.system, &plan.compiled, &source);
+    let anchor = source.intern_tuple(bound.to_vec());
+    let mut options = options.clone();
+    if plan.adornment.free_positions().is_empty() && options.stop_on_answer.is_none() {
+        // Fully bound query: the only possible answer is the empty
+        // tuple, so stop the moment membership is established.
+        options.stop_on_answer = Some(source.intern_tuple(Vec::new()));
+    }
+    let outcome = evaluator.evaluate(plan.binary.query_bin, anchor, &options);
+    let mut rows: Vec<Vec<Const>> = outcome
+        .answers
+        .iter()
+        .map(|&c| source.decode_tuple(c))
+        .collect();
+    rows.sort();
+    rows.dedup();
+    (rows, outcome)
 }
 
 /// The answer to an n-ary query.
@@ -107,24 +220,7 @@ fn answer_query_inner(
     options: &EvalOptions,
     check_chain: bool,
 ) -> Result<QueryAnswer, QueryError> {
-    let adorned = adorn(program, query)?;
-    if check_chain {
-        let violations = chain_violations(program, &adorned);
-        if !violations.is_empty() {
-            return Err(QueryError::NotChain(violations));
-        }
-    }
-    let binary = transform(program, &adorned);
-
-    // Lemma 1 over the bin equations (e.g. the flight program's
-    // bin-cnx = base ∪ in·bin-cnx becomes the regular in*·base).
-    let simplified = lemma1_from_system(binary.system.clone(), &Lemma1Options::default())?;
-    let mut binary = binary;
-    binary.system = simplified.system;
-
-    let source = VirtualSource::new(program, db, &binary);
-    let evaluator = Evaluator::new(&binary.system, &source);
-
+    let plan = plan_nary_inner(program, query.pred, Adornment::of_query(query), check_chain)?;
     // Anchor: the tuple of bound constants, t() when nothing is bound.
     let bound: Vec<Const> = query
         .args
@@ -134,20 +230,11 @@ fn answer_query_inner(
             rq_datalog::QueryArg::Free => None,
         })
         .collect();
-    let anchor = source.intern_tuple(bound);
-    let outcome = evaluator.evaluate(binary.query_bin, anchor, options);
-
-    let mut rows: Vec<Vec<Const>> = outcome
-        .answers
-        .iter()
-        .map(|&c| source.decode_tuple(c))
-        .collect();
-    rows.sort();
-    rows.dedup();
+    let (rows, outcome) = evaluate_nary(program, db, &plan, &bound, options);
     Ok(QueryAnswer {
         rows,
         outcome,
-        binary,
+        binary: plan.binary,
     })
 }
 

@@ -19,11 +19,12 @@ pub mod source;
 pub mod transform;
 
 pub use adornment::{
-    adorn, chain_violations, condition3_violations, display_adorned, AdornError, AdornedBody,
-    AdornedPred, AdornedProgram, AdornedRule, Adornment,
+    adorn, adorn_for, chain_violations, condition3_violations, display_adorned, AdornError,
+    AdornedBody, AdornedPred, AdornedProgram, AdornedRule, Adornment,
 };
 pub use api::{
-    answer_query, answer_query_unchecked, bottom_up_counters, oracle_rows, QueryAnswer, QueryError,
+    answer_query, answer_query_unchecked, bottom_up_counters, evaluate_nary, oracle_rows,
+    plan_nary_query, plan_nary_query_unchecked, NaryPlan, QueryAnswer, QueryError,
 };
 pub use source::VirtualSource;
 pub use transform::{transform, BinaryProgram, VirtualKind, VirtualRel};

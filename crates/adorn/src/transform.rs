@@ -80,6 +80,30 @@ impl BinaryProgram {
             .unwrap_or_else(|| program.pred_name(p).to_string())
     }
 
+    /// Every *real* predicate of `program` the transformed machine can
+    /// consult: the body literals of every virtual relation's defining
+    /// join.  The `bin-`/`base-r`/`in-r`/`out-r` predicates are fresh
+    /// ids with no storage of their own — invalidation must follow them
+    /// back to the base relations they read on demand, which is exactly
+    /// this set.
+    pub fn base_read_set(&self, program: &Program) -> FxHashSet<Pred> {
+        let mut out = FxHashSet::default();
+        for rel in self.virtuals.values() {
+            let rule = &program.rules[rel.rule_idx];
+            for &li in &rel.literals {
+                if let rq_datalog::Literal::Atom(a) = &rule.body[li] {
+                    out.insert(a.pred);
+                }
+            }
+            // Unbound output variables range over the active domain,
+            // which any relation can feed (non-chain mode only).
+            if !rel.unbound_out_vars.is_empty() {
+                out.extend(program.preds.ids());
+            }
+        }
+        out
+    }
+
     /// Render the equation system with virtual-predicate names.
     pub fn display_system(&self, program: &Program) -> String {
         let name = |p: Pred| self.name(program, p);

@@ -1,0 +1,101 @@
+//! The §4 n-ary serving path end to end: the flights database at
+//! several scales, queried through `rq-service`'s generalized
+//! `QuerySpec` pipeline (adorn → transform → Lemma 1 → traversal over
+//! virtual relations, plan cached per adornment), against the one-shot
+//! `rq_adorn::answer_query` pipeline that recompiles per query, and
+//! the QSQ baseline.
+//!
+//! `batch` runs with result memoization off (raw §4 traversal over one
+//! shared snapshot); `batch_memoized` is the steady state where the
+//! result cache serves repeats.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rq_baselines::qsq;
+use rq_datalog::{Database, Query};
+use rq_engine::EvalOptions;
+use rq_service::{QueryService, QuerySpec, ServiceConfig};
+use rq_workloads::flights;
+
+fn bench_nary(c: &mut Criterion) {
+    for (airports, per, seed) in [(6usize, 3usize, 42u64), (12, 4, 42), (24, 6, 42)] {
+        let workload = flights::network(airports, per, seed);
+        let texts = flights::serve_queries(airports, per);
+        let mut group = c.benchmark_group(format!("nary_{}", workload.name));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(texts.len() as u64));
+
+        // Baseline 1: the one-shot §4 pipeline, recompiled per query.
+        group.bench_function("adorn_one_shot", |b| {
+            let mut program = workload.program.clone();
+            let queries: Vec<Query> = texts
+                .iter()
+                .map(|t| Query::parse(&mut program, t).unwrap())
+                .collect();
+            let db = Database::from_program(&program);
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in &queries {
+                    total += rq_adorn::answer_query(&program, &db, q, &EvalOptions::default())
+                        .unwrap()
+                        .rows
+                        .len();
+                }
+                total
+            })
+        });
+
+        // Baseline 2: QSQ over the original n-ary program.
+        group.bench_function("qsq", |b| {
+            let mut program = workload.program.clone();
+            let queries: Vec<Query> = texts
+                .iter()
+                .map(|t| Query::parse(&mut program, t).unwrap())
+                .collect();
+            b.iter(|| {
+                let mut total = 0usize;
+                for q in &queries {
+                    total += qsq(&program, q).unwrap().rows.len();
+                }
+                total
+            })
+        });
+
+        // The service: plan cached per adornment, parallel batch.
+        for threads in [1usize, 4] {
+            let service = QueryService::with_config(
+                workload.program.clone(),
+                ServiceConfig {
+                    threads,
+                    memoize_results: false,
+                    ..ServiceConfig::default()
+                },
+            );
+            let specs: Vec<QuerySpec> = texts
+                .iter()
+                .map(|t| service.parse_query(t).unwrap())
+                .collect();
+            group.bench_with_input(BenchmarkId::new("batch", threads), &threads, |b, _| {
+                b.iter(|| service.query_batch(&specs))
+            });
+        }
+
+        let memoized = QueryService::with_config(
+            workload.program.clone(),
+            ServiceConfig {
+                threads: 4,
+                ..ServiceConfig::default()
+            },
+        );
+        let specs: Vec<QuerySpec> = texts
+            .iter()
+            .map(|t| memoized.parse_query(t).unwrap())
+            .collect();
+        group.bench_function("batch_memoized", |b| {
+            b.iter(|| memoized.query_batch(&specs))
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_nary);
+criterion_main!(benches);

@@ -10,19 +10,15 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rq_common::Const;
 use rq_engine::{cyclic_iteration_bound, EdbSource, EvalOptions, Evaluator};
-use rq_service::{Adornment, PointQuery, QueryService, ServeQuery, ServiceConfig};
+use rq_service::{QueryService, QuerySpec, ServiceConfig};
 use rq_workloads::{fig8, graphs, Workload};
 
 /// Bound-free point queries from every constant of the workload.
-fn point_queries(workload: &Workload) -> Vec<PointQuery> {
+fn point_queries(workload: &Workload) -> Vec<QuerySpec> {
     let pred_name = workload.query.split('(').next().unwrap().trim();
     let pred = workload.program.pred_by_name(pred_name).unwrap();
     (0..workload.program.consts.len())
-        .map(|i| PointQuery {
-            pred,
-            adornment: Adornment::BoundFree,
-            constant: Const::from_index(i),
-        })
+        .map(|i| QuerySpec::bound_free(pred, Const::from_index(i)))
         .collect()
 }
 
@@ -42,26 +38,24 @@ fn bench_service(c: &mut Criterion) {
             b.iter(|| {
                 let mut total = 0usize;
                 for q in &queries {
+                    let constant = q.bound_values()[0];
                     let options = EvalOptions {
                         max_iterations: cyclic_iteration_bound(
                             &prepared.system,
                             &prepared.db,
                             q.pred,
-                            q.constant,
+                            constant,
                         )
                         .map(|b| b + 1),
                         ..EvalOptions::default()
                     };
-                    total += evaluator
-                        .evaluate(q.pred, q.constant, &options)
-                        .answers
-                        .len();
+                    total += evaluator.evaluate(q.pred, constant, &options).answers.len();
                 }
                 total
             })
         });
 
-        let serve_queries: Vec<ServeQuery> = queries.iter().map(|&q| q.into()).collect();
+        let serve_queries: Vec<QuerySpec> = queries.clone();
         for threads in [1usize, 2, 4, 8] {
             let service = QueryService::with_config(
                 workload.program.clone(),

@@ -286,7 +286,10 @@ pub fn all_pairs_min_side<S: TupleSource>(
 }
 
 /// `p(a, b)`: evaluate `p(a, Y)` and test `b ∈ Y` (§3 notes the second
-/// binding cannot be exploited without the §4 transformation).
+/// binding cannot be exploited without the §4 transformation).  The
+/// traversal stops as soon as `b` is emitted
+/// ([`EvalOptions::stop_on_answer`]), so a positive membership never
+/// materializes the rest of `p(a, Y)`.
 pub fn query_bb<S: TupleSource>(
     evaluator: &Evaluator<'_, S>,
     p: Pred,
@@ -294,7 +297,11 @@ pub fn query_bb<S: TupleSource>(
     b: Const,
     options: &EvalOptions,
 ) -> (bool, EvalOutcome) {
-    let out = evaluator.evaluate(p, a, options);
+    let options = EvalOptions {
+        stop_on_answer: Some(b),
+        ..options.clone()
+    };
+    let out = evaluator.evaluate(p, a, &options);
     (out.answers.contains(&b), out)
 }
 
@@ -497,6 +504,47 @@ mod tests {
             &EvalOptions::default(),
         );
         assert!(!no);
+    }
+
+    #[test]
+    fn bb_early_exit_explores_less_than_full_traversal() {
+        // A long chain: membership of the first successor must not walk
+        // the rest of the chain.
+        let n = 60;
+        let mut src = String::from("tc(X,Y) :- e(X,Y).\ntc(X,Z) :- e(X,Y), tc(Y,Z).\n");
+        for i in 0..n {
+            src.push_str(&format!("e(v{}, v{}).\n", i, i + 1));
+        }
+        let (program, db, sys) = setup(&src);
+        let tc = program.pred_by_name("tc").unwrap();
+        let source = EdbSource::new(&db);
+        let ev = Evaluator::new(&sys, &source);
+        let full = ev.evaluate(tc, konst(&program, "v0"), &EvalOptions::default());
+        let (yes, early) = query_bb(
+            &ev,
+            tc,
+            konst(&program, "v0"),
+            konst(&program, "v1"),
+            &EvalOptions::default(),
+        );
+        assert!(yes);
+        assert!(early.converged, "membership is fully answered");
+        assert!(
+            early.counters.tuples_retrieved * 4 < full.counters.tuples_retrieved.max(4),
+            "early {} !<< full {}",
+            early.counters.tuples_retrieved,
+            full.counters.tuples_retrieved
+        );
+        // A negative membership still runs to completion and is exact.
+        let (no, out) = query_bb(
+            &ev,
+            tc,
+            konst(&program, "v0"),
+            konst(&program, "v0"),
+            &EvalOptions::default(),
+        );
+        assert!(!no);
+        assert_eq!(out.answers.len(), n);
     }
 
     #[test]

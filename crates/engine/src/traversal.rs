@@ -66,6 +66,13 @@ pub struct EvalOptions {
     /// bound, since the m·n cyclic guard only covers the §3 linear
     /// shape.  `None` (the default) means no limit.
     pub node_budget: Option<u64>,
+    /// Stop the traversal as soon as this constant is emitted as an
+    /// answer.  The `p(a, b)` membership form sets this to `b`: once
+    /// `b` is known to be in the answer set there is no point
+    /// materializing the rest of `p(a, Y)`.  A run stopped this way
+    /// reports `converged = true` — the membership question is fully
+    /// answered — but its answer set is deliberately partial.
+    pub stop_on_answer: Option<Const>,
     /// Record per-iteration statistics.
     pub record_iterations: bool,
     /// Record the nodes and arcs of `G(p, a, i)` for export (Figure 3
@@ -370,7 +377,7 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
         let mut enter_arcs: Vec<(Node, ArcKind, Node)> = Vec::new();
 
         let mut converged = false;
-        loop {
+        'main: loop {
             counters.iterations += 1;
             let nodes_before = graph.len() as u64;
             // Depth-first traversal from every start node.
@@ -391,6 +398,12 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
                     match instance.exit {
                         None => {
                             answers.insert(term);
+                            if options.stop_on_answer == Some(term) {
+                                // Membership established: the partial
+                                // answer set already decides the query.
+                                converged = true;
+                                break 'main;
+                            }
                         }
                         Some((pi, pq)) => {
                             let node = (pi, pq, term);

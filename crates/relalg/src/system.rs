@@ -121,6 +121,35 @@ impl EqSystem {
         )
     }
 
+    /// Every symbol an evaluation rooted at `root` can consult: the
+    /// symbols of all equations reachable from `root` through derived
+    /// occurrences (derived predicates included).  This is the
+    /// cache-invalidation footprint serving layers key on — an update
+    /// that touches none of these predicates cannot change any answer
+    /// of a `root` query.
+    pub fn read_set(&self, root: Pred) -> FxHashSet<Pred> {
+        let derived = self.derived();
+        let mut all = FxHashSet::default();
+        let mut seen = FxHashSet::default();
+        let mut stack = vec![root];
+        while let Some(p) = stack.pop() {
+            if !seen.insert(p) {
+                continue;
+            }
+            if let Some(e) = self.rhs.get(&p) {
+                let mut syms = FxHashSet::default();
+                e.symbols(&mut syms);
+                for q in syms {
+                    if derived.contains(&q) {
+                        stack.push(q);
+                    }
+                    all.insert(q);
+                }
+            }
+        }
+        all
+    }
+
     /// Render the system, one `p = e` line per equation, in lhs order.
     pub fn display(&self, program: &Program) -> String {
         let name = |p: Pred| program.pred_name(p).to_string();
@@ -212,6 +241,21 @@ mod tests {
         assert!(slice.rhs.contains_key(&Pred(0)));
         assert!(slice.rhs.contains_key(&Pred(1)));
         assert!(!slice.rhs.contains_key(&Pred(2)));
+    }
+
+    #[test]
+    fn read_set_follows_derived_occurrences() {
+        // p0 reads {10, p1, 11} through p1; p2's symbols are invisible.
+        let sys = EqSystem::new([
+            (Pred(0), Expr::cat([s(10), s(1)])),
+            (Pred(1), s(11)),
+            (Pred(2), s(12)),
+        ]);
+        let rs = sys.read_set(Pred(0));
+        assert!(rs.contains(&Pred(10)) && rs.contains(&Pred(11)) && rs.contains(&Pred(1)));
+        assert!(!rs.contains(&Pred(12)));
+        // A base root reads nothing (no equation).
+        assert!(sys.read_set(Pred(12)).is_empty());
     }
 
     #[test]

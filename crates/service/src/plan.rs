@@ -1,18 +1,26 @@
-//! The plan cache: memoized `lemma1 → automata` compilation.
+//! The plan cache: memoized compilation for both serving pipelines.
 //!
-//! Compiling a program (Arden elimination + Thompson construction) is
-//! work proportional to the rule set, not to the data — exactly the
-//! kind of work that should happen once per program, not once per
-//! query.  The cache is keyed by `(rules fingerprint, predicate,
-//! adornment)` as the service's unit of reuse; entries for one program
-//! share a single [`ProgramPlan`], since Lemma 1 compiles the whole
-//! equation system at once and the [`CompiledPlan`] holds both machine
-//! orientations.
+//! Compiling a program (Arden elimination + Thompson construction for
+//! the §3 binary-chain path; adornment + the §4 binding-propagating
+//! transformation + elimination + machines for n-ary queries) is work
+//! proportional to the rule set, not to the data — exactly the kind of
+//! work that should happen once per program, not once per query.  The
+//! cache is keyed by `(rules fingerprint, predicate, adornment)`, the
+//! service's unit of reuse:
+//!
+//! * every binary-chain key of one program shares a single
+//!   [`ProgramPlan`], since Lemma 1 compiles the whole equation system
+//!   at once and the [`CompiledPlan`] holds both machine orientations;
+//! * each §4 key holds its own [`NaryPlan`] — the transformation
+//!   genuinely depends on the adornment (which positions are bound
+//!   decides the before/after split), though never on the bound values.
 //!
 //! The fingerprint covers the rules *and* their predicate-id binding
 //! (compiled expressions speak in `Pred` ids), but not the facts — so
 //! fact ingestion never invalidates a plan.
 
+use crate::spec::Adornment;
+use rq_adorn::{plan_nary_query, NaryPlan, QueryError};
 use rq_common::{FxHashMap, FxHasher, Pred};
 use rq_datalog::{display_rule, Program};
 use rq_engine::CompiledPlan;
@@ -23,26 +31,6 @@ use std::sync::{Arc, RwLock};
 
 use crate::snapshot::Snapshot;
 
-/// Which argument of the point query is bound — the binary-chain
-/// analogue of §4's adornments.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum Adornment {
-    /// `p(a, Y)`: first argument bound, forward machine.
-    BoundFree,
-    /// `p(X, a)`: second argument bound, inverse machine.
-    FreeBound,
-}
-
-impl Adornment {
-    /// The conventional two-letter rendering (`bf` / `fb`).
-    pub fn as_str(self) -> &'static str {
-        match self {
-            Adornment::BoundFree => "bf",
-            Adornment::FreeBound => "fb",
-        }
-    }
-}
-
 /// Cache key: one compiled unit of reuse.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct PlanKey {
@@ -50,12 +38,12 @@ pub struct PlanKey {
     pub program: u64,
     /// The queried predicate.
     pub pred: Pred,
-    /// Which argument the query binds.
+    /// The query's `{b,f}` binding pattern.
     pub adornment: Adornment,
 }
 
-/// Everything compiled from one program: the Lemma 1 equation system
-/// and the Thompson machines (both orientations).
+/// Everything compiled from one binary-chain program: the Lemma 1
+/// equation system and the Thompson machines (both orientations).
 pub struct ProgramPlan {
     /// The final equation system of Lemma 1.
     pub system: EqSystem,
@@ -64,32 +52,12 @@ pub struct ProgramPlan {
 }
 
 impl ProgramPlan {
-    /// Every predicate a query rooted at `pred` can read: the symbols
-    /// of all equations reachable from `pred` through derived
-    /// occurrences.  This is the cache-invalidation footprint — a
-    /// published epoch whose dirty shards are disjoint from this set
-    /// cannot change any answer of a `pred` query.
+    /// Every predicate a query rooted at `pred` can read — the
+    /// cache-invalidation footprint: a published epoch whose dirty
+    /// shards are disjoint from this set cannot change any answer of a
+    /// `pred` query.
     pub fn read_set(&self, pred: Pred) -> rq_common::FxHashSet<Pred> {
-        let derived = self.system.derived();
-        let mut all = rq_common::FxHashSet::default();
-        let mut seen = rq_common::FxHashSet::default();
-        let mut stack = vec![pred];
-        while let Some(p) = stack.pop() {
-            if !seen.insert(p) {
-                continue;
-            }
-            if let Some(e) = self.system.rhs.get(&p) {
-                let mut syms = rq_common::FxHashSet::default();
-                e.symbols(&mut syms);
-                for q in syms {
-                    if derived.contains(&q) {
-                        stack.push(q);
-                    }
-                    all.insert(q);
-                }
-            }
-        }
-        all
+        self.system.read_set(pred)
     }
 }
 
@@ -109,7 +77,7 @@ pub fn rules_fingerprint(program: &Program) -> u64 {
     h.finish()
 }
 
-/// Hit/miss/eviction counts of one cache.
+/// Hit/miss/eviction/dedup counts of one cache.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Lookups answered from the cache.
@@ -118,6 +86,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries dropped by capacity pressure or epoch invalidation.
     pub evictions: u64,
+    /// Batch queries answered by sharing an identical query's
+    /// evaluation (result cache only; always 0 for the plan cache).
+    pub deduped: u64,
 }
 
 impl CacheStats {
@@ -132,13 +103,15 @@ impl CacheStats {
     }
 }
 
-/// Thread-safe memoization of [`ProgramPlan`]s.  Failures are cached
+/// Thread-safe memoization of compiled plans.  Failures are cached
 /// too: the rule set is fixed for a service's lifetime, so a program
-/// that fails Lemma 1 fails deterministically and must not re-run the
-/// whole elimination on every query.
+/// that fails Lemma 1 (or a `(pred, adornment)` that fails adornment or
+/// the chain condition) fails deterministically and must not re-run
+/// the whole pipeline on every query.
 pub struct PlanCache {
     by_key: RwLock<FxHashMap<PlanKey, Arc<ProgramPlan>>>,
     by_program: RwLock<FxHashMap<u64, Result<Arc<ProgramPlan>, Lemma1Error>>>,
+    by_nary: RwLock<FxHashMap<PlanKey, Result<Arc<NaryPlan>, QueryError>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -149,14 +122,16 @@ impl PlanCache {
         Self {
             by_key: RwLock::new(FxHashMap::default()),
             by_program: RwLock::new(FxHashMap::default()),
+            by_nary: RwLock::new(FxHashMap::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
     }
 
-    /// The plan for querying `pred` with `adornment` on `snapshot`'s
-    /// program, compiling at most once per program fingerprint.
-    pub fn plan_for(
+    /// The §3 binary-chain plan for querying `pred` with `adornment` on
+    /// `snapshot`'s program, compiling at most once per program
+    /// fingerprint.
+    pub fn chain_plan_for(
         &self,
         snapshot: &Snapshot,
         pred: Pred,
@@ -185,8 +160,42 @@ impl PlanCache {
         Ok(plan)
     }
 
-    /// The per-program compilation (or its cached failure), shared by
-    /// every `(pred, adornment)` key of one program.
+    /// The §4 plan for querying `pred` with `adornment` on `snapshot`'s
+    /// program: adornment, binding-propagating transformation to a
+    /// chain program over `base-r`/`in-r`/`out-r` virtual predicates,
+    /// Lemma 1 over the transformed system, machine compilation.
+    /// Compiles (or fails) at most once per key.
+    pub fn nary_plan_for(
+        &self,
+        snapshot: &Snapshot,
+        pred: Pred,
+        adornment: Adornment,
+    ) -> Result<Arc<NaryPlan>, QueryError> {
+        let key = PlanKey {
+            program: snapshot.rules_fingerprint(),
+            pred,
+            adornment,
+        };
+        if let Some(outcome) = self
+            .by_nary
+            .read()
+            .expect("plan cache lock poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return outcome.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Compile outside any lock: the pipeline can be slow and must
+        // not stall readers.  A racing thread may compile the same key;
+        // first publication wins and the duplicate is dropped.
+        let outcome = plan_nary_query(snapshot.program(), pred, adornment).map(Arc::new);
+        let mut by_nary = self.by_nary.write().expect("plan cache lock poisoned");
+        by_nary.entry(key).or_insert(outcome).clone()
+    }
+
+    /// The per-program §3 compilation (or its cached failure), shared
+    /// by every binary-chain `(pred, adornment)` key of one program.
     fn program_plan(
         &self,
         fingerprint: u64,
@@ -214,8 +223,8 @@ impl PlanCache {
         by_program.entry(fingerprint).or_insert(outcome).clone()
     }
 
-    /// The already-compiled plan for `fingerprint`, if one is cached —
-    /// never triggers compilation.  The ingest path uses this to
+    /// The already-compiled §3 plan for `fingerprint`, if one is cached
+    /// — never triggers compilation.  The ingest path uses this to
     /// compute invalidation read-sets without paying a compile under
     /// the writer lock.
     pub fn peek_program(&self, fingerprint: u64) -> Option<Arc<ProgramPlan>> {
@@ -226,19 +235,50 @@ impl PlanCache {
             .and_then(|o| o.clone().ok())
     }
 
-    /// Number of `(program, pred, adornment)` entries.
+    /// The already-compiled §4 plan for a key, if one is cached —
+    /// never triggers compilation (ingest-path counterpart of
+    /// [`PlanCache::peek_program`]).
+    pub fn peek_nary(
+        &self,
+        fingerprint: u64,
+        pred: Pred,
+        adornment: Adornment,
+    ) -> Option<Arc<NaryPlan>> {
+        self.by_nary
+            .read()
+            .expect("plan cache lock poisoned")
+            .get(&PlanKey {
+                program: fingerprint,
+                pred,
+                adornment,
+            })
+            .and_then(|o| o.clone().ok())
+    }
+
+    /// Number of binary-chain `(program, pred, adornment)` entries.
     pub fn len(&self) -> usize {
         self.by_key.read().expect("plan cache lock poisoned").len()
     }
 
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.len() == 0 && self.nary_plans() == 0
     }
 
-    /// Number of distinct programs compiled (successfully).
+    /// Number of distinct programs compiled (successfully) for the §3
+    /// path.
     pub fn programs(&self) -> usize {
         self.by_program
+            .read()
+            .expect("plan cache lock poisoned")
+            .values()
+            .filter(|o| o.is_ok())
+            .count()
+    }
+
+    /// Number of §4 plans compiled (successfully).
+    pub fn nary_plans(&self) -> usize {
+        self.by_nary
             .read()
             .expect("plan cache lock poisoned")
             .values()
@@ -252,7 +292,7 @@ impl PlanCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            evictions: 0,
+            ..CacheStats::default()
         }
     }
 }
@@ -273,16 +313,24 @@ mod tests {
                       sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n\
                       up(a,a1). flat(a1,b1). down(b1,b).";
 
+    fn bf() -> Adornment {
+        Adornment::from_bound(2, [0])
+    }
+
+    fn fb() -> Adornment {
+        Adornment::from_bound(2, [1])
+    }
+
     #[test]
     fn one_compile_serves_both_adornments() {
         let store = SnapshotStore::new(parse_program(SG).unwrap());
         let snap = store.snapshot();
         let sg = snap.program().pred_by_name("sg").unwrap();
         let cache = PlanCache::new();
-        let bf = cache.plan_for(&snap, sg, Adornment::BoundFree).unwrap();
-        let fb = cache.plan_for(&snap, sg, Adornment::FreeBound).unwrap();
+        let p_bf = cache.chain_plan_for(&snap, sg, bf()).unwrap();
+        let p_fb = cache.chain_plan_for(&snap, sg, fb()).unwrap();
         assert!(
-            Arc::ptr_eq(&bf, &fb),
+            Arc::ptr_eq(&p_bf, &p_fb),
             "both adornments share the program plan"
         );
         assert_eq!(cache.programs(), 1);
@@ -292,11 +340,11 @@ mod tests {
             CacheStats {
                 hits: 0,
                 misses: 2,
-                evictions: 0
+                ..CacheStats::default()
             }
         );
-        let again = cache.plan_for(&snap, sg, Adornment::BoundFree).unwrap();
-        assert!(Arc::ptr_eq(&bf, &again));
+        let again = cache.chain_plan_for(&snap, sg, bf()).unwrap();
+        assert!(Arc::ptr_eq(&p_bf, &again));
         assert_eq!(cache.stats().hits, 1);
     }
 
@@ -306,9 +354,9 @@ mod tests {
         let cache = PlanCache::new();
         let snap0 = store.snapshot();
         let sg = snap0.program().pred_by_name("sg").unwrap();
-        let p0 = cache.plan_for(&snap0, sg, Adornment::BoundFree).unwrap();
+        let p0 = cache.chain_plan_for(&snap0, sg, bf()).unwrap();
         let snap1 = store.ingest("up(x,y). flat(y,z).").unwrap();
-        let p1 = cache.plan_for(&snap1, sg, Adornment::BoundFree).unwrap();
+        let p1 = cache.chain_plan_for(&snap1, sg, bf()).unwrap();
         assert!(Arc::ptr_eq(&p0, &p1), "ingest must not recompile");
         assert_eq!(cache.stats().hits, 1);
         assert_eq!(cache.programs(), 1);
@@ -324,18 +372,10 @@ mod tests {
         assert_ne!(sa.rules_fingerprint(), sb.rules_fingerprint());
         let cache = PlanCache::new();
         let pa = cache
-            .plan_for(
-                &sa,
-                sa.program().pred_by_name("sg").unwrap(),
-                Adornment::BoundFree,
-            )
+            .chain_plan_for(&sa, sa.program().pred_by_name("sg").unwrap(), bf())
             .unwrap();
         let pb = cache
-            .plan_for(
-                &sb,
-                sb.program().pred_by_name("tc").unwrap(),
-                Adornment::BoundFree,
-            )
+            .chain_plan_for(&sb, sb.program().pred_by_name("tc").unwrap(), bf())
             .unwrap();
         assert!(!Arc::ptr_eq(&pa, &pb));
         assert_eq!(cache.programs(), 2);
@@ -349,13 +389,60 @@ mod tests {
         let snap = store.snapshot();
         let t = snap.program().pred_by_name("t").unwrap();
         let cache = PlanCache::new();
-        let first = cache.plan_for(&snap, t, Adornment::BoundFree);
+        let first = cache.chain_plan_for(&snap, t, Adornment::from_bound(3, [0]));
         assert!(first.is_err());
         // The failure is cached per program; repeat queries must not
         // re-run the elimination (and must not count as a compiled
         // program).
-        let again = cache.plan_for(&snap, t, Adornment::FreeBound);
+        let again = cache.chain_plan_for(&snap, t, Adornment::from_bound(3, [0, 1]));
         assert_eq!(again.err(), first.err());
         assert_eq!(cache.programs(), 0);
+    }
+
+    #[test]
+    fn nary_plans_cached_per_adornment() {
+        let src = "cnx(S,DT,D,AT) :- flight(S,DT,D,AT).\n\
+                   cnx(S,DT,D,AT) :- flight(S,DT,D1,AT1), AT1 < DT1, is_deptime(DT1), cnx(D1,DT1,D,AT).\n\
+                   flight(hel,540,ams,690). is_deptime(540).";
+        let store = SnapshotStore::new(parse_program(src).unwrap());
+        let snap = store.snapshot();
+        let cnx = snap.program().pred_by_name("cnx").unwrap();
+        let cache = PlanCache::new();
+        let bbff = Adornment::from_bound(4, [0, 1]);
+        let p1 = cache.nary_plan_for(&snap, cnx, bbff).unwrap();
+        let p2 = cache.nary_plan_for(&snap, cnx, bbff).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "repeat key must hit the cache");
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.nary_plans(), 1);
+        // A different adornment is a different plan.
+        let bbbb = Adornment::from_bound(4, [0, 1, 2, 3]);
+        let p3 = cache.nary_plan_for(&snap, cnx, bbbb).unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        assert_eq!(cache.nary_plans(), 2);
+        // The plan's read-set resolves virtual predicates back to the
+        // real relations their joins consult.
+        let rs = p1.read_set(snap.program());
+        let pred = |n: &str| snap.program().pred_by_name(n).unwrap();
+        assert!(rs.contains(&pred("flight")));
+        assert!(rs.contains(&pred("is_deptime")));
+        assert!(!rs.contains(&cnx), "cnx itself is rewritten away");
+    }
+
+    #[test]
+    fn nary_failures_are_memoized() {
+        // §4's counterexample fails the chain condition.
+        let src = "p(X,Y) :- b0(X,Y).\n\
+                   p(X,Y) :- b1(X,Y), p(Y,Z).\n\
+                   b1(a,b). b0(b,c).";
+        let store = SnapshotStore::new(parse_program(src).unwrap());
+        let snap = store.snapshot();
+        let p = snap.program().pred_by_name("p").unwrap();
+        let cache = PlanCache::new();
+        let first = cache.nary_plan_for(&snap, p, Adornment::from_bound(2, [0]));
+        assert!(matches!(first, Err(QueryError::NotChain(_))));
+        let again = cache.nary_plan_for(&snap, p, Adornment::from_bound(2, [0]));
+        assert!(again.is_err());
+        assert_eq!(cache.stats().hits, 1, "failure served from cache");
+        assert_eq!(cache.nary_plans(), 0);
     }
 }

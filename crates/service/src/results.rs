@@ -1,105 +1,123 @@
-//! The memoized result cache: `(epoch, predicate, query kind) → sorted
-//! answers`, in the salsa mold, bounded and epoch-carrying.
+//! The memoized result cache: `(epoch, query spec) → sorted answer
+//! rows`, in the salsa mold, bounded and epoch-carrying.
 //!
 //! The demand-driven traversal makes per-query results small (only the
 //! reachable fragment of the interpretation graph contributes), which
 //! is what makes memoizing them worthwhile.  Keys embed the snapshot
 //! epoch, so a published revision implicitly invalidates every older
 //! entry — a stale answer can never be returned because its key can no
-//! longer be constructed.
+//! longer be constructed.  The [`QuerySpec`] half of the key is
+//! canonical (free slots renumbered by first occurrence), so `tc(a, Y)`
+//! and `tc(a, Z)` share one entry.
 //!
-//! Two refinements over a plain epoch-keyed map:
+//! Three refinements over a plain epoch-keyed map:
 //!
-//! * **Per-predicate survival.**  [`ResultCache::carry_forward`] runs on
-//!   every epoch bump with a predicate-level "is this entry still
-//!   valid?" predicate supplied by the service (its plan read-set vs.
-//!   the snapshot's dirty shards).  Surviving entries are re-keyed to
-//!   the new epoch instead of being dropped, so an ingest into `e`
-//!   leaves every memoized answer over disjoint predicates hot.
-//! * **A bounded footprint.**  The cache optionally caps its entry
-//!   count; overflow evicts least-recently-used entries (approximate
-//!   LRU via a monotone use tick) and counts them in
-//!   [`CacheStats::evictions`].
+//! * **Per-adornment survival.**  [`ResultCache::carry_forward`] runs on
+//!   every epoch bump with an "is this entry still valid?" predicate
+//!   supplied by the service (its plan's read-set vs. the snapshot's
+//!   dirty shards — for §4 plans the *virtual* predicates resolved back
+//!   to the real base relations they join).  Surviving entries are
+//!   re-keyed to the new epoch instead of being dropped.
+//! * **A bounded footprint.**  The cache caps its entry count and/or
+//!   its approximate payload bytes; overflow evicts least-recently-used
+//!   entries (approximate LRU via a monotone use tick) and counts them
+//!   in [`CacheStats::evictions`].
+//! * **Batch dedup accounting.**  [`ResultCache::note_deduped`] counts
+//!   queries a batch answered by sharing another identical spec's
+//!   answer instead of evaluating ([`CacheStats::deduped`]).
 
-use crate::plan::{Adornment, CacheStats};
-use rq_common::{Const, FxHashMap, Pred};
+use crate::plan::CacheStats;
+use crate::spec::QuerySpec;
+use rq_common::{Const, FxHashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
-/// Which shape of query a cache entry memoizes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum QueryKind {
-    /// A point query `p(a, Y)` / `p(X, a)`.
-    Point {
-        /// Which argument was bound.
-        adornment: Adornment,
-        /// The bound constant.
-        constant: Const,
-    },
-    /// The all-pairs query `p(X, Y)`.
-    AllPairs,
-    /// The diagonal query `p(X, X)`.
-    Diagonal,
-}
-
 /// Cache key: one memoized query on one database version.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct ResultKey {
     /// Snapshot epoch the answer was computed on.
     pub epoch: u64,
-    /// The queried predicate.
-    pub pred: Pred,
-    /// The query shape (and its bindings, for point queries).
-    pub kind: QueryKind,
+    /// The canonical query.
+    pub spec: QuerySpec,
 }
 
 /// A memoized answer set.
 #[derive(Clone, Debug)]
 pub struct CachedResult {
-    /// Sorted, deduplicated answer constants (`Arc`-shared with every
-    /// consumer).  Empty for all-pairs entries, whose payload is
-    /// `pairs`.
-    pub answers: Arc<Vec<Const>>,
-    /// Sorted, deduplicated `(x, y)` rows for all-pairs entries; empty
-    /// for point and diagonal entries.
-    pub pairs: Arc<Vec<(Const, Const)>>,
+    /// Sorted, deduplicated answer rows over the spec's distinct free
+    /// positions, in ascending position order (`Arc`-shared with every
+    /// consumer).  A fully bound query answers `[[]]` (yes) or `[]`
+    /// (no).
+    pub rows: Arc<Vec<Vec<Const>>>,
     /// Whether the evaluation converged (`false` = truncated by an
-    /// explicit iteration bound, answers sound but possibly partial).
+    /// iteration bound or node budget, answers sound but possibly
+    /// partial).
     pub converged: bool,
 }
 
 struct Entry {
     result: CachedResult,
     last_used: AtomicU64,
+    bytes: u64,
 }
 
-/// Thread-safe memoization of query results, optionally bounded.
+/// Approximate heap footprint of one entry: key, row vectors, and map
+/// overhead.  `Const` is 4 bytes; each row carries a `Vec` header.
+fn approx_bytes(key: &ResultKey, rows: &[Vec<Const>]) -> u64 {
+    let key_bytes = 64 + 8 * key.spec.args().len();
+    let row_bytes: usize = rows.iter().map(|r| 24 + 4 * r.len()).sum();
+    (key_bytes + row_bytes + 24) as u64
+}
+
+struct Inner {
+    map: FxHashMap<ResultKey, Entry>,
+    bytes: u64,
+}
+
+/// Thread-safe memoization of query results, optionally bounded by
+/// entry count and/or approximate payload bytes.
 pub struct ResultCache {
-    inner: RwLock<FxHashMap<ResultKey, Entry>>,
+    inner: RwLock<Inner>,
     /// Entry cap; `None` = unbounded.
     capacity: Option<usize>,
+    /// Byte budget over the approximate entry footprints; `None` =
+    /// unbounded.
+    byte_budget: Option<u64>,
     tick: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    deduped: AtomicU64,
 }
 
 impl ResultCache {
     /// Empty, unbounded cache.
     pub fn new() -> Self {
-        Self::with_capacity(None)
+        Self::with_limits(None, None)
     }
 
     /// Empty cache holding at most `capacity` entries (`None` =
     /// unbounded).  A zero capacity disables memoization entirely.
     pub fn with_capacity(capacity: Option<usize>) -> Self {
+        Self::with_limits(capacity, None)
+    }
+
+    /// Empty cache bounded by an entry cap and/or a byte budget over
+    /// the approximate answer footprints.  A zero in either limit
+    /// disables memoization entirely.
+    pub fn with_limits(capacity: Option<usize>, byte_budget: Option<u64>) -> Self {
         Self {
-            inner: RwLock::new(FxHashMap::default()),
+            inner: RwLock::new(Inner {
+                map: FxHashMap::default(),
+                bytes: 0,
+            }),
             capacity,
+            byte_budget,
             tick: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            deduped: AtomicU64::new(0),
         }
     }
 
@@ -108,15 +126,25 @@ impl ResultCache {
         self.capacity
     }
 
+    /// The configured byte budget.
+    pub fn byte_budget(&self) -> Option<u64> {
+        self.byte_budget
+    }
+
+    /// Approximate bytes currently charged to memoized answers.
+    pub fn bytes(&self) -> u64 {
+        self.inner.read().expect("result cache lock poisoned").bytes
+    }
+
     /// Look up a memoized answer, refreshing its recency.
     pub fn get(&self, key: &ResultKey) -> Option<CachedResult> {
-        let map = self.inner.read().expect("result cache lock poisoned");
-        let hit = map.get(key).map(|e| {
+        let inner = self.inner.read().expect("result cache lock poisoned");
+        let hit = inner.map.get(key).map(|e| {
             e.last_used
                 .store(self.tick.fetch_add(1, Ordering::Relaxed), Ordering::Relaxed);
             e.result.clone()
         });
-        drop(map);
+        drop(inner);
         match &hit {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
             None => self.misses.fetch_add(1, Ordering::Relaxed),
@@ -126,72 +154,102 @@ impl ResultCache {
 
     /// Memoize an answer.  Last write wins; concurrent writers compute
     /// identical values for identical keys (epochs are immutable).
-    /// Overflow beyond the capacity evicts least-recently-used entries.
+    /// Overflow beyond either limit evicts least-recently-used entries.
     pub fn insert(&self, key: ResultKey, value: CachedResult) {
-        if self.capacity == Some(0) {
+        if self.capacity == Some(0) || self.byte_budget == Some(0) {
             return;
         }
-        let mut map = self.inner.write().expect("result cache lock poisoned");
-        map.insert(
-            key,
-            Entry {
-                result: value,
-                last_used: AtomicU64::new(self.tick.fetch_add(1, Ordering::Relaxed)),
-            },
-        );
-        if let Some(cap) = self.capacity {
-            if map.len() > cap {
-                // Evict to 7/8 of the cap so overflow work is amortized
-                // instead of running the selection on every insert at
-                // cap.  An O(n) partition (not a sort) keeps the write
-                // lock's critical section short — readers are stalled
-                // for the duration.
-                let target = cap - cap / 8;
-                let n_evict = map.len().saturating_sub(target);
-                let mut ticks: Vec<(u64, ResultKey)> = map
-                    .iter()
-                    .map(|(k, e)| (e.last_used.load(Ordering::Relaxed), *k))
-                    .collect();
-                if n_evict > 0 && n_evict < ticks.len() {
-                    ticks.select_nth_unstable_by_key(n_evict - 1, |&(t, _)| t);
-                }
-                let mut evicted = 0u64;
-                for &(_, k) in ticks.iter().take(n_evict) {
-                    map.remove(&k);
-                    evicted += 1;
-                }
-                self.evictions.fetch_add(evicted, Ordering::Relaxed);
-            }
+        let bytes = approx_bytes(&key, &value.rows);
+        let mut inner = self.inner.write().expect("result cache lock poisoned");
+        let entry = Entry {
+            result: value,
+            last_used: AtomicU64::new(self.tick.fetch_add(1, Ordering::Relaxed)),
+            bytes,
+        };
+        if let Some(old) = inner.map.insert(key, entry) {
+            inner.bytes -= old.bytes;
         }
+        inner.bytes += bytes;
+        let over_entries = self.capacity.is_some_and(|cap| inner.map.len() > cap);
+        let over_bytes = self.byte_budget.is_some_and(|b| inner.bytes > b);
+        if !(over_entries || over_bytes) {
+            return;
+        }
+        // Evict to 7/8 of each exceeded limit so overflow work is
+        // amortized instead of re-running the selection on every
+        // insert at the boundary.  Oldest ticks go first.  The
+        // selection works on flat `(tick, bytes)` pairs — no key
+        // clones — and the write lock's critical section stays short:
+        // one sort of 16-byte pairs plus one `retain` pass.
+        let entry_target = self.capacity.map(|cap| cap - cap / 8);
+        let byte_target = self.byte_budget.map(|b| b - b / 8);
+        let mut ticks: Vec<(u64, u64)> = inner
+            .map
+            .values()
+            .map(|e| (e.last_used.load(Ordering::Relaxed), e.bytes))
+            .collect();
+        ticks.sort_unstable_by_key(|&(t, _)| t);
+        // Walk oldest-first until what *remains* satisfies both
+        // targets; ticks are unique (a monotone counter), so evicting
+        // everything strictly below the cutoff removes exactly the
+        // prefix.
+        let mut remaining_entries = ticks.len();
+        let mut remaining_bytes = inner.bytes;
+        let mut cutoff = 0u64;
+        for &(tick, bytes) in &ticks {
+            let entries_ok = entry_target.is_none_or(|t| remaining_entries <= t);
+            let bytes_ok = byte_target.is_none_or(|t| remaining_bytes <= t);
+            if entries_ok && bytes_ok {
+                break;
+            }
+            remaining_entries -= 1;
+            remaining_bytes -= bytes;
+            cutoff = tick + 1;
+        }
+        let before = inner.map.len();
+        inner
+            .map
+            .retain(|_, e| e.last_used.load(Ordering::Relaxed) >= cutoff);
+        let evicted = (before - inner.map.len()) as u64;
+        inner.bytes = remaining_bytes;
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
     }
 
-    /// Epoch-bump garbage collection with per-predicate survival.
-    /// Entries of epoch `new_epoch - 1` for which `survives` returns
-    /// `true` are **re-keyed** to `new_epoch` (their answers are still
-    /// valid: the publish touched none of the predicates their plan
-    /// reads).  All other entries older than `new_epoch` are dropped
-    /// and counted as evictions.  Entries at `new_epoch` or later are
-    /// kept untouched, so a straggler invoking this with a superseded
-    /// epoch can never evict entries of a newer one.
+    /// Epoch-bump garbage collection with per-entry survival.  Entries
+    /// of epoch `new_epoch - 1` for which `survives` returns `true` are
+    /// **re-keyed** to `new_epoch` (their answers are still valid: the
+    /// publish touched none of the predicates their plan reads).  All
+    /// other entries older than `new_epoch` are dropped and counted as
+    /// evictions.  Entries at `new_epoch` or later are kept untouched,
+    /// so a straggler invoking this with a superseded epoch can never
+    /// evict entries of a newer one.
     pub fn carry_forward(&self, new_epoch: u64, mut survives: impl FnMut(&ResultKey) -> bool) {
-        let mut map = self.inner.write().expect("result cache lock poisoned");
-        let old: Vec<ResultKey> = map
+        let mut inner = self.inner.write().expect("result cache lock poisoned");
+        let old: Vec<ResultKey> = inner
+            .map
             .keys()
             .filter(|k| k.epoch < new_epoch)
-            .copied()
+            .cloned()
             .collect();
         let mut evicted = 0u64;
         for key in old {
-            let entry = map.remove(&key).expect("key just listed");
+            let entry = inner.map.remove(&key).expect("key just listed");
             if key.epoch + 1 == new_epoch && survives(&key) {
-                map.insert(
+                let displaced = inner.map.insert(
                     ResultKey {
                         epoch: new_epoch,
-                        ..key
+                        spec: key.spec,
                     },
                     entry,
                 );
+                if let Some(d) = displaced {
+                    // A concurrent query already recomputed this spec
+                    // on the new epoch; uncharge the copy we replaced.
+                    inner.bytes -= d.bytes;
+                    evicted += 1;
+                }
             } else {
+                inner.bytes -= entry.bytes;
                 evicted += 1;
             }
         }
@@ -205,9 +263,19 @@ impl ResultCache {
         self.carry_forward(current, |_| false);
     }
 
+    /// Record `n` batch queries answered by sharing an identical spec's
+    /// evaluation instead of running their own.
+    pub fn note_deduped(&self, n: u64) {
+        self.deduped.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Number of memoized answers.
     pub fn len(&self) -> usize {
-        self.inner.read().expect("result cache lock poisoned").len()
+        self.inner
+            .read()
+            .expect("result cache lock poisoned")
+            .map
+            .len()
     }
 
     /// Whether nothing is memoized.
@@ -215,12 +283,13 @@ impl ResultCache {
         self.len() == 0
     }
 
-    /// Hit/miss/eviction counters.
+    /// Hit/miss/eviction/dedup counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            deduped: self.deduped.load(Ordering::Relaxed),
         }
     }
 }
@@ -234,22 +303,18 @@ impl Default for ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rq_common::Pred;
 
     fn key(epoch: u64, c: u32) -> ResultKey {
         ResultKey {
             epoch,
-            pred: Pred(0),
-            kind: QueryKind::Point {
-                adornment: Adornment::BoundFree,
-                constant: Const(c),
-            },
+            spec: QuerySpec::bound_free(Pred(0), Const(c)),
         }
     }
 
     fn value(cs: &[u32]) -> CachedResult {
         CachedResult {
-            answers: Arc::new(cs.iter().map(|&c| Const(c)).collect()),
-            pairs: Arc::new(Vec::new()),
+            rows: Arc::new(cs.iter().map(|&c| vec![Const(c)]).collect()),
             converged: true,
         }
     }
@@ -260,15 +325,16 @@ mod tests {
         assert!(cache.get(&key(0, 1)).is_none());
         cache.insert(key(0, 1), value(&[7, 9]));
         let hit = cache.get(&key(0, 1)).unwrap();
-        assert_eq!(*hit.answers, vec![Const(7), Const(9)]);
+        assert_eq!(*hit.rows, vec![vec![Const(7)], vec![Const(9)]]);
         assert_eq!(
             cache.stats(),
             CacheStats {
                 hits: 1,
                 misses: 1,
-                evictions: 0
+                ..CacheStats::default()
             }
         );
+        assert!(cache.bytes() > 0);
     }
 
     #[test]
@@ -290,13 +356,10 @@ mod tests {
         cache.insert(key(0, 1), value(&[1]));
         cache.insert(key(0, 2), value(&[2]));
         // Entry for constant 1 survives the bump; entry 2 does not.
-        cache.carry_forward(
-            1,
-            |k| matches!(k.kind, QueryKind::Point { constant, .. } if constant == Const(1)),
-        );
+        cache.carry_forward(1, |k| k.spec.bound_values() == vec![Const(1)]);
         assert_eq!(cache.len(), 1);
         assert!(cache.get(&key(0, 1)).is_none(), "old key is gone");
-        assert_eq!(*cache.get(&key(1, 1)).unwrap().answers, vec![Const(1)]);
+        assert_eq!(*cache.get(&key(1, 1)).unwrap().rows, vec![vec![Const(1)]]);
         assert!(cache.get(&key(1, 2)).is_none());
         assert_eq!(cache.stats().evictions, 1);
     }
@@ -309,6 +372,7 @@ mod tests {
         cache.insert(key(0, 1), value(&[1]));
         cache.carry_forward(2, |_| true);
         assert!(cache.is_empty());
+        assert_eq!(cache.bytes(), 0, "evicted bytes are uncharged");
     }
 
     #[test]
@@ -322,27 +386,29 @@ mod tests {
     }
 
     #[test]
-    fn distinct_kinds_do_not_collide() {
+    fn distinct_specs_do_not_collide() {
         let cache = ResultCache::new();
         cache.insert(key(0, 1), value(&[1]));
         let fb = ResultKey {
-            kind: QueryKind::Point {
-                adornment: Adornment::FreeBound,
-                constant: Const(1),
-            },
-            ..key(0, 1)
+            epoch: 0,
+            spec: QuerySpec::free_bound(Pred(0), Const(1)),
         };
         let ap = ResultKey {
-            kind: QueryKind::AllPairs,
-            ..key(0, 1)
+            epoch: 0,
+            spec: QuerySpec::all_free(Pred(0), 2),
+        };
+        let diag = ResultKey {
+            epoch: 0,
+            spec: QuerySpec::diagonal(Pred(0)),
         };
         assert!(cache.get(&fb).is_none());
         assert!(cache.get(&ap).is_none());
-        cache.insert(fb, value(&[4]));
-        cache.insert(ap, value(&[8]));
-        assert_eq!(*cache.get(&fb).unwrap().answers, vec![Const(4)]);
-        assert_eq!(*cache.get(&ap).unwrap().answers, vec![Const(8)]);
-        assert_eq!(*cache.get(&key(0, 1)).unwrap().answers, vec![Const(1)]);
+        cache.insert(fb.clone(), value(&[4]));
+        cache.insert(ap.clone(), value(&[8]));
+        assert!(cache.get(&diag).is_none(), "diagonal ≠ all-pairs");
+        assert_eq!(*cache.get(&fb).unwrap().rows, vec![vec![Const(4)]]);
+        assert_eq!(*cache.get(&ap).unwrap().rows, vec![vec![Const(8)]]);
+        assert_eq!(*cache.get(&key(0, 1)).unwrap().rows, vec![vec![Const(1)]]);
     }
 
     #[test]
@@ -368,10 +434,69 @@ mod tests {
     }
 
     #[test]
+    fn byte_budget_evicts_on_size_not_count() {
+        // Entries are ~100 bytes each; a 1 KiB budget holds ~10, far
+        // below the (absent) entry cap.
+        let cache = ResultCache::with_limits(None, Some(1024));
+        for i in 0..64 {
+            cache.insert(key(0, i), value(&[i, i + 1, i + 2]));
+        }
+        assert!(cache.bytes() <= 1024, "bytes {} over budget", cache.bytes());
+        assert!(cache.len() < 64);
+        assert!(cache.stats().evictions > 0);
+        // Large answers are charged more: one big entry evicts several
+        // small ones to make room.
+        let before = cache.len();
+        let big: Vec<u32> = (0..15).collect();
+        cache.insert(key(0, 999), value(&big));
+        assert!(cache.bytes() <= 1024);
+        assert!(cache.get(&key(0, 999)).is_some(), "new entry admitted");
+        assert!(cache.len() < before + 1, "smaller entries made room");
+        // An entry bigger than the whole budget is simply not cacheable.
+        let huge: Vec<u32> = (0..500).collect();
+        cache.insert(key(0, 1000), value(&huge));
+        assert!(cache.bytes() <= 1024);
+        assert!(cache.get(&key(0, 1000)).is_none());
+    }
+
+    #[test]
+    fn reinserting_a_key_recharges_bytes() {
+        let cache = ResultCache::new();
+        cache.insert(key(0, 1), value(&(0..50).collect::<Vec<_>>()));
+        let big = cache.bytes();
+        cache.insert(key(0, 1), value(&[1]));
+        assert!(cache.bytes() < big, "shrunk entry must uncharge");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
     fn zero_capacity_disables_memoization() {
         let cache = ResultCache::with_capacity(Some(0));
         cache.insert(key(0, 1), value(&[1]));
         assert!(cache.is_empty());
         assert!(cache.get(&key(0, 1)).is_none());
+    }
+
+    #[test]
+    fn carry_forward_displacing_a_fresh_entry_uncharges_its_bytes() {
+        // A racing query can insert (epoch 1, S) before the ingest's
+        // carry-forward re-keys the surviving (epoch 0, S) entry onto
+        // the same key; the displaced copy's bytes must be uncharged.
+        let cache = ResultCache::new();
+        cache.insert(key(0, 1), value(&[1]));
+        cache.insert(key(1, 1), value(&[1]));
+        let one_entry = approx_bytes(&key(0, 1), &value(&[1]).rows);
+        assert_eq!(cache.bytes(), 2 * one_entry);
+        cache.carry_forward(1, |_| true);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.bytes(), one_entry, "displaced bytes must not leak");
+    }
+
+    #[test]
+    fn deduped_counter_accumulates() {
+        let cache = ResultCache::new();
+        cache.note_deduped(3);
+        cache.note_deduped(2);
+        assert_eq!(cache.stats().deduped, 5);
     }
 }

@@ -1,9 +1,11 @@
 //! The query service: snapshots + plan cache + result cache + a
-//! parallel batch front end.
+//! parallel, deduplicating batch front end, all keyed on the
+//! generalized [`QuerySpec`].
 
-use crate::plan::{Adornment, PlanCache, ProgramPlan};
-use crate::results::{CachedResult, QueryKind, ResultCache, ResultKey};
+use crate::plan::{PlanCache, ProgramPlan};
+use crate::results::{CachedResult, ResultCache, ResultKey};
 use crate::snapshot::{IngestError, Snapshot, SnapshotStore};
+use crate::spec::{Adornment, Arg, QuerySpec};
 use rq_common::{Const, ConstValue, FxHashMap, Pred};
 use rq_datalog::Program;
 use rq_engine::{
@@ -21,14 +23,15 @@ pub struct ServiceConfig {
     pub threads: usize,
     /// Base evaluation options applied to every query.
     pub options: EvalOptions,
-    /// When `options.max_iterations` is `None`, bound each traversal by
-    /// the Marchetti-Spaccamela `m·n` bound (§3, Figure 8) so cyclic
-    /// data cannot hang the service.  The bound is sufficient, so
-    /// guarded runs still report `converged`.
+    /// When `options.max_iterations` is `None`, bound each binary-chain
+    /// traversal by the Marchetti-Spaccamela `m·n` bound (§3, Figure 8)
+    /// so cyclic data cannot hang the service.  The bound is
+    /// sufficient, so guarded runs still report `converged`.
     pub cyclic_guard: bool,
-    /// Safety valve for equations where no `m·n` bound is computable
-    /// (non-linear shapes — e.g. surviving mutual recursion): when the
-    /// cyclic guard is requested but yields no bound and no explicit
+    /// Safety valve for traversals with no computable `m·n` bound
+    /// (non-linear §3 shapes and every §4 transformed machine, whose
+    /// virtual relations the bound cannot inspect): when the cyclic
+    /// guard is requested but yields no bound and no explicit
     /// `node_budget` is set, cap the traversal at this many graph
     /// nodes.  A capped run honestly reports `converged = false`.
     /// `None` disables the valve (a divergent query then hangs its
@@ -41,6 +44,11 @@ pub struct ServiceConfig {
     /// evicts least-recently-used entries; see
     /// [`crate::ResultCache::stats`] for the eviction counter.
     pub result_cache_capacity: Option<usize>,
+    /// Byte budget for the result cache over approximate answer
+    /// footprints (`None` = unbounded), complementing the entry cap:
+    /// one huge all-pairs answer is charged what it costs, not one
+    /// slot.
+    pub result_cache_bytes: Option<u64>,
 }
 
 impl Default for ServiceConfig {
@@ -54,53 +62,8 @@ impl Default for ServiceConfig {
             fallback_node_budget: Some(2_000_000),
             memoize_results: true,
             result_cache_capacity: Some(1 << 16),
+            result_cache_bytes: Some(256 << 20),
         }
-    }
-}
-
-/// One point query: exactly one bound argument of a derived binary
-/// predicate.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub struct PointQuery {
-    /// The queried (derived) predicate.
-    pub pred: Pred,
-    /// Which argument is bound.
-    pub adornment: Adornment,
-    /// The bound constant.
-    pub constant: Const,
-}
-
-/// Any query shape the service answers (§3's query forms over a derived
-/// binary predicate).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-pub enum ServeQuery {
-    /// `p(a, Y)` / `p(X, a)` — one bound argument.
-    Point(PointQuery),
-    /// `p(X, Y)` — every pair, computed per candidate source.
-    AllPairs {
-        /// The queried (derived) predicate.
-        pred: Pred,
-    },
-    /// `p(X, X)` — the diagonal of the all-pairs answer.
-    Diagonal {
-        /// The queried (derived) predicate.
-        pred: Pred,
-    },
-}
-
-impl ServeQuery {
-    /// The queried predicate, regardless of shape.
-    pub fn pred(&self) -> Pred {
-        match self {
-            ServeQuery::Point(q) => q.pred,
-            ServeQuery::AllPairs { pred } | ServeQuery::Diagonal { pred } => *pred,
-        }
-    }
-}
-
-impl From<PointQuery> for ServeQuery {
-    fn from(q: PointQuery) -> Self {
-        ServeQuery::Point(q)
     }
 }
 
@@ -109,35 +72,54 @@ impl From<PointQuery> for ServeQuery {
 pub struct ServiceAnswer {
     /// The snapshot epoch the answer was computed on.
     pub epoch: u64,
-    /// Sorted, deduplicated answer constants (point and diagonal
-    /// queries; empty for all-pairs).
-    pub answers: Arc<Vec<Const>>,
-    /// Sorted, deduplicated `(x, y)` rows (all-pairs queries; empty
-    /// otherwise).
-    pub pairs: Arc<Vec<(Const, Const)>>,
+    /// Sorted, deduplicated answer rows over the query's distinct free
+    /// positions in ascending position order: one column for point
+    /// queries and diagonals, two for binary all-pairs, the free
+    /// n-tuple for §4 queries.  A fully bound query answers `[[]]`
+    /// (membership holds) or `[]` (it does not).
+    pub rows: Arc<Vec<Vec<Const>>>,
     /// Whether the evaluation converged (guarded cyclic runs converge
-    /// by the sufficiency of the `m·n` bound).
+    /// by the sufficiency of the `m·n` bound; budget-stopped runs
+    /// honestly report `false`).
     pub converged: bool,
     /// Whether the answer came from the result cache.
     pub from_cache: bool,
 }
 
+impl ServiceAnswer {
+    /// Whether a fully bound (membership) query holds.
+    pub fn holds(&self) -> bool {
+        self.rows.iter().any(|r| r.is_empty())
+    }
+
+    /// The single-column view of a point/diagonal answer (first column
+    /// of every row) — convenience for binary callers.
+    pub fn constants(&self) -> impl Iterator<Item = Const> + '_ {
+        self.rows.iter().filter_map(|r| r.first().copied())
+    }
+}
+
 /// Errors surfaced by the service.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ServiceError {
-    /// The query text was not `pred(arg, arg)`.
+    /// The query text was not `pred(arg, …, arg)`.
     Malformed(String),
     /// The queried predicate does not exist.
     UnknownPredicate(String),
     /// The queried predicate is a base relation (nothing to derive).
     NotDerived(String),
-    /// The predicate is not binary.
-    NotBinary(String),
-    /// Both arguments were bound (`p(a, b)` needs the §4 transformation).
-    NotPointQuery(String),
+    /// The query's argument count does not match the predicate arity.
+    ArityMismatch {
+        /// The predicate name.
+        pred: String,
+        /// The predicate's arity.
+        expected: usize,
+        /// Arguments in the query.
+        got: usize,
+    },
     /// The bound constant never occurs in the program or its data.
     UnknownConstant(String),
-    /// The rule set is outside the binary-chain class.
+    /// Neither pipeline can compile this `(program, adornment)`.
     Plan(String),
     /// Fact ingestion failed.
     Ingest(String),
@@ -149,12 +131,16 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Malformed(t) => write!(f, "malformed query `{t}`"),
             ServiceError::UnknownPredicate(p) => write!(f, "unknown predicate `{p}`"),
             ServiceError::NotDerived(p) => write!(f, "`{p}` is a base predicate"),
-            ServiceError::NotBinary(p) => write!(f, "`{p}` is not binary"),
-            ServiceError::NotPointQuery(t) => {
-                write!(f, "`{t}` binds both arguments; bind at most one")
-            }
+            ServiceError::ArityMismatch {
+                pred,
+                expected,
+                got,
+            } => write!(
+                f,
+                "`{pred}` has arity {expected}, query has {got} arguments"
+            ),
             ServiceError::UnknownConstant(c) => write!(f, "unknown constant `{c}`"),
-            ServiceError::Plan(e) => write!(f, "cannot compile program: {e}"),
+            ServiceError::Plan(e) => write!(f, "cannot compile query plan: {e}"),
             ServiceError::Ingest(e) => write!(f, "{e}"),
         }
     }
@@ -179,16 +165,18 @@ impl From<IngestError> for ServiceError {
 ///      e(a,b). e(b,c).",
 /// ).unwrap();
 /// let q = service.parse_query("tc(a, Y)").unwrap();
-/// let batch = service.query_batch(&[q, q]);
+/// let batch = service.query_batch(&[q.clone(), q.clone()]);
 /// let answer = batch[0].as_ref().unwrap();
-/// assert_eq!(answer.answers.len(), 2); // {b, c}
+/// assert_eq!(answer.rows.len(), 2); // {b, c}
 /// service.ingest("e(c,d).").unwrap();
 /// let fresh = service.query(&q).unwrap();
-/// assert_eq!(fresh.answers.len(), 3); // {b, c, d}
+/// assert_eq!(fresh.rows.len(), 3); // {b, c, d}
 /// assert_eq!(fresh.epoch, 1);
-/// // All-pairs and diagonal forms are served too.
+/// // Membership and all-pairs forms are served too.
+/// let holds = service.query(&service.parse_query("tc(a, d)").unwrap()).unwrap();
+/// assert!(holds.holds());
 /// let all = service.query(&service.parse_query("tc(X, Y)").unwrap()).unwrap();
-/// assert_eq!(all.pairs.len(), 6);
+/// assert_eq!(all.rows.len(), 6);
 /// ```
 pub struct QueryService {
     store: SnapshotStore,
@@ -212,7 +200,10 @@ impl QueryService {
         Self {
             store: SnapshotStore::new(program),
             plans: PlanCache::new(),
-            results: ResultCache::with_capacity(config.result_cache_capacity),
+            results: ResultCache::with_limits(
+                config.result_cache_capacity,
+                config.result_cache_bytes,
+            ),
             config,
             ingest_gc: std::sync::Mutex::new(()),
         }
@@ -247,9 +238,11 @@ impl QueryService {
 
     /// Ingest fact clauses copy-on-write and publish the next epoch.
     /// In-flight readers keep their snapshot.  Result-cache entries are
-    /// invalidated **per predicate**: an entry survives (re-keyed to
-    /// the new epoch) when its plan reads none of the shards the
-    /// publish dirtied, so an ingest into `e` leaves answers over
+    /// invalidated **per plan read-set**: an entry survives (re-keyed
+    /// to the new epoch) when its plan reads none of the shards the
+    /// publish dirtied — for §4 entries the transformed program's
+    /// virtual predicates are resolved back to the real base relations
+    /// their joins consult — so an ingest into `e` leaves answers over
     /// disjoint predicates hot.
     pub fn ingest(&self, facts_text: &str) -> Result<Arc<Snapshot>, ServiceError> {
         // Publish and carry-forward must happen atomically with respect
@@ -258,28 +251,36 @@ impl QueryService {
         let _gc = self.ingest_gc.lock().expect("ingest lock poisoned");
         let snap = self.store.ingest(facts_text)?;
         let dirty = snap.dirty_preds();
-        let plan = self.plans.peek_program(snap.rules_fingerprint());
-        // One read-set walk per distinct predicate in the cache, not per
-        // entry.
-        let mut survives_by_pred: FxHashMap<Pred, bool> = FxHashMap::default();
+        let fingerprint = snap.rules_fingerprint();
+        let chain = self.plans.peek_program(fingerprint);
+        // One read-set walk per distinct (pred, adornment) in the
+        // cache, not per entry.
+        let mut survives_memo: FxHashMap<(Pred, Adornment), bool> = FxHashMap::default();
         self.results.carry_forward(snap.epoch(), |key| {
-            *survives_by_pred.entry(key.pred).or_insert_with(|| {
-                plan.as_ref()
-                    .is_some_and(|p| p.read_set(key.pred).is_disjoint(dirty))
+            let pred = key.spec.pred;
+            let adornment = key.spec.adornment();
+            *survives_memo.entry((pred, adornment)).or_insert_with(|| {
+                if let Some(plan) = chain.as_ref().filter(|p| p.system.rhs.contains_key(&pred)) {
+                    return plan.read_set(pred).is_disjoint(dirty);
+                }
+                self.plans
+                    .peek_nary(fingerprint, pred, adornment)
+                    .is_some_and(|p| p.read_set(snap.program()).is_disjoint(dirty))
             })
         });
         Ok(snap)
     }
 
-    /// Parse a query (`p(a, Y)`, `p(X, a)`, `p(X, Y)`, or `p(X, X)`)
-    /// against the current snapshot's program.
-    pub fn parse_query(&self, text: &str) -> Result<ServeQuery, ServiceError> {
+    /// Parse a query — any arity, any mix of bound constants and free
+    /// variables, repeated variables expressing diagonals — against the
+    /// current snapshot's program.
+    pub fn parse_query(&self, text: &str) -> Result<QuerySpec, ServiceError> {
         parse_serve_query(self.snapshot().program(), text)
     }
 
     /// Answer one query on the current snapshot.
-    pub fn query(&self, query: &ServeQuery) -> Result<ServiceAnswer, ServiceError> {
-        self.query_on(&self.snapshot(), query)
+    pub fn query(&self, spec: &QuerySpec) -> Result<ServiceAnswer, ServiceError> {
+        self.query_on(&self.snapshot(), spec)
     }
 
     /// Answer one query on a caller-held snapshot (all queries of a
@@ -287,233 +288,182 @@ impl QueryService {
     pub fn query_on(
         &self,
         snapshot: &Snapshot,
-        query: &ServeQuery,
+        spec: &QuerySpec,
     ) -> Result<ServiceAnswer, ServiceError> {
-        match query {
-            ServeQuery::Point(q) => self.point_on(snapshot, q),
-            ServeQuery::AllPairs { pred } => self.all_pairs_on(snapshot, *pred),
-            ServeQuery::Diagonal { pred } => self.diagonal_on(snapshot, *pred),
+        let key = ResultKey {
+            epoch: snapshot.epoch(),
+            spec: spec.clone(),
+        };
+        if self.config.memoize_results {
+            if let Some(hit) = self.results.get(&key) {
+                return Ok(ServiceAnswer {
+                    epoch: snapshot.epoch(),
+                    rows: hit.rows,
+                    converged: hit.converged,
+                    from_cache: true,
+                });
+            }
         }
+        let (rows, converged) = self.evaluate_spec(snapshot, spec)?;
+        let rows = Arc::new(rows);
+        if self.config.memoize_results {
+            self.results.insert(
+                key,
+                CachedResult {
+                    rows: Arc::clone(&rows),
+                    converged,
+                },
+            );
+        }
+        Ok(ServiceAnswer {
+            epoch: snapshot.epoch(),
+            rows,
+            converged,
+            from_cache: false,
+        })
     }
 
-    fn point_on(
+    /// Route one spec to the right pipeline.
+    fn evaluate_spec(
         &self,
         snapshot: &Snapshot,
-        query: &PointQuery,
-    ) -> Result<ServiceAnswer, ServiceError> {
-        let key = ResultKey {
-            epoch: snapshot.epoch(),
-            pred: query.pred,
-            kind: QueryKind::Point {
-                adornment: query.adornment,
-                constant: query.constant,
-            },
-        };
-        if self.config.memoize_results {
-            if let Some(hit) = self.results.get(&key) {
-                return Ok(ServiceAnswer {
-                    epoch: snapshot.epoch(),
-                    answers: hit.answers,
-                    pairs: hit.pairs,
-                    converged: hit.converged,
-                    from_cache: true,
-                });
+        spec: &QuerySpec,
+    ) -> Result<(Vec<Vec<Const>>, bool), ServiceError> {
+        let arity = snapshot.program().arity(spec.pred);
+        if spec.arity() != arity {
+            // Specs from `parse_serve_query` are checked at parse time;
+            // this guards hand-built specs.
+            return Err(ServiceError::ArityMismatch {
+                pred: snapshot.program().pred_name(spec.pred).to_string(),
+                expected: arity,
+                got: spec.arity(),
+            });
+        }
+        if arity > MAX_ADORNABLE_ARITY {
+            // `Adornment` is a 32-bit position mask; wider predicates
+            // would alias positions silently in release builds.
+            return Err(ServiceError::Plan(format!(
+                "`{}` has arity {arity}; adornments support at most {MAX_ADORNABLE_ARITY} positions",
+                snapshot.program().pred_name(spec.pred)
+            )));
+        }
+        // Repeated free variables (diagonals and their n-ary
+        // generalizations) filter the distinct-variable base answer;
+        // going through `query_on` warms — and reuses — its cache
+        // entry.
+        if spec.has_repeats() {
+            let base = self.query_on(snapshot, &spec.with_distinct_frees())?;
+            let rows = spec.restrict_rows(base.rows.as_ref().clone());
+            return Ok((rows, base.converged));
+        }
+        // Binary predicates of binary-chain programs take the §3 fast
+        // path; binary predicates of programs outside that class (e.g.
+        // sharing rules with n-ary predicates) fall through to the §4
+        // transformation like everything else.
+        if arity == 2 {
+            if let Ok(plan) = self
+                .plans
+                .chain_plan_for(snapshot, spec.pred, spec.adornment())
+            {
+                return self.evaluate_chain(snapshot, &plan, spec);
             }
         }
         let plan = self
             .plans
-            .plan_for(snapshot, query.pred, query.adornment)
+            .nary_plan_for(snapshot, spec.pred, spec.adornment())
             .map_err(|e| ServiceError::Plan(e.to_string()))?;
-        let (answers, converged) = self.evaluate(snapshot, &plan, query);
-        let answers = Arc::new(answers);
-        let pairs = Arc::new(Vec::new());
-        if self.config.memoize_results {
-            self.results.insert(
-                key,
-                CachedResult {
-                    answers: Arc::clone(&answers),
-                    pairs: Arc::clone(&pairs),
-                    converged,
-                },
-            );
+        let mut options = self.guarded_options(None);
+        // No m·n bound exists over virtual relations; rely on the
+        // fallback node budget for cyclic data.
+        if options.max_iterations.is_none()
+            && self.config.cyclic_guard
+            && options.node_budget.is_none()
+        {
+            options.node_budget = self.config.fallback_node_budget;
         }
-        Ok(ServiceAnswer {
-            epoch: snapshot.epoch(),
-            answers,
-            pairs,
-            converged,
-            from_cache: false,
-        })
+        let (rows, outcome) = rq_adorn::evaluate_nary(
+            snapshot.program(),
+            snapshot.db(),
+            &plan,
+            &spec.bound_values(),
+            &options,
+        );
+        Ok((rows, outcome.converged))
     }
 
-    /// `p(X, Y)`: one guarded traversal per candidate source, answers
-    /// merged into sorted `(x, y)` rows.
-    fn all_pairs_on(&self, snapshot: &Snapshot, pred: Pred) -> Result<ServiceAnswer, ServiceError> {
-        let key = ResultKey {
-            epoch: snapshot.epoch(),
-            pred,
-            kind: QueryKind::AllPairs,
-        };
-        if self.config.memoize_results {
-            if let Some(hit) = self.results.get(&key) {
-                return Ok(ServiceAnswer {
-                    epoch: snapshot.epoch(),
-                    answers: hit.answers,
-                    pairs: hit.pairs,
-                    converged: hit.converged,
-                    from_cache: true,
-                });
-            }
-        }
-        let plan = self
-            .plans
-            .plan_for(snapshot, pred, Adornment::BoundFree)
-            .map_err(|e| ServiceError::Plan(e.to_string()))?;
-        let sources = {
-            let source = EdbSource::new(snapshot.db());
-            candidate_sources(&plan.system, &source, pred)
-        };
-        let mut pairs: Vec<(Const, Const)> = Vec::new();
-        let mut converged = true;
-        for a in sources {
-            let q = PointQuery {
-                pred,
-                adornment: Adornment::BoundFree,
-                constant: a,
-            };
-            // Each per-source traversal goes through the point-query
-            // path, so it reuses already-memoized point answers and
-            // leaves its own behind for later point queries.
-            let answer = self.point_on(snapshot, &q)?;
-            converged &= answer.converged;
-            pairs.extend(answer.answers.iter().map(|&y| (a, y)));
-        }
-        pairs.sort_unstable();
-        pairs.dedup();
-        let answers = Arc::new(Vec::new());
-        let pairs = Arc::new(pairs);
-        if self.config.memoize_results {
-            self.results.insert(
-                key,
-                CachedResult {
-                    answers: Arc::clone(&answers),
-                    pairs: Arc::clone(&pairs),
-                    converged,
-                },
-            );
-        }
-        Ok(ServiceAnswer {
-            epoch: snapshot.epoch(),
-            answers,
-            pairs,
-            converged,
-            from_cache: false,
-        })
-    }
-
-    /// `p(X, X)`: the diagonal of the all-pairs answer (which this
-    /// computes through, and therefore warms, the all-pairs cache
-    /// entry).
-    fn diagonal_on(&self, snapshot: &Snapshot, pred: Pred) -> Result<ServiceAnswer, ServiceError> {
-        let key = ResultKey {
-            epoch: snapshot.epoch(),
-            pred,
-            kind: QueryKind::Diagonal,
-        };
-        if self.config.memoize_results {
-            if let Some(hit) = self.results.get(&key) {
-                return Ok(ServiceAnswer {
-                    epoch: snapshot.epoch(),
-                    answers: hit.answers,
-                    pairs: hit.pairs,
-                    converged: hit.converged,
-                    from_cache: true,
-                });
-            }
-        }
-        let all = self.all_pairs_on(snapshot, pred)?;
-        let answers: Vec<Const> = all
-            .pairs
-            .iter()
-            .filter(|(x, y)| x == y)
-            .map(|&(x, _)| x)
-            .collect();
-        let answers = Arc::new(answers);
-        let pairs = Arc::new(Vec::new());
-        if self.config.memoize_results {
-            self.results.insert(
-                key,
-                CachedResult {
-                    answers: Arc::clone(&answers),
-                    pairs: Arc::clone(&pairs),
-                    converged: all.converged,
-                },
-            );
-        }
-        Ok(ServiceAnswer {
-            epoch: snapshot.epoch(),
-            answers,
-            pairs,
-            converged: all.converged,
-            from_cache: false,
-        })
-    }
-
-    /// Fan a batch of queries out across the configured worker
-    /// threads.  The whole batch is answered on **one** snapshot (the
-    /// current epoch at entry), so results are mutually consistent even
-    /// while ingestion runs concurrently.  Output order matches input
-    /// order.
-    pub fn query_batch(&self, queries: &[ServeQuery]) -> Vec<Result<ServiceAnswer, ServiceError>> {
-        let snapshot = self.snapshot();
-        let workers = self.config.threads.clamp(1, queries.len().max(1));
-        if workers <= 1 {
-            return queries
-                .iter()
-                .map(|q| self.query_on(&snapshot, q))
-                .collect();
-        }
-        let slots: Vec<OnceLock<Result<ServiceAnswer, ServiceError>>> =
-            (0..queries.len()).map(|_| OnceLock::new()).collect();
-        let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(query) = queries.get(i) else { break };
-                    let answer = self.query_on(&snapshot, query);
-                    slots[i].set(answer).expect("slot claimed twice");
-                });
-            }
-        });
-        slots
-            .into_iter()
-            .map(|slot| slot.into_inner().expect("worker left a slot empty"))
-            .collect()
-    }
-
-    /// The traversal itself, with the cyclic guard applied when asked.
-    fn evaluate(
+    /// §3 binary-chain evaluation: forward/inverse point traversals,
+    /// the early-exit membership form, and all-pairs composition.
+    fn evaluate_chain(
         &self,
         snapshot: &Snapshot,
         plan: &ProgramPlan,
-        query: &PointQuery,
+        spec: &QuerySpec,
+    ) -> Result<(Vec<Vec<Const>>, bool), ServiceError> {
+        let args = spec.args();
+        debug_assert_eq!(args.len(), 2);
+        match (args[0], args[1]) {
+            (Arg::Bound(a), Arg::Free(_)) => {
+                let (answers, converged) = self.traverse(snapshot, plan, spec.pred, a, false, None);
+                Ok((answers.into_iter().map(|y| vec![y]).collect(), converged))
+            }
+            (Arg::Free(_), Arg::Bound(b)) => {
+                let (answers, converged) = self.traverse(snapshot, plan, spec.pred, b, true, None);
+                Ok((answers.into_iter().map(|x| vec![x]).collect(), converged))
+            }
+            (Arg::Bound(a), Arg::Bound(b)) => {
+                // Membership: traverse forward from `a`, stopping the
+                // moment `b` is emitted.
+                let (answers, converged) =
+                    self.traverse(snapshot, plan, spec.pred, a, false, Some(b));
+                let rows = if answers.contains(&b) {
+                    vec![Vec::new()]
+                } else {
+                    Vec::new()
+                };
+                Ok((rows, converged))
+            }
+            (Arg::Free(_), Arg::Free(_)) => {
+                // All pairs: one guarded traversal per candidate
+                // source, composed through the point-query path so it
+                // reuses already-memoized point answers and leaves its
+                // own behind.
+                let sources = {
+                    let source = EdbSource::new(snapshot.db());
+                    candidate_sources(&plan.system, &source, spec.pred)
+                };
+                let mut rows: Vec<Vec<Const>> = Vec::new();
+                let mut converged = true;
+                for a in sources {
+                    let sub = self.query_on(snapshot, &QuerySpec::bound_free(spec.pred, a))?;
+                    converged &= sub.converged;
+                    rows.extend(sub.rows.iter().map(|r| vec![a, r[0]]));
+                }
+                rows.sort_unstable();
+                rows.dedup();
+                Ok((rows, converged))
+            }
+        }
+    }
+
+    /// One guarded §3 traversal (forward or inverse), sorted answers.
+    fn traverse(
+        &self,
+        snapshot: &Snapshot,
+        plan: &ProgramPlan,
+        pred: Pred,
+        constant: Const,
+        inverse: bool,
+        stop_on_answer: Option<Const>,
     ) -> (Vec<Const>, bool) {
-        let mut options = self.config.options.clone();
+        let mut options = self.guarded_options(stop_on_answer);
         let mut guarded = false;
         if options.max_iterations.is_none() && self.config.cyclic_guard {
             // +1 as in `evaluate_with_cyclic_guard`: iteration i explores
             // recursion depth i-1.
-            let bound = match query.adornment {
-                Adornment::BoundFree => {
-                    cyclic_iteration_bound(&plan.system, snapshot.db(), query.pred, query.constant)
-                }
-                Adornment::FreeBound => inverse_cyclic_iteration_bound(
-                    &plan.system,
-                    snapshot.db(),
-                    query.pred,
-                    query.constant,
-                ),
+            let bound = if inverse {
+                inverse_cyclic_iteration_bound(&plan.system, snapshot.db(), pred, constant)
+            } else {
+                cyclic_iteration_bound(&plan.system, snapshot.db(), pred, constant)
             };
             options.max_iterations = bound.map(|b| b + 1);
             guarded = options.max_iterations.is_some();
@@ -526,110 +476,165 @@ impl QueryService {
         }
         let source = EdbSource::new(snapshot.db());
         let evaluator = Evaluator::with_plan(&plan.system, &plan.compiled, &source);
-        let outcome = match query.adornment {
-            Adornment::BoundFree => evaluator.evaluate(query.pred, query.constant, &options),
-            Adornment::FreeBound => {
-                evaluator.evaluate_inverse(query.pred, query.constant, &options)
-            }
+        let outcome = if inverse {
+            evaluator.evaluate_inverse(pred, constant, &options)
+        } else {
+            evaluator.evaluate(pred, constant, &options)
         };
         let mut answers: Vec<Const> = outcome.answers.into_iter().collect();
         answers.sort_unstable();
         // The m·n bound is sufficient, so hitting it is completion.
         (answers, outcome.converged || guarded)
     }
-}
 
-/// Parse `pred(arg, arg)` with exactly one bound argument against
-/// `program`.  Lowercase/integer arguments are constants; uppercase or
-/// `_`-led arguments are free variables.
-pub fn parse_point_query(program: &Program, text: &str) -> Result<PointQuery, ServiceError> {
-    match parse_serve_query(program, text)? {
-        ServeQuery::Point(q) => Ok(q),
-        _ => Err(ServiceError::Malformed(format!(
-            "{} (expected a point query)",
-            text.trim()
-        ))),
+    /// The configured base options with the membership target applied.
+    fn guarded_options(&self, stop_on_answer: Option<Const>) -> EvalOptions {
+        let mut options = self.config.options.clone();
+        if options.stop_on_answer.is_none() {
+            options.stop_on_answer = stop_on_answer;
+        }
+        options
+    }
+
+    /// Fan a batch of queries out across the configured worker
+    /// threads.  The whole batch is answered on **one** snapshot (the
+    /// current epoch at entry), so results are mutually consistent even
+    /// while ingestion runs concurrently.  Identical specs are
+    /// evaluated **once** and share their answer across the batch
+    /// ([`crate::plan::CacheStats::deduped`] counts the copies).
+    /// Output order matches input order.
+    pub fn query_batch(&self, queries: &[QuerySpec]) -> Vec<Result<ServiceAnswer, ServiceError>> {
+        let snapshot = self.snapshot();
+        // Batch-level dedup: route every duplicate spec to the first
+        // occurrence's slot.
+        let mut first_of: FxHashMap<&QuerySpec, usize> = FxHashMap::default();
+        let mut unique: Vec<&QuerySpec> = Vec::new();
+        let slot_of: Vec<usize> = queries
+            .iter()
+            .map(|q| {
+                *first_of.entry(q).or_insert_with(|| {
+                    unique.push(q);
+                    unique.len() - 1
+                })
+            })
+            .collect();
+        let deduped = (queries.len() - unique.len()) as u64;
+        if deduped > 0 {
+            self.results.note_deduped(deduped);
+        }
+        let workers = self.config.threads.clamp(1, unique.len().max(1));
+        let answers: Vec<Result<ServiceAnswer, ServiceError>> = if workers <= 1 {
+            unique.iter().map(|q| self.query_on(&snapshot, q)).collect()
+        } else {
+            let slots: Vec<OnceLock<Result<ServiceAnswer, ServiceError>>> =
+                (0..unique.len()).map(|_| OnceLock::new()).collect();
+            let next = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(query) = unique.get(i) else { break };
+                        let answer = self.query_on(&snapshot, query);
+                        slots[i].set(answer).expect("slot claimed twice");
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("worker left a slot empty"))
+                .collect()
+        };
+        slot_of.into_iter().map(|i| answers[i].clone()).collect()
     }
 }
 
+/// Widest predicate the `{b,f}` adornment bitmask can describe.
+const MAX_ADORNABLE_ARITY: usize = 32;
+
 /// Parse any served query form against `program`:
 ///
-/// * `p(a, Y)` / `p(X, a)` — a [`PointQuery`];
-/// * `p(X, Y)` (distinct variables, `_` counts as distinct) — all pairs;
-/// * `p(X, X)` (the same named variable twice) — the diagonal.
-///
-/// Lowercase/integer arguments are constants; uppercase or `_`-led
-/// arguments are free variables.
-pub fn parse_serve_query(program: &Program, text: &str) -> Result<ServeQuery, ServiceError> {
+/// * any arity: `cnx(hel, 540, D, AT)` mixes bound and free positions;
+/// * lowercase/integer arguments are constants, uppercase or `_`-led
+///   arguments are free variables;
+/// * a variable name occurring at several positions constrains them to
+///   be equal (`p(X, X)` is the diagonal); `_` is anonymous and never
+///   constrains (`p(_, _)` stays all-pairs).
+pub fn parse_serve_query(program: &Program, text: &str) -> Result<QuerySpec, ServiceError> {
     let trimmed = text.trim();
     let malformed = || ServiceError::Malformed(trimmed.to_string());
     let open = trimmed.find('(').ok_or_else(malformed)?;
     let close = trimmed.rfind(')').ok_or_else(malformed)?;
-    if close != trimmed.len() - 1 || open == 0 {
+    if close != trimmed.len() - 1 || open == 0 || close < open {
         return Err(malformed());
     }
     let name = trimmed[..open].trim();
-    let args: Vec<&str> = trimmed[open + 1..close].split(',').map(str::trim).collect();
+    let raw_args: Vec<&str> = trimmed[open + 1..close].split(',').map(str::trim).collect();
+    if raw_args
+        .iter()
+        .any(|a| a.is_empty() || a.contains(char::is_whitespace))
+    {
+        return Err(malformed());
+    }
     let pred = program
         .pred_by_name(name)
         .ok_or_else(|| ServiceError::UnknownPredicate(name.to_string()))?;
     if !program.is_derived(pred) {
         return Err(ServiceError::NotDerived(name.to_string()));
     }
-    if program.arity(pred) != 2 {
-        return Err(ServiceError::NotBinary(name.to_string()));
+    if program.arity(pred) != raw_args.len() {
+        return Err(ServiceError::ArityMismatch {
+            pred: name.to_string(),
+            expected: program.arity(pred),
+            got: raw_args.len(),
+        });
     }
-    if args.len() != 2 {
-        return Err(malformed());
+    if raw_args.len() > MAX_ADORNABLE_ARITY {
+        return Err(ServiceError::Plan(format!(
+            "`{name}` has arity {}; adornments support at most {MAX_ADORNABLE_ARITY} positions",
+            raw_args.len()
+        )));
     }
-    enum Arg<'t> {
-        Var(&'t str),
-        Bound(ConstValue),
-    }
-    fn classify<'t>(arg: &'t str, whole: &str) -> Result<Arg<'t>, ServiceError> {
-        if arg.is_empty() {
-            return Err(ServiceError::Malformed(whole.to_string()));
+    let mut var_slots: Vec<&str> = Vec::new();
+    let mut next_anon: usize = 0;
+    let mut args: Vec<Arg> = Vec::with_capacity(raw_args.len());
+    for raw in raw_args {
+        if raw.is_empty() {
+            return Err(malformed());
         }
-        let first = arg.chars().next().expect("non-empty");
+        let first = raw.chars().next().expect("non-empty");
         if first.is_ascii_uppercase() || first == '_' {
-            return Ok(Arg::Var(arg));
+            let slot = if raw == "_" {
+                // Anonymous: a fresh slot every time (never constrains),
+                // drawn from the top so it cannot collide with named
+                // slots (arity is capped at 32 well below 200).
+                next_anon += 1;
+                255 - next_anon
+            } else {
+                match var_slots.iter().position(|&v| v == raw) {
+                    Some(i) => i,
+                    None => {
+                        var_slots.push(raw);
+                        var_slots.len() - 1
+                    }
+                }
+            };
+            args.push(Arg::Free(slot as u8));
+            continue;
         }
-        if let Ok(i) = arg.parse::<i64>() {
-            return Ok(Arg::Bound(ConstValue::Int(i)));
-        }
-        Ok(Arg::Bound(ConstValue::Str(arg.to_string())))
-    }
-    let lookup_const = |value: ConstValue| -> Result<Const, ServiceError> {
-        program.consts.get(&value).ok_or_else(|| {
+        let value = match raw.parse::<i64>() {
+            Ok(i) => ConstValue::Int(i),
+            Err(_) => ConstValue::Str(raw.to_string()),
+        };
+        let c = program.consts.get(&value).ok_or_else(|| {
             ServiceError::UnknownConstant(match value {
                 ConstValue::Int(i) => i.to_string(),
                 ConstValue::Str(ref s) => s.clone(),
                 ConstValue::Tuple(_) => unreachable!("parser never yields tuples"),
             })
-        })
-    };
-    match (classify(args[0], trimmed)?, classify(args[1], trimmed)?) {
-        (Arg::Bound(v), Arg::Var(_)) => Ok(ServeQuery::Point(PointQuery {
-            pred,
-            adornment: Adornment::BoundFree,
-            constant: lookup_const(v)?,
-        })),
-        (Arg::Var(_), Arg::Bound(v)) => Ok(ServeQuery::Point(PointQuery {
-            pred,
-            adornment: Adornment::FreeBound,
-            constant: lookup_const(v)?,
-        })),
-        (Arg::Var(x), Arg::Var(y)) => {
-            // `p(X, X)` is the diagonal; `_` is anonymous, so `p(_, _)`
-            // stays all-pairs.
-            if x == y && x != "_" {
-                Ok(ServeQuery::Diagonal { pred })
-            } else {
-                Ok(ServeQuery::AllPairs { pred })
-            }
-        }
-        (Arg::Bound(_), Arg::Bound(_)) => Err(ServiceError::NotPointQuery(trimmed.to_string())),
+        })?;
+        args.push(Arg::Bound(c));
     }
+    Ok(QuerySpec::new(pred, args))
 }
 
 #[cfg(test)]
@@ -640,25 +645,25 @@ mod tests {
                       tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
                       e(a,b). e(b,c). e(c,d).";
 
-    fn names(service: &QueryService, answer: &ServiceAnswer) -> Vec<String> {
-        let snap = service.snapshot();
-        answer
-            .answers
-            .iter()
-            .map(|&c| snap.program().consts.display(c))
-            .collect()
-    }
+    const FLIGHTS: &str = "\
+cnx(S,DT,D,AT) :- flight(S,DT,D,AT).\n\
+cnx(S,DT,D,AT) :- flight(S,DT,D1,AT1), AT1 < DT1, is_deptime(DT1), cnx(D1,DT1,D,AT).\n\
+flight(hel,540,ams,690).\n\
+flight(ams,720,cdg,810).\n\
+flight(ams,660,cdg,750).\n\
+flight(cdg,840,nce,930).\n\
+is_deptime(540). is_deptime(720). is_deptime(660). is_deptime(840).";
 
-    fn pair_names(service: &QueryService, answer: &ServiceAnswer) -> Vec<(String, String)> {
+    fn rendered(service: &QueryService, answer: &ServiceAnswer) -> Vec<String> {
         let snap = service.snapshot();
         answer
-            .pairs
+            .rows
             .iter()
-            .map(|&(x, y)| {
-                (
-                    snap.program().consts.display(x),
-                    snap.program().consts.display(y),
-                )
+            .map(|row| {
+                row.iter()
+                    .map(|&c| snap.program().consts.display(c))
+                    .collect::<Vec<_>>()
+                    .join(",")
             })
             .collect()
     }
@@ -668,32 +673,45 @@ mod tests {
         let service = QueryService::from_source(TC).unwrap();
         let bf = service.parse_query("tc(b, Y)").unwrap();
         let out = service.query(&bf).unwrap();
-        assert_eq!(names(&service, &out), vec!["c", "d"]);
+        assert_eq!(rendered(&service, &out), vec!["c", "d"]);
         assert!(out.converged);
         let fb = service.parse_query("tc(X, c)").unwrap();
         let out = service.query(&fb).unwrap();
-        assert_eq!(names(&service, &out), vec!["a", "b"]);
+        assert_eq!(rendered(&service, &out), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn membership_query_form() {
+        let service = QueryService::from_source(TC).unwrap();
+        let yes = service
+            .query(&service.parse_query("tc(a, d)").unwrap())
+            .unwrap();
+        assert!(yes.holds());
+        assert_eq!(*yes.rows, vec![Vec::<Const>::new()]);
+        let no = service
+            .query(&service.parse_query("tc(d, a)").unwrap())
+            .unwrap();
+        assert!(!no.holds());
+        assert!(no.rows.is_empty());
     }
 
     #[test]
     fn all_pairs_query_form() {
         let service = QueryService::from_source(TC).unwrap();
         let q = service.parse_query("tc(X, Y)").unwrap();
-        assert!(matches!(q, ServeQuery::AllPairs { .. }));
+        assert_eq!(q, QuerySpec::all_free(q.pred, 2));
         let out = service.query(&q).unwrap();
-        assert!(out.answers.is_empty());
         // tc over the chain a→b→c→d: 3+2+1 pairs.
-        assert_eq!(out.pairs.len(), 6);
-        let pairs = pair_names(&service, &out);
-        assert!(pairs.contains(&("a".into(), "d".into())));
+        assert_eq!(out.rows.len(), 6);
+        assert!(rendered(&service, &out).contains(&"a,d".to_string()));
         // Oracle: the seminaive fixpoint.
         let oracle = rq_datalog::seminaive_eval(service.snapshot().program()).unwrap();
         let tc = service.snapshot().program().pred_by_name("tc").unwrap();
-        assert_eq!(out.pairs.len(), oracle.tuples(tc).len());
+        assert_eq!(out.rows.len(), oracle.tuples(tc).len());
         // Memoized on repeat.
         let again = service.query(&q).unwrap();
         assert!(again.from_cache);
-        assert!(Arc::ptr_eq(&out.pairs, &again.pairs));
+        assert!(Arc::ptr_eq(&out.rows, &again.rows));
     }
 
     #[test]
@@ -705,19 +723,103 @@ mod tests {
         )
         .unwrap();
         let q = service.parse_query("tc(X, X)").unwrap();
-        assert!(matches!(q, ServeQuery::Diagonal { .. }));
+        assert_eq!(q, QuerySpec::diagonal(q.pred));
         let out = service.query(&q).unwrap();
         // The a↔b cycle puts exactly a and b on the diagonal.
-        assert_eq!(names(&service, &out), vec!["a", "b"]);
-        assert!(out.pairs.is_empty());
+        assert_eq!(rendered(&service, &out), vec!["a", "b"]);
         // Underscores are anonymous: `tc(_, _)` is all-pairs.
         let anon = service.parse_query("tc(_, _)").unwrap();
-        assert!(matches!(anon, ServeQuery::AllPairs { .. }));
+        assert_eq!(anon, QuerySpec::all_free(q.pred, 2));
         // The diagonal warmed the all-pairs entry as a byproduct.
         let all = service
             .query(&service.parse_query("tc(X, Y)").unwrap())
             .unwrap();
         assert!(all.from_cache);
+    }
+
+    #[test]
+    fn nary_flight_queries_end_to_end() {
+        let service = QueryService::from_source(FLIGHTS).unwrap();
+        let q = service.parse_query("cnx(hel, 540, D, AT)").unwrap();
+        assert_eq!(q.adornment().to_string(), "bbff");
+        let out = service.query(&q).unwrap();
+        // hel@540 → ams@690; ams@720 → cdg@810; cdg@840 → nce@930.
+        assert_eq!(
+            rendered(&service, &out),
+            vec!["ams,690", "cdg,810", "nce,930"]
+        );
+        assert!(out.converged);
+        // Repeat hits the cache, plan compiled once.
+        let again = service.query(&q).unwrap();
+        assert!(again.from_cache);
+        assert!(Arc::ptr_eq(&out.rows, &again.rows));
+        assert_eq!(service.plan_cache().nary_plans(), 1);
+        // Fully bound n-ary membership.
+        let yes = service
+            .query(&service.parse_query("cnx(hel, 540, nce, 930)").unwrap())
+            .unwrap();
+        assert!(yes.holds());
+        let no = service
+            .query(&service.parse_query("cnx(hel, 540, nce, 690)").unwrap())
+            .unwrap();
+        assert!(!no.holds());
+    }
+
+    #[test]
+    fn nary_ingest_refreshes_answers() {
+        let service = QueryService::from_source(FLIGHTS).unwrap();
+        let q = service.parse_query("cnx(cdg, 840, D, AT)").unwrap();
+        let before = service.query(&q).unwrap();
+        assert_eq!(rendered(&service, &before), vec!["nce,930"]);
+        // A late flight out of nce opens a new two-leg connection.
+        service
+            .ingest("flight(nce, 960, osl, 1080). is_deptime(960).")
+            .unwrap();
+        let after = service.query(&q).unwrap();
+        assert!(!after.from_cache, "dirty-predicate entries must refresh");
+        assert_eq!(after.epoch, 1);
+        assert_eq!(rendered(&service, &after), vec!["nce,930", "osl,1080"]);
+    }
+
+    #[test]
+    fn nary_repeated_variable_is_filtered_all_answers() {
+        // walk(X, X, T): round trips — the repeated variable filters
+        // the distinct-variable base answer.
+        let service = QueryService::with_config(
+            rq_datalog::parse_program(
+                "walk(A,B,T) :- edge(A,B), t0(T).\n\
+                 walk(A,B,T) :- edge(A,C), walk(C,B,T1), tick(T1,T).\n\
+                 edge(a,b). edge(b,a). edge(b,c).\n\
+                 t0(t0). tick(t0,t1). tick(t1,t2). tick(t2,t3).",
+            )
+            .unwrap(),
+            ServiceConfig {
+                threads: 1,
+                options: EvalOptions {
+                    max_iterations: Some(8),
+                    ..EvalOptions::default()
+                },
+                ..ServiceConfig::default()
+            },
+        );
+        let diag = service.parse_query("walk(X, X, T)").unwrap();
+        assert!(diag.has_repeats());
+        let out = service.query(&diag).unwrap();
+        let oracle = rq_datalog::seminaive_eval(service.snapshot().program()).unwrap();
+        let walk = service.snapshot().program().pred_by_name("walk").unwrap();
+        let mut expected: Vec<Vec<Const>> = oracle
+            .tuples(walk)
+            .into_iter()
+            .filter(|t| t[0] == t[1])
+            .map(|t| vec![t[0], t[2]])
+            .collect();
+        expected.sort();
+        expected.dedup();
+        assert_eq!(*out.rows, expected);
+        assert!(!out.rows.is_empty());
+        // The distinct-variable base entry was warmed along the way.
+        let base = service.query(&service.parse_query("walk(X, Y, T)").unwrap());
+        assert!(base.unwrap().from_cache);
     }
 
     #[test]
@@ -728,12 +830,12 @@ mod tests {
         assert!(!first.from_cache);
         let second = service.query(&q).unwrap();
         assert!(second.from_cache);
-        assert!(Arc::ptr_eq(&first.answers, &second.answers));
+        assert!(Arc::ptr_eq(&first.rows, &second.rows));
         service.ingest("e(d,z).").unwrap();
         let third = service.query(&q).unwrap();
         assert!(!third.from_cache, "dirty-predicate entries must refresh");
         assert_eq!(third.epoch, 1);
-        assert_eq!(names(&service, &third), vec!["b", "c", "d", "z"]);
+        assert_eq!(rendered(&service, &third), vec!["b", "c", "d", "z"]);
         // Plans survived the ingest: one program compiled, reused after.
         assert_eq!(service.plan_cache().programs(), 1);
     }
@@ -764,12 +866,12 @@ mod tests {
         let rc_after = service.query(&rc_q).unwrap();
         assert!(rc_after.from_cache, "clean-predicate entry must survive");
         assert_eq!(rc_after.epoch, 1);
-        assert!(Arc::ptr_eq(&rc_before.answers, &rc_after.answers));
+        assert!(Arc::ptr_eq(&rc_before.rows, &rc_after.rows));
 
         // tc reads `e`, which was dirtied: recomputed.
         let tc_after = service.query(&tc_q).unwrap();
         assert!(!tc_after.from_cache, "dirty-predicate entry must refresh");
-        assert_eq!(names(&service, &tc_after), vec!["b", "c", "d"]);
+        assert_eq!(rendered(&service, &tc_after), vec!["b", "c", "d"]);
     }
 
     #[test]
@@ -791,33 +893,66 @@ mod tests {
     }
 
     #[test]
-    fn batch_is_ordered_and_consistent() {
-        let service = QueryService::from_source(TC).unwrap();
-        let queries: Vec<ServeQuery> = ["tc(a, Y)", "tc(b, Y)", "tc(c, Y)", "tc(X, d)"]
-            .iter()
-            .map(|t| service.parse_query(t).unwrap())
-            .collect();
-        let batch = service.query_batch(&queries);
-        assert_eq!(batch.len(), 4);
-        let sizes: Vec<usize> = batch
-            .iter()
-            .map(|r| r.as_ref().unwrap().answers.len())
-            .collect();
-        assert_eq!(sizes, vec![3, 2, 1, 3]);
-        assert!(batch.iter().all(|r| r.as_ref().unwrap().epoch == 0));
+    fn byte_budget_bounds_the_cache_payload() {
+        let service = QueryService::with_config(
+            rq_datalog::parse_program(TC).unwrap(),
+            ServiceConfig {
+                threads: 1,
+                result_cache_capacity: None,
+                result_cache_bytes: Some(400),
+                ..ServiceConfig::default()
+            },
+        );
+        for text in ["tc(a, Y)", "tc(b, Y)", "tc(c, Y)", "tc(X, Y)", "tc(X, b)"] {
+            service.query(&service.parse_query(text).unwrap()).unwrap();
+        }
+        assert!(service.result_cache().bytes() <= 400);
+        assert!(service.result_cache().stats().evictions >= 1);
     }
 
     #[test]
-    fn batch_mixes_point_and_all_pairs_forms() {
+    fn batch_is_ordered_consistent_and_deduped() {
         let service = QueryService::from_source(TC).unwrap();
-        let queries: Vec<ServeQuery> = ["tc(a, Y)", "tc(X, Y)", "tc(X, X)"]
+        // `tc(a, Y)` and `tc(a, Z)` are the same canonical spec.
+        let queries: Vec<QuerySpec> = ["tc(a, Y)", "tc(b, Y)", "tc(a, Z)", "tc(X, d)", "tc(a, Y)"]
             .iter()
             .map(|t| service.parse_query(t).unwrap())
             .collect();
         let batch = service.query_batch(&queries);
-        assert_eq!(batch[0].as_ref().unwrap().answers.len(), 3);
-        assert_eq!(batch[1].as_ref().unwrap().pairs.len(), 6);
-        assert!(batch[2].as_ref().unwrap().answers.is_empty()); // acyclic chain
+        assert_eq!(batch.len(), 5);
+        let sizes: Vec<usize> = batch
+            .iter()
+            .map(|r| r.as_ref().unwrap().rows.len())
+            .collect();
+        assert_eq!(sizes, vec![3, 2, 3, 3, 3]);
+        assert!(batch.iter().all(|r| r.as_ref().unwrap().epoch == 0));
+        // The two duplicates of `tc(a, ·)` shared one evaluation.
+        assert_eq!(service.result_cache().stats().deduped, 2);
+        assert!(Arc::ptr_eq(
+            &batch[0].as_ref().unwrap().rows,
+            &batch[2].as_ref().unwrap().rows
+        ));
+    }
+
+    #[test]
+    fn batch_mixes_forms_and_arities() {
+        let service = QueryService::from_source(&format!("{TC}\n{FLIGHTS}")).unwrap();
+        let queries: Vec<QuerySpec> = [
+            "tc(a, Y)",
+            "tc(X, Y)",
+            "cnx(hel, 540, D, AT)",
+            "tc(a, d)",
+            "tc(X, X)",
+        ]
+        .iter()
+        .map(|t| service.parse_query(t).unwrap())
+        .collect();
+        let batch = service.query_batch(&queries);
+        assert_eq!(batch[0].as_ref().unwrap().rows.len(), 3);
+        assert_eq!(batch[1].as_ref().unwrap().rows.len(), 6);
+        assert_eq!(batch[2].as_ref().unwrap().rows.len(), 3);
+        assert!(batch[3].as_ref().unwrap().holds());
+        assert!(batch[4].as_ref().unwrap().rows.is_empty()); // acyclic chain
     }
 
     #[test]
@@ -832,12 +967,12 @@ mod tests {
         let q = service.parse_query("sg(a1, Y)").unwrap();
         let out = service.query(&q).unwrap();
         assert!(out.converged, "the m·n guard is sufficient");
-        assert_eq!(names(&service, &out), vec!["b1", "b2", "b3"]);
+        assert_eq!(rendered(&service, &out), vec!["b1", "b2", "b3"]);
         // The inverse direction is guarded through the inverted system.
         let q = service.parse_query("sg(X, b1)").unwrap();
         let out = service.query(&q).unwrap();
         assert!(out.converged);
-        assert_eq!(names(&service, &out), vec!["a1", "a2"]);
+        assert_eq!(rendered(&service, &out), vec!["a1", "a2"]);
     }
 
     #[test]
@@ -860,16 +995,14 @@ mod tests {
             },
         );
         let q = service.parse_query("q1(s, Y)").unwrap();
-        let ServeQuery::Point(pq) = q else {
-            panic!("point query expected")
-        };
+        let bound = q.bound_values()[0];
         let out = service.query(&q).unwrap();
         // Sound answers, honest flag: possibly incomplete.
         let oracle = rq_datalog::seminaive_eval(service.snapshot().program()).unwrap();
         let q1 = service.snapshot().program().pred_by_name("q1").unwrap();
         let full: Vec<_> = oracle.tuples(q1);
-        for &c in out.answers.iter() {
-            assert!(full.iter().any(|t| t[0] == pq.constant && t[1] == c));
+        for row in out.rows.iter() {
+            assert!(full.iter().any(|t| t[0] == bound && t[1] == row[0]));
         }
         assert!(
             !out.converged,
@@ -893,8 +1026,12 @@ mod tests {
             Err(ServiceError::NotDerived(_))
         ));
         assert!(matches!(
-            service.parse_query("tc(a, b)"),
-            Err(ServiceError::NotPointQuery(_))
+            service.parse_query("tc(a, Y, Z)"),
+            Err(ServiceError::ArityMismatch {
+                expected: 2,
+                got: 3,
+                ..
+            })
         ));
         assert!(matches!(
             service.parse_query("tc(nosuch, Y)"),
@@ -904,20 +1041,27 @@ mod tests {
             service.parse_query("tc"),
             Err(ServiceError::Malformed(_))
         ));
-        // The free forms parse rather than erroring now.
-        assert!(matches!(
-            service.parse_query("tc(X, Y)"),
-            Ok(ServeQuery::AllPairs { .. })
-        ));
-        assert!(matches!(
-            service.parse_query("tc(Z, Z)"),
-            Ok(ServeQuery::Diagonal { .. })
-        ));
-        // `parse_point_query` still insists on a point shape.
-        assert!(matches!(
-            parse_point_query(service.snapshot().program(), "tc(X, Y)"),
-            Err(ServiceError::Malformed(_))
-        ));
+        // Every binding pattern parses now; bound-bound included.
+        assert!(service.parse_query("tc(a, b)").is_ok());
+        assert!(service.parse_query("tc(X, Y)").is_ok());
+        assert!(service.parse_query("tc(Z, Z)").is_ok());
+    }
+
+    #[test]
+    fn over_wide_predicates_are_rejected_cleanly() {
+        // 33 positions exceed the adornment bitmask; the query must be
+        // refused at parse time, not silently alias positions.
+        let args: Vec<String> = (0..33).map(|i| format!("X{i}")).collect();
+        let src = format!(
+            "wide({a}) :- base({a}).\nbase({c}).",
+            a = args.join(","),
+            c = vec!["k"; 33].join(",")
+        );
+        let service = QueryService::from_source(&src).unwrap();
+        let err = service
+            .parse_query(&format!("wide({})", args.join(",")))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Plan(_)), "{err}");
     }
 
     #[test]
@@ -932,9 +1076,26 @@ mod tests {
             for _ in 0..4 {
                 scope.spawn(|| {
                     let out = service.query(&q).unwrap();
-                    assert_eq!(out.answers.len(), 3);
+                    assert_eq!(out.rows.len(), 3);
                 });
             }
         });
+    }
+
+    #[test]
+    fn nary_queries_share_threads_too() {
+        let service = QueryService::with_config(
+            rq_datalog::parse_program(FLIGHTS).unwrap(),
+            ServiceConfig {
+                threads: 4,
+                memoize_results: false,
+                ..ServiceConfig::default()
+            },
+        );
+        let q = service.parse_query("cnx(hel, 540, D, AT)").unwrap();
+        let batch = service.query_batch(&vec![q; 8]);
+        for out in batch {
+            assert_eq!(out.unwrap().rows.len(), 3);
+        }
     }
 }

@@ -1,6 +1,6 @@
 //! Acceptance tests for the service: every answer the concurrent,
 //! cached pipeline produces must be **byte-identical** (same sorted
-//! constant vector) to what the single-threaded `rq_engine::Evaluator`
+//! row vector) to what the single-threaded `rq_engine::Evaluator`
 //! produces on the same snapshot — across the `rq-workloads` scenarios
 //! and under concurrent ingestion.  The seminaive bottom-up oracle
 //! cross-checks converged answers through a completely different code
@@ -12,10 +12,7 @@ use rq_engine::{
     cyclic_iteration_bound, inverse_cyclic_iteration_bound, EdbSource, EvalOptions, Evaluator,
 };
 use rq_relalg::{lemma1, Lemma1Options};
-use rq_service::{
-    Adornment, PointQuery, QueryService, ServeQuery, ServiceAnswer, ServiceConfig, ServiceError,
-    Snapshot,
-};
+use rq_service::{QueryService, QuerySpec, ServiceAnswer, ServiceConfig, ServiceError, Snapshot};
 use rq_workloads::randprog::{seeded, RecursionStyle};
 use rq_workloads::{fig7, fig8, graphs, Workload};
 use std::sync::Arc;
@@ -27,14 +24,17 @@ fn all_constants(snapshot: &Snapshot) -> Vec<Const> {
         .collect()
 }
 
-/// Fan a batch of point queries through the service's general batch
-/// front end.
-fn point_batch(
-    service: &QueryService,
-    queries: &[PointQuery],
-) -> Vec<Result<ServiceAnswer, ServiceError>> {
-    let wrapped: Vec<ServeQuery> = queries.iter().map(|&q| q.into()).collect();
-    service.query_batch(&wrapped)
+/// Both binary point forms for every constant of the snapshot.
+fn point_specs(snapshot: &Snapshot, pred: rq_common::Pred) -> Vec<QuerySpec> {
+    all_constants(snapshot)
+        .into_iter()
+        .flat_map(|constant| {
+            [
+                QuerySpec::bound_free(pred, constant),
+                QuerySpec::free_bound(pred, constant),
+            ]
+        })
+        .collect()
 }
 
 /// A fresh Lemma 1 compile, independent of the service's plan cache.
@@ -48,49 +48,54 @@ fn oracle_system(snapshot: &Snapshot) -> rq_relalg::EqSystem {
 /// with the same cyclic guard the service applies.  (`system` is
 /// hoisted by callers because rules — and so the system — never change
 /// across epochs.)
-fn oracle_answers(
+fn oracle_rows(
     system: &rq_relalg::EqSystem,
     snapshot: &Snapshot,
-    query: &PointQuery,
-) -> Vec<Const> {
+    spec: &QuerySpec,
+) -> Vec<Vec<Const>> {
     let source = EdbSource::new(snapshot.db());
     let evaluator = Evaluator::new(system, &source);
-    let max_iterations = match query.adornment {
-        Adornment::BoundFree => {
-            cyclic_iteration_bound(system, snapshot.db(), query.pred, query.constant)
-        }
-        Adornment::FreeBound => {
-            inverse_cyclic_iteration_bound(system, snapshot.db(), query.pred, query.constant)
-        }
+    let constant = spec.bound_values()[0];
+    let inverse = spec.free_positions() == vec![0];
+    let max_iterations = if inverse {
+        inverse_cyclic_iteration_bound(system, snapshot.db(), spec.pred, constant)
+    } else {
+        cyclic_iteration_bound(system, snapshot.db(), spec.pred, constant)
     }
     .map(|b| b + 1);
     let options = EvalOptions {
         max_iterations,
         ..EvalOptions::default()
     };
-    let outcome = match query.adornment {
-        Adornment::BoundFree => evaluator.evaluate(query.pred, query.constant, &options),
-        Adornment::FreeBound => evaluator.evaluate_inverse(query.pred, query.constant, &options),
+    let outcome = if inverse {
+        evaluator.evaluate_inverse(spec.pred, constant, &options)
+    } else {
+        evaluator.evaluate(spec.pred, constant, &options)
     };
-    let mut answers: Vec<Const> = outcome.answers.into_iter().collect();
-    answers.sort_unstable();
-    answers
+    let mut rows: Vec<Vec<Const>> = outcome.answers.into_iter().map(|c| vec![c]).collect();
+    rows.sort_unstable();
+    rows
 }
 
 /// The bottom-up oracle (different pipeline entirely).
-fn seminaive_answers(snapshot: &Snapshot, query: &PointQuery) -> Vec<Const> {
+fn seminaive_rows(snapshot: &Snapshot, spec: &QuerySpec) -> Vec<Vec<Const>> {
     let result = seminaive_eval(snapshot.program()).expect("workloads have no builtins");
-    let mut answers: Vec<Const> = result
-        .tuples(query.pred)
+    let constant = spec.bound_values()[0];
+    let inverse = spec.free_positions() == vec![0];
+    let mut rows: Vec<Vec<Const>> = result
+        .tuples(spec.pred)
         .into_iter()
-        .filter_map(|t| match query.adornment {
-            Adornment::BoundFree => (t[0] == query.constant).then_some(t[1]),
-            Adornment::FreeBound => (t[1] == query.constant).then_some(t[0]),
+        .filter_map(|t| {
+            if inverse {
+                (t[1] == constant).then_some(vec![t[0]])
+            } else {
+                (t[0] == constant).then_some(vec![t[1]])
+            }
         })
         .collect();
-    answers.sort_unstable();
-    answers.dedup();
-    answers
+    rows.sort_unstable();
+    rows.dedup();
+    rows
 }
 
 /// Run every (constant, adornment) point query of `workload` through a
@@ -108,33 +113,24 @@ fn check_workload(workload: &Workload) {
         let name = workload.query.split('(').next().unwrap().trim();
         snapshot.program().pred_by_name(name).unwrap()
     };
-    let queries: Vec<PointQuery> = all_constants(&snapshot)
-        .into_iter()
-        .flat_map(|constant| {
-            [Adornment::BoundFree, Adornment::FreeBound].map(|adornment| PointQuery {
-                pred,
-                adornment,
-                constant,
-            })
-        })
-        .collect();
-    let batch = point_batch(&service, &queries);
+    let queries = point_specs(&snapshot, pred);
+    let batch = service.query_batch(&queries);
     assert_eq!(batch.len(), queries.len());
     let system = oracle_system(&snapshot);
     for (query, result) in queries.iter().zip(&batch) {
         let answer = result.as_ref().unwrap_or_else(|e| {
             panic!("{}: query failed: {e}", workload.name);
         });
-        let oracle = oracle_answers(&system, &snapshot, query);
+        let oracle = oracle_rows(&system, &snapshot, query);
         assert_eq!(
-            *answer.answers, oracle,
+            *answer.rows, oracle,
             "{}: batch answer != single-threaded Evaluator oracle for {:?}",
             workload.name, query
         );
         if answer.converged {
-            let bottom_up = seminaive_answers(&snapshot, query);
+            let bottom_up = seminaive_rows(&snapshot, query);
             assert_eq!(
-                *answer.answers, bottom_up,
+                *answer.rows, bottom_up,
                 "{}: converged answer != seminaive oracle for {:?}",
                 workload.name, query
             );
@@ -159,7 +155,7 @@ fn fig8_cyclic_scenarios_match_oracles() {
         let service = QueryService::new(workload.program.clone());
         let q = service.parse_query(&workload.query).unwrap();
         let out = service.query(&q).unwrap();
-        assert_eq!(Some(out.answers.len()), workload.expected_answers);
+        assert_eq!(Some(out.rows.len()), workload.expected_answers);
     }
 }
 
@@ -196,26 +192,39 @@ fn random_programs_match_oracles() {
             let system = oracle_system(&snapshot);
             for name in &rp.derived {
                 let pred = snapshot.program().pred_by_name(name).unwrap();
-                let queries: Vec<PointQuery> = all_constants(&snapshot)
-                    .into_iter()
-                    .flat_map(|constant| {
-                        [Adornment::BoundFree, Adornment::FreeBound].map(|adornment| PointQuery {
-                            pred,
-                            adornment,
-                            constant,
-                        })
-                    })
-                    .collect();
-                for (query, result) in queries.iter().zip(point_batch(&service, &queries)) {
+                let queries = point_specs(&snapshot, pred);
+                for (query, result) in queries.iter().zip(service.query_batch(&queries)) {
                     let answer = result.unwrap();
                     assert_eq!(
-                        *answer.answers,
-                        oracle_answers(&system, &snapshot, query),
+                        *answer.rows,
+                        oracle_rows(&system, &snapshot, query),
                         "randprog seed {seed} {name}: {:?}",
                         query
                     );
                 }
             }
+        }
+    }
+}
+
+/// Membership queries agree with the point-query answer set, on every
+/// (source, target) pair of a cyclic workload — the early-exit fast
+/// path must not change any verdict.
+#[test]
+fn membership_queries_match_point_answers() {
+    let workload = fig8::cyclic(2, 3);
+    let service = QueryService::new(workload.program.clone());
+    let snapshot = service.snapshot();
+    let pred = snapshot.program().pred_by_name("sg").unwrap();
+    for a in all_constants(&snapshot) {
+        let point = service.query(&QuerySpec::bound_free(pred, a)).unwrap();
+        for b in all_constants(&snapshot) {
+            let bb = service.query(&QuerySpec::bound_bound(pred, a, b)).unwrap();
+            assert_eq!(
+                bb.holds(),
+                point.rows.iter().any(|r| r[0] == b),
+                "sg({a:?}, {b:?}) membership disagrees with sg({a:?}, Y)"
+            );
         }
     }
 }
@@ -243,7 +252,7 @@ fn mixed_ingest_and_query_workload_matches_oracle_per_epoch() {
     // Recorded (query, answer) pairs from the readers, and every
     // snapshot the writer published (epoch 0 included).
     let mut snapshots: Vec<Arc<Snapshot>> = vec![service.snapshot()];
-    let mut recorded: Vec<(PointQuery, rq_service::ServiceAnswer)> = Vec::new();
+    let mut recorded: Vec<(QuerySpec, ServiceAnswer)> = Vec::new();
 
     std::thread::scope(|scope| {
         let writer = {
@@ -268,24 +277,13 @@ fn mixed_ingest_and_query_workload_matches_oracle_per_epoch() {
             .map(|reader| {
                 let service = Arc::clone(&service);
                 scope.spawn(move || {
-                    let mut seen = Vec::new();
+                    let mut seen: Vec<(QuerySpec, ServiceAnswer)> = Vec::new();
                     for round in 0..ROUNDS {
                         let snapshot = service.snapshot();
                         let pred = snapshot.program().pred_by_name("tc").unwrap();
-                        let queries: Vec<PointQuery> = all_constants(&snapshot)
-                            .into_iter()
-                            .flat_map(|constant| {
-                                [Adornment::BoundFree, Adornment::FreeBound].map(|adornment| {
-                                    PointQuery {
-                                        pred,
-                                        adornment,
-                                        constant,
-                                    }
-                                })
-                            })
-                            .collect();
-                        for (query, result) in queries.iter().zip(point_batch(&service, &queries)) {
-                            seen.push((*query, result.unwrap()));
+                        let queries = point_specs(&snapshot, pred);
+                        for (query, result) in queries.iter().zip(service.query_batch(&queries)) {
+                            seen.push((query.clone(), result.unwrap()));
                         }
                         if (round + reader) % 2 == 0 {
                             std::thread::yield_now();
@@ -312,8 +310,8 @@ fn mixed_ingest_and_query_workload_matches_oracle_per_epoch() {
             .find(|s| s.epoch() == answer.epoch)
             .expect("answer from a published epoch");
         assert_eq!(
-            *answer.answers,
-            oracle_answers(&system, snapshot, query),
+            *answer.rows,
+            oracle_rows(&system, snapshot, query),
             "epoch {} {:?}",
             answer.epoch,
             query
@@ -324,4 +322,31 @@ fn mixed_ingest_and_query_workload_matches_oracle_per_epoch() {
     assert!(service.plan_cache().stats().hits > 0);
     assert!(service.result_cache().stats().hits > 0);
     assert_eq!(service.plan_cache().programs(), 1, "plans survive ingest");
+}
+
+/// Sanity on the error path: a batch mixing good and bad specs reports
+/// errors inline without disturbing its neighbors.
+#[test]
+fn batch_surfaces_errors_inline() {
+    let service =
+        QueryService::from_source("tc(X,Y) :- e(X,Y).\ntc(X,Z) :- e(X,Y), tc(Y,Z).\ne(a,b).")
+            .unwrap();
+    let snapshot = service.snapshot();
+    let tc = snapshot.program().pred_by_name("tc").unwrap();
+    let a = all_constants(&snapshot)[0];
+    // A hand-built spec whose arity disagrees with the predicate
+    // surfaces an inline error rather than poisoning the batch.
+    let bad = QuerySpec::new(
+        tc,
+        [
+            rq_service::Arg::Bound(a),
+            rq_service::Arg::Free(0),
+            rq_service::Arg::Free(1),
+        ],
+    );
+    let good = QuerySpec::bound_free(tc, a);
+    let batch = service.query_batch(&[good.clone(), bad, good]);
+    assert!(batch[0].is_ok());
+    assert!(matches!(batch[1], Err(ServiceError::ArityMismatch { .. })));
+    assert!(batch[2].is_ok());
 }

@@ -11,6 +11,17 @@ use rq_datalog::Database;
 use rq_service::{QueryService, ServiceConfig, Snapshot};
 use std::sync::Arc;
 
+/// Rules mixing a binary-chain closure over `e` with the §4 n-ary
+/// flights program over `flight`/`is_deptime` — two disjoint read
+/// footprints under one service.
+const MIXED_RULES: &str = "\
+tc(X,Y) :- e(X,Y).\n\
+tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+cnx(S,DT,D,AT) :- flight(S,DT,D,AT).\n\
+cnx(S,DT,D,AT) :- flight(S,DT,D1,AT1), AT1 < DT1, is_deptime(DT1), cnx(D1,DT1,D,AT).\n\
+e(n0,n1). flight(hel,540,ams,690). flight(ams,720,cdg,810).\n\
+is_deptime(540). is_deptime(720).";
+
 const RULES: &str = "tc(X,Y) :- e(X,Y).\n\
                      tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
                      e(n0,n1).";
@@ -74,17 +85,87 @@ proptest! {
         let tc = snapshot.program().pred_by_name("tc").unwrap();
         let q = service.parse_query("tc(n0, Y)").unwrap();
         let served = service.query(&q).unwrap();
-        let mut expected: Vec<_> = oracle
+        let mut expected: Vec<Vec<rq_common::Const>> = oracle
             .tuples(tc)
             .into_iter()
             .filter_map(|t| {
-                (snapshot.program().consts.display(t[0]) == "n0").then_some(t[1])
+                (snapshot.program().consts.display(t[0]) == "n0").then_some(vec![t[1]])
             })
             .collect();
         expected.sort_unstable();
         expected.dedup();
         if served.converged {
-            prop_assert_eq!(served.answers.as_ref().clone(), expected);
+            prop_assert_eq!(served.rows.as_ref().clone(), expected);
+        }
+    }
+
+    /// Result-cache entries keyed on **generalized adornments** (the
+    /// §4 n-ary `cnx^bbff` entry and the binary `tc` entry, both served
+    /// through the transformed pipeline) survive publishes that dirty
+    /// only predicates outside their plan's read-set, and are refreshed
+    /// — with correct answers — when their own footprint is dirtied.
+    #[test]
+    fn nary_adorned_entries_survive_unrelated_publishes(
+        // Each step ingests into the tc side (0) or the cnx side (1).
+        steps in prop::collection::vec(0..2u8, 1..8)
+    ) {
+        let service = QueryService::with_config(
+            rq_datalog::parse_program(MIXED_RULES).unwrap(),
+            ServiceConfig { threads: 1, ..ServiceConfig::default() },
+        );
+        let tc_q = service.parse_query("tc(n0, Y)").unwrap();
+        let cnx_q = service.parse_query("cnx(hel, 540, D, AT)").unwrap();
+        let mut tc_rows = service.query(&tc_q).unwrap().rows;
+        let mut cnx_rows = service.query(&cnx_q).unwrap().rows;
+        for (i, &step) in steps.iter().enumerate() {
+            let touch_cnx = step == 1;
+            let snap = if touch_cnx {
+                // A new flight leg reachable from cdg keeps answers
+                // changing, not just growing the fringe.
+                service.ingest(&format!(
+                    "flight(cdg, {dt}, x{i}, {at}). is_deptime({dt}).",
+                    dt = 840 + i as i64,
+                    at = 930 + i as i64,
+                )).unwrap()
+            } else {
+                // Fresh edges only: a duplicate-only ingest dirties
+                // nothing and (correctly) evicts nothing.
+                service
+                    .ingest(&format!("e(n{}, n{}).", i + 1, i + 2))
+                    .unwrap()
+            };
+            prop_assert_eq!(snap.epoch(), i as u64 + 1);
+            let tc_after = service.query(&tc_q).unwrap();
+            let cnx_after = service.query(&cnx_q).unwrap();
+            if touch_cnx {
+                // The cnx entry was dirtied, the tc entry must survive.
+                prop_assert!(tc_after.from_cache, "tc entry must survive a flight publish");
+                prop_assert!(Arc::ptr_eq(&tc_rows, &tc_after.rows));
+                prop_assert!(!cnx_after.from_cache, "cnx entry must refresh");
+            } else {
+                prop_assert!(cnx_after.from_cache, "cnx entry must survive an e publish");
+                prop_assert!(Arc::ptr_eq(&cnx_rows, &cnx_after.rows));
+                prop_assert!(!tc_after.from_cache, "tc entry must refresh");
+            }
+            prop_assert_eq!(tc_after.epoch, snap.epoch());
+            prop_assert_eq!(cnx_after.epoch, snap.epoch());
+            // Whatever the cache did, answers equal the bottom-up
+            // oracle on the current snapshot.
+            let oracle = rq_datalog::seminaive_eval(snap.program()).unwrap();
+            let tc = snap.program().pred_by_name("tc").unwrap();
+            let n0 = snap.program().consts.get(
+                &rq_common::ConstValue::Str("n0".into())).unwrap();
+            let mut expected: Vec<Vec<rq_common::Const>> = oracle
+                .tuples(tc)
+                .into_iter()
+                .filter(|t| t[0] == n0)
+                .map(|t| vec![t[1]])
+                .collect();
+            expected.sort();
+            expected.dedup();
+            prop_assert_eq!(tc_after.rows.as_ref().clone(), expected);
+            tc_rows = tc_after.rows;
+            cnx_rows = cnx_after.rows;
         }
     }
 

@@ -10,36 +10,38 @@ use rq_engine::{
     cyclic_iteration_bound, inverse_cyclic_iteration_bound, EdbSource, EvalOptions, Evaluator,
 };
 use rq_relalg::{lemma1, Lemma1Options};
-use rq_service::{Adornment, PointQuery, QueryService, ServiceConfig};
+use rq_service::{QueryService, QuerySpec, ServiceConfig};
 use rq_workloads::randprog::{random_program, RandProgConfig, RecursionStyle};
 use rq_workloads::{fig7, fig8, Workload};
 
 /// Fresh pipeline (no caches anywhere) for one point query.
-fn fresh_answers(workload: &Workload, query: &PointQuery) -> Vec<Const> {
+fn fresh_rows(workload: &Workload, spec: &QuerySpec) -> Vec<Vec<Const>> {
     let db = rq_datalog::Database::from_program(&workload.program);
     let system = lemma1(&workload.program, &Lemma1Options::default())
         .expect("binary-chain")
         .system;
     let source = EdbSource::new(&db);
     let evaluator = Evaluator::new(&system, &source);
-    let max_iterations = match query.adornment {
-        Adornment::BoundFree => cyclic_iteration_bound(&system, &db, query.pred, query.constant),
-        Adornment::FreeBound => {
-            inverse_cyclic_iteration_bound(&system, &db, query.pred, query.constant)
-        }
+    let constant = spec.bound_values()[0];
+    let inverse = spec.free_positions() == vec![0];
+    let max_iterations = if inverse {
+        inverse_cyclic_iteration_bound(&system, &db, spec.pred, constant)
+    } else {
+        cyclic_iteration_bound(&system, &db, spec.pred, constant)
     }
     .map(|b| b + 1);
     let options = EvalOptions {
         max_iterations,
         ..EvalOptions::default()
     };
-    let outcome = match query.adornment {
-        Adornment::BoundFree => evaluator.evaluate(query.pred, query.constant, &options),
-        Adornment::FreeBound => evaluator.evaluate_inverse(query.pred, query.constant, &options),
+    let outcome = if inverse {
+        evaluator.evaluate_inverse(spec.pred, constant, &options)
+    } else {
+        evaluator.evaluate(spec.pred, constant, &options)
     };
-    let mut answers: Vec<Const> = outcome.answers.into_iter().collect();
-    answers.sort_unstable();
-    answers
+    let mut rows: Vec<Vec<Const>> = outcome.answers.into_iter().map(|c| vec![c]).collect();
+    rows.sort_unstable();
+    rows
 }
 
 /// Ask the service the same query twice — a plan-cache miss, then a
@@ -59,26 +61,20 @@ fn check_cached_equals_fresh(workload: &Workload, pred_name: &str) {
         .map(Const::from_index)
         .collect();
     for constant in constants {
-        for adornment in [Adornment::BoundFree, Adornment::FreeBound] {
-            let query = PointQuery {
-                pred,
-                adornment,
-                constant,
-            };
-            let fresh = fresh_answers(workload, &query);
-            let first = service.query(&query.into()).unwrap();
+        for spec in [
+            QuerySpec::bound_free(pred, constant),
+            QuerySpec::free_bound(pred, constant),
+        ] {
+            let fresh = fresh_rows(workload, &spec);
+            let first = service.query(&spec).unwrap();
             assert!(!first.from_cache);
-            assert_eq!(
-                *first.answers, fresh,
-                "{}: first {:?}",
-                workload.name, query
-            );
-            let memoized = service.query(&query.into()).unwrap();
+            assert_eq!(*first.rows, fresh, "{}: first {:?}", workload.name, spec);
+            let memoized = service.query(&spec).unwrap();
             assert!(memoized.from_cache, "second ask must memoize");
             assert_eq!(
-                *memoized.answers, fresh,
+                *memoized.rows, fresh,
                 "{}: memoized {:?}",
-                workload.name, query
+                workload.name, spec
             );
         }
     }

@@ -47,6 +47,21 @@ pub fn network(airports: usize, flights_per_airport: usize, seed: u64) -> Worklo
     }
 }
 
+/// Every `cnx(airport, deptime, D, AT)` query text a generated
+/// [`network`] can be asked — one per (airport, scheduled departure)
+/// pair.  This is the serving workload: a batch of n-ary point queries
+/// with the first two positions bound, exactly §4's binding pattern.
+pub fn serve_queries(airports: usize, flights_per_airport: usize) -> Vec<String> {
+    let mut out = Vec::with_capacity(airports * flights_per_airport);
+    for a in 0..airports {
+        for f in 0..flights_per_airport {
+            let dep = 6 * 60 + (f as i64) * 60;
+            out.push(format!("cnx(p{a}, {dep}, D, AT)"));
+        }
+    }
+    out
+}
+
 /// The exact example database of §4's discussion, for tests.
 pub fn paper_example() -> Workload {
     let src = format!(

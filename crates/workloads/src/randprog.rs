@@ -290,6 +290,125 @@ pub fn seeded(seed: u64, style: RecursionStyle) -> RandProgram {
     })
 }
 
+/// Configuration for [`random_nary_program`].
+#[derive(Debug, Clone)]
+pub struct NaryConfig {
+    /// RNG seed; equal seeds give equal programs.
+    pub seed: u64,
+    /// Number of 3-ary derived predicates (each with one base and one
+    /// recursive rule).
+    pub preds: usize,
+    /// Number of binary base predicates feeding the step joins.
+    pub base_preds: usize,
+    /// Number of graph constants `n0 … n{domain-1}`.
+    pub domain: usize,
+    /// Facts per base relation (strictly increasing pairs, so the
+    /// recursion terminates naturally).
+    pub facts_per_base: usize,
+    /// Length of the grading chain `g0 → g1 → …` (the third argument).
+    pub grades: usize,
+}
+
+impl Default for NaryConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            preds: 2,
+            base_preds: 3,
+            domain: 10,
+            facts_per_base: 16,
+            grades: 5,
+        }
+    }
+}
+
+/// A generated n-ary program plus the query texts worth asking of it.
+#[derive(Debug, Clone)]
+pub struct NaryProgram {
+    /// The program source, facts included.
+    pub text: String,
+    /// The parsed program.
+    pub program: Program,
+    /// Derived 3-ary predicate names.
+    pub derived: Vec<String>,
+    /// Query texts covering the interesting binding patterns (`bff`,
+    /// `ffb`, `bfb`, `bbb`, `fff`) with constants drawn from the data.
+    pub queries: Vec<String>,
+}
+
+/// Generate a random 3-ary linear program in §4's chain-programmable
+/// class: graded reachability predicates
+///
+/// ```text
+/// qk(A,B,G) :- b_i(A,B), grade0(G).
+/// qk(A,B,G) :- b_j(A,C), succ(G1,G), qk(C,B,G1).
+/// ```
+///
+/// Each rule is linear with one derived literal; the before-literals of
+/// every binding pattern the queries use stay disjoint from the free
+/// head variables, so the adorned programs satisfy the chain condition
+/// and the §4 transformation is exact.  Base facts are strictly
+/// increasing (`n_i → n_j` only for `i < j`), so evaluation terminates
+/// naturally and bottom-up oracles are cheap.
+pub fn random_nary_program(cfg: &NaryConfig) -> NaryProgram {
+    assert!(cfg.preds >= 1 && cfg.base_preds >= 1 && cfg.domain >= 3 && cfg.grades >= 2);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rules = String::new();
+    let mut derived = Vec::new();
+    for k in 0..cfg.preds {
+        let head = format!("q{k}");
+        let base = rng.gen_range(0..cfg.base_preds);
+        let step = rng.gen_range(0..cfg.base_preds);
+        writeln!(rules, "{head}(A,B,G) :- b{base}(A,B), grade0(G).").unwrap();
+        // Sometimes recurse through an earlier predicate instead of
+        // self, exercising mutual reference under adornment.
+        let callee = if k > 0 && rng.gen_bool(0.3) {
+            format!("q{}", rng.gen_range(0..k))
+        } else {
+            head.clone()
+        };
+        writeln!(
+            rules,
+            "{head}(A,B,G) :- b{step}(A,C), succ(G1,G), {callee}(C,B,G1)."
+        )
+        .unwrap();
+        derived.push(head);
+    }
+    let mut facts = String::new();
+    for b in 0..cfg.base_preds {
+        for _ in 0..cfg.facts_per_base {
+            let i = rng.gen_range(0..cfg.domain - 1);
+            let j = rng.gen_range(i + 1..cfg.domain);
+            writeln!(facts, "b{b}(n{i},n{j}).").unwrap();
+        }
+    }
+    writeln!(facts, "grade0(g0).").unwrap();
+    for g in 1..cfg.grades {
+        writeln!(facts, "succ(g{},g{}).", g - 1, g).unwrap();
+    }
+    let text = format!("{rules}{facts}");
+    let program = parse_program(&text).unwrap_or_else(|e| {
+        panic!("generated n-ary program must parse: {e}\n{text}");
+    });
+    let mut queries = Vec::new();
+    for head in &derived {
+        let a = rng.gen_range(0..cfg.domain);
+        let b = rng.gen_range(0..cfg.domain);
+        let g = rng.gen_range(0..cfg.grades);
+        queries.push(format!("{head}(n{a}, B, G)"));
+        queries.push(format!("{head}(A, B, g{g})"));
+        queries.push(format!("{head}(n{a}, B, g{g})"));
+        queries.push(format!("{head}(n{a}, n{b}, g{g})"));
+        queries.push(format!("{head}(A, B, G)"));
+    }
+    NaryProgram {
+        text,
+        program,
+        derived,
+        queries,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,6 +485,44 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn nary_programs_are_linear_and_chain_adornable() {
+        for seed in 0..20 {
+            let np = random_nary_program(&NaryConfig {
+                seed,
+                ..NaryConfig::default()
+            });
+            let analysis = Analysis::of(&np.program);
+            assert!(
+                analysis.program_is_linear(&np.program),
+                "seed {seed} not linear:\n{}",
+                np.text
+            );
+            assert_eq!(np.queries.len(), np.derived.len() * 5);
+            // Every query's binding pattern adorns into a chain program
+            // (the §4 exactness condition).
+            let mut program = np.program.clone();
+            for q in &np.queries {
+                let query = rq_datalog::Query::parse(&mut program, q).unwrap();
+                let adorned = rq_adorn::adorn(&program, &query)
+                    .unwrap_or_else(|e| panic!("seed {seed} `{q}`: {e}\n{}", np.text));
+                assert!(
+                    rq_adorn::chain_violations(&program, &adorned).is_empty(),
+                    "seed {seed} `{q}` violates the chain condition:\n{}",
+                    np.text
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nary_same_seed_same_program() {
+        let a = random_nary_program(&NaryConfig::default());
+        let b = random_nary_program(&NaryConfig::default());
+        assert_eq!(a.text, b.text);
+        assert_eq!(a.queries, b.queries);
     }
 
     #[test]

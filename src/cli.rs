@@ -360,17 +360,19 @@ impl Session {
 }
 
 /// A serving session behind `rqc serve`: a [`rq_service::QueryService`]
-/// answering batches of point, all-pairs (`p(X,Y)`), and diagonal
-/// (`p(X,X)`) queries, with `:add` feeding the copy-on-write snapshot
-/// store.  Like [`Session`], it is I/O-free so the grammar and
-/// behaviors are unit tested without a terminal.
+/// answering batches of queries of **any arity** — every mix of bound
+/// and free arguments goes through one generalized
+/// [`rq_service::QuerySpec`], with the §4 transformation serving n-ary
+/// predicates — and `:add` feeding the copy-on-write snapshot store.
+/// Like [`Session`], it is I/O-free so the grammar and behaviors are
+/// unit tested without a terminal.
 ///
 /// ```text
-/// rq-serve> tc(a, Y); tc(X, c)
+/// rq-serve> tc(a, Y); cnx(hel, 540, D, AT)
 /// tc(a, Y): b c
-/// tc(X, c): a b
+/// cnx(hel, 540, D, AT): (ams,690) (cdg,810)
 /// rq-serve> :add e(c,d).
-/// epoch 1 (2 epochs seen, result cache cleared)
+/// epoch 1 (7 tuples)
 /// ```
 pub struct ServeSession {
     service: rq_service::QueryService,
@@ -378,10 +380,13 @@ pub struct ServeSession {
 
 const SERVE_HELP: &str = "\
 serve commands:
-  <query>[; <query>...]  answer a batch of queries on one snapshot, e.g.
+  <query>[; <query>...]  answer a batch of queries on one snapshot;
+                         identical queries are evaluated once, e.g.
                          tc(a, Y); tc(X, b)   point queries
+                         tc(a, b)             membership (yes/no)
                          tc(X, Y)             all pairs
                          tc(X, X)             the diagonal (cycle members)
+                         cnx(hel,540,D,AT)    n-ary via the §4 rewrite
   :add <facts>           ingest facts copy-on-write (publishes a new epoch)
   :epoch                 print the current snapshot epoch
   :stats                 plan/result cache hit rates, sizes, and evictions
@@ -433,15 +438,18 @@ impl ServeSession {
                     let plans = self.service.plan_cache().stats();
                     let results = self.service.result_cache().stats();
                     Ok(CommandOutput::text(format!(
-                        "epoch {}\nplan cache:   {} hits / {} misses ({} compiled program(s))\nresult cache: {} hits / {} misses / {} evictions ({} entr(ies))",
+                        "epoch {}\nplan cache:   {} hits / {} misses ({} chain program(s), {} §4 plan(s))\nresult cache: {} hits / {} misses / {} evictions / {} deduped ({} entr(ies), ~{} bytes)",
                         self.service.snapshot().epoch(),
                         plans.hits,
                         plans.misses,
                         self.service.plan_cache().programs(),
+                        self.service.plan_cache().nary_plans(),
                         results.hits,
                         results.misses,
                         results.evictions,
+                        results.deduped,
                         self.service.result_cache().len(),
+                        self.service.result_cache().bytes(),
                     )))
                 }
                 "add" => {
@@ -477,7 +485,7 @@ impl ServeSession {
         let snapshot = self.service.snapshot();
         // Parse everything first so one batch sees one epoch; a query
         // over an unknown constant has a trivially empty answer.
-        let mut parsed: Vec<Result<Option<rq_service::ServeQuery>, String>> = Vec::new();
+        let mut parsed: Vec<Result<Option<rq_service::QuerySpec>, String>> = Vec::new();
         for text in &texts {
             parsed.push(
                 match rq_service::parse_serve_query(snapshot.program(), text) {
@@ -487,45 +495,82 @@ impl ServeSession {
                 },
             );
         }
-        let queries: Vec<rq_service::ServeQuery> = parsed
+        let queries: Vec<rq_service::QuerySpec> = parsed
             .iter()
-            .filter_map(|p| p.as_ref().ok().copied().flatten())
+            .filter_map(|p| p.as_ref().ok().cloned().flatten())
             .collect();
         let mut answers = self.service.query_batch(&queries).into_iter();
         let mut out = Vec::new();
         for (text, slot) in texts.iter().zip(&parsed) {
             let rendered = match slot {
                 Err(e) => format!("error: {e}"),
+                // An unknown constant is semantically empty: a fully
+                // bound query renders the definitive `no`, a query
+                // with free positions the empty answer.
+                Ok(None) if query_text_is_fully_bound(text) => "no".to_string(),
                 Ok(None) => "(none)".to_string(),
-                Ok(Some(_)) => match answers.next().expect("one answer per parsed query") {
+                Ok(Some(spec)) => match answers.next().expect("one answer per parsed query") {
                     Err(e) => format!("error: {e}"),
-                    Ok(answer) => {
-                        let display = |c| snapshot.program().consts.display(c);
-                        if !answer.pairs.is_empty() {
-                            // All-pairs rows render as (x,y) tuples.
-                            answer
-                                .pairs
-                                .iter()
-                                .map(|&(x, y)| format!("({},{})", display(x), display(y)))
-                                .collect::<Vec<_>>()
-                                .join(" ")
-                        } else if answer.answers.is_empty() {
-                            "(none)".to_string()
-                        } else {
-                            answer
-                                .answers
-                                .iter()
-                                .map(|&c| display(c))
-                                .collect::<Vec<_>>()
-                                .join(" ")
-                        }
-                    }
+                    Ok(answer) => render_serve_answer(snapshot.program(), spec, &answer),
                 },
             };
             out.push(format!("{text}: {rendered}"));
         }
         Ok(CommandOutput::text(out.join("\n")))
     }
+}
+
+/// Whether a query text binds every argument (no uppercase- or
+/// `_`-led argument) — used to render `no` instead of `(none)` for
+/// membership queries naming constants absent from the data.
+fn query_text_is_fully_bound(text: &str) -> bool {
+    let Some(open) = text.find('(') else {
+        return false;
+    };
+    let Some(close) = text.rfind(')') else {
+        return false;
+    };
+    text[open + 1..close].split(',').all(|arg| {
+        !matches!(
+            arg.trim().chars().next(),
+            Some(c) if c.is_ascii_uppercase() || c == '_'
+        )
+    })
+}
+
+/// Render one served answer: `yes`/`no` for fully bound queries,
+/// space-separated constants for one answer column, `(x,y)`-style
+/// tuples for wider rows.
+fn render_serve_answer(
+    program: &Program,
+    spec: &rq_service::QuerySpec,
+    answer: &rq_service::ServiceAnswer,
+) -> String {
+    if spec.free_positions().is_empty() {
+        return if answer.holds() { "yes" } else { "no" }.to_string();
+    }
+    if answer.rows.is_empty() {
+        return "(none)".to_string();
+    }
+    let display = |c| program.consts.display(c);
+    answer
+        .rows
+        .iter()
+        .map(|row| {
+            if row.len() == 1 {
+                display(row[0])
+            } else {
+                format!(
+                    "({})",
+                    row.iter()
+                        .map(|&c| display(c))
+                        .collect::<Vec<_>>()
+                        .join(",")
+                )
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 fn pipeline_name(strategy: Strategy) -> &'static str {
@@ -782,6 +827,54 @@ mod tests {
     }
 
     #[test]
+    fn serve_answers_membership_yes_no() {
+        let mut s = ServeSession::new(TC, 1).unwrap();
+        let out = s.execute_line("tc(a, c); tc(c, a)").unwrap();
+        assert_eq!(out.text, "tc(a, c): yes\ntc(c, a): no");
+    }
+
+    #[test]
+    fn serve_answers_nary_flight_queries() {
+        let mut s = ServeSession::new(
+            "cnx(S,DT,D,AT) :- flight(S,DT,D,AT).\n\
+             cnx(S,DT,D,AT) :- flight(S,DT,D1,AT1), AT1 < DT1, is_deptime(DT1), cnx(D1,DT1,D,AT).\n\
+             flight(hel,540,ams,690). flight(ams,720,cdg,810).\n\
+             is_deptime(540). is_deptime(720).",
+            2,
+        )
+        .unwrap();
+        let out = s.execute_line("cnx(hel, 540, D, AT)").unwrap();
+        assert_eq!(out.text, "cnx(hel, 540, D, AT): (ams,690) (cdg,810)");
+        // Fully bound n-ary membership.
+        let out = s
+            .execute_line("cnx(hel, 540, cdg, 810); cnx(hel, 540, cdg, 690)")
+            .unwrap();
+        assert_eq!(
+            out.text,
+            "cnx(hel, 540, cdg, 810): yes\ncnx(hel, 540, cdg, 690): no"
+        );
+        // Ingest opens a new leg; the served answer follows the epoch.
+        s.execute_line(":add flight(cdg,840,nce,930)").unwrap();
+        s.execute_line(":add is_deptime(840)").unwrap();
+        let out = s.execute_line("cnx(hel, 540, D, AT)").unwrap();
+        assert_eq!(
+            out.text,
+            "cnx(hel, 540, D, AT): (ams,690) (cdg,810) (nce,930)"
+        );
+    }
+
+    #[test]
+    fn serve_dedups_identical_queries_in_a_batch() {
+        let mut s = ServeSession::new(TC, 1).unwrap();
+        // `tc(a, Y)` and `tc(a, Z)` are one canonical spec.
+        let out = s.execute_line("tc(a, Y); tc(a, Z); tc(a, Y)").unwrap();
+        let lines: Vec<&str> = out.text.lines().collect();
+        assert!(lines.iter().all(|l| l.ends_with(": b c")), "{}", out.text);
+        let stats = s.execute_line(":stats").unwrap().text;
+        assert!(stats.contains("2 deduped"), "{stats}");
+    }
+
+    #[test]
     fn serve_reports_per_query_errors_inline() {
         let mut s = ServeSession::new(TC, 1).unwrap();
         let out = s
@@ -794,8 +887,11 @@ mod tests {
             "{}",
             lines[1]
         );
-        // Unknown constants are semantically empty, not errors.
+        // Unknown constants are semantically empty, not errors — and a
+        // fully bound query over one is a definitive `no`.
         assert_eq!(lines[2], "tc(unseen, Y): (none)");
+        let out = s.execute_line("tc(a, unseen)").unwrap();
+        assert_eq!(out.text, "tc(a, unseen): no");
     }
 
     #[test]

@@ -132,7 +132,10 @@ fn serve_session_over_stdin() {
         .stdin
         .as_mut()
         .unwrap()
-        .write_all(b"sg(john, Y); sg(X, erik)\n:add flat(john, paul)\nsg(john, Y)\n:epoch\n:quit\n")
+        .write_all(
+            b"sg(john, Y); sg(X, erik)\n:add flat(john, paul)\nsg(john, Y)\n\
+              sg(john, paul); sg(paul, john)\n:epoch\n:quit\n",
+        )
         .unwrap();
     let out = child.wait_with_output().unwrap();
     assert!(out.status.success());
@@ -142,7 +145,10 @@ fn serve_session_over_stdin() {
     assert_eq!(lines[1], "sg(X, erik): john");
     assert!(lines[2].starts_with("epoch 1"), "{}", lines[2]);
     assert_eq!(lines[3], "sg(john, Y): erik paul");
-    assert_eq!(lines[4], "epoch 1");
+    // Membership forms answer yes/no through the same batch line.
+    assert_eq!(lines[4], "sg(john, paul): yes");
+    assert_eq!(lines[5], "sg(paul, john): no");
+    assert_eq!(lines[6], "epoch 1");
 }
 
 #[test]
