@@ -12,13 +12,14 @@
 //! composes the two for one-shot callers.
 
 use crate::adornment::{adorn_for, chain_violations, AdornError, Adornment};
-use crate::source::VirtualSource;
+use crate::source::{ProbeSpace, VirtualSource};
 use crate::transform::{transform, BinaryProgram};
 use rq_common::{Const, FxHashSet, Pred};
 use rq_datalog::{Database, Program, Query};
-use rq_engine::{CompiledPlan, EvalOptions, EvalOutcome, Evaluator};
+use rq_engine::{CompiledPlan, EvalContext, EvalOptions, EvalOutcome, Evaluator};
 use rq_relalg::{lemma1_from_system, Lemma1Error, Lemma1Options};
 use std::fmt;
+use std::sync::Arc;
 
 /// Why an n-ary query could not be evaluated.
 #[derive(Debug, Clone, PartialEq)]
@@ -143,9 +144,39 @@ pub fn evaluate_nary(
     bound: &[Const],
     options: &EvalOptions,
 ) -> (Vec<Vec<Const>>, EvalOutcome) {
+    evaluate_nary_shared(
+        program,
+        db,
+        plan,
+        bound,
+        options,
+        &Arc::new(ProbeSpace::new(program)),
+        None,
+    )
+}
+
+/// [`evaluate_nary`] with the epoch-scoped sharing hooks: `space` is
+/// the tuple interner + virtual-probe memo shared by every query of
+/// one snapshot epoch against this plan, and `ctx` the engine's
+/// machine-traversal memo for the same epoch.  Both must only ever be
+/// shared between evaluations over the same database version; a
+/// serving layer keys them per epoch and drops them wholesale on
+/// publish.
+pub fn evaluate_nary_shared(
+    program: &Program,
+    db: &Database,
+    plan: &NaryPlan,
+    bound: &[Const],
+    options: &EvalOptions,
+    space: &Arc<ProbeSpace>,
+    ctx: Option<&EvalContext>,
+) -> (Vec<Vec<Const>>, EvalOutcome) {
     debug_assert_eq!(bound.len(), plan.adornment.bound_positions().len());
-    let source = VirtualSource::new(program, db, &plan.binary);
-    let evaluator = Evaluator::with_plan(&plan.binary.system, &plan.compiled, &source);
+    let source = VirtualSource::with_space(program, db, &plan.binary, Arc::clone(space));
+    let mut evaluator = Evaluator::with_plan(&plan.binary.system, &plan.compiled, &source);
+    if let Some(ctx) = ctx {
+        evaluator = evaluator.with_context(ctx);
+    }
     let anchor = source.intern_tuple(bound.to_vec());
     let mut options = options.clone();
     if plan.adornment.free_positions().is_empty() && options.stop_on_answer.is_none() {

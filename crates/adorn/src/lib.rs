@@ -23,8 +23,8 @@ pub use adornment::{
     AdornedBody, AdornedPred, AdornedProgram, AdornedRule, Adornment,
 };
 pub use api::{
-    answer_query, answer_query_unchecked, bottom_up_counters, evaluate_nary, oracle_rows,
-    plan_nary_query, plan_nary_query_unchecked, NaryPlan, QueryAnswer, QueryError,
+    answer_query, answer_query_unchecked, bottom_up_counters, evaluate_nary, evaluate_nary_shared,
+    oracle_rows, plan_nary_query, plan_nary_query_unchecked, NaryPlan, QueryAnswer, QueryError,
 };
-pub use source::VirtualSource;
+pub use source::{ProbeSpace, ProbeStats, VirtualSource, DEFAULT_PROBE_ENTRIES};
 pub use transform::{transform, BinaryProgram, VirtualKind, VirtualRel};

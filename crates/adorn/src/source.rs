@@ -11,10 +11,94 @@
 //! deferred until bound), and interns the resulting output tuples.
 
 use crate::transform::{BinaryProgram, VirtualRel};
-use rq_common::{Const, ConstInterner, ConstValue, Counters, FxHashMap, Pred, Var};
+use rq_common::{BoundedMemo, Const, ConstInterner, ConstValue, Counters, FxHashMap, Pred, Var};
 use rq_datalog::{fire_rule, Atom, Database, Literal, Program, Rule, Term, WholeDb};
 use rq_engine::TupleSource;
-use std::cell::RefCell;
+use std::sync::{Arc, Mutex};
+
+/// Hit/miss/entry counts of one [`ProbeSpace`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// Probes answered from the memo.
+    pub hits: u64,
+    /// Probes that ran the defining join.
+    pub misses: u64,
+    /// Memoized `(relation, key, direction)` probe results.
+    pub entries: usize,
+}
+
+/// The shareable half of a [`VirtualSource`]: the tuple-constant
+/// interner and the probe memo.
+///
+/// Every probe of a §4 virtual relation joins the same immutable base
+/// relations, so its result depends only on the database version and
+/// the transformed program — never on which query asked.  Hoisting the
+/// interner + memo out of per-query scope lets a whole batch of
+/// adorned queries against one snapshot epoch pay each virtual-
+/// predicate probe **once**: the serving layer keys one space per
+/// `(epoch, predicate, adornment)` and hands it to every
+/// `VirtualSource` it builds for that plan, discarding the space
+/// wholesale when a new epoch is published.
+///
+/// Thread-safe by construction (the interner sits behind a `Mutex`,
+/// the memo behind an `RwLock`), which is also what makes
+/// [`VirtualSource`] `Sync` — a requirement of the engine's parallel
+/// machine-instance expansion.  The memo is bounded by an entry cap:
+/// once full, further probe results are computed but not recorded —
+/// always sound, the memo is only an optimization — so a long-lived
+/// epoch cannot grow it without bound.
+pub struct ProbeSpace {
+    /// Interner for tuple constants; seeded from the program's
+    /// interner so component ids stay compatible.
+    consts: Mutex<ConstInterner>,
+    /// Memo of completed probes: `(relation, key, forward?) → outputs`.
+    /// The traversal can reach the same virtual tuple from different
+    /// automaton states and different queries re-demand the same
+    /// tuples; re-running the join would re-consult the same base
+    /// facts.
+    memo: BoundedMemo<(Pred, Const, bool), Vec<Const>>,
+}
+
+/// Default entry cap for [`ProbeSpace`].
+pub const DEFAULT_PROBE_ENTRIES: usize = 1 << 18;
+
+impl ProbeSpace {
+    /// Fresh space compatible with `program`'s constant ids, with the
+    /// default entry cap ([`DEFAULT_PROBE_ENTRIES`]).
+    pub fn new(program: &Program) -> Self {
+        Self::with_capacity(program, DEFAULT_PROBE_ENTRIES)
+    }
+
+    /// Fresh space holding at most `max_entries` memoized probe
+    /// results; overflow stops recording (probes still compute).
+    pub fn with_capacity(program: &Program, max_entries: usize) -> Self {
+        Self {
+            consts: Mutex::new(program.consts.clone()),
+            memo: BoundedMemo::new(max_entries),
+        }
+    }
+
+    /// Hit/miss/entry counts.
+    pub fn stats(&self) -> ProbeStats {
+        let stats = self.memo.stats();
+        ProbeStats {
+            hits: stats.hits,
+            misses: stats.misses,
+            entries: stats.entries,
+        }
+    }
+}
+
+impl std::fmt::Debug for ProbeSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("ProbeSpace")
+            .field("entries", &stats.entries)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
 
 /// A [`TupleSource`] computing virtual relations on demand.
 pub struct VirtualSource<'a> {
@@ -24,21 +108,31 @@ pub struct VirtualSource<'a> {
     /// (only in the unchecked/non-chain mode).
     db: Database,
     virtuals: &'a FxHashMap<Pred, VirtualRel>,
-    /// Interner for tuple constants; a clone of the program's interner so
-    /// component ids stay compatible.
-    consts: RefCell<ConstInterner>,
+    /// The tuple interner + probe memo — private to this query, or
+    /// shared with every query of one snapshot epoch
+    /// ([`VirtualSource::with_space`]).
+    space: Arc<ProbeSpace>,
     /// The `__domain` predicate, if materialized.
     domain_pred: Option<Pred>,
-    /// Memo of completed probes: `(relation, key, forward?) → outputs`.
-    /// The traversal can reach the same virtual tuple from different
-    /// automaton states; re-running the join would re-consult the same
-    /// base facts.
-    memo: RefCell<FxHashMap<(Pred, Const, bool), Vec<Const>>>,
 }
 
 impl<'a> VirtualSource<'a> {
-    /// Build a source for a transformed program.
+    /// Build a source for a transformed program with a private
+    /// [`ProbeSpace`] (per-query memoization only).
     pub fn new(program: &'a Program, db: &Database, bin: &'a BinaryProgram) -> Self {
+        Self::with_space(program, db, bin, Arc::new(ProbeSpace::new(program)))
+    }
+
+    /// Build a source whose probes read and feed a shared
+    /// [`ProbeSpace`].  The caller owns the invalidation contract: a
+    /// space must only be shared between sources over the **same**
+    /// database version and the **same** transformed program.
+    pub fn with_space(
+        program: &'a Program,
+        db: &Database,
+        bin: &'a BinaryProgram,
+        space: Arc<ProbeSpace>,
+    ) -> Self {
         let needs_domain = bin
             .virtuals
             .values()
@@ -69,20 +163,29 @@ impl<'a> VirtualSource<'a> {
             program,
             db,
             virtuals: &bin.virtuals,
-            consts: RefCell::new(program.consts.clone()),
+            space,
             domain_pred,
-            memo: RefCell::new(FxHashMap::default()),
         }
     }
 
     /// Intern a tuple constant.
     pub fn intern_tuple(&self, components: Vec<Const>) -> Const {
-        self.consts.borrow_mut().intern_tuple(components)
+        self.space
+            .consts
+            .lock()
+            .expect("tuple interner poisoned")
+            .intern_tuple(components)
     }
 
     /// Decode a tuple constant into its components.
     pub fn decode_tuple(&self, c: Const) -> Vec<Const> {
-        match self.consts.borrow().value(c) {
+        match self
+            .space
+            .consts
+            .lock()
+            .expect("tuple interner poisoned")
+            .value(c)
+        {
             ConstValue::Tuple(parts) => parts.clone(),
             _ => panic!("expected a tuple constant"),
         }
@@ -90,7 +193,11 @@ impl<'a> VirtualSource<'a> {
 
     /// Render a tuple constant (for tests and examples).
     pub fn display_const(&self, c: Const) -> String {
-        self.consts.borrow().display(c)
+        self.space
+            .consts
+            .lock()
+            .expect("tuple interner poisoned")
+            .display(c)
     }
 
     /// Evaluate one direction of a virtual relation: bind `bind_terms`
@@ -178,41 +285,55 @@ impl<'a> VirtualSource<'a> {
             &mut |t| results.push(t.to_vec()),
         )
         .expect("virtual-relation joins bind all built-ins");
-        let mut interner = self.consts.borrow_mut();
+        let mut interner = self.space.consts.lock().expect("tuple interner poisoned");
         for tuple in results {
             counters.tuples_retrieved += 1;
             out.push(interner.intern_tuple(tuple));
+        }
+    }
+
+    /// One memoized direction of a virtual relation.  A racing thread
+    /// may compute the same key concurrently; both produce identical
+    /// outputs (the interner dedups tuple constants under its lock),
+    /// so last-write-wins insertion is safe.
+    fn cached_probe(
+        &self,
+        r: Pred,
+        key: Const,
+        forward: bool,
+        out: &mut Vec<Const>,
+        counters: &mut Counters,
+    ) {
+        counters.index_probes += 1;
+        let memo_key = (r, key, forward);
+        if let Some(cached) = self.space.memo.get(&memo_key) {
+            out.extend_from_slice(&cached);
+            return;
+        }
+        let rel = &self.virtuals[&r];
+        let start = out.len();
+        if forward {
+            self.probe(rel, &rel.in_terms, &rel.out_terms, key, out, counters);
+        } else {
+            self.probe(rel, &rel.out_terms, &rel.in_terms, key, out, counters);
+        }
+        // Bounded: a full memo refuses new keys; the probe above
+        // already produced the outputs either way.
+        if !self.space.memo.would_refuse(&memo_key) {
+            self.space
+                .memo
+                .insert(memo_key, Arc::new(out[start..].to_vec()));
         }
     }
 }
 
 impl TupleSource for VirtualSource<'_> {
     fn successors(&self, r: Pred, u: Const, out: &mut Vec<Const>, counters: &mut Counters) {
-        counters.index_probes += 1;
-        if let Some(cached) = self.memo.borrow().get(&(r, u, true)) {
-            out.extend_from_slice(cached);
-            return;
-        }
-        let rel = &self.virtuals[&r];
-        let start = out.len();
-        self.probe(rel, &rel.in_terms, &rel.out_terms, u, out, counters);
-        self.memo
-            .borrow_mut()
-            .insert((r, u, true), out[start..].to_vec());
+        self.cached_probe(r, u, true, out, counters);
     }
 
     fn predecessors(&self, r: Pred, v: Const, out: &mut Vec<Const>, counters: &mut Counters) {
-        counters.index_probes += 1;
-        if let Some(cached) = self.memo.borrow().get(&(r, v, false)) {
-            out.extend_from_slice(cached);
-            return;
-        }
-        let rel = &self.virtuals[&r];
-        let start = out.len();
-        self.probe(rel, &rel.out_terms, &rel.in_terms, v, out, counters);
-        self.memo
-            .borrow_mut()
-            .insert((r, v, false), out[start..].to_vec());
+        self.cached_probe(r, v, false, out, counters);
     }
 
     /// Virtual relations cannot be enumerated without bindings; all-pairs
@@ -296,6 +417,93 @@ mod tests {
         // Second probe answers from the memo: no base tuples touched.
         assert_eq!(c2.tuples_retrieved, 0);
         assert!(c1.tuples_retrieved > 0);
+    }
+
+    #[test]
+    fn shared_space_memoizes_across_sources() {
+        // Two sources (two queries of one epoch) over one space: the
+        // second source's probe answers from the first one's memo.
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<ProbeSpace>();
+        assert_sync::<VirtualSource<'_>>();
+
+        let mut program = parse_program(
+            "p(X,Y) :- b0(X,Y).\n\
+             p(X,Y) :- b1(X,Z), p(Y,Z).\n\
+             b0(a,b). b0(a,c). b1(a,c).",
+        )
+        .unwrap();
+        let q = Query::parse(&mut program, "p(a, Y)").unwrap();
+        let adorned = adorn(&program, &q).unwrap();
+        let bin = transform(&program, &adorned);
+        let db = Database::from_program(&program);
+        let space = std::sync::Arc::new(ProbeSpace::new(&program));
+        let base = *bin
+            .names
+            .iter()
+            .find(|(_, n)| n.as_str() == "base-r0")
+            .map(|(p, _)| p)
+            .unwrap();
+        let a = program.consts.get(&ConstValue::Str("a".into())).unwrap();
+
+        let first_source = VirtualSource::with_space(&program, &db, &bin, Arc::clone(&space));
+        let anchor = first_source.intern_tuple(vec![a]);
+        let mut out = Vec::new();
+        let mut c1 = Counters::new();
+        first_source.successors(base, anchor, &mut out, &mut c1);
+        assert!(c1.tuples_retrieved > 0);
+        let first = out.clone();
+        drop(first_source);
+
+        let second_source = VirtualSource::with_space(&program, &db, &bin, Arc::clone(&space));
+        let anchor_again = second_source.intern_tuple(vec![a]);
+        assert_eq!(anchor, anchor_again, "shared interner keeps ids stable");
+        out.clear();
+        let mut c2 = Counters::new();
+        second_source.successors(base, anchor_again, &mut out, &mut c2);
+        assert_eq!(out, first);
+        assert_eq!(c2.tuples_retrieved, 0, "served from the shared memo");
+        let stats = space.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn probe_space_entry_cap_stops_recording_not_probing() {
+        let mut program = parse_program(
+            "p(X,Y) :- b0(X,Y).\n\
+             p(X,Y) :- b1(X,Z), p(Y,Z).\n\
+             b0(a,b). b0(b,c). b0(c,d). b1(a,c).",
+        )
+        .unwrap();
+        let q = Query::parse(&mut program, "p(a, Y)").unwrap();
+        let adorned = adorn(&program, &q).unwrap();
+        let bin = transform(&program, &adorned);
+        let db = Database::from_program(&program);
+        let space = Arc::new(ProbeSpace::with_capacity(&program, 1));
+        let src = VirtualSource::with_space(&program, &db, &bin, Arc::clone(&space));
+        let base = *bin
+            .names
+            .iter()
+            .find(|(_, n)| n.as_str() == "base-r0")
+            .map(|(p, _)| p)
+            .unwrap();
+        let mut counters = Counters::new();
+        for name in ["a", "b", "c"] {
+            let c = program
+                .consts
+                .get(&ConstValue::Str((*name).into()))
+                .unwrap();
+            let anchor = src.intern_tuple(vec![c]);
+            let mut out = Vec::new();
+            src.successors(base, anchor, &mut out, &mut counters);
+            assert!(!out.is_empty(), "capped memo must still probe ({name})");
+        }
+        assert_eq!(
+            space.stats().entries,
+            1,
+            "cap refuses keys beyond the first"
+        );
     }
 
     #[test]

@@ -5,9 +5,12 @@
 //! `rq_adorn::answer_query` pipeline that recompiles per query, and
 //! the QSQ baseline.
 //!
-//! `batch` runs with result memoization off (raw §4 traversal over one
-//! shared snapshot); `batch_memoized` is the steady state where the
-//! result cache serves repeats.
+//! `batch_cold` runs with result memoization *and* epoch-context
+//! sharing off (raw per-query §4 traversal over one shared snapshot —
+//! the pre-context behavior); `batch_warm` keeps memoization off but
+//! shares the epoch context, so the batch pays each virtual-predicate
+//! probe once per epoch; `batch_memoized` is the steady state where
+//! the result cache serves repeats.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rq_baselines::qsq;
@@ -60,23 +63,29 @@ fn bench_nary(c: &mut Criterion) {
             })
         });
 
-        // The service: plan cached per adornment, parallel batch.
+        // The service: plan cached per adornment, parallel batch,
+        // cold (per-query re-derivation) vs warm (shared epoch
+        // context) epochs.
         for threads in [1usize, 4] {
-            let service = QueryService::with_config(
-                workload.program.clone(),
-                ServiceConfig {
-                    threads,
-                    memoize_results: false,
-                    ..ServiceConfig::default()
-                },
-            );
-            let specs: Vec<QuerySpec> = texts
-                .iter()
-                .map(|t| service.parse_query(t).unwrap())
-                .collect();
-            group.bench_with_input(BenchmarkId::new("batch", threads), &threads, |b, _| {
-                b.iter(|| service.query_batch(&specs))
-            });
+            for (label, share) in [("batch_cold", false), ("batch_warm", true)] {
+                let service = QueryService::with_config(
+                    workload.program.clone(),
+                    ServiceConfig {
+                        threads,
+                        eval_threads: threads,
+                        share_epoch_context: share,
+                        memoize_results: false,
+                        ..ServiceConfig::default()
+                    },
+                );
+                let specs: Vec<QuerySpec> = texts
+                    .iter()
+                    .map(|t| service.parse_query(t).unwrap())
+                    .collect();
+                group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, _| {
+                    b.iter(|| service.query_batch(&specs))
+                });
+            }
         }
 
         let memoized = QueryService::with_config(

@@ -1,17 +1,29 @@
-//! Service throughput: a batch of point queries answered by
-//! `rq-service` with growing worker counts, against the single-threaded
-//! `Evaluator` loop, on the Figure 8 cyclic workload and a layered-DAG
-//! binary-reachability workload.
+//! Service throughput across three dimensions:
 //!
-//! `batch/N` runs with result memoization off, so it measures raw
-//! parallel traversal over one shared snapshot; `batch_memoized`
-//! measures the steady state where the result cache serves repeats.
+//! * **batch vs sequential** — `query_batch` fan-out against a
+//!   one-query-at-a-time loop over the same service;
+//! * **warm vs cold epoch** — with the epoch-scoped evaluation context
+//!   shared (`share_epoch_context: true`, machine/probe memos populated
+//!   by the first flight of the batch) against per-query re-derivation
+//!   (`share_epoch_context: false`, the pre-context behavior);
+//! * **worker count** — 1/2/4/8 batch threads.
+//!
+//! All service configurations run with result memoization off, so they
+//! measure evaluation (through or without the context), not the result
+//! cache.  `batch_memoized` is the steady state where the result cache
+//! serves repeats.
+//!
+//! Besides the criterion groups, the bench writes `BENCH_service.json`
+//! at the workspace root with best-of-N throughput numbers for the key
+//! configurations (including the flights §4 workload), so the perf
+//! trajectory is tracked across PRs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rq_bench::{best_of, BenchSummary};
 use rq_common::Const;
 use rq_engine::{cyclic_iteration_bound, EdbSource, EvalOptions, Evaluator};
-use rq_service::{QueryService, QuerySpec, ServiceConfig};
-use rq_workloads::{fig8, graphs, Workload};
+use rq_service::{QueryService, QuerySpec, ServiceConfig, ServiceError};
+use rq_workloads::{fig8, flights, graphs, Workload};
 
 /// Bound-free point queries from every constant of the workload.
 fn point_queries(workload: &Workload) -> Vec<QuerySpec> {
@@ -20,6 +32,16 @@ fn point_queries(workload: &Workload) -> Vec<QuerySpec> {
     (0..workload.program.consts.len())
         .map(|i| QuerySpec::bound_free(pred, Const::from_index(i)))
         .collect()
+}
+
+fn config(threads: usize, share_epoch_context: bool) -> ServiceConfig {
+    ServiceConfig {
+        threads,
+        eval_threads: threads,
+        share_epoch_context,
+        memoize_results: false,
+        ..ServiceConfig::default()
+    }
 }
 
 fn bench_service(c: &mut Criterion) {
@@ -55,18 +77,29 @@ fn bench_service(c: &mut Criterion) {
             })
         });
 
+        // Sequential serving loop (one query at a time, warm context).
+        let sequential = QueryService::with_config(workload.program.clone(), config(1, true));
+        group.bench_function("sequential_warm", |b| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|q| sequential.query(q).unwrap().rows.len())
+                    .sum::<usize>()
+            })
+        });
+
         let serve_queries: Vec<QuerySpec> = queries.clone();
         for threads in [1usize, 2, 4, 8] {
-            let service = QueryService::with_config(
-                workload.program.clone(),
-                ServiceConfig {
-                    threads,
-                    memoize_results: false,
-                    ..ServiceConfig::default()
-                },
-            );
-            group.bench_with_input(BenchmarkId::new("batch", threads), &threads, |b, _| {
-                b.iter(|| service.query_batch(&serve_queries))
+            // Cold epoch: every query re-derives its traversal state.
+            let cold = QueryService::with_config(workload.program.clone(), config(threads, false));
+            group.bench_with_input(BenchmarkId::new("batch_cold", threads), &threads, |b, _| {
+                b.iter(|| cold.query_batch(&serve_queries))
+            });
+            // Warm epoch: the batch shares the epoch context (the
+            // first criterion warm-up flight populates it).
+            let warm = QueryService::with_config(workload.program.clone(), config(threads, true));
+            group.bench_with_input(BenchmarkId::new("batch_warm", threads), &threads, |b, _| {
+                b.iter(|| warm.query_batch(&serve_queries))
             });
         }
 
@@ -82,6 +115,79 @@ fn bench_service(c: &mut Criterion) {
         });
         group.finish();
     }
+
+    // The JSON summary sweep runs only on unfiltered invocations: a
+    // `cargo bench ... -- <filter>` run is re-measuring one group and
+    // must not spend minutes on the full sweep nor overwrite the
+    // committed BENCH_service.json with partial-context numbers.
+    let filtered = std::env::args()
+        .skip(1)
+        .any(|a| !a.starts_with('-') && a != "--bench");
+    if !filtered {
+        write_service_summary();
+    }
+}
+
+/// Best-of-N measurements of the key configurations →
+/// `BENCH_service.json`.  Covers the §3 point-query workloads above
+/// plus the §4 flights serving workload (the ISSUE's warm-batch
+/// target), each as cold-vs-warm batch pairs.
+fn write_service_summary() {
+    let mut summary = BenchSummary::new("service");
+    let runs = 5;
+
+    // §3 point queries on the layered DAG.
+    let dag = graphs::layered_dag(6, 30, 0.35, 42);
+    let dag_queries = point_queries(&dag);
+    for (name, share) in [("dag_batch_cold_t4", false), ("dag_batch_warm_t4", true)] {
+        let service = QueryService::with_config(dag.program.clone(), config(4, share));
+        let best = best_of(runs, || {
+            assert!(service
+                .query_batch(&dag_queries)
+                .into_iter()
+                .all(|r| r.is_ok()));
+        });
+        summary.add(name, dag_queries.len() as u64, best);
+    }
+
+    // §4 flights batches: every (airport, departure) point query.
+    let network = flights::network(24, 6, 42);
+    let texts = flights::serve_queries(24, 6);
+    for (name, share) in [
+        ("flights24_batch_cold_t4", false),
+        ("flights24_batch_warm_t4", true),
+    ] {
+        let service = QueryService::with_config(network.program.clone(), config(4, share));
+        let specs: Vec<QuerySpec> = texts
+            .iter()
+            .map(|t| service.parse_query(t).unwrap())
+            .collect();
+        let best = best_of(runs, || {
+            let batch = service.query_batch(&specs);
+            assert!(batch
+                .iter()
+                .all(|r| !matches!(r, Err(ServiceError::Plan(_)))));
+        });
+        summary.add(name, specs.len() as u64, best);
+    }
+
+    // Sequential flights serving, warm context (batch-vs-sequential).
+    let sequential = QueryService::with_config(network.program.clone(), config(1, true));
+    let specs: Vec<QuerySpec> = texts
+        .iter()
+        .map(|t| sequential.parse_query(t).unwrap())
+        .collect();
+    let best = best_of(runs, || {
+        for q in &specs {
+            sequential.query(q).unwrap();
+        }
+    });
+    summary.add("flights24_sequential_warm", specs.len() as u64, best);
+
+    if let Some(speedup) = summary.speedup("flights24_batch_cold_t4", "flights24_batch_warm_t4") {
+        eprintln!("flights24 warm-vs-cold batch speedup: {speedup:.2}x");
+    }
+    summary.write();
 }
 
 criterion_group!(benches, bench_service);

@@ -1,0 +1,169 @@
+//! Machine-readable bench summaries: a tiny hand-rolled JSON writer
+//! (the workspace has no registry access, so no serde) that benches
+//! use to persist throughput numbers to `BENCH_<name>.json` at the
+//! workspace root.  The file is committed, so the perf trajectory is
+//! tracked across PRs instead of evaporating with each bench run.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// One measured configuration.
+#[derive(Clone, Debug)]
+pub struct SummaryEntry {
+    /// Configuration name, e.g. `flights24_batch_warm_t4`.
+    pub name: String,
+    /// Work items (queries, tuples, …) per run.
+    pub elements: u64,
+    /// Best-of-N wall time for one run, in seconds.
+    pub secs: f64,
+}
+
+impl SummaryEntry {
+    /// Items per second.
+    pub fn rate(&self) -> f64 {
+        if self.secs > 0.0 {
+            self.elements as f64 / self.secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A named collection of measurements, serializable to JSON.
+#[derive(Clone, Debug, Default)]
+pub struct BenchSummary {
+    /// Bench name (becomes `BENCH_<name>.json`).
+    pub bench: String,
+    entries: Vec<SummaryEntry>,
+}
+
+impl BenchSummary {
+    /// Start an empty summary for `bench`.
+    pub fn new(bench: &str) -> Self {
+        Self {
+            bench: bench.to_string(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Record one configuration's best-of-N run time.
+    pub fn add(&mut self, name: &str, elements: u64, best: Duration) {
+        self.entries.push(SummaryEntry {
+            name: name.to_string(),
+            elements,
+            secs: best.as_secs_f64(),
+        });
+    }
+
+    /// The recorded entries.
+    pub fn entries(&self) -> &[SummaryEntry] {
+        &self.entries
+    }
+
+    /// Speedup of `fast` over `slow` (by wall time), when both exist.
+    pub fn speedup(&self, slow: &str, fast: &str) -> Option<f64> {
+        let find = |n: &str| self.entries.iter().find(|e| e.name == n);
+        match (find(slow), find(fast)) {
+            (Some(s), Some(f)) if f.secs > 0.0 => Some(s.secs / f.secs),
+            _ => None,
+        }
+    }
+
+    /// Render as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"bench\": {},", json_string(&self.bench));
+        let _ = writeln!(out, "  \"entries\": [");
+        for (i, e) in self.entries.iter().enumerate() {
+            let comma = if i + 1 < self.entries.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": {}, \"elements\": {}, \"secs\": {:.6}, \"per_sec\": {:.1}}}{comma}",
+                json_string(&e.name),
+                e.elements,
+                e.secs,
+                e.rate(),
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Write `BENCH_<bench>.json` at the workspace root (two levels up
+    /// from this crate's manifest), printing the path and any error to
+    /// stderr; bench summaries must never fail the bench itself.
+    pub fn write(&self) {
+        let path = format!(
+            "{}/../../BENCH_{}.json",
+            env!("CARGO_MANIFEST_DIR"),
+            self.bench
+        );
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("cannot write {path}: {e}"),
+        }
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Best-of-`runs` wall time of `f` (one warm-up run first).
+pub fn best_of(runs: usize, mut f: impl FnMut()) -> Duration {
+    f();
+    let mut best = Duration::MAX;
+    for _ in 0..runs.max(1) {
+        let start = std::time::Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shape_and_speedup() {
+        let mut s = BenchSummary::new("test");
+        s.add("cold", 100, Duration::from_millis(200));
+        s.add("warm", 100, Duration::from_millis(50));
+        let json = s.to_json();
+        assert!(json.contains("\"bench\": \"test\""));
+        assert!(json.contains("\"name\": \"cold\""));
+        assert!(json.contains("\"per_sec\": 2000.0"));
+        assert!((s.speedup("cold", "warm").unwrap() - 4.0).abs() < 1e-9);
+        assert_eq!(s.speedup("cold", "missing"), None);
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let mut s = BenchSummary::new("esc");
+        s.add("a\"b\\c", 1, Duration::from_millis(1));
+        assert!(s.to_json().contains("a\\\"b\\\\c"));
+    }
+
+    #[test]
+    fn best_of_runs_at_least_once() {
+        let mut n = 0;
+        let d = best_of(3, || n += 1);
+        assert_eq!(n, 4); // warm-up + 3 samples
+        assert!(d <= Duration::from_secs(1));
+    }
+}

@@ -5,11 +5,15 @@
 //! * [`hash`] — an FxHash-style fast hasher and map/set aliases;
 //! * [`intern`] — interned constants, predicates, and variables;
 //! * [`idvec`] — dense tables indexed by interned ids;
+//! * [`memo`] — a bounded concurrent memo shared by the epoch-scoped
+//!   evaluation caches;
 //! * [`counters`] — the unit-cost instrumentation counters that the
 //!   benchmark harness uses to reproduce the paper's complexity table;
 //! * [`pshare`] — persistent (structurally shared) chunked vectors and
 //!   hash tries, the storage substrate that makes snapshot epochs cost
-//!   O(delta) instead of O(database).
+//!   O(delta) instead of O(database);
+//! * [`threads`] — the `RQC_THREADS` thread-count cap every
+//!   parallelism-spawning layer resolves its worker count through.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -18,10 +22,14 @@ pub mod counters;
 pub mod hash;
 pub mod idvec;
 pub mod intern;
+pub mod memo;
 pub mod pshare;
+pub mod threads;
 
 pub use counters::Counters;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use idvec::{IdLike, IdVec};
 pub use intern::{Const, ConstInterner, ConstValue, NameInterner, Pred, Var};
+pub use memo::{BoundedMemo, MemoStats};
 pub use pshare::{PMap, PVec};
+pub use threads::{capped_threads, thread_cap};

@@ -1,0 +1,154 @@
+//! A bounded, thread-safe memo: the shared machinery behind the
+//! epoch-scoped evaluation caches (the engine's machine-traversal memo
+//! and the §4 virtual-probe memo).
+//!
+//! Values are `Arc`-shared, lookups count hits/misses atomically, and
+//! the map carries an **entry cap**: once full, `insert` refuses new
+//! keys instead of evicting.  Refusal is always sound for a memo — a
+//! miss just re-derives — and keeps the steady-state cost of a
+//! saturated memo at one read-lock probe ([`BoundedMemo::would_refuse`]
+//! lets callers skip preparing a value that would be thrown away).
+
+use crate::hash::FxHashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Hit/miss/entry counts of one [`BoundedMemo`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Lookups answered from the memo.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Stored entries.
+    pub entries: usize,
+}
+
+/// A concurrent `K → Arc<V>` map bounded by an entry cap.
+pub struct BoundedMemo<K, V> {
+    map: RwLock<FxHashMap<K, Arc<V>>>,
+    max_entries: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<K: Eq + Hash, V> BoundedMemo<K, V> {
+    /// Empty memo holding at most `max_entries` entries.
+    pub fn new(max_entries: usize) -> Self {
+        Self {
+            map: RwLock::new(FxHashMap::default()),
+            max_entries,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up `key`, counting a hit or a miss.
+    pub fn get(&self, key: &K) -> Option<Arc<V>> {
+        let hit = self
+            .map
+            .read()
+            .expect("memo lock poisoned")
+            .get(key)
+            .cloned();
+        match &hit {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    /// Whether an insert of `key` would be refused (memo full and the
+    /// key absent).  A cheap read-lock probe callers use to skip
+    /// preparing values a saturated memo would discard.
+    pub fn would_refuse(&self, key: &K) -> bool {
+        let map = self.map.read().expect("memo lock poisoned");
+        map.len() >= self.max_entries && !map.contains_key(key)
+    }
+
+    /// Store `value` under `key` unless the cap refuses it.  Existing
+    /// keys are overwritten (memo writers race only with identical
+    /// values for the same key, so last-write-wins is safe).
+    pub fn insert(&self, key: K, value: Arc<V>) {
+        let mut map = self.map.write().expect("memo lock poisoned");
+        if map.len() >= self.max_entries && !map.contains_key(&key) {
+            return;
+        }
+        map.insert(key, value);
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.map.read().expect("memo lock poisoned").len()
+    }
+
+    /// Whether nothing is memoized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hit/miss/entry counts.
+    pub fn stats(&self) -> MemoStats {
+        MemoStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+impl<K, V> std::fmt::Debug for BoundedMemo<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundedMemo")
+            .field(
+                "entries",
+                &self.map.read().expect("memo lock poisoned").len(),
+            )
+            .field("max_entries", &self.max_entries)
+            .field("hits", &self.hits.load(Ordering::Relaxed))
+            .field("misses", &self.misses.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_insert_and_stats() {
+        let memo: BoundedMemo<u32, Vec<u32>> = BoundedMemo::new(8);
+        assert!(memo.get(&1).is_none());
+        memo.insert(1, Arc::new(vec![7]));
+        assert_eq!(*memo.get(&1).unwrap(), vec![7]);
+        assert_eq!(
+            memo.stats(),
+            MemoStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn cap_refuses_new_keys_but_allows_overwrites() {
+        let memo: BoundedMemo<u32, u32> = BoundedMemo::new(2);
+        memo.insert(1, Arc::new(10));
+        memo.insert(2, Arc::new(20));
+        assert!(!memo.would_refuse(&1));
+        assert!(memo.would_refuse(&3));
+        memo.insert(3, Arc::new(30));
+        assert!(memo.get(&3).is_none(), "cap refuses new keys");
+        memo.insert(1, Arc::new(11));
+        assert_eq!(*memo.get(&1).unwrap(), 11, "existing keys overwrite");
+        assert_eq!(memo.len(), 2);
+    }
+
+    #[test]
+    fn memo_is_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<BoundedMemo<u32, Vec<u32>>>();
+    }
+}

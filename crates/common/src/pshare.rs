@@ -124,6 +124,18 @@ impl<T> PVec<T> {
             .filter(|(a, b)| Arc::ptr_eq(a, b))
             .count()
     }
+
+    /// Element slots allocated in the tail chunk beyond its live
+    /// prefix.  Two sources produce the excess: a fresh tail chunk is
+    /// allocated at the full chunk capacity before it fills, and a
+    /// copy-on-write push into a shared tail grows the detached copy
+    /// geometrically.  [`Self::compact_tail`] reclaims it.
+    pub fn tail_excess_capacity(&self) -> usize {
+        self.chunks
+            .last()
+            .map(|c| c.capacity() - c.len())
+            .unwrap_or(0)
+    }
 }
 
 impl<T: Clone> PVec<T> {
@@ -148,6 +160,30 @@ impl<T: Clone> PVec<T> {
             "record stride must divide chunk capacity"
         );
         self.push_slice_inner(record);
+    }
+
+    /// Trim the tail chunk's allocation to its live prefix, returning
+    /// the number of element slots reclaimed.  Only a *uniquely owned*
+    /// tail is touched: a tail still shared with another version is
+    /// that version's live storage, and re-allocating it here would
+    /// break the sharing that makes clones cheap.  The serving layer
+    /// runs this on each epoch's dirty shards at publish time — the
+    /// first slice of background shard compaction: the capacity a
+    /// copy-on-write detach carried over (now fully shadowed by the
+    /// detached copy's live data) is dropped instead of riding along
+    /// for the epoch's lifetime.
+    pub fn compact_tail(&mut self) -> usize {
+        let Some(tail) = self.chunks.last_mut() else {
+            return 0;
+        };
+        match Arc::get_mut(tail) {
+            Some(chunk) => {
+                let excess = chunk.capacity() - chunk.len();
+                chunk.shrink_to_fit();
+                excess
+            }
+            None => 0,
+        }
     }
 
     fn push_slice_inner(&mut self, record: &[T]) {
@@ -503,6 +539,34 @@ mod tests {
         for t in 0..7 {
             assert_eq!(v.get_slice(t as usize * 2, 2), &[t, t + 100]);
         }
+    }
+
+    #[test]
+    fn compact_tail_reclaims_only_uniquely_owned_excess() {
+        let mut v: PVec<u32> = PVec::with_chunk_capacity(256);
+        for i in 0..10 {
+            v.push(i);
+        }
+        // Fresh tail chunk: allocated at full chunk capacity.
+        assert_eq!(v.tail_excess_capacity(), 246);
+        let reclaimed = v.compact_tail();
+        assert_eq!(reclaimed, 246);
+        assert_eq!(v.tail_excess_capacity(), 0);
+        // Reads are unchanged by compaction.
+        assert_eq!(
+            v.iter().copied().collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
+        // A shared tail must not be touched (it is the other version's
+        // live storage).
+        let snapshot = v.clone();
+        assert_eq!(v.compact_tail(), 0);
+        assert_eq!(snapshot.shared_chunks_with(&v), 1);
+        // Pushing after compaction still works and still COWs.
+        v.push(10);
+        assert_eq!(snapshot.len(), 10);
+        assert_eq!(v.len(), 11);
+        assert_eq!(v[10], 10);
     }
 
     #[test]

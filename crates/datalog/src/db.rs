@@ -222,6 +222,20 @@ impl Relation {
     pub fn shared_chunks_with(&self, other: &Self) -> usize {
         self.flat.shared_chunks_with(&other.flat)
     }
+
+    /// Trim the tuple store's tail chunk to its live prefix, returning
+    /// the number of constant slots reclaimed.  Only a uniquely owned
+    /// tail is touched ([`rq_common::PVec::compact_tail`]), so shards
+    /// still sharing their tail with a parent epoch are left alone.
+    pub fn compact(&mut self) -> usize {
+        self.flat.compact_tail()
+    }
+
+    /// Constant slots allocated past the tuple store's live prefix —
+    /// the compaction opportunity probe used by tests.
+    pub fn excess_capacity(&self) -> usize {
+        self.flat.tail_excess_capacity()
+    }
 }
 
 impl Clone for Relation {
@@ -330,6 +344,26 @@ impl Database {
     /// Number of predicates with storage.
     pub fn num_preds(&self) -> usize {
         self.relations.len()
+    }
+
+    /// Compact the shards of the given predicates (see
+    /// [`Relation::compact`]), returning the total constant slots
+    /// reclaimed.  The serving layer runs this over each publish's
+    /// dirty shards: a just-detached shard is uniquely owned, so its
+    /// tail — carrying the capacity its copy-on-write detach
+    /// over-allocated — shrinks in place; shards whose `Arc` (or tail
+    /// chunk) is still shared are left untouched.
+    pub fn compact_shards(&mut self, preds: impl IntoIterator<Item = Pred>) -> usize {
+        let mut reclaimed = 0;
+        for pred in preds {
+            if self.relations.get(pred).is_none() {
+                continue;
+            }
+            if let Some(rel) = Arc::get_mut(&mut self.relations[pred]) {
+                reclaimed += rel.compact();
+            }
+        }
+        reclaimed
     }
 }
 

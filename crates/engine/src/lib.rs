@@ -39,4 +39,6 @@ pub use query::{
     query_diagonal, AllPairsOutcome, EvalSide,
 };
 pub use source::{EdbSource, TupleSource};
-pub use traversal::{CompiledPlan, EvalOptions, EvalOutcome, Evaluator, IterationStat};
+pub use traversal::{
+    CompiledPlan, EvalContext, EvalContextStats, EvalOptions, EvalOutcome, Evaluator, IterationStat,
+};

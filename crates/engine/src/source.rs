@@ -13,7 +13,13 @@ use rq_common::{Const, Counters, Pred};
 use rq_datalog::{mask_of, Database, Relation};
 
 /// Demand-driven access to binary relations.
-pub trait TupleSource {
+///
+/// `Sync` is a supertrait: the engine's parallel machine-instance
+/// expansion shares one source across the scoped worker threads of a
+/// traversal phase, and the serving layer shares sources across batch
+/// workers.  Sources needing interior mutability (e.g. the §4 virtual
+/// relations' probe memo) must use locks, not `Cell`/`RefCell`.
+pub trait TupleSource: Sync {
     /// Append to `out` every `v` with `r(u, v)`.
     fn successors(&self, r: Pred, u: Const, out: &mut Vec<Const>, counters: &mut Counters);
 

@@ -25,8 +25,11 @@
 
 use crate::source::TupleSource;
 use rq_automata::{invert_nfa, thompson, Label, Nfa};
-use rq_common::{Const, Counters, FxHashMap, FxHashSet, Pred};
+use rq_common::{Const, Counters, FxHashMap, FxHashSet, FxHasher, Pred};
 use rq_relalg::EqSystem;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// Which machine an instance runs: the automaton of `pred`'s equation,
 /// possibly inverted (for transitions taken through an `Inv` label).
@@ -49,6 +52,124 @@ struct Instance {
 
 /// A node of `G(p, a, i)`.
 type Node = (u32, u32, Const);
+
+/// Monotone source of [`CompiledPlan`] identities: two plans compiled
+/// at different times never share machine-memo entries even if their
+/// equation systems coincide.
+static NEXT_PLAN_ID: AtomicU64 = AtomicU64::new(0);
+
+/// Statistics of one [`EvalContext`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EvalContextStats {
+    /// Memo lookups answered from the context.
+    pub hits: u64,
+    /// Memo lookups that found nothing.
+    pub misses: u64,
+    /// Memoized `(plan, machine, constant)` answer sets.
+    pub entries: usize,
+}
+
+/// An epoch-scoped memo of completed machine traversals, shared by
+/// every query evaluated against one immutable database snapshot.
+///
+/// The key is `(plan id, machine, source constant)`; the value is the
+/// complete, converged answer set of traversing that machine from that
+/// constant — exactly the answer set of the point query the machine
+/// encodes.  Per-source runs over one equation system traverse
+/// overlapping state, which is what makes the sharing worthwhile: the
+/// evaluator consults the memo both at the **root** (a repeated point
+/// query returns instantly) and at **machine-instance expansion time**
+/// (a continuation about to splice a fresh copy of machine `m` for
+/// term `u` routes `m`'s memoized answers straight to the parent state
+/// instead of re-traversing the sub-machine).
+///
+/// Soundness rests on two invariants the evaluator maintains:
+///
+/// * only *naturally converged* runs record (never runs truncated by an
+///   iteration bound, a node budget, or a `stop_on_answer` early exit),
+///   so every entry is a complete fixpoint answer set; and
+/// * the context must never outlive the database version it was
+///   computed on — the serving layer keys one context per snapshot
+///   epoch, so publishing a new epoch invalidates wholesale by
+///   construction.
+///
+/// The memo is concurrency-safe ([`rq_common::BoundedMemo`]): one
+/// context serves every worker thread of a batch.  It is bounded by an
+/// entry cap: once full, new results simply are not recorded — always
+/// sound, because the memo is an optimization, never the source of
+/// truth — so a long-lived epoch serving a diverse query stream cannot
+/// grow without bound.
+pub struct EvalContext {
+    /// `(plan id, machine, source constant) → complete answer set`.
+    memo: rq_common::BoundedMemo<(u64, u32, Const), Vec<Const>>,
+}
+
+/// Default entry cap for [`EvalContext`].
+pub const DEFAULT_CONTEXT_ENTRIES: usize = 1 << 16;
+
+impl EvalContext {
+    /// Fresh, empty context with the default entry cap
+    /// ([`DEFAULT_CONTEXT_ENTRIES`]).
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CONTEXT_ENTRIES)
+    }
+
+    /// Fresh, empty context holding at most `max_entries` memoized
+    /// answer sets; overflow stops recording (never lookups).
+    pub fn with_capacity(max_entries: usize) -> Self {
+        Self {
+            memo: rq_common::BoundedMemo::new(max_entries),
+        }
+    }
+
+    fn lookup(&self, plan: u64, machine: u32, from: Const) -> Option<Arc<Vec<Const>>> {
+        self.memo.get(&(plan, machine, from))
+    }
+
+    fn record(&self, plan: u64, machine: u32, from: Const, answers: &FxHashSet<Const>) {
+        let key = (plan, machine, from);
+        // Saturated memo: skip the clone + sort a refused insert would
+        // throw away (one read-lock probe instead).
+        if self.memo.would_refuse(&key) {
+            return;
+        }
+        let mut sorted: Vec<Const> = answers.iter().copied().collect();
+        sorted.sort_unstable();
+        self.memo.insert(key, Arc::new(sorted));
+    }
+
+    /// Number of memoized answer sets.
+    pub fn entries(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// Hit/miss/entry counts.
+    pub fn stats(&self) -> EvalContextStats {
+        let stats = self.memo.stats();
+        EvalContextStats {
+            hits: stats.hits,
+            misses: stats.misses,
+            entries: stats.entries,
+        }
+    }
+}
+
+impl Default for EvalContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for EvalContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("EvalContext")
+            .field("entries", &stats.entries)
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
 
 /// Options controlling an evaluation.
 #[derive(Clone, Debug, Default)]
@@ -73,6 +194,16 @@ pub struct EvalOptions {
     /// reports `converged = true` — the membership question is fully
     /// answered — but its answer set is deliberately partial.
     pub stop_on_answer: Option<Const>,
+    /// Worker threads for the traversal phase of each iteration:
+    /// the iteration's work-list of start nodes is split across this
+    /// many scoped threads, which share the visit-once node set and
+    /// merge their answer/continuation sets deterministically (sets
+    /// union order-independently, and the expansion phase orders its
+    /// work-list, so instance numbering is schedule-independent).
+    /// `0` and `1` both mean sequential; the value is capped by the
+    /// `RQC_THREADS` environment variable
+    /// ([`rq_common::capped_threads`]).
+    pub expand_threads: usize,
     /// Record per-iteration statistics.
     pub record_iterations: bool,
     /// Record the nodes and arcs of `G(p, a, i)` for export (Figure 3
@@ -198,6 +329,7 @@ pub struct EvalOutcome {
 /// a serving layer can compile once per program and share the plan
 /// across concurrent query threads ([`Evaluator::with_plan`]).
 pub struct CompiledPlan {
+    id: u64,
     machines: Vec<Nfa>,
     machine_index: FxHashMap<MachineKey, u32>,
     derived: FxHashSet<Pred>,
@@ -243,10 +375,17 @@ impl CompiledPlan {
             machines.push(invert_nfa(&m));
         }
         Self {
+            id: NEXT_PLAN_ID.fetch_add(1, Ordering::Relaxed),
             machines,
             machine_index,
             derived,
         }
+    }
+
+    /// The plan's process-unique identity — the [`EvalContext`] memo
+    /// key component that keeps two plans' machine numberings apart.
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// Number of compiled machines (two per derived predicate).
@@ -277,11 +416,301 @@ impl PlanRef<'_> {
     }
 }
 
+/// Shards of the concurrent visit-once node set used by parallel
+/// traversal phases.  Power of two; the shard is picked from the top
+/// hash bits so the intra-shard hash distribution stays intact.
+const GRAPH_SHARDS: usize = 64;
+
+/// The node set `G`, sharded behind mutexes so the traversal workers of
+/// one iteration can share the visit-once discipline: `insert` is
+/// atomic per node, so exactly one worker wins each node and expands
+/// it — work is partitioned, never duplicated.
+struct SharedNodes {
+    shards: Vec<Mutex<FxHashSet<Node>>>,
+}
+
+impl SharedNodes {
+    fn new() -> Self {
+        Self {
+            shards: (0..GRAPH_SHARDS)
+                .map(|_| Mutex::new(FxHashSet::default()))
+                .collect(),
+        }
+    }
+
+    fn insert(&self, node: Node) -> bool {
+        let mut h = FxHasher::default();
+        node.hash(&mut h);
+        let shard = (h.finish() >> 58) as usize % GRAPH_SHARDS;
+        self.shards[shard]
+            .lock()
+            .expect("graph shard lock poisoned")
+            .insert(node)
+    }
+
+    fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("graph shard lock poisoned").len())
+            .sum()
+    }
+}
+
+/// The node set `G` in whichever representation the iteration's worker
+/// count calls for: a plain set for sequential runs, the sharded
+/// concurrent set for parallel ones.
+enum Graph {
+    Seq(FxHashSet<Node>),
+    Par(SharedNodes),
+}
+
+impl Graph {
+    fn insert(&mut self, node: Node) -> bool {
+        match self {
+            Graph::Seq(set) => set.insert(node),
+            Graph::Par(nodes) => nodes.insert(node),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Graph::Seq(set) => set.len(),
+            Graph::Par(nodes) => nodes.len(),
+        }
+    }
+}
+
+/// Access to the visit-once node set from one traversal worker.
+trait NodeVisit {
+    /// Insert into `G`; `true` when the node is new (the caller owns
+    /// its expansion).
+    fn visit(&mut self, node: Node) -> bool;
+}
+
+impl NodeVisit for Graph {
+    fn visit(&mut self, node: Node) -> bool {
+        self.insert(node)
+    }
+}
+
+/// A parallel worker's handle on the shared node set.
+struct ParVisit<'a>(&'a SharedNodes);
+
+impl NodeVisit for ParVisit<'_> {
+    fn visit(&mut self, node: Node) -> bool {
+        self.0.insert(node)
+    }
+}
+
+/// The read-only state one traversal phase runs against.  Machine
+/// instances and their expansion table are only mutated between
+/// iterations (in the expansion phase), which is what makes the
+/// traversal phase safely shareable across worker threads.
+struct StepCtx<'p> {
+    plan: &'p CompiledPlan,
+    instances: &'p [Instance],
+    expansions: &'p FxHashMap<(u32, u32, u32), u32>,
+    stop_on_answer: Option<Const>,
+    record_graph: bool,
+}
+
+/// Expand one node of `G`: emit answers or exit to the parent at final
+/// states, follow `id` and base-relation transitions, route derived
+/// transitions into already-spliced copies, and queue continuations
+/// for everything else.  Returns `true` when the `stop_on_answer`
+/// target was emitted (the caller stops the traversal).
+///
+/// This is the single transition step both the sequential loop and
+/// every parallel worker run; only the node-set handle differs.
+#[allow(clippy::too_many_arguments)]
+fn expand_node<S: TupleSource, V: NodeVisit>(
+    step: &StepCtx<'_>,
+    source: &S,
+    node: Node,
+    graph: &mut V,
+    stack: &mut Vec<Node>,
+    answers: &mut FxHashSet<Const>,
+    continuations: &mut FxHashMap<(u32, u32), FxHashSet<Const>>,
+    counters: &mut Counters,
+    succ_buf: &mut Vec<Const>,
+    arcs: &mut Vec<DumpArc>,
+) -> bool {
+    let (inst, state, term) = node;
+    let instance = step.instances[inst as usize];
+    let machine = &step.plan.machines[instance.machine as usize];
+    // Final state: exit to the parent (an implicit id arc) or emit an
+    // answer at the root.
+    if state as usize == machine.finish {
+        match instance.exit {
+            None => {
+                answers.insert(term);
+                if step.stop_on_answer == Some(term) {
+                    // Membership established: the partial answer set
+                    // already decides the query.
+                    return true;
+                }
+            }
+            Some((pi, pq)) => {
+                let exit_node = (pi, pq, term);
+                if step.record_graph {
+                    arcs.push((node, ArcKind::Exit, exit_node));
+                }
+                if graph.visit(exit_node) {
+                    counters.nodes_inserted += 1;
+                    stack.push(exit_node);
+                }
+            }
+        }
+    }
+    for (t_idx, &(label, to)) in machine.trans[state as usize].iter().enumerate() {
+        counters.rule_firings += 1;
+        match label {
+            Label::Id => {
+                let next = (inst, to as u32, term);
+                if step.record_graph {
+                    arcs.push((node, ArcKind::Id, next));
+                }
+                if graph.visit(next) {
+                    counters.nodes_inserted += 1;
+                    stack.push(next);
+                }
+            }
+            Label::Sym(r) | Label::Inv(r) => {
+                if step.plan.derived.contains(&r) {
+                    // Already expanded? Route straight into the child
+                    // copy; otherwise queue in C.
+                    if let Some(&child) = step.expansions.get(&(inst, state, t_idx as u32)) {
+                        let child_start = step.plan.machines
+                            [step.instances[child as usize].machine as usize]
+                            .start as u32;
+                        let next = (child, child_start, term);
+                        if step.record_graph {
+                            arcs.push((node, ArcKind::Enter(r), next));
+                        }
+                        if graph.visit(next) {
+                            counters.nodes_inserted += 1;
+                            stack.push(next);
+                        }
+                    } else {
+                        continuations.entry((inst, state)).or_default().insert(term);
+                    }
+                    continue;
+                }
+                succ_buf.clear();
+                match label {
+                    Label::Sym(_) => source.successors(r, term, succ_buf, counters),
+                    Label::Inv(_) => source.predecessors(r, term, succ_buf, counters),
+                    Label::Id => unreachable!(),
+                }
+                for &v in succ_buf.iter() {
+                    let next = (inst, to as u32, v);
+                    if step.record_graph {
+                        let kind = match label {
+                            Label::Sym(_) => ArcKind::Sym(r),
+                            _ => ArcKind::Inv(r),
+                        };
+                        arcs.push((node, kind, next));
+                    }
+                    if graph.visit(next) {
+                        counters.nodes_inserted += 1;
+                        stack.push(next);
+                    }
+                }
+            }
+        }
+    }
+    false
+}
+
+/// One iteration's traversal phase across `workers` scoped threads.
+/// The seed work-list is dealt round-robin; workers share the
+/// visit-once node set (so no node is expanded twice) and keep local
+/// answer/continuation sets that the caller merges.  The merge is
+/// deterministic: answers and continuations are sets (union is
+/// order-independent) and counters are sums.
+#[allow(clippy::too_many_arguments)]
+fn traverse_parallel<S: TupleSource>(
+    step: &StepCtx<'_>,
+    source: &S,
+    nodes: &SharedNodes,
+    seeds: Vec<Node>,
+    workers: usize,
+    answers: &mut FxHashSet<Const>,
+    continuations: &mut FxHashMap<(u32, u32), FxHashSet<Const>>,
+    counters: &mut Counters,
+) -> bool {
+    let mut chunks: Vec<Vec<Node>> = vec![Vec::new(); workers];
+    for (i, node) in seeds.into_iter().enumerate() {
+        chunks[i % workers].push(node);
+    }
+    let stop = AtomicBool::new(false);
+    type WorkerOutcome = (
+        FxHashSet<Const>,
+        FxHashMap<(u32, u32), FxHashSet<Const>>,
+        Counters,
+        bool,
+    );
+    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|mut stack| {
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut visit = ParVisit(nodes);
+                    let mut answers = FxHashSet::default();
+                    let mut continuations = FxHashMap::default();
+                    let mut counters = Counters::new();
+                    let mut succ_buf = Vec::new();
+                    let mut arcs = Vec::new();
+                    let mut found = false;
+                    while let Some(node) = stack.pop() {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if expand_node(
+                            step,
+                            source,
+                            node,
+                            &mut visit,
+                            &mut stack,
+                            &mut answers,
+                            &mut continuations,
+                            &mut counters,
+                            &mut succ_buf,
+                            &mut arcs,
+                        ) {
+                            found = true;
+                            stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    (answers, continuations, counters, found)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("traversal worker panicked"))
+            .collect()
+    });
+    let mut stopped = false;
+    for (worker_answers, worker_continuations, worker_counters, found) in outcomes {
+        answers.extend(worker_answers);
+        for (key, terms) in worker_continuations {
+            continuations.entry(key).or_default().extend(terms);
+        }
+        *counters += worker_counters;
+        stopped |= found;
+    }
+    stopped
+}
+
 /// The evaluator for one equation system over one tuple source.
 pub struct Evaluator<'a, S: TupleSource> {
     system: &'a EqSystem,
     source: &'a S,
     plan: PlanRef<'a>,
+    ctx: Option<&'a EvalContext>,
 }
 
 impl<'a, S: TupleSource> Evaluator<'a, S> {
@@ -293,6 +722,7 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
             system,
             source,
             plan: PlanRef::Owned(Box::new(CompiledPlan::compile(system))),
+            ctx: None,
         }
     }
 
@@ -305,6 +735,7 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
             system,
             source,
             plan: PlanRef::Owned(Box::new(CompiledPlan::compile_compacted(system))),
+            ctx: None,
         }
     }
 
@@ -317,7 +748,21 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
             system,
             source,
             plan: PlanRef::Shared(plan),
+            ctx: None,
         }
+    }
+
+    /// Attach an epoch-scoped [`EvalContext`]: completed traversals of
+    /// this evaluator record their answer sets into the context, and
+    /// later evaluations — by this evaluator or any other sharing the
+    /// context — reuse them at the root and at machine-instance
+    /// expansion time.  The caller owns the invalidation contract: a
+    /// context must only ever be shared between evaluations over the
+    /// **same** database version (the serving layer keys one context
+    /// per snapshot epoch).
+    pub fn with_context(mut self, ctx: &'a EvalContext) -> Self {
+        self.ctx = Some(ctx);
+        self
     }
 
     /// The equation system being evaluated.
@@ -352,18 +797,54 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
             "query predicate must be derived"
         );
         let plan = self.plan.get();
+        let root_machine = self.machine_id(p, inverted);
+        // Introspection runs (recorded graphs, per-iteration stats)
+        // bypass the epoch memo: they exist to observe the plain
+        // algorithm, and memo shortcuts would skew what they record.
+        let ctx = if options.record_graph || options.record_iterations {
+            None
+        } else {
+            self.ctx
+        };
+        if let Some(ctx) = ctx {
+            if let Some(hit) = ctx.lookup(plan.id, root_machine, a) {
+                // The complete answer set of this exact traversal is
+                // already memoized for the epoch.
+                return EvalOutcome {
+                    answers: hit.iter().copied().collect(),
+                    counters: Counters::new(),
+                    converged: true,
+                    graph_nodes: 0,
+                    instances: 0,
+                    iteration_stats: Vec::new(),
+                    graph: None,
+                };
+            }
+        }
         let mut counters = Counters::new();
         let mut iteration_stats = Vec::new();
 
-        let root_machine = self.machine_id(p, inverted);
+        // Parallelism applies per traversal phase; a recorded graph
+        // forces the sequential path (arc attribution is inherently
+        // ordered).
+        let workers = if options.record_graph {
+            1
+        } else {
+            rq_common::capped_threads(options.expand_threads.max(1))
+        };
         let mut instances: Vec<Instance> = vec![Instance {
             machine: root_machine,
             exit: None,
         }];
-        // (instance, transition ordinal within the instance) → child.
+        // (instance, state, transition ordinal) → child.
         let mut expansions: FxHashMap<(u32, u32, u32), u32> = FxHashMap::default();
-        // G: the node set.
-        let mut graph: FxHashSet<Node> = FxHashSet::default();
+        // G: the node set, sharded when the traversal phase is
+        // parallel.
+        let mut graph = if workers > 1 {
+            Graph::Par(SharedNodes::new())
+        } else {
+            Graph::Seq(FxHashSet::default())
+        };
         // C: continuation terms per (instance, state).
         let mut continuations: FxHashMap<(u32, u32), FxHashSet<Const>> = FxHashMap::default();
         let mut answers: FxHashSet<Const> = FxHashSet::default();
@@ -371,116 +852,80 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
         // S: starting points of the current iteration.
         let root_start: Node = (0, plan.machines[root_machine as usize].start as u32, a);
         let mut starts: Vec<Node> = vec![root_start];
-        let mut arcs: Vec<(Node, ArcKind, Node)> = Vec::new();
+        let mut arcs: Vec<DumpArc> = Vec::new();
         // Arcs from the expansion phase (enter edges), keyed by target
         // start node so they are attributed when the node is seeded.
-        let mut enter_arcs: Vec<(Node, ArcKind, Node)> = Vec::new();
+        let mut enter_arcs: Vec<DumpArc> = Vec::new();
 
         let mut converged = false;
-        'main: loop {
+        let mut stopped_early = false;
+        loop {
             counters.iterations += 1;
             let nodes_before = graph.len() as u64;
-            // Depth-first traversal from every start node.
-            let mut stack: Vec<Node> = Vec::new();
+            // Seed this iteration's work-list with the unvisited
+            // starts.
+            let mut seeds: Vec<Node> = Vec::new();
             for node in starts.drain(..) {
                 if graph.insert(node) {
                     counters.nodes_inserted += 1;
-                    stack.push(node);
+                    seeds.push(node);
                 }
             }
-            let mut succ_buf: Vec<Const> = Vec::new();
-            while let Some((inst, state, term)) = stack.pop() {
-                let instance = instances[inst as usize];
-                let machine = &plan.machines[instance.machine as usize];
-                // Final state: exit to the parent (an implicit id arc) or
-                // emit an answer at the root.
-                if state as usize == machine.finish {
-                    match instance.exit {
-                        None => {
-                            answers.insert(term);
-                            if options.stop_on_answer == Some(term) {
-                                // Membership established: the partial
-                                // answer set already decides the query.
-                                converged = true;
-                                break 'main;
-                            }
-                        }
-                        Some((pi, pq)) => {
-                            let node = (pi, pq, term);
-                            if options.record_graph {
-                                arcs.push(((inst, state, term), ArcKind::Exit, node));
-                            }
-                            if graph.insert(node) {
-                                counters.nodes_inserted += 1;
-                                stack.push(node);
-                            }
-                        }
+            // Traversal phase: depth-first expansion of the work-list,
+            // sequential or fanned out across scoped workers sharing
+            // the visit-once node set.  Instances and expansions are
+            // immutable for the whole phase.
+            let step = StepCtx {
+                plan,
+                instances: &instances,
+                expansions: &expansions,
+                stop_on_answer: options.stop_on_answer,
+                record_graph: options.record_graph,
+            };
+            let phase_workers = workers.min(seeds.len());
+            let stopped = if phase_workers > 1 {
+                let Graph::Par(nodes) = &graph else {
+                    unreachable!("parallel phases run on the sharded node set")
+                };
+                traverse_parallel(
+                    &step,
+                    self.source,
+                    nodes,
+                    seeds,
+                    phase_workers,
+                    &mut answers,
+                    &mut continuations,
+                    &mut counters,
+                )
+            } else {
+                let mut stack = seeds;
+                let mut succ_buf: Vec<Const> = Vec::new();
+                let mut stopped = false;
+                while let Some(node) = stack.pop() {
+                    if expand_node(
+                        &step,
+                        self.source,
+                        node,
+                        &mut graph,
+                        &mut stack,
+                        &mut answers,
+                        &mut continuations,
+                        &mut counters,
+                        &mut succ_buf,
+                        &mut arcs,
+                    ) {
+                        stopped = true;
+                        break;
                     }
                 }
-                for (t_idx, &(label, to)) in machine.trans[state as usize].iter().enumerate() {
-                    counters.rule_firings += 1;
-                    match label {
-                        Label::Id => {
-                            let node = (inst, to as u32, term);
-                            if options.record_graph {
-                                arcs.push(((inst, state, term), ArcKind::Id, node));
-                            }
-                            if graph.insert(node) {
-                                counters.nodes_inserted += 1;
-                                stack.push(node);
-                            }
-                        }
-                        Label::Sym(r) | Label::Inv(r) => {
-                            let derived = plan.derived.contains(&r);
-                            if derived {
-                                // Already expanded? Route straight into
-                                // the child copy; otherwise queue in C.
-                                if let Some(&child) = expansions.get(&(inst, state, t_idx as u32)) {
-                                    let child_start =
-                                        plan.machines[instances[child as usize].machine as usize]
-                                            .start as u32;
-                                    let node = (child, child_start, term);
-                                    if options.record_graph {
-                                        arcs.push(((inst, state, term), ArcKind::Enter(r), node));
-                                    }
-                                    if graph.insert(node) {
-                                        counters.nodes_inserted += 1;
-                                        stack.push(node);
-                                    }
-                                } else {
-                                    continuations.entry((inst, state)).or_default().insert(term);
-                                }
-                                continue;
-                            }
-                            succ_buf.clear();
-                            match label {
-                                Label::Sym(_) => {
-                                    self.source
-                                        .successors(r, term, &mut succ_buf, &mut counters)
-                                }
-                                Label::Inv(_) => {
-                                    self.source
-                                        .predecessors(r, term, &mut succ_buf, &mut counters)
-                                }
-                                Label::Id => unreachable!(),
-                            }
-                            for &v in succ_buf.iter() {
-                                let node = (inst, to as u32, v);
-                                if options.record_graph {
-                                    let kind = match label {
-                                        Label::Sym(_) => ArcKind::Sym(r),
-                                        _ => ArcKind::Inv(r),
-                                    };
-                                    arcs.push(((inst, state, term), kind, node));
-                                }
-                                if graph.insert(node) {
-                                    counters.nodes_inserted += 1;
-                                    stack.push(node);
-                                }
-                            }
-                        }
-                    }
-                }
+                stopped
+            };
+            if stopped {
+                // Membership established (`stop_on_answer`): the
+                // partial answer set already decides the query.
+                converged = true;
+                stopped_early = true;
+                break;
             }
 
             if options.record_iterations {
@@ -507,9 +952,19 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
             }
 
             // Expansion phase: for every pending (instance, state) and
-            // every derived transition out of that state, splice a fresh
-            // copy and seed S with its start nodes.
-            let pending: Vec<((u32, u32), FxHashSet<Const>)> = continuations.drain().collect();
+            // every derived transition out of that state, splice a
+            // fresh copy and seed S with its start nodes.  The
+            // work-list is sorted so instance numbering is independent
+            // of hash-map and thread-schedule order.
+            let mut pending: Vec<((u32, u32), Vec<Const>)> = continuations
+                .drain()
+                .map(|(key, terms)| {
+                    let mut terms: Vec<Const> = terms.into_iter().collect();
+                    terms.sort_unstable();
+                    (key, terms)
+                })
+                .collect();
+            pending.sort_unstable_by_key(|&(key, _)| key);
             for ((inst, state), terms) in pending {
                 let machine_id = instances[inst as usize].machine;
                 let trans: Vec<(u32, Label, usize)> = plan.machines[machine_id as usize].trans
@@ -524,17 +979,39 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
                         Label::Inv(r) if plan.derived.contains(&r) => (r, true),
                         _ => continue,
                     };
+                    let child_machine = self.machine_id(r, child_inverted);
+                    // Epoch memo: a term whose complete sub-answer set
+                    // is already known routes those answers straight to
+                    // the parent's continuation state — the whole child
+                    // sub-traversal is skipped.  Sound because entries
+                    // are complete fixpoint answer sets over the same
+                    // database version (see [`EvalContext`]).
+                    let mut fresh: Vec<Const> = Vec::with_capacity(terms.len());
+                    for &u in &terms {
+                        if let Some(ctx) = ctx {
+                            if let Some(sub) = ctx.lookup(plan.id, child_machine, u) {
+                                for &v in sub.iter() {
+                                    starts.push((inst, to as u32, v));
+                                }
+                                continue;
+                            }
+                        }
+                        fresh.push(u);
+                    }
+                    if fresh.is_empty() {
+                        continue;
+                    }
                     let child = *expansions.entry((inst, state, t_idx)).or_insert_with(|| {
                         let id = instances.len() as u32;
                         instances.push(Instance {
-                            machine: self.machine_id(r, child_inverted),
+                            machine: child_machine,
                             exit: Some((inst, to as u32)),
                         });
                         id
                     });
                     let child_start =
                         plan.machines[instances[child as usize].machine as usize].start as u32;
-                    for &u in &terms {
+                    for u in fresh {
                         let node = (child, child_start, u);
                         if options.record_graph {
                             enter_arcs.push(((inst, state, u), ArcKind::Enter(r), node));
@@ -545,9 +1022,21 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
             }
         }
 
+        // Record only naturally converged, untruncated runs: those are
+        // complete fixpoint answer sets, the only thing the epoch memo
+        // may hold.
+        if let Some(ctx) = ctx {
+            if converged && !stopped_early {
+                ctx.record(plan.id, root_machine, a, &answers);
+            }
+        }
+
         let dump = options.record_graph.then(|| {
             arcs.extend(enter_arcs);
-            let answer_nodes: Vec<Node> = graph
+            let Graph::Seq(node_set) = &graph else {
+                unreachable!("recorded graphs run sequentially")
+            };
+            let answer_nodes: Vec<Node> = node_set
                 .iter()
                 .copied()
                 .filter(|&(i, q, _)| {

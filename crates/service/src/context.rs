@@ -1,0 +1,178 @@
+//! The epoch-scoped evaluation context: everything one snapshot's
+//! queries may share with each other, and nothing a later epoch may
+//! ever see.
+//!
+//! The paper's automaton/equation formulation makes evaluation
+//! *shareable*: per-source runs over one equation system traverse
+//! overlapping state, and §4's virtual-relation probes depend only on
+//! the database version, never on which query demanded them.  A
+//! snapshot epoch is exactly the unit over which that sharing is sound
+//! — the database is immutable for the epoch's lifetime — so each
+//! [`crate::Snapshot`] owns one [`EpochContext`]:
+//!
+//! * the engine's [`EvalContext`] — completed machine traversals,
+//!   reused at the root and at machine-instance expansion time;
+//! * one [`ProbeSpace`] per §4 plan — the tuple interner and
+//!   virtual-probe memo a batch of adorned queries shares, so each
+//!   probe joins the base relations once per epoch instead of once per
+//!   query;
+//! * the SCC-path counter — how many all-free queries the epoch served
+//!   through the shared [`rq_engine::all_pairs_scc`] condensation
+//!   instead of the per-source loop.
+//!
+//! Invalidation is wholesale and free: publishing a new epoch creates
+//! a new snapshot, which creates a new (empty) context; the old one
+//! dies with the last reader of the old snapshot.  No entry of an old
+//! epoch can leak forward because nothing holds a context across
+//! snapshots.
+
+use crate::spec::Adornment;
+use rq_adorn::ProbeSpace;
+use rq_common::{FxHashMap, Pred};
+use rq_datalog::Program;
+use rq_engine::EvalContext;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Aggregated statistics of one [`EpochContext`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EpochContextStats {
+    /// Engine machine-memo lookups answered from the context.
+    pub eval_hits: u64,
+    /// Engine machine-memo lookups that found nothing.
+    pub eval_misses: u64,
+    /// Memoized machine-traversal answer sets.
+    pub eval_entries: usize,
+    /// §4 virtual-relation probes answered from a shared memo.
+    pub probe_hits: u64,
+    /// §4 virtual-relation probes that ran their defining join.
+    pub probe_misses: u64,
+    /// Memoized virtual-relation probe results across all plans.
+    pub probe_entries: usize,
+    /// All-free queries served through the shared-SCC path.
+    pub scc_served: u64,
+}
+
+/// The sharing state of one snapshot epoch.  See the module docs.
+pub struct EpochContext {
+    eval: EvalContext,
+    probes: RwLock<FxHashMap<(Pred, Adornment), Arc<ProbeSpace>>>,
+    scc_served: AtomicU64,
+}
+
+impl EpochContext {
+    /// Fresh, empty context.
+    pub fn new() -> Self {
+        Self {
+            eval: EvalContext::new(),
+            probes: RwLock::new(FxHashMap::default()),
+            scc_served: AtomicU64::new(0),
+        }
+    }
+
+    /// The engine-level machine-traversal memo.
+    pub fn eval(&self) -> &EvalContext {
+        &self.eval
+    }
+
+    /// The shared [`ProbeSpace`] for one §4 plan, created on first use.
+    /// Keyed by `(pred, adornment)` — the same key as the plan cache,
+    /// so every query compiled to one [`rq_adorn::NaryPlan`] shares one
+    /// space.
+    pub fn probe_space(
+        &self,
+        pred: Pred,
+        adornment: Adornment,
+        program: &Program,
+    ) -> Arc<ProbeSpace> {
+        if let Some(space) = self
+            .probes
+            .read()
+            .expect("probe space map poisoned")
+            .get(&(pred, adornment))
+        {
+            return Arc::clone(space);
+        }
+        let mut map = self.probes.write().expect("probe space map poisoned");
+        Arc::clone(
+            map.entry((pred, adornment))
+                .or_insert_with(|| Arc::new(ProbeSpace::new(program))),
+        )
+    }
+
+    /// Record one all-free query served through the shared-SCC path.
+    pub fn note_scc_served(&self) {
+        self.scc_served.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Aggregated hit/miss/entry counts across the engine memo and all
+    /// probe spaces.
+    pub fn stats(&self) -> EpochContextStats {
+        let eval = self.eval.stats();
+        let mut stats = EpochContextStats {
+            eval_hits: eval.hits,
+            eval_misses: eval.misses,
+            eval_entries: eval.entries,
+            scc_served: self.scc_served.load(Ordering::Relaxed),
+            ..EpochContextStats::default()
+        };
+        for space in self
+            .probes
+            .read()
+            .expect("probe space map poisoned")
+            .values()
+        {
+            let p = space.stats();
+            stats.probe_hits += p.hits;
+            stats.probe_misses += p.misses;
+            stats.probe_entries += p.entries;
+        }
+        stats
+    }
+}
+
+impl Default for EpochContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for EpochContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochContext")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rq_datalog::parse_program;
+
+    #[test]
+    fn probe_spaces_are_per_plan_and_created_once() {
+        let program = parse_program("e(a,b).").unwrap();
+        let ctx = EpochContext::new();
+        let bf = Adornment::from_bound(2, [0]);
+        let fb = Adornment::from_bound(2, [1]);
+        let p = Pred(0);
+        let s1 = ctx.probe_space(p, bf, &program);
+        let s2 = ctx.probe_space(p, bf, &program);
+        assert!(Arc::ptr_eq(&s1, &s2), "one space per (pred, adornment)");
+        let s3 = ctx.probe_space(p, fb, &program);
+        assert!(
+            !Arc::ptr_eq(&s1, &s3),
+            "different adornment, different space"
+        );
+    }
+
+    #[test]
+    fn stats_aggregate_scc_counter() {
+        let ctx = EpochContext::new();
+        ctx.note_scc_served();
+        ctx.note_scc_served();
+        assert_eq!(ctx.stats().scc_served, 2);
+        assert_eq!(ctx.stats().eval_entries, 0);
+    }
+}

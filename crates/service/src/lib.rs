@@ -33,10 +33,16 @@
 //!   real relations they join) are re-keyed and survive the publish.
 //!   The cache is bounded by an entry cap and a byte budget (LRU) with
 //!   hit/miss/evict/dedup counters.
+//! * [`EpochContext`] — the epoch-scoped evaluation context each
+//!   [`Snapshot`] owns: the engine's machine-traversal memo, one
+//!   shared §4 virtual-probe memo per plan, and the SCC-path counter.
+//!   Intra-epoch sharing is sound because the snapshot is immutable;
+//!   publishing a new epoch invalidates wholesale by construction.
 //! * [`QueryService`] — the front end: parsing, single queries, fact
 //!   ingestion, and [`QueryService::query_batch`], which dedups
 //!   identical specs and fans the rest out across worker threads over
-//!   one shared snapshot.
+//!   one shared snapshot, with per-traversal machine-instance
+//!   expansion parallelized inside each query.
 //!
 //! Correctness is anchored by differential tests: every answer the
 //! service produces is compared against the single-threaded
@@ -46,12 +52,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod context;
 pub mod plan;
 pub mod results;
 pub mod service;
 pub mod snapshot;
 pub mod spec;
 
+pub use context::{EpochContext, EpochContextStats};
 pub use plan::{rules_fingerprint, CacheStats, PlanCache, PlanKey};
 pub use results::{CachedResult, ResultCache, ResultKey};
 pub use service::{parse_serve_query, QueryService, ServiceAnswer, ServiceConfig, ServiceError};

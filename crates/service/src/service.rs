@@ -9,8 +9,8 @@ use crate::spec::{Adornment, Arg, QuerySpec};
 use rq_common::{Const, ConstValue, FxHashMap, Pred};
 use rq_datalog::Program;
 use rq_engine::{
-    candidate_sources, cyclic_iteration_bound, inverse_cyclic_iteration_bound, EdbSource,
-    EvalOptions, Evaluator,
+    all_pairs_min_side, candidate_sources, cyclic_iteration_bound, inverse_cyclic_iteration_bound,
+    EdbSource, EvalOptions, Evaluator,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -21,6 +21,18 @@ pub struct ServiceConfig {
     /// Worker threads for [`QueryService::query_batch`].  `1` means the
     /// batch runs inline on the caller's thread.
     pub threads: usize,
+    /// Worker threads for expanding machine instances *inside one
+    /// traversal* ([`EvalOptions::expand_threads`]).  Single queries
+    /// use the full count; a batch divides it by its own worker count
+    /// so the two levels of parallelism compose instead of multiplying.
+    /// Capped (like `threads`) by the `RQC_THREADS` environment
+    /// variable.
+    pub eval_threads: usize,
+    /// Share the epoch-scoped evaluation context (machine-traversal
+    /// memo + §4 virtual-probe memo + SCC routing) between the queries
+    /// of one snapshot.  On by default; benches turn it off to measure
+    /// cold-epoch per-query re-derivation.
+    pub share_epoch_context: bool,
     /// Base evaluation options applied to every query.
     pub options: EvalOptions,
     /// When `options.max_iterations` is `None`, bound each binary-chain
@@ -53,10 +65,15 @@ pub struct ServiceConfig {
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        Self {
-            threads: std::thread::available_parallelism()
+        let parallelism = rq_common::capped_threads(
+            std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1),
+        );
+        Self {
+            threads: parallelism,
+            eval_threads: parallelism,
+            share_epoch_context: true,
             options: EvalOptions::default(),
             cyclic_guard: true,
             fallback_node_budget: Some(2_000_000),
@@ -290,6 +307,18 @@ impl QueryService {
         snapshot: &Snapshot,
         spec: &QuerySpec,
     ) -> Result<ServiceAnswer, ServiceError> {
+        self.query_on_with(snapshot, spec, self.config.eval_threads)
+    }
+
+    /// [`QueryService::query_on`] with an explicit per-traversal
+    /// expansion-thread count — the batch path divides the configured
+    /// [`ServiceConfig::eval_threads`] by its own worker count.
+    fn query_on_with(
+        &self,
+        snapshot: &Snapshot,
+        spec: &QuerySpec,
+        expand_threads: usize,
+    ) -> Result<ServiceAnswer, ServiceError> {
         let key = ResultKey {
             epoch: snapshot.epoch(),
             spec: spec.clone(),
@@ -304,7 +333,7 @@ impl QueryService {
                 });
             }
         }
-        let (rows, converged) = self.evaluate_spec(snapshot, spec)?;
+        let (rows, converged) = self.evaluate_spec(snapshot, spec, expand_threads)?;
         let rows = Arc::new(rows);
         if self.config.memoize_results {
             self.results.insert(
@@ -328,6 +357,7 @@ impl QueryService {
         &self,
         snapshot: &Snapshot,
         spec: &QuerySpec,
+        expand_threads: usize,
     ) -> Result<(Vec<Vec<Const>>, bool), ServiceError> {
         let arity = snapshot.program().arity(spec.pred);
         if spec.arity() != arity {
@@ -349,10 +379,10 @@ impl QueryService {
         }
         // Repeated free variables (diagonals and their n-ary
         // generalizations) filter the distinct-variable base answer;
-        // going through `query_on` warms — and reuses — its cache
+        // going through `query_on_with` warms — and reuses — its cache
         // entry.
         if spec.has_repeats() {
-            let base = self.query_on(snapshot, &spec.with_distinct_frees())?;
+            let base = self.query_on_with(snapshot, &spec.with_distinct_frees(), expand_threads)?;
             let rows = spec.restrict_rows(base.rows.as_ref().clone());
             return Ok((rows, base.converged));
         }
@@ -365,14 +395,14 @@ impl QueryService {
                 .plans
                 .chain_plan_for(snapshot, spec.pred, spec.adornment())
             {
-                return self.evaluate_chain(snapshot, &plan, spec);
+                return self.evaluate_chain(snapshot, &plan, spec, expand_threads);
             }
         }
         let plan = self
             .plans
             .nary_plan_for(snapshot, spec.pred, spec.adornment())
             .map_err(|e| ServiceError::Plan(e.to_string()))?;
-        let mut options = self.guarded_options(None);
+        let mut options = self.guarded_options(None, expand_threads);
         // No m·n bound exists over virtual relations; rely on the
         // fallback node budget for cyclic data.
         if options.max_iterations.is_none()
@@ -381,40 +411,63 @@ impl QueryService {
         {
             options.node_budget = self.config.fallback_node_budget;
         }
-        let (rows, outcome) = rq_adorn::evaluate_nary(
-            snapshot.program(),
-            snapshot.db(),
-            &plan,
-            &spec.bound_values(),
-            &options,
-        );
+        // Epoch sharing: every query of this snapshot against this
+        // plan shares one tuple interner + virtual-probe memo, and the
+        // engine's machine memo, so a batch pays each probe once.
+        let (rows, outcome) = if self.config.share_epoch_context {
+            let space =
+                snapshot
+                    .context()
+                    .probe_space(spec.pred, spec.adornment(), snapshot.program());
+            rq_adorn::evaluate_nary_shared(
+                snapshot.program(),
+                snapshot.db(),
+                &plan,
+                &spec.bound_values(),
+                &options,
+                &space,
+                Some(snapshot.context().eval()),
+            )
+        } else {
+            rq_adorn::evaluate_nary(
+                snapshot.program(),
+                snapshot.db(),
+                &plan,
+                &spec.bound_values(),
+                &options,
+            )
+        };
         Ok((rows, outcome.converged))
     }
 
     /// §3 binary-chain evaluation: forward/inverse point traversals,
-    /// the early-exit membership form, and all-pairs composition.
+    /// the early-exit membership form, and all-pairs evaluation —
+    /// shared-SCC for regular systems, per-source otherwise.
     fn evaluate_chain(
         &self,
         snapshot: &Snapshot,
         plan: &ProgramPlan,
         spec: &QuerySpec,
+        expand_threads: usize,
     ) -> Result<(Vec<Vec<Const>>, bool), ServiceError> {
         let args = spec.args();
         debug_assert_eq!(args.len(), 2);
         match (args[0], args[1]) {
             (Arg::Bound(a), Arg::Free(_)) => {
-                let (answers, converged) = self.traverse(snapshot, plan, spec.pred, a, false, None);
+                let (answers, converged) =
+                    self.traverse(snapshot, plan, spec.pred, a, false, None, expand_threads);
                 Ok((answers.into_iter().map(|y| vec![y]).collect(), converged))
             }
             (Arg::Free(_), Arg::Bound(b)) => {
-                let (answers, converged) = self.traverse(snapshot, plan, spec.pred, b, true, None);
+                let (answers, converged) =
+                    self.traverse(snapshot, plan, spec.pred, b, true, None, expand_threads);
                 Ok((answers.into_iter().map(|x| vec![x]).collect(), converged))
             }
             (Arg::Bound(a), Arg::Bound(b)) => {
                 // Membership: traverse forward from `a`, stopping the
                 // moment `b` is emitted.
                 let (answers, converged) =
-                    self.traverse(snapshot, plan, spec.pred, a, false, Some(b));
+                    self.traverse(snapshot, plan, spec.pred, a, false, Some(b), expand_threads);
                 let rows = if answers.contains(&b) {
                     vec![Vec::new()]
                 } else {
@@ -423,10 +476,32 @@ impl QueryService {
                 Ok((rows, converged))
             }
             (Arg::Free(_), Arg::Free(_)) => {
-                // All pairs: one guarded traversal per candidate
-                // source, composed through the point-query path so it
-                // reuses already-memoized point answers and leaves its
-                // own behind.
+                // All pairs.  For a *regular* equation (no derived
+                // predicate in `e_p` — e.g. every transitive closure),
+                // Tarjan's strong-components condensation shares one
+                // product graph across every source instead of running
+                // one traversal per source; the result lands in the
+                // result cache under this spec's `(epoch, pred)` key
+                // with the cache's usual byte accounting.  Non-regular
+                // systems fall back to the per-source loop, which
+                // reuses — and leaves behind — memoized point answers.
+                let derived = plan.system.derived();
+                if self.config.share_epoch_context
+                    && !plan.system.rhs[&spec.pred].contains_any(&derived)
+                {
+                    snapshot.context().note_scc_served();
+                    let options = self.guarded_options(None, expand_threads);
+                    let source = EdbSource::new(snapshot.db());
+                    // Min-side: propagate per-component answer sets
+                    // from whichever orientation makes them smaller
+                    // (the paper's O(tn), t = min{|domain|, |range|}).
+                    let (out, _side) =
+                        all_pairs_min_side(&plan.system, &source, spec.pred, &options);
+                    let mut rows: Vec<Vec<Const>> =
+                        out.pairs.into_iter().map(|(x, y)| vec![x, y]).collect();
+                    rows.sort_unstable();
+                    return Ok((rows, out.converged));
+                }
                 let sources = {
                     let source = EdbSource::new(snapshot.db());
                     candidate_sources(&plan.system, &source, spec.pred)
@@ -434,7 +509,11 @@ impl QueryService {
                 let mut rows: Vec<Vec<Const>> = Vec::new();
                 let mut converged = true;
                 for a in sources {
-                    let sub = self.query_on(snapshot, &QuerySpec::bound_free(spec.pred, a))?;
+                    let sub = self.query_on_with(
+                        snapshot,
+                        &QuerySpec::bound_free(spec.pred, a),
+                        expand_threads,
+                    )?;
                     converged &= sub.converged;
                     rows.extend(sub.rows.iter().map(|r| vec![a, r[0]]));
                 }
@@ -446,6 +525,7 @@ impl QueryService {
     }
 
     /// One guarded §3 traversal (forward or inverse), sorted answers.
+    #[allow(clippy::too_many_arguments)]
     fn traverse(
         &self,
         snapshot: &Snapshot,
@@ -454,8 +534,9 @@ impl QueryService {
         constant: Const,
         inverse: bool,
         stop_on_answer: Option<Const>,
+        expand_threads: usize,
     ) -> (Vec<Const>, bool) {
-        let mut options = self.guarded_options(stop_on_answer);
+        let mut options = self.guarded_options(stop_on_answer, expand_threads);
         let mut guarded = false;
         if options.max_iterations.is_none() && self.config.cyclic_guard {
             // +1 as in `evaluate_with_cyclic_guard`: iteration i explores
@@ -475,7 +556,10 @@ impl QueryService {
             }
         }
         let source = EdbSource::new(snapshot.db());
-        let evaluator = Evaluator::with_plan(&plan.system, &plan.compiled, &source);
+        let mut evaluator = Evaluator::with_plan(&plan.system, &plan.compiled, &source);
+        if self.config.share_epoch_context {
+            evaluator = evaluator.with_context(snapshot.context().eval());
+        }
         let outcome = if inverse {
             evaluator.evaluate_inverse(pred, constant, &options)
         } else {
@@ -487,11 +571,15 @@ impl QueryService {
         (answers, outcome.converged || guarded)
     }
 
-    /// The configured base options with the membership target applied.
-    fn guarded_options(&self, stop_on_answer: Option<Const>) -> EvalOptions {
+    /// The configured base options with the membership target and
+    /// per-traversal expansion threads applied.
+    fn guarded_options(&self, stop_on_answer: Option<Const>, expand_threads: usize) -> EvalOptions {
         let mut options = self.config.options.clone();
         if options.stop_on_answer.is_none() {
             options.stop_on_answer = stop_on_answer;
+        }
+        if options.expand_threads == 0 {
+            options.expand_threads = expand_threads.max(1);
         }
         options
     }
@@ -522,9 +610,22 @@ impl QueryService {
         if deduped > 0 {
             self.results.note_deduped(deduped);
         }
-        let workers = self.config.threads.clamp(1, unique.len().max(1));
+        // The cap applies to explicit settings too (`--threads N`,
+        // test configs), so `RQC_THREADS=1` really does force the
+        // whole stack single-threaded.
+        let workers = rq_common::capped_threads(self.config.threads).clamp(1, unique.len().max(1));
+        // Two composable levels of parallelism: `workers` across the
+        // batch, and the per-traversal expansion threads inside each
+        // query.  Dividing one by the other keeps the total roughly at
+        // the configured level — a batch of one big all-pairs query
+        // spends everything inside its traversal, a wide batch spends
+        // everything across queries.
+        let expand_threads = (self.config.eval_threads / workers).max(1);
         let answers: Vec<Result<ServiceAnswer, ServiceError>> = if workers <= 1 {
-            unique.iter().map(|q| self.query_on(&snapshot, q)).collect()
+            unique
+                .iter()
+                .map(|q| self.query_on_with(&snapshot, q, self.config.eval_threads))
+                .collect()
         } else {
             let slots: Vec<OnceLock<Result<ServiceAnswer, ServiceError>>> =
                 (0..unique.len()).map(|_| OnceLock::new()).collect();
@@ -534,7 +635,7 @@ impl QueryService {
                     scope.spawn(|| loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(query) = unique.get(i) else { break };
-                        let answer = self.query_on(&snapshot, query);
+                        let answer = self.query_on_with(&snapshot, query, expand_threads);
                         slots[i].set(answer).expect("slot claimed twice");
                     });
                 }

@@ -19,6 +19,7 @@
 //! queries are never invalidated mid-flight; they simply answer against
 //! the epoch they started on.
 
+use crate::context::EpochContext;
 use rq_common::{FxHashSet, Pred};
 use rq_datalog::{parse_program, Database, Program};
 use std::sync::{Arc, Mutex, RwLock};
@@ -33,6 +34,10 @@ pub struct Snapshot {
     /// Predicates whose shard this epoch replaced (relative to its
     /// parent).  Epoch 0 reports every predicate dirty.
     dirty: FxHashSet<Pred>,
+    /// The epoch's evaluation context: traversal/probe memos shared by
+    /// every query of this epoch, invalidated wholesale by the next
+    /// publish (each snapshot owns a fresh context).
+    context: EpochContext,
 }
 
 impl Snapshot {
@@ -45,6 +50,7 @@ impl Snapshot {
             program,
             db,
             dirty,
+            context: EpochContext::new(),
         }
     }
 
@@ -74,6 +80,12 @@ impl Snapshot {
     /// whose plan reads none of these survives the publish.
     pub fn dirty_preds(&self) -> &FxHashSet<Pred> {
         &self.dirty
+    }
+
+    /// The epoch's evaluation context (see [`EpochContext`]): memos
+    /// every query of this epoch may share, dead with the snapshot.
+    pub fn context(&self) -> &EpochContext {
+        &self.context
     }
 }
 
@@ -139,8 +151,11 @@ pub struct SnapshotStore {
 impl SnapshotStore {
     /// Open a store at epoch 0 with the program's facts as the EDB.
     pub fn new(program: Program) -> Self {
-        let db = Database::from_program(&program);
-        let dirty = program.preds.ids().collect();
+        let mut db = Database::from_program(&program);
+        let dirty: FxHashSet<Pred> = program.preds.ids().collect();
+        // Epoch 0 owns every shard uniquely: trim the tail-chunk
+        // over-allocation the initial load left behind.
+        db.compact_shards(dirty.iter().copied());
         Self {
             current: RwLock::new(Arc::new(Snapshot::new(0, program, db, dirty))),
             writer: Mutex::new(()),
@@ -170,6 +185,13 @@ impl SnapshotStore {
         let mut program = base.program.clone();
         let mut db = base.db.clone();
         let dirty = apply_validated(&mut program, &mut db, &parsed);
+        // Publish-time compaction (first slice of background shard
+        // compaction): the dirty shards just detached copy-on-write,
+        // so their tail chunks — carrying the capacity the detach
+        // over-allocated, now fully shadowed by the live prefix — are
+        // uniquely owned and shrink in place.  Clean shards stay
+        // pointer-shared with the parent epoch and are never touched.
+        db.compact_shards(dirty.iter().copied());
         let next = Arc::new(Snapshot::new(base.epoch + 1, program, db, dirty));
         *self.current.write().expect("snapshot lock poisoned") = Arc::clone(&next);
         Ok(next)

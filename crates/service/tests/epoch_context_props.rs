@@ -1,0 +1,225 @@
+//! Soundness of the epoch-scoped evaluation context:
+//!
+//! * **memo soundness** — a warm-epoch batch (shared machine memo,
+//!   shared virtual-probe memo, shared-SCC all-free routing, parallel
+//!   expansion) answers exactly like a cold sequential service that
+//!   re-derives everything per query, on random n-ary programs;
+//! * **epoch isolation** — publishing a new epoch invalidates the
+//!   whole context: no probe result or traversal memo of the previous
+//!   epoch can leak into post-ingest answers (checked with result
+//!   memoization off, so the result cache's own carry-forward cannot
+//!   mask a stale context).
+
+use proptest::prelude::*;
+use rq_engine::EvalOptions;
+use rq_service::{QueryService, ServiceConfig};
+use rq_workloads::randprog::{random_nary_program, NaryConfig};
+
+/// A service that shares nothing between queries: cold per-query
+/// re-derivation, single-threaded, no result memoization.
+fn cold_config() -> ServiceConfig {
+    ServiceConfig {
+        threads: 1,
+        eval_threads: 1,
+        share_epoch_context: false,
+        memoize_results: false,
+        ..ServiceConfig::default()
+    }
+}
+
+/// A service with every sharing mechanism on but the result cache off,
+/// so answers demonstrably come from evaluation through the context.
+fn warm_config() -> ServiceConfig {
+    ServiceConfig {
+        threads: 4,
+        eval_threads: 4,
+        share_epoch_context: true,
+        memoize_results: false,
+        ..ServiceConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Warm-epoch batched answers equal cold sequential answers on
+    /// random graded n-ary programs, across every generated binding
+    /// pattern (bff, ffb, bfb, bbb, fff), asked twice so the second
+    /// round is answered from a fully warmed context.
+    #[test]
+    fn warm_batch_equals_cold_sequential(seed in 0u64..200) {
+        let np = random_nary_program(&NaryConfig { seed, ..NaryConfig::default() });
+        let warm = QueryService::with_config(np.program.clone(), warm_config());
+        let cold = QueryService::with_config(np.program.clone(), cold_config());
+        let specs: Vec<_> = np
+            .queries
+            .iter()
+            .map(|t| warm.parse_query(t).unwrap())
+            .collect();
+        // Two rounds: the first populates the epoch context, the
+        // second is served against a warm one.
+        for round in 0..2 {
+            let batch = warm.query_batch(&specs);
+            for (spec, answer) in specs.iter().zip(batch) {
+                let warm_answer = answer.unwrap();
+                let cold_answer = cold.query(spec).unwrap();
+                prop_assert_eq!(
+                    warm_answer.rows.as_ref(),
+                    cold_answer.rows.as_ref(),
+                    "round {} spec {:?}",
+                    round,
+                    spec
+                );
+                prop_assert_eq!(warm_answer.converged, cold_answer.converged);
+            }
+        }
+        // The warmed context actually served repeats.
+        let stats = warm.snapshot().context().stats();
+        prop_assert!(stats.probe_hits + stats.eval_hits > 0);
+    }
+
+    /// Publishing an epoch kills the context: answers after an ingest
+    /// reflect the new facts even with result memoization off, and the
+    /// new snapshot starts from an empty context.
+    #[test]
+    fn publish_invalidates_epoch_context(seed in 0u64..200) {
+        let np = random_nary_program(&NaryConfig { seed, ..NaryConfig::default() });
+        let warm = QueryService::with_config(np.program.clone(), warm_config());
+        let specs: Vec<_> = np
+            .queries
+            .iter()
+            .map(|t| warm.parse_query(t).unwrap())
+            .collect();
+        // Warm the context thoroughly.
+        warm.query_batch(&specs);
+        let old_snapshot = warm.snapshot();
+        // New edges through fresh constants reshape reachability.
+        warm.ingest("b0(n0, n1). b0(n1, n2). b1(n0, n2).").unwrap();
+        let fresh = warm.snapshot();
+        prop_assert_eq!(fresh.epoch(), old_snapshot.epoch() + 1);
+        prop_assert_eq!(fresh.context().stats().probe_entries, 0);
+        prop_assert_eq!(fresh.context().stats().eval_entries, 0);
+        // Post-publish answers match a cold service over the grown
+        // program — a stale probe memo would miss the new facts.
+        let cold = QueryService::with_config(fresh.program().clone(), cold_config());
+        for spec in &specs {
+            let warm_answer = warm.query(spec).unwrap();
+            let cold_answer = cold.query(spec).unwrap();
+            prop_assert_eq!(warm_answer.rows.as_ref(), cold_answer.rows.as_ref());
+        }
+    }
+}
+
+#[test]
+fn all_free_regular_queries_take_the_scc_path() {
+    const TC: &str = "tc(X,Y) :- e(X,Y).\n\
+                      tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+                      e(a,b). e(b,c). e(c,a). e(c,d).";
+    let shared = QueryService::with_config(
+        rq_datalog::parse_program(TC).unwrap(),
+        ServiceConfig {
+            threads: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let per_source =
+        QueryService::with_config(rq_datalog::parse_program(TC).unwrap(), cold_config());
+    let all = shared.parse_query("tc(X, Y)").unwrap();
+    let via_scc = shared.query(&all).unwrap();
+    let via_loop = per_source.query(&all).unwrap();
+    assert_eq!(via_scc.rows.as_ref(), via_loop.rows.as_ref());
+    assert!(via_scc.converged);
+    assert_eq!(shared.snapshot().context().stats().scc_served, 1);
+    assert_eq!(per_source.snapshot().context().stats().scc_served, 0);
+    // The diagonal rides the same (cached) all-free entry.
+    let diag = shared.parse_query("tc(X, X)").unwrap();
+    let diag_rows = shared.query(&diag).unwrap();
+    let mut expected: Vec<_> = via_scc
+        .rows
+        .iter()
+        .filter(|r| r[0] == r[1])
+        .map(|r| vec![r[0]])
+        .collect();
+    expected.sort();
+    assert_eq!(diag_rows.rows.as_ref(), &expected);
+}
+
+#[test]
+fn non_regular_all_free_falls_back_to_per_source() {
+    // sg's equation keeps a derived occurrence (sg = flat ∪ up·sg·down
+    // is not regular), so the all-free form must use the per-source
+    // loop and still agree with the cold service.
+    const SG: &str = "sg(X,Y) :- flat(X,Y).\n\
+                      sg(X,Y) :- up(X,X1), sg(X1,Y1), down(Y1,Y).\n\
+                      up(a,a1). up(b,a1). flat(a1,c1). down(c1,d). flat(a,z).";
+    let shared = QueryService::with_config(
+        rq_datalog::parse_program(SG).unwrap(),
+        ServiceConfig {
+            threads: 2,
+            ..ServiceConfig::default()
+        },
+    );
+    let cold = QueryService::with_config(rq_datalog::parse_program(SG).unwrap(), cold_config());
+    let all = shared.parse_query("sg(X, Y)").unwrap();
+    let warm_answer = shared.query(&all).unwrap();
+    let cold_answer = cold.query(&all).unwrap();
+    assert_eq!(warm_answer.rows.as_ref(), cold_answer.rows.as_ref());
+    assert_eq!(shared.snapshot().context().stats().scc_served, 0);
+    // The per-source loop records its point traversals in the machine
+    // memo; a follow-up point query is a context hit even with the
+    // result cache cleared of its entry key (fresh spec object).
+    assert!(shared.snapshot().context().stats().eval_entries > 0);
+}
+
+#[test]
+fn batched_flights_share_probe_work_within_one_epoch() {
+    let workload = rq_workloads::flights::network(8, 3, 7);
+    let texts = rq_workloads::flights::serve_queries(8, 3);
+    let service = QueryService::with_config(workload.program.clone(), warm_config());
+    let specs: Vec<_> = texts
+        .iter()
+        .map(|t| service.parse_query(t).unwrap())
+        .collect();
+    let first = service.query_batch(&specs);
+    let baseline = QueryService::with_config(workload.program.clone(), cold_config());
+    for (spec, answer) in specs.iter().zip(&first) {
+        assert_eq!(
+            answer.as_ref().unwrap().rows.as_ref(),
+            baseline.query(spec).unwrap().rows.as_ref()
+        );
+    }
+    let stats = service.snapshot().context().stats();
+    assert!(
+        stats.probe_hits > 0,
+        "overlapping adorned queries must share probes: {stats:?}"
+    );
+    // Second flight of the same batch: every anchored traversal is
+    // already memoized at the root.
+    let again = service.query_batch(&specs);
+    for (a, b) in first.iter().zip(again) {
+        assert_eq!(a.as_ref().unwrap().rows, b.unwrap().rows);
+    }
+}
+
+#[test]
+fn shared_context_respects_eval_options_overrides() {
+    // A service with an explicit expand_threads override in its base
+    // options keeps that override (the per-batch division only fills
+    // the default).
+    const TC: &str = "tc(X,Y) :- e(X,Y).\ntc(X,Z) :- e(X,Y), tc(Y,Z).\ne(a,b). e(b,c).";
+    let service = QueryService::with_config(
+        rq_datalog::parse_program(TC).unwrap(),
+        ServiceConfig {
+            threads: 2,
+            eval_threads: 8,
+            options: EvalOptions {
+                expand_threads: 1,
+                ..EvalOptions::default()
+            },
+            ..ServiceConfig::default()
+        },
+    );
+    let q = service.parse_query("tc(a, Y)").unwrap();
+    let out = service.query(&q).unwrap();
+    assert_eq!(out.rows.len(), 2);
+}

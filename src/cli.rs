@@ -389,7 +389,8 @@ serve commands:
                          cnx(hel,540,D,AT)    n-ary via the §4 rewrite
   :add <facts>           ingest facts copy-on-write (publishes a new epoch)
   :epoch                 print the current snapshot epoch
-  :stats                 plan/result cache hit rates, sizes, and evictions
+  :stats                 plan/result cache hit rates, sizes, evictions, and
+                         the epoch context's probe/machine memo counters
   :help  :quit";
 
 impl ServeSession {
@@ -399,7 +400,11 @@ impl ServeSession {
         let program = parse_program(source).map_err(|e| e.to_string())?;
         let mut config = rq_service::ServiceConfig::default();
         if threads > 0 {
+            // One knob for both levels: `--threads 1` really is a
+            // single-threaded service (batch workers *and* in-query
+            // machine expansion).
             config.threads = threads;
+            config.eval_threads = threads;
         }
         Ok(Self {
             service: rq_service::QueryService::with_config(program, config),
@@ -435,11 +440,13 @@ impl ServeSession {
                     self.service.snapshot().epoch()
                 ))),
                 "stats" => {
+                    let snapshot = self.service.snapshot();
                     let plans = self.service.plan_cache().stats();
                     let results = self.service.result_cache().stats();
+                    let epoch = snapshot.context().stats();
                     Ok(CommandOutput::text(format!(
-                        "epoch {}\nplan cache:   {} hits / {} misses ({} chain program(s), {} §4 plan(s))\nresult cache: {} hits / {} misses / {} evictions / {} deduped ({} entr(ies), ~{} bytes)",
-                        self.service.snapshot().epoch(),
+                        "epoch {}\nplan cache:   {} hits / {} misses ({} chain program(s), {} §4 plan(s))\nresult cache: {} hits / {} misses / {} evictions / {} deduped ({} entr(ies), ~{} bytes)\nepoch context: probe memo {} hits / {} misses ({} entr(ies)), machine memo {} hits / {} misses ({} entr(ies)), {} scc-served",
+                        snapshot.epoch(),
                         plans.hits,
                         plans.misses,
                         self.service.plan_cache().programs(),
@@ -450,6 +457,13 @@ impl ServeSession {
                         results.deduped,
                         self.service.result_cache().len(),
                         self.service.result_cache().bytes(),
+                        epoch.probe_hits,
+                        epoch.probe_misses,
+                        epoch.probe_entries,
+                        epoch.eval_hits,
+                        epoch.eval_misses,
+                        epoch.eval_entries,
+                        epoch.scc_served,
                     )))
                 }
                 "add" => {
@@ -902,6 +916,52 @@ mod tests {
         let stats = s.execute_line(":stats").unwrap().text;
         assert!(stats.contains("plan cache:"), "{stats}");
         assert!(stats.contains("result cache: 1 hits"), "{stats}");
+        assert!(stats.contains("epoch context:"), "{stats}");
+        assert!(stats.contains("machine memo"), "{stats}");
+    }
+
+    #[test]
+    fn serve_stats_report_epoch_context_counters() {
+        // An n-ary batch shares its virtual probes within the epoch;
+        // the all-free tc query takes the shared-SCC path.  Both must
+        // show up in `:stats`, and an `:add` resets the epoch context.
+        let mut s = ServeSession::new(
+            &format!(
+                "{TC}\
+                 cnx(S,DT,D,AT) :- flight(S,DT,D,AT).\n\
+                 cnx(S,DT,D,AT) :- flight(S,DT,D1,AT1), AT1 < DT1, is_deptime(DT1), cnx(D1,DT1,D,AT).\n\
+                 flight(hel,540,ams,690). flight(ams,720,cdg,810).\n\
+                 is_deptime(540). is_deptime(720)."
+            ),
+            1,
+        )
+        .unwrap();
+        s.execute_line("cnx(hel, 540, D, AT); cnx(ams, 720, D, AT)")
+            .unwrap();
+        let stats = s.execute_line(":stats").unwrap().text;
+        let context_line = stats
+            .lines()
+            .find(|l| l.starts_with("epoch context:"))
+            .expect("stats must include the epoch context line");
+        assert!(
+            !context_line.contains("probe memo 0 hits / 0 misses"),
+            "{context_line}"
+        );
+
+        // A pure binary-chain session: the all-free form takes the
+        // shared-SCC path and the counter says so.
+        let mut chain = ServeSession::new(TC, 1).unwrap();
+        chain.execute_line("tc(X, Y)").unwrap();
+        let chain_stats = chain.execute_line(":stats").unwrap().text;
+        assert!(chain_stats.contains("1 scc-served"), "{chain_stats}");
+        // Publishing wipes the context (it is epoch-keyed).
+        s.execute_line(":add e(c,d)").unwrap();
+        let stats = s.execute_line(":stats").unwrap().text;
+        assert!(
+            stats.contains("probe memo 0 hits / 0 misses (0 entr(ies))"),
+            "{stats}"
+        );
+        assert!(stats.contains("0 scc-served"), "{stats}");
     }
 
     #[test]
