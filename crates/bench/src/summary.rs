@@ -1,10 +1,10 @@
-//! Machine-readable bench summaries: a tiny hand-rolled JSON writer
-//! (the workspace has no registry access, so no serde) that benches
-//! use to persist throughput numbers to `BENCH_<name>.json` at the
-//! workspace root.  The file is committed, so the perf trajectory is
-//! tracked across PRs instead of evaporating with each bench run.
+//! Machine-readable bench summaries, persisted to `BENCH_<name>.json`
+//! at the workspace root through the workspace's shared JSON encoder
+//! ([`rq_common::json`] — no registry access, so no serde).  The file
+//! is committed, so the perf trajectory is tracked across PRs instead
+//! of evaporating with each bench run.
 
-use std::fmt::Write as _;
+use rq_common::Json;
 use std::time::Duration;
 
 /// One measured configuration.
@@ -69,24 +69,35 @@ impl BenchSummary {
         }
     }
 
-    /// Render as pretty-printed JSON.
+    /// Render as pretty-printed JSON (via the shared
+    /// [`rq_common::json`] encoder).
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\n");
-        let _ = writeln!(out, "  \"bench\": {},", json_string(&self.bench));
-        let _ = writeln!(out, "  \"entries\": [");
-        for (i, e) in self.entries.iter().enumerate() {
-            let comma = if i + 1 < self.entries.len() { "," } else { "" };
-            let _ = writeln!(
-                out,
-                "    {{\"name\": {}, \"elements\": {}, \"secs\": {:.6}, \"per_sec\": {:.1}}}{comma}",
-                json_string(&e.name),
-                e.elements,
-                e.secs,
-                e.rate(),
-            );
-        }
-        out.push_str("  ]\n}\n");
-        out
+        // Round to keep the committed file tidy: microsecond wall
+        // times, one decimal of throughput.
+        let round = |x: f64, digits: i32| {
+            let scale = 10f64.powi(digits);
+            (x * scale).round() / scale
+        };
+        Json::object([
+            ("bench", Json::Str(self.bench.clone())),
+            (
+                "entries",
+                Json::Array(
+                    self.entries
+                        .iter()
+                        .map(|e| {
+                            Json::object([
+                                ("name", Json::Str(e.name.clone())),
+                                ("elements", Json::Int(e.elements as i64)),
+                                ("secs", Json::Float(round(e.secs, 6))),
+                                ("per_sec", Json::Float(round(e.rate(), 1))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .encode_pretty()
     }
 
     /// Write `BENCH_<bench>.json` at the workspace root (two levels up
@@ -103,24 +114,6 @@ impl BenchSummary {
             Err(e) => eprintln!("cannot write {path}: {e}"),
         }
     }
-}
-
-fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 /// Best-of-`runs` wall time of `f` (one warm-up run first).

@@ -1,0 +1,575 @@
+//! A tiny hand-rolled JSON value type with an encoder and a decoder.
+//!
+//! The build environment has no registry access, so no serde; this
+//! module is the one JSON implementation the workspace shares — the
+//! `rq-wire` HTTP API encodes requests and responses through it, and
+//! the bench harness writes its committed `BENCH_<name>.json` summaries
+//! with the same encoder.  It covers exactly the JSON the workspace
+//! speaks: objects with string keys (insertion-ordered), arrays,
+//! strings, integers, floats, booleans, and `null`.
+//!
+//! Encoding is available compact ([`Json::encode`]) and pretty
+//! ([`Json::encode_pretty`]); decoding ([`Json::parse`]) is a
+//! recursive-descent parser with a nesting-depth limit so untrusted
+//! network bodies cannot overflow the stack.
+//!
+//! ```
+//! use rq_common::json::Json;
+//!
+//! let value = Json::parse(r#"{"query": "tc(a, Y)", "rows": [["b"], [7]]}"#).unwrap();
+//! assert_eq!(value.get("query").and_then(Json::as_str), Some("tc(a, Y)"));
+//! let rows = value.get("rows").and_then(Json::as_array).unwrap();
+//! assert_eq!(rows[1].as_array().unwrap()[0].as_i64(), Some(7));
+//! let round = Json::parse(&value.encode()).unwrap();
+//! assert_eq!(round, value);
+//! ```
+
+use std::fmt::Write as _;
+
+/// Maximum nesting depth [`Json::parse`] accepts.  Deeper documents are
+/// rejected with [`JsonError::TooDeep`] — a recursive-descent parser
+/// must bound recursion before it trusts network input.
+pub const MAX_DEPTH: usize = 64;
+
+/// One JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number without a fractional part or exponent.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object.  Keys keep insertion order and are not deduplicated;
+    /// [`Json::get`] returns the first occurrence.
+    Object(Vec<(String, Json)>),
+}
+
+/// A decode failure: what went wrong and at which byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JsonError {
+    /// The input ended inside a value.
+    UnexpectedEnd,
+    /// An unexpected byte at this offset.
+    Unexpected(usize, char),
+    /// A number failed to parse at this offset.
+    BadNumber(usize),
+    /// A malformed string escape at this offset.
+    BadEscape(usize),
+    /// Nesting exceeded [`MAX_DEPTH`].
+    TooDeep,
+    /// Valid JSON followed by trailing garbage at this offset.
+    Trailing(usize),
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JsonError::UnexpectedEnd => write!(f, "unexpected end of JSON input"),
+            JsonError::Unexpected(at, c) => write!(f, "unexpected `{c}` at byte {at}"),
+            JsonError::BadNumber(at) => write!(f, "malformed number at byte {at}"),
+            JsonError::BadEscape(at) => write!(f, "malformed string escape at byte {at}"),
+            JsonError::TooDeep => write!(f, "nesting deeper than {MAX_DEPTH} levels"),
+            JsonError::Trailing(at) => write!(f, "trailing characters at byte {at}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Build an object from key/value pairs (a small ergonomic helper
+    /// for encoder call sites).
+    pub fn object(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// The value under `key`, when `self` is an object holding one.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, when `self` is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, when `self` is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a float (integers convert losslessly for
+    /// |i| < 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Int(i) => Some(*i as f64),
+            Json::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, when `self` is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, when `self` is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs, when `self` is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Compact encoding (no whitespace).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Pretty encoding: two-space indentation, one element per line —
+    /// the format of the committed `BENCH_<name>.json` files.
+    pub fn encode_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::Float(x) => {
+                if x.is_finite() {
+                    // `{:?}` prints the shortest representation that
+                    // round-trips and always keeps a `.0` on integral
+                    // values, so the output stays a JSON *number* that
+                    // reads back as a float.
+                    let _ = write!(out, "{x:?}");
+                } else {
+                    // JSON has no NaN/Infinity; `null` is the honest
+                    // encoding of an unrepresentable measurement.
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_str_into(s, out),
+            Json::Array(items) => write_seq(out, indent, level, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent, level + 1)
+            }),
+            Json::Object(pairs) => {
+                write_seq(out, indent, level, '{', '}', pairs.len(), |out, i| {
+                    let (key, value) = &pairs[i];
+                    escape_str_into(key, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, level + 1)
+                })
+            }
+        }
+    }
+
+    /// Decode one JSON document; trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let bytes = text.as_bytes();
+        let mut at = 0;
+        let value = parse_value(bytes, &mut at, 0)?;
+        skip_ws(bytes, &mut at);
+        if at < bytes.len() {
+            return Err(JsonError::Trailing(at));
+        }
+        Ok(value)
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    level: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if let Some(width) = indent {
+            out.push('\n');
+            for _ in 0..width * (level + 1) {
+                out.push(' ');
+            }
+        }
+        item(out, i);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        for _ in 0..width * level {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+/// JSON-escape `s` (with the surrounding quotes) into `out`.
+fn escape_str_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// JSON-escape `s`, returning the quoted string.
+pub fn escape_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    escape_str_into(s, &mut out);
+    out
+}
+
+fn skip_ws(bytes: &[u8], at: &mut usize) {
+    while *at < bytes.len() && matches!(bytes[*at], b' ' | b'\t' | b'\n' | b'\r') {
+        *at += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], at: &mut usize, depth: usize) -> Result<Json, JsonError> {
+    if depth > MAX_DEPTH {
+        return Err(JsonError::TooDeep);
+    }
+    skip_ws(bytes, at);
+    let Some(&b) = bytes.get(*at) else {
+        return Err(JsonError::UnexpectedEnd);
+    };
+    match b {
+        b'n' => parse_lit(bytes, at, "null", Json::Null),
+        b't' => parse_lit(bytes, at, "true", Json::Bool(true)),
+        b'f' => parse_lit(bytes, at, "false", Json::Bool(false)),
+        b'"' => parse_string(bytes, at).map(Json::Str),
+        b'[' => {
+            *at += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, at);
+            if bytes.get(*at) == Some(&b']') {
+                *at += 1;
+                return Ok(Json::Array(items));
+            }
+            loop {
+                items.push(parse_value(bytes, at, depth + 1)?);
+                skip_ws(bytes, at);
+                match bytes.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b']') => {
+                        *at += 1;
+                        return Ok(Json::Array(items));
+                    }
+                    Some(&c) => return Err(JsonError::Unexpected(*at, c as char)),
+                    None => return Err(JsonError::UnexpectedEnd),
+                }
+            }
+        }
+        b'{' => {
+            *at += 1;
+            let mut pairs = Vec::new();
+            skip_ws(bytes, at);
+            if bytes.get(*at) == Some(&b'}') {
+                *at += 1;
+                return Ok(Json::Object(pairs));
+            }
+            loop {
+                skip_ws(bytes, at);
+                if bytes.get(*at) != Some(&b'"') {
+                    return match bytes.get(*at) {
+                        Some(&c) => Err(JsonError::Unexpected(*at, c as char)),
+                        None => Err(JsonError::UnexpectedEnd),
+                    };
+                }
+                let key = parse_string(bytes, at)?;
+                skip_ws(bytes, at);
+                if bytes.get(*at) != Some(&b':') {
+                    return match bytes.get(*at) {
+                        Some(&c) => Err(JsonError::Unexpected(*at, c as char)),
+                        None => Err(JsonError::UnexpectedEnd),
+                    };
+                }
+                *at += 1;
+                let value = parse_value(bytes, at, depth + 1)?;
+                pairs.push((key, value));
+                skip_ws(bytes, at);
+                match bytes.get(*at) {
+                    Some(b',') => *at += 1,
+                    Some(b'}') => {
+                        *at += 1;
+                        return Ok(Json::Object(pairs));
+                    }
+                    Some(&c) => return Err(JsonError::Unexpected(*at, c as char)),
+                    None => return Err(JsonError::UnexpectedEnd),
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => parse_number(bytes, at),
+        c => Err(JsonError::Unexpected(*at, c as char)),
+    }
+}
+
+fn parse_lit(bytes: &[u8], at: &mut usize, lit: &str, value: Json) -> Result<Json, JsonError> {
+    if bytes[*at..].starts_with(lit.as_bytes()) {
+        *at += lit.len();
+        Ok(value)
+    } else {
+        Err(JsonError::Unexpected(*at, bytes[*at] as char))
+    }
+}
+
+fn parse_number(bytes: &[u8], at: &mut usize) -> Result<Json, JsonError> {
+    let start = *at;
+    if bytes.get(*at) == Some(&b'-') {
+        *at += 1;
+    }
+    let mut fractional = false;
+    while let Some(&b) = bytes.get(*at) {
+        match b {
+            b'0'..=b'9' => *at += 1,
+            b'.' | b'e' | b'E' | b'+' | b'-' => {
+                fractional = true;
+                *at += 1;
+            }
+            _ => break,
+        }
+    }
+    let text = std::str::from_utf8(&bytes[start..*at]).expect("ASCII slice");
+    if !fractional {
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Json::Int(i));
+        }
+    }
+    text.parse::<f64>()
+        .map(Json::Float)
+        .map_err(|_| JsonError::BadNumber(start))
+}
+
+fn parse_string(bytes: &[u8], at: &mut usize) -> Result<String, JsonError> {
+    debug_assert_eq!(bytes[*at], b'"');
+    *at += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&b) = bytes.get(*at) else {
+            return Err(JsonError::UnexpectedEnd);
+        };
+        match b {
+            b'"' => {
+                *at += 1;
+                return Ok(out);
+            }
+            b'\\' => {
+                let esc_at = *at;
+                *at += 1;
+                let Some(&e) = bytes.get(*at) else {
+                    return Err(JsonError::UnexpectedEnd);
+                };
+                *at += 1;
+                match e {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{0008}'),
+                    b'f' => out.push('\u{000c}'),
+                    b'u' => {
+                        let code = parse_hex4(bytes, at).ok_or(JsonError::BadEscape(esc_at))?;
+                        let c = if (0xd800..0xdc00).contains(&code) {
+                            // High surrogate: require the paired low
+                            // surrogate escape.
+                            if bytes.get(*at) != Some(&b'\\') || bytes.get(*at + 1) != Some(&b'u') {
+                                return Err(JsonError::BadEscape(esc_at));
+                            }
+                            *at += 2;
+                            let low = parse_hex4(bytes, at).ok_or(JsonError::BadEscape(esc_at))?;
+                            if !(0xdc00..0xe000).contains(&low) {
+                                return Err(JsonError::BadEscape(esc_at));
+                            }
+                            let combined = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                            char::from_u32(combined).ok_or(JsonError::BadEscape(esc_at))?
+                        } else {
+                            char::from_u32(code).ok_or(JsonError::BadEscape(esc_at))?
+                        };
+                        out.push(c);
+                    }
+                    _ => return Err(JsonError::BadEscape(esc_at)),
+                }
+            }
+            0x00..=0x1f => return Err(JsonError::Unexpected(*at, b as char)),
+            _ => {
+                // Consume one UTF-8 scalar (the input is a &str, so the
+                // encoding is already valid).
+                let rest = std::str::from_utf8(&bytes[*at..]).expect("valid UTF-8 tail");
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *at += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], at: &mut usize) -> Option<u32> {
+    let slice = bytes.get(*at..*at + 4)?;
+    let text = std::str::from_utf8(slice).ok()?;
+    let code = u32::from_str_radix(text, 16).ok()?;
+    *at += 4;
+    Some(code)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for (text, value) in [
+            ("null", Json::Null),
+            ("true", Json::Bool(true)),
+            ("false", Json::Bool(false)),
+            ("42", Json::Int(42)),
+            ("-7", Json::Int(-7)),
+            ("3.5", Json::Float(3.5)),
+            ("-0.25", Json::Float(-0.25)),
+            ("\"hi\"", Json::Str("hi".into())),
+        ] {
+            assert_eq!(Json::parse(text).unwrap(), value, "{text}");
+            assert_eq!(Json::parse(&value.encode()).unwrap(), value);
+        }
+        assert_eq!(Json::parse("1e3").unwrap(), Json::Float(1000.0));
+    }
+
+    #[test]
+    fn containers_round_trip_and_preserve_order() {
+        let text = r#"{"b": [1, 2, {"x": null}], "a": "z", "nested": {"k": [true, false]}}"#;
+        let value = Json::parse(text).unwrap();
+        let keys: Vec<&str> = value
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, vec!["b", "a", "nested"]);
+        assert_eq!(Json::parse(&value.encode()).unwrap(), value);
+        assert_eq!(Json::parse(&value.encode_pretty()).unwrap(), value);
+    }
+
+    #[test]
+    fn string_escapes_decode_and_encode() {
+        let value = Json::parse(r#""a\"b\\c\ndAé""#).unwrap();
+        assert_eq!(value, Json::Str("a\"b\\c\ndAé".into()));
+        assert_eq!(Json::parse(&value.encode()).unwrap(), value);
+        // Surrogate pair.
+        assert_eq!(Json::parse(r#""😀""#).unwrap(), Json::Str("😀".into()));
+        assert!(Json::parse(r#""\ud83d""#).is_err(), "lone high surrogate");
+        assert!(Json::parse(r#""\uZZZZ""#).is_err());
+        assert_eq!(escape_str("a\"b"), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert_eq!(Json::parse(""), Err(JsonError::UnexpectedEnd));
+        assert_eq!(Json::parse("{"), Err(JsonError::UnexpectedEnd));
+        assert!(matches!(Json::parse("nul"), Err(JsonError::Unexpected(..))));
+        assert!(matches!(Json::parse("1 2"), Err(JsonError::Trailing(_))));
+        assert!(matches!(
+            Json::parse("[1,]"),
+            Err(JsonError::Unexpected(..))
+        ));
+        assert!(matches!(
+            Json::parse("{\"a\" 1}"),
+            Err(JsonError::Unexpected(..))
+        ));
+        assert!(matches!(Json::parse("1.2.3"), Err(JsonError::BadNumber(_))));
+    }
+
+    #[test]
+    fn depth_limit_rejects_bombs() {
+        let deep = "[".repeat(MAX_DEPTH + 2) + &"]".repeat(MAX_DEPTH + 2);
+        assert_eq!(Json::parse(&deep), Err(JsonError::TooDeep));
+        let fine = "[".repeat(8) + "1" + &"]".repeat(8);
+        assert!(Json::parse(&fine).is_ok());
+    }
+
+    #[test]
+    fn non_finite_floats_encode_as_null() {
+        assert_eq!(Json::Float(f64::NAN).encode(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).encode(), "null");
+    }
+
+    #[test]
+    fn object_helpers() {
+        let value = Json::object([("a", Json::Int(1)), ("b", Json::Bool(true))]);
+        assert_eq!(value.get("a").and_then(Json::as_i64), Some(1));
+        assert_eq!(value.get("b").and_then(Json::as_bool), Some(true));
+        assert_eq!(value.get("c"), None);
+        assert_eq!(Json::Int(5).get("a"), None);
+        assert_eq!(Json::Int(5).as_f64(), Some(5.0));
+    }
+
+    #[test]
+    fn pretty_format_shape() {
+        let value = Json::object([
+            ("bench", Json::Str("t".into())),
+            ("entries", Json::Array(vec![Json::Int(1)])),
+        ]);
+        assert_eq!(
+            value.encode_pretty(),
+            "{\n  \"bench\": \"t\",\n  \"entries\": [\n    1\n  ]\n}\n"
+        );
+    }
+}

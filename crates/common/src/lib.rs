@@ -5,6 +5,9 @@
 //! * [`hash`] — an FxHash-style fast hasher and map/set aliases;
 //! * [`intern`] — interned constants, predicates, and variables;
 //! * [`idvec`] — dense tables indexed by interned ids;
+//! * [`json`] — a tiny hand-rolled JSON value type with encoder and
+//!   decoder, shared by the `rq-wire` HTTP API and the bench-summary
+//!   writer (no registry access, so no serde);
 //! * [`memo`] — a bounded concurrent memo shared by the epoch-scoped
 //!   evaluation caches;
 //! * [`counters`] — the unit-cost instrumentation counters that the
@@ -22,6 +25,7 @@ pub mod counters;
 pub mod hash;
 pub mod idvec;
 pub mod intern;
+pub mod json;
 pub mod memo;
 pub mod pshare;
 pub mod threads;
@@ -30,6 +34,7 @@ pub use counters::Counters;
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use idvec::{IdLike, IdVec};
 pub use intern::{Const, ConstInterner, ConstValue, NameInterner, Pred, Var};
+pub use json::{Json, JsonError};
 pub use memo::{BoundedMemo, MemoStats};
 pub use pshare::{PMap, PVec};
 pub use threads::{capped_threads, thread_cap};

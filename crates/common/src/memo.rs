@@ -78,6 +78,38 @@ impl<K: Eq + Hash, V> BoundedMemo<K, V> {
         map.insert(key, value);
     }
 
+    /// Copy every entry of `src` whose key satisfies `keep` into this
+    /// memo (values are `Arc`-shared, not cloned), respecting this
+    /// memo's entry cap.  Returns how many entries were carried.
+    ///
+    /// This is the cross-epoch carry-forward primitive: a fresh epoch's
+    /// memo inherits the previous epoch's entries that are still valid
+    /// (the serving layer decides validity from plan read-sets vs. the
+    /// publish's dirty shards).
+    pub fn carry_from(&self, src: &Self, mut keep: impl FnMut(&K) -> bool) -> usize
+    where
+        K: Clone,
+    {
+        let survivors: Vec<(K, Arc<V>)> = {
+            let src_map = src.map.read().expect("memo lock poisoned");
+            src_map
+                .iter()
+                .filter(|(k, _)| keep(k))
+                .map(|(k, v)| (k.clone(), Arc::clone(v)))
+                .collect()
+        };
+        let mut map = self.map.write().expect("memo lock poisoned");
+        let mut carried = 0;
+        for (key, value) in survivors {
+            if map.len() >= self.max_entries && !map.contains_key(&key) {
+                break;
+            }
+            map.insert(key, value);
+            carried += 1;
+        }
+        carried
+    }
+
     /// Number of stored entries.
     pub fn len(&self) -> usize {
         self.map.read().expect("memo lock poisoned").len()
@@ -144,6 +176,29 @@ mod tests {
         memo.insert(1, Arc::new(11));
         assert_eq!(*memo.get(&1).unwrap(), 11, "existing keys overwrite");
         assert_eq!(memo.len(), 2);
+    }
+
+    #[test]
+    fn carry_from_filters_shares_and_respects_the_cap() {
+        let old: BoundedMemo<(u32, u32), Vec<u32>> = BoundedMemo::new(8);
+        old.insert((1, 0), Arc::new(vec![10]));
+        old.insert((1, 1), Arc::new(vec![11]));
+        old.insert((2, 0), Arc::new(vec![20]));
+        let fresh: BoundedMemo<(u32, u32), Vec<u32>> = BoundedMemo::new(8);
+        let carried = fresh.carry_from(&old, |k| k.0 == 1);
+        assert_eq!(carried, 2);
+        assert_eq!(fresh.len(), 2);
+        // Values are Arc-shared, not cloned.
+        assert!(Arc::ptr_eq(
+            &old.get(&(1, 0)).unwrap(),
+            &fresh.get(&(1, 0)).unwrap()
+        ));
+        assert!(fresh.get(&(2, 0)).is_none(), "filtered keys do not carry");
+        // A tiny destination caps what carries.
+        let tiny: BoundedMemo<(u32, u32), Vec<u32>> = BoundedMemo::new(1);
+        let carried = tiny.carry_from(&old, |_| true);
+        assert_eq!(carried, 1);
+        assert_eq!(tiny.len(), 1);
     }
 
     #[test]

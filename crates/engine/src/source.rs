@@ -33,7 +33,7 @@ pub trait TupleSource: Sync {
 
 /// A [`TupleSource`] reading binary relations straight from a [`Database`].
 ///
-/// All reads go through *shard views* ([`EdbSource::shard`]): the
+/// All reads go through *shard views* (`EdbSource::shard`): the
 /// database hands out per-predicate `Arc`-shared [`Relation`] shards,
 /// so a source over an epoch snapshot reads exactly the shard versions
 /// that epoch published — including their warm indexes, which persist

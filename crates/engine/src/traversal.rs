@@ -138,6 +138,22 @@ impl EvalContext {
         self.memo.insert(key, Arc::new(sorted));
     }
 
+    /// Carry the entries of `prev` whose `(plan id, machine)` the
+    /// caller vouches for into this context (answer sets are
+    /// `Arc`-shared, never cloned).  Returns how many entries carried.
+    ///
+    /// This is the cross-epoch half of the memo story: a memoized
+    /// answer set stays valid across a database publish as long as the
+    /// relations its machine (transitively) reads were untouched.  The
+    /// serving layer resolves that from plan read-sets vs. the
+    /// publish's dirty shards ([`CompiledPlan::machine_preds`] maps
+    /// each machine index back to its predicate); the engine only
+    /// moves the vouched-for entries.
+    pub fn carry_from(&self, prev: &EvalContext, mut keep: impl FnMut(u64, u32) -> bool) -> usize {
+        self.memo
+            .carry_from(&prev.memo, |&(plan, machine, _)| keep(plan, machine))
+    }
+
     /// Number of memoized answer sets.
     pub fn entries(&self) -> usize {
         self.memo.len()
@@ -341,7 +357,7 @@ impl CompiledPlan {
         Self::build(system, false)
     }
 
-    /// Compile ε-compacted machines ([`rq_automata::compact`]): same
+    /// Compile ε-compacted machines ([`rq_automata::compact()`]): same
     /// answers, fewer `id` transitions and so fewer glue nodes in
     /// `G(p, a, i)`.
     pub fn compile_compacted(system: &EqSystem) -> Self {
@@ -391,6 +407,22 @@ impl CompiledPlan {
     /// Number of compiled machines (two per derived predicate).
     pub fn machine_count(&self) -> usize {
         self.machines.len()
+    }
+
+    /// `(machine index, predicate)` for every compiled machine (both
+    /// orientations map back to their predicate), sorted by index.
+    /// This is the granularity of cross-epoch memo carry-forward: an
+    /// [`EvalContext`] entry for machine `m` stays valid across a
+    /// publish exactly when the read-set of `m`'s predicate is
+    /// disjoint from the publish's dirty shards.
+    pub fn machine_preds(&self) -> Vec<(u32, Pred)> {
+        let mut out: Vec<(u32, Pred)> = self
+            .machine_index
+            .iter()
+            .map(|(key, &machine)| (machine, key.pred))
+            .collect();
+        out.sort_unstable_by_key(|&(machine, _)| machine);
+        out
     }
 
     /// Total states across all compiled machines.
@@ -727,7 +759,7 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
     }
 
     /// Build an evaluator whose machines are ε-compacted
-    /// ([`rq_automata::compact`]).  Same answers; fewer `id` transitions
+    /// ([`rq_automata::compact()`]).  Same answers; fewer `id` transitions
     /// means fewer glue nodes in `G(p, a, i)` (measured by the
     /// `compact` ablation bench).
     pub fn new_compacted(system: &'a EqSystem, source: &'a S) -> Self {

@@ -20,11 +20,17 @@
 //!   through the shared [`rq_engine::all_pairs_scc`] condensation
 //!   instead of the per-source loop.
 //!
-//! Invalidation is wholesale and free: publishing a new epoch creates
-//! a new snapshot, which creates a new (empty) context; the old one
-//! dies with the last reader of the old snapshot.  No entry of an old
-//! epoch can leak forward because nothing holds a context across
-//! snapshots.
+//! Invalidation is wholesale by default: publishing a new epoch
+//! creates a new snapshot, which creates a new (empty) context; the
+//! old one dies with the last reader of the old snapshot.  The one
+//! deliberate exception is [`EpochContext::carry_from`]: the service's
+//! ingest path moves entries of **clean-read-set plans** — plans that
+//! read none of the shards the publish dirtied — into the new context,
+//! mirroring the result cache's `carry_forward`.  That keeps long-
+//! lived clients at warm-epoch throughput across unrelated ingests
+//! while preserving the invariant that no entry can outlive the data
+//! it was computed from (a carried entry's entire read-set is
+//! pointer-identical across the two epochs).
 
 use crate::spec::Adornment;
 use rq_adorn::ProbeSpace;
@@ -51,6 +57,14 @@ pub struct EpochContextStats {
     pub probe_entries: usize,
     /// All-free queries served through the shared-SCC path.
     pub scc_served: u64,
+    /// Machine-memo entries inherited from the previous epoch's context
+    /// (plans whose read-set the publish left clean).
+    pub eval_carried: u64,
+    /// §4 probe spaces inherited from the previous epoch's context.
+    /// A carried space keeps its cumulative hit/miss counters — its
+    /// memo (and the tuple interner the machine memo's answers are
+    /// encoded in) survives the publish as one unit.
+    pub probe_spaces_carried: u64,
 }
 
 /// The sharing state of one snapshot epoch.  See the module docs.
@@ -58,6 +72,8 @@ pub struct EpochContext {
     eval: EvalContext,
     probes: RwLock<FxHashMap<(Pred, Adornment), Arc<ProbeSpace>>>,
     scc_served: AtomicU64,
+    eval_carried: AtomicU64,
+    probe_spaces_carried: AtomicU64,
 }
 
 impl EpochContext {
@@ -67,7 +83,86 @@ impl EpochContext {
             eval: EvalContext::new(),
             probes: RwLock::new(FxHashMap::default()),
             scc_served: AtomicU64::new(0),
+            eval_carried: AtomicU64::new(0),
+            probe_spaces_carried: AtomicU64::new(0),
         }
+    }
+
+    /// Inherit from the previous epoch's context everything the caller
+    /// vouches survives the publish:
+    ///
+    /// * `chain_machines` — the §3 chain plan's id plus the machine
+    ///   indices whose predicate's read-set is disjoint from the
+    ///   publish's dirty shards: those machines' memo entries carry
+    ///   (their answers are real program constants, whose interned ids
+    ///   are stable across epochs);
+    /// * `nary_plans` — clean-read-set §4 plans, as `((pred,
+    ///   adornment), plan id)` pairs.  A §4 plan's probe space and its
+    ///   machine-memo entries travel **as a unit**, because the
+    ///   memoized answers are encoded in that probe space's tuple
+    ///   interner.  Probe spaces are therefore carried *first*, and a
+    ///   plan's memo entries are only carried when its previous-epoch
+    ///   probe space actually became this epoch's space — if a racing
+    ///   query already created a fresh space (fresh interner) on this
+    ///   epoch, the old entries are discarded rather than paired with
+    ///   an interner that numbers tuples differently.
+    ///
+    /// Everything else starts cold, exactly as before.  The carried
+    /// counts land in [`EpochContextStats::eval_carried`] /
+    /// [`EpochContextStats::probe_spaces_carried`].
+    pub fn carry_from(
+        &self,
+        prev: &EpochContext,
+        chain_machines: Option<&(u64, rq_common::FxHashSet<u32>)>,
+        nary_plans: &[((Pred, Adornment), u64)],
+    ) {
+        // Phase 1: probe spaces, collecting the plan ids whose old
+        // space (and so whose tuple interner) survives into this epoch.
+        let mut keep_nary: rq_common::FxHashSet<u64> = rq_common::FxHashSet::default();
+        if !nary_plans.is_empty() {
+            let survivors: Vec<((Pred, Adornment), u64, Arc<ProbeSpace>)> = {
+                let prev_map = prev.probes.read().expect("probe space map poisoned");
+                nary_plans
+                    .iter()
+                    .filter_map(|&(key, plan)| {
+                        prev_map
+                            .get(&key)
+                            .map(|space| (key, plan, Arc::clone(space)))
+                    })
+                    .collect()
+            };
+            let mut map = self.probes.write().expect("probe space map poisoned");
+            let mut carried_spaces = 0;
+            for (key, plan, space) in survivors {
+                match map.entry(key) {
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(space);
+                        carried_spaces += 1;
+                        keep_nary.insert(plan);
+                    }
+                    std::collections::hash_map::Entry::Occupied(existing) => {
+                        if Arc::ptr_eq(existing.get(), &space) {
+                            // Already carried (idempotent re-run): the
+                            // interner matches, entries may carry too.
+                            keep_nary.insert(plan);
+                        }
+                        // Otherwise a racing query created a fresh
+                        // space: keep it (its interner may already
+                        // anchor new memo entries) and let this plan's
+                        // old entries die with the old epoch.
+                    }
+                }
+            }
+            self.probe_spaces_carried
+                .fetch_add(carried_spaces, Ordering::Relaxed);
+        }
+        // Phase 2: machine-memo entries, gated on phase 1 for §4 plans.
+        let carried = self.eval.carry_from(&prev.eval, |plan, machine| {
+            keep_nary.contains(&plan)
+                || chain_machines
+                    .is_some_and(|(id, machines)| *id == plan && machines.contains(&machine))
+        }) as u64;
+        self.eval_carried.fetch_add(carried, Ordering::Relaxed);
     }
 
     /// The engine-level machine-traversal memo.
@@ -114,6 +209,8 @@ impl EpochContext {
             eval_misses: eval.misses,
             eval_entries: eval.entries,
             scc_served: self.scc_served.load(Ordering::Relaxed),
+            eval_carried: self.eval_carried.load(Ordering::Relaxed),
+            probe_spaces_carried: self.probe_spaces_carried.load(Ordering::Relaxed),
             ..EpochContextStats::default()
         };
         for space in self
@@ -165,6 +262,48 @@ mod tests {
             !Arc::ptr_eq(&s1, &s3),
             "different adornment, different space"
         );
+    }
+
+    #[test]
+    fn carry_pairs_probe_space_with_its_plan_or_drops_both() {
+        let program = parse_program("e(a,b).").unwrap();
+        let key = (Pred(0), Adornment::from_bound(2, [0]));
+        let plan_id = 77u64;
+
+        // Vacant destination: the old space carries, same Arc.
+        let prev = EpochContext::new();
+        let old_space = prev.probe_space(key.0, key.1, &program);
+        let fresh = EpochContext::new();
+        fresh.carry_from(&prev, None, &[(key, plan_id)]);
+        assert_eq!(fresh.stats().probe_spaces_carried, 1);
+        assert!(Arc::ptr_eq(
+            &old_space,
+            &fresh.probe_space(key.0, key.1, &program)
+        ));
+        // Idempotent re-run: the already-carried space still counts as
+        // paired (same interner), but is not carried twice.
+        fresh.carry_from(&prev, None, &[(key, plan_id)]);
+        assert_eq!(fresh.stats().probe_spaces_carried, 1);
+
+        // A racing query created a fresh space first: the old space —
+        // and with it the plan's memo entries, whose answers are
+        // encoded in the old space's interner — must NOT carry.
+        let racing = EpochContext::new();
+        let racing_space = racing.probe_space(key.0, key.1, &program);
+        racing.carry_from(&prev, None, &[(key, plan_id)]);
+        assert_eq!(racing.stats().probe_spaces_carried, 0);
+        assert!(Arc::ptr_eq(
+            &racing_space,
+            &racing.probe_space(key.0, key.1, &program)
+        ));
+
+        // A plan whose previous epoch never built a space carries
+        // nothing and counts nothing.
+        let empty_prev = EpochContext::new();
+        let target = EpochContext::new();
+        target.carry_from(&empty_prev, None, &[(key, plan_id)]);
+        assert_eq!(target.stats().probe_spaces_carried, 0);
+        assert_eq!(target.stats().eval_carried, 0);
     }
 
     #[test]

@@ -50,7 +50,7 @@
 //! including under concurrent ingestion (`tests/oracle_parity.rs`).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod context;
 pub mod plan;
@@ -58,6 +58,7 @@ pub mod results;
 pub mod service;
 pub mod snapshot;
 pub mod spec;
+pub mod stats;
 
 pub use context::{EpochContext, EpochContextStats};
 pub use plan::{rules_fingerprint, CacheStats, PlanCache, PlanKey};
@@ -65,3 +66,4 @@ pub use results::{CachedResult, ResultCache, ResultKey};
 pub use service::{parse_serve_query, QueryService, ServiceAnswer, ServiceConfig, ServiceError};
 pub use snapshot::{IngestError, Snapshot, SnapshotStore};
 pub use spec::{Adornment, Arg, QuerySpec};
+pub use stats::StatsReport;

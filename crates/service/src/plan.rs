@@ -255,6 +255,20 @@ impl PlanCache {
             .and_then(|o| o.clone().ok())
     }
 
+    /// Every successfully compiled §4 plan of `fingerprint`'s program —
+    /// the ingest path walks these to decide which plans' epoch-context
+    /// state (machine memo + probe space) survives a publish.  Never
+    /// triggers compilation.
+    pub fn cached_nary_plans(&self, fingerprint: u64) -> Vec<(PlanKey, Arc<NaryPlan>)> {
+        self.by_nary
+            .read()
+            .expect("plan cache lock poisoned")
+            .iter()
+            .filter(|(key, _)| key.program == fingerprint)
+            .filter_map(|(key, outcome)| outcome.as_ref().ok().map(|plan| (*key, Arc::clone(plan))))
+            .collect()
+    }
+
     /// Number of binary-chain `(program, pred, adornment)` entries.
     pub fn len(&self) -> usize {
         self.by_key.read().expect("plan cache lock poisoned").len()

@@ -253,19 +253,46 @@ impl QueryService {
         self.store.snapshot()
     }
 
+    /// One consistent read of every counter the service exposes — the
+    /// single rendering source behind both the REPL's `:stats` text
+    /// and the HTTP API's `GET /stats` JSON
+    /// (see [`crate::stats::StatsReport`]).
+    pub fn stats_report(&self) -> crate::stats::StatsReport {
+        let snapshot = self.snapshot();
+        crate::stats::StatsReport {
+            epoch: snapshot.epoch(),
+            plans: self.plans.stats(),
+            chain_programs: self.plans.programs(),
+            nary_plans: self.plans.nary_plans(),
+            results: self.results.stats(),
+            result_entries: self.results.len(),
+            result_bytes: self.results.bytes(),
+            context: snapshot.context().stats(),
+        }
+    }
+
     /// Ingest fact clauses copy-on-write and publish the next epoch.
-    /// In-flight readers keep their snapshot.  Result-cache entries are
-    /// invalidated **per plan read-set**: an entry survives (re-keyed
-    /// to the new epoch) when its plan reads none of the shards the
-    /// publish dirtied — for §4 entries the transformed program's
-    /// virtual predicates are resolved back to the real base relations
-    /// their joins consult — so an ingest into `e` leaves answers over
-    /// disjoint predicates hot.
+    /// In-flight readers keep their snapshot.  Two caches then carry
+    /// forward **per plan read-set** instead of dying with the epoch:
+    ///
+    /// * result-cache entries survive (re-keyed to the new epoch) when
+    ///   their plan reads none of the shards the publish dirtied — for
+    ///   §4 entries the transformed program's virtual predicates are
+    ///   resolved back to the real base relations their joins consult;
+    /// * the epoch context's machine memo (and, for §4 plans, the
+    ///   shared probe space) migrates into the new snapshot's context
+    ///   for plans with the same clean-read-set property, so long-lived
+    ///   clients keep warm-epoch traversal throughput across unrelated
+    ///   ingests.
+    ///
+    /// An ingest into `e` therefore leaves both the answers *and* the
+    /// traversal memos of plans over disjoint predicates hot.
     pub fn ingest(&self, facts_text: &str) -> Result<Arc<Snapshot>, ServiceError> {
         // Publish and carry-forward must happen atomically with respect
         // to other ingests: epoch N's GC only vouches for N-1 entries,
         // so running two GCs out of order would flush survivors.
         let _gc = self.ingest_gc.lock().expect("ingest lock poisoned");
+        let prev = self.store.snapshot();
         let snap = self.store.ingest(facts_text)?;
         let dirty = snap.dirty_preds();
         let fingerprint = snap.rules_fingerprint();
@@ -285,7 +312,58 @@ impl QueryService {
                     .is_some_and(|p| p.read_set(snap.program()).is_disjoint(dirty))
             })
         });
+        if self.config.share_epoch_context {
+            self.carry_context(&prev, &snap);
+        }
         Ok(snap)
+    }
+
+    /// Cross-epoch machine-memo carry-forward: move the previous
+    /// epoch's traversal memos into the fresh snapshot's context for
+    /// every cached plan whose read-set is disjoint from the publish's
+    /// dirty shards (the context-side mirror of the result cache's
+    /// `carry_forward`).
+    ///
+    /// Granularity follows what each memo key can vouch for:
+    ///
+    /// * the §3 chain plan is one compiled unit shared by every binary
+    ///   predicate of the program, so survival is decided **per
+    ///   machine** — machine `m` carries exactly when the read-set of
+    ///   `m`'s predicate is clean, so an ingest into `e` drops `tc`'s
+    ///   memos while `rc`-over-`f` memos survive;
+    /// * each §4 plan carries **wholesale or not at all**, and always
+    ///   together with its probe space — the memoized answer sets are
+    ///   encoded in that space's tuple interner, so the two are only
+    ///   meaningful as a unit.
+    fn carry_context(&self, prev: &Snapshot, snap: &Snapshot) {
+        let dirty = snap.dirty_preds();
+        let chain_machines: Option<(u64, rq_common::FxHashSet<u32>)> = self
+            .plans
+            .peek_program(snap.rules_fingerprint())
+            .map(|plan| {
+                let mut clean: FxHashMap<Pred, bool> = FxHashMap::default();
+                let machines = plan
+                    .compiled
+                    .machine_preds()
+                    .into_iter()
+                    .filter(|&(_, pred)| {
+                        *clean
+                            .entry(pred)
+                            .or_insert_with(|| plan.read_set(pred).is_disjoint(dirty))
+                    })
+                    .map(|(machine, _)| machine)
+                    .collect();
+                (plan.compiled.id(), machines)
+            });
+        let nary_plans: Vec<((Pred, Adornment), u64)> = self
+            .plans
+            .cached_nary_plans(snap.rules_fingerprint())
+            .into_iter()
+            .filter(|(_, plan)| plan.read_set(snap.program()).is_disjoint(dirty))
+            .map(|(key, plan)| ((key.pred, key.adornment), plan.compiled.id()))
+            .collect();
+        snap.context()
+            .carry_from(prev.context(), chain_machines.as_ref(), &nary_plans);
     }
 
     /// Parse a query — any arity, any mix of bound constants and free
@@ -592,7 +670,21 @@ impl QueryService {
     /// ([`crate::plan::CacheStats::deduped`] counts the copies).
     /// Output order matches input order.
     pub fn query_batch(&self, queries: &[QuerySpec]) -> Vec<Result<ServiceAnswer, ServiceError>> {
-        let snapshot = self.snapshot();
+        self.query_batch_on(&self.snapshot(), queries)
+    }
+
+    /// [`QueryService::query_batch`] on a **caller-pinned** snapshot.
+    /// Front ends that parse query text and decode answer rows against
+    /// a snapshot's interners must evaluate on that same snapshot —
+    /// otherwise a concurrent ingest between capture and evaluation
+    /// hands back rows whose constants the captured interner has never
+    /// seen.  Both the REPL batch line and the HTTP `POST /batch`
+    /// endpoint pin through here.
+    pub fn query_batch_on(
+        &self,
+        snapshot: &Arc<Snapshot>,
+        queries: &[QuerySpec],
+    ) -> Vec<Result<ServiceAnswer, ServiceError>> {
         // Batch-level dedup: route every duplicate spec to the first
         // occurrence's slot.
         let mut first_of: FxHashMap<&QuerySpec, usize> = FxHashMap::default();
@@ -624,7 +716,7 @@ impl QueryService {
         let answers: Vec<Result<ServiceAnswer, ServiceError>> = if workers <= 1 {
             unique
                 .iter()
-                .map(|q| self.query_on_with(&snapshot, q, self.config.eval_threads))
+                .map(|q| self.query_on_with(snapshot, q, self.config.eval_threads))
                 .collect()
         } else {
             let slots: Vec<OnceLock<Result<ServiceAnswer, ServiceError>>> =
@@ -635,7 +727,7 @@ impl QueryService {
                     scope.spawn(|| loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         let Some(query) = unique.get(i) else { break };
-                        let answer = self.query_on_with(&snapshot, query, expand_threads);
+                        let answer = self.query_on_with(snapshot, query, expand_threads);
                         slots[i].set(answer).expect("slot claimed twice");
                     });
                 }
@@ -1033,6 +1125,33 @@ is_deptime(540). is_deptime(720). is_deptime(660). is_deptime(840).";
             &batch[0].as_ref().unwrap().rows,
             &batch[2].as_ref().unwrap().rows
         ));
+    }
+
+    #[test]
+    fn batch_on_pinned_snapshot_ignores_later_publishes() {
+        // A front end parses and renders against one snapshot; the
+        // evaluation must stay on that snapshot even when an ingest
+        // publishes (and interns new constants) in between — otherwise
+        // the rows could name constants the pinned interner has never
+        // seen.
+        let service = QueryService::from_source(TC).unwrap();
+        let q = service.parse_query("tc(a, Y)").unwrap();
+        let pinned = service.snapshot();
+        service.ingest("e(d, brand_new).").unwrap();
+        let batch = service.query_batch_on(&pinned, std::slice::from_ref(&q));
+        let answer = batch[0].as_ref().unwrap();
+        assert_eq!(answer.epoch, 0, "evaluation must stay on the pinned epoch");
+        assert_eq!(rendered(&service, answer), vec!["b", "c", "d"]);
+        // Every row decodes through the pinned snapshot's interner.
+        for row in answer.rows.iter() {
+            for &c in row {
+                let _ = pinned.program().consts.value(c);
+            }
+        }
+        // The unpinned entry point answers on the new epoch.
+        let fresh = service.query_batch(&[q]);
+        assert_eq!(fresh[0].as_ref().unwrap().epoch, 1);
+        assert_eq!(fresh[0].as_ref().unwrap().rows.len(), 4);
     }
 
     #[test]

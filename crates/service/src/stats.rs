@@ -1,0 +1,221 @@
+//! One shared rendering path for service counters.
+//!
+//! Every front end reports the same counter set from the same struct:
+//! the REPL's `:stats` prints [`StatsReport`]'s [`std::fmt::Display`]
+//! text, and the HTTP API's `GET /stats` serializes
+//! [`StatsReport::to_json`].  Adding a counter here adds it to both at
+//! once — the two surfaces can never drift apart.
+
+use crate::context::EpochContextStats;
+use crate::plan::CacheStats;
+use rq_common::Json;
+
+/// A point-in-time snapshot of every counter the service exposes.
+///
+/// Produced by [`crate::QueryService::stats_report`]; the fields are a
+/// consistent-enough read for monitoring (each cache's counters are
+/// read atomically, but no lock spans the caches).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatsReport {
+    /// The current snapshot epoch.
+    pub epoch: u64,
+    /// Plan-cache hit/miss counters.
+    pub plans: CacheStats,
+    /// Distinct §3 binary-chain programs compiled.
+    pub chain_programs: usize,
+    /// Distinct §4 `(pred, adornment)` plans compiled.
+    pub nary_plans: usize,
+    /// Result-cache hit/miss/evict/dedup counters.
+    pub results: CacheStats,
+    /// Memoized result entries currently held.
+    pub result_entries: usize,
+    /// Approximate bytes charged to memoized results.
+    pub result_bytes: u64,
+    /// The current epoch context's counters (machine memo, §4 probe
+    /// memo, SCC routing, cross-epoch carries).
+    pub context: EpochContextStats,
+}
+
+impl StatsReport {
+    /// Serialize for the HTTP API's `GET /stats` — the same counters,
+    /// same grouping, as the `Display` text.
+    pub fn to_json(&self) -> Json {
+        let int = |n: u64| Json::Int(n as i64);
+        let memo = |hits: u64, misses: u64, entries: usize| {
+            Json::object([
+                ("hits", int(hits)),
+                ("misses", int(misses)),
+                ("entries", int(entries as u64)),
+            ])
+        };
+        Json::object([
+            ("epoch", int(self.epoch)),
+            (
+                "plan_cache",
+                Json::object([
+                    ("hits", int(self.plans.hits)),
+                    ("misses", int(self.plans.misses)),
+                    ("chain_programs", int(self.chain_programs as u64)),
+                    ("nary_plans", int(self.nary_plans as u64)),
+                ]),
+            ),
+            (
+                "result_cache",
+                Json::object([
+                    ("hits", int(self.results.hits)),
+                    ("misses", int(self.results.misses)),
+                    ("evictions", int(self.results.evictions)),
+                    ("deduped", int(self.results.deduped)),
+                    ("entries", int(self.result_entries as u64)),
+                    ("bytes", int(self.result_bytes)),
+                ]),
+            ),
+            (
+                "epoch_context",
+                Json::object([
+                    (
+                        "probe_memo",
+                        memo(
+                            self.context.probe_hits,
+                            self.context.probe_misses,
+                            self.context.probe_entries,
+                        ),
+                    ),
+                    (
+                        "machine_memo",
+                        memo(
+                            self.context.eval_hits,
+                            self.context.eval_misses,
+                            self.context.eval_entries,
+                        ),
+                    ),
+                    ("scc_served", int(self.context.scc_served)),
+                    (
+                        "carried",
+                        Json::object([
+                            ("machine_entries", int(self.context.eval_carried)),
+                            ("probe_spaces", int(self.context.probe_spaces_carried)),
+                        ]),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+impl std::fmt::Display for StatsReport {
+    /// The `:stats` text of the serving REPL — one line per layer.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "epoch {}", self.epoch)?;
+        writeln!(
+            f,
+            "plan cache:   {} hits / {} misses ({} chain program(s), {} §4 plan(s))",
+            self.plans.hits, self.plans.misses, self.chain_programs, self.nary_plans,
+        )?;
+        writeln!(
+            f,
+            "result cache: {} hits / {} misses / {} evictions / {} deduped ({} entr(ies), ~{} bytes)",
+            self.results.hits,
+            self.results.misses,
+            self.results.evictions,
+            self.results.deduped,
+            self.result_entries,
+            self.result_bytes,
+        )?;
+        write!(
+            f,
+            "epoch context: probe memo {} hits / {} misses ({} entr(ies)), machine memo {} hits / {} misses ({} entr(ies)), {} scc-served, carried {} machine entr(ies) / {} probe space(s)",
+            self.context.probe_hits,
+            self.context.probe_misses,
+            self.context.probe_entries,
+            self.context.eval_hits,
+            self.context.eval_misses,
+            self.context.eval_entries,
+            self.context.scc_served,
+            self.context.eval_carried,
+            self.context.probe_spaces_carried,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> StatsReport {
+        StatsReport {
+            epoch: 3,
+            plans: CacheStats {
+                hits: 5,
+                misses: 2,
+                ..CacheStats::default()
+            },
+            chain_programs: 1,
+            nary_plans: 2,
+            results: CacheStats {
+                hits: 10,
+                misses: 4,
+                evictions: 1,
+                deduped: 3,
+            },
+            result_entries: 7,
+            result_bytes: 1234,
+            context: EpochContextStats {
+                eval_hits: 6,
+                eval_misses: 2,
+                eval_entries: 4,
+                probe_hits: 9,
+                probe_misses: 3,
+                probe_entries: 5,
+                scc_served: 1,
+                eval_carried: 2,
+                probe_spaces_carried: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn display_covers_every_layer() {
+        let text = report().to_string();
+        assert!(text.contains("epoch 3"));
+        assert!(text.contains("plan cache:   5 hits / 2 misses (1 chain program(s), 2 §4 plan(s))"));
+        assert!(text.contains(
+            "result cache: 10 hits / 4 misses / 1 evictions / 3 deduped (7 entr(ies), ~1234 bytes)"
+        ));
+        assert!(text.contains("probe memo 9 hits / 3 misses (5 entr(ies))"));
+        assert!(text.contains("machine memo 6 hits / 2 misses (4 entr(ies))"));
+        assert!(text.contains("1 scc-served"));
+        assert!(text.contains("carried 2 machine entr(ies) / 1 probe space(s)"));
+    }
+
+    #[test]
+    fn json_mirrors_the_display_counters() {
+        let json = report().to_json();
+        assert_eq!(json.get("epoch").and_then(Json::as_i64), Some(3));
+        let plans = json.get("plan_cache").unwrap();
+        assert_eq!(plans.get("hits").and_then(Json::as_i64), Some(5));
+        assert_eq!(plans.get("nary_plans").and_then(Json::as_i64), Some(2));
+        let results = json.get("result_cache").unwrap();
+        assert_eq!(results.get("deduped").and_then(Json::as_i64), Some(3));
+        assert_eq!(results.get("bytes").and_then(Json::as_i64), Some(1234));
+        let ctx = json.get("epoch_context").unwrap();
+        assert_eq!(
+            ctx.get("machine_memo")
+                .unwrap()
+                .get("hits")
+                .and_then(Json::as_i64),
+            Some(6)
+        );
+        assert_eq!(ctx.get("scc_served").and_then(Json::as_i64), Some(1));
+        assert_eq!(
+            ctx.get("carried")
+                .unwrap()
+                .get("probe_spaces")
+                .and_then(Json::as_i64),
+            Some(1)
+        );
+        // Round-trips through the shared codec.
+        let round = Json::parse(&json.encode()).unwrap();
+        assert_eq!(round, json);
+    }
+}

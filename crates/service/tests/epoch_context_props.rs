@@ -4,11 +4,11 @@
 //!   shared virtual-probe memo, shared-SCC all-free routing, parallel
 //!   expansion) answers exactly like a cold sequential service that
 //!   re-derives everything per query, on random n-ary programs;
-//! * **epoch isolation** — publishing a new epoch invalidates the
-//!   whole context: no probe result or traversal memo of the previous
-//!   epoch can leak into post-ingest answers (checked with result
-//!   memoization off, so the result cache's own carry-forward cannot
-//!   mask a stale context).
+//! * **epoch isolation** — publishing a new epoch invalidates every
+//!   context entry whose plan reads a dirtied shard; entries may only
+//!   carry across the publish when their whole read-set was untouched
+//!   (checked with result memoization off, so the result cache's own
+//!   carry-forward cannot mask a stale context).
 
 use proptest::prelude::*;
 use rq_engine::EvalOptions;
@@ -78,11 +78,14 @@ proptest! {
         prop_assert!(stats.probe_hits + stats.eval_hits > 0);
     }
 
-    /// Publishing an epoch kills the context: answers after an ingest
-    /// reflect the new facts even with result memoization off, and the
-    /// new snapshot starts from an empty context.
+    /// Publishing an epoch invalidates every context entry that read a
+    /// dirtied shard: answers after an ingest reflect the new facts
+    /// even with result memoization off.  Entries are only allowed to
+    /// carry into the new snapshot's context when their plan's whole
+    /// read-set was untouched by the publish — and whatever carried,
+    /// post-publish answers must still match a cold re-derivation.
     #[test]
-    fn publish_invalidates_epoch_context(seed in 0u64..200) {
+    fn publish_invalidates_dirty_read_set_context(seed in 0u64..200) {
         let np = random_nary_program(&NaryConfig { seed, ..NaryConfig::default() });
         let warm = QueryService::with_config(np.program.clone(), warm_config());
         let specs: Vec<_> = np
@@ -97,8 +100,19 @@ proptest! {
         warm.ingest("b0(n0, n1). b0(n1, n2). b1(n0, n2).").unwrap();
         let fresh = warm.snapshot();
         prop_assert_eq!(fresh.epoch(), old_snapshot.epoch() + 1);
-        prop_assert_eq!(fresh.context().stats().probe_entries, 0);
-        prop_assert_eq!(fresh.context().stats().eval_entries, 0);
+        // Only clean-read-set plans may carry: every cached plan whose
+        // read-set touches the dirtied b0/b1 must contribute nothing.
+        let dirty = fresh.dirty_preds();
+        let stats = fresh.context().stats();
+        let any_clean_plan = warm
+            .plan_cache()
+            .cached_nary_plans(fresh.rules_fingerprint())
+            .iter()
+            .any(|(_, plan)| plan.read_set(fresh.program()).is_disjoint(dirty));
+        if !any_clean_plan {
+            prop_assert_eq!(stats.probe_entries, 0);
+            prop_assert_eq!(stats.eval_carried, 0);
+        }
         // Post-publish answers match a cold service over the grown
         // program — a stale probe memo would miss the new facts.
         let cold = QueryService::with_config(fresh.program().clone(), cold_config());
@@ -108,6 +122,105 @@ proptest! {
             prop_assert_eq!(warm_answer.rows.as_ref(), cold_answer.rows.as_ref());
         }
     }
+}
+
+#[test]
+fn clean_read_set_machine_memo_survives_disjoint_publish() {
+    // Two independent closures: tc reads only e, rc reads only f.  An
+    // ingest into e must drop tc's machine memos but carry rc's into
+    // the new epoch's context (result memoization is off, so the hits
+    // demonstrably come from the carried machine memo, not the result
+    // cache's own carry-forward).
+    const PROG: &str = "tc(X,Y) :- e(X,Y).\n\
+                        tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+                        rc(X,Y) :- f(X,Y).\n\
+                        rc(X,Z) :- f(X,Y), rc(Y,Z).\n\
+                        e(a,b). e(b,c). f(m,n). f(n,o).";
+    let service = QueryService::with_config(
+        rq_datalog::parse_program(PROG).unwrap(),
+        ServiceConfig {
+            threads: 1,
+            memoize_results: false,
+            ..ServiceConfig::default()
+        },
+    );
+    let rc_q = service.parse_query("rc(m, Y)").unwrap();
+    let tc_q = service.parse_query("tc(a, Y)").unwrap();
+    assert_eq!(service.query(&rc_q).unwrap().rows.len(), 2);
+    assert_eq!(service.query(&tc_q).unwrap().rows.len(), 2);
+    let before = service.snapshot().context().stats();
+    assert!(before.eval_entries > 0, "queries warmed the machine memo");
+
+    service.ingest("e(c,d).").unwrap();
+    let snap = service.snapshot();
+    let stats = snap.context().stats();
+    assert!(stats.eval_carried > 0, "rc machines must carry: {stats:?}");
+    assert!(
+        (stats.eval_carried as usize) < before.eval_entries,
+        "tc machines read the dirtied e and must be dropped: {stats:?}"
+    );
+
+    // The carried memo answers the clean-plan query at the root.
+    let hits_before = snap.context().stats().eval_hits;
+    let rc_after = service.query(&rc_q).unwrap();
+    assert_eq!(rc_after.rows.len(), 2);
+    assert!(
+        snap.context().stats().eval_hits > hits_before,
+        "warm answer must come from the carried machine memo"
+    );
+    // The dirty plan recomputes and sees the new edge.
+    let tc_after = service.query(&tc_q).unwrap();
+    assert_eq!(tc_after.rows.len(), 3, "tc must observe e(c,d)");
+}
+
+#[test]
+fn clean_nary_probe_space_survives_disjoint_publish() {
+    // A §4 plan over flight/is_deptime shares one program with a tc
+    // chain over e.  Ingesting into e must carry the cnx plan's probe
+    // space (and its machine memo) wholesale; the repeat query is then
+    // served from warm probes on the new epoch.
+    const PROG: &str = "tc(X,Y) :- e(X,Y).\n\
+                        tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+                        cnx(S,DT,D,AT) :- flight(S,DT,D,AT).\n\
+                        cnx(S,DT,D,AT) :- flight(S,DT,D1,AT1), AT1 < DT1, is_deptime(DT1), cnx(D1,DT1,D,AT).\n\
+                        e(a,b). e(b,c).\n\
+                        flight(hel,540,ams,690). flight(ams,720,cdg,810).\n\
+                        is_deptime(540). is_deptime(720).";
+    let service = QueryService::with_config(
+        rq_datalog::parse_program(PROG).unwrap(),
+        ServiceConfig {
+            threads: 1,
+            memoize_results: false,
+            ..ServiceConfig::default()
+        },
+    );
+    let q = service.parse_query("cnx(hel, 540, D, AT)").unwrap();
+    let cold = service.query(&q).unwrap();
+    assert_eq!(cold.rows.len(), 2);
+    let warmed = service.snapshot().context().stats();
+    assert!(warmed.probe_entries > 0, "{warmed:?}");
+
+    service.ingest("e(c,d).").unwrap();
+    let snap = service.snapshot();
+    let stats = snap.context().stats();
+    assert_eq!(stats.probe_spaces_carried, 1, "{stats:?}");
+    assert!(
+        stats.probe_entries >= warmed.probe_entries,
+        "carried probe space keeps its memo: {stats:?}"
+    );
+    let warm = service.query(&q).unwrap();
+    assert_eq!(warm.rows.as_ref(), cold.rows.as_ref());
+    assert_eq!(warm.epoch, 1);
+
+    // An ingest into flight dirties the plan's read-set: nothing may
+    // carry, and the fresh context re-derives with the new leg.
+    service
+        .ingest("flight(cdg,840,nce,930). is_deptime(840).")
+        .unwrap();
+    let stats = service.snapshot().context().stats();
+    assert_eq!(stats.probe_spaces_carried, 0, "{stats:?}");
+    assert_eq!(stats.eval_carried, 0, "{stats:?}");
+    assert_eq!(service.query(&q).unwrap().rows.len(), 3);
 }
 
 #[test]

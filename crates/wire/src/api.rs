@@ -1,0 +1,433 @@
+//! The JSON-over-HTTP API surface: pure request → response routing,
+//! testable without a socket.
+//!
+//! Every response body is JSON.  Endpoint semantics deliberately
+//! mirror the `rqc serve` REPL, so a query means the same thing
+//! whichever front end carries it; see the crate docs for verbatim
+//! request/response examples.
+
+use rq_common::Json;
+use rq_service::{QueryService, QuerySpec, ServiceAnswer, ServiceError, Snapshot};
+use std::sync::Arc;
+
+/// A routed response: HTTP status plus JSON body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ApiResponse {
+    /// The HTTP status code.
+    pub status: u16,
+    /// The response body.
+    pub body: Json,
+}
+
+impl ApiResponse {
+    fn ok(body: Json) -> Self {
+        Self { status: 200, body }
+    }
+
+    /// A `{"error": …}` body under `status`.
+    pub fn error(status: u16, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            body: Json::object([("error", Json::Str(message.into()))]),
+        }
+    }
+}
+
+/// Route one request to its endpoint.  `body` is the raw request body
+/// (decoded as JSON where the endpoint takes one).
+pub fn handle(service: &QueryService, method: &str, path: &str, body: &[u8]) -> ApiResponse {
+    match (method, path) {
+        ("GET", "/healthz") => ApiResponse::ok(Json::object([
+            ("status", Json::Str("ok".into())),
+            ("epoch", Json::Int(service.snapshot().epoch() as i64)),
+        ])),
+        ("GET", "/stats") => ApiResponse::ok(service.stats_report().to_json()),
+        ("POST", "/query") => match parse_json_body(body) {
+            Ok(json) => query_endpoint(service, &json),
+            Err(resp) => resp,
+        },
+        ("POST", "/batch") => match parse_json_body(body) {
+            Ok(json) => batch_endpoint(service, &json),
+            Err(resp) => resp,
+        },
+        ("POST", "/ingest") => match parse_json_body(body) {
+            Ok(json) => ingest_endpoint(service, &json),
+            Err(resp) => resp,
+        },
+        (_, "/healthz" | "/stats") => ApiResponse::error(405, "use GET"),
+        (_, "/query" | "/batch" | "/ingest") => ApiResponse::error(405, "use POST"),
+        _ => ApiResponse::error(
+            404,
+            format!("no endpoint `{path}`; try /query /batch /ingest /stats /healthz"),
+        ),
+    }
+}
+
+fn parse_json_body(body: &[u8]) -> Result<Json, ApiResponse> {
+    let text = std::str::from_utf8(body)
+        .map_err(|_| ApiResponse::error(400, "request body is not UTF-8"))?;
+    Json::parse(text).map_err(|e| ApiResponse::error(400, format!("request body is not JSON: {e}")))
+}
+
+/// `POST /query` — answer one query text on the current snapshot.
+fn query_endpoint(service: &QueryService, json: &Json) -> ApiResponse {
+    let Some(text) = json.get("query").and_then(Json::as_str) else {
+        return ApiResponse::error(400, "body must be {\"query\": \"pred(arg, …)\"}");
+    };
+    let snapshot = service.snapshot();
+    match answer_one(service, &snapshot, text) {
+        Ok(answer) => ApiResponse::ok(answer),
+        Err(e) => ApiResponse::error(400, e.to_string()),
+    }
+}
+
+/// `POST /batch` — answer many query texts as one batch on one
+/// snapshot; per-query errors are reported inline so one bad query
+/// cannot fail its neighbors.
+fn batch_endpoint(service: &QueryService, json: &Json) -> ApiResponse {
+    let Some(texts) = json.get("queries").and_then(Json::as_array) else {
+        return ApiResponse::error(400, "body must be {\"queries\": [\"pred(arg, …)\", …]}");
+    };
+    let mut queries: Vec<String> = Vec::with_capacity(texts.len());
+    for (i, t) in texts.iter().enumerate() {
+        match t.as_str() {
+            Some(text) => queries.push(text.to_string()),
+            None => return ApiResponse::error(400, format!("queries[{i}] is not a string")),
+        }
+    }
+    let snapshot = service.snapshot();
+    // Parse everything against one snapshot and evaluate pinned to
+    // that same snapshot (`query_batch_on`): a concurrent /ingest
+    // between capture and evaluation must not hand back rows whose
+    // constants this snapshot's interner has never seen.  Answers are
+    // routed back to their slot, mirroring the REPL's `a; b; c` line.
+    let parsed: Vec<Result<Option<QuerySpec>, ServiceError>> = queries
+        .iter()
+        .map(|text| match service.parse_query(text) {
+            Ok(spec) => Ok(Some(spec)),
+            // A query over a constant the program has never seen is
+            // semantically empty, not an error (same as the REPL).
+            Err(ServiceError::UnknownConstant(_)) => Ok(None),
+            Err(e) => Err(e),
+        })
+        .collect();
+    let specs: Vec<QuerySpec> = parsed
+        .iter()
+        .filter_map(|p| p.as_ref().ok().cloned().flatten())
+        .collect();
+    let mut answers = service.query_batch_on(&snapshot, &specs).into_iter();
+    let items: Vec<Json> = queries
+        .iter()
+        .zip(&parsed)
+        .map(|(text, slot)| match slot {
+            Err(e) => Json::object([
+                ("query", Json::Str(text.clone())),
+                ("error", Json::Str(e.to_string())),
+            ]),
+            Ok(None) => empty_answer_json(text, &snapshot),
+            Ok(Some(spec)) => match answers.next().expect("one answer per parsed spec") {
+                Err(e) => Json::object([
+                    ("query", Json::Str(text.clone())),
+                    ("error", Json::Str(e.to_string())),
+                ]),
+                Ok(answer) => answer_json(text, spec, &answer, &snapshot),
+            },
+        })
+        .collect();
+    ApiResponse::ok(Json::object([
+        ("epoch", Json::Int(snapshot.epoch() as i64)),
+        ("answers", Json::Array(items)),
+    ]))
+}
+
+/// `POST /ingest` — publish fact clauses as the next epoch.  Bad
+/// batches are rejected by the service before any copy-on-write clone,
+/// so a failed ingest costs nothing and publishes nothing.
+fn ingest_endpoint(service: &QueryService, json: &Json) -> ApiResponse {
+    let Some(facts) = json.get("facts").and_then(Json::as_str) else {
+        return ApiResponse::error(400, "body must be {\"facts\": \"e(a,b). e(b,c).\"}");
+    };
+    match service.ingest(facts) {
+        Ok(snap) => ApiResponse::ok(Json::object([
+            ("epoch", Json::Int(snap.epoch() as i64)),
+            ("tuples", Json::Int(snap.db().total_tuples() as i64)),
+            (
+                "dirty",
+                Json::Array({
+                    let mut names: Vec<String> = snap
+                        .dirty_preds()
+                        .iter()
+                        .map(|&p| snap.program().pred_name(p).to_string())
+                        .collect();
+                    names.sort_unstable();
+                    names.into_iter().map(Json::Str).collect()
+                }),
+            ),
+        ])),
+        Err(e) => ApiResponse::error(400, e.to_string()),
+    }
+}
+
+/// Answer a single query text, mapping unknown constants to the
+/// semantically empty answer (same contract as the REPL).
+fn answer_one(
+    service: &QueryService,
+    snapshot: &Arc<Snapshot>,
+    text: &str,
+) -> Result<Json, ServiceError> {
+    match service.parse_query(text) {
+        Ok(spec) => {
+            let answer = service.query_on(snapshot, &spec)?;
+            Ok(answer_json(text, &spec, &answer, snapshot))
+        }
+        Err(ServiceError::UnknownConstant(_)) => Ok(empty_answer_json(text, snapshot)),
+        Err(e) => Err(e),
+    }
+}
+
+/// The JSON shape of one served answer.
+fn answer_json(text: &str, spec: &QuerySpec, answer: &ServiceAnswer, snapshot: &Snapshot) -> Json {
+    let consts = &snapshot.program().consts;
+    let rows: Vec<Json> = answer
+        .rows
+        .iter()
+        .map(|row| {
+            Json::Array(
+                row.iter()
+                    .map(|&c| match consts.value(c) {
+                        rq_common::ConstValue::Int(i) => Json::Int(*i),
+                        _ => Json::Str(consts.display(c)),
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    let mut pairs = vec![
+        ("query", Json::Str(text.to_string())),
+        ("epoch", Json::Int(answer.epoch as i64)),
+        ("rows", Json::Array(rows)),
+        ("converged", Json::Bool(answer.converged)),
+        ("from_cache", Json::Bool(answer.from_cache)),
+    ];
+    if spec.free_positions().is_empty() {
+        // Fully bound membership: make yes/no explicit rather than
+        // forcing clients to decode the `[[]]`-versus-`[]` encoding.
+        pairs.insert(2, ("holds", Json::Bool(answer.holds())));
+    }
+    Json::object(pairs)
+}
+
+/// The answer for a query that is empty by construction (it names a
+/// constant the program and data have never seen).
+fn empty_answer_json(text: &str, snapshot: &Snapshot) -> Json {
+    let fully_bound = query_text_has_no_free_args(text);
+    let mut pairs = vec![
+        ("query", Json::Str(text.to_string())),
+        ("epoch", Json::Int(snapshot.epoch() as i64)),
+        ("rows", Json::Array(Vec::new())),
+        ("converged", Json::Bool(true)),
+        ("from_cache", Json::Bool(false)),
+    ];
+    if fully_bound {
+        pairs.insert(2, ("holds", Json::Bool(false)));
+    }
+    Json::object(pairs)
+}
+
+/// Whether a query text binds every argument (no uppercase- or
+/// `_`-led argument) — the membership form, whose empty answer is the
+/// definitive `holds: false`.
+fn query_text_has_no_free_args(text: &str) -> bool {
+    let (Some(open), Some(close)) = (text.find('('), text.rfind(')')) else {
+        return false;
+    };
+    if open + 1 > close {
+        return false;
+    }
+    text[open + 1..close].split(',').all(|arg| {
+        !matches!(
+            arg.trim().chars().next(),
+            Some(c) if c.is_ascii_uppercase() || c == '_'
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TC: &str = "tc(X,Y) :- e(X,Y).\n\
+                      tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+                      e(a,b). e(b,c).";
+
+    fn service() -> QueryService {
+        QueryService::from_source(TC).unwrap()
+    }
+
+    fn post(service: &QueryService, path: &str, body: &str) -> ApiResponse {
+        handle(service, "POST", path, body.as_bytes())
+    }
+
+    #[test]
+    fn healthz_reports_epoch() {
+        let s = service();
+        let resp = handle(&s, "GET", "/healthz", b"");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body.get("status").and_then(Json::as_str), Some("ok"));
+        assert_eq!(resp.body.get("epoch").and_then(Json::as_i64), Some(0));
+    }
+
+    #[test]
+    fn query_answers_rows() {
+        let s = service();
+        let resp = post(&s, "/query", r#"{"query": "tc(a, Y)"}"#);
+        assert_eq!(resp.status, 200, "{:?}", resp.body);
+        let rows = resp.body.get("rows").and_then(Json::as_array).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].as_array().unwrap()[0].as_str(), Some("b"));
+        assert_eq!(
+            resp.body.get("converged").and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(resp.body.get("holds"), None, "free query has no holds");
+    }
+
+    #[test]
+    fn membership_queries_report_holds() {
+        let s = service();
+        let yes = post(&s, "/query", r#"{"query": "tc(a, c)"}"#);
+        assert_eq!(yes.body.get("holds").and_then(Json::as_bool), Some(true));
+        let no = post(&s, "/query", r#"{"query": "tc(c, a)"}"#);
+        assert_eq!(no.body.get("holds").and_then(Json::as_bool), Some(false));
+        // Unknown constants are semantically empty, not errors.
+        let unseen = post(&s, "/query", r#"{"query": "tc(a, zz)"}"#);
+        assert_eq!(unseen.status, 200);
+        assert_eq!(
+            unseen.body.get("holds").and_then(Json::as_bool),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn query_errors_are_400_with_reason() {
+        let s = service();
+        for (body, needle) in [
+            (r#"{"query": "zzz(a, Y)"}"#, "unknown predicate"),
+            (r#"{"query": "e(a, Y)"}"#, "base predicate"),
+            (r#"{"query": "tc(a"}"#, "malformed"),
+            (r#"{"nope": 1}"#, "body must be"),
+            (r#"{"#, "not JSON"),
+        ] {
+            let resp = post(&s, "/query", body);
+            assert_eq!(resp.status, 400, "{body}");
+            let error = resp.body.get("error").and_then(Json::as_str).unwrap();
+            assert!(error.contains(needle), "{body}: {error}");
+        }
+    }
+
+    #[test]
+    fn batch_mixes_answers_and_inline_errors() {
+        let s = service();
+        let resp = post(
+            &s,
+            "/batch",
+            r#"{"queries": ["tc(a, Y)", "zzz(a, Y)", "tc(a, b)", "tc(unseen, Y)"]}"#,
+        );
+        assert_eq!(resp.status, 200);
+        let answers = resp.body.get("answers").and_then(Json::as_array).unwrap();
+        assert_eq!(answers.len(), 4);
+        assert_eq!(
+            answers[0]
+                .get("rows")
+                .and_then(Json::as_array)
+                .unwrap()
+                .len(),
+            2
+        );
+        assert!(answers[1]
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("zzz"));
+        assert_eq!(answers[2].get("holds").and_then(Json::as_bool), Some(true));
+        let empty = answers[3].get("rows").and_then(Json::as_array).unwrap();
+        assert!(empty.is_empty());
+        assert_eq!(answers[3].get("holds"), None, "free query, no holds field");
+    }
+
+    #[test]
+    fn ingest_publishes_and_reports_dirty_preds() {
+        let s = service();
+        let resp = post(&s, "/ingest", r#"{"facts": "e(c,d). w(a, 10)."}"#);
+        assert_eq!(resp.status, 200, "{:?}", resp.body);
+        assert_eq!(resp.body.get("epoch").and_then(Json::as_i64), Some(1));
+        let dirty: Vec<&str> = resp
+            .body
+            .get("dirty")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_str)
+            .collect();
+        assert_eq!(dirty, vec!["e", "w"]);
+        // Integer constants come back as JSON numbers.
+        let w = post(&s, "/query", r#"{"query": "tc(a, Y)"}"#);
+        assert_eq!(
+            w.body.get("rows").and_then(Json::as_array).unwrap().len(),
+            3
+        );
+    }
+
+    #[test]
+    fn ingest_rejections_are_400_and_publish_nothing() {
+        let s = service();
+        for body in [
+            r#"{"facts": "p(X,Y) :- e(X,Y)."}"#,
+            r#"{"facts": "tc(a,b)."}"#,
+            r#"{"facts": "e(a,"}"#,
+            r#"{"nope": 1}"#,
+        ] {
+            let resp = post(&s, "/ingest", body);
+            assert_eq!(resp.status, 400, "{body}");
+        }
+        assert_eq!(s.snapshot().epoch(), 0);
+    }
+
+    #[test]
+    fn routing_404_and_405() {
+        let s = service();
+        assert_eq!(handle(&s, "GET", "/nope", b"").status, 404);
+        assert_eq!(handle(&s, "POST", "/healthz", b"").status, 405);
+        assert_eq!(handle(&s, "GET", "/query", b"").status, 405);
+        assert_eq!(handle(&s, "DELETE", "/ingest", b"").status, 405);
+    }
+
+    #[test]
+    fn stats_serves_the_shared_report() {
+        let s = service();
+        s.query(&s.parse_query("tc(a, Y)").unwrap()).unwrap();
+        let resp = handle(&s, "GET", "/stats", b"");
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, s.stats_report().to_json());
+        assert!(resp.body.get("result_cache").is_some());
+        assert!(resp.body.get("epoch_context").is_some());
+    }
+
+    #[test]
+    fn integer_constants_round_trip_as_numbers() {
+        let s = QueryService::from_source(
+            "cnx(S,DT,D,AT) :- flight(S,DT,D,AT).\n\
+             cnx(S,DT,D,AT) :- flight(S,DT,D1,AT1), AT1 < DT1, is_deptime(DT1), cnx(D1,DT1,D,AT).\n\
+             flight(hel,540,ams,690). flight(ams,720,cdg,810).\n\
+             is_deptime(540). is_deptime(720).",
+        )
+        .unwrap();
+        let resp = post(&s, "/query", r#"{"query": "cnx(hel, 540, D, AT)"}"#);
+        assert_eq!(resp.status, 200, "{:?}", resp.body);
+        let rows = resp.body.get("rows").and_then(Json::as_array).unwrap();
+        assert_eq!(rows.len(), 2);
+        let first = rows[0].as_array().unwrap();
+        assert_eq!(first[0].as_str(), Some("ams"));
+        assert_eq!(first[1].as_i64(), Some(690));
+    }
+}

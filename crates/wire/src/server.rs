@@ -1,0 +1,241 @@
+//! The TCP front end: a worker-pool accept loop feeding the pure
+//! [`crate::api`] router over persistent HTTP/1.1 connections.
+//!
+//! The shape is deliberately simple — N OS threads, each blocked in
+//! `accept`, each serving one connection at a time with keep-alive —
+//! because the expensive work (traversal, joins) already parallelizes
+//! *inside* the service: `query_batch` fans across its own workers and
+//! each traversal can expand machine instances across threads.  The
+//! wire workers only parse bytes and route; resolving their count
+//! through the same `RQC_THREADS` cap as every other layer keeps the
+//! process's total thread budget coherent.
+
+use crate::api;
+use crate::http::{self, Limits, RequestError};
+use rq_common::Json;
+use rq_service::QueryService;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Settings of one [`WireServer`].
+#[derive(Clone, Debug)]
+pub struct WireConfig {
+    /// Accept-loop worker threads (each serves one connection at a
+    /// time).  `0` means the machine's available parallelism.  Either
+    /// way the count resolves through the `RQC_THREADS` cap, like
+    /// every other thread pool in the workspace.
+    pub workers: usize,
+    /// Per-request size limits (header section and body).
+    pub limits: Limits,
+    /// Per-connection read timeout: an idle or stalled peer is
+    /// disconnected after this long, so a worker can never be parked
+    /// forever by a silent client.  `None` waits indefinitely.
+    pub read_timeout: Option<Duration>,
+    /// Maximum requests served on one connection before the server
+    /// closes it (bounds how long one client can monopolize a worker).
+    pub max_requests_per_connection: usize,
+}
+
+impl Default for WireConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            limits: Limits::default(),
+            read_timeout: Some(Duration::from_secs(30)),
+            max_requests_per_connection: 10_000,
+        }
+    }
+}
+
+/// The HTTP server: a bound listener plus the shared [`QueryService`].
+///
+/// Bind first, then either [`WireServer::run`] (blocking — the `rqc
+/// serve --http` path) or [`WireServer::spawn`] (background — tests
+/// and embedding).
+pub struct WireServer {
+    listener: TcpListener,
+    service: Arc<QueryService>,
+    config: WireConfig,
+}
+
+impl WireServer {
+    /// Bind `addr` (e.g. `127.0.0.1:7474`, or port `0` for an
+    /// OS-assigned port) in front of `service`.
+    pub fn bind(
+        service: Arc<QueryService>,
+        addr: impl ToSocketAddrs,
+        config: WireConfig,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Self {
+            listener,
+            service,
+            config,
+        })
+    }
+
+    /// The bound address (useful with port `0`).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The worker count the accept loop will use: the configured
+    /// number (or available parallelism for `0`), capped by
+    /// `RQC_THREADS`.
+    pub fn workers(&self) -> usize {
+        let configured = if self.config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.config.workers
+        };
+        rq_common::capped_threads(configured).max(1)
+    }
+
+    /// Serve until the process exits (the accept loop never stops on
+    /// its own).  Connection-level errors are contained to their
+    /// worker; they never take the server down.
+    pub fn run(self) -> std::io::Result<()> {
+        let handle = self.spawn()?;
+        for worker in handle.workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+
+    /// Start the accept loop on background threads and return a handle
+    /// for address discovery and clean shutdown.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.listener.local_addr()?;
+        let workers = self.workers();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let listener = Arc::new(self.listener);
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let listener = Arc::clone(&listener);
+            let service = Arc::clone(&self.service);
+            let config = self.config.clone();
+            let shutdown = Arc::clone(&shutdown);
+            handles.push(std::thread::spawn(move || {
+                while !shutdown.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            if shutdown.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            // One connection at a time per worker; any
+                            // I/O error just drops the connection.
+                            let _ = serve_connection(&service, stream, &config);
+                        }
+                        Err(_) => {
+                            // Transient accept errors (EMFILE, aborted
+                            // handshakes) must not kill the worker.
+                            std::thread::yield_now();
+                        }
+                    }
+                }
+            }));
+        }
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            workers: handles,
+        })
+    }
+}
+
+/// A running server started by [`WireServer::spawn`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server is accepting on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, wake every worker, and join them.  Connections
+    /// already being served finish their current request.
+    pub fn shutdown(self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Each wake-up connection unblocks at most one worker's
+        // `accept`; workers re-check the flag and exit.
+        for _ in 0..self.workers.len() {
+            let _ = TcpStream::connect(self.addr);
+        }
+        for worker in self.workers {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Serve one connection: read requests back-to-back (keep-alive and
+/// pipelining fall out of reading sequentially from one buffered
+/// stream), route each through the API, and write the response.
+fn serve_connection(
+    service: &QueryService,
+    stream: TcpStream,
+    config: &WireConfig,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(config.read_timeout)?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    for served in 0..config.max_requests_per_connection {
+        let mut request = match http::read_head(&mut reader, &config.limits) {
+            Ok(request) => request,
+            Err(RequestError::Closed) => return Ok(()),
+            Err(e) => return refuse(&mut writer, e),
+        };
+        // `Expect: 100-continue` peers wait for the interim response
+        // before sending the body.
+        if request
+            .header("expect")
+            .is_some_and(|v| v.eq_ignore_ascii_case("100-continue"))
+        {
+            http::write_continue(&mut writer)?;
+        }
+        if let Err(e) = http::read_body(&mut reader, &mut request, &config.limits) {
+            return refuse(&mut writer, e);
+        }
+        // The last request this connection is allowed must say so:
+        // advertising keep-alive and then closing would surprise a
+        // pipelining client mid-request.
+        let last_allowed = served + 1 == config.max_requests_per_connection;
+        let keep_alive = request.keep_alive() && !last_allowed;
+        let response = api::handle(service, &request.method, &request.path, &request.body);
+        http::write_response(
+            &mut writer,
+            response.status,
+            &response.body.encode(),
+            keep_alive,
+        )?;
+        if !keep_alive {
+            return Ok(());
+        }
+    }
+    Ok(())
+}
+
+/// Answer a protocol-level failure with its status code and close the
+/// connection (after a framing error the stream position is
+/// untrustworthy, so keep-alive is never offered).
+fn refuse(writer: &mut TcpStream, error: RequestError) -> std::io::Result<()> {
+    let status = match &error {
+        RequestError::Closed => return Ok(()),
+        RequestError::Io(_) => return Ok(()), // peer is gone; nothing to say
+        RequestError::Malformed(_) => 400,
+        RequestError::LengthRequired => 411,
+        RequestError::BodyTooLarge(_) => 413,
+        RequestError::HeadTooLarge => 431,
+    };
+    let body = Json::object([("error", Json::Str(error.to_string()))]).encode();
+    http::write_response(writer, status, &body, false)
+}

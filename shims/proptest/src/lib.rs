@@ -1,7 +1,7 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! The build environment has no network access, so the workspace vendors
-//! the slice of proptest's API its test suites use: the [`Strategy`]
+//! the slice of proptest's API its test suites use: the [`strategy::Strategy`]
 //! trait with `prop_map` / `prop_flat_map` / `prop_recursive` / `boxed`,
 //! range and tuple and `&str`-regex strategies, `prop::collection::vec`,
 //! `prop::option::of`, `Just`, the `proptest!` / `prop_oneof!` /

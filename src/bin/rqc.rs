@@ -3,7 +3,8 @@
 //! ```text
 //! rqc <program.dl> <query> [--stats] [--plan] [--max-iterations N]
 //! rqc repl [program.dl]        interactive session (see :help)
-//! rqc serve <program.dl> [--threads N]   concurrent serving session
+//! rqc serve <program.dl> [--threads N]             stdin serving session
+//! rqc serve <program.dl> --http <addr> [--threads N]   HTTP serving (rq-wire)
 //! rqc --demo
 //! ```
 //!
@@ -30,7 +31,7 @@ down(lisa, erik). down(mary, john).
 fn usage() {
     eprintln!("usage: rqc <program.dl> <query> [--stats] [--plan] [--max-iterations N]");
     eprintln!("       rqc repl [program.dl]");
-    eprintln!("       rqc serve <program.dl> [--threads N]");
+    eprintln!("       rqc serve <program.dl> [--threads N] [--http <addr>]");
     eprintln!("       rqc --demo");
 }
 
@@ -56,11 +57,25 @@ fn main() -> ExitCode {
             .and_then(|i| args.get(i + 1))
             .and_then(|v| v.parse::<usize>().ok())
             .unwrap_or(0);
+        let http = args
+            .iter()
+            .position(|a| a == "--http")
+            .map(|i| match args.get(i + 1) {
+                Some(addr) if !addr.starts_with("--") => Ok(addr.clone()),
+                _ => Err(()),
+            });
         let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
             eprintln!("`rqc serve` needs a program file");
             return ExitCode::from(2);
         };
-        return serve(path, threads);
+        return match http {
+            Some(Ok(addr)) => serve_http(path, threads, &addr),
+            Some(Err(())) => {
+                eprintln!("`--http` needs a bind address, e.g. --http 127.0.0.1:7474");
+                ExitCode::from(2)
+            }
+            None => serve(path, threads),
+        };
     }
 
     let stats = args.iter().any(|a| a == "--stats");
@@ -144,6 +159,59 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `rqc serve <program.dl> --http <addr>`: the same serving session as
+/// the stdin loop, exposed over the `rq-wire` HTTP/1.1 JSON API.
+/// Prints the bound address on stderr (one line, parseable by scripts
+/// that bind port 0) and serves until killed.
+fn serve_http(path: &str, threads: usize, addr: &str) -> ExitCode {
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let session = match ServeSession::new(&source, threads) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let service = std::sync::Arc::new(session.into_service());
+    let wire_config = rq_wire::WireConfig {
+        workers: threads,
+        ..rq_wire::WireConfig::default()
+    };
+    let server = match rq_wire::WireServer::bind(std::sync::Arc::clone(&service), addr, wire_config)
+    {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(bound) => eprintln!(
+            "rqc serve --http {bound} — {} wire worker(s), {} query thread(s), epoch {}",
+            server.workers(),
+            service.config().threads,
+            service.snapshot().epoch()
+        ),
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn serve(path: &str, threads: usize) -> ExitCode {

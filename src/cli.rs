@@ -365,14 +365,28 @@ impl Session {
 /// [`rq_service::QuerySpec`], with the §4 transformation serving n-ary
 /// predicates — and `:add` feeding the copy-on-write snapshot store.
 /// Like [`Session`], it is I/O-free so the grammar and behaviors are
-/// unit tested without a terminal.
+/// unit tested without a terminal.  The same session serves two front
+/// ends: the binary's stdin loop, and — via
+/// [`ServeSession::into_service`] — the `rq-wire` HTTP server behind
+/// `rqc serve --http <addr>`.
 ///
-/// ```text
-/// rq-serve> tc(a, Y); cnx(hel, 540, D, AT)
-/// tc(a, Y): b c
-/// cnx(hel, 540, D, AT): (ams,690) (cdg,810)
-/// rq-serve> :add e(c,d).
-/// epoch 1 (7 tuples)
+/// ```
+/// use recursive_queries::cli::ServeSession;
+///
+/// let mut session = ServeSession::new(
+///     "tc(X,Y) :- e(X,Y).\n\
+///      tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+///      e(a,b). e(b,c).",
+///     1, // worker threads
+/// ).unwrap();
+/// // One line = one batch on one snapshot; `;` separates queries.
+/// let out = session.execute_line("tc(a, Y); tc(a, c)").unwrap();
+/// assert_eq!(out.text, "tc(a, Y): b c\ntc(a, c): yes");
+/// // `:add` publishes the next epoch copy-on-write.
+/// let out = session.execute_line(":add e(c,d)").unwrap();
+/// assert_eq!(out.text, "epoch 1 (3 tuples)");
+/// let out = session.execute_line("tc(a, Y)").unwrap();
+/// assert_eq!(out.text, "tc(a, Y): b c d");
 /// ```
 pub struct ServeSession {
     service: rq_service::QueryService,
@@ -416,6 +430,15 @@ impl ServeSession {
         &self.service
     }
 
+    /// Surrender the underlying service — the handoff point for front
+    /// ends that share it across threads, like the `rq-wire` HTTP
+    /// server behind `rqc serve --http` (which wraps it in an `Arc`
+    /// and answers every endpoint through the same snapshot store,
+    /// caches, and epoch contexts the REPL would use).
+    pub fn into_service(self) -> rq_service::QueryService {
+        self.service
+    }
+
     /// Execute one input line.  Queries are separated by `;` and
     /// answered as one batch on one snapshot.
     pub fn execute_line(&mut self, line: &str) -> Result<CommandOutput, String> {
@@ -439,33 +462,11 @@ impl ServeSession {
                     "epoch {}",
                     self.service.snapshot().epoch()
                 ))),
-                "stats" => {
-                    let snapshot = self.service.snapshot();
-                    let plans = self.service.plan_cache().stats();
-                    let results = self.service.result_cache().stats();
-                    let epoch = snapshot.context().stats();
-                    Ok(CommandOutput::text(format!(
-                        "epoch {}\nplan cache:   {} hits / {} misses ({} chain program(s), {} §4 plan(s))\nresult cache: {} hits / {} misses / {} evictions / {} deduped ({} entr(ies), ~{} bytes)\nepoch context: probe memo {} hits / {} misses ({} entr(ies)), machine memo {} hits / {} misses ({} entr(ies)), {} scc-served",
-                        snapshot.epoch(),
-                        plans.hits,
-                        plans.misses,
-                        self.service.plan_cache().programs(),
-                        self.service.plan_cache().nary_plans(),
-                        results.hits,
-                        results.misses,
-                        results.evictions,
-                        results.deduped,
-                        self.service.result_cache().len(),
-                        self.service.result_cache().bytes(),
-                        epoch.probe_hits,
-                        epoch.probe_misses,
-                        epoch.probe_entries,
-                        epoch.eval_hits,
-                        epoch.eval_misses,
-                        epoch.eval_entries,
-                        epoch.scc_served,
-                    )))
-                }
+                // One shared rendering path with the HTTP API's
+                // `GET /stats`: both surfaces print the same
+                // `StatsReport` (text here, JSON there), so the
+                // counter sets can never drift apart.
+                "stats" => Ok(CommandOutput::text(self.service.stats_report().to_string())),
                 "add" => {
                     if arg.is_empty() {
                         return Err("`:add` needs one or more facts".to_string());
@@ -513,7 +514,10 @@ impl ServeSession {
             .iter()
             .filter_map(|p| p.as_ref().ok().cloned().flatten())
             .collect();
-        let mut answers = self.service.query_batch(&queries).into_iter();
+        // Evaluate pinned to the snapshot the queries were parsed (and
+        // will be rendered) against, so a concurrent publish cannot
+        // desynchronize rows from the interner that decodes them.
+        let mut answers = self.service.query_batch_on(&snapshot, &queries).into_iter();
         let mut out = Vec::new();
         for (text, slot) in texts.iter().zip(&parsed) {
             let rendered = match slot {
@@ -954,14 +958,21 @@ mod tests {
         chain.execute_line("tc(X, Y)").unwrap();
         let chain_stats = chain.execute_line(":stats").unwrap().text;
         assert!(chain_stats.contains("1 scc-served"), "{chain_stats}");
-        // Publishing wipes the context (it is epoch-keyed).
+        // Publishing re-keys the context, but the cnx plan reads only
+        // flight/is_deptime — disjoint from the dirtied e — so its
+        // probe space (memo and counters included) carries across the
+        // publish, and `:stats` says so.
         s.execute_line(":add e(c,d)").unwrap();
         let stats = s.execute_line(":stats").unwrap().text;
         assert!(
-            stats.contains("probe memo 0 hits / 0 misses (0 entr(ies))"),
-            "{stats}"
+            !stats.contains("probe memo 0 hits / 0 misses (0 entr(ies))"),
+            "clean-read-set probe space must carry: {stats}"
         );
-        assert!(stats.contains("0 scc-served"), "{stats}");
+        assert!(stats.contains("1 probe space(s)"), "{stats}");
+        assert!(
+            stats.contains("0 scc-served"),
+            "scc counter is per-epoch: {stats}"
+        );
     }
 
     #[test]

@@ -1,0 +1,190 @@
+//! End-to-end tests of `rqc serve --http`: the real binary, a real
+//! socket, and the acceptance parity check — `POST /batch` must answer
+//! with byte-identical rows to the same specs asked of a
+//! [`ServeSession`]'s service directly.  Doubles as the CI smoke test
+//! (`cargo test --test http_serve`).
+
+use recursive_queries::cli::ServeSession;
+use rq_common::Json;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+const RQC: &str = env!("CARGO_BIN_EXE_rqc");
+
+const PROGRAM: &str = "\
+tc(X,Y) :- e(X,Y).\n\
+tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+cnx(S,DT,D,AT) :- flight(S,DT,D,AT).\n\
+cnx(S,DT,D,AT) :- flight(S,DT,D1,AT1), AT1 < DT1, is_deptime(DT1), cnx(D1,DT1,D,AT).\n\
+e(a,b). e(b,c). e(c,d).\n\
+flight(hel,540,ams,690). flight(ams,720,cdg,810). flight(cdg,840,nce,930).\n\
+is_deptime(540). is_deptime(720). is_deptime(840).\n";
+
+/// A running `rqc serve --http` child, killed on drop.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_server() -> Server {
+    let dir = std::env::temp_dir().join(format!("rqc-http-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let program = dir.join("serve.dl");
+    std::fs::write(&program, PROGRAM).unwrap();
+    let mut child = Command::new(RQC)
+        .arg("serve")
+        .arg(&program)
+        .arg("--http")
+        .arg("127.0.0.1:0")
+        .arg("--threads")
+        .arg("2")
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    // The banner line on stderr carries the bound address:
+    // `rqc serve --http 127.0.0.1:PORT — …`
+    let mut banner = String::new();
+    BufReader::new(child.stderr.take().unwrap())
+        .read_line(&mut banner)
+        .unwrap();
+    let addr = banner
+        .split_whitespace()
+        .find(|w| w.starts_with("127.0.0.1:"))
+        .unwrap_or_else(|| panic!("no bound address in banner: {banner}"))
+        .to_string();
+    Server { child, addr }
+}
+
+fn request(addr: &str, method: &str, path: &str, body: &str) -> (u16, Json) {
+    let stream = TcpStream::connect(addr).unwrap();
+    let mut writer = stream.try_clone().unwrap();
+    let mut reader = BufReader::new(stream);
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nhost: test\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).unwrap();
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .expect("status")
+        .parse()
+        .unwrap();
+    let mut text = String::new();
+    reader.read_to_string(&mut text).unwrap();
+    let body_text = text.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or(&text);
+    (status, Json::parse(body_text).unwrap())
+}
+
+/// Encode one service answer's rows exactly as the wire does, so the
+/// comparison is byte-for-byte.
+fn rows_as_wire_json(program: &rq_datalog::Program, rows: &[Vec<rq_common::Const>]) -> Json {
+    Json::Array(
+        rows.iter()
+            .map(|row| {
+                Json::Array(
+                    row.iter()
+                        .map(|&c| match program.consts.value(c) {
+                            rq_common::ConstValue::Int(i) => Json::Int(*i),
+                            _ => Json::Str(program.consts.display(c)),
+                        })
+                        .collect(),
+                )
+            })
+            .collect(),
+    )
+}
+
+#[test]
+fn healthz_answers_and_batch_matches_serve_session_byte_for_byte() {
+    let server = spawn_server();
+
+    // Smoke: the health endpoint answers.
+    let (status, health) = request(&server.addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(health.get("epoch").and_then(Json::as_i64), Some(0));
+
+    // Acceptance parity: every query form through POST /batch against
+    // the binary must produce byte-identical rows to the same specs
+    // through a ServeSession over the same program.
+    let texts = [
+        "tc(a, Y)",
+        "tc(X, c)",
+        "tc(X, Y)",
+        "tc(X, X)",
+        "tc(a, d)",
+        "tc(d, a)",
+        "cnx(hel, 540, D, AT)",
+        "cnx(hel, 540, nce, 930)",
+    ];
+    let body = Json::object([(
+        "queries",
+        Json::Array(texts.iter().map(|t| Json::Str(t.to_string())).collect()),
+    )])
+    .encode();
+    let (status, batch) = request(&server.addr, "POST", "/batch", &body);
+    assert_eq!(status, 200, "{batch:?}");
+    let answers = batch.get("answers").and_then(Json::as_array).unwrap();
+    assert_eq!(answers.len(), texts.len());
+
+    let session = ServeSession::new(PROGRAM, 2).unwrap();
+    let service = session.service();
+    let snapshot = service.snapshot();
+    let specs: Vec<_> = texts
+        .iter()
+        .map(|t| service.parse_query(t).unwrap())
+        .collect();
+    let direct = service.query_batch(&specs);
+    for ((text, wire_answer), direct_answer) in texts.iter().zip(answers).zip(&direct) {
+        let expected = rows_as_wire_json(
+            snapshot.program(),
+            direct_answer.as_ref().unwrap().rows.as_ref(),
+        );
+        let got = wire_answer.get("rows").expect("rows field");
+        assert_eq!(
+            got.encode(),
+            expected.encode(),
+            "rows for `{text}` must be byte-identical"
+        );
+    }
+
+    // One query through /query for good measure, then an ingest and
+    // the refreshed answer.
+    let (status, one) = request(&server.addr, "POST", "/query", r#"{"query": "tc(a, Y)"}"#);
+    assert_eq!(status, 200);
+    assert_eq!(one.get("rows").and_then(Json::as_array).unwrap().len(), 3);
+
+    let (status, ingest) = request(&server.addr, "POST", "/ingest", r#"{"facts": "e(d, z)."}"#);
+    assert_eq!(status, 200, "{ingest:?}");
+    assert_eq!(ingest.get("epoch").and_then(Json::as_i64), Some(1));
+
+    let (_, after) = request(&server.addr, "POST", "/query", r#"{"query": "tc(a, Y)"}"#);
+    assert_eq!(after.get("rows").and_then(Json::as_array).unwrap().len(), 4);
+    assert_eq!(after.get("epoch").and_then(Json::as_i64), Some(1));
+
+    // The ingest dirtied only `e`: the cnx plan's probe space carried,
+    // and /stats (the shared StatsReport rendering) says so.
+    let (_, stats) = request(&server.addr, "GET", "/stats", "");
+    let carried = stats
+        .get("epoch_context")
+        .and_then(|c| c.get("carried"))
+        .expect("carried counters in /stats");
+    assert!(
+        carried.get("probe_spaces").and_then(Json::as_i64).unwrap() >= 1,
+        "{stats:?}"
+    );
+}
