@@ -27,6 +27,18 @@ pub struct ProbeStats {
     pub entries: usize,
 }
 
+impl ProbeStats {
+    /// Fold `other` into `self` with saturating arithmetic — the
+    /// aggregation an epoch context runs over all of its probe spaces,
+    /// safe even if a counter has (pathologically) reached the top of
+    /// its range.
+    pub fn merge(&mut self, other: &ProbeStats) {
+        self.hits = self.hits.saturating_add(other.hits);
+        self.misses = self.misses.saturating_add(other.misses);
+        self.entries = self.entries.saturating_add(other.entries);
+    }
+}
+
 /// The shareable half of a [`VirtualSource`]: the tuple-constant
 /// interner and the probe memo.
 ///

@@ -6,7 +6,13 @@
 //!   shared (`share_epoch_context: true`, machine/probe memos populated
 //!   by the first flight of the batch) against per-query re-derivation
 //!   (`share_epoch_context: false`, the pre-context behavior);
-//! * **worker count** — 1/2/4/8 batch threads.
+//! * **worker count** — 1/2/4/8 batch threads;
+//! * **tracing armed vs off** — `sequential_warm_traced` re-runs the
+//!   sequential loop with a thread-local trace buffer armed, so the
+//!   span-capture overhead (vs the disarmed no-op checks every query
+//!   pays) is a measured number, not a guess.  Sequential is the right
+//!   vehicle: it evaluates on the caller thread, where the buffer
+//!   lives; batch workers would record nothing.
 //!
 //! All service configurations run with result memoization off, so they
 //! measure evaluation (through or without the context), not the result
@@ -85,6 +91,21 @@ fn bench_service(c: &mut Criterion) {
                     .iter()
                     .map(|q| sequential.query(q).unwrap().rows.len())
                     .sum::<usize>()
+            })
+        });
+
+        // Same loop with a trace armed: every query's span tree is
+        // captured (and discarded), bounding what `"trace": true` or a
+        // slow-query log costs on top of the disarmed path above.
+        group.bench_function("sequential_warm_traced", |b| {
+            b.iter(|| {
+                rq_common::obs::trace_start();
+                let total = queries
+                    .iter()
+                    .map(|q| sequential.query(q).unwrap().rows.len())
+                    .sum::<usize>();
+                let spans = rq_common::obs::trace_finish();
+                (total, spans.len())
             })
         });
 
@@ -184,8 +205,25 @@ fn write_service_summary() {
     });
     summary.add("flights24_sequential_warm", specs.len() as u64, best);
 
+    // The same loop with span capture armed, so the observability
+    // overhead shows up in the committed trajectory.
+    let best = best_of(runs, || {
+        rq_common::obs::trace_start();
+        for q in &specs {
+            sequential.query(q).unwrap();
+        }
+        rq_common::obs::trace_finish();
+    });
+    summary.add("flights24_sequential_warm_traced", specs.len() as u64, best);
+
     if let Some(speedup) = summary.speedup("flights24_batch_cold_t4", "flights24_batch_warm_t4") {
         eprintln!("flights24 warm-vs-cold batch speedup: {speedup:.2}x");
+    }
+    if let Some(ratio) = summary.speedup(
+        "flights24_sequential_warm_traced",
+        "flights24_sequential_warm",
+    ) {
+        eprintln!("flights24 sequential trace-capture overhead: {ratio:.2}x");
     }
     summary.write();
 }

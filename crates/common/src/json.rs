@@ -546,6 +546,61 @@ mod tests {
     }
 
     #[test]
+    fn depth_limit_is_exact() {
+        // Exactly MAX_DEPTH levels of nesting parse; one more is
+        // rejected — and the boundary holds for mixed object/array
+        // nesting, the shape trace payloads take.
+        let at_limit = "[".repeat(MAX_DEPTH) + "1" + &"]".repeat(MAX_DEPTH);
+        assert!(Json::parse(&at_limit).is_ok());
+        let over = "[".repeat(MAX_DEPTH + 1) + "1" + &"]".repeat(MAX_DEPTH + 1);
+        assert_eq!(Json::parse(&over), Err(JsonError::TooDeep));
+        let mixed_over = r#"{"a":"#.repeat(MAX_DEPTH) + "[1]" + &"}".repeat(MAX_DEPTH);
+        assert_eq!(Json::parse(&mixed_over), Err(JsonError::TooDeep));
+    }
+
+    #[test]
+    fn surrogate_and_escape_round_trips() {
+        // A surrogate-pair escape decodes to the astral scalar, and
+        // the encoder's output (raw UTF-8) re-parses to the same value.
+        let from_escape = Json::parse(r#""😀""#).unwrap();
+        assert_eq!(from_escape, Json::Str("😀".into()));
+        assert_eq!(Json::parse(&from_escape.encode()).unwrap(), from_escape);
+        // Low surrogate without a preceding high one is rejected, as
+        // is a high surrogate followed by a non-surrogate escape.
+        assert!(Json::parse(r#""\udc00""#).is_err());
+        assert!(Json::parse(r#""\ud83dA""#).is_err());
+        // Control characters encode as \u escapes and round-trip.
+        let control = Json::Str("\u{0001}\u{001f}bell\u{0007}".into());
+        let encoded = control.encode();
+        assert!(encoded.contains("\\u0001") && encoded.contains("\\u001f"));
+        assert_eq!(Json::parse(&encoded).unwrap(), control);
+        // Every named escape survives a double round-trip.
+        let named = Json::parse(r#""\"\\\/\b\f\n\r\t""#).unwrap();
+        assert_eq!(named, Json::Str("\"\\/\u{8}\u{c}\n\r\t".into()));
+        assert_eq!(Json::parse(&named.encode()).unwrap(), named);
+    }
+
+    #[test]
+    fn large_integers_keep_fidelity() {
+        // i64 extremes stay exact integers through parse and encode —
+        // metric counters ride this codec.
+        for i in [i64::MAX, i64::MIN, (1i64 << 53) + 1, -(1i64 << 53) - 1] {
+            let parsed = Json::parse(&i.to_string()).unwrap();
+            assert_eq!(parsed, Json::Int(i), "{i}");
+            assert_eq!(parsed.encode(), i.to_string());
+        }
+        // Beyond i64, the value degrades to a float rather than
+        // erroring (matching other lenient decoders).
+        let over = "9223372036854775808"; // i64::MAX + 1
+        assert_eq!(
+            Json::parse(over).unwrap(),
+            Json::Float(9.223372036854776e18)
+        );
+        // An exponent forces float even for integral values.
+        assert_eq!(Json::parse("5e0").unwrap(), Json::Float(5.0));
+    }
+
+    #[test]
     fn non_finite_floats_encode_as_null() {
         assert_eq!(Json::Float(f64::NAN).encode(), "null");
         assert_eq!(Json::Float(f64::INFINITY).encode(), "null");

@@ -12,6 +12,11 @@
 //!   evaluation caches;
 //! * [`counters`] — the unit-cost instrumentation counters that the
 //!   benchmark harness uses to reproduce the paper's complexity table;
+//! * [`obs`] — the observability substrate: a sharded metrics
+//!   registry (counters, gauges, log-bucket histograms) with a
+//!   Prometheus text renderer, plus thread-local structured spans
+//!   behind the `"trace": true` query responses and the slow-query
+//!   log;
 //! * [`pshare`] — persistent (structurally shared) chunked vectors and
 //!   hash tries, the storage substrate that makes snapshot epochs cost
 //!   O(delta) instead of O(database);
@@ -27,6 +32,7 @@ pub mod idvec;
 pub mod intern;
 pub mod json;
 pub mod memo;
+pub mod obs;
 pub mod pshare;
 pub mod threads;
 
@@ -36,5 +42,6 @@ pub use idvec::{IdLike, IdVec};
 pub use intern::{Const, ConstInterner, ConstValue, NameInterner, Pred, Var};
 pub use json::{Json, JsonError};
 pub use memo::{BoundedMemo, MemoStats};
+pub use obs::{Counter, Gauge, Histogram, Registry};
 pub use pshare::{PMap, PVec};
 pub use threads::{capped_threads, thread_cap};

@@ -1,0 +1,1037 @@
+//! Dependency-free observability: a sharded metrics registry and
+//! lightweight structured spans.
+//!
+//! The registry holds three metric kinds, all cheap enough for hot
+//! paths and all lock-free after creation:
+//!
+//! * [`Counter`] — a monotone `u64` split across cache-line-padded
+//!   shards so concurrent workers do not bounce one cache line; reads
+//!   sum the shards with saturating arithmetic.
+//! * [`Gauge`] — a point-in-time `i64` (in-flight requests, cache
+//!   entries, current epoch).
+//! * [`Histogram`] — fixed log₂ buckets from 1µs to ~16.8s plus
+//!   `+Inf`, with nanosecond sum and count; snapshots derive
+//!   p50/p90/p99 from the cumulative buckets.
+//!
+//! [`Registry::render`] emits the whole registry in Prometheus text
+//! exposition format (`# HELP` / `# TYPE` / sample lines), which is
+//! what `GET /metrics` serves.
+//!
+//! Spans are thread-local and cost one thread-local check when no
+//! trace is active: [`trace_start`] arms the current thread,
+//! [`span`] records a named node under the innermost open span, and
+//! [`trace_finish`] returns the completed records.  [`trace_mark`] /
+//! [`trace_since`] extract a subtree without consuming an enclosing
+//! trace, so a `"trace": true` query response and a server-level
+//! slow-query log can share one recording.
+//!
+//! ```
+//! use rq_common::obs::{self, Registry};
+//! use std::time::Duration;
+//!
+//! let registry = Registry::new();
+//! let hits = registry.counter("rq_cache_hits_total", "Cache hits.");
+//! hits.inc();
+//! let latency = registry.histogram_with(
+//!     "rq_request_seconds",
+//!     "Request latency.",
+//!     &[("endpoint", "/query")],
+//! );
+//! latency.observe(Duration::from_micros(250));
+//! let text = registry.render();
+//! assert!(text.contains("rq_cache_hits_total 1"));
+//! assert!(text.contains("rq_request_seconds_bucket{endpoint=\"/query\",le=\"+Inf\"} 1"));
+//!
+//! obs::trace_start();
+//! {
+//!     let root = obs::span("root");
+//!     root.note("answer", 42);
+//!     let _child = obs::span("child");
+//! }
+//! let spans = obs::trace_finish();
+//! assert_eq!(spans[0].name, "root");
+//! assert_eq!(spans[1].parent, Some(0));
+//! ```
+
+use crate::json::Json;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// How many cache-line-padded shards a [`Counter`] spreads over.
+const COUNTER_SHARDS: usize = 8;
+
+/// One `AtomicU64` alone on its cache line, so two shards never share
+/// a line and `fetch_add` from different threads never false-shares.
+#[derive(Default)]
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+/// The thread's shard index: assigned round-robin on first use, fixed
+/// for the thread's lifetime.
+fn shard_index() -> usize {
+    static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SHARD.with(|slot| {
+        let mut index = slot.get();
+        if index == usize::MAX {
+            index = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS;
+            slot.set(index);
+        }
+        index
+    })
+}
+
+/// A monotone counter.  Cloning shares the underlying shards, so a
+/// cache can own a counter and a registry can export the same one —
+/// the "one source of truth" behind `:stats`, `/stats`, and
+/// `/metrics`.
+#[derive(Clone, Default)]
+pub struct Counter {
+    shards: Arc<[PaddedU64; COUNTER_SHARDS]>,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.shards[shard_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current total: a saturating sum over the shards, so a
+    /// (pathological) wrapped shard cannot panic a debug build or
+    /// produce a nonsense negative-looking total.
+    pub fn value(&self) -> u64 {
+        self.shards.iter().fold(0u64, |sum, shard| {
+            sum.saturating_add(shard.0.load(Ordering::Relaxed))
+        })
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Counter").field(&self.value()).finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gauges
+// ---------------------------------------------------------------------------
+
+/// A point-in-time value (in-flight requests, cache entries, epoch).
+/// Cloning shares the underlying cell.
+#[derive(Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the gauge to `v`.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Add `n` (e.g. a request entering flight).
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Subtract `n` (e.g. a request leaving flight).
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Gauge").field(&self.value()).finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+/// Bucket count: upper bounds `2^i` microseconds for `i` in `0..25`
+/// (1µs … ~16.8s), plus a final `+Inf` bucket.
+pub const HISTOGRAM_BUCKETS: usize = 26;
+
+struct HistogramInner {
+    /// Per-bucket (non-cumulative) observation counts.
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum_nanos: AtomicU64,
+    count: AtomicU64,
+}
+
+/// A latency histogram with fixed log₂ buckets.  Cloning shares the
+/// underlying buckets.
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            inner: Arc::new(HistogramInner {
+                buckets: Default::default(),
+                sum_nanos: AtomicU64::new(0),
+                count: AtomicU64::new(0),
+            }),
+        }
+    }
+}
+
+/// The upper bound of bucket `i`, in seconds (`f64::INFINITY` for the
+/// last bucket).
+fn bucket_bound_seconds(i: usize) -> f64 {
+    if i + 1 == HISTOGRAM_BUCKETS {
+        f64::INFINITY
+    } else {
+        (1u64 << i) as f64 * 1e-6
+    }
+}
+
+impl Histogram {
+    /// A fresh histogram with no observations.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one duration.
+    pub fn observe(&self, d: Duration) {
+        let nanos = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        let micros = nanos / 1_000;
+        // Smallest i with micros <= 2^i, i.e. ceil(log2(micros)).
+        let index = if micros <= 1 {
+            0
+        } else {
+            (64 - (micros - 1).leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+        };
+        let index = if index + 1 >= HISTOGRAM_BUCKETS {
+            HISTOGRAM_BUCKETS - 1
+        } else {
+            index
+        };
+        self.inner.buckets[index].fetch_add(1, Ordering::Relaxed);
+        self.inner.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough snapshot for rendering (buckets are read
+    /// one by one; a racing `observe` may straddle the read, which is
+    /// the usual Prometheus-client tolerance).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut cumulative = 0u64;
+        let buckets = (0..HISTOGRAM_BUCKETS)
+            .map(|i| {
+                cumulative =
+                    cumulative.saturating_add(self.inner.buckets[i].load(Ordering::Relaxed));
+                (bucket_bound_seconds(i), cumulative)
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.inner.count.load(Ordering::Relaxed),
+            sum_seconds: self.inner.sum_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            buckets,
+        }
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let snap = self.snapshot();
+        f.debug_struct("Histogram")
+            .field("count", &snap.count)
+            .field("sum_seconds", &snap.sum_seconds)
+            .finish()
+    }
+}
+
+/// A read-out of a [`Histogram`]: total count, sum in seconds, and
+/// `(upper_bound_seconds, cumulative_count)` per bucket (the last
+/// bound is `+Inf`).
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed durations, in seconds.
+    pub sum_seconds: f64,
+    /// `(le_seconds, cumulative_count)` pairs, cumulative and
+    /// monotone; the final entry's bound is `f64::INFINITY`.
+    pub buckets: Vec<(f64, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// The upper bound (seconds) of the bucket holding the `q`-th
+    /// quantile observation — e.g. `quantile(0.99)` is the p99 bucket
+    /// bound.  Returns `0.0` for an empty histogram; observations in
+    /// the `+Inf` bucket report the largest finite bound (the best
+    /// known lower bound).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        for &(bound, cumulative) in &self.buckets {
+            if cumulative >= rank {
+                return if bound.is_finite() {
+                    bound
+                } else {
+                    bucket_bound_seconds(HISTOGRAM_BUCKETS - 2)
+                };
+            }
+        }
+        bucket_bound_seconds(HISTOGRAM_BUCKETS - 2)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// One registered metric (any kind).
+#[derive(Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A metric family: one name and help string, one series per label
+/// set.
+struct Family {
+    help: &'static str,
+    /// Keyed by the rendered label set (e.g. `endpoint="/query"`),
+    /// empty string for the unlabeled series.  Sorted for stable
+    /// render order.
+    series: BTreeMap<String, Metric>,
+}
+
+/// A metrics registry: named families of counters, gauges, and
+/// histograms, rendered in Prometheus text exposition format.
+///
+/// The registry is instance-scoped (no globals): each `QueryService`
+/// owns one, so tests and embedded services never share counters.
+/// `get-or-create` accessors return clones that share the underlying
+/// cells, so callers keep handles and never touch the lock on the hot
+/// path.
+#[derive(Default)]
+pub struct Registry {
+    families: RwLock<BTreeMap<&'static str, Family>>,
+}
+
+/// `label_key(&[("a", "x"), ("b", "y")])` → `a="x",b="y"` — the
+/// stable series key and rendered label body.
+fn label_key(labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (i, (name, value)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{name}=\"{}\"", escape_label(value));
+    }
+    out
+}
+
+/// Escape a label value per the Prometheus text format (`\\`, `\"`,
+/// `\n`).
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        key: String,
+        make: Metric,
+    ) -> Metric {
+        let mut families = self.families.write().expect("registry lock");
+        let family = families.entry(name).or_insert_with(|| Family {
+            help,
+            series: BTreeMap::new(),
+        });
+        let metric = family.series.entry(key).or_insert(make);
+        metric.clone()
+    }
+
+    /// The unlabeled counter `name`, created on first use.
+    pub fn counter(&self, name: &'static str, help: &'static str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// The counter `name{labels}`, created on first use.
+    pub fn counter_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Counter {
+        match self.get_or_insert(
+            name,
+            help,
+            label_key(labels),
+            Metric::Counter(Counter::new()),
+        ) {
+            Metric::Counter(c) => c,
+            other => {
+                debug_assert!(false, "metric `{name}` registered as {}", other.type_name());
+                Counter::new()
+            }
+        }
+    }
+
+    /// Register an existing counter under `name{labels}` — the adopt
+    /// path for cache-owned counters, so the cache's own reads and the
+    /// Prometheus export observe the same cells.  If the series
+    /// already exists, the registered counter wins and is returned.
+    pub fn adopt_counter(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        counter: &Counter,
+    ) -> Counter {
+        match self.get_or_insert(
+            name,
+            help,
+            label_key(labels),
+            Metric::Counter(counter.clone()),
+        ) {
+            Metric::Counter(c) => c,
+            other => {
+                debug_assert!(false, "metric `{name}` registered as {}", other.type_name());
+                counter.clone()
+            }
+        }
+    }
+
+    /// The unlabeled gauge `name`, created on first use.
+    pub fn gauge(&self, name: &'static str, help: &'static str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// The gauge `name{labels}`, created on first use.
+    pub fn gauge_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Gauge {
+        match self.get_or_insert(name, help, label_key(labels), Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
+            other => {
+                debug_assert!(false, "metric `{name}` registered as {}", other.type_name());
+                Gauge::new()
+            }
+        }
+    }
+
+    /// The unlabeled histogram `name`, created on first use.
+    pub fn histogram(&self, name: &'static str, help: &'static str) -> Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// The histogram `name{labels}`, created on first use.
+    pub fn histogram_with(
+        &self,
+        name: &'static str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+    ) -> Histogram {
+        match self.get_or_insert(
+            name,
+            help,
+            label_key(labels),
+            Metric::Histogram(Histogram::new()),
+        ) {
+            Metric::Histogram(h) => h,
+            other => {
+                debug_assert!(false, "metric `{name}` registered as {}", other.type_name());
+                Histogram::new()
+            }
+        }
+    }
+
+    /// Render every family in Prometheus text exposition format:
+    /// `# HELP` and `# TYPE` lines followed by one sample line per
+    /// series (histograms expand to `_bucket`/`_sum`/`_count`).
+    pub fn render(&self) -> String {
+        let families = self.families.read().expect("registry lock");
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            let Some(first) = family.series.values().next() else {
+                continue;
+            };
+            let _ = writeln!(out, "# HELP {name} {}", family.help);
+            let _ = writeln!(out, "# TYPE {name} {}", first.type_name());
+            for (key, metric) in &family.series {
+                match metric {
+                    Metric::Counter(c) => {
+                        let _ = writeln!(out, "{name}{} {}", braced(key), c.value());
+                    }
+                    Metric::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{} {}", braced(key), g.value());
+                    }
+                    Metric::Histogram(h) => {
+                        let snap = h.snapshot();
+                        for &(bound, cumulative) in &snap.buckets {
+                            let le = if bound.is_finite() {
+                                format!("{bound:?}")
+                            } else {
+                                "+Inf".to_string()
+                            };
+                            let labels = if key.is_empty() {
+                                format!("{{le=\"{le}\"}}")
+                            } else {
+                                format!("{{{key},le=\"{le}\"}}")
+                            };
+                            let _ = writeln!(out, "{name}_bucket{labels} {cumulative}");
+                        }
+                        let _ = writeln!(out, "{name}_sum{} {:?}", braced(key), snap.sum_seconds);
+                        let _ = writeln!(out, "{name}_count{} {}", braced(key), snap.count);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Wrap a non-empty label body in braces.
+fn braced(key: &str) -> String {
+    if key.is_empty() {
+        String::new()
+    } else {
+        format!("{{{key}}}")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request ids
+// ---------------------------------------------------------------------------
+
+/// The next process-unique request id (monotone from 1).
+pub fn next_request_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// One completed (or still-open) span record.  Indices — `parent` and
+/// positions in the vector [`trace_finish`] returns — are in span
+/// *open* order.
+#[derive(Clone, Debug)]
+pub struct SpanRec {
+    /// The span's name, e.g. `service.query`.
+    pub name: &'static str,
+    /// Index of the enclosing span, `None` for a root.
+    pub parent: Option<u32>,
+    /// Nanoseconds from trace start to span open.
+    pub start_ns: u64,
+    /// Wall-clock nanoseconds the span was open (0 while open).
+    pub dur_ns: u64,
+    /// `key=value` annotations added via [`Span::note`].
+    pub notes: Vec<(&'static str, String)>,
+}
+
+struct TraceBuf {
+    t0: Instant,
+    spans: Vec<SpanRec>,
+    /// Indices of currently-open spans, innermost last.
+    open: Vec<u32>,
+}
+
+thread_local! {
+    static TRACE: RefCell<Option<TraceBuf>> = const { RefCell::new(None) };
+}
+
+/// Whether this thread is currently recording spans.
+pub fn trace_active() -> bool {
+    TRACE.with(|t| t.borrow().is_some())
+}
+
+/// Arm span recording on this thread.  A no-op if a trace is already
+/// active (the outer owner keeps it; see [`trace_mark`] for subtree
+/// extraction).
+pub fn trace_start() {
+    TRACE.with(|t| {
+        let mut buf = t.borrow_mut();
+        if buf.is_none() {
+            *buf = Some(TraceBuf {
+                t0: Instant::now(),
+                spans: Vec::new(),
+                open: Vec::new(),
+            });
+        }
+    });
+}
+
+/// Disarm recording and return every span recorded since
+/// [`trace_start`] (empty if no trace was active).
+pub fn trace_finish() -> Vec<SpanRec> {
+    TRACE
+        .with(|t| t.borrow_mut().take())
+        .map(|buf| buf.spans)
+        .unwrap_or_default()
+}
+
+/// The current span count — a cursor for [`trace_since`].
+pub fn trace_mark() -> usize {
+    TRACE.with(|t| t.borrow().as_ref().map_or(0, |buf| buf.spans.len()))
+}
+
+/// The spans recorded since `mark`, with parent indices rebased to the
+/// returned slice (parents opened before `mark` become roots).  The
+/// trace stays active — this is how a request handler extracts its
+/// own subtree out of a server-owned trace.
+pub fn trace_since(mark: usize) -> Vec<SpanRec> {
+    TRACE.with(|t| {
+        t.borrow().as_ref().map_or_else(Vec::new, |buf| {
+            buf.spans
+                .get(mark..)
+                .unwrap_or_default()
+                .iter()
+                .map(|span| {
+                    let mut span = span.clone();
+                    span.parent = span
+                        .parent
+                        .and_then(|p| (p as usize).checked_sub(mark).map(|p| p as u32));
+                    span
+                })
+                .collect()
+        })
+    })
+}
+
+/// A guard for one span: created by [`span`], closed (duration
+/// stamped) on drop.  Inert when no trace is active.
+#[must_use = "a span measures the scope it is alive in"]
+pub struct Span {
+    idx: Option<u32>,
+}
+
+/// Open a span named `name` under the innermost open span of this
+/// thread's trace.  When no trace is active this is one thread-local
+/// check and the returned guard does nothing.
+pub fn span(name: &'static str) -> Span {
+    TRACE.with(|t| {
+        let mut slot = t.borrow_mut();
+        let Some(buf) = slot.as_mut() else {
+            return Span { idx: None };
+        };
+        let idx = buf.spans.len() as u32;
+        let start_ns = u64::try_from(buf.t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        buf.spans.push(SpanRec {
+            name,
+            parent: buf.open.last().copied(),
+            start_ns,
+            dur_ns: 0,
+            notes: Vec::new(),
+        });
+        buf.open.push(idx);
+        Span { idx: Some(idx) }
+    })
+}
+
+impl Span {
+    /// Whether this guard is recording (a trace was active at open).
+    pub fn active(&self) -> bool {
+        self.idx.is_some()
+    }
+
+    /// Attach a `key=value` annotation.  `value` is only formatted
+    /// when the span is recording.
+    pub fn note(&self, key: &'static str, value: impl std::fmt::Display) {
+        let Some(idx) = self.idx else { return };
+        let text = value.to_string();
+        TRACE.with(|t| {
+            if let Some(buf) = t.borrow_mut().as_mut() {
+                if let Some(span) = buf.spans.get_mut(idx as usize) {
+                    span.notes.push((key, text));
+                }
+            }
+        });
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(idx) = self.idx else { return };
+        TRACE.with(|t| {
+            if let Some(buf) = t.borrow_mut().as_mut() {
+                let elapsed = u64::try_from(buf.t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                if let Some(span) = buf.spans.get_mut(idx as usize) {
+                    span.dur_ns = elapsed.saturating_sub(span.start_ns);
+                }
+                buf.open.retain(|&i| i != idx);
+            }
+        });
+    }
+}
+
+/// Render spans as a JSON tree: each node carries `name`, `start_ns`,
+/// `dur_ns`, `notes` (object), and `children` (array).  A single root
+/// renders as an object, several as an array.
+pub fn trace_to_json(spans: &[SpanRec]) -> Json {
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut roots = Vec::new();
+    for (i, span) in spans.iter().enumerate() {
+        match span.parent {
+            Some(p) if (p as usize) < i => children[p as usize].push(i),
+            _ => roots.push(i),
+        }
+    }
+    fn node(spans: &[SpanRec], children: &[Vec<usize>], i: usize) -> Json {
+        let span = &spans[i];
+        Json::object([
+            ("name", Json::Str(span.name.to_string())),
+            (
+                "start_ns",
+                Json::Int(span.start_ns.min(i64::MAX as u64) as i64),
+            ),
+            ("dur_ns", Json::Int(span.dur_ns.min(i64::MAX as u64) as i64)),
+            (
+                "notes",
+                Json::Object(
+                    span.notes
+                        .iter()
+                        .map(|(k, v)| (k.to_string(), Json::Str(v.clone())))
+                        .collect(),
+                ),
+            ),
+            (
+                "children",
+                Json::Array(
+                    children[i]
+                        .iter()
+                        .map(|&c| node(spans, children, c))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+    if roots.len() == 1 {
+        node(spans, &children, roots[0])
+    } else {
+        Json::Array(roots.iter().map(|&r| node(spans, &children, r)).collect())
+    }
+}
+
+/// Render spans as an indented text tree (`name 123µs (k=v, …)` per
+/// line) — the `:trace` REPL view.
+pub fn trace_text(spans: &[SpanRec]) -> String {
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut roots = Vec::new();
+    for (i, span) in spans.iter().enumerate() {
+        match span.parent {
+            Some(p) if (p as usize) < i => children[p as usize].push(i),
+            _ => roots.push(i),
+        }
+    }
+    fn write_node(
+        out: &mut String,
+        spans: &[SpanRec],
+        children: &[Vec<usize>],
+        i: usize,
+        depth: usize,
+    ) {
+        let span = &spans[i];
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let _ = write!(out, "{} {}µs", span.name, span.dur_ns / 1_000);
+        if !span.notes.is_empty() {
+            out.push_str(" (");
+            for (j, (key, value)) in span.notes.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{key}={value}");
+            }
+            out.push(')');
+        }
+        out.push('\n');
+        for &c in &children[i] {
+            write_node(out, spans, children, c, depth + 1);
+        }
+    }
+    let mut out = String::new();
+    for &r in &roots {
+        write_node(&mut out, spans, &children, r, 0);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts_across_threads() {
+        let counter = Counter::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let counter = counter.clone();
+                scope.spawn(move || {
+                    for _ in 0..1_000 {
+                        counter.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.value(), 4_000);
+        counter.add(5);
+        assert_eq!(counter.value(), 4_005);
+    }
+
+    #[test]
+    fn gauge_tracks_flight() {
+        let gauge = Gauge::new();
+        gauge.add(3);
+        gauge.sub(1);
+        assert_eq!(gauge.value(), 2);
+        gauge.set(-7);
+        assert_eq!(gauge.value(), -7);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        // 10 fast (≤ 2µs bucket) and 2 slow (~1ms) observations.
+        for _ in 0..10 {
+            h.observe(Duration::from_micros(2));
+        }
+        for _ in 0..2 {
+            h.observe(Duration::from_micros(1_000));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 12);
+        assert!(
+            (snap.sum_seconds - 0.00202).abs() < 1e-9,
+            "{}",
+            snap.sum_seconds
+        );
+        // Cumulative buckets are monotone and end at the total count.
+        assert!(snap.buckets.windows(2).all(|w| w[0].1 <= w[1].1));
+        assert_eq!(snap.buckets.last().unwrap().1, 12);
+        assert_eq!(snap.buckets.last().unwrap().0, f64::INFINITY);
+        // p50 lands in the 2µs bucket, p99 in the 1024µs bucket.
+        assert!((snap.quantile(0.5) - 2e-6).abs() < 1e-12);
+        assert!((snap.quantile(0.99) - 1.024e-3).abs() < 1e-9);
+        // Empty histogram quantiles are 0.
+        assert_eq!(Histogram::new().snapshot().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_extremes_land_in_end_buckets() {
+        let h = Histogram::new();
+        h.observe(Duration::from_nanos(1));
+        h.observe(Duration::from_secs(3_600));
+        let snap = h.snapshot();
+        assert_eq!(snap.buckets[0].1, 1, "sub-µs goes to the first bucket");
+        assert_eq!(snap.buckets.last().unwrap().1, 2, "an hour goes to +Inf");
+        // The +Inf observation reports the largest finite bound.
+        assert!(snap.quantile(1.0).is_finite());
+    }
+
+    #[test]
+    fn registry_renders_prometheus_text() {
+        let registry = Registry::new();
+        let hits = registry.counter("rq_hits_total", "Hits.");
+        hits.add(3);
+        // A second handle to the same series shares the cells.
+        registry.counter("rq_hits_total", "Hits.").inc();
+        assert_eq!(hits.value(), 4);
+        registry.gauge("rq_in_flight", "In flight.").set(2);
+        registry
+            .histogram_with("rq_seconds", "Latency.", &[("endpoint", "/query")])
+            .observe(Duration::from_micros(3));
+        let owned = Counter::new();
+        owned.add(9);
+        registry.adopt_counter("rq_cache_hits_total", "Cache hits.", &[], &owned);
+        owned.inc();
+
+        let text = registry.render();
+        assert!(text.contains("# HELP rq_hits_total Hits.\n"), "{text}");
+        assert!(text.contains("# TYPE rq_hits_total counter\n"));
+        assert!(text.contains("rq_hits_total 4\n"));
+        assert!(text.contains("# TYPE rq_in_flight gauge\n"));
+        assert!(text.contains("rq_in_flight 2\n"));
+        assert!(text.contains("# TYPE rq_seconds histogram\n"));
+        assert!(text.contains("rq_seconds_bucket{endpoint=\"/query\",le=\"+Inf\"} 1\n"));
+        assert!(text.contains("rq_seconds_count{endpoint=\"/query\"} 1\n"));
+        assert!(
+            text.contains("rq_cache_hits_total 10\n"),
+            "adopted counter exports the cache's own cells: {text}"
+        );
+        // Families render in sorted order: HELP precedes TYPE precedes
+        // samples for each family.
+        let help_at = text.find("# HELP rq_seconds ").unwrap();
+        let type_at = text.find("# TYPE rq_seconds ").unwrap();
+        assert!(help_at < type_at);
+    }
+
+    #[test]
+    fn label_values_escape() {
+        assert_eq!(label_key(&[("q", "a\"b\\c\nd")]), "q=\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn spans_record_nesting_and_notes() {
+        assert!(!trace_active());
+        trace_start();
+        assert!(trace_active());
+        {
+            let root = span("root");
+            root.note("answers", 3);
+            {
+                let child = span("child");
+                assert!(child.active());
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let _sibling = span("sibling");
+        }
+        let spans = trace_finish();
+        assert!(!trace_active());
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].name, "root");
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[0].notes, vec![("answers", "3".to_string())]);
+        assert_eq!(spans[1].parent, Some(0));
+        assert_eq!(spans[2].parent, Some(0));
+        // The root was open across both children: its duration bounds
+        // the sum of theirs.
+        assert!(spans[0].dur_ns >= spans[1].dur_ns + spans[2].dur_ns);
+        assert!(spans[1].dur_ns >= 1_000_000, "slept a millisecond");
+    }
+
+    #[test]
+    fn spans_are_inert_without_a_trace() {
+        let guard = span("nothing");
+        assert!(!guard.active());
+        guard.note("ignored", 1);
+        drop(guard);
+        assert!(trace_finish().is_empty());
+    }
+
+    #[test]
+    fn trace_since_rebases_parents() {
+        trace_start();
+        let outer = span("outer");
+        let mark = trace_mark();
+        {
+            let _inner = span("inner");
+            let _leaf = span("leaf");
+        }
+        let subtree = trace_since(mark);
+        drop(outer);
+        let all = trace_finish();
+        assert_eq!(subtree.len(), 2);
+        assert_eq!(subtree[0].name, "inner");
+        assert_eq!(
+            subtree[0].parent, None,
+            "parent before the mark becomes a root"
+        );
+        assert_eq!(subtree[1].parent, Some(0), "in-subtree parents rebase");
+        assert_eq!(all.len(), 3, "the outer trace kept everything");
+    }
+
+    #[test]
+    fn trace_json_and_text_render_trees() {
+        trace_start();
+        {
+            let root = span("root");
+            root.note("k", "v");
+            let _child = span("child");
+        }
+        let spans = trace_finish();
+        let json = trace_to_json(&spans);
+        assert_eq!(json.get("name").and_then(Json::as_str), Some("root"));
+        let kids = json.get("children").and_then(Json::as_array).unwrap();
+        assert_eq!(kids.len(), 1);
+        assert_eq!(kids[0].get("name").and_then(Json::as_str), Some("child"));
+        assert_eq!(
+            json.get("notes").unwrap().get("k").and_then(Json::as_str),
+            Some("v")
+        );
+        let root_dur = json.get("dur_ns").and_then(Json::as_i64).unwrap();
+        let child_dur = kids[0].get("dur_ns").and_then(Json::as_i64).unwrap();
+        assert!(root_dur >= child_dur);
+
+        let text = trace_text(&spans);
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].starts_with("root "), "{text}");
+        assert!(lines[0].contains("(k=v)"));
+        assert!(lines[1].starts_with("  child "));
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_monotone() {
+        let a = next_request_id();
+        let b = next_request_id();
+        assert!(b > a);
+    }
+}

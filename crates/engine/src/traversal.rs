@@ -236,6 +236,9 @@ pub struct IterationStat {
     pub answers_so_far: u64,
     /// Continuation nodes pending at the end of this iteration.
     pub continuations: u64,
+    /// Size of the traversal work-list this iteration started from
+    /// (the freshly seeded start nodes).
+    pub worklist: u64,
 }
 
 /// How one recorded arc of `G(p, a, i)` was derived.
@@ -330,6 +333,10 @@ pub struct EvalOutcome {
     pub graph_nodes: u64,
     /// Number of machine copies spliced (≥ 1 for the root).
     pub instances: u64,
+    /// Epoch-memo teleports: sub-traversals skipped because the
+    /// complete answer set was already memoized (a root-level hit
+    /// counts as one).
+    pub memo_teleports: u64,
     /// Per-iteration statistics, if requested.
     pub iteration_stats: Vec<IterationStat>,
     /// The recorded graph, if requested.
@@ -830,6 +837,7 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
         );
         let plan = self.plan.get();
         let root_machine = self.machine_id(p, inverted);
+        let span = rq_common::obs::span("engine.traverse");
         // Introspection runs (recorded graphs, per-iteration stats)
         // bypass the epoch memo: they exist to observe the plain
         // algorithm, and memo shortcuts would skew what they record.
@@ -842,12 +850,14 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
             if let Some(hit) = ctx.lookup(plan.id, root_machine, a) {
                 // The complete answer set of this exact traversal is
                 // already memoized for the epoch.
+                span.note("memo", "root_hit");
                 return EvalOutcome {
                     answers: hit.iter().copied().collect(),
                     counters: Counters::new(),
                     converged: true,
                     graph_nodes: 0,
                     instances: 0,
+                    memo_teleports: 1,
                     iteration_stats: Vec::new(),
                     graph: None,
                 };
@@ -855,6 +865,7 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
         }
         let mut counters = Counters::new();
         let mut iteration_stats = Vec::new();
+        let mut memo_teleports = 0u64;
 
         // Parallelism applies per traversal phase; a recorded graph
         // forces the sequential path (arc attribution is inherently
@@ -914,6 +925,7 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
                 stop_on_answer: options.stop_on_answer,
                 record_graph: options.record_graph,
             };
+            let worklist = seeds.len() as u64;
             let phase_workers = workers.min(seeds.len());
             let stopped = if phase_workers > 1 {
                 let Graph::Par(nodes) = &graph else {
@@ -965,6 +977,7 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
                     new_nodes: graph.len() as u64 - nodes_before,
                     answers_so_far: answers.len() as u64,
                     continuations: continuations.values().map(|s| s.len() as u64).sum(),
+                    worklist,
                 });
             }
 
@@ -1022,6 +1035,7 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
                     for &u in &terms {
                         if let Some(ctx) = ctx {
                             if let Some(sub) = ctx.lookup(plan.id, child_machine, u) {
+                                memo_teleports += 1;
                                 for &v in sub.iter() {
                                     starts.push((inst, to as u32, v));
                                 }
@@ -1081,12 +1095,21 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
                 answer_nodes,
             }
         });
+        if span.active() {
+            span.note("nodes", graph.len());
+            span.note("instances", instances.len());
+            span.note("iterations", counters.iterations);
+            span.note("memo_teleports", memo_teleports);
+            span.note("answers", answers.len());
+            span.note("converged", converged);
+        }
         EvalOutcome {
             answers,
             counters,
             converged,
             graph_nodes: graph.len() as u64,
             instances: instances.len() as u64,
+            memo_teleports,
             iteration_stats,
             graph: dump,
         }

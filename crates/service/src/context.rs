@@ -213,17 +213,21 @@ impl EpochContext {
             probe_spaces_carried: self.probe_spaces_carried.load(Ordering::Relaxed),
             ..EpochContextStats::default()
         };
+        // Aggregate the probe spaces with the saturating
+        // `ProbeStats::merge`, outside any write lock (the map is only
+        // read-locked; each space reads its own atomics).
+        let mut probes = rq_adorn::ProbeStats::default();
         for space in self
             .probes
             .read()
             .expect("probe space map poisoned")
             .values()
         {
-            let p = space.stats();
-            stats.probe_hits += p.hits;
-            stats.probe_misses += p.misses;
-            stats.probe_entries += p.entries;
+            probes.merge(&space.stats());
         }
+        stats.probe_hits = probes.hits;
+        stats.probe_misses = probes.misses;
+        stats.probe_entries = probes.entries;
         stats
     }
 }

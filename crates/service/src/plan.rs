@@ -21,12 +21,12 @@
 
 use crate::spec::Adornment;
 use rq_adorn::{plan_nary_query, NaryPlan, QueryError};
+use rq_common::obs::Counter;
 use rq_common::{FxHashMap, FxHasher, Pred};
 use rq_datalog::{display_rule, Program};
 use rq_engine::CompiledPlan;
 use rq_relalg::{lemma1, EqSystem, Lemma1Error, Lemma1Options};
 use std::hash::Hasher;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use crate::snapshot::Snapshot;
@@ -92,9 +92,11 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
-    /// Hits as a fraction of all lookups (0 when idle).
+    /// Hits as a fraction of all lookups (0 when idle).  Saturating:
+    /// counters near the top of their range degrade gracefully instead
+    /// of wrapping into a nonsense rate.
     pub fn hit_rate(&self) -> f64 {
-        let total = self.hits + self.misses;
+        let total = self.hits.saturating_add(self.misses);
         if total == 0 {
             0.0
         } else {
@@ -112,8 +114,11 @@ pub struct PlanCache {
     by_key: RwLock<FxHashMap<PlanKey, Arc<ProgramPlan>>>,
     by_program: RwLock<FxHashMap<u64, Result<Arc<ProgramPlan>, Lemma1Error>>>,
     by_nary: RwLock<FxHashMap<PlanKey, Result<Arc<NaryPlan>, QueryError>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    /// Shareable hit/miss counters ([`rq_common::obs::Counter`]):
+    /// the service adopts clones into its metrics registry, so the
+    /// Prometheus export reads the very cells the cache increments.
+    hits: Counter,
+    misses: Counter,
 }
 
 impl PlanCache {
@@ -123,9 +128,19 @@ impl PlanCache {
             by_key: RwLock::new(FxHashMap::default()),
             by_program: RwLock::new(FxHashMap::default()),
             by_nary: RwLock::new(FxHashMap::default()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
         }
+    }
+
+    /// A handle to the hit counter (shares the underlying cells).
+    pub fn hits_counter(&self) -> Counter {
+        self.hits.clone()
+    }
+
+    /// A handle to the miss counter (shares the underlying cells).
+    pub fn misses_counter(&self) -> Counter {
+        self.misses.clone()
     }
 
     /// The §3 binary-chain plan for querying `pred` with `adornment` on
@@ -148,10 +163,10 @@ impl PlanCache {
             .expect("plan cache lock poisoned")
             .get(&key)
         {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return Ok(Arc::clone(plan));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         let plan = self.program_plan(key.program, snapshot.program())?;
         self.by_key
             .write()
@@ -182,10 +197,10 @@ impl PlanCache {
             .expect("plan cache lock poisoned")
             .get(&key)
         {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             return outcome.clone();
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         // Compile outside any lock: the pipeline can be slow and must
         // not stall readers.  A racing thread may compile the same key;
         // first publication wins and the duplicate is dropped.
@@ -304,8 +319,8 @@ impl PlanCache {
     /// fixed for a service's lifetime), so `evictions` is always 0.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits: self.hits.value(),
+            misses: self.misses.value(),
             ..CacheStats::default()
         }
     }

@@ -28,6 +28,7 @@
 
 use crate::plan::CacheStats;
 use crate::spec::QuerySpec;
+use rq_common::obs::Counter;
 use rq_common::{Const, FxHashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -84,10 +85,13 @@ pub struct ResultCache {
     /// unbounded.
     byte_budget: Option<u64>,
     tick: AtomicU64,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    deduped: AtomicU64,
+    /// Shareable counters ([`rq_common::obs::Counter`]): the service
+    /// adopts clones into its metrics registry, so `/metrics` reads
+    /// the very cells the cache increments.
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    deduped: Counter,
 }
 
 impl ResultCache {
@@ -114,11 +118,23 @@ impl ResultCache {
             capacity,
             byte_budget,
             tick: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            deduped: AtomicU64::new(0),
+            hits: Counter::new(),
+            misses: Counter::new(),
+            evictions: Counter::new(),
+            deduped: Counter::new(),
         }
+    }
+
+    /// Handles to the hit/miss/eviction/dedup counters, in that order
+    /// (each shares the underlying cells) — what the service registers
+    /// under the `rq_result_cache_*` metric names.
+    pub fn counters(&self) -> (Counter, Counter, Counter, Counter) {
+        (
+            self.hits.clone(),
+            self.misses.clone(),
+            self.evictions.clone(),
+            self.deduped.clone(),
+        )
     }
 
     /// The configured entry cap.
@@ -146,8 +162,8 @@ impl ResultCache {
         });
         drop(inner);
         match &hit {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+            Some(_) => self.hits.inc(),
+            None => self.misses.inc(),
         };
         hit
     }
@@ -167,9 +183,9 @@ impl ResultCache {
             bytes,
         };
         if let Some(old) = inner.map.insert(key, entry) {
-            inner.bytes -= old.bytes;
+            inner.bytes = inner.bytes.saturating_sub(old.bytes);
         }
-        inner.bytes += bytes;
+        inner.bytes = inner.bytes.saturating_add(bytes);
         let over_entries = self.capacity.is_some_and(|cap| inner.map.len() > cap);
         let over_bytes = self.byte_budget.is_some_and(|b| inner.bytes > b);
         if !(over_entries || over_bytes) {
@@ -203,7 +219,7 @@ impl ResultCache {
                 break;
             }
             remaining_entries -= 1;
-            remaining_bytes -= bytes;
+            remaining_bytes = remaining_bytes.saturating_sub(bytes);
             cutoff = tick + 1;
         }
         let before = inner.map.len();
@@ -212,7 +228,7 @@ impl ResultCache {
             .retain(|_, e| e.last_used.load(Ordering::Relaxed) >= cutoff);
         let evicted = (before - inner.map.len()) as u64;
         inner.bytes = remaining_bytes;
-        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        self.evictions.add(evicted);
     }
 
     /// Epoch-bump garbage collection with per-entry survival.  Entries
@@ -224,17 +240,35 @@ impl ResultCache {
     /// so a straggler invoking this with a superseded epoch can never
     /// evict entries of a newer one.
     pub fn carry_forward(&self, new_epoch: u64, mut survives: impl FnMut(&ResultKey) -> bool) {
+        // Phase 1 (read lock): list the stale keys and judge survival.
+        // The predicate walks plan read-sets against the new
+        // snapshot's dirty shards — real work that must not run under
+        // the write lock, or every concurrent query would stall behind
+        // the publish.
+        let judged: Vec<(ResultKey, bool)> = {
+            let inner = self.inner.read().expect("result cache lock poisoned");
+            inner
+                .map
+                .keys()
+                .filter(|k| k.epoch < new_epoch)
+                .map(|k| (k.clone(), k.epoch + 1 == new_epoch && survives(k)))
+                .collect()
+        };
+        if judged.is_empty() {
+            return;
+        }
+        // Phase 2 (write lock): apply the decisions — removes and
+        // re-keys only, no predicate calls.  A key evicted between
+        // the phases is skipped; a stale key inserted between them is
+        // caught by the next carry-forward (the same window exists for
+        // inserts racing the old single-lock version).
         let mut inner = self.inner.write().expect("result cache lock poisoned");
-        let old: Vec<ResultKey> = inner
-            .map
-            .keys()
-            .filter(|k| k.epoch < new_epoch)
-            .cloned()
-            .collect();
         let mut evicted = 0u64;
-        for key in old {
-            let entry = inner.map.remove(&key).expect("key just listed");
-            if key.epoch + 1 == new_epoch && survives(&key) {
+        for (key, keep) in judged {
+            let Some(entry) = inner.map.remove(&key) else {
+                continue;
+            };
+            if keep {
                 let displaced = inner.map.insert(
                     ResultKey {
                         epoch: new_epoch,
@@ -245,15 +279,16 @@ impl ResultCache {
                 if let Some(d) = displaced {
                     // A concurrent query already recomputed this spec
                     // on the new epoch; uncharge the copy we replaced.
-                    inner.bytes -= d.bytes;
+                    inner.bytes = inner.bytes.saturating_sub(d.bytes);
                     evicted += 1;
                 }
             } else {
-                inner.bytes -= entry.bytes;
+                inner.bytes = inner.bytes.saturating_sub(entry.bytes);
                 evicted += 1;
             }
         }
-        self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        drop(inner);
+        self.evictions.add(evicted);
     }
 
     /// Drop every entry from epochs before `current`, with no survivors
@@ -266,7 +301,7 @@ impl ResultCache {
     /// Record `n` batch queries answered by sharing an identical spec's
     /// evaluation instead of running their own.
     pub fn note_deduped(&self, n: u64) {
-        self.deduped.fetch_add(n, Ordering::Relaxed);
+        self.deduped.add(n);
     }
 
     /// Number of memoized answers.
@@ -286,10 +321,10 @@ impl ResultCache {
     /// Hit/miss/eviction/dedup counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            deduped: self.deduped.load(Ordering::Relaxed),
+            hits: self.hits.value(),
+            misses: self.misses.value(),
+            evictions: self.evictions.value(),
+            deduped: self.deduped.value(),
         }
     }
 }
@@ -490,6 +525,28 @@ mod tests {
         cache.carry_forward(1, |_| true);
         assert_eq!(cache.len(), 1);
         assert_eq!(cache.bytes(), one_entry, "displaced bytes must not leak");
+    }
+
+    #[test]
+    fn carry_forward_judges_each_candidate_once_outside_the_write_lock() {
+        // The survival predicate is expensive (read-set walks): it
+        // must run once per immediately-preceding-epoch key, never for
+        // current-epoch keys, and the cache must stay readable from
+        // the predicate itself (phase 1 holds only the read lock).
+        let cache = ResultCache::new();
+        cache.insert(key(0, 1), value(&[1]));
+        cache.insert(key(0, 2), value(&[2]));
+        cache.insert(key(1, 3), value(&[3]));
+        let mut asked = Vec::new();
+        cache.carry_forward(1, |k| {
+            asked.push(k.spec.bound_values()[0]);
+            true
+        });
+        asked.sort_unstable();
+        assert_eq!(asked, vec![Const(1), Const(2)]);
+        assert_eq!(cache.len(), 3, "both epoch-0 entries re-keyed");
+        assert!(cache.get(&key(1, 1)).is_some());
+        assert!(cache.get(&key(1, 2)).is_some());
     }
 
     #[test]

@@ -6,7 +6,8 @@ use crate::plan::{PlanCache, ProgramPlan};
 use crate::results::{CachedResult, ResultCache, ResultKey};
 use crate::snapshot::{IngestError, Snapshot, SnapshotStore};
 use crate::spec::{Adornment, Arg, QuerySpec};
-use rq_common::{Const, ConstValue, FxHashMap, Pred};
+use rq_common::obs::{self, Counter};
+use rq_common::{Const, ConstValue, FxHashMap, Pred, Registry};
 use rq_datalog::Program;
 use rq_engine::{
     all_pairs_min_side, candidate_sources, cyclic_iteration_bound, inverse_cyclic_iteration_bound,
@@ -14,6 +15,7 @@ use rq_engine::{
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Service-level settings.
 #[derive(Clone, Debug)]
@@ -200,10 +202,97 @@ pub struct QueryService {
     plans: PlanCache,
     results: ResultCache,
     config: ServiceConfig,
+    /// Instance-scoped metrics registry: the caches' own counter cells
+    /// are adopted into it at construction, so `:stats`, `GET /stats`
+    /// and `GET /metrics` all read the same cells (no global state —
+    /// each service, and each test, gets its own registry).
+    metrics: Arc<Registry>,
+    /// Pre-resolved handles for the hot path — no registry lookup per
+    /// query.
+    counters: ServiceCounters,
+    started: Instant,
     /// Serializes publish + cache carry-forward as one unit, so two
     /// concurrent ingests cannot run their epoch GC out of order (a
     /// later epoch's GC would drop the earlier epoch's survivors).
     ingest_gc: std::sync::Mutex<()>,
+}
+
+/// Registry handles the service increments on its own hot paths (the
+/// cache hit/miss counters live inside the caches and are *adopted*
+/// into the registry instead).
+struct ServiceCounters {
+    /// Queries evaluated through [`QueryService::query_on`] and the
+    /// batch front end (internal re-entries — diagonal bases, per-source
+    /// all-pairs sub-queries — count too: they are real evaluations).
+    queries: Counter,
+    /// Successful fact publishes.
+    ingests: Counter,
+    /// Graph nodes materialized by §3/§4 traversals on behalf of this
+    /// service (the engine's `G`).
+    engine_nodes: Counter,
+    /// Traversals (or machine expansions) answered wholesale from the
+    /// epoch context's machine memo.
+    engine_teleports: Counter,
+    /// Machine copies spliced during traversals.
+    engine_instances: Counter,
+}
+
+impl ServiceCounters {
+    fn register(registry: &Registry, plans: &PlanCache, results: &ResultCache) -> Self {
+        registry.adopt_counter(
+            "rq_plan_cache_hits_total",
+            "Plan-cache lookups answered from the cache.",
+            &[],
+            &plans.hits_counter(),
+        );
+        registry.adopt_counter(
+            "rq_plan_cache_misses_total",
+            "Plan-cache lookups that compiled a fresh plan.",
+            &[],
+            &plans.misses_counter(),
+        );
+        let (hits, misses, evictions, deduped) = results.counters();
+        registry.adopt_counter(
+            "rq_result_cache_hits_total",
+            "Result-cache lookups answered from the cache.",
+            &[],
+            &hits,
+        );
+        registry.adopt_counter(
+            "rq_result_cache_misses_total",
+            "Result-cache lookups that fell through to evaluation.",
+            &[],
+            &misses,
+        );
+        registry.adopt_counter(
+            "rq_result_cache_evictions_total",
+            "Memoized results evicted under the entry or byte budget.",
+            &[],
+            &evictions,
+        );
+        registry.adopt_counter(
+            "rq_result_cache_deduped_total",
+            "Duplicate batch queries served from a sibling's answer.",
+            &[],
+            &deduped,
+        );
+        Self {
+            queries: registry.counter("rq_queries_total", "Queries evaluated by the service."),
+            ingests: registry.counter("rq_ingests_total", "Fact batches published as new epochs."),
+            engine_nodes: registry.counter(
+                "rq_engine_graph_nodes_total",
+                "Nodes materialized in traversal graphs.",
+            ),
+            engine_teleports: registry.counter(
+                "rq_engine_memo_teleports_total",
+                "Traversal lookups answered wholesale from the machine memo.",
+            ),
+            engine_instances: registry.counter(
+                "rq_engine_machine_instances_total",
+                "Machine copies spliced during traversals.",
+            ),
+        }
+    }
 }
 
 impl QueryService {
@@ -214,14 +303,19 @@ impl QueryService {
 
     /// Serve `program` with explicit settings.
     pub fn with_config(program: Program, config: ServiceConfig) -> Self {
+        let plans = PlanCache::new();
+        let results =
+            ResultCache::with_limits(config.result_cache_capacity, config.result_cache_bytes);
+        let metrics = Arc::new(Registry::new());
+        let counters = ServiceCounters::register(&metrics, &plans, &results);
         Self {
             store: SnapshotStore::new(program),
-            plans: PlanCache::new(),
-            results: ResultCache::with_limits(
-                config.result_cache_capacity,
-                config.result_cache_bytes,
-            ),
+            plans,
+            results,
             config,
+            metrics,
+            counters,
+            started: Instant::now(),
             ingest_gc: std::sync::Mutex::new(()),
         }
     }
@@ -271,6 +365,26 @@ impl QueryService {
         }
     }
 
+    /// The service's metrics registry.  Front ends register their own
+    /// families here (e.g. the wire server's per-endpoint latency
+    /// histograms) so one scrape covers the whole stack.
+    pub fn metrics(&self) -> &Arc<Registry> {
+        &self.metrics
+    }
+
+    /// Time since the service was constructed.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The full Prometheus text exposition: refresh the report-derived
+    /// gauges ([`crate::stats::StatsReport::export_prometheus`]) and
+    /// render every family in the registry — live cache counters,
+    /// service counters, and whatever front ends registered.
+    pub fn metrics_prometheus(&self) -> String {
+        self.stats_report().export_prometheus(&self.metrics)
+    }
+
     /// Ingest fact clauses copy-on-write and publish the next epoch.
     /// In-flight readers keep their snapshot.  Two caches then carry
     /// forward **per plan read-set** instead of dying with the epoch:
@@ -292,29 +406,40 @@ impl QueryService {
         // to other ingests: epoch N's GC only vouches for N-1 entries,
         // so running two GCs out of order would flush survivors.
         let _gc = self.ingest_gc.lock().expect("ingest lock poisoned");
+        let span = obs::span("service.ingest");
         let prev = self.store.snapshot();
         let snap = self.store.ingest(facts_text)?;
+        if span.active() {
+            span.note("epoch", snap.epoch());
+            span.note("dirty_preds", snap.dirty_preds().len());
+        }
         let dirty = snap.dirty_preds();
         let fingerprint = snap.rules_fingerprint();
         let chain = self.plans.peek_program(fingerprint);
         // One read-set walk per distinct (pred, adornment) in the
         // cache, not per entry.
         let mut survives_memo: FxHashMap<(Pred, Adornment), bool> = FxHashMap::default();
-        self.results.carry_forward(snap.epoch(), |key| {
-            let pred = key.spec.pred;
-            let adornment = key.spec.adornment();
-            *survives_memo.entry((pred, adornment)).or_insert_with(|| {
-                if let Some(plan) = chain.as_ref().filter(|p| p.system.rhs.contains_key(&pred)) {
-                    return plan.read_set(pred).is_disjoint(dirty);
-                }
-                self.plans
-                    .peek_nary(fingerprint, pred, adornment)
-                    .is_some_and(|p| p.read_set(snap.program()).is_disjoint(dirty))
-            })
-        });
+        {
+            let _carry = obs::span("ingest.carry_results");
+            self.results.carry_forward(snap.epoch(), |key| {
+                let pred = key.spec.pred;
+                let adornment = key.spec.adornment();
+                *survives_memo.entry((pred, adornment)).or_insert_with(|| {
+                    if let Some(plan) = chain.as_ref().filter(|p| p.system.rhs.contains_key(&pred))
+                    {
+                        return plan.read_set(pred).is_disjoint(dirty);
+                    }
+                    self.plans
+                        .peek_nary(fingerprint, pred, adornment)
+                        .is_some_and(|p| p.read_set(snap.program()).is_disjoint(dirty))
+                })
+            });
+        }
         if self.config.share_epoch_context {
+            let _carry = obs::span("ingest.carry_context");
             self.carry_context(&prev, &snap);
         }
+        self.counters.ingests.inc();
         Ok(snap)
     }
 
@@ -397,12 +522,18 @@ impl QueryService {
         spec: &QuerySpec,
         expand_threads: usize,
     ) -> Result<ServiceAnswer, ServiceError> {
+        self.counters.queries.inc();
+        let span = obs::span("service.query");
         let key = ResultKey {
             epoch: snapshot.epoch(),
             spec: spec.clone(),
         };
         if self.config.memoize_results {
             if let Some(hit) = self.results.get(&key) {
+                if span.active() {
+                    span.note("result_cache", "hit");
+                    span.note("rows", hit.rows.len());
+                }
                 return Ok(ServiceAnswer {
                     epoch: snapshot.epoch(),
                     rows: hit.rows,
@@ -410,8 +541,13 @@ impl QueryService {
                     from_cache: true,
                 });
             }
+            span.note("result_cache", "miss");
         }
         let (rows, converged) = self.evaluate_spec(snapshot, spec, expand_threads)?;
+        if span.active() {
+            span.note("rows", rows.len());
+            span.note("converged", converged);
+        }
         let rows = Arc::new(rows);
         if self.config.memoize_results {
             self.results.insert(
@@ -469,17 +605,21 @@ impl QueryService {
         // sharing rules with n-ary predicates) fall through to the §4
         // transformation like everything else.
         if arity == 2 {
-            if let Ok(plan) = self
-                .plans
-                .chain_plan_for(snapshot, spec.pred, spec.adornment())
-            {
+            let chain = {
+                let _plan = obs::span("service.plan");
+                self.plans
+                    .chain_plan_for(snapshot, spec.pred, spec.adornment())
+            };
+            if let Ok(plan) = chain {
                 return self.evaluate_chain(snapshot, &plan, spec, expand_threads);
             }
         }
-        let plan = self
-            .plans
-            .nary_plan_for(snapshot, spec.pred, spec.adornment())
-            .map_err(|e| ServiceError::Plan(e.to_string()))?;
+        let plan = {
+            let _plan = obs::span("service.plan");
+            self.plans
+                .nary_plan_for(snapshot, spec.pred, spec.adornment())
+                .map_err(|e| ServiceError::Plan(e.to_string()))?
+        };
         let mut options = self.guarded_options(None, expand_threads);
         // No m·n bound exists over virtual relations; rely on the
         // fallback node budget for cyclic data.
@@ -515,7 +655,20 @@ impl QueryService {
                 &options,
             )
         };
+        self.note_outcome(
+            outcome.graph_nodes,
+            outcome.memo_teleports,
+            outcome.instances,
+        );
         Ok((rows, outcome.converged))
+    }
+
+    /// Fold one traversal's engine-side work into the service's
+    /// registry counters.
+    fn note_outcome(&self, graph_nodes: u64, memo_teleports: u64, instances: u64) {
+        self.counters.engine_nodes.add(graph_nodes);
+        self.counters.engine_teleports.add(memo_teleports);
+        self.counters.engine_instances.add(instances);
     }
 
     /// §3 binary-chain evaluation: forward/inverse point traversals,
@@ -575,6 +728,7 @@ impl QueryService {
                     // (the paper's O(tn), t = min{|domain|, |range|}).
                     let (out, _side) =
                         all_pairs_min_side(&plan.system, &source, spec.pred, &options);
+                    self.counters.engine_nodes.add(out.counters.nodes_inserted);
                     let mut rows: Vec<Vec<Const>> =
                         out.pairs.into_iter().map(|(x, y)| vec![x, y]).collect();
                     rows.sort_unstable();
@@ -643,6 +797,11 @@ impl QueryService {
         } else {
             evaluator.evaluate(pred, constant, &options)
         };
+        self.note_outcome(
+            outcome.graph_nodes,
+            outcome.memo_teleports,
+            outcome.instances,
+        );
         let mut answers: Vec<Const> = outcome.answers.into_iter().collect();
         answers.sort_unstable();
         // The m·n bound is sufficient, so hitting it is completion.
@@ -1013,6 +1172,66 @@ is_deptime(540). is_deptime(720). is_deptime(660). is_deptime(840).";
         // The distinct-variable base entry was warmed along the way.
         let base = service.query(&service.parse_query("walk(X, Y, T)").unwrap());
         assert!(base.unwrap().from_cache);
+    }
+
+    #[test]
+    fn metrics_registry_tracks_queries_ingests_and_caches() {
+        let service = QueryService::from_source(TC).unwrap();
+        let q = service.parse_query("tc(a, Y)").unwrap();
+        service.query(&q).unwrap();
+        service.query(&q).unwrap(); // result-cache hit
+        service.ingest("e(d,z).").unwrap();
+        let text = service.metrics_prometheus();
+        assert!(text.contains("# TYPE rq_queries_total counter\n"), "{text}");
+        assert!(text.contains("rq_queries_total 2\n"));
+        assert!(text.contains("rq_ingests_total 1\n"));
+        // Adopted cells: the caches' own counters, not copies.
+        assert!(text.contains("rq_result_cache_hits_total 1\n"));
+        assert!(text.contains("rq_result_cache_misses_total 1\n"));
+        assert!(text.contains("rq_plan_cache_misses_total 1\n"));
+        // Report-derived gauges ride along in the same exposition.
+        assert!(text.contains("rq_epoch 1\n"));
+        // The traversal did real work.
+        assert!(!text.contains("rq_engine_graph_nodes_total 0\n"));
+        assert!(text.contains("# TYPE rq_engine_graph_nodes_total counter\n"));
+        // Two services never share a registry.
+        let other = QueryService::from_source(TC).unwrap();
+        assert!(other.metrics_prometheus().contains("rq_queries_total 0\n"));
+        assert!(service.uptime() > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn query_and_ingest_emit_nested_spans() {
+        let service = QueryService::from_source(TC).unwrap();
+        obs::trace_start();
+        let q = service.parse_query("tc(a, Y)").unwrap();
+        service.query(&q).unwrap();
+        service.ingest("e(d,z).").unwrap();
+        let spans = obs::trace_finish();
+        let find = |name: &str| {
+            spans
+                .iter()
+                .position(|s| s.name == name)
+                .unwrap_or_else(|| panic!("missing span `{name}` in {spans:?}"))
+        };
+        let query = find("service.query");
+        let plan = find("service.plan");
+        let traverse = find("engine.traverse");
+        assert_eq!(spans[plan].parent, Some(query as u32));
+        assert_eq!(spans[traverse].parent, Some(query as u32));
+        assert!(spans[query].dur_ns >= spans[traverse].dur_ns);
+        assert!(spans[query]
+            .notes
+            .iter()
+            .any(|(k, v)| *k == "result_cache" && v == "miss"));
+        let ingest = find("service.ingest");
+        for child in ["ingest.validate", "ingest.apply", "ingest.compact"] {
+            assert_eq!(spans[find(child)].parent, Some(ingest as u32));
+        }
+        assert!(spans[find("ingest.carry_results")].parent == Some(ingest as u32));
+        // Outside a trace, spans cost nothing and record nothing.
+        service.query(&q).unwrap();
+        assert!(obs::trace_finish().is_empty());
     }
 
     #[test]

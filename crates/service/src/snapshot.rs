@@ -180,18 +180,29 @@ impl SnapshotStore {
     pub fn ingest(&self, facts_text: &str) -> Result<Arc<Snapshot>, IngestError> {
         let _writer = self.writer.lock().expect("writer lock poisoned");
         let base = self.snapshot();
-        let parsed = validate_facts(&base.program, facts_text)?;
-        // Persistent clones: per-shard/per-chunk refcount bumps.
-        let mut program = base.program.clone();
-        let mut db = base.db.clone();
-        let dirty = apply_validated(&mut program, &mut db, &parsed);
-        // Publish-time compaction (first slice of background shard
-        // compaction): the dirty shards just detached copy-on-write,
-        // so their tail chunks — carrying the capacity the detach
-        // over-allocated, now fully shadowed by the live prefix — are
-        // uniquely owned and shrink in place.  Clean shards stay
-        // pointer-shared with the parent epoch and are never touched.
-        db.compact_shards(dirty.iter().copied());
+        let parsed = {
+            let _validate = rq_common::obs::span("ingest.validate");
+            validate_facts(&base.program, facts_text)?
+        };
+        let (program, mut db, dirty) = {
+            let _apply = rq_common::obs::span("ingest.apply");
+            // Persistent clones: per-shard/per-chunk refcount bumps.
+            let mut program = base.program.clone();
+            let mut db = base.db.clone();
+            let dirty = apply_validated(&mut program, &mut db, &parsed);
+            (program, db, dirty)
+        };
+        {
+            let _compact = rq_common::obs::span("ingest.compact");
+            // Publish-time compaction (first slice of background shard
+            // compaction): the dirty shards just detached copy-on-write,
+            // so their tail chunks — carrying the capacity the detach
+            // over-allocated, now fully shadowed by the live prefix —
+            // are uniquely owned and shrink in place.  Clean shards stay
+            // pointer-shared with the parent epoch and are never
+            // touched.
+            db.compact_shards(dirty.iter().copied());
+        }
         let next = Arc::new(Snapshot::new(base.epoch + 1, program, db, dirty));
         *self.current.write().expect("snapshot lock poisoned") = Arc::clone(&next);
         Ok(next)

@@ -2,13 +2,15 @@
 //!
 //! Every front end reports the same counter set from the same struct:
 //! the REPL's `:stats` prints [`StatsReport`]'s [`std::fmt::Display`]
-//! text, and the HTTP API's `GET /stats` serializes
-//! [`StatsReport::to_json`].  Adding a counter here adds it to both at
-//! once — the two surfaces can never drift apart.
+//! text, the HTTP API's `GET /stats` serializes
+//! [`StatsReport::to_json`], and `GET /metrics` renders
+//! [`StatsReport::export_prometheus`] — the same counters in
+//! Prometheus text exposition format.  Adding a counter here adds it
+//! to all three at once — the surfaces can never drift apart.
 
 use crate::context::EpochContextStats;
 use crate::plan::CacheStats;
-use rq_common::Json;
+use rq_common::{Json, Registry};
 
 /// A point-in-time snapshot of every counter the service exposes.
 ///
@@ -100,6 +102,90 @@ impl StatsReport {
                 ]),
             ),
         ])
+    }
+
+    /// The third renderer: refresh the report-derived gauges on
+    /// `registry` and render the whole registry in Prometheus text
+    /// exposition format.
+    ///
+    /// The cache hit/miss counters are deliberately **not** copied
+    /// here — the service adopted the caches' own
+    /// [`rq_common::obs::Counter`] cells into the registry at
+    /// construction (`rq_plan_cache_*_total`,
+    /// `rq_result_cache_*_total`), so those families export live
+    /// values with no transcription step.  Only point-in-time values
+    /// (sizes, epoch, per-epoch memo counters that reset on publish)
+    /// travel through this report as gauges.
+    pub fn export_prometheus(&self, registry: &Registry) -> String {
+        let gauge = |name, help, v: i64| registry.gauge(name, help).set(v);
+        let clamp = |n: u64| n.min(i64::MAX as u64) as i64;
+        gauge("rq_epoch", "Current snapshot epoch.", clamp(self.epoch));
+        gauge(
+            "rq_plan_cache_chain_programs",
+            "Distinct §3 binary-chain programs compiled.",
+            clamp(self.chain_programs as u64),
+        );
+        gauge(
+            "rq_plan_cache_nary_plans",
+            "Distinct §4 (pred, adornment) plans compiled.",
+            clamp(self.nary_plans as u64),
+        );
+        gauge(
+            "rq_result_cache_entries",
+            "Memoized result entries currently held.",
+            clamp(self.result_entries as u64),
+        );
+        gauge(
+            "rq_result_cache_bytes",
+            "Approximate bytes charged to memoized results.",
+            clamp(self.result_bytes),
+        );
+        gauge(
+            "rq_epoch_context_probe_hits",
+            "This epoch's §4 probe-memo hits.",
+            clamp(self.context.probe_hits),
+        );
+        gauge(
+            "rq_epoch_context_probe_misses",
+            "This epoch's §4 probe-memo misses.",
+            clamp(self.context.probe_misses),
+        );
+        gauge(
+            "rq_epoch_context_probe_entries",
+            "This epoch's memoized §4 probe results.",
+            clamp(self.context.probe_entries as u64),
+        );
+        gauge(
+            "rq_epoch_context_machine_hits",
+            "This epoch's machine-memo hits.",
+            clamp(self.context.eval_hits),
+        );
+        gauge(
+            "rq_epoch_context_machine_misses",
+            "This epoch's machine-memo misses.",
+            clamp(self.context.eval_misses),
+        );
+        gauge(
+            "rq_epoch_context_machine_entries",
+            "This epoch's memoized machine traversals.",
+            clamp(self.context.eval_entries as u64),
+        );
+        gauge(
+            "rq_epoch_context_scc_served",
+            "This epoch's all-free queries served through the shared-SCC path.",
+            clamp(self.context.scc_served),
+        );
+        gauge(
+            "rq_epoch_context_machine_entries_carried",
+            "Machine-memo entries inherited from the previous epoch.",
+            clamp(self.context.eval_carried),
+        );
+        gauge(
+            "rq_epoch_context_probe_spaces_carried",
+            "Probe spaces inherited from the previous epoch.",
+            clamp(self.context.probe_spaces_carried),
+        );
+        registry.render()
     }
 }
 
@@ -217,5 +303,23 @@ mod tests {
         // Round-trips through the shared codec.
         let round = Json::parse(&json.encode()).unwrap();
         assert_eq!(round, json);
+    }
+
+    #[test]
+    fn prometheus_export_mirrors_the_report() {
+        let registry = Registry::new();
+        let text = report().export_prometheus(&registry);
+        assert!(text.contains("# TYPE rq_epoch gauge\n"), "{text}");
+        assert!(text.contains("rq_epoch 3\n"));
+        assert!(text.contains("rq_plan_cache_chain_programs 1\n"));
+        assert!(text.contains("rq_result_cache_entries 7\n"));
+        assert!(text.contains("rq_result_cache_bytes 1234\n"));
+        assert!(text.contains("rq_epoch_context_probe_hits 9\n"));
+        assert!(text.contains("rq_epoch_context_scc_served 1\n"));
+        assert!(text.contains("rq_epoch_context_probe_spaces_carried 1\n"));
+        // A second export refreshes the gauges in place instead of
+        // duplicating families.
+        let again = report().export_prometheus(&registry);
+        assert_eq!(again.matches("\nrq_epoch 3\n").count(), 1);
     }
 }

@@ -6,22 +6,38 @@
 //! whichever front end carries it; see the crate docs for verbatim
 //! request/response examples.
 
-use rq_common::Json;
+use rq_common::{obs, Json};
 use rq_service::{QueryService, QuerySpec, ServiceAnswer, ServiceError, Snapshot};
 use std::sync::Arc;
 
-/// A routed response: HTTP status plus JSON body.
+/// A routed response: HTTP status plus body — JSON for every endpoint
+/// except `GET /metrics`, whose body is Prometheus text.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ApiResponse {
     /// The HTTP status code.
     pub status: u16,
-    /// The response body.
+    /// The JSON response body (ignored when [`ApiResponse::text`] is
+    /// set).
     pub body: Json,
+    /// A plain-text body; `Some` only for `GET /metrics`.
+    pub text: Option<String>,
 }
 
 impl ApiResponse {
     fn ok(body: Json) -> Self {
-        Self { status: 200, body }
+        Self {
+            status: 200,
+            body,
+            text: None,
+        }
+    }
+
+    fn plain(text: String) -> Self {
+        Self {
+            status: 200,
+            body: Json::Null,
+            text: Some(text),
+        }
     }
 
     /// A `{"error": …}` body under `status`.
@@ -29,6 +45,25 @@ impl ApiResponse {
         Self {
             status,
             body: Json::object([("error", Json::Str(message.into()))]),
+            text: None,
+        }
+    }
+
+    /// The `content-type` this response must be served with.
+    pub fn content_type(&self) -> &'static str {
+        if self.text.is_some() {
+            // The Prometheus text exposition format's registered type.
+            "text/plain; version=0.0.4; charset=utf-8"
+        } else {
+            "application/json"
+        }
+    }
+
+    /// The encoded body bytes to put on the wire.
+    pub fn payload(&self) -> String {
+        match &self.text {
+            Some(text) => text.clone(),
+            None => self.body.encode(),
         }
     }
 }
@@ -40,8 +75,13 @@ pub fn handle(service: &QueryService, method: &str, path: &str, body: &[u8]) -> 
         ("GET", "/healthz") => ApiResponse::ok(Json::object([
             ("status", Json::Str("ok".into())),
             ("epoch", Json::Int(service.snapshot().epoch() as i64)),
+            (
+                "uptime_seconds",
+                Json::Int(service.uptime().as_secs().min(i64::MAX as u64) as i64),
+            ),
         ])),
         ("GET", "/stats") => ApiResponse::ok(service.stats_report().to_json()),
+        ("GET", "/metrics") => ApiResponse::plain(service.metrics_prometheus()),
         ("POST", "/query") => match parse_json_body(body) {
             Ok(json) => query_endpoint(service, &json),
             Err(resp) => resp,
@@ -54,11 +94,11 @@ pub fn handle(service: &QueryService, method: &str, path: &str, body: &[u8]) -> 
             Ok(json) => ingest_endpoint(service, &json),
             Err(resp) => resp,
         },
-        (_, "/healthz" | "/stats") => ApiResponse::error(405, "use GET"),
+        (_, "/healthz" | "/stats" | "/metrics") => ApiResponse::error(405, "use GET"),
         (_, "/query" | "/batch" | "/ingest") => ApiResponse::error(405, "use POST"),
         _ => ApiResponse::error(
             404,
-            format!("no endpoint `{path}`; try /query /batch /ingest /stats /healthz"),
+            format!("no endpoint `{path}`; try /query /batch /ingest /stats /healthz /metrics"),
         ),
     }
 }
@@ -70,13 +110,38 @@ fn parse_json_body(body: &[u8]) -> Result<Json, ApiResponse> {
 }
 
 /// `POST /query` — answer one query text on the current snapshot.
+/// `{"trace": true}` additionally records the evaluation's span tree
+/// and returns it under `"trace"`.
 fn query_endpoint(service: &QueryService, json: &Json) -> ApiResponse {
     let Some(text) = json.get("query").and_then(Json::as_str) else {
         return ApiResponse::error(400, "body must be {\"query\": \"pred(arg, …)\"}");
     };
+    let trace = json.get("trace").and_then(Json::as_bool).unwrap_or(false);
     let snapshot = service.snapshot();
-    match answer_one(service, &snapshot, text) {
-        Ok(answer) => ApiResponse::ok(answer),
+    let (result, spans) = if trace {
+        if obs::trace_active() {
+            // The server is already tracing this request (slow-query
+            // log): take only our slice, leave the buffer running.
+            let mark = obs::trace_mark();
+            let result = answer_one(service, &snapshot, text);
+            (result, obs::trace_since(mark))
+        } else {
+            obs::trace_start();
+            let result = answer_one(service, &snapshot, text);
+            (result, obs::trace_finish())
+        }
+    } else {
+        (answer_one(service, &snapshot, text), Vec::new())
+    };
+    match result {
+        Ok(mut answer) => {
+            if trace {
+                if let Json::Object(pairs) = &mut answer {
+                    pairs.push(("trace".to_string(), obs::trace_to_json(&spans)));
+                }
+            }
+            ApiResponse::ok(answer)
+        }
         Err(e) => ApiResponse::error(400, e.to_string()),
     }
 }
@@ -269,12 +334,68 @@ mod tests {
     }
 
     #[test]
-    fn healthz_reports_epoch() {
+    fn healthz_reports_epoch_and_uptime() {
         let s = service();
         let resp = handle(&s, "GET", "/healthz", b"");
         assert_eq!(resp.status, 200);
         assert_eq!(resp.body.get("status").and_then(Json::as_str), Some("ok"));
         assert_eq!(resp.body.get("epoch").and_then(Json::as_i64), Some(0));
+        assert!(resp.body.get("uptime_seconds").and_then(Json::as_i64) >= Some(0));
+        post(&s, "/ingest", r#"{"facts": "e(c,d)."}"#);
+        let resp = handle(&s, "GET", "/healthz", b"");
+        assert_eq!(resp.body.get("epoch").and_then(Json::as_i64), Some(1));
+    }
+
+    #[test]
+    fn metrics_serves_prometheus_text() {
+        let s = service();
+        post(&s, "/query", r#"{"query": "tc(a, Y)"}"#);
+        let resp = handle(&s, "GET", "/metrics", b"");
+        assert_eq!(resp.status, 200);
+        assert_eq!(
+            resp.content_type(),
+            "text/plain; version=0.0.4; charset=utf-8"
+        );
+        let text = resp.text.as_deref().unwrap();
+        assert_eq!(resp.payload(), text);
+        assert!(text.contains("# TYPE rq_queries_total counter\n"), "{text}");
+        assert!(text.contains("rq_queries_total 1\n"));
+        assert!(text.contains("rq_result_cache_misses_total 1\n"));
+        assert!(text.contains("rq_epoch 0\n"));
+        // JSON endpoints keep their content type.
+        let healthz = handle(&s, "GET", "/healthz", b"");
+        assert_eq!(healthz.content_type(), "application/json");
+        assert_eq!(handle(&s, "POST", "/metrics", b"").status, 405);
+    }
+
+    #[test]
+    fn query_trace_returns_a_span_tree() {
+        let s = service();
+        let resp = post(&s, "/query", r#"{"query": "tc(a, Y)", "trace": true}"#);
+        assert_eq!(resp.status, 200, "{:?}", resp.body);
+        let trace = resp.body.get("trace").expect("trace field");
+        // One root: the service.query span, with its children nested
+        // and the root covering at least the sum of its children.
+        assert_eq!(
+            trace.get("name").and_then(Json::as_str),
+            Some("service.query")
+        );
+        let root_dur = trace.get("dur_ns").and_then(Json::as_i64).unwrap();
+        let children = trace.get("children").and_then(Json::as_array).unwrap();
+        assert!(!children.is_empty(), "expected nested spans: {trace:?}");
+        assert!(children
+            .iter()
+            .any(|c| c.get("name").and_then(Json::as_str) == Some("engine.traverse")));
+        let child_sum: i64 = children
+            .iter()
+            .filter_map(|c| c.get("dur_ns").and_then(Json::as_i64))
+            .sum();
+        assert!(root_dur >= child_sum, "{root_dur} < {child_sum}");
+        // Without the flag there is no trace field, and no buffer is
+        // left armed on this thread.
+        let plain = post(&s, "/query", r#"{"query": "tc(a, Y)"}"#);
+        assert_eq!(plain.body.get("trace"), None);
+        assert!(!obs::trace_active());
     }
 
     #[test]

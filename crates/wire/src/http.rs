@@ -262,18 +262,22 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Write one JSON response.  `keep_alive` decides the `Connection`
-/// header; the caller closes the stream when it is `false`.
+/// Write one response.  `content_type` names the body's media type
+/// (JSON everywhere except the Prometheus `/metrics` exposition);
+/// `keep_alive` decides the `Connection` header; the caller closes the
+/// stream when it is `false`.
 pub fn write_response(
     stream: &mut impl Write,
     status: u16,
+    content_type: &str,
     body: &str,
     keep_alive: bool,
 ) -> std::io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
         status,
         reason(status),
+        content_type,
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
@@ -406,11 +410,24 @@ mod tests {
     #[test]
     fn response_shape() {
         let mut out = Vec::new();
-        write_response(&mut out, 200, "{\"ok\":true}", true).unwrap();
+        write_response(&mut out, 200, "application/json", "{\"ok\":true}", true).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("content-type: application/json\r\n"));
         assert!(text.contains("content-length: 11\r\n"));
         assert!(text.contains("connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"ok\":true}"));
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            200,
+            "text/plain; version=0.0.4; charset=utf-8",
+            "x 1\n",
+            false,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("content-type: text/plain; version=0.0.4; charset=utf-8\r\n"));
+        assert!(text.contains("connection: close\r\n"));
     }
 }

@@ -44,6 +44,21 @@
 //! semantically empty answer (`rows: []`, and `holds: false` when
 //! fully bound) — the same contract as the REPL.
 //!
+//! Adding `"trace": true` to the body returns the evaluation's span
+//! tree alongside the answer — each node is
+//! `{"name", "start_ns", "dur_ns", "notes", "children"}`, rooted at
+//! the `service.query` span:
+//!
+//! ```text
+//! POST /query
+//! {"query": "tc(a, Y)", "trace": true}
+//!
+//! 200 OK
+//! {"query":"tc(a, Y)", …, "trace":{"name":"service.query","dur_ns":83250,
+//!   "notes":{"result_cache":"miss","rows":"2","converged":"true"},
+//!   "children":[{"name":"service.plan",…},{"name":"engine.traverse",…}]}}
+//! ```
+//!
 //! ## `POST /batch` — many queries, one snapshot
 //!
 //! ```text
@@ -99,11 +114,43 @@
 //!                   "carried":{"machine_entries":2,"probe_spaces":0}}}
 //! ```
 //!
+//! ## `GET /metrics` — Prometheus exposition
+//!
+//! The whole stack's metrics in Prometheus text format (content type
+//! `text/plain; version=0.0.4`), rendered from **one** instance-scoped
+//! [`rq_common::Registry`]: the caches' own hit/miss counter cells
+//! (adopted at service construction, so `/stats`, `:stats`, and
+//! `/metrics` can never disagree), service counters
+//! (`rq_queries_total`, `rq_ingests_total`, `rq_engine_*_total`),
+//! report-derived gauges (`rq_epoch`, cache sizes, epoch-context memo
+//! counters), and this server's own per-endpoint series:
+//!
+//! ```text
+//! GET /metrics
+//!
+//! 200 OK
+//! # HELP rq_http_request_seconds Wall-clock request latency, by endpoint.
+//! # TYPE rq_http_request_seconds histogram
+//! rq_http_request_seconds_bucket{endpoint="/query",le="1e-6"} 0
+//! …
+//! rq_http_request_seconds_sum{endpoint="/query"} 0.000213
+//! rq_http_request_seconds_count{endpoint="/query"} 2
+//! # HELP rq_queries_total Queries evaluated by the service.
+//! # TYPE rq_queries_total counter
+//! rq_queries_total 2
+//! ```
+//!
+//! Unknown paths fold into the `endpoint="other"` series so the label
+//! set stays bounded.  Setting the `RQC_SLOW_QUERY_MS` environment
+//! variable (or [`WireConfig::slow_query_ms`]) additionally logs any
+//! request at or over the threshold as one JSON line on stderr with
+//! its request id and slowest spans.
+//!
 //! ## `GET /healthz` — liveness
 //!
 //! ```text
 //! 200 OK
-//! {"status":"ok","epoch":1}
+//! {"status":"ok","epoch":1,"uptime_seconds":7}
 //! ```
 //!
 //! # Protocol behavior

@@ -12,13 +12,14 @@
 
 use crate::api;
 use crate::http::{self, Limits, RequestError};
-use rq_common::Json;
+use rq_common::obs::{self, Counter, Gauge, Histogram};
+use rq_common::{Json, Registry};
 use rq_service::QueryService;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Settings of one [`WireServer`].
 #[derive(Clone, Debug)]
@@ -37,6 +38,12 @@ pub struct WireConfig {
     /// Maximum requests served on one connection before the server
     /// closes it (bounds how long one client can monopolize a worker).
     pub max_requests_per_connection: usize,
+    /// Slow-query log threshold: a request that takes at least this
+    /// many milliseconds is logged to stderr as one JSON line with its
+    /// request id and the spans where the time went.  `None` disables
+    /// the log.  The default reads the `RQC_SLOW_QUERY_MS` environment
+    /// variable (unset ⇒ disabled).
+    pub slow_query_ms: Option<u64>,
 }
 
 impl Default for WireConfig {
@@ -46,6 +53,9 @@ impl Default for WireConfig {
             limits: Limits::default(),
             read_timeout: Some(Duration::from_secs(30)),
             max_requests_per_connection: 10_000,
+            slow_query_ms: std::env::var("RQC_SLOW_QUERY_MS")
+                .ok()
+                .and_then(|v| v.trim().parse().ok()),
         }
     }
 }
@@ -59,6 +69,63 @@ pub struct WireServer {
     listener: TcpListener,
     service: Arc<QueryService>,
     config: WireConfig,
+    metrics: Arc<WireMetrics>,
+}
+
+/// Pre-resolved registry handles for the request loop: one counter +
+/// latency histogram per endpoint (resolved once, not per request) and
+/// the in-flight gauge.  Registered into the **service's** registry so
+/// one `GET /metrics` scrape covers wire and service alike.
+struct WireMetrics {
+    /// Requests currently being routed (accepted, not yet answered).
+    in_flight: Gauge,
+    /// `(path, requests counter, latency histogram)` per endpoint; the
+    /// last entry (`other`) absorbs unknown paths so the label set
+    /// stays bounded no matter what clients probe.
+    endpoints: Vec<(&'static str, Counter, Histogram)>,
+}
+
+/// The served endpoints, in routing order; unknown paths map to the
+/// trailing `other`.
+const ENDPOINTS: [&str; 7] = [
+    "/query", "/batch", "/ingest", "/stats", "/healthz", "/metrics", "other",
+];
+
+impl WireMetrics {
+    fn register(registry: &Registry) -> Self {
+        let endpoints = ENDPOINTS
+            .iter()
+            .map(|&endpoint| {
+                (
+                    endpoint,
+                    registry.counter_with(
+                        "rq_http_requests_total",
+                        "HTTP requests routed, by endpoint.",
+                        &[("endpoint", endpoint)],
+                    ),
+                    registry.histogram_with(
+                        "rq_http_request_seconds",
+                        "Wall-clock request latency, by endpoint.",
+                        &[("endpoint", endpoint)],
+                    ),
+                )
+            })
+            .collect();
+        Self {
+            in_flight: registry.gauge(
+                "rq_http_in_flight",
+                "Requests currently being served by wire workers.",
+            ),
+            endpoints,
+        }
+    }
+
+    fn endpoint(&self, path: &str) -> &(&'static str, Counter, Histogram) {
+        self.endpoints
+            .iter()
+            .find(|(name, _, _)| *name == path)
+            .unwrap_or_else(|| self.endpoints.last().expect("endpoint table is non-empty"))
+    }
 }
 
 impl WireServer {
@@ -70,10 +137,12 @@ impl WireServer {
         config: WireConfig,
     ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
+        let metrics = Arc::new(WireMetrics::register(service.metrics()));
         Ok(Self {
             listener,
             service,
             config,
+            metrics,
         })
     }
 
@@ -119,6 +188,7 @@ impl WireServer {
             let listener = Arc::clone(&listener);
             let service = Arc::clone(&self.service);
             let config = self.config.clone();
+            let metrics = Arc::clone(&self.metrics);
             let shutdown = Arc::clone(&shutdown);
             handles.push(std::thread::spawn(move || {
                 while !shutdown.load(Ordering::Relaxed) {
@@ -129,7 +199,7 @@ impl WireServer {
                             }
                             // One connection at a time per worker; any
                             // I/O error just drops the connection.
-                            let _ = serve_connection(&service, stream, &config);
+                            let _ = serve_connection(&service, &metrics, stream, &config);
                         }
                         Err(_) => {
                             // Transient accept errors (EMFILE, aborted
@@ -181,6 +251,7 @@ impl ServerHandle {
 /// stream), route each through the API, and write the response.
 fn serve_connection(
     service: &QueryService,
+    metrics: &WireMetrics,
     stream: TcpStream,
     config: &WireConfig,
 ) -> std::io::Result<()> {
@@ -210,11 +281,39 @@ fn serve_connection(
         // pipelining client mid-request.
         let last_allowed = served + 1 == config.max_requests_per_connection;
         let keep_alive = request.keep_alive() && !last_allowed;
+        let request_id = obs::next_request_id();
+        let (_, requests, latency) = metrics.endpoint(&request.path);
+        metrics.in_flight.add(1);
+        // The slow-query log needs spans to point at; arm a trace for
+        // the whole request when the log is on.  `/query` traces
+        // compose with it (`trace_since`) and stay untouched.
+        if config.slow_query_ms.is_some() {
+            obs::trace_start();
+        }
+        let start = Instant::now();
         let response = api::handle(service, &request.method, &request.path, &request.body);
+        let elapsed = start.elapsed();
+        latency.observe(elapsed);
+        requests.inc();
+        metrics.in_flight.sub(1);
+        if let Some(threshold_ms) = config.slow_query_ms {
+            let spans = obs::trace_finish();
+            if elapsed.as_millis() as u64 >= threshold_ms {
+                log_slow_request(
+                    request_id,
+                    &request.method,
+                    &request.path,
+                    &response,
+                    elapsed,
+                    &spans,
+                );
+            }
+        }
         http::write_response(
             &mut writer,
             response.status,
-            &response.body.encode(),
+            response.content_type(),
+            &response.payload(),
             keep_alive,
         )?;
         if !keep_alive {
@@ -222,6 +321,48 @@ fn serve_connection(
         }
     }
     Ok(())
+}
+
+/// Emit one slow-request JSON line to stderr: request id, route,
+/// status, elapsed time, and the longest spans (name + duration) so
+/// the log points at where the time went without needing a client-side
+/// trace.
+fn log_slow_request(
+    request_id: u64,
+    method: &str,
+    path: &str,
+    response: &api::ApiResponse,
+    elapsed: Duration,
+    spans: &[obs::SpanRec],
+) {
+    let mut slowest: Vec<&obs::SpanRec> = spans.iter().collect();
+    slowest.sort_by_key(|s| std::cmp::Reverse(s.dur_ns));
+    slowest.truncate(8);
+    let spans_json: Vec<Json> = slowest
+        .iter()
+        .map(|s| {
+            Json::object([
+                ("name", Json::Str(s.name.to_string())),
+                ("dur_us", Json::Int((s.dur_ns / 1_000) as i64)),
+            ])
+        })
+        .collect();
+    let line = Json::object([
+        ("slow_request", Json::Bool(true)),
+        (
+            "request_id",
+            Json::Int(request_id.min(i64::MAX as u64) as i64),
+        ),
+        ("method", Json::Str(method.to_string())),
+        ("path", Json::Str(path.to_string())),
+        ("status", Json::Int(response.status as i64)),
+        (
+            "elapsed_ms",
+            Json::Int(elapsed.as_millis().min(i64::MAX as u128) as i64),
+        ),
+        ("spans", Json::Array(spans_json)),
+    ]);
+    eprintln!("{}", line.encode());
 }
 
 /// Answer a protocol-level failure with its status code and close the
@@ -237,5 +378,5 @@ fn refuse(writer: &mut TcpStream, error: RequestError) -> std::io::Result<()> {
         RequestError::HeadTooLarge => 431,
     };
     let body = Json::object([("error", Json::Str(error.to_string()))]).encode();
-    http::write_response(writer, status, &body, false)
+    http::write_response(writer, status, "application/json", &body, false)
 }

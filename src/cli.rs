@@ -390,6 +390,8 @@ impl Session {
 /// ```
 pub struct ServeSession {
     service: rq_service::QueryService,
+    /// `:trace on` — append each batch's span tree to the output.
+    trace: bool,
 }
 
 const SERVE_HELP: &str = "\
@@ -405,6 +407,7 @@ serve commands:
   :epoch                 print the current snapshot epoch
   :stats                 plan/result cache hit rates, sizes, evictions, and
                          the epoch context's probe/machine memo counters
+  :trace on|off          append each batch's span tree (where the time went)
   :help  :quit";
 
 impl ServeSession {
@@ -422,6 +425,7 @@ impl ServeSession {
         }
         Ok(Self {
             service: rq_service::QueryService::with_config(program, config),
+            trace: false,
         })
     }
 
@@ -467,6 +471,17 @@ impl ServeSession {
                 // `StatsReport` (text here, JSON there), so the
                 // counter sets can never drift apart.
                 "stats" => Ok(CommandOutput::text(self.service.stats_report().to_string())),
+                "trace" => {
+                    self.trace = match arg {
+                        "on" => true,
+                        "off" => false,
+                        other => return Err(format!("`:trace` takes on|off, not `{other}`")),
+                    };
+                    Ok(CommandOutput::text(format!(
+                        "trace {}",
+                        if self.trace { "on" } else { "off" }
+                    )))
+                }
                 "add" => {
                     if arg.is_empty() {
                         return Err("`:add` needs one or more facts".to_string());
@@ -517,7 +532,18 @@ impl ServeSession {
         // Evaluate pinned to the snapshot the queries were parsed (and
         // will be rendered) against, so a concurrent publish cannot
         // desynchronize rows from the interner that decodes them.
+        // Spans are recorded per thread, so a `:trace` of a multi-query
+        // batch under several workers shows only the caller's spans;
+        // single-query lines (which run inline) always trace fully.
+        if self.trace {
+            rq_common::obs::trace_start();
+        }
         let mut answers = self.service.query_batch_on(&snapshot, &queries).into_iter();
+        let spans = if self.trace {
+            rq_common::obs::trace_finish()
+        } else {
+            Vec::new()
+        };
         let mut out = Vec::new();
         for (text, slot) in texts.iter().zip(&parsed) {
             let rendered = match slot {
@@ -533,6 +559,9 @@ impl ServeSession {
                 },
             };
             out.push(format!("{text}: {rendered}"));
+        }
+        if self.trace && !spans.is_empty() {
+            out.push(rq_common::obs::trace_text(&spans).trim_end().to_string());
         }
         Ok(CommandOutput::text(out.join("\n")))
     }
@@ -823,6 +852,23 @@ mod tests {
         assert_eq!(s.execute_line("tc(a, Y)").unwrap().text, "tc(a, Y): b c d");
         // A brand-new constant is queryable after ingest.
         assert_eq!(s.execute_line("tc(X, d)").unwrap().text, "tc(X, d): a b c");
+    }
+
+    #[test]
+    fn serve_trace_toggle_appends_span_tree() {
+        let mut s = ServeSession::new(TC, 1).unwrap();
+        assert!(s.execute_line(":trace maybe").is_err());
+        assert_eq!(s.execute_line(":trace on").unwrap().text, "trace on");
+        let out = s.execute_line("tc(a, Y)").unwrap();
+        assert!(out.text.starts_with("tc(a, Y): b c"), "{}", out.text);
+        assert!(out.text.contains("service.query"), "{}", out.text);
+        assert!(out.text.contains("engine.traverse"), "{}", out.text);
+        // A cached repeat still traces (and says so).
+        let out = s.execute_line("tc(a, Y)").unwrap();
+        assert!(out.text.contains("result_cache=hit"), "{}", out.text);
+        assert_eq!(s.execute_line(":trace off").unwrap().text, "trace off");
+        let out = s.execute_line("tc(a, Y)").unwrap();
+        assert!(!out.text.contains("service.query"), "{}", out.text);
     }
 
     #[test]

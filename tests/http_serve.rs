@@ -65,7 +65,8 @@ fn spawn_server() -> Server {
     Server { child, addr }
 }
 
-fn request(addr: &str, method: &str, path: &str, body: &str) -> (u16, Json) {
+/// One request, raw: status line, full header section, and body text.
+fn request_raw(addr: &str, method: &str, path: &str, body: &str) -> (u16, String, String) {
     let stream = TcpStream::connect(addr).unwrap();
     let mut writer = stream.try_clone().unwrap();
     let mut reader = BufReader::new(stream);
@@ -85,8 +86,16 @@ fn request(addr: &str, method: &str, path: &str, body: &str) -> (u16, Json) {
         .unwrap();
     let mut text = String::new();
     reader.read_to_string(&mut text).unwrap();
-    let body_text = text.split_once("\r\n\r\n").map(|(_, b)| b).unwrap_or(&text);
-    (status, Json::parse(body_text).unwrap())
+    let (head, body_text) = text
+        .split_once("\r\n\r\n")
+        .map(|(h, b)| (h.to_string(), b.to_string()))
+        .unwrap_or((String::new(), text));
+    (status, head, body_text)
+}
+
+fn request(addr: &str, method: &str, path: &str, body: &str) -> (u16, Json) {
+    let (status, _head, body_text) = request_raw(addr, method, path, body);
+    (status, Json::parse(&body_text).unwrap())
 }
 
 /// Encode one service answer's rows exactly as the wire does, so the
@@ -117,6 +126,7 @@ fn healthz_answers_and_batch_matches_serve_session_byte_for_byte() {
     assert_eq!(status, 200);
     assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
     assert_eq!(health.get("epoch").and_then(Json::as_i64), Some(0));
+    assert!(health.get("uptime_seconds").and_then(Json::as_i64) >= Some(0));
 
     // Acceptance parity: every query form through POST /batch against
     // the binary must produce byte-identical rows to the same specs
@@ -187,4 +197,90 @@ fn healthz_answers_and_batch_matches_serve_session_byte_for_byte() {
         carried.get("probe_spaces").and_then(Json::as_i64).unwrap() >= 1,
         "{stats:?}"
     );
+}
+
+#[test]
+fn metrics_scrape_and_traced_query_over_a_real_socket() {
+    let server = spawn_server();
+
+    // Warm the stack so the scrape has non-trivial values to show.
+    let (status, _) = request(&server.addr, "POST", "/query", r#"{"query": "tc(a, Y)"}"#);
+    assert_eq!(status, 200);
+    let (status, _) = request(&server.addr, "POST", "/query", r#"{"query": "tc(a, Y)"}"#);
+    assert_eq!(status, 200);
+
+    let (status, head, text) = request_raw(&server.addr, "GET", "/metrics", "");
+    assert_eq!(status, 200);
+    assert!(
+        head.to_ascii_lowercase()
+            .contains("content-type: text/plain; version=0.0.4"),
+        "{head}"
+    );
+    // Prometheus text-format validity: every non-comment line is
+    // `name{labels} value`, every sample is preceded by # HELP/# TYPE
+    // for its family, histogram series expose _bucket/_sum/_count.
+    let mut typed: Vec<&str> = Vec::new();
+    for line in text.lines().filter(|l| !l.is_empty()) {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            typed.push(rest.split_whitespace().next().unwrap());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (series, value) = line
+            .rsplit_once(' ')
+            .unwrap_or_else(|| panic!("bad sample line: {line}"));
+        assert!(
+            value == "+Inf" || value.parse::<f64>().is_ok(),
+            "unparseable value in: {line}"
+        );
+        let name = series.split('{').next().unwrap();
+        assert!(
+            typed.iter().any(|t| {
+                name == *t
+                    || name
+                        .strip_prefix(t)
+                        .is_some_and(|s| matches!(s, "_bucket" | "_sum" | "_count"))
+            }),
+            "sample `{name}` has no preceding # TYPE"
+        );
+    }
+    // Core families: per-endpoint latency histograms, cache hit/miss
+    // counters, service counters, report gauges.
+    for needle in [
+        "# TYPE rq_http_request_seconds histogram",
+        "rq_http_request_seconds_bucket{endpoint=\"/query\",le=\"+Inf\"} 2",
+        "rq_http_request_seconds_count{endpoint=\"/query\"} 2",
+        "rq_http_requests_total{endpoint=\"/query\"} 2",
+        "rq_result_cache_hits_total 1",
+        "rq_result_cache_misses_total 1",
+        "# TYPE rq_plan_cache_misses_total counter",
+        "rq_queries_total 2",
+        "rq_epoch 0",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+
+    // A traced query returns the span tree, root covering its children.
+    let (status, traced) = request(
+        &server.addr,
+        "POST",
+        "/query",
+        r#"{"query": "tc(b, Y)", "trace": true}"#,
+    );
+    assert_eq!(status, 200, "{traced:?}");
+    let trace = traced.get("trace").expect("trace field");
+    assert_eq!(
+        trace.get("name").and_then(Json::as_str),
+        Some("service.query")
+    );
+    let root_dur = trace.get("dur_ns").and_then(Json::as_i64).unwrap();
+    let children = trace.get("children").and_then(Json::as_array).unwrap();
+    assert!(!children.is_empty(), "{trace:?}");
+    let child_sum: i64 = children
+        .iter()
+        .filter_map(|c| c.get("dur_ns").and_then(Json::as_i64))
+        .sum();
+    assert!(root_dur >= child_sum, "{root_dur} < {child_sum}");
 }
