@@ -11,10 +11,53 @@
 //! deferred until bound), and interns the resulting output tuples.
 
 use crate::transform::{BinaryProgram, VirtualRel};
-use rq_common::{BoundedMemo, Const, ConstInterner, ConstValue, Counters, FxHashMap, Pred, Var};
-use rq_datalog::{fire_rule, Atom, Database, Literal, Program, Rule, Term, WholeDb};
+use rq_common::{BoundedMemo, Const, Counters, FxHashMap, Pred};
+use rq_datalog::{fire_seeded, Atom, Database, Literal, Program, Term, WholeDb};
 use rq_engine::TupleSource;
 use std::sync::{Arc, Mutex};
+
+/// First id handed out for tuple constants.  Tuple ids live in the top
+/// half of the `u32` id space so they can never collide with program
+/// constants (interned densely from zero), even when a probe space is
+/// carried across an epoch whose ingest grew the program interner.
+const TUPLE_ID_BASE: u32 = 1 << 31;
+
+/// Interner for the tuple constants a probe space mints: a dense table
+/// of component slices plus a reverse map.  Private to the probe space
+/// — unlike the program's persistent interner it owns its storage
+/// outright, so a fresh space allocates nothing and the first intern of
+/// a query never pays a copy-on-write of shared interner chunks.
+#[derive(Default)]
+struct TupleTable {
+    /// Component slices, indexed by `id - TUPLE_ID_BASE`.
+    components: Vec<Box<[Const]>>,
+    /// Reverse map for dedup: components → id.
+    lookup: FxHashMap<Box<[Const]>, Const>,
+}
+
+impl TupleTable {
+    fn intern(&mut self, components: &[Const]) -> Const {
+        if let Some(&id) = self.lookup.get(components) {
+            return id;
+        }
+        let next = u32::try_from(self.components.len())
+            .ok()
+            .and_then(|n| TUPLE_ID_BASE.checked_add(n))
+            .expect("tuple table exhausted the id space");
+        let id = Const::from_index(next as usize);
+        let boxed: Box<[Const]> = components.into();
+        self.components.push(boxed.clone());
+        self.lookup.insert(boxed, id);
+        id
+    }
+
+    fn components(&self, c: Const) -> &[Const] {
+        let idx = (c.index() as u32)
+            .checked_sub(TUPLE_ID_BASE)
+            .expect("expected a tuple constant") as usize;
+        &self.components[idx]
+    }
+}
 
 /// Hit/miss/entry counts of one [`ProbeSpace`].
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -60,9 +103,10 @@ impl ProbeStats {
 /// always sound, the memo is only an optimization — so a long-lived
 /// epoch cannot grow it without bound.
 pub struct ProbeSpace {
-    /// Interner for tuple constants; seeded from the program's
-    /// interner so component ids stay compatible.
-    consts: Mutex<ConstInterner>,
+    /// Interner for tuple constants.  Component ids are program
+    /// constants; tuple ids start at [`TUPLE_ID_BASE`], above every id
+    /// the program interner can reach.
+    tuples: Mutex<TupleTable>,
     /// Memo of completed probes: `(relation, key, forward?) → outputs`.
     /// The traversal can reach the same virtual tuple from different
     /// automaton states and different queries re-demand the same
@@ -84,10 +128,25 @@ impl ProbeSpace {
     /// Fresh space holding at most `max_entries` memoized probe
     /// results; overflow stops recording (probes still compute).
     pub fn with_capacity(program: &Program, max_entries: usize) -> Self {
+        debug_assert!(
+            program.consts.len() < TUPLE_ID_BASE as usize,
+            "program interner overlaps the tuple id range"
+        );
         Self {
-            consts: Mutex::new(program.consts.clone()),
+            tuples: Mutex::new(TupleTable::default()),
             memo: BoundedMemo::new(max_entries),
         }
+    }
+
+    /// Lock the tuple interner, recovering from poison.  A panicking
+    /// probe thread (propagated by its scope join) can leave the mutex
+    /// poisoned mid-batch; the table itself is append-only — an
+    /// interrupted intern leaves it merely smaller, never torn — so
+    /// serving the remaining queries of the batch from it is sound.
+    fn tuples(&self) -> std::sync::MutexGuard<'_, TupleTable> {
+        self.tuples
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Hit/miss/entry counts.
@@ -182,39 +241,39 @@ impl<'a> VirtualSource<'a> {
 
     /// Intern a tuple constant.
     pub fn intern_tuple(&self, components: Vec<Const>) -> Const {
-        self.space
-            .consts
-            .lock()
-            .expect("tuple interner poisoned")
-            .intern_tuple(components)
+        self.space.tuples().intern(&components)
     }
 
     /// Decode a tuple constant into its components.
     pub fn decode_tuple(&self, c: Const) -> Vec<Const> {
-        match self
-            .space
-            .consts
-            .lock()
-            .expect("tuple interner poisoned")
-            .value(c)
-        {
-            ConstValue::Tuple(parts) => parts.clone(),
-            _ => panic!("expected a tuple constant"),
-        }
+        self.space.tuples().components(c).to_vec()
     }
 
-    /// Render a tuple constant (for tests and examples).
+    /// Render a tuple constant (for tests and examples).  Components
+    /// below [`TUPLE_ID_BASE`] render through the program interner;
+    /// nested tuple ids recurse.
     pub fn display_const(&self, c: Const) -> String {
-        self.space
-            .consts
-            .lock()
-            .expect("tuple interner poisoned")
-            .display(c)
+        if (c.index() as u32) < TUPLE_ID_BASE {
+            return self.program.consts.display(c);
+        }
+        let parts = self.decode_tuple(c);
+        let inner: Vec<String> = parts.iter().map(|&p| self.display_const(p)).collect();
+        format!("t({})", inner.join(","))
     }
 
     /// Evaluate one direction of a virtual relation: bind `bind_terms`
     /// to `key`'s components, join `rel`'s literals, and emit the
     /// instantiation of `emit_terms` for every match.
+    ///
+    /// Chain programs (no unbound output variables) take the seeded
+    /// fast path: the key's components are bound straight into the join
+    /// environment and the rule's own literals are joined in place —
+    /// no substitution map, no cloned body, no synthetic rule.  This is
+    /// the cold §4 hot loop, where every query re-demands its probes;
+    /// the key components and the environment live in stack buffers
+    /// (heap fallback past 32 entries) and the tuple table is locked
+    /// once for the whole probe — decode and result interning share the
+    /// same guard.
     fn probe(
         &self,
         rel: &VirtualRel,
@@ -224,23 +283,42 @@ impl<'a> VirtualSource<'a> {
         out: &mut Vec<Const>,
         counters: &mut Counters,
     ) {
-        let components = self.decode_tuple(key);
+        let mut tuples = self.space.tuples();
+        let mut key_stack = [Const::from_index(0); 32];
+        let mut key_heap: Vec<Const> = Vec::new();
+        let components: &[Const] = {
+            let parts = tuples.components(key);
+            if parts.len() <= 32 {
+                key_stack[..parts.len()].copy_from_slice(parts);
+                &key_stack[..parts.len()]
+            } else {
+                key_heap.extend_from_slice(parts);
+                &key_heap
+            }
+        };
         if components.len() != bind_terms.len() {
             return;
         }
         let rule = &self.program.rules[rel.rule_idx];
-        // Substitution: input variables become constants; an input
-        // constant that disagrees with the key kills the probe.
-        let mut subst: FxHashMap<Var, Const> = FxHashMap::default();
-        for (t, &c) in bind_terms.iter().zip(&components) {
+        let num_vars = rule.num_vars();
+        let mut env_stack = [None; 32];
+        let mut env_heap: Vec<Option<Const>> = Vec::new();
+        let env: &mut [Option<Const>] = if num_vars <= 32 {
+            &mut env_stack[..num_vars]
+        } else {
+            env_heap.resize(num_vars, None);
+            &mut env_heap
+        };
+        // Seed the environment: input variables become constants; an
+        // input constant that disagrees with the key kills the probe.
+        for (t, &c) in bind_terms.iter().zip(components) {
             match t {
                 Term::Var(v) => {
-                    if let Some(&prev) = subst.get(v) {
-                        if prev != c {
-                            return;
-                        }
+                    let slot = &mut env[v.0 as usize];
+                    if slot.is_some_and(|prev| prev != c) {
+                        return;
                     }
-                    subst.insert(*v, c);
+                    *slot = Some(c);
                 }
                 Term::Const(k) => {
                     if *k != c {
@@ -249,59 +327,51 @@ impl<'a> VirtualSource<'a> {
                 }
             }
         }
-        let apply = |t: &Term| -> Term {
-            match t {
-                Term::Var(v) => subst.get(v).map(|&c| Term::Const(c)).unwrap_or(*t),
-                Term::Const(_) => *t,
-            }
-        };
-        let mut body: Vec<Literal> = rel
-            .literals
-            .iter()
-            .map(|&li| match &rule.body[li] {
-                Literal::Atom(a) => {
-                    Literal::Atom(Atom::new(a.pred, a.args.iter().map(apply).collect()))
-                }
-                Literal::Cmp { op, lhs, rhs } => Literal::Cmp {
-                    op: *op,
-                    lhs: apply(lhs),
-                    rhs: apply(rhs),
+        let mut retrieved = 0u64;
+        if rel.unbound_out_vars.is_empty() {
+            fire_seeded(
+                self.program,
+                rel.literals.iter().map(|&li| &rule.body[li]),
+                emit_terms,
+                env,
+                &WholeDb(&self.db),
+                counters,
+                &mut |t| {
+                    retrieved += 1;
+                    out.push(tuples.intern(t));
                 },
-            })
-            .collect();
-        // Unbound output variables (non-chain mode) range over the
-        // active domain.
-        if !rel.unbound_out_vars.is_empty() {
-            let dp = self
-                .domain_pred
-                .expect("domain relation materialized for non-chain programs");
-            for &v in &rel.unbound_out_vars {
-                if bind_terms.iter().any(|t| t.as_var() == Some(v)) {
-                    continue; // bound from this side after all
-                }
-                body.push(Literal::Atom(Atom::new(dp, vec![Term::Var(v)])));
-            }
+            )
+            .expect("virtual-relation joins bind all built-ins");
+            counters.tuples_retrieved += retrieved;
+            return;
         }
-        let head_args: Vec<Term> = emit_terms.iter().map(apply).collect();
-        let synthetic = Rule {
-            head: Atom::new(rule.head.pred, head_args),
-            body,
-            var_names: rule.var_names.clone(),
-        };
-        let mut results: Vec<Vec<Const>> = Vec::new();
-        fire_rule(
+        // Non-chain mode: unbound output variables range over the
+        // materialized active domain, appended as extra body atoms.
+        let mut body: Vec<&Literal> = rel.literals.iter().map(|&li| &rule.body[li]).collect();
+        let dp = self
+            .domain_pred
+            .expect("domain relation materialized for non-chain programs");
+        let domain_atoms: Vec<Literal> = rel
+            .unbound_out_vars
+            .iter()
+            .filter(|&&v| !bind_terms.iter().any(|t| t.as_var() == Some(v)))
+            .map(|&v| Literal::Atom(Atom::new(dp, vec![Term::Var(v)])))
+            .collect();
+        body.extend(domain_atoms.iter());
+        fire_seeded(
             self.program,
-            &synthetic,
+            body.into_iter(),
+            emit_terms,
+            env,
             &WholeDb(&self.db),
             counters,
-            &mut |t| results.push(t.to_vec()),
+            &mut |t| {
+                retrieved += 1;
+                out.push(tuples.intern(t));
+            },
         )
         .expect("virtual-relation joins bind all built-ins");
-        let mut interner = self.space.consts.lock().expect("tuple interner poisoned");
-        for tuple in results {
-            counters.tuples_retrieved += 1;
-            out.push(interner.intern_tuple(tuple));
-        }
+        counters.tuples_retrieved += retrieved;
     }
 
     /// One memoized direction of a virtual relation.  A racing thread
@@ -359,6 +429,7 @@ mod tests {
     use super::*;
     use crate::adornment::adorn;
     use crate::transform::transform;
+    use rq_common::ConstValue;
     use rq_datalog::{parse_program, Query};
 
     #[test]

@@ -171,6 +171,27 @@ fn write_service_summary() {
         summary.add(name, dag_queries.len() as u64, best);
     }
 
+    // Cold-path scaling: the same batch shape at three graph scales,
+    // all cold-epoch (no shared context), so the per-scale trajectory
+    // of the raw traversal path — the CSR/columnar beneficiary — is a
+    // committed number rather than a single point.
+    for (name, layers, width) in [
+        ("dag_small_batch_cold_t4", 4usize, 15usize),
+        ("dag_medium_batch_cold_t4", 6, 30),
+        ("dag_large_batch_cold_t4", 8, 60),
+    ] {
+        let scaled = graphs::layered_dag(layers, width, 0.35, 42);
+        let scaled_queries = point_queries(&scaled);
+        let service = QueryService::with_config(scaled.program.clone(), config(4, false));
+        let best = best_of(runs, || {
+            assert!(service
+                .query_batch(&scaled_queries)
+                .into_iter()
+                .all(|r| r.is_ok()));
+        });
+        summary.add(name, scaled_queries.len() as u64, best);
+    }
+
     // §4 flights batches: every (airport, departure) point query.
     let network = flights::network(24, 6, 42);
     let texts = flights::serve_queries(24, 6);
@@ -215,6 +236,26 @@ fn write_service_summary() {
         rq_common::obs::trace_finish();
     });
     summary.add("flights24_sequential_warm_traced", specs.len() as u64, best);
+
+    // Publish-time compact-store construction over the flights network:
+    // each element is one shard's columnar+CSR build on a fresh
+    // database clone (the dominant new cost an ingest-heavy deployment
+    // pays for the CSR read path).
+    {
+        let probe = rq_datalog::Database::from_program(&network.program);
+        let shards = probe.build_compact_stores() as u64;
+        // Fresh databases prepared outside the timed closure, so only
+        // the store construction itself is measured (`best_of` runs
+        // one warm-up call plus `runs` samples).
+        let mut fresh: Vec<rq_datalog::Database> = (0..runs + 1)
+            .map(|_| rq_datalog::Database::from_program(&network.program))
+            .collect();
+        let best = best_of(runs, || {
+            let db = fresh.pop().expect("one database per timed run");
+            assert_eq!(db.build_compact_stores() as u64, shards);
+        });
+        summary.add("flights24_csr_build", shards.max(1), best);
+    }
 
     if let Some(speedup) = summary.speedup("flights24_batch_cold_t4", "flights24_batch_warm_t4") {
         eprintln!("flights24 warm-vs-cold batch speedup: {speedup:.2}x");

@@ -23,6 +23,13 @@ pub struct Counters {
     pub iterations: u64,
     /// Index probes made against the extensional database.
     pub index_probes: u64,
+    /// Of the index probes, those served by a publish-time compact
+    /// store (CSR slice or columnar scan) — contiguous reads, no trie
+    /// walk.
+    pub csr_probes: u64,
+    /// Of the index probes, those that walked a hash-trie index (or
+    /// built one on the spot).
+    pub trie_probes: u64,
 }
 
 impl Counters {
@@ -50,6 +57,8 @@ impl AddAssign for Counters {
         self.rule_firings += rhs.rule_firings;
         self.iterations += rhs.iterations;
         self.index_probes += rhs.index_probes;
+        self.csr_probes += rhs.csr_probes;
+        self.trie_probes += rhs.trie_probes;
     }
 }
 
@@ -57,12 +66,14 @@ impl fmt::Display for Counters {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "tuples={} nodes={} firings={} iters={} probes={} (work={})",
+            "tuples={} nodes={} firings={} iters={} probes={} csr={} trie={} (work={})",
             self.tuples_retrieved,
             self.nodes_inserted,
             self.rule_firings,
             self.iterations,
             self.index_probes,
+            self.csr_probes,
+            self.trie_probes,
             self.total_work()
         )
     }
@@ -80,8 +91,22 @@ mod tests {
             rule_firings: 3,
             iterations: 100,
             index_probes: 2,
+            ..Counters::default()
         };
         assert_eq!(c.total_work(), 20);
+    }
+
+    #[test]
+    fn total_work_excludes_the_probe_split() {
+        // `csr_probes`/`trie_probes` classify `index_probes`; counting
+        // them again would double-charge the unit-cost model.
+        let c = Counters {
+            index_probes: 5,
+            csr_probes: 3,
+            trie_probes: 2,
+            ..Counters::default()
+        };
+        assert_eq!(c.total_work(), 5);
     }
 
     #[test]
@@ -92,10 +117,14 @@ mod tests {
             rule_firings: 3,
             iterations: 4,
             index_probes: 5,
+            csr_probes: 4,
+            trie_probes: 1,
         };
         a += a;
         assert_eq!(a.tuples_retrieved, 2);
         assert_eq!(a.iterations, 8);
+        assert_eq!(a.csr_probes, 8);
+        assert_eq!(a.trie_probes, 2);
     }
 
     #[test]
@@ -103,7 +132,7 @@ mod tests {
         let c = Counters::new();
         assert_eq!(
             c.to_string(),
-            "tuples=0 nodes=0 firings=0 iters=0 probes=0 (work=0)"
+            "tuples=0 nodes=0 firings=0 iters=0 probes=0 csr=0 trie=0 (work=0)"
         );
     }
 }

@@ -29,7 +29,7 @@
 //! never rebuilds an index from scratch.
 
 use rq_common::{Const, FxHashMap, IdVec, PMap, PVec, Pred};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// A bitmask of bound columns; bit `i` set means column `i` is bound.
 pub type ColMask = u32;
@@ -37,6 +37,23 @@ pub type ColMask = u32;
 /// Tuples per storage chunk; the chunk byte-capacity scales with arity
 /// so a tuple never straddles a chunk boundary.
 const TUPLES_PER_CHUNK: usize = 256;
+
+/// Largest relation served by a columnar scan when no hash index for
+/// the binding pattern exists yet.  Shards are shared by `Arc` across
+/// every reader of a snapshot, so a trie index built by one query is
+/// amortized over all of them; repeated O(n) scans only beat that for
+/// relations small enough that a scan costs about as much as one hash
+/// probe.
+const COLUMNAR_SCAN_MAX: usize = 64;
+
+/// Recover the guard from a poisoned lock.  Every structure behind the
+/// relation locks is persistent (mutation happens under `&mut self` or
+/// replaces an `Arc` wholesale), so a panicked reader cannot have left
+/// torn data — wedging the whole service on the poison flag would hurt
+/// strictly more than clearing it.
+fn recover<G>(result: Result<G, PoisonError<G>>) -> G {
+    result.unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Build a mask from an iterator of bound column positions.
 pub fn mask_of(cols: impl IntoIterator<Item = usize>) -> ColMask {
@@ -55,6 +72,168 @@ pub fn mask_cols(mask: ColMask) -> impl Iterator<Item = usize> {
 
 type Index = PMap<Box<[Const]>, Vec<u32>>;
 
+/// Read-optimized storage built once per publish
+/// ([`Relation::build_compact`]): a column-major copy of the tuple
+/// store so bound-column probes scan contiguous buffers instead of
+/// walking hash tries, plus forward/reverse CSR adjacency for binary
+/// relations so the traversal engine reads successor sets as plain
+/// slices.
+///
+/// The store is immutable once built.  [`Relation::insert`] drops it
+/// (the shard is being mutated, so the snapshot is stale);
+/// [`Relation::clone`] carries it by `Arc`, which is what lets every
+/// shard untouched by an epoch publish keep its compact store for
+/// free.
+#[derive(Debug)]
+pub struct CompactStore {
+    /// Column-major tuples: `cols[c][ord]` is column `c` of tuple
+    /// `ord`.
+    cols: Vec<Vec<Const>>,
+    /// CSR adjacency, present for binary relations whose constant ids
+    /// are dense enough for the offset table to pay off.
+    csr: Option<Csr>,
+}
+
+/// Compressed-sparse-row adjacency for one binary relation, in both
+/// orientations.  `offsets` is indexed by the constant's interner id:
+/// the row of `u` is `targets[offsets[u] .. offsets[u + 1]]`.
+#[derive(Debug)]
+struct Csr {
+    fwd_offsets: Vec<u32>,
+    fwd_targets: Vec<Const>,
+    rev_offsets: Vec<u32>,
+    rev_targets: Vec<Const>,
+    /// Distinct first-column constants, in first-appearance order (the
+    /// order [`Relation::iter`]-based deduplication would yield).
+    sources: Vec<Const>,
+}
+
+impl Csr {
+    /// Dense offset tables stop paying off when the id space is much
+    /// larger than the relation; fall back to the trie indexes then.
+    fn build(col0: &[Const], col1: &[Const]) -> Option<Self> {
+        let width = col0
+            .iter()
+            .chain(col1)
+            .map(|c| c.index() + 1)
+            .max()
+            .unwrap_or(0);
+        if width > 8 * col0.len() + 1024 {
+            return None;
+        }
+        let (fwd_offsets, fwd_targets) = Self::direction(col0, col1, width);
+        let (rev_offsets, rev_targets) = Self::direction(col1, col0, width);
+        let mut seen = vec![false; width];
+        let mut sources = Vec::new();
+        for &u in col0 {
+            if !seen[u.index()] {
+                seen[u.index()] = true;
+                sources.push(u);
+            }
+        }
+        Some(Self {
+            fwd_offsets,
+            fwd_targets,
+            rev_offsets,
+            rev_targets,
+            sources,
+        })
+    }
+
+    /// One orientation by counting sort: targets of a key stay in
+    /// tuple-ordinal order, matching what the trie-index probe yields.
+    fn direction(keys: &[Const], vals: &[Const], width: usize) -> (Vec<u32>, Vec<Const>) {
+        let mut offsets = vec![0u32; width + 1];
+        for k in keys {
+            offsets[k.index() + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut targets = vec![Const::from_index(0); keys.len()];
+        let mut cursor: Vec<u32> = offsets.clone();
+        for (k, &v) in keys.iter().zip(vals) {
+            let slot = cursor[k.index()] as usize;
+            targets[slot] = v;
+            cursor[k.index()] += 1;
+        }
+        (offsets, targets)
+    }
+
+    #[inline]
+    fn row<'s>(offsets: &[u32], targets: &'s [Const], id: usize) -> &'s [Const] {
+        if id + 1 >= offsets.len() {
+            return &[];
+        }
+        &targets[offsets[id] as usize..offsets[id + 1] as usize]
+    }
+}
+
+impl CompactStore {
+    /// Number of tuples covered.
+    pub fn len(&self) -> usize {
+        self.cols.first().map_or(0, Vec::len)
+    }
+
+    /// Whether the store covers no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All `v` with `r(u, v)`, as one contiguous slice in tuple-ordinal
+    /// order.  `None` when no CSR was built for this relation.
+    #[inline]
+    pub fn successors(&self, u: Const) -> Option<&[Const]> {
+        self.csr
+            .as_ref()
+            .map(|c| Csr::row(&c.fwd_offsets, &c.fwd_targets, u.index()))
+    }
+
+    /// All `u` with `r(u, v)`, as one contiguous slice.
+    #[inline]
+    pub fn predecessors(&self, v: Const) -> Option<&[Const]> {
+        self.csr
+            .as_ref()
+            .map(|c| Csr::row(&c.rev_offsets, &c.rev_targets, v.index()))
+    }
+
+    /// Distinct first-column constants in first-appearance order, or
+    /// `None` when no CSR was built.
+    pub fn first_column(&self) -> Option<&[Const]> {
+        self.csr.as_ref().map(|c| c.sources.as_slice())
+    }
+
+    /// Whether every column of `mask` exists in this store.
+    fn covers(&self, mask: ColMask) -> bool {
+        mask_cols(mask).all(|c| c < self.cols.len())
+    }
+
+    /// Append the ordinals of all tuples whose `mask` columns equal
+    /// `key`, by scanning the bound columns contiguously.  Ordinals
+    /// come out ascending — the same order the trie-index path yields.
+    fn scan(&self, mask: ColMask, key: &[Const], out: &mut Vec<u32>) {
+        let mut bound: Vec<(&[Const], Const)> = Vec::with_capacity(key.len());
+        for (ki, c) in mask_cols(mask).enumerate() {
+            bound.push((&self.cols[c], key[ki]));
+        }
+        let Some(&(first_col, first_key)) = bound.first() else {
+            out.extend(0..self.len() as u32);
+            return;
+        };
+        'tuples: for ord in 0..self.len() {
+            if first_col[ord] != first_key {
+                continue;
+            }
+            for &(col, k) in &bound[1..] {
+                if col[ord] != k {
+                    continue 'tuples;
+                }
+            }
+            out.push(ord as u32);
+        }
+    }
+}
+
 /// A stored relation: a set of tuples of a fixed arity, persistent in
 /// every part (see the module docs for the sharing story).
 #[derive(Debug)]
@@ -69,6 +248,9 @@ pub struct Relation {
     /// values, so cloning the cache is cheap and clones keep their
     /// warmth.
     indexes: RwLock<FxHashMap<ColMask, Index>>,
+    /// The publish-time compact store ([`CompactStore`]); `None` until
+    /// built, dropped again by [`Self::insert`].
+    compact: RwLock<Option<Arc<CompactStore>>>,
 }
 
 impl Default for Relation {
@@ -85,6 +267,7 @@ impl Relation {
             flat: PVec::with_chunk_capacity(arity.max(1) * TUPLES_PER_CHUNK),
             dedup: PMap::new(),
             indexes: RwLock::new(FxHashMap::default()),
+            compact: RwLock::new(None),
         }
     }
 
@@ -139,10 +322,10 @@ impl Relation {
         let ord = self.len() as u32;
         self.dedup.entry_mut(tuple.into(), || ord);
         self.flat.push_slice(tuple);
-        let indexes = self
-            .indexes
-            .get_mut()
-            .expect("relation index lock poisoned");
+        // The compact store is a snapshot of the tuple set; a mutation
+        // makes it stale.  The next publish rebuilds it.
+        *recover(self.compact.get_mut()) = None;
+        let indexes = recover(self.indexes.get_mut());
         for (&mask, index) in indexes.iter_mut() {
             let key = Self::key_for(tuple, mask);
             index.entry_mut(key, Vec::new).push(ord);
@@ -161,24 +344,47 @@ impl Relation {
     /// equal `key` (the bound values, in ascending column order).  Builds
     /// the index for `mask` on first use.
     pub fn lookup(&self, mask: ColMask, key: &[Const], out: &mut Vec<u32>) {
+        self.lookup_tracked(mask, key, out);
+    }
+
+    /// [`Self::lookup`], reporting how the probe was served: `true`
+    /// when the publish-time [`CompactStore`] answered it by columnar
+    /// scan, `false` for the full-scan and trie-index paths.
+    ///
+    /// Probe routing: an already-built trie index wins (O(1) to the
+    /// posting list); otherwise a small relation with a compact store
+    /// is scanned column-wise — contiguous reads, no index
+    /// construction, identical ordinal order; only when neither
+    /// applies is the trie index built on the spot.
+    pub fn lookup_tracked(&self, mask: ColMask, key: &[Const], out: &mut Vec<u32>) -> bool {
         if mask == 0 {
             out.extend(0..self.len() as u32);
-            return;
+            return false;
         }
         {
-            let indexes = self.indexes.read().expect("relation index lock poisoned");
+            let indexes = recover(self.indexes.read());
             if let Some(index) = indexes.get(&mask) {
                 if let Some(ords) = index.get(key) {
                     out.extend_from_slice(ords);
                 }
-                return;
+                return false;
+            }
+        }
+        if self.len() <= COLUMNAR_SCAN_MAX {
+            let compact = recover(self.compact.read());
+            if let Some(store) = compact.as_deref() {
+                if store.covers(mask) {
+                    store.scan(mask, key, out);
+                    return true;
+                }
             }
         }
         self.build_index(mask);
-        let indexes = self.indexes.read().expect("relation index lock poisoned");
+        let indexes = recover(self.indexes.read());
         if let Some(ords) = indexes[&mask].get(key) {
             out.extend_from_slice(ords);
         }
+        false
     }
 
     /// Build (if absent) the index for `mask`, so later [`Self::lookup`]s
@@ -190,7 +396,7 @@ impl Relation {
         if mask == 0 {
             return;
         }
-        let mut indexes = self.indexes.write().expect("relation index lock poisoned");
+        let mut indexes = recover(self.indexes.write());
         indexes.entry(mask).or_insert_with(|| {
             let mut idx: Index = PMap::new();
             for ord in 0..self.len() as u32 {
@@ -204,10 +410,48 @@ impl Relation {
     /// Whether the index for `mask` has been built — the warmth probe
     /// used by tests and the serving layer's publish path.
     pub fn has_index(&self, mask: ColMask) -> bool {
-        self.indexes
-            .read()
-            .expect("relation index lock poisoned")
-            .contains_key(&mask)
+        recover(self.indexes.read()).contains_key(&mask)
+    }
+
+    /// Build the compact store ([`CompactStore`]) if absent; returns
+    /// whether a build happened.  Called by the serving layer at
+    /// publish: a shard carried over from the previous epoch still has
+    /// its store (the `Arc` travels with [`Self::clone`]), so only
+    /// dirty shards pay.
+    pub fn build_compact(&self) -> bool {
+        if self.arity == 0 {
+            return false;
+        }
+        let mut slot = recover(self.compact.write());
+        if slot.is_some() {
+            return false;
+        }
+        let n = self.len();
+        let mut cols: Vec<Vec<Const>> = vec![Vec::with_capacity(n); self.arity];
+        for ord in 0..n {
+            for (c, &v) in self.tuple(ord as u32).iter().enumerate() {
+                cols[c].push(v);
+            }
+        }
+        let csr = if self.arity == 2 {
+            Csr::build(&cols[0], &cols[1])
+        } else {
+            None
+        };
+        *slot = Some(Arc::new(CompactStore { cols, csr }));
+        true
+    }
+
+    /// Whether the compact store is built — the warmth probe used by
+    /// tests and the serving layer.
+    pub fn has_compact(&self) -> bool {
+        recover(self.compact.read()).is_some()
+    }
+
+    /// The compact store, if built.  The `Arc` lets callers (e.g. the
+    /// traversal engine's source) pin it once and probe lock-free.
+    pub fn compact_store(&self) -> Option<Arc<CompactStore>> {
+        recover(self.compact.read()).clone()
     }
 
     /// Count of tuples matching the binding pattern, without materializing.
@@ -246,12 +490,9 @@ impl Clone for Relation {
             dedup: self.dedup.clone(), // root refcount bump
             // Indexes are persistent tries too: carry the warm cache
             // over at the cost of one refcount bump per built mask.
-            indexes: RwLock::new(
-                self.indexes
-                    .read()
-                    .expect("relation index lock poisoned")
-                    .clone(),
-            ),
+            indexes: RwLock::new(recover(self.indexes.read()).clone()),
+            // The compact store is immutable; carry it by refcount.
+            compact: RwLock::new(recover(self.compact.read()).clone()),
         }
     }
 }
@@ -339,6 +580,18 @@ impl Database {
                 rel.build_index(mask_of([1]));
             }
         }
+    }
+
+    /// Build the compact store ([`CompactStore`]) of every relation
+    /// that lacks one, returning how many were built.  The serving
+    /// layer calls this when publishing a snapshot: shards shared with
+    /// the previous epoch kept their store through the `Arc`, so only
+    /// the publish's dirty shards rebuild.
+    pub fn build_compact_stores(&self) -> usize {
+        self.relations
+            .iter()
+            .filter(|rel| rel.build_compact())
+            .count()
     }
 
     /// Number of predicates with storage.
@@ -563,6 +816,114 @@ mod tests {
         assert!(out.is_empty());
         r.lookup(mask_of([0]), &[c(9000)], &mut out);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn compact_store_csr_matches_index_lookups() {
+        let mut r = Relation::new(2);
+        r.insert(&[c(1), c(10)]);
+        r.insert(&[c(1), c(11)]);
+        r.insert(&[c(2), c(10)]);
+        assert!(r.build_compact());
+        assert!(!r.build_compact(), "second build is a no-op");
+        let store = r.compact_store().unwrap();
+        assert_eq!(store.successors(c(1)).unwrap(), &[c(10), c(11)]);
+        assert_eq!(store.successors(c(7)).unwrap(), &[] as &[Const]);
+        assert_eq!(store.predecessors(c(10)).unwrap(), &[c(1), c(2)]);
+        assert_eq!(store.first_column().unwrap(), &[c(1), c(2)]);
+    }
+
+    #[test]
+    fn columnar_scan_matches_trie_index() {
+        let mut with_store = Relation::new(3);
+        let mut with_index = Relation::new(3);
+        for t in [[1, 2, 3], [1, 5, 3], [4, 2, 3], [1, 2, 9]] {
+            let tuple: Vec<Const> = t.iter().map(|&i| c(i)).collect();
+            with_store.insert(&tuple);
+            with_index.insert(&tuple);
+        }
+        with_store.build_compact();
+        for (mask, key) in [
+            (mask_of([0]), vec![c(1)]),
+            (mask_of([0, 2]), vec![c(1), c(3)]),
+            (mask_of([1, 2]), vec![c(2), c(3)]),
+            (mask_of([0, 1, 2]), vec![c(9), c(9), c(9)]),
+        ] {
+            let (mut scanned, mut indexed) = (Vec::new(), Vec::new());
+            assert!(with_store.lookup_tracked(mask, &key, &mut scanned));
+            assert!(!with_index.lookup_tracked(mask, &key, &mut indexed));
+            assert_eq!(scanned, indexed, "mask {mask:#b}");
+        }
+    }
+
+    #[test]
+    fn insert_invalidates_compact_store() {
+        let mut r = Relation::new(2);
+        r.insert(&[c(1), c(2)]);
+        r.build_compact();
+        assert!(r.has_compact());
+        r.insert(&[c(1), c(3)]);
+        assert!(!r.has_compact(), "mutation drops the stale store");
+        // Lookups stay correct through the fallback paths.
+        let mut out = Vec::new();
+        r.lookup(mask_of([0]), &[c(1)], &mut out);
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn clone_carries_compact_store() {
+        let mut r = Relation::new(2);
+        r.insert(&[c(1), c(2)]);
+        r.build_compact();
+        let snapshot = r.clone();
+        assert!(snapshot.has_compact());
+        // Mutating the original drops only its own store.
+        r.insert(&[c(2), c(3)]);
+        assert!(!r.has_compact());
+        assert!(snapshot.has_compact());
+        assert_eq!(
+            snapshot.compact_store().unwrap().successors(c(1)).unwrap(),
+            &[c(2)]
+        );
+    }
+
+    #[test]
+    fn empty_and_nullary_relations_build_cleanly() {
+        let empty = Relation::new(2);
+        assert!(empty.build_compact());
+        let store = empty.compact_store().unwrap();
+        assert_eq!(store.successors(c(3)).unwrap(), &[] as &[Const]);
+        assert_eq!(store.first_column().unwrap(), &[] as &[Const]);
+        let nullary = Relation::new(0);
+        assert!(!nullary.build_compact(), "nothing to probe in arity 0");
+    }
+
+    #[test]
+    fn database_builds_stores_once_per_shard() {
+        let p = crate::parser::parse_program("e(a,b). t(a,a,a).").unwrap();
+        let db = Database::from_program(&p);
+        assert_eq!(db.build_compact_stores(), 2);
+        assert_eq!(db.build_compact_stores(), 0, "all shards already built");
+    }
+
+    #[test]
+    fn poisoned_index_lock_recovers() {
+        let r = std::sync::Arc::new({
+            let mut r = Relation::new(2);
+            r.insert(&[c(1), c(2)]);
+            r
+        });
+        let poisoner = std::sync::Arc::clone(&r);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.indexes.write();
+            panic!("poison the lock");
+        })
+        .join();
+        // The relation still answers lookups instead of wedging.
+        let mut out = Vec::new();
+        r.lookup(mask_of([0]), &[c(1)], &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(r.build_compact());
     }
 
     #[test]

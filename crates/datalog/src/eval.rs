@@ -17,7 +17,7 @@ pub type Env = Vec<Option<Const>>;
 
 /// Resolve a term under an environment.
 #[inline]
-pub fn resolve(env: &Env, t: Term) -> Option<Const> {
+pub fn resolve(env: &[Option<Const>], t: Term) -> Option<Const> {
     match t {
         Term::Const(c) => Some(c),
         Term::Var(v) => env[v.0 as usize],
@@ -79,28 +79,54 @@ pub fn fire_rule<V: RelView>(
     emit: &mut dyn FnMut(&[Const]),
 ) -> Result<(), UnsafeBuiltin> {
     let mut env: Env = vec![None; rule.num_vars()];
+    fire_seeded(
+        program,
+        rule.body.iter(),
+        &rule.head.args,
+        &mut env,
+        view,
+        counters,
+        emit,
+    )
+}
+
+/// Fire a join over `body` literals under a pre-seeded environment,
+/// emitting `head_terms` resolved against the final bindings.  This is
+/// the §4 demand-probe entry point: the probe key is bound directly
+/// into `env` instead of being substituted into a cloned rule, so the
+/// per-probe cost is the join itself, not rule construction.  The env
+/// is a borrowed slice so a hot caller can reuse a stack buffer across
+/// probes; it is restored to its seeded state on return.  Atom
+/// occurrence indexes (for [`RelView`]) count positions in `body`'s
+/// iteration order, matching [`fire_rule`] when handed the full body.
+pub fn fire_seeded<'r, V: RelView>(
+    program: &Program,
+    body: impl Iterator<Item = &'r Literal>,
+    head_terms: &[Term],
+    env: &mut [Option<Const>],
+    view: &V,
+    counters: &mut Counters,
+    emit: &mut dyn FnMut(&[Const]),
+) -> Result<(), UnsafeBuiltin> {
     // Atoms in body order, remembering their occurrence index; builtins
-    // collected separately with a fired flag.
-    let atoms: Vec<(usize, &Atom)> = rule
-        .body
-        .iter()
-        .enumerate()
-        .filter_map(|(i, l)| l.as_atom().map(|a| (i, a)))
-        .collect();
-    let builtins: Vec<&Literal> = rule
-        .body
-        .iter()
-        .filter(|l| !matches!(l, Literal::Atom(_)))
-        .collect();
+    // collected separately and re-checked as bindings accumulate.
+    let mut atoms: Vec<(usize, &Atom)> = Vec::new();
+    let mut builtins: Vec<&Literal> = Vec::new();
+    for (i, l) in body.enumerate() {
+        match l.as_atom() {
+            Some(a) => atoms.push((i, a)),
+            None => builtins.push(l),
+        }
+    }
     let mut scratch: Vec<u32> = Vec::new();
     join_rec(
         program,
-        rule,
+        head_terms,
         view,
         &atoms,
         &builtins,
         0,
-        &mut env,
+        env,
         &mut scratch,
         counters,
         emit,
@@ -122,7 +148,7 @@ impl std::error::Error for UnsafeBuiltin {}
 
 /// Evaluate every built-in whose operands are fully bound.  Returns
 /// `Ok(false)` if some bound built-in is false, `Ok(true)` otherwise.
-fn builtins_hold(program: &Program, builtins: &[&Literal], env: &Env) -> bool {
+fn builtins_hold(program: &Program, builtins: &[&Literal], env: &[Option<Const>]) -> bool {
     for lit in builtins {
         if let Literal::Cmp { op, lhs, rhs } = lit {
             if let (Some(a), Some(b)) = (resolve(env, *lhs), resolve(env, *rhs)) {
@@ -136,7 +162,7 @@ fn builtins_hold(program: &Program, builtins: &[&Literal], env: &Env) -> bool {
     true
 }
 
-fn builtins_all_bound(builtins: &[&Literal], env: &Env) -> bool {
+fn builtins_all_bound(builtins: &[&Literal], env: &[Option<Const>]) -> bool {
     builtins.iter().all(|lit| match lit {
         Literal::Cmp { lhs, rhs, .. } => {
             resolve(env, *lhs).is_some() && resolve(env, *rhs).is_some()
@@ -148,12 +174,12 @@ fn builtins_all_bound(builtins: &[&Literal], env: &Env) -> bool {
 #[allow(clippy::too_many_arguments)]
 fn join_rec<V: RelView>(
     program: &Program,
-    rule: &Rule,
+    head_terms: &[Term],
     view: &V,
     atoms: &[(usize, &Atom)],
     builtins: &[&Literal],
     depth: usize,
-    env: &mut Env,
+    env: &mut [Option<Const>],
     scratch: &mut Vec<u32>,
     counters: &mut Counters,
     emit: &mut dyn FnMut(&[Const]),
@@ -166,36 +192,55 @@ fn join_rec<V: RelView>(
         if !builtins_all_bound(builtins, env) {
             return Err(UnsafeBuiltin);
         }
-        let head: Vec<Const> = rule
-            .head
-            .args
-            .iter()
-            .map(|&t| resolve(env, t).expect("safe rule binds head vars"))
-            .collect();
+        // Typical heads fit the same 32-column bound as probe keys;
+        // resolving into a stack buffer keeps firing allocation-free,
+        // with a heap fallback for wider heads.
         counters.rule_firings += 1;
-        emit(&head);
+        let bind = |&t: &Term| resolve(env, t).expect("safe rule binds head vars");
+        if head_terms.len() <= 32 {
+            let mut head = [Const::from_index(0); 32];
+            for (slot, t) in head.iter_mut().zip(head_terms) {
+                *slot = bind(t);
+            }
+            emit(&head[..head_terms.len()]);
+        } else {
+            let head: Vec<Const> = head_terms.iter().map(bind).collect();
+            emit(&head);
+        }
         return Ok(());
     }
     let (occurrence, atom) = atoms[depth];
     let rel = view.relation(atom.pred, occurrence);
     // Binding pattern: columns whose term is a constant or a bound var.
-    let mut key: Vec<Const> = Vec::with_capacity(atom.args.len());
+    // Column masks cap arity at 32, so the key fits a stack buffer —
+    // this loop is the §4 cold path and must not allocate per probe.
+    let mut key = [Const::from_index(0); 32];
+    let mut key_len = 0usize;
     let mask = mask_of(atom.args.iter().enumerate().filter_map(|(i, &t)| {
         resolve(env, t).map(|c| {
-            key.push(c);
+            key[key_len] = c;
+            key_len += 1;
             i
         })
     }));
     let start = scratch.len();
     counters.index_probes += 1;
-    rel.lookup(mask, &key, scratch);
+    if rel.lookup_tracked(mask, &key[..key_len], scratch) {
+        counters.csr_probes += 1;
+    } else if mask != 0 {
+        counters.trie_probes += 1;
+    }
     let end = scratch.len();
     for idx in start..end {
         let ord = scratch[idx];
         counters.tuples_retrieved += 1;
-        // Bind the free columns; repeated free vars must agree.
-        let tuple: Vec<Const> = rel.tuple(ord).to_vec();
-        let mut bound_here: Vec<u32> = Vec::new();
+        // Bind the free columns; repeated free vars must agree.  The
+        // tuple is read in place (a slice into the shard's chunked
+        // storage); `bound_here` stays on the stack for the same
+        // no-allocation reason as `key`.
+        let tuple: &[Const] = rel.tuple(ord);
+        let mut bound_here = [0u32; 32];
+        let mut num_bound = 0usize;
         let mut ok = true;
         for (i, &t) in atom.args.iter().enumerate() {
             match t {
@@ -214,7 +259,8 @@ fn join_rec<V: RelView>(
                     }
                     None => {
                         env[v.0 as usize] = Some(tuple[i]);
-                        bound_here.push(v.0);
+                        bound_here[num_bound] = v.0;
+                        num_bound += 1;
                     }
                 },
             }
@@ -222,7 +268,7 @@ fn join_rec<V: RelView>(
         if ok {
             join_rec(
                 program,
-                rule,
+                head_terms,
                 view,
                 atoms,
                 builtins,
@@ -233,7 +279,7 @@ fn join_rec<V: RelView>(
                 emit,
             )?;
         }
-        for v in bound_here {
+        for &v in &bound_here[..num_bound] {
             env[v as usize] = None;
         }
     }

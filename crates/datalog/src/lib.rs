@@ -23,8 +23,8 @@ pub use analysis::{
     tarjan_scc, unsafe_rules, Analysis, ChainViolation, Regularity,
 };
 pub use ast::{Atom, CmpOp, Literal, PredInfo, Program, Rule, Term};
-pub use db::{mask_cols, mask_of, ColMask, Database, Relation};
-pub use eval::{fire_rule, DeltaView, RelView, UnsafeBuiltin, WholeDb};
+pub use db::{mask_cols, mask_of, ColMask, CompactStore, Database, Relation};
+pub use eval::{fire_rule, fire_seeded, DeltaView, Env, RelView, UnsafeBuiltin, WholeDb};
 pub use naive::{naive_eval, EvalResult};
 pub use parser::{parse_program, ParseError};
 pub use pretty::{display_atom, display_literal, display_program, display_rule, display_term};

@@ -27,8 +27,9 @@ use crate::source::TupleSource;
 use rq_automata::{invert_nfa, thompson, Label, Nfa};
 use rq_common::{Const, Counters, FxHashMap, FxHashSet, FxHasher, Pred};
 use rq_relalg::EqSystem;
+use std::collections::VecDeque;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Which machine an instance runs: the automaton of `pred`'s equation,
@@ -460,6 +461,15 @@ impl PlanRef<'_> {
 /// hash bits so the intra-shard hash distribution stays intact.
 const GRAPH_SHARDS: usize = 64;
 
+/// Fewest start nodes for which a traversal phase fans out across
+/// scoped worker threads.  Spawning a thread costs tens of
+/// microseconds — more than a small phase's entire expansion — so
+/// phases below this stay on the caller thread regardless of the
+/// configured worker count.  Work stealing rebalances within a phase,
+/// so the seed count only has to justify the spawns, not predict the
+/// phase's final shape.
+const PARALLEL_MIN_SEEDS: usize = 32;
+
 /// The node set `G`, sharded behind mutexes so the traversal workers of
 /// one iteration can share the visit-once discipline: `insert` is
 /// atomic per node, so exactly one worker wins each node and expands
@@ -495,9 +505,12 @@ impl SharedNodes {
     }
 }
 
-/// The node set `G` in whichever representation the iteration's worker
-/// count calls for: a plain set for sequential runs, the sharded
-/// concurrent set for parallel ones.
+/// The node set `G` in whichever representation the traversal has
+/// needed so far: a plain set while every phase has run sequentially,
+/// upgraded in place to the sharded concurrent set the first time a
+/// phase fans out.  Starting sequential matters on the serving cold
+/// path — a point query whose graph holds a dozen nodes must not pay
+/// for [`GRAPH_SHARDS`] mutexes up front.
 enum Graph {
     Seq(FxHashSet<Node>),
     Par(SharedNodes),
@@ -515,6 +528,19 @@ impl Graph {
         match self {
             Graph::Seq(set) => set.len(),
             Graph::Par(nodes) => nodes.len(),
+        }
+    }
+
+    /// Upgrade to the sharded representation (a no-op if already
+    /// there): every visited node is re-inserted once, O(|G|), paid
+    /// only by traversals that actually go parallel.
+    fn ensure_sharded(&mut self) {
+        if let Graph::Seq(set) = self {
+            let nodes = SharedNodes::new();
+            for node in set.drain() {
+                nodes.insert(node);
+            }
+            *self = Graph::Par(nodes);
         }
     }
 }
@@ -661,12 +687,26 @@ fn expand_node<S: TupleSource, V: NodeVisit>(
     false
 }
 
-/// One iteration's traversal phase across `workers` scoped threads.
-/// The seed work-list is dealt round-robin; workers share the
-/// visit-once node set (so no node is expanded twice) and keep local
-/// answer/continuation sets that the caller merges.  The merge is
-/// deterministic: answers and continuations are sets (union is
-/// order-independent) and counters are sums.
+/// One iteration's traversal phase across `workers` scoped threads,
+/// scheduled by work stealing: each worker owns a deque seeded with a
+/// round-robin share of the work-list, pops its own newest node
+/// (LIFO, cache-friendly), publishes every node it discovers back to
+/// its deque, and — when its deque runs dry — steals the oldest half
+/// of a victim's deque.  A static deal would strand a worker whose
+/// seed happens to sit in a small region of the graph while another
+/// worker expands a heavy hub alone; stealing rebalances at the
+/// granularity of individual expansions.
+///
+/// Termination: a shared pending-node count, incremented *before* a
+/// discovered node is published and decremented *after* its expansion
+/// completes, so it can only read zero when no node is queued or in
+/// flight anywhere.
+///
+/// Workers share the visit-once node set (so no node is expanded
+/// twice) and keep local answer/continuation sets that the caller
+/// merges.  The merge is deterministic: answers and continuations are
+/// sets (union is order-independent), counters are sums, and which
+/// worker expands a node never changes what the expansion produces.
 #[allow(clippy::too_many_arguments)]
 fn traverse_parallel<S: TupleSource>(
     step: &StepCtx<'_>,
@@ -678,9 +718,11 @@ fn traverse_parallel<S: TupleSource>(
     continuations: &mut FxHashMap<(u32, u32), FxHashSet<Const>>,
     counters: &mut Counters,
 ) -> bool {
-    let mut chunks: Vec<Vec<Node>> = vec![Vec::new(); workers];
+    let pending = AtomicUsize::new(seeds.len());
+    let deques: Vec<Mutex<VecDeque<Node>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
     for (i, node) in seeds.into_iter().enumerate() {
-        chunks[i % workers].push(node);
+        lock_deque(&deques[i % workers]).push_back(node);
     }
     let stop = AtomicBool::new(false);
     type WorkerOutcome = (
@@ -690,10 +732,9 @@ fn traverse_parallel<S: TupleSource>(
         bool,
     );
     let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|mut stack| {
-                let stop = &stop;
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let (stop, pending, deques) = (&stop, &pending, &deques);
                 scope.spawn(move || {
                     let mut visit = ParVisit(nodes);
                     let mut answers = FxHashSet::default();
@@ -701,17 +742,31 @@ fn traverse_parallel<S: TupleSource>(
                     let mut counters = Counters::new();
                     let mut succ_buf = Vec::new();
                     let mut arcs = Vec::new();
+                    let mut discovered: Vec<Node> = Vec::new();
                     let mut found = false;
-                    while let Some(node) = stack.pop() {
+                    loop {
                         if stop.load(Ordering::Relaxed) {
                             break;
                         }
+                        // Two statements on purpose: the `pop_back`
+                        // temporary guard must drop before stealing, or
+                        // the thief would re-lock (and deadlock on) its
+                        // own deque inside `steal_half`.
+                        let popped = lock_deque(&deques[w]).pop_back();
+                        let node = popped.or_else(|| steal_half(deques, w));
+                        let Some(node) = node else {
+                            if pending.load(Ordering::Acquire) == 0 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                            continue;
+                        };
                         if expand_node(
                             step,
                             source,
                             node,
                             &mut visit,
-                            &mut stack,
+                            &mut discovered,
                             &mut answers,
                             &mut continuations,
                             &mut counters,
@@ -720,8 +775,17 @@ fn traverse_parallel<S: TupleSource>(
                         ) {
                             found = true;
                             stop.store(true, Ordering::Relaxed);
+                            pending.fetch_sub(1, Ordering::Release);
                             break;
                         }
+                        // Publish discoveries before retiring the
+                        // expanded node, so `pending` never dips to
+                        // zero while work exists.
+                        if !discovered.is_empty() {
+                            pending.fetch_add(discovered.len(), Ordering::Release);
+                            lock_deque(&deques[w]).extend(discovered.drain(..));
+                        }
+                        pending.fetch_sub(1, Ordering::Release);
                     }
                     (answers, continuations, counters, found)
                 })
@@ -742,6 +806,41 @@ fn traverse_parallel<S: TupleSource>(
         stopped |= found;
     }
     stopped
+}
+
+/// Lock one worker's deque, recovering from poison: a panicked worker
+/// is already propagated by the scope join, and a deque of plain node
+/// tuples cannot be torn.
+fn lock_deque(dq: &Mutex<VecDeque<Node>>) -> std::sync::MutexGuard<'_, VecDeque<Node>> {
+    dq.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Steal the oldest half of the first non-empty victim deque into
+/// thief `w`'s own deque, returning one node to expand now.  Victims
+/// are probed in ring order starting after the thief; locks are never
+/// held pairwise (the loot is moved through a local buffer), so two
+/// thieves cannot deadlock.
+fn steal_half(deques: &[Mutex<VecDeque<Node>>], w: usize) -> Option<Node> {
+    let workers = deques.len();
+    for d in 1..workers {
+        let victim = (w + d) % workers;
+        let mut loot: VecDeque<Node> = {
+            let mut dq = lock_deque(&deques[victim]);
+            let take = dq.len().div_ceil(2);
+            if take == 0 {
+                continue;
+            }
+            dq.drain(..take).collect()
+        };
+        let node = loot.pop_back();
+        if !loot.is_empty() {
+            let mut own = lock_deque(&deques[w]);
+            debug_assert!(own.is_empty(), "thieves steal only when dry");
+            *own = loot;
+        }
+        return node;
+    }
+    None
 }
 
 /// The evaluator for one equation system over one tuple source.
@@ -881,13 +980,10 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
         }];
         // (instance, state, transition ordinal) → child.
         let mut expansions: FxHashMap<(u32, u32, u32), u32> = FxHashMap::default();
-        // G: the node set, sharded when the traversal phase is
-        // parallel.
-        let mut graph = if workers > 1 {
-            Graph::Par(SharedNodes::new())
-        } else {
-            Graph::Seq(FxHashSet::default())
-        };
+        // G: the node set.  Starts in the plain representation and is
+        // upgraded to the sharded one by the first phase that fans
+        // out, so small traversals never touch a mutex.
+        let mut graph = Graph::Seq(FxHashSet::default());
         // C: continuation terms per (instance, state).
         let mut continuations: FxHashMap<(u32, u32), FxHashSet<Const>> = FxHashMap::default();
         let mut answers: FxHashSet<Const> = FxHashSet::default();
@@ -926,8 +1022,13 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
                 record_graph: options.record_graph,
             };
             let worklist = seeds.len() as u64;
-            let phase_workers = workers.min(seeds.len());
+            let phase_workers = if seeds.len() >= PARALLEL_MIN_SEEDS {
+                workers.min(seeds.len())
+            } else {
+                1
+            };
             let stopped = if phase_workers > 1 {
+                graph.ensure_sharded();
                 let Graph::Par(nodes) = &graph else {
                     unreachable!("parallel phases run on the sharded node set")
                 };

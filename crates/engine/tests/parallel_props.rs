@@ -54,6 +54,88 @@ proptest! {
     }
 }
 
+/// Skewed graphs are the work-stealing scheduler's reason to exist: a
+/// round-robin seed deal strands all the work on whichever worker drew
+/// the heavy region.  Each shape below concentrates almost all
+/// reachable nodes behind one seed; answers, convergence, and graph
+/// sizes must still match the sequential path exactly, with and
+/// without publish-time compact stores.
+#[test]
+fn work_stealing_matches_sequential_on_skewed_graphs() {
+    let star = {
+        // Hub with many leaves: one seed owns every expansion.
+        let mut src = String::from("tc(X,Y) :- e(X,Y).\ntc(X,Z) :- e(X,Y), tc(Y,Z).\n");
+        for i in 0..120 {
+            src.push_str(&format!("e(hub, s{i}).\n"));
+        }
+        src.push_str("e(lone, hub).\n");
+        src
+    };
+    let lollipop = {
+        // Dense clique feeding a long tail: the clique floods one
+        // worker's deque while the tail trickles.
+        let mut src = String::from("tc(X,Y) :- e(X,Y).\ntc(X,Z) :- e(X,Y), tc(Y,Z).\n");
+        for i in 0..12 {
+            for j in 0..12 {
+                if i != j {
+                    src.push_str(&format!("e(c{i}, c{j}).\n"));
+                }
+            }
+        }
+        for i in 0..40 {
+            src.push_str(&format!("e(t{}, t{}).\n", i, i + 1));
+        }
+        src.push_str("e(c0, t0).\n");
+        src
+    };
+    let heavy_hub = {
+        // Two-level fan-out behind a single entry edge.
+        let mut src = String::from("tc(X,Y) :- e(X,Y).\ntc(X,Z) :- e(X,Y), tc(Y,Z).\n");
+        src.push_str("e(root, hub).\n");
+        for i in 0..20 {
+            src.push_str(&format!("e(hub, m{i}).\n"));
+            for j in 0..8 {
+                src.push_str(&format!("e(m{i}, l{i}_{j}).\n"));
+            }
+        }
+        src
+    };
+    for src in [star, lollipop, heavy_hub] {
+        let program = rq_datalog::parse_program(&src).unwrap();
+        let db = rq_datalog::Database::from_program(&program);
+        let compacted = {
+            let db = db.clone();
+            assert!(db.build_compact_stores() > 0);
+            db
+        };
+        let sys = lemma1(&program, &Lemma1Options::default()).unwrap().system;
+        let tc = program.pred_by_name("tc").unwrap();
+        let sequential = EvalOptions {
+            max_iterations: Some(256),
+            ..EvalOptions::default()
+        };
+        let parallel = EvalOptions {
+            expand_threads: 4,
+            ..sequential.clone()
+        };
+        let trie_source = EdbSource::new(&db);
+        let csr_source = EdbSource::new(&compacted);
+        let trie_eval = Evaluator::new(&sys, &trie_source);
+        let csr_eval = Evaluator::new(&sys, &csr_source);
+        for c in 0..program.consts.len() {
+            let a = Const::from_index(c);
+            let seq = trie_eval.evaluate(tc, a, &sequential);
+            let par = trie_eval.evaluate(tc, a, &parallel);
+            let par_csr = csr_eval.evaluate(tc, a, &parallel);
+            assert_eq!(sorted(&seq.answers), sorted(&par.answers));
+            assert_eq!(sorted(&seq.answers), sorted(&par_csr.answers));
+            assert_eq!(seq.converged, par.converged);
+            assert_eq!(seq.graph_nodes, par.graph_nodes);
+            assert_eq!(seq.graph_nodes, par_csr.graph_nodes);
+        }
+    }
+}
+
 #[test]
 fn parallel_expansion_matches_sequential_on_cyclic_bounded_data() {
     // Figure 8's worst case: cyclic data under the m·n iteration

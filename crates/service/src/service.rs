@@ -6,8 +6,8 @@ use crate::plan::{PlanCache, ProgramPlan};
 use crate::results::{CachedResult, ResultCache, ResultKey};
 use crate::snapshot::{IngestError, Snapshot, SnapshotStore};
 use crate::spec::{Adornment, Arg, QuerySpec};
-use rq_common::obs::{self, Counter};
-use rq_common::{Const, ConstValue, FxHashMap, Pred, Registry};
+use rq_common::obs::{self, Counter, Histogram};
+use rq_common::{Const, ConstValue, Counters, FxHashMap, Pred, Registry};
 use rq_datalog::Program;
 use rq_engine::{
     all_pairs_min_side, candidate_sources, cyclic_iteration_bound, inverse_cyclic_iteration_bound,
@@ -235,6 +235,16 @@ struct ServiceCounters {
     engine_teleports: Counter,
     /// Machine copies spliced during traversals.
     engine_instances: Counter,
+    /// Compact stores (columnar + CSR) built at publish time.
+    csr_builds: Counter,
+    /// Wall time spent building compact stores, one observation per
+    /// publish.
+    csr_build_seconds: Histogram,
+    /// Index probes served by a compact store (CSR slice or columnar
+    /// scan).
+    csr_probes: Counter,
+    /// Index probes that walked (or built) a hash-trie index.
+    trie_probes: Counter,
 }
 
 impl ServiceCounters {
@@ -291,6 +301,22 @@ impl ServiceCounters {
                 "rq_engine_machine_instances_total",
                 "Machine copies spliced during traversals.",
             ),
+            csr_builds: registry.counter(
+                "rq_csr_builds_total",
+                "Compact stores (columnar buffers + CSR adjacency) built at publish time.",
+            ),
+            csr_build_seconds: registry.histogram(
+                "rq_csr_build_seconds",
+                "Wall time each publish spent building compact stores.",
+            ),
+            csr_probes: registry.counter(
+                "rq_csr_probes_total",
+                "Index probes served by a publish-time compact store.",
+            ),
+            trie_probes: registry.counter(
+                "rq_trie_probes_total",
+                "Index probes that walked (or built) a hash-trie index.",
+            ),
         }
     }
 }
@@ -308,7 +334,7 @@ impl QueryService {
             ResultCache::with_limits(config.result_cache_capacity, config.result_cache_bytes);
         let metrics = Arc::new(Registry::new());
         let counters = ServiceCounters::register(&metrics, &plans, &results);
-        Self {
+        let service = Self {
             store: SnapshotStore::new(program),
             plans,
             results,
@@ -317,7 +343,12 @@ impl QueryService {
             counters,
             started: Instant::now(),
             ingest_gc: std::sync::Mutex::new(()),
-        }
+        };
+        // Epoch 0 already built its compact stores inside
+        // `SnapshotStore::new`; fold that first publish into the
+        // registry like every later ingest.
+        service.note_publish(&service.store.snapshot());
+        service
     }
 
     /// Parse `source` and serve it.
@@ -362,6 +393,11 @@ impl QueryService {
             result_entries: self.results.len(),
             result_bytes: self.results.bytes(),
             context: snapshot.context().stats(),
+            csr_builds: self.counters.csr_builds.value(),
+            csr_build_micros: (self.counters.csr_build_seconds.snapshot().sum_seconds * 1e6).round()
+                as u64,
+            csr_probes: self.counters.csr_probes.value(),
+            trie_probes: self.counters.trie_probes.value(),
         }
     }
 
@@ -440,7 +476,16 @@ impl QueryService {
             self.carry_context(&prev, &snap);
         }
         self.counters.ingests.inc();
+        self.note_publish(&snap);
         Ok(snap)
+    }
+
+    /// Fold one publish's compact-store build work into the registry.
+    fn note_publish(&self, snap: &Snapshot) {
+        self.counters.csr_builds.add(snap.csr_builds() as u64);
+        self.counters
+            .csr_build_seconds
+            .observe(snap.csr_build_time());
     }
 
     /// Cross-epoch machine-memo carry-forward: move the previous
@@ -659,16 +704,31 @@ impl QueryService {
             outcome.graph_nodes,
             outcome.memo_teleports,
             outcome.instances,
+            &outcome.counters,
         );
         Ok((rows, outcome.converged))
     }
 
     /// Fold one traversal's engine-side work into the service's
     /// registry counters.
-    fn note_outcome(&self, graph_nodes: u64, memo_teleports: u64, instances: u64) {
+    fn note_outcome(
+        &self,
+        graph_nodes: u64,
+        memo_teleports: u64,
+        instances: u64,
+        counters: &Counters,
+    ) {
         self.counters.engine_nodes.add(graph_nodes);
         self.counters.engine_teleports.add(memo_teleports);
         self.counters.engine_instances.add(instances);
+        self.note_probes(counters);
+    }
+
+    /// Fold one evaluation's probe-path split (compact store vs trie
+    /// index) into the registry.
+    fn note_probes(&self, counters: &Counters) {
+        self.counters.csr_probes.add(counters.csr_probes);
+        self.counters.trie_probes.add(counters.trie_probes);
     }
 
     /// §3 binary-chain evaluation: forward/inverse point traversals,
@@ -729,6 +789,7 @@ impl QueryService {
                     let (out, _side) =
                         all_pairs_min_side(&plan.system, &source, spec.pred, &options);
                     self.counters.engine_nodes.add(out.counters.nodes_inserted);
+                    self.note_probes(&out.counters);
                     let mut rows: Vec<Vec<Const>> =
                         out.pairs.into_iter().map(|(x, y)| vec![x, y]).collect();
                     rows.sort_unstable();
@@ -801,6 +862,7 @@ impl QueryService {
             outcome.graph_nodes,
             outcome.memo_teleports,
             outcome.instances,
+            &outcome.counters,
         );
         let mut answers: Vec<Const> = outcome.answers.into_iter().collect();
         answers.sort_unstable();

@@ -38,11 +38,24 @@ pub struct Snapshot {
     /// every query of this epoch, invalidated wholesale by the next
     /// publish (each snapshot owns a fresh context).
     context: EpochContext,
+    /// How many shards this publish built a compact store (columnar
+    /// buffers + CSR adjacency) for.  Clean shards carry their store
+    /// from the parent epoch and cost nothing here.
+    csr_builds: usize,
+    /// Wall time the publish spent building those stores.
+    csr_build_time: std::time::Duration,
 }
 
 impl Snapshot {
     fn new(epoch: u64, program: Program, db: Database, dirty: FxHashSet<Pred>) -> Self {
         db.prewarm_binary_indexes();
+        // Compact stores are the publish-time counterpart of the index
+        // prewarm: dirty shards dropped theirs on mutation and rebuild
+        // here; clean shards still hold the parent epoch's store via the
+        // copy-on-write clone, so the cost is O(dirty data).
+        let build_start = std::time::Instant::now();
+        let csr_builds = db.build_compact_stores();
+        let csr_build_time = build_start.elapsed();
         let rules_fingerprint = crate::plan::rules_fingerprint(&program);
         Self {
             epoch,
@@ -51,6 +64,8 @@ impl Snapshot {
             db,
             dirty,
             context: EpochContext::new(),
+            csr_builds,
+            csr_build_time,
         }
     }
 
@@ -86,6 +101,16 @@ impl Snapshot {
     /// every query of this epoch may share, dead with the snapshot.
     pub fn context(&self) -> &EpochContext {
         &self.context
+    }
+
+    /// How many compact stores this publish built (dirty shards only).
+    pub fn csr_builds(&self) -> usize {
+        self.csr_builds
+    }
+
+    /// Wall time this publish spent building compact stores.
+    pub fn csr_build_time(&self) -> std::time::Duration {
+        self.csr_build_time
     }
 }
 
@@ -366,6 +391,45 @@ mod tests {
             .relation(e)
             .lookup(rq_datalog::mask_of([0]), &[c], &mut out);
         assert_eq!(out.len(), 1);
+    }
+
+    #[test]
+    fn compact_stores_survive_epoch_publication_on_clean_shards() {
+        let store = SnapshotStore::new(
+            parse_program(
+                "tc(X,Y) :- e(X,Y).\n\
+                 tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+                 e(a,b). f(a,b).",
+            )
+            .unwrap(),
+        );
+        let before = store.snapshot();
+        let pred = |n: &str| before.program().pred_by_name(n).unwrap();
+        // Epoch 0 builds stores for every shard — both base relations
+        // plus the (empty) derived `tc` shard.
+        assert_eq!(before.csr_builds(), 3);
+        assert!(before.db().relation(pred("e")).has_compact());
+        let after = store.ingest("e(b,c).").unwrap();
+        // Only the dirty shard rebuilt; `f` kept its store through the
+        // copy-on-write clone.
+        assert_eq!(after.csr_builds(), 1);
+        assert!(after.db().relation(pred("e")).has_compact());
+        assert!(after.db().relation(pred("f")).has_compact());
+        // The rebuilt store answers over the post-ingest extension.
+        let b = after
+            .program()
+            .consts
+            .get(&ConstValue::Str("b".into()))
+            .unwrap();
+        let succ = after
+            .db()
+            .relation(pred("e"))
+            .compact_store()
+            .unwrap()
+            .successors(b)
+            .map(<[_]>::to_vec)
+            .unwrap_or_default();
+        assert_eq!(succ.len(), 1, "e(b,c) is visible through the new CSR");
     }
 
     #[test]

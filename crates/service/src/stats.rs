@@ -36,6 +36,16 @@ pub struct StatsReport {
     /// The current epoch context's counters (machine memo, §4 probe
     /// memo, SCC routing, cross-epoch carries).
     pub context: EpochContextStats,
+    /// Compact stores (columnar + CSR) built across every publish so
+    /// far, read live from the registry counter.
+    pub csr_builds: u64,
+    /// Total microseconds publishes spent building compact stores.
+    pub csr_build_micros: u64,
+    /// Index probes served by a compact store, service lifetime.
+    pub csr_probes: u64,
+    /// Index probes that walked (or built) a hash-trie index, service
+    /// lifetime.
+    pub trie_probes: u64,
 }
 
 impl StatsReport {
@@ -99,6 +109,15 @@ impl StatsReport {
                             ("probe_spaces", int(self.context.probe_spaces_carried)),
                         ]),
                     ),
+                ]),
+            ),
+            (
+                "storage",
+                Json::object([
+                    ("csr_builds", int(self.csr_builds)),
+                    ("csr_build_micros", int(self.csr_build_micros)),
+                    ("csr_probes", int(self.csr_probes)),
+                    ("trie_probes", int(self.trie_probes)),
                 ]),
             ),
         ])
@@ -208,7 +227,7 @@ impl std::fmt::Display for StatsReport {
             self.result_entries,
             self.result_bytes,
         )?;
-        write!(
+        writeln!(
             f,
             "epoch context: probe memo {} hits / {} misses ({} entr(ies)), machine memo {} hits / {} misses ({} entr(ies)), {} scc-served, carried {} machine entr(ies) / {} probe space(s)",
             self.context.probe_hits,
@@ -220,6 +239,11 @@ impl std::fmt::Display for StatsReport {
             self.context.scc_served,
             self.context.eval_carried,
             self.context.probe_spaces_carried,
+        )?;
+        write!(
+            f,
+            "storage:      {} csr build(s) ({} µs), probes {} csr / {} trie",
+            self.csr_builds, self.csr_build_micros, self.csr_probes, self.trie_probes,
         )
     }
 }
@@ -257,6 +281,10 @@ mod tests {
                 eval_carried: 2,
                 probe_spaces_carried: 1,
             },
+            csr_builds: 2,
+            csr_build_micros: 150,
+            csr_probes: 40,
+            trie_probes: 8,
         }
     }
 
@@ -272,6 +300,7 @@ mod tests {
         assert!(text.contains("machine memo 6 hits / 2 misses (4 entr(ies))"));
         assert!(text.contains("1 scc-served"));
         assert!(text.contains("carried 2 machine entr(ies) / 1 probe space(s)"));
+        assert!(text.contains("storage:      2 csr build(s) (150 µs), probes 40 csr / 8 trie"));
     }
 
     #[test]
@@ -300,6 +329,10 @@ mod tests {
                 .and_then(Json::as_i64),
             Some(1)
         );
+        let storage = json.get("storage").unwrap();
+        assert_eq!(storage.get("csr_builds").and_then(Json::as_i64), Some(2));
+        assert_eq!(storage.get("csr_probes").and_then(Json::as_i64), Some(40));
+        assert_eq!(storage.get("trie_probes").and_then(Json::as_i64), Some(8));
         // Round-trips through the shared codec.
         let round = Json::parse(&json.encode()).unwrap();
         assert_eq!(round, json);

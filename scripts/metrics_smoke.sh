@@ -93,9 +93,21 @@ for needle in \
   'rq_ingests_total 0' \
   '# TYPE rq_engine_graph_nodes_total counter' \
   'rq_epoch 0' \
-  '# TYPE rq_http_in_flight gauge'
+  '# TYPE rq_http_in_flight gauge' \
+  '# TYPE rq_csr_builds_total counter' \
+  'rq_csr_builds_total 2' \
+  'rq_csr_build_seconds_count 1' \
+  '# TYPE rq_csr_probes_total counter' \
+  '# TYPE rq_trie_probes_total counter'
 do
   grep -qF "$needle" "$scrape" || fail "missing: $needle"
 done
+
+# The smoke program's epoch-0 publish builds stores for `e` and `tc`,
+# and the two `tc(a, Y)` queries read `e` through its CSR: the compact
+# path must actually serve probes, not just exist.
+csr_probes="$(grep -E '^rq_csr_probes_total [0-9]+$' "$scrape" | awk '{print $2}')"
+[ -n "$csr_probes" ] && [ "$csr_probes" -gt 0 ] \
+  || fail "rq_csr_probes_total not positive (got: ${csr_probes:-missing})"
 
 echo "metrics smoke OK ($addr, $(grep -c '^# TYPE' "$scrape") families)"
