@@ -26,5 +26,5 @@ pub use api::{
     answer_query, answer_query_unchecked, bottom_up_counters, evaluate_nary, evaluate_nary_shared,
     oracle_rows, plan_nary_query, plan_nary_query_unchecked, NaryPlan, QueryAnswer, QueryError,
 };
-pub use source::{ProbeSpace, ProbeStats, VirtualSource, DEFAULT_PROBE_ENTRIES};
+pub use source::{delta_pairs, ProbeSpace, ProbeStats, VirtualSource, DEFAULT_PROBE_ENTRIES};
 pub use transform::{transform, BinaryProgram, VirtualKind, VirtualRel};

@@ -11,8 +11,10 @@
 //! deferred until bound), and interns the resulting output tuples.
 
 use crate::transform::{BinaryProgram, VirtualRel};
-use rq_common::{BoundedMemo, Const, Counters, FxHashMap, Pred};
-use rq_datalog::{fire_seeded, Atom, Database, Literal, Program, Term, WholeDb};
+use rq_common::{BoundedMemo, Const, Counters, FxHashMap, FxHashSet, Pred};
+use rq_datalog::{
+    fire_seeded, Atom, Database, DeltaView, Literal, Program, Relation, Term, WholeDb,
+};
 use rq_engine::TupleSource;
 use std::sync::{Arc, Mutex};
 
@@ -27,7 +29,7 @@ const TUPLE_ID_BASE: u32 = 1 << 31;
 /// — unlike the program's persistent interner it owns its storage
 /// outright, so a fresh space allocates nothing and the first intern of
 /// a query never pays a copy-on-write of shared interner chunks.
-#[derive(Default)]
+#[derive(Clone, Default)]
 struct TupleTable {
     /// Component slices, indexed by `id - TUPLE_ID_BASE`.
     components: Vec<Box<[Const]>>,
@@ -149,6 +151,57 @@ impl ProbeSpace {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
+    /// Deep-copy this space: same tuple ids, same memo entries (values
+    /// `Arc`-shared), independent storage, fresh hit/miss counters.
+    ///
+    /// The delta-repair path forks the previous epoch's space, patches
+    /// the fork against the publish's delta, and hands the fork to the
+    /// new epoch: readers of the old epoch keep an untouched space (no
+    /// new rows leak into already-published results), while the new
+    /// epoch starts from all previously-paid probe and intern work —
+    /// with identical tuple ids, so carried machine-memo entries keep
+    /// meaning the same tuples.
+    pub fn fork(&self) -> Self {
+        let table = self.tuples().clone();
+        let memo = BoundedMemo::new(self.memo.capacity());
+        memo.carry_from(&self.memo, |_| true);
+        Self {
+            tuples: Mutex::new(table),
+            memo,
+        }
+    }
+
+    /// Merge a publish's new `(in, out)` pairs of virtual relation `r`
+    /// into the probe memo: an existing forward entry for `in` gains
+    /// `out`, an existing backward entry for `out` gains `in`.  Absent
+    /// keys stay absent — a later probe recomputes them against the new
+    /// database.  Patched entries are complete again provided `pairs`
+    /// really is the full delta of `r` (what [`delta_pairs`] computes),
+    /// because ingests only ever add tuples.  Returns the rows added.
+    pub fn patch_pairs(&self, r: Pred, pairs: &[(Const, Const)]) -> u64 {
+        let mut added = 0u64;
+        for &(input, output) in pairs {
+            added += self.patch_one((r, input, true), output);
+            added += self.patch_one((r, output, false), input);
+        }
+        added
+    }
+
+    /// Append `row` to the memo entry at `key` if the entry exists and
+    /// lacks it; returns 1 if a row was added.
+    fn patch_one(&self, key: (Pred, Const, bool), row: Const) -> u64 {
+        let Some(existing) = self.memo.peek(&key) else {
+            return 0;
+        };
+        if existing.contains(&row) {
+            return 0;
+        }
+        let mut rows = existing.as_ref().clone();
+        rows.push(row);
+        self.memo.insert(key, Arc::new(rows));
+        1
+    }
+
     /// Hit/miss/entry counts.
     pub fn stats(&self) -> ProbeStats {
         let stats = self.memo.stats();
@@ -158,6 +211,117 @@ impl ProbeSpace {
             entries: stats.entries,
         }
     }
+}
+
+/// Enumerate the `(in, out)` tuple-constant pairs a publish's added
+/// base tuples contribute to each §4 virtual relation of `bin` — the
+/// seminaive delta of the defining joins.
+///
+/// For every virtual relation and every body-atom occurrence of a
+/// predicate in `delta`, the defining join is re-fired over the **new**
+/// database with the delta relation substituted at that occurrence and
+/// the delta atom moved to the front, so the join is driven by the few
+/// new tuples rather than re-enumerating the base relation.  The union
+/// over occurrences is the complete set of new pairs (a pair may also
+/// be derivable from old tuples alone — consumers must tolerate
+/// already-known pairs, which both [`ProbeSpace::patch_pairs`] and the
+/// engine's repair do).  Emitted tuples are interned into `space`,
+/// which should be the forked space the new epoch will serve from.
+///
+/// Returns `None` when some virtual relation cannot be delta-enumerated
+/// — output variables not bound by the defining join (non-chain mode),
+/// in/out terms whose variables the join does not cover (a full
+/// enumeration could not close the key space), or a built-in left
+/// unbound without the probe key's seed bindings.  The caller then
+/// falls back to dropping the carried state for this plan.
+pub fn delta_pairs(
+    program: &Program,
+    db: &Database,
+    bin: &BinaryProgram,
+    space: &ProbeSpace,
+    delta: &FxHashMap<Pred, Relation>,
+    counters: &mut Counters,
+) -> Option<FxHashMap<Pred, Vec<(Const, Const)>>> {
+    let mut out: FxHashMap<Pred, Vec<(Const, Const)>> = FxHashMap::default();
+    for (&r, rel) in &bin.virtuals {
+        if !rel.unbound_out_vars.is_empty() {
+            return None;
+        }
+        let rule = &program.rules[rel.rule_idx];
+        let mut bound: FxHashSet<rq_common::Var> = FxHashSet::default();
+        for &li in &rel.literals {
+            if let Some(atom) = rule.body[li].as_atom() {
+                for t in &atom.args {
+                    if let Term::Var(v) = t {
+                        bound.insert(*v);
+                    }
+                }
+            }
+        }
+        let covered = rel
+            .in_terms
+            .iter()
+            .chain(rel.out_terms.iter())
+            .all(|t| match t {
+                Term::Var(v) => bound.contains(v),
+                Term::Const(_) => true,
+            });
+        if !covered {
+            return None;
+        }
+        let mut head_terms: Vec<Term> =
+            Vec::with_capacity(rel.in_terms.len() + rel.out_terms.len());
+        head_terms.extend(rel.in_terms.iter().copied());
+        head_terms.extend(rel.out_terms.iter().copied());
+        let mut pairs: Vec<(Const, Const)> = Vec::new();
+        for (pos, &li) in rel.literals.iter().enumerate() {
+            let Some(atom) = rule.body[li].as_atom() else {
+                continue;
+            };
+            let Some(delta_rel) = delta.get(&atom.pred) else {
+                continue;
+            };
+            if delta_rel.is_empty() {
+                continue;
+            }
+            // Delta atom first (occurrence 0 reads the delta); further
+            // occurrences of the same predicate read the full relation.
+            let body = std::iter::once(&rule.body[li]).chain(
+                rel.literals
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != pos)
+                    .map(|(_, &lj)| &rule.body[lj]),
+            );
+            let view = DeltaView {
+                full: db,
+                target: atom.pred,
+                target_occurrence: 0,
+                delta: delta_rel,
+            };
+            let mut env: Vec<Option<Const>> = vec![None; rule.num_vars()];
+            let mut tuples = space.tuples();
+            fire_seeded(
+                program,
+                body,
+                &head_terms,
+                &mut env,
+                &view,
+                counters,
+                &mut |row| {
+                    let (ins, outs) = row.split_at(rel.in_terms.len());
+                    pairs.push((tuples.intern(ins), tuples.intern(outs)));
+                },
+            )
+            .ok()?;
+        }
+        if !pairs.is_empty() {
+            pairs.sort_unstable();
+            pairs.dedup();
+            out.insert(r, pairs);
+        }
+    }
+    Some(out)
 }
 
 impl std::fmt::Debug for ProbeSpace {
@@ -587,6 +751,90 @@ mod tests {
             1,
             "cap refuses keys beyond the first"
         );
+    }
+
+    #[test]
+    fn forked_space_patch_matches_recomputation_and_leaves_parent_clean() {
+        let mut program = parse_program(
+            "cnx(S,DT,D,AT) :- flight(S,DT,D,AT).\n\
+             cnx(S,DT,D,AT) :- flight(S,DT,D1,AT1), AT1 < DT1, is_deptime(DT1), cnx(D1,DT1,D,AT).\n\
+             flight(hel,900,ams,1130).\n\
+             flight(ams,1200,cdg,1330).\n\
+             is_deptime(900). is_deptime(1200).",
+        )
+        .unwrap();
+        let q = Query::parse(&mut program, "cnx(hel, 900, D, AT)").unwrap();
+        let adorned = adorn(&program, &q).unwrap();
+        let bin = transform(&program, &adorned);
+        let db = Database::from_program(&program);
+        let space = Arc::new(ProbeSpace::new(&program));
+        let src = VirtualSource::with_space(&program, &db, &bin, Arc::clone(&space));
+
+        let in_pred = *bin
+            .names
+            .iter()
+            .find(|(_, n)| n.as_str() == "in-r1")
+            .map(|(p, _)| p)
+            .unwrap();
+        let hel = program.consts.get(&ConstValue::Str("hel".into())).unwrap();
+        let t900 = program.consts.get(&ConstValue::Int(900)).unwrap();
+        let anchor = src.intern_tuple(vec![hel, t900]);
+        let mut warm = Vec::new();
+        let mut counters = Counters::new();
+        src.successors(in_pred, anchor, &mut warm, &mut counters);
+        assert_eq!(warm.len(), 1, "old epoch sees one onward connection");
+
+        // The publish adds is_deptime(1300): (hel,900)'s flight arriving
+        // at 1130 now also connects onward at departure time 1300.
+        let extended = parse_program(
+            "cnx(S,DT,D,AT) :- flight(S,DT,D,AT).\n\
+             cnx(S,DT,D,AT) :- flight(S,DT,D1,AT1), AT1 < DT1, is_deptime(DT1), cnx(D1,DT1,D,AT).\n\
+             flight(hel,900,ams,1130).\n\
+             flight(ams,1200,cdg,1330).\n\
+             is_deptime(900). is_deptime(1200). is_deptime(1300).",
+        )
+        .unwrap();
+        assert_eq!(program.preds.len(), extended.preds.len());
+        let db_new = Database::from_program(&extended);
+        let dep = extended.pred_by_name("is_deptime").unwrap();
+        let t1300 = extended.consts.get(&ConstValue::Int(1300)).unwrap();
+        let mut delta: FxHashMap<Pred, Relation> = FxHashMap::default();
+        delta.insert(dep, Relation::from_rows(1, [&[t1300][..]]));
+
+        let fork = space.fork();
+        let pairs = delta_pairs(&extended, &db_new, &bin, &fork, &delta, &mut counters)
+            .expect("chain program is delta-enumerable");
+        let in_pairs = &pairs[&in_pred];
+        assert_eq!(in_pairs.len(), 1);
+        assert_eq!(in_pairs[0].0, anchor, "new pair hangs off the warm key");
+        let added = fork.patch_pairs(in_pred, in_pairs);
+        assert_eq!(added, 1, "forward entry patched; backward key absent");
+
+        // The patched fork serves the repaired row from its memo and
+        // matches a cold recomputation over the new database exactly.
+        let fork = Arc::new(fork);
+        let repaired_src = VirtualSource::with_space(&extended, &db_new, &bin, Arc::clone(&fork));
+        let mut patched = Vec::new();
+        let mut c_patched = Counters::new();
+        repaired_src.successors(in_pred, anchor, &mut patched, &mut c_patched);
+        assert_eq!(c_patched.tuples_retrieved, 0, "served from the memo");
+        let cold_src = VirtualSource::new(&extended, &db_new, &bin);
+        let cold_anchor = cold_src.intern_tuple(vec![hel, t900]);
+        let mut cold = Vec::new();
+        cold_src.successors(in_pred, cold_anchor, &mut cold, &mut Counters::new());
+        let render = |src: &VirtualSource<'_>, rows: &[rq_common::Const]| -> Vec<String> {
+            let mut v: Vec<String> = rows.iter().map(|&c| src.display_const(c)).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(render(&repaired_src, &patched), render(&cold_src, &cold));
+        assert_eq!(render(&repaired_src, &patched).len(), 2);
+
+        // The parent space is untouched: the old epoch still sees the
+        // pre-publish row set.
+        let mut old = Vec::new();
+        src.successors(in_pred, anchor, &mut old, &mut Counters::new());
+        assert_eq!(old, warm);
     }
 
     #[test]

@@ -213,6 +213,81 @@ fn write_service_summary() {
         summary.add(name, specs.len() as u64, best);
     }
 
+    // Incremental maintenance: before each timed run, publish a
+    // genuinely new flight (dirtying the §4 plan's read-set), then
+    // time the **first batch on the freshly published epoch**.  With
+    // delta repair the publish patched the warm probe space and
+    // machine memos in place, so that first batch runs at warm speed;
+    // without it, every post-publish batch would pay the cold number
+    // above.  (The publish itself stays outside the timer: repair cost
+    // is ingest-side and paid once per publish, not per batch.)
+    {
+        let service = QueryService::with_config(network.program.clone(), config(4, true));
+        let specs: Vec<QuerySpec> = texts
+            .iter()
+            .map(|t| service.parse_query(t).unwrap())
+            .collect();
+        service.query_batch(&specs); // warm the epoch being repaired
+        let mut best = std::time::Duration::MAX;
+        for tick in 0..=runs as i64 {
+            let dt = 1200 + tick * 60; // late departures: all fresh facts
+            service
+                .ingest(&format!(
+                    "flight(p0, {dt}, p1, {arr}). is_deptime({dt}).",
+                    arr = dt + 90
+                ))
+                .unwrap();
+            let start = std::time::Instant::now();
+            let batch = service.query_batch(&specs);
+            let elapsed = start.elapsed();
+            assert!(batch
+                .iter()
+                .all(|r| !matches!(r, Err(ServiceError::Plan(_)))));
+            if tick > 0 {
+                best = best.min(elapsed); // first round is the warm-up
+            }
+        }
+        let report = service.stats_report();
+        assert!(
+            report.delta_repairs >= runs as u64 && report.delta_fallback_cold == 0,
+            "every publish must repair the warm cnx plan in place: {report:?}"
+        );
+        summary.add(
+            "flights24_batch_after_small_ingest_t4",
+            specs.len() as u64,
+            best,
+        );
+    }
+
+    // The §3 equivalent on the layered DAG: each round ingests one
+    // fresh edge out of the root and times the first point-query batch
+    // served through the repaired chain-machine memos.
+    {
+        let service = QueryService::with_config(dag.program.clone(), config(4, true));
+        service.query_batch(&dag_queries);
+        let mut best = std::time::Duration::MAX;
+        for tick in 0..=runs {
+            service.ingest(&format!("e(l0_0, fresh{tick}).")).unwrap();
+            let start = std::time::Instant::now();
+            let batch = service.query_batch(&dag_queries);
+            let elapsed = start.elapsed();
+            assert!(batch.into_iter().all(|r| r.is_ok()));
+            if tick > 0 {
+                best = best.min(elapsed);
+            }
+        }
+        let report = service.stats_report();
+        assert!(
+            report.delta_repairs >= runs as u64 && report.delta_fallback_cold == 0,
+            "every publish must repair the warm tc plan in place: {report:?}"
+        );
+        summary.add(
+            "dag_batch_after_small_ingest_t4",
+            dag_queries.len() as u64,
+            best,
+        );
+    }
+
     // Sequential flights serving, warm context (batch-vs-sequential).
     let sequential = QueryService::with_config(network.program.clone(), config(1, true));
     let specs: Vec<QuerySpec> = texts
@@ -259,6 +334,12 @@ fn write_service_summary() {
 
     if let Some(speedup) = summary.speedup("flights24_batch_cold_t4", "flights24_batch_warm_t4") {
         eprintln!("flights24 warm-vs-cold batch speedup: {speedup:.2}x");
+    }
+    if let Some(speedup) = summary.speedup(
+        "flights24_batch_cold_t4",
+        "flights24_batch_after_small_ingest_t4",
+    ) {
+        eprintln!("flights24 repaired-after-ingest vs cold batch speedup: {speedup:.2}x");
     }
     if let Some(ratio) = summary.speedup(
         "flights24_sequential_warm_traced",

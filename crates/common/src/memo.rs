@@ -59,6 +59,18 @@ impl<K: Eq + Hash, V> BoundedMemo<K, V> {
         hit
     }
 
+    /// Look up `key` **without** touching the hit/miss counters.  The
+    /// delta-repair path reads entries to patch them; those reads are
+    /// maintenance, not serving traffic, and must not skew the cache's
+    /// observed hit rate.
+    pub fn peek(&self, key: &K) -> Option<Arc<V>> {
+        self.map
+            .read()
+            .expect("memo lock poisoned")
+            .get(key)
+            .cloned()
+    }
+
     /// Whether an insert of `key` would be refused (memo full and the
     /// key absent).  A cheap read-lock probe callers use to skip
     /// preparing values a saturated memo would discard.
@@ -108,6 +120,30 @@ impl<K: Eq + Hash, V> BoundedMemo<K, V> {
             carried += 1;
         }
         carried
+    }
+
+    /// Visit every entry under the read lock.  `f` must not call back
+    /// into the memo (the lock is held for the whole walk).
+    pub fn for_each(&self, mut f: impl FnMut(&K, &Arc<V>)) {
+        for (k, v) in self.map.read().expect("memo lock poisoned").iter() {
+            f(k, v);
+        }
+    }
+
+    /// Drop every entry whose key fails `keep`; returns how many were
+    /// removed.  This is the delta-repair purge primitive: entries a
+    /// publish made stale (and that could not be patched) are removed
+    /// so later lookups miss and re-derive against the new data.
+    pub fn retain(&self, mut keep: impl FnMut(&K) -> bool) -> usize {
+        let mut map = self.map.write().expect("memo lock poisoned");
+        let before = map.len();
+        map.retain(|k, _| keep(k));
+        before - map.len()
+    }
+
+    /// The entry cap this memo was built with.
+    pub fn capacity(&self) -> usize {
+        self.max_entries
     }
 
     /// Number of stored entries.
@@ -199,6 +235,25 @@ mod tests {
         let carried = tiny.carry_from(&old, |_| true);
         assert_eq!(carried, 1);
         assert_eq!(tiny.len(), 1);
+    }
+
+    #[test]
+    fn for_each_and_retain_enumerate_and_purge() {
+        let memo: BoundedMemo<(u32, u32), Vec<u32>> = BoundedMemo::new(8);
+        memo.insert((1, 0), Arc::new(vec![10]));
+        memo.insert((1, 1), Arc::new(vec![11]));
+        memo.insert((2, 0), Arc::new(vec![20]));
+        let mut seen: Vec<(u32, u32)> = Vec::new();
+        memo.for_each(|k, _| seen.push(*k));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(1, 0), (1, 1), (2, 0)]);
+        let removed = memo.retain(|k| k.0 != 1);
+        assert_eq!(removed, 2);
+        assert_eq!(memo.len(), 1);
+        assert!(memo.get(&(2, 0)).is_some());
+        // A purge frees capacity: new keys are accepted again.
+        memo.insert((3, 0), Arc::new(vec![30]));
+        assert!(memo.get(&(3, 0)).is_some());
     }
 
     #[test]

@@ -271,6 +271,19 @@ impl Relation {
         }
     }
 
+    /// Build a relation of the given arity from an iterator of rows
+    /// (duplicates are dropped).  This is the delta-view constructor:
+    /// semi-naive consumers wrap a publish's added tuples as a relation
+    /// so [`crate::DeltaView`] can substitute it for one body-atom
+    /// occurrence.
+    pub fn from_rows<'r>(arity: usize, rows: impl IntoIterator<Item = &'r [Const]>) -> Self {
+        let mut rel = Self::new(arity);
+        for row in rows {
+            rel.insert(row);
+        }
+        rel
+    }
+
     /// The relation's arity.
     pub fn arity(&self) -> usize {
         self.arity

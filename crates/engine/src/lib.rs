@@ -40,5 +40,6 @@ pub use query::{
 };
 pub use source::{EdbSource, TupleSource};
 pub use traversal::{
-    CompiledPlan, EvalContext, EvalContextStats, EvalOptions, EvalOutcome, Evaluator, IterationStat,
+    CompiledPlan, EvalContext, EvalContextStats, EvalOptions, EvalOutcome, Evaluator,
+    IterationStat, RepairOutcome,
 };

@@ -155,6 +155,63 @@ impl EvalContext {
             .carry_from(&prev.memo, |&(plan, machine, _)| keep(plan, machine))
     }
 
+    /// Every memoized `(machine, root constant)` of `plan` whose
+    /// machine is in `machines`, sorted — the work-list of a delta
+    /// repair ([`Evaluator::repair`]).
+    pub fn roots_for(&self, plan: u64, machines: &FxHashSet<u32>) -> Vec<(u32, Const)> {
+        let mut out = Vec::new();
+        self.memo.for_each(|&(p, m, c), _| {
+            if p == plan && machines.contains(&m) {
+                out.push((m, c));
+            }
+        });
+        out.sort_unstable();
+        out
+    }
+
+    /// The memoized answer set for one key, without counting a hit or
+    /// a miss (maintenance reads must not skew serving stats).
+    pub fn peek(&self, plan: u64, machine: u32, from: Const) -> Option<Arc<Vec<Const>>> {
+        self.memo.peek(&(plan, machine, from))
+    }
+
+    /// Merge `additions` into an existing memoized answer set, keeping
+    /// it sorted and deduplicated.  Returns how many answers were
+    /// genuinely new.  A missing entry is left missing: an absent memo
+    /// key re-derives on demand, so there is nothing to repair.
+    ///
+    /// Soundness: the caller vouches that after the additions the entry
+    /// is the **complete** fixpoint answer set over the *new* database
+    /// version — this is the semi-naive repair contract (monotone
+    /// additions only; deletions invalidate wholesale instead).
+    pub fn patch(&self, plan: u64, machine: u32, from: Const, additions: &FxHashSet<Const>) -> u64 {
+        let key = (plan, machine, from);
+        let Some(existing) = self.memo.peek(&key) else {
+            return 0;
+        };
+        let mut merged: Vec<Const> = existing
+            .iter()
+            .copied()
+            .chain(additions.iter().copied())
+            .collect();
+        merged.sort_unstable();
+        merged.dedup();
+        let added = (merged.len() - existing.len()) as u64;
+        if added > 0 {
+            self.memo.insert(key, Arc::new(merged));
+        }
+        added
+    }
+
+    /// Drop every entry of `plan` whose machine is in `machines` — the
+    /// fallback when a repair cannot complete (truncated closure):
+    /// stale entries must not serve, so queries re-derive cold.
+    /// Returns how many entries were purged.
+    pub fn purge(&self, plan: u64, machines: &FxHashSet<u32>) -> usize {
+        self.memo
+            .retain(|&(p, m, _)| p != plan || !machines.contains(&m))
+    }
+
     /// Number of memoized answer sets.
     pub fn entries(&self) -> usize {
         self.memo.len()
@@ -437,6 +494,80 @@ impl CompiledPlan {
     pub fn total_states(&self) -> usize {
         self.machines.iter().map(|m| m.trans.len()).sum()
     }
+
+    /// Machine indices whose traversals can consult any predicate in
+    /// `dirty` — directly through a base-label transition, or
+    /// transitively by splicing an affected child machine.  These are
+    /// exactly the machines whose [`EvalContext`] entries a publish of
+    /// `dirty` makes stale (the engine-side mirror of the serving
+    /// layer's read-set check).
+    pub fn affected_machines(&self, dirty: &FxHashSet<Pred>) -> FxHashSet<u32> {
+        let mut affected: FxHashSet<u32> = FxHashSet::default();
+        for (idx, m) in self.machines.iter().enumerate() {
+            let direct = m.trans.iter().flatten().any(|&(label, _)| match label {
+                Label::Sym(r) | Label::Inv(r) => !self.derived.contains(&r) && dirty.contains(&r),
+                Label::Id => false,
+            });
+            if direct {
+                affected.insert(idx as u32);
+            }
+        }
+        // Propagate through derived-label routing to a fixpoint: a
+        // machine that splices an affected child is itself affected.
+        loop {
+            let mut grew = false;
+            for (idx, m) in self.machines.iter().enumerate() {
+                if affected.contains(&(idx as u32)) {
+                    continue;
+                }
+                let routes = m.trans.iter().flatten().any(|&(label, _)| {
+                    let (r, inverted) = match label {
+                        Label::Sym(r) => (r, false),
+                        Label::Inv(r) => (r, true),
+                        Label::Id => return false,
+                    };
+                    self.derived.contains(&r)
+                        && affected.contains(&self.machine_index[&MachineKey { pred: r, inverted }])
+                });
+                if routes {
+                    affected.insert(idx as u32);
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        affected
+    }
+
+    /// For every machine, the derived-label transitions that splice a
+    /// given child machine: `child machine → [(machine, from state, to
+    /// state)]`.  The repair loop uses this to lift a child machine's
+    /// new `(entry, answer)` pairs into frontier edges of its parents.
+    fn derived_routes(&self) -> FxHashMap<u32, Vec<(u32, u32, u32)>> {
+        let mut routes: FxHashMap<u32, Vec<(u32, u32, u32)>> = FxHashMap::default();
+        for (mi, m) in self.machines.iter().enumerate() {
+            for (s, trans) in m.trans.iter().enumerate() {
+                for &(label, to) in trans {
+                    let (r, inverted) = match label {
+                        Label::Sym(r) => (r, false),
+                        Label::Inv(r) => (r, true),
+                        Label::Id => continue,
+                    };
+                    if !self.derived.contains(&r) {
+                        continue;
+                    }
+                    let child = self.machine_index[&MachineKey { pred: r, inverted }];
+                    routes
+                        .entry(child)
+                        .or_default()
+                        .push((mi as u32, s as u32, to as u32));
+                }
+            }
+        }
+        routes
+    }
 }
 
 /// How an evaluator holds its plan: built for this evaluator, or
@@ -469,6 +600,17 @@ const GRAPH_SHARDS: usize = 64;
 /// so the seed count only has to justify the spawns, not predict the
 /// phase's final shape.
 const PARALLEL_MIN_SEEDS: usize = 32;
+
+/// Safety valve on [`Evaluator::repair`]'s lift rounds.  Each round
+/// peels one level of machine-splice nesting, so real repairs finish in
+/// a handful; tripping the cap means something pathological and the
+/// repair falls back to a purge.
+const MAX_REPAIR_ROUNDS: u32 = 64;
+
+/// Memoized repair-closure results: `(machine, seed state, seed term)` →
+/// complete answer set, or `None` when the traversal's budgets
+/// truncated that closure.
+type ClosureCache = FxHashMap<(u32, u32, Const), Option<Arc<FxHashSet<Const>>>>;
 
 /// The node set `G`, sharded behind mutexes so the traversal workers of
 /// one iteration can share the visit-once discipline: `insert` is
@@ -962,6 +1104,47 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
                 };
             }
         }
+        let start_state = plan.machines[root_machine as usize].start as u32;
+        let (outcome, stopped_early) =
+            self.traverse_from(root_machine, &[(start_state, a)], options, ctx, None);
+        if let Some(ctx) = ctx {
+            // Record only naturally converged, untruncated runs: those
+            // are complete fixpoint answer sets, the only thing the
+            // epoch memo may hold.
+            if outcome.converged && !stopped_early {
+                ctx.record(plan.id, root_machine, a, &outcome.answers);
+            }
+        }
+        if span.active() {
+            span.note("nodes", outcome.graph_nodes);
+            span.note("instances", outcome.instances);
+            span.note("iterations", outcome.counters.iterations);
+            span.note("memo_teleports", outcome.memo_teleports);
+            span.note("answers", outcome.answers.len());
+            span.note("converged", outcome.converged);
+        }
+        outcome
+    }
+
+    /// The main loop of Figures 4–5, generalized over its entry points:
+    /// seed the traversal at arbitrary `(state, term)` nodes of
+    /// `root_machine` instead of only at `(start, a)`.  Point queries
+    /// seed the machine's start state; the delta-repair closures seed
+    /// the states a new tuple's transition touches (backward closures
+    /// run the partner machine).  `banned` machines are excluded from
+    /// memo teleports — during a repair their memo entries are the very
+    /// thing being patched, so routing through them would read stale
+    /// answers.  Returns the outcome plus whether the run stopped early
+    /// on `stop_on_answer`.
+    fn traverse_from(
+        &self,
+        root_machine: u32,
+        seeds: &[(u32, Const)],
+        options: &EvalOptions,
+        ctx: Option<&EvalContext>,
+        banned: Option<&FxHashSet<u32>>,
+    ) -> (EvalOutcome, bool) {
+        let plan = self.plan.get();
         let mut counters = Counters::new();
         let mut iteration_stats = Vec::new();
         let mut memo_teleports = 0u64;
@@ -989,8 +1172,8 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
         let mut answers: FxHashSet<Const> = FxHashSet::default();
 
         // S: starting points of the current iteration.
-        let root_start: Node = (0, plan.machines[root_machine as usize].start as u32, a);
-        let mut starts: Vec<Node> = vec![root_start];
+        let root_start: Node = (0, seeds[0].0, seeds[0].1);
+        let mut starts: Vec<Node> = seeds.iter().map(|&(q, c)| (0, q, c)).collect();
         let mut arcs: Vec<DumpArc> = Vec::new();
         // Arcs from the expansion phase (enter edges), keyed by target
         // start node so they are attributed when the node is seeded.
@@ -1132,16 +1315,23 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
                     // sub-traversal is skipped.  Sound because entries
                     // are complete fixpoint answer sets over the same
                     // database version (see [`EvalContext`]).
+                    // During a repair the affected machines' own memo
+                    // entries are the stale state being patched, so
+                    // teleports through them are banned.
+                    let teleportable = banned.is_none_or(|b| !b.contains(&child_machine));
                     let mut fresh: Vec<Const> = Vec::with_capacity(terms.len());
                     for &u in &terms {
-                        if let Some(ctx) = ctx {
-                            if let Some(sub) = ctx.lookup(plan.id, child_machine, u) {
-                                memo_teleports += 1;
-                                for &v in sub.iter() {
-                                    starts.push((inst, to as u32, v));
-                                }
-                                continue;
+                        let hit = if teleportable {
+                            ctx.and_then(|ctx| ctx.lookup(plan.id, child_machine, u))
+                        } else {
+                            None
+                        };
+                        if let Some(sub) = hit {
+                            memo_teleports += 1;
+                            for &v in sub.iter() {
+                                starts.push((inst, to as u32, v));
                             }
+                            continue;
                         }
                         fresh.push(u);
                     }
@@ -1169,15 +1359,6 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
             }
         }
 
-        // Record only naturally converged, untruncated runs: those are
-        // complete fixpoint answer sets, the only thing the epoch memo
-        // may hold.
-        if let Some(ctx) = ctx {
-            if converged && !stopped_early {
-                ctx.record(plan.id, root_machine, a, &answers);
-            }
-        }
-
         let dump = options.record_graph.then(|| {
             arcs.extend(enter_arcs);
             let Graph::Seq(node_set) = &graph else {
@@ -1196,15 +1377,7 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
                 answer_nodes,
             }
         });
-        if span.active() {
-            span.note("nodes", graph.len());
-            span.note("instances", instances.len());
-            span.note("iterations", counters.iterations);
-            span.note("memo_teleports", memo_teleports);
-            span.note("answers", answers.len());
-            span.note("converged", converged);
-        }
-        EvalOutcome {
+        let outcome = EvalOutcome {
             answers,
             counters,
             converged,
@@ -1213,8 +1386,239 @@ impl<'a, S: TupleSource> Evaluator<'a, S> {
             memo_teleports,
             iteration_stats,
             graph: dump,
-        }
+        };
+        (outcome, stopped_early)
     }
+
+    /// Semi-naive delta repair: given the per-predicate tuple pairs a
+    /// publish **added** and this evaluator's [`EvalContext`], extend
+    /// every affected memo entry's answer set in place instead of
+    /// discarding it.  The source this evaluator wraps must already
+    /// read the **new** database version.
+    ///
+    /// New tuples only ever add derivation paths (ingests are monotone:
+    /// no deletions, no rule changes), so each converged answer set is
+    /// repaired by closing over the new paths:
+    ///
+    /// 1. every delta tuple lights up the base-label transitions that
+    ///    read its predicate, giving *frontier edges* `(s, u) → (t, v)`
+    ///    inside each affected machine;
+    /// 2. a backward closure in the partner (inverse) machine finds the
+    ///    entry terms `α` that reach the edge, and a forward closure
+    ///    from its head finds the finish terms `w` it now proves — both
+    ///    run the full generalized traversal over the new database, so
+    ///    spliced sub-machines see the delta too;
+    /// 3. each genuinely new pair `(α, w)` of a machine is lifted onto
+    ///    the derived-label transitions that splice that machine,
+    ///    becoming the next round's frontier — rounds peel one level of
+    ///    recursion nesting and stop when nothing new appears.
+    ///
+    /// Memo teleports through affected machines are banned while the
+    /// closures run (their entries are the stale state being patched).
+    /// If any closure fails to converge within `options`' budgets, or
+    /// the round cap trips, the affected entries are purged instead and
+    /// `repaired: false` tells the caller to fall back cold.
+    pub fn repair(
+        &self,
+        delta: &FxHashMap<Pred, Vec<(Const, Const)>>,
+        options: &EvalOptions,
+    ) -> RepairOutcome {
+        let Some(ctx) = self.ctx else {
+            return RepairOutcome {
+                repaired: true,
+                ..RepairOutcome::default()
+            };
+        };
+        let plan = self.plan.get();
+        let dirty: FxHashSet<Pred> = delta.keys().copied().collect();
+        let affected = plan.affected_machines(&dirty);
+        let roots = ctx.roots_for(plan.id, &affected);
+        if affected.is_empty() || roots.is_empty() {
+            return RepairOutcome {
+                repaired: true,
+                ..RepairOutcome::default()
+            };
+        }
+        let span = rq_common::obs::span("engine.repair");
+        // Snapshot the pre-repair entries: a pair already present was
+        // propagated by the old fixpoint (parents reflect all its
+        // consequences), so it neither re-frontiers nor needs patching.
+        let mut old_entries: FxHashMap<(u32, Const), Arc<Vec<Const>>> = FxHashMap::default();
+        for &(m, c) in &roots {
+            if let Some(entry) = ctx.peek(plan.id, m, c) {
+                old_entries.insert((m, c), entry);
+            }
+        }
+        let closure_options = EvalOptions {
+            stop_on_answer: None,
+            record_iterations: false,
+            record_graph: false,
+            ..options.clone()
+        };
+        let routes = plan.derived_routes();
+
+        // (machine, entry term) → new finish terms accumulated so far.
+        let mut additions: FxHashMap<(u32, Const), FxHashSet<Const>> = FxHashMap::default();
+        // Frontier edges (machine, tail state, head state, tail term,
+        // head term).  Round 1: the delta tuples themselves, oriented
+        // by the transition label that reads them.
+        let mut frontier: Vec<(u32, u32, u32, Const, Const)> = Vec::new();
+        for (mi, m) in plan.machines.iter().enumerate() {
+            for (s, trans) in m.trans.iter().enumerate() {
+                for &(label, t) in trans {
+                    let (r, inverted) = match label {
+                        Label::Sym(r) => (r, false),
+                        Label::Inv(r) => (r, true),
+                        Label::Id => continue,
+                    };
+                    if plan.derived.contains(&r) {
+                        continue;
+                    }
+                    let Some(pairs) = delta.get(&r) else { continue };
+                    for &(u, v) in pairs {
+                        let (tail, head) = if inverted { (v, u) } else { (u, v) };
+                        frontier.push((mi as u32, s as u32, t as u32, tail, head));
+                    }
+                }
+            }
+        }
+
+        // Closure answer sets are shared across frontier edges with the
+        // same (machine, state, term) seed; `None` marks a closure the
+        // budgets truncated.
+        let mut closures = ClosureCache::default();
+        let mut failed = false;
+        let mut rounds = 0u32;
+        'rounds: while !frontier.is_empty() {
+            rounds += 1;
+            if rounds > MAX_REPAIR_ROUNDS {
+                failed = true;
+                break;
+            }
+            let mut new_pairs: Vec<(u32, Const, Const)> = Vec::new();
+            for (mi, s, t, tail, head) in std::mem::take(&mut frontier) {
+                // Entry terms that reach the edge's tail: forward
+                // closure in the partner machine (invert_nfa preserves
+                // state indices and collects at its finish = our start).
+                let Some(entries) = self.repair_closure(
+                    &mut closures,
+                    mi ^ 1,
+                    s,
+                    tail,
+                    &closure_options,
+                    ctx,
+                    &affected,
+                ) else {
+                    failed = true;
+                    break 'rounds;
+                };
+                if entries.is_empty() {
+                    continue;
+                }
+                let Some(finishes) = self.repair_closure(
+                    &mut closures,
+                    mi,
+                    t,
+                    head,
+                    &closure_options,
+                    ctx,
+                    &affected,
+                ) else {
+                    failed = true;
+                    break 'rounds;
+                };
+                for &alpha in entries.iter() {
+                    for &w in finishes.iter() {
+                        let known = old_entries
+                            .get(&(mi, alpha))
+                            .is_some_and(|e| e.binary_search(&w).is_ok());
+                        if known {
+                            continue;
+                        }
+                        if additions.entry((mi, alpha)).or_default().insert(w) {
+                            new_pairs.push((mi, alpha, w));
+                        }
+                    }
+                }
+            }
+            // Lift: a new pair of machine `mc` becomes a frontier edge
+            // on every derived transition that splices `mc`.
+            for (mc, alpha, w) in new_pairs {
+                if let Some(rs) = routes.get(&mc) {
+                    for &(mi, s, t) in rs {
+                        frontier.push((mi, s, t, alpha, w));
+                    }
+                }
+            }
+        }
+
+        if failed {
+            let purged = ctx.purge(plan.id, &affected) as u64;
+            span.note("fallback", true);
+            span.note("purged", purged);
+            return RepairOutcome {
+                purged_entries: purged,
+                ..RepairOutcome::default()
+            };
+        }
+        let mut out = RepairOutcome {
+            repaired: true,
+            ..RepairOutcome::default()
+        };
+        for ((machine, from), to) in additions {
+            let added = ctx.patch(plan.id, machine, from, &to);
+            if added > 0 {
+                out.patched_entries += 1;
+                out.added_rows += added;
+            }
+        }
+        if span.active() {
+            span.note("rounds", rounds);
+            span.note("patched", out.patched_entries);
+            span.note("rows", out.added_rows);
+        }
+        out
+    }
+
+    /// One repair closure: the complete answer set of `machine` seeded
+    /// at `(state, term)`, memoized across frontier edges.  Returns
+    /// `None` when the traversal's budgets truncated it (partial sets
+    /// must never be patched into the memo).
+    #[allow(clippy::too_many_arguments)]
+    fn repair_closure(
+        &self,
+        cache: &mut ClosureCache,
+        machine: u32,
+        state: u32,
+        term: Const,
+        options: &EvalOptions,
+        ctx: &EvalContext,
+        banned: &FxHashSet<u32>,
+    ) -> Option<Arc<FxHashSet<Const>>> {
+        if let Some(hit) = cache.get(&(machine, state, term)) {
+            return hit.clone();
+        }
+        let (outcome, _) =
+            self.traverse_from(machine, &[(state, term)], options, Some(ctx), Some(banned));
+        let result = outcome.converged.then(|| Arc::new(outcome.answers));
+        cache.insert((machine, state, term), result.clone());
+        result
+    }
+}
+
+/// What [`Evaluator::repair`] did to the epoch memo.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RepairOutcome {
+    /// Memo entries whose answer sets grew.
+    pub patched_entries: u64,
+    /// Total answers added across patched entries.
+    pub added_rows: u64,
+    /// Entries purged because the repair fell back (0 on success).
+    pub purged_entries: u64,
+    /// Whether the memo is again complete for the new database version.
+    /// `false` means the affected entries were purged instead and the
+    /// caller should treat the plan as cold.
+    pub repaired: bool,
 }
 
 #[cfg(test)]
@@ -1580,5 +1984,233 @@ mod tests {
         assert!(answers.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(*answers.last().unwrap() as usize, out.answers.len());
         assert_eq!(names(&program, &out.answers), vec!["b0", "c1", "c2", "c3"]);
+    }
+
+    /// Shared fixture for the repair tests: compile one plan for `src`,
+    /// warm-evaluate `queries` against `src`'s facts recording into a
+    /// context, then hand back everything needed to repair against the
+    /// extended database `src + delta_facts`.
+    fn repair_fixture(
+        src: &str,
+        delta_facts: &str,
+    ) -> (rq_datalog::Program, Database, Database, rq_relalg::EqSystem) {
+        let program = parse_program(src).unwrap();
+        let db_old = Database::from_program(&program);
+        let extended = parse_program(&format!("{src}\n{delta_facts}")).unwrap();
+        // Appending facts that reuse existing constants keeps pred and
+        // const ids identical across the two programs.
+        assert_eq!(program.preds.len(), extended.preds.len());
+        assert_eq!(program.consts.len(), extended.consts.len());
+        let db_new = Database::from_program(&extended);
+        let sys = lemma1(&program, &Lemma1Options::default()).unwrap().system;
+        (program, db_old, db_new, sys)
+    }
+
+    #[test]
+    fn repair_extends_a_chain_memo_to_match_cold_reevaluation() {
+        let (program, db_old, db_new, sys) = repair_fixture(
+            "tc(X,Y) :- e(X,Y).\n\
+             tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+             e(a,b). e(b,c). e(d,f).",
+            "e(c,d).",
+        );
+        let plan = CompiledPlan::compile(&sys);
+        let ctx = EvalContext::new();
+        let tc = program.pred_by_name("tc").unwrap();
+        let e = program.pred_by_name("e").unwrap();
+        let get = |n: &str| {
+            program
+                .consts
+                .get(&rq_common::ConstValue::Str(n.into()))
+                .unwrap()
+        };
+        let (a, c, d) = (get("a"), get("c"), get("d"));
+        let opts = EvalOptions::default();
+
+        let old_source = EdbSource::new(&db_old);
+        let warm = Evaluator::with_plan(&sys, &plan, &old_source).with_context(&ctx);
+        let before = warm.evaluate(tc, a, &opts);
+        assert_eq!(names(&program, &before.answers), vec!["b", "c"]);
+        assert!(warm.evaluate_inverse(tc, d, &opts).converged);
+
+        // The publish adds e(c,d): a is now connected to d and f.
+        let mut delta: FxHashMap<Pred, Vec<(Const, Const)>> = FxHashMap::default();
+        delta.insert(e, vec![(c, d)]);
+        let new_source = EdbSource::new(&db_new);
+        let repaired = Evaluator::with_plan(&sys, &plan, &new_source)
+            .with_context(&ctx)
+            .repair(&delta, &opts);
+        assert!(repaired.repaired);
+        assert!(repaired.patched_entries >= 2, "forward and inverse roots");
+        assert!(repaired.added_rows >= 2);
+
+        // The repaired entries answer straight from the memo and match
+        // a cold evaluation over the new database exactly.
+        let post = Evaluator::with_plan(&sys, &plan, &new_source)
+            .with_context(&ctx)
+            .evaluate(tc, a, &opts);
+        assert_eq!(post.memo_teleports, 1, "root memo hit");
+        assert_eq!(post.graph_nodes, 0);
+        let cold = Evaluator::with_plan(&sys, &plan, &new_source).evaluate(tc, a, &opts);
+        assert_eq!(
+            names(&program, &post.answers),
+            names(&program, &cold.answers)
+        );
+        assert_eq!(names(&program, &post.answers), vec!["b", "c", "d", "f"]);
+        let post_inv = Evaluator::with_plan(&sys, &plan, &new_source)
+            .with_context(&ctx)
+            .evaluate_inverse(tc, d, &opts);
+        let cold_inv =
+            Evaluator::with_plan(&sys, &plan, &new_source).evaluate_inverse(tc, d, &opts);
+        assert_eq!(
+            names(&program, &post_inv.answers),
+            names(&program, &cold_inv.answers)
+        );
+    }
+
+    /// Naughton's nonregular mutual recursion: q2 = r2 ∪ a·q2·r1.  The
+    /// machines splice each other, so repairing the memoized `q1(s, Y)`
+    /// entry after an `a` delta needs the full pipeline: closures that
+    /// cross derived transitions (splicing sub-machines against the new
+    /// database) and several lift rounds to carry new `q2` pairs up
+    /// into `q1`'s entry.
+    const NAUGHTON_SRC: &str = "q1(X,Z) :- a(X,Y), q2(Y,Z).\n\
+        q2(X,Y) :- r2(X,Y).\n\
+        q2(X,Z) :- q1(X,Y), r1(Y,Z).\n\
+        a(s,t). a(t,u).\n\
+        r2(u,v). r1(v,w). r1(w,x0).\n\
+        r2(u2,v2). r1(v2,w2). r1(w2,x2).";
+
+    #[test]
+    fn repair_lifts_delta_pairs_through_spliced_machines() {
+        // The delta edge a(u,u2) connects the reachable region to the
+        // dormant u2 branch: q1(s, Y) gains x2 only through derivations
+        // nested several splices deep.
+        let (program, db_old, db_new, sys) = repair_fixture(NAUGHTON_SRC, "a(u,u2).");
+        let plan = CompiledPlan::compile(&sys);
+        let ctx = EvalContext::new();
+        let q1 = program.pred_by_name("q1").unwrap();
+        let a_pred = program.pred_by_name("a").unwrap();
+        let get = |n: &str| {
+            program
+                .consts
+                .get(&rq_common::ConstValue::Str(n.into()))
+                .unwrap()
+        };
+        let (s, u, u2) = (get("s"), get("u"), get("u2"));
+        let opts = EvalOptions::default();
+
+        let old_source = EdbSource::new(&db_old);
+        let before = Evaluator::with_plan(&sys, &plan, &old_source)
+            .with_context(&ctx)
+            .evaluate(q1, s, &opts);
+        assert!(before.converged);
+
+        let mut delta: FxHashMap<Pred, Vec<(Const, Const)>> = FxHashMap::default();
+        delta.insert(a_pred, vec![(u, u2)]);
+        let new_source = EdbSource::new(&db_new);
+        let repaired = Evaluator::with_plan(&sys, &plan, &new_source)
+            .with_context(&ctx)
+            .repair(&delta, &opts);
+        assert!(repaired.repaired);
+        assert!(repaired.added_rows >= 1);
+
+        let post = Evaluator::with_plan(&sys, &plan, &new_source)
+            .with_context(&ctx)
+            .evaluate(q1, s, &opts);
+        assert_eq!(post.memo_teleports, 1, "root memo hit");
+        assert_eq!(post.graph_nodes, 0);
+        let cold = Evaluator::with_plan(&sys, &plan, &new_source).evaluate(q1, s, &opts);
+        assert_eq!(
+            names(&program, &post.answers),
+            names(&program, &cold.answers)
+        );
+        assert!(
+            post.answers.len() > before.answers.len(),
+            "the delta must actually extend the answer set"
+        );
+    }
+
+    #[test]
+    fn truncated_repair_purges_instead_of_patching() {
+        let (program, db_old, db_new, sys) = repair_fixture(NAUGHTON_SRC, "a(u,u2).");
+        let plan = CompiledPlan::compile(&sys);
+        let ctx = EvalContext::new();
+        let q1 = program.pred_by_name("q1").unwrap();
+        let a_pred = program.pred_by_name("a").unwrap();
+        let get = |n: &str| {
+            program
+                .consts
+                .get(&rq_common::ConstValue::Str(n.into()))
+                .unwrap()
+        };
+        let (s, u, u2) = (get("s"), get("u"), get("u2"));
+
+        let old_source = EdbSource::new(&db_old);
+        Evaluator::with_plan(&sys, &plan, &old_source)
+            .with_context(&ctx)
+            .evaluate(q1, s, &EvalOptions::default());
+        assert_eq!(ctx.stats().entries, 1);
+
+        // One iteration is not enough for closures that must splice a
+        // sub-machine, so the repair cannot complete — the stale entry
+        // must be purged, never half-patched.
+        let mut delta: FxHashMap<Pred, Vec<(Const, Const)>> = FxHashMap::default();
+        delta.insert(a_pred, vec![(u, u2)]);
+        let new_source = EdbSource::new(&db_new);
+        let repaired = Evaluator::with_plan(&sys, &plan, &new_source)
+            .with_context(&ctx)
+            .repair(
+                &delta,
+                &EvalOptions {
+                    max_iterations: Some(1),
+                    ..EvalOptions::default()
+                },
+            );
+        assert!(!repaired.repaired);
+        assert_eq!(repaired.purged_entries, 1);
+        assert_eq!(repaired.patched_entries, 0);
+        assert_eq!(ctx.stats().entries, 0);
+    }
+
+    #[test]
+    fn repair_without_affected_entries_is_a_no_op() {
+        let (program, db_old, _db_new, sys) = repair_fixture(
+            "tc(X,Y) :- e(X,Y).\n\
+             tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+             e(a,b). g(b,c).",
+            "g(a,c).",
+        );
+        let plan = CompiledPlan::compile(&sys);
+        let ctx = EvalContext::new();
+        let tc = program.pred_by_name("tc").unwrap();
+        let g = program.pred_by_name("g").unwrap();
+        let a = program
+            .consts
+            .get(&rq_common::ConstValue::Str("a".into()))
+            .unwrap();
+        let c = program
+            .consts
+            .get(&rq_common::ConstValue::Str("c".into()))
+            .unwrap();
+        let opts = EvalOptions::default();
+        let old_source = EdbSource::new(&db_old);
+        let ev = Evaluator::with_plan(&sys, &plan, &old_source).with_context(&ctx);
+        ev.evaluate(tc, a, &opts);
+
+        // g is not read by tc's machines: nothing is affected, nothing
+        // is touched.
+        let mut delta: FxHashMap<Pred, Vec<(Const, Const)>> = FxHashMap::default();
+        delta.insert(g, vec![(a, c)]);
+        let repaired = ev.repair(&delta, &opts);
+        assert!(repaired.repaired);
+        assert_eq!(
+            repaired,
+            RepairOutcome {
+                repaired: true,
+                ..RepairOutcome::default()
+            }
+        );
+        assert_eq!(ctx.stats().entries, 1);
     }
 }

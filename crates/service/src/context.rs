@@ -195,6 +195,58 @@ impl EpochContext {
         )
     }
 
+    /// The shared [`ProbeSpace`] for one §4 plan **if it already
+    /// exists**, without creating one.  The delta-repair path forks the
+    /// *previous* epoch's space; a `None` here means there is nothing
+    /// to repair.
+    pub fn peek_probe_space(&self, pred: Pred, adornment: Adornment) -> Option<Arc<ProbeSpace>> {
+        self.probes
+            .read()
+            .expect("probe space map poisoned")
+            .get(&(pred, adornment))
+            .cloned()
+    }
+
+    /// Install a repaired probe space for one §4 plan, vacant-only:
+    /// returns `false` (discarding `space`) when a racing query already
+    /// created a fresh space for the key — the racer's interner may
+    /// anchor new memo entries, so last-write-wins would corrupt them.
+    /// A successful adopt counts toward
+    /// [`EpochContextStats::probe_spaces_carried`] (the space *did*
+    /// travel from the previous epoch, repaired en route).
+    pub fn adopt_probe_space(
+        &self,
+        pred: Pred,
+        adornment: Adornment,
+        space: Arc<ProbeSpace>,
+    ) -> bool {
+        let mut map = self.probes.write().expect("probe space map poisoned");
+        match map.entry((pred, adornment)) {
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(space);
+                drop(map);
+                self.probe_spaces_carried.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            std::collections::hash_map::Entry::Occupied(_) => false,
+        }
+    }
+
+    /// Copy every machine-memo entry of plan `plan` from `src` (the
+    /// delta-repair scratch context) into this epoch's memo, counting
+    /// the copies toward [`EpochContextStats::eval_carried`].  Returns
+    /// how many entries were adopted.
+    ///
+    /// Repair runs against a detached scratch so racing queries on the
+    /// already-published snapshot never observe a half-patched memo;
+    /// entries land here only once they are complete on the new
+    /// database.
+    pub fn adopt_eval_entries(&self, src: &EvalContext, plan: u64) -> u64 {
+        let adopted = self.eval.carry_from(src, |p, _| p == plan) as u64;
+        self.eval_carried.fetch_add(adopted, Ordering::Relaxed);
+        adopted
+    }
+
     /// Record one all-free query served through the shared-SCC path.
     pub fn note_scc_served(&self) {
         self.scc_served.fetch_add(1, Ordering::Relaxed);

@@ -62,8 +62,8 @@ pub mod stats;
 
 pub use context::{EpochContext, EpochContextStats};
 pub use plan::{rules_fingerprint, CacheStats, PlanCache, PlanKey};
-pub use results::{CachedResult, ResultCache, ResultKey};
+pub use results::{CachedResult, ResultCache, ResultKey, SweepDecision};
 pub use service::{parse_serve_query, QueryService, ServiceAnswer, ServiceConfig, ServiceError};
-pub use snapshot::{IngestError, Snapshot, SnapshotStore};
+pub use snapshot::{Delta, Durability, IngestError, Snapshot, SnapshotStore};
 pub use spec::{Adornment, Arg, QuerySpec};
 pub use stats::StatsReport;

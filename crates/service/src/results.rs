@@ -33,6 +33,24 @@ use rq_common::{Const, FxHashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
+/// What an epoch sweep does with one surviving-candidate entry — the
+/// three-way policy behind delta-driven maintenance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SweepDecision {
+    /// The entry's plan read nothing the publish dirtied: re-key it to
+    /// the new epoch unchanged.
+    Carry,
+    /// The entry's plan was dirtied, but its memos were repaired in
+    /// place: remove the entry (uncharging its bytes) and hand its spec
+    /// back to the caller, which re-derives the rows from the repaired
+    /// memos and re-inserts them with an honest fresh byte charge.
+    /// **Not** counted as an eviction — the entry stays logically alive.
+    Repair,
+    /// The entry is stale beyond repair: remove it and count the
+    /// eviction.
+    Drop,
+}
+
 /// Cache key: one memoized query on one database version.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct ResultKey {
@@ -240,55 +258,103 @@ impl ResultCache {
     /// so a straggler invoking this with a superseded epoch can never
     /// evict entries of a newer one.
     pub fn carry_forward(&self, new_epoch: u64, mut survives: impl FnMut(&ResultKey) -> bool) {
+        let _ = self.sweep(new_epoch, |k| {
+            if survives(k) {
+                SweepDecision::Carry
+            } else {
+                SweepDecision::Drop
+            }
+        });
+    }
+
+    /// Three-way epoch-bump garbage collection — the generalization of
+    /// [`ResultCache::carry_forward`] behind delta-driven maintenance.
+    /// Entries of epoch `new_epoch - 1` are judged one at a time:
+    ///
+    /// * [`SweepDecision::Carry`] re-keys the entry to `new_epoch`;
+    /// * [`SweepDecision::Repair`] removes the entry (uncharging its
+    ///   bytes, **not** counting an eviction) and returns its spec so
+    ///   the caller can re-derive the rows from repaired memos and
+    ///   re-insert them — the re-insert charges the fresh rows'
+    ///   honest byte footprint;
+    /// * [`SweepDecision::Drop`] removes the entry and counts the
+    ///   eviction.
+    ///
+    /// Entries more than one epoch behind are always dropped; entries
+    /// at `new_epoch` or later are kept untouched, so a straggler
+    /// invoking this with a superseded epoch can never evict entries of
+    /// a newer one.
+    pub fn sweep(
+        &self,
+        new_epoch: u64,
+        mut judge: impl FnMut(&ResultKey) -> SweepDecision,
+    ) -> Vec<QuerySpec> {
         // Phase 1 (read lock): list the stale keys and judge survival.
-        // The predicate walks plan read-sets against the new
-        // snapshot's dirty shards — real work that must not run under
-        // the write lock, or every concurrent query would stall behind
-        // the publish.
-        let judged: Vec<(ResultKey, bool)> = {
+        // The judge walks plan read-sets against the new snapshot's
+        // dirty shards — real work that must not run under the write
+        // lock, or every concurrent query would stall behind the
+        // publish.
+        let judged: Vec<(ResultKey, SweepDecision)> = {
             let inner = self.inner.read().expect("result cache lock poisoned");
             inner
                 .map
                 .keys()
                 .filter(|k| k.epoch < new_epoch)
-                .map(|k| (k.clone(), k.epoch + 1 == new_epoch && survives(k)))
+                .map(|k| {
+                    let decision = if k.epoch + 1 == new_epoch {
+                        judge(k)
+                    } else {
+                        SweepDecision::Drop
+                    };
+                    (k.clone(), decision)
+                })
                 .collect()
         };
         if judged.is_empty() {
-            return;
+            return Vec::new();
         }
         // Phase 2 (write lock): apply the decisions — removes and
-        // re-keys only, no predicate calls.  A key evicted between
-        // the phases is skipped; a stale key inserted between them is
-        // caught by the next carry-forward (the same window exists for
-        // inserts racing the old single-lock version).
+        // re-keys only, no judge calls.  A key evicted between the
+        // phases is skipped; a stale key inserted between them is
+        // caught by the next sweep (the same window exists for inserts
+        // racing the old single-lock version).
         let mut inner = self.inner.write().expect("result cache lock poisoned");
         let mut evicted = 0u64;
-        for (key, keep) in judged {
+        let mut repair = Vec::new();
+        for (key, decision) in judged {
             let Some(entry) = inner.map.remove(&key) else {
                 continue;
             };
-            if keep {
-                let displaced = inner.map.insert(
-                    ResultKey {
-                        epoch: new_epoch,
-                        spec: key.spec,
-                    },
-                    entry,
-                );
-                if let Some(d) = displaced {
-                    // A concurrent query already recomputed this spec
-                    // on the new epoch; uncharge the copy we replaced.
-                    inner.bytes = inner.bytes.saturating_sub(d.bytes);
+            match decision {
+                SweepDecision::Carry => {
+                    let displaced = inner.map.insert(
+                        ResultKey {
+                            epoch: new_epoch,
+                            spec: key.spec,
+                        },
+                        entry,
+                    );
+                    if let Some(d) = displaced {
+                        // A concurrent query already recomputed this
+                        // spec on the new epoch; uncharge the copy we
+                        // replaced.
+                        inner.bytes = inner.bytes.saturating_sub(d.bytes);
+                        evicted += 1;
+                    }
+                }
+                SweepDecision::Repair => {
+                    inner.bytes = inner.bytes.saturating_sub(entry.bytes);
+                    repair.push(key.spec);
+                }
+                SweepDecision::Drop => {
+                    inner.bytes = inner.bytes.saturating_sub(entry.bytes);
                     evicted += 1;
                 }
-            } else {
-                inner.bytes = inner.bytes.saturating_sub(entry.bytes);
-                evicted += 1;
             }
         }
         drop(inner);
         self.evictions.add(evicted);
+        repair
     }
 
     /// Drop every entry from epochs before `current`, with no survivors
@@ -547,6 +613,45 @@ mod tests {
         assert_eq!(cache.len(), 3, "both epoch-0 entries re-keyed");
         assert!(cache.get(&key(1, 1)).is_some());
         assert!(cache.get(&key(1, 2)).is_some());
+    }
+
+    #[test]
+    fn sweep_repair_uncharges_without_counting_an_eviction() {
+        let cache = ResultCache::new();
+        cache.insert(key(0, 1), value(&[1])); // → Carry
+        cache.insert(key(0, 2), value(&[2])); // → Repair
+        cache.insert(key(0, 3), value(&[3])); // → Drop
+        let bytes_before = cache.bytes();
+        let to_repair = cache.sweep(1, |k| match k.spec.bound_values()[0] {
+            Const(1) => SweepDecision::Carry,
+            Const(2) => SweepDecision::Repair,
+            _ => SweepDecision::Drop,
+        });
+        // The repaired spec comes back for re-derivation; only the
+        // dropped entry counts as an eviction.
+        assert_eq!(to_repair, vec![key(0, 2).spec]);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.len(), 1, "carried entry re-keyed, others removed");
+        assert!(cache.get(&key(1, 1)).is_some());
+        assert!(cache.get(&key(1, 2)).is_none(), "repair removed the rows");
+        // Both removed entries' bytes were uncharged.
+        let one_entry = approx_bytes(&key(0, 1), &value(&[1]).rows);
+        assert_eq!(cache.bytes(), bytes_before - 2 * one_entry);
+        // The caller re-inserts the re-derived rows with a fresh,
+        // honest byte charge (possibly different from the old one).
+        cache.insert(key(1, 2), value(&[2, 9]));
+        assert!(cache.bytes() > bytes_before - 2 * one_entry);
+        assert!(cache.get(&key(1, 2)).is_some());
+    }
+
+    #[test]
+    fn sweep_always_drops_entries_more_than_one_epoch_behind() {
+        let cache = ResultCache::new();
+        cache.insert(key(0, 1), value(&[1]));
+        let repair = cache.sweep(2, |_| SweepDecision::Repair);
+        assert!(repair.is_empty(), "too-old entries are dropped, not judged");
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().evictions, 1);
     }
 
     #[test]

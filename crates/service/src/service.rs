@@ -2,16 +2,17 @@
 //! parallel, deduplicating batch front end, all keyed on the
 //! generalized [`QuerySpec`].
 
-use crate::plan::{PlanCache, ProgramPlan};
-use crate::results::{CachedResult, ResultCache, ResultKey};
+use crate::plan::{PlanCache, PlanKey, ProgramPlan};
+use crate::results::{CachedResult, ResultCache, ResultKey, SweepDecision};
 use crate::snapshot::{IngestError, Snapshot, SnapshotStore};
 use crate::spec::{Adornment, Arg, QuerySpec};
+use rq_adorn::{NaryPlan, VirtualSource};
 use rq_common::obs::{self, Counter, Histogram};
-use rq_common::{Const, ConstValue, Counters, FxHashMap, Pred, Registry};
-use rq_datalog::Program;
+use rq_common::{Const, ConstValue, Counters, FxHashMap, FxHashSet, Pred, Registry};
+use rq_datalog::{Program, Relation};
 use rq_engine::{
     all_pairs_min_side, candidate_sources, cyclic_iteration_bound, inverse_cyclic_iteration_bound,
-    EdbSource, EvalOptions, Evaluator,
+    EdbSource, EvalContext, EvalOptions, Evaluator,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
@@ -63,6 +64,13 @@ pub struct ServiceConfig {
     /// one huge all-pairs answer is charged what it costs, not one
     /// slot.
     pub result_cache_bytes: Option<u64>,
+    /// Repair warm epoch state in place at publish time (semi-naive
+    /// delta propagation): dirty plans whose memos can be extended by
+    /// the ingest delta keep their machine memos, §4 probe spaces and
+    /// result-cache rows instead of being dropped and re-derived cold.
+    /// Requires `share_epoch_context`; falling back to the cold path is
+    /// always honest (counted by `rq_delta_fallback_cold_total`).
+    pub delta_repair: bool,
 }
 
 impl Default for ServiceConfig {
@@ -82,6 +90,7 @@ impl Default for ServiceConfig {
             memoize_results: true,
             result_cache_capacity: Some(1 << 16),
             result_cache_bytes: Some(256 << 20),
+            delta_repair: true,
         }
     }
 }
@@ -245,6 +254,13 @@ struct ServiceCounters {
     csr_probes: Counter,
     /// Index probes that walked (or built) a hash-trie index.
     trie_probes: Counter,
+    /// Dirty plans whose warm memos were repaired in place at publish.
+    delta_repairs: Counter,
+    /// Memo/probe rows added by in-place delta repair.
+    delta_repaired_rows: Counter,
+    /// Dirty plans that fell back to cold re-derivation because the
+    /// delta could not be propagated through their memos.
+    delta_fallback_cold: Counter,
 }
 
 impl ServiceCounters {
@@ -317,8 +333,33 @@ impl ServiceCounters {
                 "rq_trie_probes_total",
                 "Index probes that walked (or built) a hash-trie index.",
             ),
+            delta_repairs: registry.counter(
+                "rq_delta_repairs_total",
+                "Dirty plans whose warm memos were repaired in place at publish.",
+            ),
+            delta_repaired_rows: registry.counter(
+                "rq_delta_repaired_rows_total",
+                "Memo and probe rows added by in-place delta repair.",
+            ),
+            delta_fallback_cold: registry.counter(
+                "rq_delta_fallback_cold_total",
+                "Dirty plans that fell back to cold re-derivation at publish.",
+            ),
         }
     }
+}
+
+/// What one publish's delta repair managed to patch in place (the
+/// carry passes skip these plans; the result sweep re-derives their
+/// entries warm instead of dropping them).
+#[derive(Debug, Default)]
+struct DeltaRepairOutcome {
+    /// The §3 chain plan's memos were repaired: every entry of the plan
+    /// now lives, complete on the new database, in the new snapshot's
+    /// context.
+    chain_repaired: bool,
+    /// §4 plans whose probe space + machine memos were repaired.
+    nary_repaired: FxHashSet<(Pred, Adornment)>,
 }
 
 impl QueryService {
@@ -398,6 +439,9 @@ impl QueryService {
                 as u64,
             csr_probes: self.counters.csr_probes.value(),
             trie_probes: self.counters.trie_probes.value(),
+            delta_repairs: self.counters.delta_repairs.value(),
+            delta_repaired_rows: self.counters.delta_repaired_rows.value(),
+            delta_fallback_cold: self.counters.delta_fallback_cold.value(),
         }
     }
 
@@ -449,35 +493,108 @@ impl QueryService {
             span.note("epoch", snap.epoch());
             span.note("dirty_preds", snap.dirty_preds().len());
         }
-        let dirty = snap.dirty_preds();
-        let fingerprint = snap.rules_fingerprint();
-        let chain = self.plans.peek_program(fingerprint);
-        // One read-set walk per distinct (pred, adornment) in the
-        // cache, not per entry.
-        let mut survives_memo: FxHashMap<(Pred, Adornment), bool> = FxHashMap::default();
-        {
-            let _carry = obs::span("ingest.carry_results");
-            self.results.carry_forward(snap.epoch(), |key| {
-                let pred = key.spec.pred;
-                let adornment = key.spec.adornment();
-                *survives_memo.entry((pred, adornment)).or_insert_with(|| {
-                    if let Some(plan) = chain.as_ref().filter(|p| p.system.rhs.contains_key(&pred))
-                    {
-                        return plan.read_set(pred).is_disjoint(dirty);
-                    }
-                    self.plans
-                        .peek_nary(fingerprint, pred, adornment)
-                        .is_some_and(|p| p.read_set(snap.program()).is_disjoint(dirty))
-                })
-            });
-        }
+        // Semi-naive in-place repair of warm plan state, before the
+        // carry passes so they can keep what it patched alive.
+        let repaired = {
+            let _repair = obs::span("ingest.delta_repair");
+            self.delta_repair(&prev, &snap)
+        };
         if self.config.share_epoch_context {
             let _carry = obs::span("ingest.carry_context");
-            self.carry_context(&prev, &snap);
+            self.carry_context(&prev, &snap, &repaired);
+        }
+        let to_rederive = {
+            let _carry = obs::span("ingest.carry_results");
+            self.sweep_results(&prev, &snap, &repaired)
+        };
+        // Re-derive repaired entries from the patched memos (warm:
+        // teleports, not traversals).  Not counted as served queries.
+        for spec in &to_rederive {
+            self.rederive(&snap, spec);
         }
         self.counters.ingests.inc();
         self.note_publish(&snap);
         Ok(snap)
+    }
+
+    /// Three-way result-cache sweep for one publish: `Carry` entries
+    /// whose read-sets the publish cannot have touched, schedule
+    /// re-derivation (`Repair`) for entries whose plan state was
+    /// repaired in place, and `Drop` the rest.  Returns the specs to
+    /// re-derive.
+    fn sweep_results(
+        &self,
+        prev: &Snapshot,
+        snap: &Snapshot,
+        repaired: &DeltaRepairOutcome,
+    ) -> Vec<QuerySpec> {
+        let dirty = snap.dirty_preds();
+        let fingerprint = snap.rules_fingerprint();
+        let chain = self.plans.peek_program(fingerprint);
+        // Durability fast path (Salsa-style): when the publish left the
+        // high-durability revision untouched, a plan reading no
+        // low-durability predicate is vouched for by the stamp alone —
+        // `low_preds ⊇ dirty`, so no dirty-set comparison is needed.
+        let high_rev_stable = snap.rev_high() == prev.rev_high();
+        // One read-set walk per distinct (pred, adornment) in the
+        // cache, not per entry.
+        let mut decision_memo: FxHashMap<(Pred, Adornment), SweepDecision> = FxHashMap::default();
+        self.results.sweep(snap.epoch(), |key| {
+            let pred = key.spec.pred;
+            let adornment = key.spec.adornment();
+            *decision_memo.entry((pred, adornment)).or_insert_with(|| {
+                let (read_set, chain_pred) = if let Some(plan) =
+                    chain.as_ref().filter(|p| p.system.rhs.contains_key(&pred))
+                {
+                    (Some(plan.read_set(pred)), true)
+                } else {
+                    (
+                        self.plans
+                            .peek_nary(fingerprint, pred, adornment)
+                            .map(|p| p.read_set(snap.program())),
+                        false,
+                    )
+                };
+                let Some(read_set) = read_set else {
+                    return SweepDecision::Drop;
+                };
+                if high_rev_stable && read_set.is_disjoint(snap.low_preds()) {
+                    return SweepDecision::Carry;
+                }
+                if read_set.is_disjoint(dirty) {
+                    return SweepDecision::Carry;
+                }
+                let plan_repaired = if chain_pred {
+                    repaired.chain_repaired
+                } else {
+                    repaired.nary_repaired.contains(&(pred, adornment))
+                };
+                if plan_repaired {
+                    SweepDecision::Repair
+                } else {
+                    SweepDecision::Drop
+                }
+            })
+        })
+    }
+
+    /// Re-derive one swept-for-repair spec on the fresh snapshot and
+    /// re-insert it (fresh byte charge).  Internal maintenance — does
+    /// not bump the query counter or touch cache hit/miss stats.
+    fn rederive(&self, snap: &Snapshot, spec: &QuerySpec) {
+        let Ok((rows, converged)) = self.evaluate_spec(snap, spec, self.config.eval_threads) else {
+            return;
+        };
+        self.results.insert(
+            ResultKey {
+                epoch: snap.epoch(),
+                spec: spec.clone(),
+            },
+            CachedResult {
+                rows: Arc::new(rows),
+                converged,
+            },
+        );
     }
 
     /// Fold one publish's compact-store build work into the registry.
@@ -505,11 +622,17 @@ impl QueryService {
     ///   together with its probe space — the memoized answer sets are
     ///   encoded in that space's tuple interner, so the two are only
     ///   meaningful as a unit.
-    fn carry_context(&self, prev: &Snapshot, snap: &Snapshot) {
+    ///
+    /// Plans already repaired in place by [`QueryService::delta_repair`]
+    /// are skipped: their patched state was adopted into the new
+    /// snapshot's context directly, so carrying the stale entries from
+    /// `prev` on top would clobber nothing but waste work.
+    fn carry_context(&self, prev: &Snapshot, snap: &Snapshot, repaired: &DeltaRepairOutcome) {
         let dirty = snap.dirty_preds();
         let chain_machines: Option<(u64, rq_common::FxHashSet<u32>)> = self
             .plans
             .peek_program(snap.rules_fingerprint())
+            .filter(|_| !repaired.chain_repaired)
             .map(|plan| {
                 let mut clean: FxHashMap<Pred, bool> = FxHashMap::default();
                 let machines = plan
@@ -529,11 +652,180 @@ impl QueryService {
             .plans
             .cached_nary_plans(snap.rules_fingerprint())
             .into_iter()
-            .filter(|(_, plan)| plan.read_set(snap.program()).is_disjoint(dirty))
+            .filter(|(key, plan)| {
+                !repaired.nary_repaired.contains(&(key.pred, key.adornment))
+                    && plan.read_set(snap.program()).is_disjoint(dirty)
+            })
             .map(|(key, plan)| ((key.pred, key.adornment), plan.compiled.id()))
             .collect();
         snap.context()
             .carry_from(prev.context(), chain_machines.as_ref(), &nary_plans);
+    }
+
+    /// Try to repair every cached dirty plan's warm state in place by
+    /// propagating the publish delta semi-naively through it (§3
+    /// machine memos; §4 probe spaces and their machine memos).  Each
+    /// success is adopted into the fresh snapshot's context; each
+    /// failure is an honest cold fallback, counted and left for the
+    /// ordinary drop-and-re-derive path.
+    fn delta_repair(&self, prev: &Snapshot, snap: &Snapshot) -> DeltaRepairOutcome {
+        let mut out = DeltaRepairOutcome::default();
+        if !self.config.delta_repair || !self.config.share_epoch_context || snap.delta().is_empty()
+        {
+            return out;
+        }
+        let dirty = snap.dirty_preds();
+        let fingerprint = snap.rules_fingerprint();
+        if let Some(plan) = self.plans.peek_program(fingerprint) {
+            out.chain_repaired = self.repair_chain_plan(prev, snap, &plan);
+        }
+        for (key, plan) in self.plans.cached_nary_plans(fingerprint) {
+            if plan.read_set(snap.program()).is_disjoint(dirty) {
+                continue; // clean: the ordinary carry path keeps it warm
+            }
+            if self.repair_nary_plan(prev, snap, &key, &plan) {
+                out.nary_repaired.insert((key.pred, key.adornment));
+            }
+        }
+        out
+    }
+
+    /// Repair the §3 chain plan's machine memos against the new
+    /// database.  The repair runs on a detached scratch context and is
+    /// only adopted into the (already published) snapshot's context on
+    /// success, so racing queries never observe a half-patched memo.
+    fn repair_chain_plan(&self, prev: &Snapshot, snap: &Snapshot, plan: &ProgramPlan) -> bool {
+        let affected = plan.compiled.affected_machines(snap.dirty_preds());
+        if affected.is_empty() {
+            return false; // fully clean: per-machine carry keeps everything
+        }
+        // The delta as label pairs.  A non-binary delta predicate can
+        // never be a chain label, but guard anyway: if one somehow
+        // affects the plan, the delta is not expressible here.
+        let mut pairs: FxHashMap<Pred, Vec<(Const, Const)>> = FxHashMap::default();
+        let mut unpairable: FxHashSet<Pred> = FxHashSet::default();
+        for (&pred, rows) in snap.delta().added() {
+            if rows.iter().all(|r| r.len() == 2) {
+                pairs.insert(pred, rows.iter().map(|r| (r[0], r[1])).collect());
+            } else {
+                unpairable.insert(pred);
+            }
+        }
+        if !plan.compiled.affected_machines(&unpairable).is_empty() {
+            self.counters.delta_fallback_cold.inc();
+            return false;
+        }
+        let scratch = EvalContext::new();
+        let plan_id = plan.compiled.id();
+        if scratch.carry_from(prev.context().eval(), |p, _| p == plan_id) == 0 {
+            return false; // nothing was warm
+        }
+        let source = EdbSource::new(snap.db());
+        let evaluator =
+            Evaluator::with_plan(&plan.system, &plan.compiled, &source).with_context(&scratch);
+        let outcome = evaluator.repair(&pairs, &self.repair_options());
+        if outcome.repaired {
+            snap.context().adopt_eval_entries(&scratch, plan_id);
+            self.counters.delta_repairs.inc();
+            self.counters.delta_repaired_rows.add(outcome.added_rows);
+            true
+        } else {
+            self.counters.delta_fallback_cold.inc();
+            false
+        }
+    }
+
+    /// Repair one §4 plan: re-derive the delta's consequences on the
+    /// plan's virtual relations (semi-naive rule firings seeded by the
+    /// delta), patch them into a **fork** of the previous epoch's probe
+    /// space, then repair the machine memos over the patched virtual
+    /// pairs.  The fork is adopted only if the whole repair lands.
+    fn repair_nary_plan(
+        &self,
+        prev: &Snapshot,
+        snap: &Snapshot,
+        key: &PlanKey,
+        plan: &NaryPlan,
+    ) -> bool {
+        let Some(prev_space) = prev.context().peek_probe_space(key.pred, key.adornment) else {
+            return false; // nothing was warm
+        };
+        let fork = Arc::new(prev_space.fork());
+        let delta_rels: FxHashMap<Pred, Relation> = snap
+            .delta()
+            .added()
+            .iter()
+            .map(|(&pred, rows)| {
+                let arity = snap.program().arity(pred);
+                (
+                    pred,
+                    Relation::from_rows(arity, rows.iter().map(Vec::as_slice)),
+                )
+            })
+            .collect();
+        let mut counters = Counters::default();
+        let vpairs = rq_adorn::delta_pairs(
+            snap.program(),
+            snap.db(),
+            &plan.binary,
+            &fork,
+            &delta_rels,
+            &mut counters,
+        );
+        self.note_probes(&counters);
+        let Some(vpairs) = vpairs else {
+            self.counters.delta_fallback_cold.inc();
+            return false;
+        };
+        // Patch the probe memos first: the machine repair's closures
+        // read the virtual relations through them.
+        let mut patched_rows = 0u64;
+        for (&vpred, vp) in &vpairs {
+            patched_rows += fork.patch_pairs(vpred, vp);
+        }
+        let scratch = EvalContext::new();
+        let plan_id = plan.compiled.id();
+        scratch.carry_from(prev.context().eval(), |p, _| p == plan_id);
+        let source =
+            VirtualSource::with_space(snap.program(), snap.db(), &plan.binary, Arc::clone(&fork));
+        let evaluator = Evaluator::with_plan(&plan.binary.system, &plan.compiled, &source)
+            .with_context(&scratch);
+        let outcome = evaluator.repair(&vpairs, &self.repair_options());
+        if !outcome.repaired {
+            self.counters.delta_fallback_cold.inc();
+            return false;
+        }
+        if !snap
+            .context()
+            .adopt_probe_space(key.pred, key.adornment, fork)
+        {
+            // A racing query already built a fresh space on the new
+            // epoch; its interner numbers tuples differently, so the
+            // repaired fork cannot be spliced under it.
+            self.counters.delta_fallback_cold.inc();
+            return false;
+        }
+        snap.context().adopt_eval_entries(&scratch, plan_id);
+        self.counters.delta_repairs.inc();
+        self.counters
+            .delta_repaired_rows
+            .add(outcome.added_rows + patched_rows);
+        true
+    }
+
+    /// [`QueryService::guarded_options`] for repair traversals, which
+    /// have no per-source `m·n` bound: rely on the fallback node budget
+    /// so cyclic data cannot hang the publish.  A budget-stopped repair
+    /// honestly reports failure and falls back cold.
+    fn repair_options(&self) -> EvalOptions {
+        let mut options = self.guarded_options(None, self.config.eval_threads);
+        if options.max_iterations.is_none()
+            && self.config.cyclic_guard
+            && options.node_budget.is_none()
+        {
+            options.node_budget = self.config.fallback_node_budget;
+        }
+        options
     }
 
     /// Parse a query — any arity, any mix of bound constants and free
@@ -1190,9 +1482,19 @@ is_deptime(540). is_deptime(720). is_deptime(660). is_deptime(840).";
             .ingest("flight(nce, 960, osl, 1080). is_deptime(960).")
             .unwrap();
         let after = service.query(&q).unwrap();
-        assert!(!after.from_cache, "dirty-predicate entries must refresh");
+        assert!(
+            after.from_cache,
+            "delta repair must keep the dirty entry alive"
+        );
+        assert!(
+            !Arc::ptr_eq(&before.rows, &after.rows),
+            "repaired entry must hold refreshed rows"
+        );
         assert_eq!(after.epoch, 1);
         assert_eq!(rendered(&service, &after), vec!["nce,930", "osl,1080"]);
+        let report = service.stats_report();
+        assert!(report.delta_repairs >= 1, "{report:?}");
+        assert_eq!(report.delta_fallback_cold, 0, "{report:?}");
     }
 
     #[test]
@@ -1253,6 +1555,9 @@ is_deptime(540). is_deptime(720). is_deptime(660). is_deptime(840).";
         assert!(text.contains("rq_plan_cache_misses_total 1\n"));
         // Report-derived gauges ride along in the same exposition.
         assert!(text.contains("rq_epoch 1\n"));
+        // The ingest repaired the warm tc memos in place.
+        assert!(text.contains("rq_delta_repairs_total 1\n"), "{text}");
+        assert!(text.contains("rq_delta_fallback_cold_total 0\n"));
         // The traversal did real work.
         assert!(!text.contains("rq_engine_graph_nodes_total 0\n"));
         assert!(text.contains("# TYPE rq_engine_graph_nodes_total counter\n"));
@@ -1290,6 +1595,7 @@ is_deptime(540). is_deptime(720). is_deptime(660). is_deptime(840).";
         for child in ["ingest.validate", "ingest.apply", "ingest.compact"] {
             assert_eq!(spans[find(child)].parent, Some(ingest as u32));
         }
+        assert!(spans[find("ingest.delta_repair")].parent == Some(ingest as u32));
         assert!(spans[find("ingest.carry_results")].parent == Some(ingest as u32));
         // Outside a trace, spans cost nothing and record nothing.
         service.query(&q).unwrap();
@@ -1298,7 +1604,15 @@ is_deptime(540). is_deptime(720). is_deptime(660). is_deptime(840).";
 
     #[test]
     fn results_memoize_and_invalidate_on_ingest() {
-        let service = QueryService::from_source(TC).unwrap();
+        // Repair off: this test pins the baseline drop-on-dirty policy.
+        let service = QueryService::with_config(
+            rq_datalog::parse_program(TC).unwrap(),
+            ServiceConfig {
+                threads: 1,
+                delta_repair: false,
+                ..ServiceConfig::default()
+            },
+        );
         let q = service.parse_query("tc(a, Y)").unwrap();
         let first = service.query(&q).unwrap();
         assert!(!first.from_cache);
@@ -1342,10 +1656,14 @@ is_deptime(540). is_deptime(720). is_deptime(660). is_deptime(840).";
         assert_eq!(rc_after.epoch, 1);
         assert!(Arc::ptr_eq(&rc_before.rows, &rc_after.rows));
 
-        // tc reads `e`, which was dirtied: recomputed.
+        // tc reads `e`, which was dirtied — but the delta repair patched
+        // its memos and re-derived the entry, so it is served warm with
+        // the refreshed rows.
         let tc_after = service.query(&tc_q).unwrap();
-        assert!(!tc_after.from_cache, "dirty-predicate entry must refresh");
+        assert!(tc_after.from_cache, "repaired entry must stay alive");
+        assert!(!Arc::ptr_eq(&tc_before.rows, &tc_after.rows));
         assert_eq!(rendered(&service, &tc_after), vec!["b", "c", "d"]);
+        assert!(service.stats_report().delta_repairs >= 1);
     }
 
     #[test]

@@ -20,9 +20,61 @@
 //! the epoch they started on.
 
 use crate::context::EpochContext;
-use rq_common::{FxHashSet, Pred};
+use rq_common::{Const, FxHashMap, FxHashSet, Pred};
 use rq_datalog::{parse_program, Database, Program};
 use std::sync::{Arc, Mutex, RwLock};
+
+/// Salsa-style durability tier of one base predicate.
+///
+/// Predicates start [`Durability::High`] — assumed stable across
+/// publishes — and are demoted to [`Durability::Low`] the first time an
+/// ingest dirties them.  The service's cache sweep uses the tiers as a
+/// fast path: when a publish touched only low-durability predicates
+/// (the high revision did not move), any plan whose read-set is
+/// entirely high-durability carries without walking the dirty set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Durability {
+    /// The predicate has been dirtied by some ingest; future publishes
+    /// are expected to touch it again.
+    Low,
+    /// The predicate has never been dirtied since service start.
+    High,
+}
+
+/// The typed delta of one publish: per-predicate tuples this epoch
+/// **added** relative to its parent (ingests are monotone — facts are
+/// only ever added — so additions are the whole delta).
+///
+/// Duplicate facts never reach the delta: [`apply_validated`] skips
+/// them before the database insert, so a recorded row is guaranteed to
+/// be new in this epoch.  Constants are interned in this epoch's
+/// program (ids are stable across epochs).
+#[derive(Clone, Debug, Default)]
+pub struct Delta {
+    added: FxHashMap<Pred, Vec<Vec<Const>>>,
+}
+
+impl Delta {
+    /// Whether the publish added nothing (duplicate-only ingest).
+    pub fn is_empty(&self) -> bool {
+        self.added.is_empty()
+    }
+
+    /// Every `(predicate, added tuples)` group of the publish.
+    pub fn added(&self) -> &FxHashMap<Pred, Vec<Vec<Const>>> {
+        &self.added
+    }
+
+    /// The tuples added to one predicate, if any.
+    pub fn rows(&self, pred: Pred) -> Option<&[Vec<Const>]> {
+        self.added.get(&pred).map(Vec::as_slice)
+    }
+
+    /// Total tuples added across all predicates.
+    pub fn total_rows(&self) -> usize {
+        self.added.values().map(Vec::len).sum()
+    }
+}
 
 /// One immutable version of the served database.
 #[derive(Debug)]
@@ -34,6 +86,17 @@ pub struct Snapshot {
     /// Predicates whose shard this epoch replaced (relative to its
     /// parent).  Epoch 0 reports every predicate dirty.
     dirty: FxHashSet<Pred>,
+    /// The tuples this publish added, per predicate — what the delta
+    /// repair path propagates through warm memos.  Empty at epoch 0
+    /// (the initial load is the baseline, not a delta).
+    delta: Delta,
+    /// Predicates ever demoted to [`Durability::Low`] by an ingest.
+    low_preds: FxHashSet<Pred>,
+    /// Revision stamp bumped by every publish that dirtied anything.
+    rev_low: u64,
+    /// Revision stamp bumped only by publishes that dirtied a
+    /// previously high-durability predicate.
+    rev_high: u64,
     /// The epoch's evaluation context: traversal/probe memos shared by
     /// every query of this epoch, invalidated wholesale by the next
     /// publish (each snapshot owns a fresh context).
@@ -46,8 +109,36 @@ pub struct Snapshot {
     csr_build_time: std::time::Duration,
 }
 
+/// Durability bookkeeping one publish hands to [`Snapshot::new`]: the
+/// typed delta plus the demotion set and revision stamps.
+struct PublishMeta {
+    delta: Delta,
+    low_preds: FxHashSet<Pred>,
+    rev_low: u64,
+    rev_high: u64,
+}
+
+impl PublishMeta {
+    /// Epoch 0: the initial load is the baseline, not a delta, and every
+    /// predicate starts high-durability.
+    fn baseline() -> Self {
+        Self {
+            delta: Delta::default(),
+            low_preds: FxHashSet::default(),
+            rev_low: 0,
+            rev_high: 0,
+        }
+    }
+}
+
 impl Snapshot {
-    fn new(epoch: u64, program: Program, db: Database, dirty: FxHashSet<Pred>) -> Self {
+    fn new(
+        epoch: u64,
+        program: Program,
+        db: Database,
+        dirty: FxHashSet<Pred>,
+        meta: PublishMeta,
+    ) -> Self {
         db.prewarm_binary_indexes();
         // Compact stores are the publish-time counterpart of the index
         // prewarm: dirty shards dropped theirs on mutation and rebuild
@@ -63,6 +154,10 @@ impl Snapshot {
             program,
             db,
             dirty,
+            delta: meta.delta,
+            low_preds: meta.low_preds,
+            rev_low: meta.rev_low,
+            rev_high: meta.rev_high,
             context: EpochContext::new(),
             csr_builds,
             csr_build_time,
@@ -95,6 +190,42 @@ impl Snapshot {
     /// whose plan reads none of these survives the publish.
     pub fn dirty_preds(&self) -> &FxHashSet<Pred> {
         &self.dirty
+    }
+
+    /// The tuples this publish added, per predicate.  Empty at epoch 0
+    /// and after duplicate-only ingests.
+    pub fn delta(&self) -> &Delta {
+        &self.delta
+    }
+
+    /// Predicates ever demoted to [`Durability::Low`] since service
+    /// start (a superset of [`Snapshot::dirty_preds`] on every epoch
+    /// after 0).
+    pub fn low_preds(&self) -> &FxHashSet<Pred> {
+        &self.low_preds
+    }
+
+    /// Revision stamp of the low-durability tier: bumped by every
+    /// publish that dirtied anything.
+    pub fn rev_low(&self) -> u64 {
+        self.rev_low
+    }
+
+    /// Revision stamp of the high-durability tier: bumped only when a
+    /// publish dirties a predicate that was still [`Durability::High`].
+    /// A plan reading only high-durability predicates is untouched by
+    /// any publish that left this stamp alone.
+    pub fn rev_high(&self) -> u64 {
+        self.rev_high
+    }
+
+    /// The durability tier of `pred` as of this epoch.
+    pub fn durability(&self, pred: Pred) -> Durability {
+        if self.low_preds.contains(&pred) {
+            Durability::Low
+        } else {
+            Durability::High
+        }
     }
 
     /// The epoch's evaluation context (see [`EpochContext`]): memos
@@ -182,7 +313,13 @@ impl SnapshotStore {
         // over-allocation the initial load left behind.
         db.compact_shards(dirty.iter().copied());
         Self {
-            current: RwLock::new(Arc::new(Snapshot::new(0, program, db, dirty))),
+            current: RwLock::new(Arc::new(Snapshot::new(
+                0,
+                program,
+                db,
+                dirty,
+                PublishMeta::baseline(),
+            ))),
             writer: Mutex::new(()),
         }
     }
@@ -209,13 +346,13 @@ impl SnapshotStore {
             let _validate = rq_common::obs::span("ingest.validate");
             validate_facts(&base.program, facts_text)?
         };
-        let (program, mut db, dirty) = {
+        let (program, mut db, dirty, delta) = {
             let _apply = rq_common::obs::span("ingest.apply");
             // Persistent clones: per-shard/per-chunk refcount bumps.
             let mut program = base.program.clone();
             let mut db = base.db.clone();
-            let dirty = apply_validated(&mut program, &mut db, &parsed);
-            (program, db, dirty)
+            let (dirty, delta) = apply_validated(&mut program, &mut db, &parsed);
+            (program, db, dirty, delta)
         };
         {
             let _compact = rq_common::obs::span("ingest.compact");
@@ -228,7 +365,19 @@ impl SnapshotStore {
             // touched.
             db.compact_shards(dirty.iter().copied());
         }
-        let next = Arc::new(Snapshot::new(base.epoch + 1, program, db, dirty));
+        // Durability bookkeeping: a dirtied predicate is demoted to the
+        // low tier permanently; the high revision moves only when this
+        // publish is the demoting one.
+        let demoted = dirty.iter().any(|p| !base.low_preds.contains(p));
+        let mut low_preds = base.low_preds.clone();
+        low_preds.extend(dirty.iter().copied());
+        let meta = PublishMeta {
+            delta,
+            low_preds,
+            rev_low: base.rev_low + u64::from(!dirty.is_empty()),
+            rev_high: base.rev_high + u64::from(demoted && !dirty.is_empty()),
+        };
+        let next = Arc::new(Snapshot::new(base.epoch + 1, program, db, dirty, meta));
         *self.current.write().expect("snapshot lock poisoned") = Arc::clone(&next);
         Ok(next)
     }
@@ -263,11 +412,17 @@ fn validate_facts(program: &Program, text: &str) -> Result<Program, IngestError>
 
 /// Merge a validated fact batch into `program`/`db`, translating
 /// interned ids across programs.  Returns the set of predicates whose
-/// shard was actually touched: duplicate facts are skipped *before*
-/// reaching the database so they cannot detach an otherwise-clean
-/// shard from its parent epoch.
-fn apply_validated(program: &mut Program, db: &mut Database, parsed: &Program) -> FxHashSet<Pred> {
+/// shard was actually touched plus the typed [`Delta`] of genuinely new
+/// tuples: duplicate facts are skipped *before* reaching the database
+/// so they cannot detach an otherwise-clean shard from its parent
+/// epoch — and never reach the delta either.
+fn apply_validated(
+    program: &mut Program,
+    db: &mut Database,
+    parsed: &Program,
+) -> (FxHashSet<Pred>, Delta) {
     let mut dirty = FxHashSet::default();
+    let mut delta = Delta::default();
     for (pred, tuple) in &parsed.facts {
         let name = parsed.pred_name(*pred);
         let arity = parsed.arity(*pred);
@@ -283,11 +438,12 @@ fn apply_validated(program: &mut Program, db: &mut Database, parsed: &Program) -
         }
         if !db.contains(target, &mapped) {
             db.insert(target, &mapped);
+            delta.added.entry(target).or_default().push(mapped.clone());
             program.add_fact(target, mapped);
             dirty.insert(target);
         }
     }
-    dirty
+    (dirty, delta)
 }
 
 #[cfg(test)]
@@ -495,6 +651,59 @@ mod tests {
             .consts
             .get(&ConstValue::Str("y1".into()))
             .is_none());
+    }
+
+    #[test]
+    fn delta_records_only_genuinely_new_tuples() {
+        let store = store();
+        assert!(store.snapshot().delta().is_empty(), "epoch 0 is baseline");
+        // One duplicate, one new fact: only the new row reaches the delta.
+        let snap = store.ingest("e(a,b). e(c,d).").unwrap();
+        let e = snap.program().pred_by_name("e").unwrap();
+        let rows = snap.delta().rows(e).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(snap.delta().total_rows(), 1);
+        let c = snap.program().consts.get(&ConstValue::Str("c".into()));
+        assert_eq!(rows[0][0], c.unwrap());
+        // Duplicate-only ingest: empty delta.
+        let snap = store.ingest("e(a,b).").unwrap();
+        assert!(snap.delta().is_empty());
+        assert!(snap.delta().rows(e).is_none());
+    }
+
+    #[test]
+    fn durability_demotes_on_first_dirty_and_stamps_revisions() {
+        let store = SnapshotStore::new(
+            parse_program(
+                "tc(X,Y) :- e(X,Y).\n\
+                 tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+                 e(a,b). f(a,b).",
+            )
+            .unwrap(),
+        );
+        let base = store.snapshot();
+        let e = base.program().pred_by_name("e").unwrap();
+        let f = base.program().pred_by_name("f").unwrap();
+        // Epoch 0: everything is dirty but nothing is demoted yet.
+        assert_eq!(base.durability(e), Durability::High);
+        assert_eq!((base.rev_low(), base.rev_high()), (0, 0));
+        // First ingest into e: demotion moves both revisions.
+        let snap = store.ingest("e(b,c).").unwrap();
+        assert_eq!(snap.durability(e), Durability::Low);
+        assert_eq!(snap.durability(f), Durability::High);
+        assert_eq!((snap.rev_low(), snap.rev_high()), (1, 1));
+        // Second ingest into the already-low e: only rev_low moves.
+        let snap = store.ingest("e(c,d).").unwrap();
+        assert_eq!((snap.rev_low(), snap.rev_high()), (2, 1));
+        assert!(snap.low_preds().contains(&e));
+        assert!(!snap.low_preds().contains(&f));
+        // Duplicate-only ingest: neither revision moves.
+        let snap = store.ingest("e(c,d).").unwrap();
+        assert_eq!((snap.rev_low(), snap.rev_high()), (2, 1));
+        // Dirtying the still-high f moves rev_high again.
+        let snap = store.ingest("f(b,c).").unwrap();
+        assert_eq!((snap.rev_low(), snap.rev_high()), (3, 2));
+        assert_eq!(snap.durability(f), Durability::Low);
     }
 
     #[test]

@@ -46,6 +46,15 @@ pub struct StatsReport {
     /// Index probes that walked (or built) a hash-trie index, service
     /// lifetime.
     pub trie_probes: u64,
+    /// Dirty plans whose warm memos were repaired in place at publish,
+    /// service lifetime.
+    pub delta_repairs: u64,
+    /// Memo and probe rows added by in-place delta repair, service
+    /// lifetime.
+    pub delta_repaired_rows: u64,
+    /// Dirty plans that fell back to cold re-derivation at publish,
+    /// service lifetime.
+    pub delta_fallback_cold: u64,
 }
 
 impl StatsReport {
@@ -118,6 +127,14 @@ impl StatsReport {
                     ("csr_build_micros", int(self.csr_build_micros)),
                     ("csr_probes", int(self.csr_probes)),
                     ("trie_probes", int(self.trie_probes)),
+                ]),
+            ),
+            (
+                "delta_repair",
+                Json::object([
+                    ("repairs", int(self.delta_repairs)),
+                    ("repaired_rows", int(self.delta_repaired_rows)),
+                    ("fallback_cold", int(self.delta_fallback_cold)),
                 ]),
             ),
         ])
@@ -240,10 +257,15 @@ impl std::fmt::Display for StatsReport {
             self.context.eval_carried,
             self.context.probe_spaces_carried,
         )?;
-        write!(
+        writeln!(
             f,
             "storage:      {} csr build(s) ({} µs), probes {} csr / {} trie",
             self.csr_builds, self.csr_build_micros, self.csr_probes, self.trie_probes,
+        )?;
+        write!(
+            f,
+            "delta repair: {} repair(s) / {} row(s) patched / {} cold fallback(s)",
+            self.delta_repairs, self.delta_repaired_rows, self.delta_fallback_cold,
         )
     }
 }
@@ -285,6 +307,9 @@ mod tests {
             csr_build_micros: 150,
             csr_probes: 40,
             trie_probes: 8,
+            delta_repairs: 3,
+            delta_repaired_rows: 12,
+            delta_fallback_cold: 1,
         }
     }
 
@@ -301,6 +326,7 @@ mod tests {
         assert!(text.contains("1 scc-served"));
         assert!(text.contains("carried 2 machine entr(ies) / 1 probe space(s)"));
         assert!(text.contains("storage:      2 csr build(s) (150 µs), probes 40 csr / 8 trie"));
+        assert!(text.contains("delta repair: 3 repair(s) / 12 row(s) patched / 1 cold fallback(s)"));
     }
 
     #[test]
@@ -333,6 +359,10 @@ mod tests {
         assert_eq!(storage.get("csr_builds").and_then(Json::as_i64), Some(2));
         assert_eq!(storage.get("csr_probes").and_then(Json::as_i64), Some(40));
         assert_eq!(storage.get("trie_probes").and_then(Json::as_i64), Some(8));
+        let repair = json.get("delta_repair").unwrap();
+        assert_eq!(repair.get("repairs").and_then(Json::as_i64), Some(3));
+        assert_eq!(repair.get("repaired_rows").and_then(Json::as_i64), Some(12));
+        assert_eq!(repair.get("fallback_cold").and_then(Json::as_i64), Some(1));
         // Round-trips through the shared codec.
         let round = Json::parse(&json.encode()).unwrap();
         assert_eq!(round, json);

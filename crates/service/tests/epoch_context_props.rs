@@ -7,8 +7,14 @@
 //! * **epoch isolation** — publishing a new epoch invalidates every
 //!   context entry whose plan reads a dirtied shard; entries may only
 //!   carry across the publish when their whole read-set was untouched
-//!   (checked with result memoization off, so the result cache's own
-//!   carry-forward cannot mask a stale context).
+//!   (checked with result memoization off and delta repair off, so
+//!   neither the result cache's carry-forward nor an in-place repair
+//!   can mask a stale context);
+//! * **repair soundness** — with delta repair on (the default), a
+//!   warm service that lives through random small ingests answers
+//!   exactly like a cold service rebuilt from scratch on the grown
+//!   program, whether each dirty plan was repaired in place or fell
+//!   back cold.
 
 use proptest::prelude::*;
 use rq_engine::EvalOptions;
@@ -87,7 +93,12 @@ proptest! {
     #[test]
     fn publish_invalidates_dirty_read_set_context(seed in 0u64..200) {
         let np = random_nary_program(&NaryConfig { seed, ..NaryConfig::default() });
-        let warm = QueryService::with_config(np.program.clone(), warm_config());
+        // Repair off: this property pins the baseline isolation rule
+        // (dirty plans contribute *nothing* to the fresh context).
+        let warm = QueryService::with_config(
+            np.program.clone(),
+            ServiceConfig { delta_repair: false, ..warm_config() },
+        );
         let specs: Vec<_> = np
             .queries
             .iter()
@@ -122,6 +133,71 @@ proptest! {
             prop_assert_eq!(warm_answer.rows.as_ref(), cold_answer.rows.as_ref());
         }
     }
+
+    /// Delta-repair equivalence: a warm service (repair on, parallel
+    /// work-stealing expansion) that absorbs N random small ingests
+    /// answers exactly like a cold service rebuilt from scratch on the
+    /// grown program — with and without result memoization, so both
+    /// the repaired context and the swept-and-re-derived result cache
+    /// are checked against the oracle.
+    #[test]
+    fn repairing_service_equals_cold_rebuild_after_random_ingests(seed in 0u64..60) {
+        let np = random_nary_program(&NaryConfig { seed, ..NaryConfig::default() });
+        let warm = QueryService::with_config(np.program.clone(), warm_config());
+        let memoizing = QueryService::with_config(
+            np.program.clone(),
+            ServiceConfig { threads: 4, eval_threads: 4, ..ServiceConfig::default() },
+        );
+        let specs: Vec<_> = np
+            .queries
+            .iter()
+            .map(|t| warm.parse_query(t).unwrap())
+            .collect();
+        // Warm both services so every publish finds state to repair.
+        warm.query_batch(&specs);
+        memoizing.query_batch(&specs);
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for round in 0..3u32 {
+            let facts: String = (0..2)
+                .map(|_| {
+                    let pred = if next() % 2 == 0 { "b0" } else { "b1" };
+                    format!("{pred}(n{}, n{}). ", next() % 6, next() % 6)
+                })
+                .collect();
+            warm.ingest(&facts).unwrap();
+            memoizing.ingest(&facts).unwrap();
+            let cold =
+                QueryService::with_config(warm.snapshot().program().clone(), cold_config());
+            for spec in &specs {
+                let oracle = cold.query(spec).unwrap();
+                let repaired = warm.query(spec).unwrap();
+                prop_assert_eq!(
+                    repaired.rows.as_ref(),
+                    oracle.rows.as_ref(),
+                    "round {} context spec {:?}",
+                    round,
+                    spec
+                );
+                let cached = memoizing.query(spec).unwrap();
+                prop_assert_eq!(
+                    cached.rows.as_ref(),
+                    oracle.rows.as_ref(),
+                    "round {} result-cache spec {:?}",
+                    round,
+                    spec
+                );
+            }
+            // Re-warm so the next round's publish repairs fresh state.
+            warm.query_batch(&specs);
+            memoizing.query_batch(&specs);
+        }
+    }
 }
 
 #[test]
@@ -141,6 +217,7 @@ fn clean_read_set_machine_memo_survives_disjoint_publish() {
         ServiceConfig {
             threads: 1,
             memoize_results: false,
+            delta_repair: false,
             ..ServiceConfig::default()
         },
     );
@@ -191,6 +268,7 @@ fn clean_nary_probe_space_survives_disjoint_publish() {
         ServiceConfig {
             threads: 1,
             memoize_results: false,
+            delta_repair: false,
             ..ServiceConfig::default()
         },
     );
@@ -221,6 +299,83 @@ fn clean_nary_probe_space_survives_disjoint_publish() {
     assert_eq!(stats.probe_spaces_carried, 0, "{stats:?}");
     assert_eq!(stats.eval_carried, 0, "{stats:?}");
     assert_eq!(service.query(&q).unwrap().rows.len(), 3);
+}
+
+#[test]
+fn dirty_chain_memo_is_repaired_in_place() {
+    // With delta repair on (the default), an ingest into `e` no longer
+    // drops tc's machine memos: they are patched against the delta and
+    // adopted into the new epoch's context, so the follow-up query is
+    // a memo hit that already sees the new edge.
+    const PROG: &str = "tc(X,Y) :- e(X,Y).\n\
+                        tc(X,Z) :- e(X,Y), tc(Y,Z).\n\
+                        e(a,b). e(b,c).";
+    let service = QueryService::with_config(
+        rq_datalog::parse_program(PROG).unwrap(),
+        ServiceConfig {
+            threads: 1,
+            memoize_results: false,
+            ..ServiceConfig::default()
+        },
+    );
+    let q = service.parse_query("tc(a, Y)").unwrap();
+    assert_eq!(service.query(&q).unwrap().rows.len(), 2);
+    let before = service.snapshot().context().stats();
+    assert!(before.eval_entries > 0);
+
+    service.ingest("e(c,d).").unwrap();
+    let snap = service.snapshot();
+    let stats = snap.context().stats();
+    assert!(
+        stats.eval_carried as usize >= before.eval_entries,
+        "repaired tc memos must be adopted, not dropped: {stats:?}"
+    );
+    let hits_before = snap.context().stats().eval_hits;
+    let after = service.query(&q).unwrap();
+    assert_eq!(after.rows.len(), 3, "repaired memo must include e(c,d)");
+    assert!(
+        snap.context().stats().eval_hits > hits_before,
+        "the repaired entry must answer from the memo"
+    );
+    let report = service.stats_report();
+    assert_eq!(report.delta_repairs, 1, "{report:?}");
+    assert!(report.delta_repaired_rows >= 1, "{report:?}");
+    assert_eq!(report.delta_fallback_cold, 0, "{report:?}");
+}
+
+#[test]
+fn dirty_nary_probe_space_is_repaired_in_place() {
+    // The §4 mirror: an ingest into `flight` forks the previous
+    // epoch's probe space, patches the delta's consequences into the
+    // fork, repairs the machine memos over it, and adopts the fork —
+    // so the dirty plan stays warm across its own ingest.
+    const PROG: &str = "cnx(S,DT,D,AT) :- flight(S,DT,D,AT).\n\
+                        cnx(S,DT,D,AT) :- flight(S,DT,D1,AT1), AT1 < DT1, is_deptime(DT1), cnx(D1,DT1,D,AT).\n\
+                        flight(hel,540,ams,690). flight(ams,720,cdg,810).\n\
+                        is_deptime(540). is_deptime(720).";
+    let service = QueryService::with_config(
+        rq_datalog::parse_program(PROG).unwrap(),
+        ServiceConfig {
+            threads: 1,
+            memoize_results: false,
+            ..ServiceConfig::default()
+        },
+    );
+    let q = service.parse_query("cnx(hel, 540, D, AT)").unwrap();
+    assert_eq!(service.query(&q).unwrap().rows.len(), 2);
+
+    service
+        .ingest("flight(cdg,840,nce,930). is_deptime(840).")
+        .unwrap();
+    let stats = service.snapshot().context().stats();
+    assert_eq!(
+        stats.probe_spaces_carried, 1,
+        "the repaired fork must be adopted: {stats:?}"
+    );
+    assert_eq!(service.query(&q).unwrap().rows.len(), 3);
+    let report = service.stats_report();
+    assert_eq!(report.delta_repairs, 1, "{report:?}");
+    assert_eq!(report.delta_fallback_cold, 0, "{report:?}");
 }
 
 #[test]

@@ -102,8 +102,10 @@ proptest! {
     /// Result-cache entries keyed on **generalized adornments** (the
     /// §4 n-ary `cnx^bbff` entry and the binary `tc` entry, both served
     /// through the transformed pipeline) survive publishes that dirty
-    /// only predicates outside their plan's read-set, and are refreshed
-    /// — with correct answers — when their own footprint is dirtied.
+    /// only predicates outside their plan's read-set; when their own
+    /// footprint is dirtied, the delta repair keeps them alive with
+    /// **refreshed** rows (fresh `Arc`, correct against the bottom-up
+    /// oracle) instead of dropping them.
     #[test]
     fn nary_adorned_entries_survive_unrelated_publishes(
         // Each step ingests into the tc side (0) or the cnx side (1).
@@ -138,14 +140,22 @@ proptest! {
             let tc_after = service.query(&tc_q).unwrap();
             let cnx_after = service.query(&cnx_q).unwrap();
             if touch_cnx {
-                // The cnx entry was dirtied, the tc entry must survive.
+                // The cnx entry was dirtied: repaired alive, new rows.
                 prop_assert!(tc_after.from_cache, "tc entry must survive a flight publish");
                 prop_assert!(Arc::ptr_eq(&tc_rows, &tc_after.rows));
-                prop_assert!(!cnx_after.from_cache, "cnx entry must refresh");
+                prop_assert!(cnx_after.from_cache, "cnx entry must be repaired alive");
+                prop_assert!(
+                    !Arc::ptr_eq(&cnx_rows, &cnx_after.rows),
+                    "repaired cnx entry must hold refreshed rows"
+                );
             } else {
                 prop_assert!(cnx_after.from_cache, "cnx entry must survive an e publish");
                 prop_assert!(Arc::ptr_eq(&cnx_rows, &cnx_after.rows));
-                prop_assert!(!tc_after.from_cache, "tc entry must refresh");
+                prop_assert!(tc_after.from_cache, "tc entry must be repaired alive");
+                prop_assert!(
+                    !Arc::ptr_eq(&tc_rows, &tc_after.rows),
+                    "repaired tc entry must hold refreshed rows"
+                );
             }
             prop_assert_eq!(tc_after.epoch, snap.epoch());
             prop_assert_eq!(cnx_after.epoch, snap.epoch());
@@ -164,6 +174,19 @@ proptest! {
             expected.sort();
             expected.dedup();
             prop_assert_eq!(tc_after.rows.as_ref().clone(), expected);
+            let cnx = snap.program().pred_by_name("cnx").unwrap();
+            let mut cnx_expected: Vec<Vec<rq_common::Const>> = oracle
+                .tuples(cnx)
+                .into_iter()
+                .filter(|t| {
+                    snap.program().consts.display(t[0]) == "hel"
+                        && snap.program().consts.display(t[1]) == "540"
+                })
+                .map(|t| vec![t[2], t[3]])
+                .collect();
+            cnx_expected.sort();
+            cnx_expected.dedup();
+            prop_assert_eq!(cnx_after.rows.as_ref().clone(), cnx_expected);
             tc_rows = tc_after.rows;
             cnx_rows = cnx_after.rows;
         }

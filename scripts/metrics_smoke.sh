@@ -40,9 +40,12 @@ for _ in $(seq 1 50); do
 done
 [ -n "$addr" ] || { echo "no bound address in banner:"; cat "$workdir/stderr.log"; exit 1; } >&2
 
-# Drive some traffic so the scrape has non-zero counters.
+# Drive some traffic so the scrape has non-zero counters.  The ingest
+# lands after a warm query, so the publish finds memoized tc state and
+# repairs it in place (the delta-repair counters must move).
 curl -sf -d '{"query": "tc(a, Y)"}' "http://$addr/query" > /dev/null
 curl -sf -d '{"query": "tc(a, Y)"}' "http://$addr/query" > /dev/null
+curl -sf -d '{"facts": "e(d, z)."}' "http://$addr/ingest" > /dev/null
 curl -sf "http://$addr/healthz" | grep -q '"uptime_seconds"'
 
 scrape="$workdir/metrics.txt"
@@ -90,15 +93,18 @@ for needle in \
   'rq_result_cache_misses_total 1' \
   '# TYPE rq_plan_cache_hits_total counter' \
   'rq_queries_total 2' \
-  'rq_ingests_total 0' \
+  'rq_ingests_total 1' \
   '# TYPE rq_engine_graph_nodes_total counter' \
-  'rq_epoch 0' \
+  'rq_epoch 1' \
   '# TYPE rq_http_in_flight gauge' \
   '# TYPE rq_csr_builds_total counter' \
-  'rq_csr_builds_total 2' \
-  'rq_csr_build_seconds_count 1' \
+  'rq_csr_build_seconds_count 2' \
   '# TYPE rq_csr_probes_total counter' \
-  '# TYPE rq_trie_probes_total counter'
+  '# TYPE rq_trie_probes_total counter' \
+  '# TYPE rq_delta_repairs_total counter' \
+  'rq_delta_repairs_total 1' \
+  '# TYPE rq_delta_repaired_rows_total counter' \
+  'rq_delta_fallback_cold_total 0'
 do
   grep -qF "$needle" "$scrape" || fail "missing: $needle"
 done
