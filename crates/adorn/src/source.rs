@@ -414,7 +414,7 @@ impl<'a> VirtualSource<'a> {
     }
 
     /// Render a tuple constant (for tests and examples).  Components
-    /// below [`TUPLE_ID_BASE`] render through the program interner;
+    /// below `TUPLE_ID_BASE` render through the program interner;
     /// nested tuple ids recurse.
     pub fn display_const(&self, c: Const) -> String {
         if (c.index() as u32) < TUPLE_ID_BASE {

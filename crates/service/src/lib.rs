@@ -53,6 +53,7 @@
 #![deny(missing_docs)]
 
 pub mod context;
+pub mod durable;
 pub mod plan;
 pub mod results;
 pub mod service;
@@ -61,6 +62,7 @@ pub mod spec;
 pub mod stats;
 
 pub use context::{EpochContext, EpochContextStats};
+pub use durable::{DurabilityConfig, DurabilityStats, RecoveryReport};
 pub use plan::{rules_fingerprint, CacheStats, PlanCache, PlanKey};
 pub use results::{CachedResult, ResultCache, ResultKey, SweepDecision};
 pub use service::{parse_serve_query, QueryService, ServiceAnswer, ServiceConfig, ServiceError};

@@ -2,6 +2,7 @@
 //! parallel, deduplicating batch front end, all keyed on the
 //! generalized [`QuerySpec`].
 
+use crate::durable::{self, BaseProfile, DurabilityConfig, DurableStore, RecoveryReport};
 use crate::plan::{PlanCache, PlanKey, ProgramPlan};
 use crate::results::{CachedResult, ResultCache, ResultKey, SweepDecision};
 use crate::snapshot::{IngestError, Snapshot, SnapshotStore};
@@ -14,7 +15,8 @@ use rq_engine::{
     all_pairs_min_side, candidate_sources, cyclic_iteration_bound, inverse_cyclic_iteration_bound,
     EdbSource, EvalContext, EvalOptions, Evaluator,
 };
-use std::sync::atomic::{AtomicUsize, Ordering};
+use rq_store::StorageBackend;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -71,6 +73,11 @@ pub struct ServiceConfig {
     /// Requires `share_epoch_context`; falling back to the cold path is
     /// always honest (counted by `rq_delta_fallback_cold_total`).
     pub delta_repair: bool,
+    /// Durability knobs (fsync policy, checkpoint cadence) — consulted
+    /// only when the service is opened with a storage backend
+    /// ([`QueryService::open`] / [`QueryService::open_backend`]);
+    /// in-memory services ignore it.
+    pub durability: DurabilityConfig,
 }
 
 impl Default for ServiceConfig {
@@ -91,6 +98,7 @@ impl Default for ServiceConfig {
             result_cache_capacity: Some(1 << 16),
             result_cache_bytes: Some(256 << 20),
             delta_repair: true,
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -151,6 +159,9 @@ pub enum ServiceError {
     Plan(String),
     /// Fact ingestion failed.
     Ingest(String),
+    /// Boot-time recovery from durable storage failed (unreadable data
+    /// directory, a rule-set/fingerprint mismatch, or a log gap).
+    Recovery(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -170,6 +181,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::UnknownConstant(c) => write!(f, "unknown constant `{c}`"),
             ServiceError::Plan(e) => write!(f, "cannot compile query plan: {e}"),
             ServiceError::Ingest(e) => write!(f, "{e}"),
+            ServiceError::Recovery(e) => write!(f, "cannot recover durable state: {e}"),
         }
     }
 }
@@ -224,6 +236,10 @@ pub struct QueryService {
     /// concurrent ingests cannot run their epoch GC out of order (a
     /// later epoch's GC would drop the earlier epoch's survivors).
     ingest_gc: std::sync::Mutex<()>,
+    /// The durable storage handle, when the service was opened with
+    /// one ([`QueryService::open`] / [`QueryService::open_backend`]).
+    /// `None` means purely in-memory: ingests are not logged.
+    durable: Option<DurableStore>,
 }
 
 /// Registry handles the service increments on its own hot paths (the
@@ -261,6 +277,16 @@ struct ServiceCounters {
     /// Dirty plans that fell back to cold re-derivation because the
     /// delta could not be propagated through their memos.
     delta_fallback_cold: Counter,
+    /// Write-ahead-log records appended (one per published epoch, on
+    /// durable services).
+    wal_records: Counter,
+    /// Bytes appended to the write-ahead log, frame headers included.
+    wal_bytes: Counter,
+    /// Checkpoint snapshots installed.
+    wal_checkpoints: Counter,
+    /// Checkpoint installs that failed (non-fatal; retried on the next
+    /// ingest because the records stay in the log).
+    wal_checkpoint_failures: Counter,
 }
 
 impl ServiceCounters {
@@ -345,6 +371,22 @@ impl ServiceCounters {
                 "rq_delta_fallback_cold_total",
                 "Dirty plans that fell back to cold re-derivation at publish.",
             ),
+            wal_records: registry.counter(
+                "rq_wal_records_total",
+                "Write-ahead-log records appended (one per published epoch).",
+            ),
+            wal_bytes: registry.counter(
+                "rq_wal_bytes_total",
+                "Bytes appended to the write-ahead log, frame headers included.",
+            ),
+            wal_checkpoints: registry.counter(
+                "rq_wal_checkpoints_total",
+                "Checkpoint snapshots installed (each truncates the log).",
+            ),
+            wal_checkpoint_failures: registry.counter(
+                "rq_wal_checkpoint_failures_total",
+                "Checkpoint installs that failed and will be retried.",
+            ),
         }
     }
 }
@@ -370,13 +412,17 @@ impl QueryService {
 
     /// Serve `program` with explicit settings.
     pub fn with_config(program: Program, config: ServiceConfig) -> Self {
+        Self::build(SnapshotStore::new(program), config, None)
+    }
+
+    fn build(store: SnapshotStore, config: ServiceConfig, durable: Option<DurableStore>) -> Self {
         let plans = PlanCache::new();
         let results =
             ResultCache::with_limits(config.result_cache_capacity, config.result_cache_bytes);
         let metrics = Arc::new(Registry::new());
         let counters = ServiceCounters::register(&metrics, &plans, &results);
         let service = Self {
-            store: SnapshotStore::new(program),
+            store,
             plans,
             results,
             config,
@@ -384,12 +430,133 @@ impl QueryService {
             counters,
             started: Instant::now(),
             ingest_gc: std::sync::Mutex::new(()),
+            durable,
         };
-        // Epoch 0 already built its compact stores inside
-        // `SnapshotStore::new`; fold that first publish into the
-        // registry like every later ingest.
+        // Epoch 0 (or the recovered epoch) already built its compact
+        // stores inside the snapshot store; fold that first publish
+        // into the registry like every later ingest.
         service.note_publish(&service.store.snapshot());
         service
+    }
+
+    /// Open (or create) a durable service backed by files in
+    /// `data_dir`, with default settings: restore the latest
+    /// checkpoint, replay the write-ahead log tail to the exact
+    /// pre-crash epoch, and log every subsequent ingest before
+    /// acknowledging it.
+    pub fn open(program: Program, data_dir: &std::path::Path) -> Result<Self, ServiceError> {
+        Self::open_with_config(program, data_dir, ServiceConfig::default())
+    }
+
+    /// [`QueryService::open`] with explicit settings
+    /// (`config.durability` selects the fsync policy and checkpoint
+    /// cadence).
+    pub fn open_with_config(
+        program: Program,
+        data_dir: &std::path::Path,
+        config: ServiceConfig,
+    ) -> Result<Self, ServiceError> {
+        let backend =
+            rq_store::FileBackend::open(data_dir, config.durability.fsync).map_err(|e| {
+                ServiceError::Recovery(format!(
+                    "cannot open data dir `{}`: {e}",
+                    data_dir.display()
+                ))
+            })?;
+        Self::open_backend(program, Arc::new(backend), config)
+    }
+
+    /// Open a durable service over an explicit [`StorageBackend`] —
+    /// the seam the crash-injection tests use ([`rq_store::MemBackend`]
+    /// with a fault offset) and the file path above goes through.
+    ///
+    /// Recovery sequence: load whatever the backend trusts (verified
+    /// checkpoint + verified log prefix), restore the checkpoint onto
+    /// the freshly parsed `program` (hard error on a rule-set or
+    /// base-program mismatch), then replay the log tail in epoch
+    /// order.  Records at or below the recovered epoch are counted as
+    /// duplicates and skipped (a crash between checkpoint install and
+    /// log truncation leaves them behind); a gap in the epoch sequence
+    /// is a hard error — serving with silently missing ingests would
+    /// be worse than refusing to start.
+    pub fn open_backend(
+        program: Program,
+        backend: Arc<dyn StorageBackend>,
+        config: ServiceConfig,
+    ) -> Result<Self, ServiceError> {
+        let base = BaseProfile::of(&program);
+        let recovered = backend
+            .load()
+            .map_err(|e| ServiceError::Recovery(format!("cannot read durable state: {e}")))?;
+        let mut report = RecoveryReport {
+            dropped_records: recovered.dropped_records,
+            dropped_bytes: recovered.dropped_bytes,
+            checkpoint_dropped: recovered.checkpoint_dropped,
+            ..RecoveryReport::default()
+        };
+        let store = match recovered.checkpoint {
+            Some((_, payload)) => {
+                let restored = durable::restore_checkpoint(program, &payload)
+                    .map_err(ServiceError::Recovery)?;
+                report.checkpoint_epoch = Some(restored.epoch);
+                SnapshotStore::with_restored(
+                    restored.program,
+                    restored.epoch,
+                    restored.rev_low,
+                    restored.rev_high,
+                    restored.low_preds,
+                )
+            }
+            None => SnapshotStore::new(program),
+        };
+        for (epoch, payload) in &recovered.records {
+            let current = store.snapshot().epoch();
+            if *epoch <= current {
+                report.skipped_duplicates += 1;
+                continue;
+            }
+            if *epoch != current + 1 {
+                return Err(ServiceError::Recovery(format!(
+                    "write-ahead log gap: expected a record for epoch {}, found epoch {epoch}",
+                    current + 1
+                )));
+            }
+            // The frame CRC already verified, so a decode failure is a
+            // codec mismatch, not bit rot — fail loudly either way.
+            let record = durable::decode_record(payload).map_err(|e| {
+                ServiceError::Recovery(format!("log record for epoch {epoch}: {e}"))
+            })?;
+            if record.fingerprint != store.snapshot().rules_fingerprint() {
+                return Err(ServiceError::Recovery(format!(
+                    "log record for epoch {epoch} was written under a different rule set; \
+                     refusing to replay"
+                )));
+            }
+            store
+                .replay_rows(&record.rows)
+                .map_err(|e| ServiceError::Recovery(format!("cannot replay epoch {epoch}: {e}")))?;
+            report.replayed_records += 1;
+        }
+        report.recovered_epoch = store.snapshot().epoch();
+        let durable = DurableStore {
+            backend,
+            checkpoint_interval: config.durability.checkpoint_interval,
+            base,
+            since_checkpoint: AtomicU64::new(report.replayed_records),
+            report,
+        };
+        Ok(Self::build(store, config, Some(durable)))
+    }
+
+    /// Whether ingests are persisted to a storage backend.
+    pub fn durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// What boot-time recovery found and did (`None` for in-memory
+    /// services).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.durable.as_ref().map(|d| &d.report)
     }
 
     /// Parse `source` and serve it.
@@ -442,6 +609,16 @@ impl QueryService {
             delta_repairs: self.counters.delta_repairs.value(),
             delta_repaired_rows: self.counters.delta_repaired_rows.value(),
             delta_fallback_cold: self.counters.delta_fallback_cold.value(),
+            durability: self
+                .durable
+                .as_ref()
+                .map(|d| crate::durable::DurabilityStats {
+                    wal_records: self.counters.wal_records.value(),
+                    wal_bytes: self.counters.wal_bytes.value(),
+                    checkpoints: self.counters.wal_checkpoints.value(),
+                    checkpoint_failures: self.counters.wal_checkpoint_failures.value(),
+                    recovery: d.report.clone(),
+                }),
         }
     }
 
@@ -488,7 +665,28 @@ impl QueryService {
         let _gc = self.ingest_gc.lock().expect("ingest lock poisoned");
         let span = obs::span("service.ingest");
         let prev = self.store.snapshot();
-        let snap = self.store.ingest(facts_text)?;
+        // On durable services the write-ahead-log append runs as a
+        // pre-publish hook on the built-but-unpublished snapshot: the
+        // record hits the backend (fsynced under `FsyncPolicy::Always`)
+        // *before* the epoch pointer swaps, so no acknowledged epoch
+        // can be missing from the log.  An append failure aborts the
+        // publish and surfaces as `IngestError::Durability`.
+        let snap = match &self.durable {
+            None => self.store.ingest(facts_text)?,
+            Some(durable) => self.store.ingest_with(facts_text, |next| {
+                let _wal = obs::span("ingest.wal_append");
+                let payload = durable::encode_record(next).map_err(IngestError::Durability)?;
+                durable
+                    .backend
+                    .append(next.epoch(), &payload)
+                    .map_err(|e| IngestError::Durability(e.to_string()))?;
+                self.counters.wal_records.inc();
+                self.counters
+                    .wal_bytes
+                    .add((payload.len() + rq_store::FRAME_HEADER_BYTES) as u64);
+                Ok(())
+            })?,
+        };
         if span.active() {
             span.note("epoch", snap.epoch());
             span.note("dirty_preds", snap.dirty_preds().len());
@@ -514,7 +712,34 @@ impl QueryService {
         }
         self.counters.ingests.inc();
         self.note_publish(&snap);
+        self.maybe_checkpoint(&snap);
         Ok(snap)
+    }
+
+    /// Install a checkpoint snapshot every `checkpoint_interval`
+    /// ingests.  Failures are non-fatal — the epoch's record is
+    /// already in the log, so the counter keeps growing and the next
+    /// ingest retries immediately.
+    fn maybe_checkpoint(&self, snap: &Snapshot) {
+        let Some(durable) = &self.durable else { return };
+        if durable.checkpoint_interval == 0 {
+            return;
+        }
+        let since = durable.since_checkpoint.fetch_add(1, Ordering::Relaxed) + 1;
+        if since < durable.checkpoint_interval {
+            return;
+        }
+        let _span = obs::span("ingest.checkpoint");
+        let payload = durable::encode_checkpoint(snap, &durable.base);
+        match durable.backend.install_checkpoint(snap.epoch(), &payload) {
+            Ok(()) => {
+                durable.since_checkpoint.store(0, Ordering::Relaxed);
+                self.counters.wal_checkpoints.inc();
+            }
+            Err(_) => {
+                self.counters.wal_checkpoint_failures.inc();
+            }
+        }
     }
 
     /// Three-way result-cache sweep for one publish: `Carry` entries

@@ -20,7 +20,7 @@
 //! the epoch they started on.
 
 use crate::context::EpochContext;
-use rq_common::{Const, FxHashMap, FxHashSet, Pred};
+use rq_common::{Const, ConstValue, FxHashMap, FxHashSet, Pred};
 use rq_datalog::{parse_program, Database, Program};
 use std::sync::{Arc, Mutex, RwLock};
 
@@ -45,16 +45,29 @@ pub enum Durability {
 /// **added** relative to its parent (ingests are monotone — facts are
 /// only ever added — so additions are the whole delta).
 ///
-/// Duplicate facts never reach the delta: [`apply_validated`] skips
+/// Duplicate facts never reach the delta: `apply_validated` skips
 /// them before the database insert, so a recorded row is guaranteed to
 /// be new in this epoch.  Constants are interned in this epoch's
 /// program (ids are stable across epochs).
 #[derive(Clone, Debug, Default)]
 pub struct Delta {
     added: FxHashMap<Pred, Vec<Vec<Const>>>,
+    /// The same rows in **original insertion order** across predicates.
+    /// The write-ahead log serializes this list: replaying it re-interns
+    /// every new constant and predicate at exactly the position the
+    /// original ingest did, which is what makes recovered services
+    /// answer byte-identically (answer rows sort by interned id).
+    ordered: Vec<(Pred, Vec<Const>)>,
 }
 
 impl Delta {
+    /// Record one genuinely-new row (both the per-predicate group and
+    /// the cross-predicate insertion order).
+    fn push(&mut self, pred: Pred, row: Vec<Const>) {
+        self.added.entry(pred).or_default().push(row.clone());
+        self.ordered.push((pred, row));
+    }
+
     /// Whether the publish added nothing (duplicate-only ingest).
     pub fn is_empty(&self) -> bool {
         self.added.is_empty()
@@ -70,9 +83,15 @@ impl Delta {
         self.added.get(&pred).map(Vec::as_slice)
     }
 
+    /// Every added row in original insertion order — the write-ahead
+    /// log's view of the publish.
+    pub fn ordered_rows(&self) -> &[(Pred, Vec<Const>)] {
+        &self.ordered
+    }
+
     /// Total tuples added across all predicates.
     pub fn total_rows(&self) -> usize {
-        self.added.values().map(Vec::len).sum()
+        self.ordered.len()
     }
 }
 
@@ -263,6 +282,10 @@ pub enum IngestError {
         /// Arity in the ingested fact.
         got: usize,
     },
+    /// The durability hook (write-ahead log append) failed, so the
+    /// publish was aborted: the epoch was **not** bumped and no reader
+    /// ever saw the batch.
+    Durability(String),
 }
 
 impl std::fmt::Display for IngestError {
@@ -286,6 +309,9 @@ impl std::fmt::Display for IngestError {
                 f,
                 "fact for `{pred}` has arity {got}, but `{pred}` has arity {expected}"
             ),
+            IngestError::Durability(e) => {
+                write!(f, "cannot persist ingest (publish aborted): {e}")
+            }
         }
     }
 }
@@ -307,19 +333,42 @@ pub struct SnapshotStore {
 impl SnapshotStore {
     /// Open a store at epoch 0 with the program's facts as the EDB.
     pub fn new(program: Program) -> Self {
+        Self::with_meta(program, 0, PublishMeta::baseline())
+    }
+
+    /// Open a store whose first snapshot is a **recovered** epoch: the
+    /// program already carries every fact up to `epoch` (checkpoint
+    /// restore re-extends the interners and fact list), and the
+    /// durability bookkeeping resumes where the crashed service left
+    /// off.  Like epoch 0, every predicate reports dirty — there is no
+    /// parent epoch to be clean against.
+    pub fn with_restored(
+        program: Program,
+        epoch: u64,
+        rev_low: u64,
+        rev_high: u64,
+        low_preds: FxHashSet<Pred>,
+    ) -> Self {
+        Self::with_meta(
+            program,
+            epoch,
+            PublishMeta {
+                delta: Delta::default(),
+                low_preds,
+                rev_low,
+                rev_high,
+            },
+        )
+    }
+
+    fn with_meta(program: Program, epoch: u64, meta: PublishMeta) -> Self {
         let mut db = Database::from_program(&program);
         let dirty: FxHashSet<Pred> = program.preds.ids().collect();
-        // Epoch 0 owns every shard uniquely: trim the tail-chunk
-        // over-allocation the initial load left behind.
+        // The first snapshot owns every shard uniquely: trim the
+        // tail-chunk over-allocation the initial load left behind.
         db.compact_shards(dirty.iter().copied());
         Self {
-            current: RwLock::new(Arc::new(Snapshot::new(
-                0,
-                program,
-                db,
-                dirty,
-                PublishMeta::baseline(),
-            ))),
+            current: RwLock::new(Arc::new(Snapshot::new(epoch, program, db, dirty, meta))),
             writer: Mutex::new(()),
         }
     }
@@ -340,6 +389,20 @@ impl SnapshotStore {
     /// fails to parse, smuggles rules, or conflicts with the schema is
     /// rejected without paying any copy at all.
     pub fn ingest(&self, facts_text: &str) -> Result<Arc<Snapshot>, IngestError> {
+        self.ingest_with(facts_text, |_| Ok(()))
+    }
+
+    /// [`SnapshotStore::ingest`] with a durability hook: `pre_publish`
+    /// runs on the fully-built next snapshot **before** the pointer
+    /// swap makes it visible.  The write-ahead log appends here — if
+    /// the append fails the publish is aborted, the epoch does not
+    /// move, and no reader ever observed the batch (no acknowledged
+    /// epoch can be missing from the log).
+    pub fn ingest_with(
+        &self,
+        facts_text: &str,
+        pre_publish: impl FnOnce(&Snapshot) -> Result<(), IngestError>,
+    ) -> Result<Arc<Snapshot>, IngestError> {
         let _writer = self.writer.lock().expect("writer lock poisoned");
         let base = self.snapshot();
         let parsed = {
@@ -365,6 +428,75 @@ impl SnapshotStore {
             // touched.
             db.compact_shards(dirty.iter().copied());
         }
+        self.publish(&base, program, db, dirty, delta, pre_publish)
+    }
+
+    /// Re-apply one recovered write-ahead-log record: the rows of a
+    /// crashed service's publish, in original insertion order, as
+    /// `(pred name, arity, constant values)`.  Interning value-by-value
+    /// in that order reproduces the original interner ids exactly, so
+    /// the replayed epoch is structurally identical to the lost one —
+    /// same ids, same fact order, same durability stamps.  Rows are
+    /// values (not ids) precisely so this holds on a fresh process.
+    ///
+    /// Publishes `current epoch + 1`; the caller aligns record epochs.
+    pub fn replay_rows(
+        &self,
+        rows: &[(String, usize, Vec<ConstValue>)],
+    ) -> Result<Arc<Snapshot>, IngestError> {
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let base = self.snapshot();
+        let mut program = base.program.clone();
+        let mut db = base.db.clone();
+        let mut dirty = FxHashSet::default();
+        let mut delta = Delta::default();
+        for (name, arity, values) in rows {
+            // The same schema checks `validate_facts` ran on the
+            // original batch — a log that fails them is corrupt.
+            if let Some(existing) = program.pred_by_name(name) {
+                if program.is_derived(existing) {
+                    return Err(IngestError::DerivedPredicate(name.clone()));
+                }
+                if program.arity(existing) != *arity {
+                    return Err(IngestError::ArityMismatch {
+                        pred: name.clone(),
+                        expected: program.arity(existing),
+                        got: *arity,
+                    });
+                }
+            }
+            let fresh_pred = program.pred_by_name(name).is_none();
+            let target = program.pred(name, *arity);
+            let mapped: Vec<Const> = values
+                .iter()
+                .map(|v| program.consts.intern(v.clone()))
+                .collect();
+            if fresh_pred {
+                db.ensure_pred(target, *arity);
+                dirty.insert(target);
+            }
+            if !db.contains(target, &mapped) {
+                db.insert(target, &mapped);
+                delta.push(target, mapped.clone());
+                program.add_fact(target, mapped);
+                dirty.insert(target);
+            }
+        }
+        db.compact_shards(dirty.iter().copied());
+        self.publish(&base, program, db, dirty, delta, |_| Ok(()))
+    }
+
+    /// The shared publish tail: durability bookkeeping, snapshot
+    /// construction, the pre-publish hook, and the pointer swap.
+    fn publish(
+        &self,
+        base: &Snapshot,
+        program: Program,
+        db: Database,
+        dirty: FxHashSet<Pred>,
+        delta: Delta,
+        pre_publish: impl FnOnce(&Snapshot) -> Result<(), IngestError>,
+    ) -> Result<Arc<Snapshot>, IngestError> {
         // Durability bookkeeping: a dirtied predicate is demoted to the
         // low tier permanently; the high revision moves only when this
         // publish is the demoting one.
@@ -378,6 +510,7 @@ impl SnapshotStore {
             rev_high: base.rev_high + u64::from(demoted && !dirty.is_empty()),
         };
         let next = Arc::new(Snapshot::new(base.epoch + 1, program, db, dirty, meta));
+        pre_publish(&next)?;
         *self.current.write().expect("snapshot lock poisoned") = Arc::clone(&next);
         Ok(next)
     }
@@ -438,7 +571,7 @@ fn apply_validated(
         }
         if !db.contains(target, &mapped) {
             db.insert(target, &mapped);
-            delta.added.entry(target).or_default().push(mapped.clone());
+            delta.push(target, mapped.clone());
             program.add_fact(target, mapped);
             dirty.insert(target);
         }

@@ -9,6 +9,7 @@
 //! to all three at once — the surfaces can never drift apart.
 
 use crate::context::EpochContextStats;
+use crate::durable::DurabilityStats;
 use crate::plan::CacheStats;
 use rq_common::{Json, Registry};
 
@@ -55,6 +56,9 @@ pub struct StatsReport {
     /// Dirty plans that fell back to cold re-derivation at publish,
     /// service lifetime.
     pub delta_fallback_cold: u64,
+    /// Write-ahead-log/checkpoint totals and the boot-time recovery
+    /// outcome; `None` when the service is purely in-memory.
+    pub durability: Option<DurabilityStats>,
 }
 
 impl StatsReport {
@@ -136,6 +140,41 @@ impl StatsReport {
                     ("repaired_rows", int(self.delta_repaired_rows)),
                     ("fallback_cold", int(self.delta_fallback_cold)),
                 ]),
+            ),
+            (
+                "durability",
+                match &self.durability {
+                    None => Json::Null,
+                    Some(d) => Json::object([
+                        (
+                            "wal",
+                            Json::object([
+                                ("records", int(d.wal_records)),
+                                ("bytes", int(d.wal_bytes)),
+                                ("checkpoints", int(d.checkpoints)),
+                                ("checkpoint_failures", int(d.checkpoint_failures)),
+                            ]),
+                        ),
+                        (
+                            "recovery",
+                            Json::object([
+                                ("epoch", int(d.recovery.recovered_epoch)),
+                                (
+                                    "checkpoint_epoch",
+                                    d.recovery.checkpoint_epoch.map_or(Json::Null, int),
+                                ),
+                                ("replayed_records", int(d.recovery.replayed_records)),
+                                ("skipped_duplicates", int(d.recovery.skipped_duplicates)),
+                                ("dropped_records", int(d.recovery.dropped_records)),
+                                ("dropped_bytes", int(d.recovery.dropped_bytes)),
+                                (
+                                    "checkpoint_dropped",
+                                    Json::Bool(d.recovery.checkpoint_dropped),
+                                ),
+                            ]),
+                        ),
+                    ]),
+                },
             ),
         ])
     }
@@ -221,6 +260,45 @@ impl StatsReport {
             "Probe spaces inherited from the previous epoch.",
             clamp(self.context.probe_spaces_carried),
         );
+        if let Some(d) = &self.durability {
+            // The `rq_wal_*_total` counters are live registry cells;
+            // only the boot-time recovery outcome travels as gauges.
+            gauge(
+                "rq_recovery_epoch",
+                "Epoch boot-time recovery restored the service to.",
+                clamp(d.recovery.recovered_epoch),
+            );
+            gauge(
+                "rq_recovery_checkpoint_epoch",
+                "Checkpoint epoch recovery started from (-1 = no checkpoint).",
+                d.recovery.checkpoint_epoch.map_or(-1, clamp),
+            );
+            gauge(
+                "rq_recovery_replayed_records",
+                "Write-ahead-log records replayed at boot.",
+                clamp(d.recovery.replayed_records),
+            );
+            gauge(
+                "rq_recovery_skipped_duplicates",
+                "Verified log records skipped as already checkpointed.",
+                clamp(d.recovery.skipped_duplicates),
+            );
+            gauge(
+                "rq_recovery_dropped_records",
+                "Torn or corrupt trailing log records dropped at boot.",
+                clamp(d.recovery.dropped_records),
+            );
+            gauge(
+                "rq_recovery_dropped_bytes",
+                "Unverifiable trailing log bytes dropped at boot.",
+                clamp(d.recovery.dropped_bytes),
+            );
+            gauge(
+                "rq_recovery_checkpoint_dropped",
+                "Whether a checkpoint blob existed but failed verification.",
+                i64::from(d.recovery.checkpoint_dropped),
+            );
+        }
         registry.render()
     }
 }
@@ -266,7 +344,22 @@ impl std::fmt::Display for StatsReport {
             f,
             "delta repair: {} repair(s) / {} row(s) patched / {} cold fallback(s)",
             self.delta_repairs, self.delta_repaired_rows, self.delta_fallback_cold,
-        )
+        )?;
+        if let Some(d) = &self.durability {
+            write!(
+                f,
+                "\ndurability:   {} wal record(s) ({} bytes), {} checkpoint(s) / {} failure(s); recovered epoch {} ({} replayed, {} skipped, {} dropped)",
+                d.wal_records,
+                d.wal_bytes,
+                d.checkpoints,
+                d.checkpoint_failures,
+                d.recovery.recovered_epoch,
+                d.recovery.replayed_records,
+                d.recovery.skipped_duplicates,
+                d.recovery.dropped_records,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -310,6 +403,21 @@ mod tests {
             delta_repairs: 3,
             delta_repaired_rows: 12,
             delta_fallback_cold: 1,
+            durability: Some(DurabilityStats {
+                wal_records: 9,
+                wal_bytes: 640,
+                checkpoints: 2,
+                checkpoint_failures: 0,
+                recovery: crate::durable::RecoveryReport {
+                    recovered_epoch: 7,
+                    checkpoint_epoch: Some(6),
+                    replayed_records: 1,
+                    skipped_duplicates: 2,
+                    dropped_records: 1,
+                    dropped_bytes: 33,
+                    checkpoint_dropped: false,
+                },
+            }),
         }
     }
 
@@ -327,6 +435,13 @@ mod tests {
         assert!(text.contains("carried 2 machine entr(ies) / 1 probe space(s)"));
         assert!(text.contains("storage:      2 csr build(s) (150 µs), probes 40 csr / 8 trie"));
         assert!(text.contains("delta repair: 3 repair(s) / 12 row(s) patched / 1 cold fallback(s)"));
+        assert!(text.contains(
+            "durability:   9 wal record(s) (640 bytes), 2 checkpoint(s) / 0 failure(s); recovered epoch 7 (1 replayed, 2 skipped, 1 dropped)"
+        ));
+        // An in-memory service's report stays silent about durability.
+        let mut memory = report();
+        memory.durability = None;
+        assert!(!memory.to_string().contains("durability:"));
     }
 
     #[test]
@@ -363,6 +478,30 @@ mod tests {
         assert_eq!(repair.get("repairs").and_then(Json::as_i64), Some(3));
         assert_eq!(repair.get("repaired_rows").and_then(Json::as_i64), Some(12));
         assert_eq!(repair.get("fallback_cold").and_then(Json::as_i64), Some(1));
+        let durability = json.get("durability").unwrap();
+        let wal = durability.get("wal").unwrap();
+        assert_eq!(wal.get("records").and_then(Json::as_i64), Some(9));
+        assert_eq!(wal.get("bytes").and_then(Json::as_i64), Some(640));
+        assert_eq!(wal.get("checkpoints").and_then(Json::as_i64), Some(2));
+        let recovery = durability.get("recovery").unwrap();
+        assert_eq!(recovery.get("epoch").and_then(Json::as_i64), Some(7));
+        assert_eq!(
+            recovery.get("checkpoint_epoch").and_then(Json::as_i64),
+            Some(6)
+        );
+        assert_eq!(
+            recovery.get("replayed_records").and_then(Json::as_i64),
+            Some(1)
+        );
+        assert_eq!(
+            recovery.get("dropped_records").and_then(Json::as_i64),
+            Some(1)
+        );
+        assert_eq!(recovery.get("checkpoint_dropped"), Some(&Json::Bool(false)));
+        // An in-memory report serializes the section as null.
+        let mut memory = report();
+        memory.durability = None;
+        assert_eq!(memory.to_json().get("durability"), Some(&Json::Null));
         // Round-trips through the shared codec.
         let round = Json::parse(&json.encode()).unwrap();
         assert_eq!(round, json);
@@ -380,6 +519,12 @@ mod tests {
         assert!(text.contains("rq_epoch_context_probe_hits 9\n"));
         assert!(text.contains("rq_epoch_context_scc_served 1\n"));
         assert!(text.contains("rq_epoch_context_probe_spaces_carried 1\n"));
+        assert!(text.contains("rq_recovery_epoch 7\n"), "{text}");
+        assert!(text.contains("rq_recovery_checkpoint_epoch 6\n"));
+        assert!(text.contains("rq_recovery_replayed_records 1\n"));
+        assert!(text.contains("rq_recovery_dropped_records 1\n"));
+        assert!(text.contains("rq_recovery_dropped_bytes 33\n"));
+        assert!(text.contains("rq_recovery_checkpoint_dropped 0\n"));
         // A second export refreshes the gauges in place instead of
         // duplicating families.
         let again = report().export_prometheus(&registry);

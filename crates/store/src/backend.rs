@@ -1,0 +1,444 @@
+//! Storage backends behind one trait: a heap-backed store for tests
+//! (with raw-byte hooks for corruption injection) and a file-backed
+//! store for production.
+
+use crate::fault::FaultFile;
+use crate::frame::{decode_checkpoint_frame, encode_checkpoint_frame, encode_log_frame, scan_log};
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// When [`StorageBackend::append`] forces the record to stable media.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fsync` after every appended record: an acknowledged ingest
+    /// survives a power cut, not just a process kill.  The default.
+    #[default]
+    Always,
+    /// Never `fsync`; the OS flushes on its own schedule.  Acknowledged
+    /// ingests survive a process kill (the write syscall completed)
+    /// but a whole-machine crash may tear the tail — which recovery
+    /// handles, dropping the unverifiable suffix.
+    Never,
+}
+
+/// Everything a backend recovered at open time.
+///
+/// Records are returned exactly as scanned — including records at or
+/// below the checkpoint epoch (a crash between checkpoint install and
+/// log truncation leaves such stale duplicates behind).  The replay
+/// layer skips them by epoch and counts them; the backend never
+/// silently discards a verifiable record.
+#[derive(Debug, Default)]
+pub struct Recovered {
+    /// The newest intact checkpoint, if any: `(epoch, payload)`.
+    pub checkpoint: Option<(u64, Vec<u8>)>,
+    /// Verified log records in log order: `(epoch, payload)`.
+    pub records: Vec<(u64, Vec<u8>)>,
+    /// `1` when the log ends in a torn or corrupt frame (the scan
+    /// stops there; see [`crate::ScanOutcome::dropped_records`]).
+    pub dropped_records: u64,
+    /// Bytes of unverifiable log tail.
+    pub dropped_bytes: u64,
+    /// A checkpoint blob existed but failed verification and was
+    /// ignored.  Recovery then only succeeds if the log still reaches
+    /// back to the service's base epoch.
+    pub checkpoint_dropped: bool,
+}
+
+fn recover_from_parts(checkpoint_blob: Option<&[u8]>, log: &[u8]) -> Recovered {
+    let (checkpoint, checkpoint_dropped) = match checkpoint_blob {
+        None => (None, false),
+        Some(blob) => match decode_checkpoint_frame(blob) {
+            Some(ckpt) => (Some(ckpt), false),
+            None => (None, true),
+        },
+    };
+    let scan = scan_log(log);
+    Recovered {
+        checkpoint,
+        records: scan.records,
+        dropped_records: scan.dropped_records,
+        dropped_bytes: scan.dropped_bytes,
+        checkpoint_dropped,
+    }
+}
+
+/// Rebuild a log buffer retaining only records newer than `epoch`
+/// (used by checkpoint truncation).  An unverifiable tail is dropped
+/// here too: it was never recoverable, and carrying it across a
+/// truncation could make it *look* like fresh corruption.
+fn truncate_log_bytes(log: &[u8], epoch: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (rec_epoch, payload) in scan_log(log).records {
+        if rec_epoch > epoch {
+            out.extend_from_slice(&encode_log_frame(rec_epoch, &payload));
+        }
+    }
+    out
+}
+
+/// Durable storage for an epoch-aligned ingest log plus checkpoint
+/// snapshots.  Payloads are opaque; epochs are the only structure the
+/// backend understands.
+pub trait StorageBackend: Send + Sync + std::fmt::Debug {
+    /// Append one log record and make it durable per the fsync policy.
+    /// On error the record must be absent or a cleanly-droppable torn
+    /// tail — never a half-record followed by later appends.
+    fn append(&self, epoch: u64, payload: &[u8]) -> io::Result<()>;
+
+    /// Atomically install a checkpoint covering everything up to and
+    /// including `epoch`, then truncate the log to records after
+    /// `epoch`.  A crash between the install and the truncation leaves
+    /// stale records the replay layer skips by epoch.
+    fn install_checkpoint(&self, epoch: u64, payload: &[u8]) -> io::Result<()>;
+
+    /// Recover whatever the store holds.
+    fn load(&self) -> io::Result<Recovered>;
+}
+
+/// Heap-backed store for tests: same framing, same recovery path as
+/// the file backend, plus raw-byte hooks so corruption tests can flip
+/// and truncate exactly the byte they mean to, and a [`FaultFile`]
+/// on the log stream for deterministic crash injection.
+#[derive(Debug, Default)]
+pub struct MemBackend {
+    log: Mutex<FaultFile<Vec<u8>>>,
+    checkpoint: Mutex<Option<Vec<u8>>>,
+}
+
+impl MemBackend {
+    /// An empty store with no fault armed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty store whose log stream dies at cumulative byte offset
+    /// `kill_at`: the torn prefix persists, everything after fails.
+    pub fn with_fault(kill_at: u64) -> Self {
+        Self {
+            log: Mutex::new(FaultFile::new(Vec::new(), Some(kill_at))),
+            checkpoint: Mutex::new(None),
+        }
+    }
+
+    /// Whether the armed fault has fired.
+    pub fn fault_tripped(&self) -> bool {
+        self.log.lock().expect("log lock poisoned").tripped()
+    }
+
+    /// Disarm the fault — the "process" restarting over the same
+    /// surviving bytes writes normally again.
+    pub fn clear_fault(&self) {
+        self.log.lock().expect("log lock poisoned").clear_fault();
+    }
+
+    /// The raw log bytes as persisted (test hook).
+    pub fn raw_log(&self) -> Vec<u8> {
+        self.log
+            .lock()
+            .expect("log lock poisoned")
+            .get_ref()
+            .clone()
+    }
+
+    /// Replace the raw log bytes wholesale (test hook for synthesizing
+    /// arbitrary corruption).
+    pub fn set_raw_log(&self, bytes: Vec<u8>) {
+        *self.log.lock().expect("log lock poisoned").get_mut() = bytes;
+    }
+
+    /// Flip one bit of the persisted log at `offset` (test hook).
+    pub fn corrupt_log_byte(&self, offset: usize) {
+        let mut log = self.log.lock().expect("log lock poisoned");
+        log.get_mut()[offset] ^= 0x20;
+    }
+
+    /// Truncate the persisted log to `len` bytes (test hook).
+    pub fn truncate_log(&self, len: usize) {
+        self.log
+            .lock()
+            .expect("log lock poisoned")
+            .get_mut()
+            .truncate(len);
+    }
+
+    /// Bytes currently persisted in the log.
+    pub fn log_len(&self) -> usize {
+        self.log.lock().expect("log lock poisoned").get_ref().len()
+    }
+
+    /// The raw checkpoint blob, if one is installed (test hook).
+    pub fn raw_checkpoint(&self) -> Option<Vec<u8>> {
+        self.checkpoint
+            .lock()
+            .expect("checkpoint lock poisoned")
+            .clone()
+    }
+
+    /// Flip one bit of the installed checkpoint at `offset` (test hook).
+    pub fn corrupt_checkpoint_byte(&self, offset: usize) {
+        let mut ckpt = self.checkpoint.lock().expect("checkpoint lock poisoned");
+        ckpt.as_mut().expect("no checkpoint installed")[offset] ^= 0x20;
+    }
+}
+
+impl StorageBackend for MemBackend {
+    fn append(&self, epoch: u64, payload: &[u8]) -> io::Result<()> {
+        let mut log = self.log.lock().expect("log lock poisoned");
+        log.write_all(&encode_log_frame(epoch, payload))
+    }
+
+    fn install_checkpoint(&self, epoch: u64, payload: &[u8]) -> io::Result<()> {
+        let mut log = self.log.lock().expect("log lock poisoned");
+        if log.tripped() {
+            return Err(io::Error::other("injected crash: backend is dead"));
+        }
+        *self.checkpoint.lock().expect("checkpoint lock poisoned") =
+            Some(encode_checkpoint_frame(epoch, payload));
+        let truncated = truncate_log_bytes(log.get_ref(), epoch);
+        *log.get_mut() = truncated;
+        Ok(())
+    }
+
+    fn load(&self) -> io::Result<Recovered> {
+        let checkpoint = self.raw_checkpoint();
+        let log = self.raw_log();
+        Ok(recover_from_parts(checkpoint.as_deref(), &log))
+    }
+}
+
+/// File-backed store: `wal.log` holds the framed record stream,
+/// `checkpoint.snap` the newest checkpoint.  Checkpoint installation
+/// is write-tmp → fsync → rename → fsync-dir; log truncation rewrites
+/// the retained tail the same way.
+#[derive(Debug)]
+pub struct FileBackend {
+    dir: PathBuf,
+    fsync: FsyncPolicy,
+    log: Mutex<FaultFile<File>>,
+}
+
+impl FileBackend {
+    /// Open (or create) the store under `dir`.
+    pub fn open(dir: &Path, fsync: FsyncPolicy) -> io::Result<Self> {
+        Self::open_inner(dir, fsync, None)
+    }
+
+    /// Open with a crash armed at cumulative log byte `kill_at` —
+    /// the on-disk twin of [`MemBackend::with_fault`].
+    pub fn open_with_fault(dir: &Path, fsync: FsyncPolicy, kill_at: u64) -> io::Result<Self> {
+        Self::open_inner(dir, fsync, Some(kill_at))
+    }
+
+    fn open_inner(dir: &Path, fsync: FsyncPolicy, kill_at: Option<u64>) -> io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let log = Self::open_log(dir)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            fsync,
+            log: Mutex::new(FaultFile::new(log, kill_at)),
+        })
+    }
+
+    fn open_log(dir: &Path) -> io::Result<File> {
+        OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(dir.join("wal.log"))
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn sync_dir(&self) -> io::Result<()> {
+        // Directory fsync makes the rename itself durable; best-effort
+        // on filesystems that refuse to sync directories.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+
+    /// Write `bytes` to `final_name` atomically via a `.tmp` sibling.
+    fn write_atomic(&self, final_name: &str, bytes: &[u8]) -> io::Result<()> {
+        let tmp = self.dir.join(format!("{final_name}.tmp"));
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.dir.join(final_name))?;
+        self.sync_dir()
+    }
+}
+
+impl StorageBackend for FileBackend {
+    fn append(&self, epoch: u64, payload: &[u8]) -> io::Result<()> {
+        let mut log = self.log.lock().expect("log lock poisoned");
+        log.write_all(&encode_log_frame(epoch, payload))?;
+        log.flush()?;
+        if self.fsync == FsyncPolicy::Always {
+            log.get_ref().sync_data()?;
+        }
+        Ok(())
+    }
+
+    fn install_checkpoint(&self, epoch: u64, payload: &[u8]) -> io::Result<()> {
+        let mut log = self.log.lock().expect("log lock poisoned");
+        if log.tripped() {
+            return Err(io::Error::other("injected crash: backend is dead"));
+        }
+        self.write_atomic("checkpoint.snap", &encode_checkpoint_frame(epoch, payload))?;
+        // Truncate the log to records after the checkpoint.  A crash
+        // before this rewrite lands just leaves stale records that
+        // replay skips by epoch.
+        let current = std::fs::read(self.dir.join("wal.log")).unwrap_or_default();
+        self.write_atomic("wal.log", &truncate_log_bytes(&current, epoch))?;
+        // The append handle still points at the replaced inode: reopen.
+        *log.get_mut() = Self::open_log(&self.dir)?;
+        Ok(())
+    }
+
+    fn load(&self) -> io::Result<Recovered> {
+        let checkpoint = match File::open(self.dir.join("checkpoint.snap")) {
+            Ok(mut f) => {
+                let mut blob = Vec::new();
+                f.read_to_end(&mut blob)?;
+                Some(blob)
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => None,
+            Err(e) => return Err(e),
+        };
+        let log = match std::fs::read(self.dir.join("wal.log")) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e),
+        };
+        Ok(recover_from_parts(checkpoint.as_deref(), &log))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rq-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn backend_round_trip(backend: &dyn StorageBackend) {
+        backend.append(1, b"one").unwrap();
+        backend.append(2, b"two").unwrap();
+        let out = backend.load().unwrap();
+        assert!(out.checkpoint.is_none());
+        assert_eq!(
+            out.records,
+            vec![(1, b"one".to_vec()), (2, b"two".to_vec())]
+        );
+        assert_eq!(out.dropped_records, 0);
+
+        backend.install_checkpoint(2, b"ckpt@2").unwrap();
+        backend.append(3, b"three").unwrap();
+        let out = backend.load().unwrap();
+        assert_eq!(out.checkpoint, Some((2, b"ckpt@2".to_vec())));
+        assert_eq!(out.records, vec![(3, b"three".to_vec())]);
+        assert!(!out.checkpoint_dropped);
+    }
+
+    #[test]
+    fn mem_backend_round_trips_records_and_checkpoints() {
+        backend_round_trip(&MemBackend::new());
+    }
+
+    #[test]
+    fn file_backend_round_trips_records_and_checkpoints() {
+        let dir = temp_dir("roundtrip");
+        backend_round_trip(&FileBackend::open(&dir, FsyncPolicy::Always).unwrap());
+        // And the state survives a reopen (fresh handles, same files).
+        let reopened = FileBackend::open(&dir, FsyncPolicy::Always).unwrap();
+        let out = reopened.load().unwrap();
+        assert_eq!(out.checkpoint, Some((2, b"ckpt@2".to_vec())));
+        assert_eq!(out.records, vec![(3, b"three".to_vec())]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mem_fault_tearss_the_tail_and_recovery_drops_it() {
+        // Learn the clean log size, then kill mid-way through record 2.
+        let clean = MemBackend::new();
+        clean.append(1, b"one").unwrap();
+        let first = clean.log_len() as u64;
+        clean.append(2, b"two").unwrap();
+
+        let faulty = MemBackend::with_fault(first + 5);
+        faulty.append(1, b"one").unwrap();
+        assert!(faulty.append(2, b"two").is_err());
+        assert!(faulty.fault_tripped());
+        assert!(faulty.append(3, b"never").is_err(), "the store stays dead");
+        let out = faulty.load().unwrap();
+        assert_eq!(out.records, vec![(1, b"one".to_vec())]);
+        assert_eq!(out.dropped_records, 1);
+        assert_eq!(out.dropped_bytes, 5);
+    }
+
+    #[test]
+    fn file_fault_tears_the_tail_on_disk_too() {
+        let dir = temp_dir("fault");
+        {
+            let clean = MemBackend::new();
+            clean.append(1, b"one").unwrap();
+            let first = clean.log_len() as u64;
+            let faulty = FileBackend::open_with_fault(&dir, FsyncPolicy::Never, first + 7).unwrap();
+            faulty.append(1, b"one").unwrap();
+            assert!(faulty.append(2, b"two").is_err());
+        }
+        // "Restart": a fresh backend over the surviving bytes.
+        let recovered = FileBackend::open(&dir, FsyncPolicy::Always).unwrap();
+        let out = recovered.load().unwrap();
+        assert_eq!(out.records, vec![(1, b"one".to_vec())]);
+        assert_eq!(out.dropped_records, 1);
+        assert_eq!(out.dropped_bytes, 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_reported_not_trusted() {
+        let backend = MemBackend::new();
+        backend.append(1, b"one").unwrap();
+        backend.install_checkpoint(1, b"ckpt").unwrap();
+        backend.corrupt_checkpoint_byte(crate::FRAME_HEADER_BYTES); // payload bit-flip
+        let out = backend.load().unwrap();
+        assert_eq!(out.checkpoint, None);
+        assert!(out.checkpoint_dropped);
+    }
+
+    #[test]
+    fn stale_records_survive_a_missed_truncation_and_are_returned() {
+        // Simulate a crash after checkpoint install but before log
+        // truncation: install, then put the full log back.
+        let backend = MemBackend::new();
+        backend.append(1, b"one").unwrap();
+        backend.append(2, b"two").unwrap();
+        let full_log = backend.raw_log();
+        backend.install_checkpoint(2, b"ckpt@2").unwrap();
+        backend.set_raw_log(full_log);
+        let out = backend.load().unwrap();
+        assert_eq!(out.checkpoint, Some((2, b"ckpt@2".to_vec())));
+        // Both stale records come back; the replay layer skips them.
+        assert_eq!(out.records.len(), 2);
+    }
+
+    #[test]
+    fn backends_are_object_safe_and_shareable() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemBackend>();
+        assert_send_sync::<FileBackend>();
+        let _boxed: Box<dyn StorageBackend> = Box::new(MemBackend::new());
+    }
+}

@@ -1,0 +1,193 @@
+//! Minimal little-endian byte codec shared by the log/checkpoint
+//! payload encoders in `rq-service` and the framing layer here.
+//!
+//! Writes are infallible (`Vec` growth); reads return a
+//! [`CodecError`] on truncation or malformed length prefixes instead
+//! of panicking — a corrupt payload must degrade into a counted
+//! recovery drop, never a crash.
+
+/// A decode failure: the payload ended early or carried a malformed
+/// length prefix.  Deliberately message-only — recovery treats every
+/// decode failure the same way (stop, count, serve what verified).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed payload: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Append-only little-endian writer over a growable buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// A fresh, empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bytes written so far, consuming the writer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// One byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Little-endian `i64`.
+    pub fn put_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// A length-prefixed (`u32`) byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(u32::try_from(v.len()).expect("payload segment over 4 GiB"));
+        self.buf.extend_from_slice(v);
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+}
+
+/// Little-endian reader over a borrowed payload.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Read `data` from the start.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether the whole payload was consumed (decoders check this to
+    /// reject trailing garbage).
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError(format!(
+                "wanted {n} bytes at offset {}, {} remain",
+                self.pos,
+                self.remaining()
+            )));
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// One byte.
+    pub fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, CodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, CodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Little-endian `i64`.
+    pub fn i64(&mut self) -> Result<i64, CodecError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// A length-prefixed byte string.
+    pub fn bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+
+    /// A length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<&'a str, CodecError> {
+        std::str::from_utf8(self.bytes()?)
+            .map_err(|e| CodecError(format!("invalid UTF-8 string: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_every_primitive() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_i64(-42);
+        w.put_str("héllo");
+        w.put_bytes(&[1, 2, 3]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.i64().unwrap(), -42);
+        assert_eq!(r.str().unwrap(), "héllo");
+        assert_eq!(r.bytes().unwrap(), &[1, 2, 3]);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncation_is_an_error_not_a_panic() {
+        let mut w = ByteWriter::new();
+        w.put_str("abcdef");
+        let mut bytes = w.into_bytes();
+        bytes.truncate(bytes.len() - 2);
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.str().is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut w = ByteWriter::new();
+        w.put_u32(u32::MAX); // claims a 4 GiB string
+        let bytes = w.into_bytes();
+        assert!(ByteReader::new(&bytes).bytes().is_err());
+    }
+}

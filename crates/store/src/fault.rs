@@ -1,0 +1,158 @@
+//! Deterministic crash injection for the write path.
+//!
+//! A [`FaultFile`] wraps any [`std::io::Write`] and kills the stream
+//! at a chosen cumulative byte offset: bytes before the offset are
+//! written through, the byte at the offset and everything after it
+//! never reach the inner writer, and every subsequent write (or flush)
+//! fails like a dead process's file descriptor would.  Driving the
+//! same workload with every possible kill offset reproduces every
+//! torn-tail shape a real power cut can leave — deterministically,
+//! in-process, without actually killing anything.
+
+use std::io::{self, Write};
+
+/// A write-through wrapper that injects a crash at a byte offset.
+#[derive(Debug, Default)]
+pub struct FaultFile<W> {
+    inner: W,
+    written: u64,
+    kill_at: Option<u64>,
+    tripped: bool,
+}
+
+impl<W> FaultFile<W> {
+    /// Wrap `inner`; `kill_at = Some(n)` persists exactly the first
+    /// `n` bytes written through this wrapper and fails everything
+    /// after, `None` never injects.
+    pub fn new(inner: W, kill_at: Option<u64>) -> Self {
+        Self {
+            inner,
+            written: 0,
+            kill_at,
+            tripped: false,
+        }
+    }
+
+    /// Total bytes actually written through to the inner writer.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Whether the injected crash has fired.
+    pub fn tripped(&self) -> bool {
+        self.tripped
+    }
+
+    /// The wrapped writer.
+    pub fn get_ref(&self) -> &W {
+        &self.inner
+    }
+
+    /// The wrapped writer, mutably.  Replacing it (e.g. swapping in a
+    /// truncated log buffer) keeps the cumulative byte counter — the
+    /// kill offset is defined over the *append stream*, not the file's
+    /// current size.
+    pub fn get_mut(&mut self) -> &mut W {
+        &mut self.inner
+    }
+
+    /// Unwrap the inner writer.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+
+    /// Disarm the fault and reset the tripped state — a recovered
+    /// "process" reopening the same backing store writes normally.
+    pub fn clear_fault(&mut self) {
+        self.kill_at = None;
+        self.tripped = false;
+    }
+
+    fn crash(&mut self) -> io::Error {
+        self.tripped = true;
+        io::Error::other("injected crash: FaultFile kill offset reached")
+    }
+}
+
+impl<W: Write> Write for FaultFile<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let Some(kill_at) = self.kill_at else {
+            let n = self.inner.write(buf)?;
+            self.written += n as u64;
+            return Ok(n);
+        };
+        if self.tripped || self.written >= kill_at {
+            return Err(self.crash());
+        }
+        let allowed = usize::try_from(kill_at - self.written)
+            .unwrap_or(usize::MAX)
+            .min(buf.len());
+        let n = self.inner.write(&buf[..allowed])?;
+        self.written += n as u64;
+        if n < buf.len() {
+            // The prefix landed; the rest of this write "was in flight
+            // when the power went out".
+            return Err(self.crash());
+        }
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.tripped {
+            return Err(self.crash());
+        }
+        self.inner.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn without_a_fault_everything_passes_through() {
+        let mut f = FaultFile::new(Vec::new(), None);
+        f.write_all(b"hello world").unwrap();
+        f.flush().unwrap();
+        assert_eq!(f.written(), 11);
+        assert!(!f.tripped());
+        assert_eq!(f.into_inner(), b"hello world");
+    }
+
+    #[test]
+    fn kill_offset_persists_exactly_the_prefix() {
+        let mut f = FaultFile::new(Vec::new(), Some(7));
+        assert!(f.write_all(b"hello world").is_err());
+        assert!(f.tripped());
+        assert_eq!(f.get_ref().as_slice(), b"hello w");
+        // Everything after the crash fails too.
+        assert!(f.write_all(b"more").is_err());
+        assert!(f.flush().is_err());
+        assert_eq!(f.get_ref().as_slice(), b"hello w");
+    }
+
+    #[test]
+    fn kill_offset_spanning_multiple_writes_counts_cumulatively() {
+        let mut f = FaultFile::new(Vec::new(), Some(5));
+        f.write_all(b"abc").unwrap();
+        assert!(f.write_all(b"defg").is_err());
+        assert_eq!(f.get_ref().as_slice(), b"abcde");
+    }
+
+    #[test]
+    fn kill_at_zero_persists_nothing() {
+        let mut f = FaultFile::new(Vec::new(), Some(0));
+        assert!(f.write_all(b"x").is_err());
+        assert!(f.get_ref().is_empty());
+    }
+
+    #[test]
+    fn clearing_the_fault_resumes_writes() {
+        let mut f = FaultFile::new(Vec::new(), Some(2));
+        assert!(f.write_all(b"abcd").is_err());
+        f.clear_fault();
+        f.write_all(b"ef").unwrap();
+        assert_eq!(f.get_ref().as_slice(), b"abef");
+        assert_eq!(f.written(), 4);
+    }
+}

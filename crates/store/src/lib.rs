@@ -1,0 +1,43 @@
+//! Durable storage for the query service: an append-only,
+//! CRC-checksummed write-ahead log plus compact checkpoint snapshots,
+//! behind one [`StorageBackend`] trait (Cozo-style pluggable storage:
+//! an in-memory backend for tests, a file-backed one for production).
+//!
+//! This crate is deliberately policy-free: it frames, checksums,
+//! persists and recovers **opaque byte payloads** keyed by epoch.  What
+//! a payload means — a serialized ingest delta, a shard snapshot — is
+//! the service layer's business (`rq-service`).  Keeping the crate
+//! std-only (no workspace dependencies) lets every layer above it,
+//! including `rq-wire` tests, pull it in without cycles.
+//!
+//! The durability contract:
+//!
+//! * [`StorageBackend::append`] is atomic-at-the-record level: after a
+//!   crash, a record is either fully readable (its CRC verifies) or it
+//!   is the torn tail and recovery drops it — never half-applied.
+//! * [`StorageBackend::install_checkpoint`] is atomic wholesale
+//!   (write-tmp → fsync → rename), and only then truncates the log up
+//!   to the checkpoint epoch.  A crash between the two leaves stale
+//!   log records *behind* the checkpoint, which recovery skips by
+//!   epoch — duplication is safe, loss is not.
+//! * [`StorageBackend::load`] stops at the **first** corrupt frame:
+//!   everything after an unverifiable record is untrusted (counted,
+//!   never replayed, never panicked over).
+//!
+//! Crash injection is first-class: [`FaultFile`] wraps any writer and
+//! kills the stream at a chosen byte offset, so tests can simulate a
+//! power cut at every byte of a workload's log and assert recovery
+//! equals the never-crashed prefix.
+
+mod backend;
+mod bytes;
+mod fault;
+mod frame;
+
+pub use backend::{FileBackend, FsyncPolicy, MemBackend, Recovered, StorageBackend};
+pub use bytes::{ByteReader, ByteWriter, CodecError};
+pub use fault::FaultFile;
+pub use frame::{
+    crc32, decode_checkpoint_frame, encode_checkpoint_frame, encode_log_frame, scan_log,
+    ScanOutcome, FRAME_HEADER_BYTES,
+};

@@ -216,6 +216,11 @@ fn ingest_endpoint(service: &QueryService, json: &Json) -> ApiResponse {
         Ok(snap) => ApiResponse::ok(Json::object([
             ("epoch", Json::Int(snap.epoch() as i64)),
             ("tuples", Json::Int(snap.db().total_tuples() as i64)),
+            // `true` means the epoch's write-ahead-log record was
+            // persisted (and, under `FsyncPolicy::Always`, fsynced)
+            // before this acknowledgement; `false` means the service
+            // is in-memory and the epoch dies with the process.
+            ("durable", Json::Bool(service.durable())),
             (
                 "dirty",
                 Json::Array({

@@ -85,13 +85,17 @@
 //! {"facts": "e(c,d). e(d,f)."}
 //!
 //! 200 OK
-//! {"epoch":1,"tuples":4,"dirty":["e"]}
+//! {"epoch":1,"tuples":4,"durable":false,"dirty":["e"]}
 //! ```
 //!
 //! Fact clauses only; the batch is validated **before** any
 //! copy-on-write clone, so a rejected ingest (`400`) costs nothing and
 //! publishes nothing.  `dirty` lists the predicates whose storage
 //! shard the publish replaced — the unit of cache invalidation.
+//! `durable` is `true` when the service runs with a data directory
+//! (`rqc serve --data-dir`): the epoch's write-ahead-log record was
+//! persisted *before* the acknowledgement, so the published epoch
+//! survives a crash.
 //!
 //! ## `GET /stats` — the shared counter report
 //!

@@ -3,8 +3,8 @@
 //! ```text
 //! rqc <program.dl> <query> [--stats] [--plan] [--max-iterations N]
 //! rqc repl [program.dl]        interactive session (see :help)
-//! rqc serve <program.dl> [--threads N]             stdin serving session
-//! rqc serve <program.dl> --http <addr> [--threads N]   HTTP serving (rq-wire)
+//! rqc serve <program.dl> [--threads N] [--data-dir <dir>]   stdin serving session
+//! rqc serve <program.dl> --http <addr> [--threads N] [--data-dir <dir>]   HTTP serving (rq-wire)
 //! rqc --demo
 //! ```
 //!
@@ -31,7 +31,7 @@ down(lisa, erik). down(mary, john).
 fn usage() {
     eprintln!("usage: rqc <program.dl> <query> [--stats] [--plan] [--max-iterations N]");
     eprintln!("       rqc repl [program.dl]");
-    eprintln!("       rqc serve <program.dl> [--threads N] [--http <addr>]");
+    eprintln!("       rqc serve <program.dl> [--threads N] [--http <addr>] [--data-dir <dir>]");
     eprintln!("       rqc --demo");
 }
 
@@ -64,17 +64,32 @@ fn main() -> ExitCode {
                 Some(addr) if !addr.starts_with("--") => Ok(addr.clone()),
                 _ => Err(()),
             });
+        let data_dir = args
+            .iter()
+            .position(|a| a == "--data-dir")
+            .map(|i| match args.get(i + 1) {
+                Some(dir) if !dir.starts_with("--") => Ok(std::path::PathBuf::from(dir)),
+                _ => Err(()),
+            });
         let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
             eprintln!("`rqc serve` needs a program file");
             return ExitCode::from(2);
         };
+        let data_dir = match data_dir {
+            Some(Ok(dir)) => Some(dir),
+            Some(Err(())) => {
+                eprintln!("`--data-dir` needs a directory, e.g. --data-dir ./rq-data");
+                return ExitCode::from(2);
+            }
+            None => None,
+        };
         return match http {
-            Some(Ok(addr)) => serve_http(path, threads, &addr),
+            Some(Ok(addr)) => serve_http(path, threads, &addr, data_dir.as_deref()),
             Some(Err(())) => {
                 eprintln!("`--http` needs a bind address, e.g. --http 127.0.0.1:7474");
                 ExitCode::from(2)
             }
-            None => serve(path, threads),
+            None => serve(path, threads, data_dir.as_deref()),
         };
     }
 
@@ -165,7 +180,12 @@ fn main() -> ExitCode {
 /// the stdin loop, exposed over the `rq-wire` HTTP/1.1 JSON API.
 /// Prints the bound address on stderr (one line, parseable by scripts
 /// that bind port 0) and serves until killed.
-fn serve_http(path: &str, threads: usize, addr: &str) -> ExitCode {
+fn serve_http(
+    path: &str,
+    threads: usize,
+    addr: &str,
+    data_dir: Option<&std::path::Path>,
+) -> ExitCode {
     let source = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -173,7 +193,7 @@ fn serve_http(path: &str, threads: usize, addr: &str) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let session = match ServeSession::new(&source, threads) {
+    let session = match ServeSession::with_data_dir(&source, threads, data_dir) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{e}");
@@ -181,6 +201,7 @@ fn serve_http(path: &str, threads: usize, addr: &str) -> ExitCode {
         }
     };
     let service = std::sync::Arc::new(session.into_service());
+    print_recovery_banner(&service);
     let wire_config = rq_wire::WireConfig {
         workers: threads,
         ..rq_wire::WireConfig::default()
@@ -214,7 +235,25 @@ fn serve_http(path: &str, threads: usize, addr: &str) -> ExitCode {
     }
 }
 
-fn serve(path: &str, threads: usize) -> ExitCode {
+/// One stderr line describing what boot-time recovery restored, only
+/// for durable services — scripts assert on its `recovered epoch`.
+fn print_recovery_banner(service: &rq_service::QueryService) {
+    if let Some(report) = service.recovery_report() {
+        eprintln!(
+            "rqc serve — data dir recovered to epoch {} ({} checkpoint, {} replayed, {} skipped, {} dropped)",
+            report.recovered_epoch,
+            match report.checkpoint_epoch {
+                Some(e) => format!("epoch {e}"),
+                None => "no".to_string(),
+            },
+            report.replayed_records,
+            report.skipped_duplicates,
+            report.dropped_records,
+        );
+    }
+}
+
+fn serve(path: &str, threads: usize, data_dir: Option<&std::path::Path>) -> ExitCode {
     let source = match std::fs::read_to_string(path) {
         Ok(s) => s,
         Err(e) => {
@@ -222,13 +261,14 @@ fn serve(path: &str, threads: usize) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let mut session = match ServeSession::new(&source, threads) {
+    let mut session = match ServeSession::with_data_dir(&source, threads, data_dir) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{e}");
             return ExitCode::FAILURE;
         }
     };
+    print_recovery_banner(session.service());
     eprintln!(
         "rqc serve — {} worker thread(s), epoch {} — :help for commands",
         session.service().config().threads,

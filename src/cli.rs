@@ -414,6 +414,20 @@ impl ServeSession {
     /// Start serving `source` with `threads` batch workers (0 = the
     /// machine's parallelism).
     pub fn new(source: &str, threads: usize) -> Result<Self, String> {
+        Self::with_data_dir(source, threads, None)
+    }
+
+    /// [`ServeSession::new`] with optional durability: when `data_dir`
+    /// is set, the service recovers its pre-crash state from that
+    /// directory (checkpoint + write-ahead-log replay, see
+    /// [`rq_service::QueryService::open`]) and logs every subsequent
+    /// ingest before acknowledging it — the `rqc serve --data-dir`
+    /// path.
+    pub fn with_data_dir(
+        source: &str,
+        threads: usize,
+        data_dir: Option<&std::path::Path>,
+    ) -> Result<Self, String> {
         let program = parse_program(source).map_err(|e| e.to_string())?;
         let mut config = rq_service::ServiceConfig::default();
         if threads > 0 {
@@ -423,8 +437,13 @@ impl ServeSession {
             config.threads = threads;
             config.eval_threads = threads;
         }
+        let service = match data_dir {
+            None => rq_service::QueryService::with_config(program, config),
+            Some(dir) => rq_service::QueryService::open_with_config(program, dir, config)
+                .map_err(|e| e.to_string())?,
+        };
         Ok(Self {
-            service: rq_service::QueryService::with_config(program, config),
+            service,
             trace: false,
         })
     }

@@ -21,10 +21,12 @@ e(a,b). e(b,c). e(c,d).\n\
 flight(hel,540,ams,690). flight(ams,720,cdg,810). flight(cdg,840,nce,930).\n\
 is_deptime(540). is_deptime(720). is_deptime(840).\n";
 
-/// A running `rqc serve --http` child, killed on drop.
+/// A running `rqc serve --http` child, killed on drop (SIGKILL — the
+/// child gets no chance to flush anything not already durable).
 struct Server {
     child: Child,
     addr: String,
+    banner: String,
 }
 
 impl Drop for Server {
@@ -35,34 +37,53 @@ impl Drop for Server {
 }
 
 fn spawn_server() -> Server {
+    spawn_server_with(None)
+}
+
+fn spawn_server_with(data_dir: Option<&std::path::Path>) -> Server {
     let dir = std::env::temp_dir().join(format!("rqc-http-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let program = dir.join("serve.dl");
     std::fs::write(&program, PROGRAM).unwrap();
-    let mut child = Command::new(RQC)
-        .arg("serve")
+    let mut cmd = Command::new(RQC);
+    cmd.arg("serve")
         .arg(&program)
         .arg("--http")
         .arg("127.0.0.1:0")
         .arg("--threads")
-        .arg("2")
+        .arg("2");
+    if let Some(d) = data_dir {
+        cmd.arg("--data-dir").arg(d);
+    }
+    let mut child = cmd
         .stdin(Stdio::null())
         .stdout(Stdio::null())
         .stderr(Stdio::piped())
         .spawn()
         .unwrap();
-    // The banner line on stderr carries the bound address:
-    // `rqc serve --http 127.0.0.1:PORT — …`
+    // A banner line on stderr carries the bound address:
+    // `rqc serve --http 127.0.0.1:PORT — …`.  With `--data-dir` a
+    // recovery banner precedes it, so scan until the address appears.
+    let mut reader = BufReader::new(child.stderr.take().unwrap());
     let mut banner = String::new();
-    BufReader::new(child.stderr.take().unwrap())
-        .read_line(&mut banner)
-        .unwrap();
-    let addr = banner
-        .split_whitespace()
-        .find(|w| w.starts_with("127.0.0.1:"))
-        .unwrap_or_else(|| panic!("no bound address in banner: {banner}"))
-        .to_string();
-    Server { child, addr }
+    let addr = loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line).unwrap() == 0 {
+            panic!("server exited before binding; stderr so far: {banner}");
+        }
+        banner.push_str(&line);
+        if let Some(word) = line
+            .split_whitespace()
+            .find(|w| w.starts_with("127.0.0.1:"))
+        {
+            break word.to_string();
+        }
+    };
+    Server {
+        child,
+        addr,
+        banner,
+    }
 }
 
 /// One request, raw: status line, full header section, and body text.
@@ -197,6 +218,70 @@ fn healthz_answers_and_batch_matches_serve_session_byte_for_byte() {
         carried.get("probe_spaces").and_then(Json::as_i64).unwrap() >= 1,
         "{stats:?}"
     );
+}
+
+#[test]
+fn sigkilled_server_recovers_its_data_dir_and_answers_identically() {
+    let data_dir = std::env::temp_dir().join(format!("rqc-recover-test-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    std::fs::create_dir_all(&data_dir).unwrap();
+
+    // First life: ingest twice (both acks must say durable), take a
+    // reference answer, then SIGKILL without any shutdown courtesy.
+    let server = spawn_server_with(Some(&data_dir));
+    let (status, ingest) = request(
+        &server.addr,
+        "POST",
+        "/ingest",
+        r#"{"facts": "e(d, q). e(q, r)."}"#,
+    );
+    assert_eq!(status, 200, "{ingest:?}");
+    assert_eq!(ingest.get("epoch").and_then(Json::as_i64), Some(1));
+    assert_eq!(ingest.get("durable"), Some(&Json::Bool(true)), "{ingest:?}");
+    let (status, ingest) = request(&server.addr, "POST", "/ingest", r#"{"facts": "e(r, s)."}"#);
+    assert_eq!(status, 200, "{ingest:?}");
+    assert_eq!(ingest.get("epoch").and_then(Json::as_i64), Some(2));
+    let (status, before) = request(&server.addr, "POST", "/query", r#"{"query": "tc(a, Y)"}"#);
+    assert_eq!(status, 200);
+    assert_eq!(
+        before.get("rows").and_then(Json::as_array).unwrap().len(),
+        6
+    );
+    drop(server); // SIGKILL
+
+    // Second life, same data dir: the banner reports the recovery, the
+    // epoch survives, and the answer is byte-identical to pre-crash.
+    let server = spawn_server_with(Some(&data_dir));
+    assert!(
+        server.banner.contains("recovered to epoch 2"),
+        "no recovery banner in stderr: {}",
+        server.banner
+    );
+    let (status, health) = request(&server.addr, "GET", "/healthz", "");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("epoch").and_then(Json::as_i64), Some(2));
+    let (status, after) = request(&server.addr, "POST", "/query", r#"{"query": "tc(a, Y)"}"#);
+    assert_eq!(status, 200);
+    assert_eq!(after.encode(), before.encode());
+    let (_, stats) = request(&server.addr, "GET", "/stats", "");
+    let recovery = stats
+        .get("durability")
+        .and_then(|d| d.get("recovery"))
+        .expect("recovery counters in /stats");
+    assert_eq!(recovery.get("epoch").and_then(Json::as_i64), Some(2));
+    assert_eq!(
+        recovery.get("dropped_records").and_then(Json::as_i64),
+        Some(0)
+    );
+
+    // And the recovered service keeps going: a third ingest lands on
+    // epoch 3 and is durable in turn.
+    let (status, ingest) = request(&server.addr, "POST", "/ingest", r#"{"facts": "e(s, t)."}"#);
+    assert_eq!(status, 200, "{ingest:?}");
+    assert_eq!(ingest.get("epoch").and_then(Json::as_i64), Some(3));
+    assert_eq!(ingest.get("durable"), Some(&Json::Bool(true)));
+
+    let _ = std::fs::remove_dir_all(&data_dir);
 }
 
 #[test]
