@@ -736,7 +736,15 @@ impl QueryService {
                 durable.since_checkpoint.store(0, Ordering::Relaxed);
                 self.counters.wal_checkpoints.inc();
             }
-            Err(_) => {
+            Err(e) => {
+                // Surface the cause, not just a counter — repeated
+                // failures (disk full, permissions) otherwise leave an
+                // unbounded-growth WAL with nothing to diagnose from.
+                eprintln!(
+                    "rq-service: checkpoint at epoch {} failed (log keeps growing, \
+                     next ingest retries): {e}",
+                    snap.epoch()
+                );
                 self.counters.wal_checkpoint_failures.inc();
             }
         }

@@ -188,6 +188,23 @@ proptest! {
                 .unwrap();
             prop_assert_eq!(resumed.epoch(), acked + 1);
             assert_snapshots_identical(&resumed, &oracle_snaps[acked as usize + 1]);
+
+            // The resumed epoch must itself survive a *second* restart:
+            // recovery truncated the torn tail, so the new record sits
+            // on verified bytes, not behind a bad frame the next scan
+            // would stop at (which would silently drop an acknowledged,
+            // fsynced ingest).
+            drop(resumed);
+            drop(recovered);
+            let reopened = QueryService::open_backend(
+                program(), backend.clone() as Arc<dyn rq_store::StorageBackend>, config(memoize),
+            ).unwrap();
+            let second = reopened.recovery_report().unwrap();
+            prop_assert_eq!(second.recovered_epoch, acked + 1,
+                "an epoch acknowledged after recovery must survive the next restart");
+            prop_assert_eq!(second.dropped_records, 0,
+                "the first recovery already truncated the unverifiable tail");
+            assert_snapshots_identical(&reopened.snapshot(), &oracle_snaps[acked as usize + 1]);
         }
     }
 }

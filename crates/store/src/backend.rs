@@ -30,6 +30,14 @@ pub enum FsyncPolicy {
 /// log truncation leaves such stale duplicates behind).  The replay
 /// layer skips them by epoch and counts them; the backend never
 /// silently discards a verifiable record.
+///
+/// An *unverifiable* tail (torn or corrupt) is a different matter:
+/// [`StorageBackend::load`] reports it here **and physically truncates
+/// the log to the verified prefix**.  Leaving the bad bytes in place
+/// would put later appends after them, and the next recovery's scan —
+/// which stops at the first bad frame — would silently drop every one
+/// of those acknowledged records.  The dropped bytes themselves were
+/// never acknowledged, so discarding them is safe.
 #[derive(Debug, Default)]
 pub struct Recovered {
     /// The newest intact checkpoint, if any: `(epoch, payload)`.
@@ -204,8 +212,16 @@ impl StorageBackend for MemBackend {
 
     fn load(&self) -> io::Result<Recovered> {
         let checkpoint = self.raw_checkpoint();
-        let log = self.raw_log();
-        Ok(recover_from_parts(checkpoint.as_deref(), &log))
+        let mut log = self.log.lock().expect("log lock poisoned");
+        let recovered = recover_from_parts(checkpoint.as_deref(), log.get_ref());
+        if recovered.dropped_bytes > 0 {
+            // Heal the log: truncate to the verified prefix so later
+            // appends extend trusted bytes, not the unverifiable tail
+            // (which the next scan would stop at, dropping them).
+            let verified = log.get_ref().len() - recovered.dropped_bytes as usize;
+            log.get_mut().truncate(verified);
+        }
+        Ok(recovered)
     }
 }
 
@@ -255,12 +271,17 @@ impl FileBackend {
     }
 
     fn sync_dir(&self) -> io::Result<()> {
-        // Directory fsync makes the rename itself durable; best-effort
-        // on filesystems that refuse to sync directories.
-        if let Ok(d) = File::open(&self.dir) {
-            let _ = d.sync_all();
+        // Directory fsync makes the rename itself durable.  A
+        // filesystem that genuinely cannot sync a directory handle
+        // reports `Unsupported` — accept that; any other failure under
+        // `FsyncPolicy::Always` would break the policy's power-loss
+        // guarantee, so it propagates.
+        match File::open(&self.dir).and_then(|d| d.sync_all()) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Unsupported => Ok(()),
+            Err(e) if self.fsync == FsyncPolicy::Always => Err(e),
+            Err(_) => Ok(()),
         }
-        Ok(())
     }
 
     /// Write `bytes` to `final_name` atomically via a `.tmp` sibling.
@@ -295,15 +316,29 @@ impl StorageBackend for FileBackend {
         self.write_atomic("checkpoint.snap", &encode_checkpoint_frame(epoch, payload))?;
         // Truncate the log to records after the checkpoint.  A crash
         // before this rewrite lands just leaves stale records that
-        // replay skips by epoch.
+        // replay skips by epoch.  The new append handle is opened on
+        // the tmp file *before* the rename — the inode travels with
+        // the rename — so there is no window where the rename has
+        // landed but the retained handle still points at the unlinked
+        // old inode (appends would be acknowledged into an orphan and
+        // lost on restart).  Any failure up to the rename leaves the
+        // old log and handle fully intact.
         let current = std::fs::read(self.dir.join("wal.log")).unwrap_or_default();
-        self.write_atomic("wal.log", &truncate_log_bytes(&current, epoch))?;
-        // The append handle still points at the replaced inode: reopen.
-        *log.get_mut() = Self::open_log(&self.dir)?;
-        Ok(())
+        let retained = truncate_log_bytes(&current, epoch);
+        let tmp = self.dir.join("wal.log.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&retained)?;
+            f.sync_all()?;
+        }
+        let new_handle = OpenOptions::new().append(true).open(&tmp)?;
+        std::fs::rename(&tmp, self.dir.join("wal.log"))?;
+        *log.get_mut() = new_handle;
+        self.sync_dir()
     }
 
     fn load(&self) -> io::Result<Recovered> {
+        let log_handle = self.log.lock().expect("log lock poisoned");
         let checkpoint = match File::open(self.dir.join("checkpoint.snap")) {
             Ok(mut f) => {
                 let mut blob = Vec::new();
@@ -318,7 +353,20 @@ impl StorageBackend for FileBackend {
             Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
             Err(e) => return Err(e),
         };
-        Ok(recover_from_parts(checkpoint.as_deref(), &log))
+        let recovered = recover_from_parts(checkpoint.as_deref(), &log);
+        if recovered.dropped_bytes > 0 {
+            // Heal the log: cut the unverifiable tail so later appends
+            // (the handle is in append mode — writes land at the new
+            // physical EOF) extend the verified prefix.  Without this,
+            // acknowledged post-recovery records would sit behind the
+            // bad frame and the next restart's scan would drop them.
+            let verified = log.len() as u64 - recovered.dropped_bytes;
+            log_handle.get_ref().set_len(verified)?;
+            if self.fsync == FsyncPolicy::Always {
+                log_handle.get_ref().sync_data()?;
+            }
+        }
+        Ok(recovered)
     }
 }
 
@@ -404,6 +452,63 @@ mod tests {
         assert_eq!(out.records, vec![(1, b"one".to_vec())]);
         assert_eq!(out.dropped_records, 1);
         assert_eq!(out.dropped_bytes, 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mem_load_heals_the_torn_tail_so_later_appends_survive_a_second_restart() {
+        let backend = MemBackend::new();
+        backend.append(1, b"one").unwrap();
+        let boundary = backend.log_len();
+        backend.append(2, b"two").unwrap();
+        backend.truncate_log(boundary + 5); // torn record 2
+        let out = backend.load().unwrap();
+        assert_eq!(out.dropped_records, 1);
+        assert_eq!(
+            backend.log_len(),
+            boundary,
+            "load must cut the unverifiable tail"
+        );
+        // The "process" re-ingests epoch 2; a second recovery must see
+        // it — before the heal, it sat behind the bad frame and the
+        // scan dropped it.
+        backend.append(2, b"two-again").unwrap();
+        let again = backend.load().unwrap();
+        assert_eq!(
+            again.records,
+            vec![(1, b"one".to_vec()), (2, b"two-again".to_vec())]
+        );
+        assert_eq!(again.dropped_records, 0);
+    }
+
+    #[test]
+    fn file_load_heals_the_torn_tail_so_later_appends_survive_a_second_restart() {
+        let dir = temp_dir("heal");
+        {
+            let clean = MemBackend::new();
+            clean.append(1, b"one").unwrap();
+            let first = clean.log_len() as u64;
+            let faulty = FileBackend::open_with_fault(&dir, FsyncPolicy::Never, first + 7).unwrap();
+            faulty.append(1, b"one").unwrap();
+            assert!(faulty.append(2, b"two").is_err());
+        }
+        // First restart: recovery reports the torn tail, truncates it,
+        // and the "process" ingests epoch 2 again.
+        {
+            let recovered = FileBackend::open(&dir, FsyncPolicy::Always).unwrap();
+            let out = recovered.load().unwrap();
+            assert_eq!(out.records, vec![(1, b"one".to_vec())]);
+            assert_eq!(out.dropped_records, 1);
+            recovered.append(2, b"two").unwrap();
+        }
+        // Second restart: the re-ingested epoch is intact.
+        let reopened = FileBackend::open(&dir, FsyncPolicy::Always).unwrap();
+        let out = reopened.load().unwrap();
+        assert_eq!(
+            out.records,
+            vec![(1, b"one".to_vec()), (2, b"two".to_vec())]
+        );
+        assert_eq!(out.dropped_records, 0);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
